@@ -1,0 +1,63 @@
+// FIG3-4: "A visual logical message (image) on a visual mode object. By
+// pressing a mouse button various parts of the text associated with the
+// image are displayed in the same page with the image. The image is only
+// stored once."
+//
+// Reproduces: the x-ray pins at the top of the screen while the related
+// text pages cycle below; several pages are needed; leaving the related
+// text removes the message. Verifies single storage of the image.
+
+#include <cstdio>
+
+#include "minos/core/visual_browser.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+int Run() {
+  bench::PrintHeader("FIG3-4", "visual logical message pinned over text");
+  object::MultimediaObject obj = bench::BuildVisualMessageObject(2);
+
+  SimClock clock;
+  render::Screen screen;
+  core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+  core::EventLog log;
+  auto browser = core::VisualBrowser::Open(&obj, &screen, &messages, &clock,
+                                           &log);
+  if (!browser.ok()) return 1;
+
+  // Walk every page; record on which pages the x-ray stays pinned.
+  int pinned_pages = 0;
+  std::printf("%-6s %-8s %-18s\n", "page", "pinned", "page_digest");
+  for (int p = 1; p <= (*browser)->page_count(); ++p) {
+    if (!(*browser)->GotoPage(p).ok()) return 1;
+    const size_t shown = log.OfKind(core::EventKind::kVisualMessageShown).size();
+    const size_t hidden =
+        log.OfKind(core::EventKind::kVisualMessageHidden).size();
+    const bool pinned = shown > hidden;
+    if (pinned) ++pinned_pages;
+    std::printf("%-6d %-8s %016llx\n", p, pinned ? "yes" : "no",
+                static_cast<unsigned long long>(
+                    screen.PageSnapshot().Digest()));
+  }
+  std::printf("pages_with_pinned_message=%d of %d\n", pinned_pages,
+              (*browser)->page_count());
+  std::printf("paper_claim=the related text needs several pages under the "
+              "pinned image\n");
+  std::printf("holds=%s\n",
+              (pinned_pages >= 3 && pinned_pages < (*browser)->page_count())
+                  ? "yes"
+                  : "NO");
+  // The image is stored once in the object image part.
+  std::printf("images_stored=%zu (x-ray stored once)\n",
+              obj.images().size());
+  std::printf("event_log_digest=%016llx\n",
+              static_cast<unsigned long long>(log.Digest()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

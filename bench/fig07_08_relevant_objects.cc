@@ -1,0 +1,78 @@
+// FIG7-8: "Relevant objects which are transparencies are superimposed on
+// a subway map when the relevant object indicator is selected. In this
+// example the relevant object is a map of the hospitals of the city."
+//
+// Reproduces: the subway map shows two relevant-object indicators
+// (university sites / hospitals); selecting one enters the relevant
+// object and superimposes its transparency; returning reestablishes the
+// parent's browsing mode.
+
+#include <cstdio>
+#include <map>
+
+#include "minos/core/presentation_manager.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+int Run() {
+  bench::PrintHeader("FIG7-8", "relevant objects on a subway map");
+  bench::RelevantObjectsScenario scenario =
+      bench::BuildRelevantObjectsScenario(10);
+
+  // Library resolver over the three archived objects.
+  std::map<storage::ObjectId, object::MultimediaObject> library;
+  library.emplace(scenario.parent.id(), scenario.parent);
+  library.emplace(scenario.university.id(), scenario.university);
+  library.emplace(scenario.hospitals.id(), scenario.hospitals);
+
+  SimClock clock;
+  render::Screen screen;
+  core::PresentationManager pm(&screen, &clock);
+  pm.SetResolver([&library](storage::ObjectId id)
+                     -> StatusOr<object::MultimediaObject> {
+    auto it = library.find(id);
+    if (it == library.end()) return Status::NotFound("no such object");
+    return it->second;
+  });
+
+  if (!pm.Open(10).ok()) return 1;
+  const auto indicators = pm.VisibleRelevantIndicators();
+  std::printf("indicators=%zu:", indicators.size());
+  for (const std::string& label : indicators) {
+    std::printf(" [%s]", label.c_str());
+  }
+  std::printf("\n");
+  const uint64_t map_digest = screen.PageSnapshot().Digest();
+  std::printf("parent_map_digest=%016llx\n",
+              static_cast<unsigned long long>(map_digest));
+
+  // Select each indicator in turn; the overlay page differs per target.
+  for (size_t i = 0; i < indicators.size(); ++i) {
+    if (!pm.EnterRelevantObject(i).ok()) return 1;
+    core::VisualBrowser* child = pm.visual_browser();
+    if (child == nullptr) return 1;
+    // Page 2 of the relevant object is the transparency over the map.
+    if (!child->GotoPage(2).ok()) return 1;
+    std::printf("entered [%s]: overlay_digest=%016llx depth=%zu\n",
+                indicators[i].c_str(),
+                static_cast<unsigned long long>(
+                    screen.PageSnapshot().Digest()),
+                pm.depth());
+    if (!pm.ReturnFromRelevantObject().ok()) return 1;
+    std::printf("returned: depth=%zu mode_reestablished=%s\n", pm.depth(),
+                pm.visual_browser() != nullptr ? "yes" : "NO");
+  }
+  std::printf("relevant_entered_events=%zu relevant_returned_events=%zu\n",
+              pm.log().OfKind(core::EventKind::kRelevantEntered).size(),
+              pm.log().OfKind(core::EventKind::kRelevantReturned).size());
+  std::printf("event_log_digest=%016llx\n",
+              static_cast<unsigned long long>(pm.log().Digest()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

@@ -1,0 +1,112 @@
+// PAGE-1: presentation-form construction throughput. Google-benchmark
+// measurement of text pagination (markup -> pages), audio pagination
+// (PCM -> voice pages with pause snapping), pause detection, and page
+// rendering to the simulated screen.
+
+#include <benchmark/benchmark.h>
+
+#include "minos/image/miniature.h"
+#include "minos/render/screen.h"
+#include "minos/text/formatter.h"
+#include "minos/voice/audio_pages.h"
+#include "minos/voice/pause.h"
+#include "minos/voice/synthesizer.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+void BM_TextPagination(benchmark::State& state) {
+  const text::Document doc =
+      bench::LongReport(static_cast<int>(state.range(0)));
+  text::TextFormatter formatter(text::PageLayout{});
+  size_t pages = 0;
+  for (auto _ : state) {
+    auto result = formatter.Paginate(doc);
+    pages = result.ok() ? result->size() : 0;
+    benchmark::DoNotOptimize(pages);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_TextPagination)->Arg(16)->Arg(64)->Arg(256);
+
+struct VoiceFixture {
+  voice::VoiceTrack track;
+  std::vector<voice::Pause> pauses;
+};
+
+const VoiceFixture& Voice() {
+  static VoiceFixture* fixture = [] {
+    auto* f = new VoiceFixture();
+    voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+    f->track = synth.Synthesize(bench::LongReport(24)).value();
+    f->pauses = voice::PauseDetector().Detect(f->track.pcm);
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_PauseDetection(benchmark::State& state) {
+  const VoiceFixture& fixture = Voice();
+  voice::PauseDetector detector;
+  for (auto _ : state) {
+    auto pauses = detector.Detect(fixture.track.pcm);
+    benchmark::DoNotOptimize(pauses.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.track.pcm.size() *
+                                               2));
+  state.counters["voice_seconds"] =
+      MicrosToSeconds(fixture.track.pcm.Duration());
+}
+BENCHMARK(BM_PauseDetection);
+
+void BM_AudioPagination(benchmark::State& state) {
+  const VoiceFixture& fixture = Voice();
+  voice::AudioPager pager;
+  for (auto _ : state) {
+    auto pages = pager.Paginate(fixture.track.pcm, fixture.pauses);
+    benchmark::DoNotOptimize(pages.size());
+  }
+}
+BENCHMARK(BM_AudioPagination);
+
+void BM_PauseContextSampling(benchmark::State& state) {
+  const VoiceFixture& fixture = Voice();
+  voice::PauseDetector detector;
+  for (auto _ : state) {
+    auto ctx = detector.SampleContext(fixture.track.pcm, fixture.pauses,
+                                      fixture.track.pcm.size() / 2,
+                                      fixture.track.pcm.size() / 4);
+    benchmark::DoNotOptimize(ctx.split_ms);
+  }
+}
+BENCHMARK(BM_PauseContextSampling);
+
+void BM_PageRender(benchmark::State& state) {
+  const text::Document doc = bench::LongReport(16);
+  text::TextFormatter formatter(text::PageLayout{});
+  const auto pages = formatter.Paginate(doc).value();
+  render::Screen screen;
+  size_t i = 0;
+  for (auto _ : state) {
+    screen.DrawTextPage(pages[i % pages.size()], screen.PageArea());
+    benchmark::DoNotOptimize(screen.framebuffer().pixels().data());
+    ++i;
+  }
+}
+BENCHMARK(BM_PageRender);
+
+void BM_MiniatureBuild(benchmark::State& state) {
+  const image::Image big = bench::XrayBitmap(1024, 768);
+  for (auto _ : state) {
+    auto mini = image::Miniature::Build(big, 8);
+    benchmark::DoNotOptimize(mini.ok());
+  }
+}
+BENCHMARK(BM_MiniatureBuild);
+
+}  // namespace
+}  // namespace minos

@@ -1,0 +1,71 @@
+#ifndef MINOS_BENCH_SCENARIO_LIB_H_
+#define MINOS_BENCH_SCENARIO_LIB_H_
+
+// Shared scenario builders for the figure-reproduction benches and the
+// performance experiments. Each builder constructs the multimedia object
+// a figure of the paper shows, from scratch, through the public API.
+
+#include <string>
+
+#include "minos/image/image.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/text/document.h"
+
+namespace minos::bench {
+
+/// A multi-chapter office document with emphasis runs (Figures 1-2 style
+/// content).
+text::Document OfficeDocument();
+
+/// A long synthetic report with `paragraphs` paragraphs (sweep workloads).
+text::Document LongReport(int paragraphs);
+
+/// A simulated chest x-ray bitmap of the given size.
+image::Image XrayBitmap(int width, int height);
+
+/// A labeled subway/city map (graphics image) with stations, hospitals
+/// and university sites (Figures 7-8 style content).
+image::Image SubwayMap(int width, int height);
+
+/// A transparency overlay: a circle marking plus a short caption near it
+/// (Figures 5-6 style content). `index` varies the marked position.
+image::Image MarkingOverlay(int width, int height, int index);
+
+/// An overwrite layer for the walking-tour simulation (Figures 9-10):
+/// blank spots along the walked route so far.
+image::Image RouteOverwrite(int width, int height, int step);
+
+/// Builds the Figures 1-2 object: visual pages mixing text, graphics and
+/// bitmaps, archived and ready to browse.
+object::MultimediaObject BuildVisualPagesObject(storage::ObjectId id);
+
+/// Builds the Figures 3-4 object: a visual-mode object whose x-ray visual
+/// logical message pins at the top while three pages of related text
+/// cycle below.
+object::MultimediaObject BuildVisualMessageObject(storage::ObjectId id);
+
+/// Builds the Figures 5-6 object: transparency set over an x-ray.
+object::MultimediaObject BuildTransparencyObject(storage::ObjectId id,
+                                                 int transparencies);
+
+/// Builds the Figures 7-8 parent object (subway map with relevant-object
+/// indicators) and the two relevant overlay objects (university sites /
+/// hospitals). Targets get ids id+1 and id+2.
+struct RelevantObjectsScenario {
+  object::MultimediaObject parent;
+  object::MultimediaObject university;
+  object::MultimediaObject hospitals;
+};
+RelevantObjectsScenario BuildRelevantObjectsScenario(storage::ObjectId id);
+
+/// Builds the Figures 9-10 object: process simulation of a city walking
+/// tour using one base image plus overwrites with voice messages.
+object::MultimediaObject BuildProcessSimulationObject(storage::ObjectId id,
+                                                      int steps);
+
+/// Prints a standard bench header line.
+void PrintHeader(const std::string& experiment, const std::string& title);
+
+}  // namespace minos::bench
+
+#endif  // MINOS_BENCH_SCENARIO_LIB_H_

@@ -1,0 +1,120 @@
+// SYM-1: the symmetry experiment. The same document is browsed as a
+// visual-mode object and as an audio-mode object with the same command
+// sequence; the table reports where each command lands in both media and
+// the text-offset discrepancy between the landing points.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "minos/core/audio_browser.h"
+#include "minos/core/visual_browser.h"
+#include "minos/voice/recognizer.h"
+#include "minos/voice/synthesizer.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+int Run() {
+  bench::PrintHeader("SYM-1", "symmetric text/voice browsing");
+  text::Document doc = bench::LongReport(24);
+
+  // Visual twin.
+  object::MultimediaObject visual(1);
+  visual.descriptor().layout.width = 48;
+  visual.descriptor().layout.height = 12;
+  visual.SetTextPart(doc).ok();
+  {
+    text::TextFormatter formatter(visual.descriptor().layout);
+    const size_t n = formatter.Paginate(visual.text_part()).value().size();
+    for (size_t i = 0; i < n; ++i) {
+      object::VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      visual.descriptor().pages.push_back(page);
+    }
+  }
+  if (!visual.Archive().ok()) return 1;
+
+  // Audio twin.
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  auto track = synth.Synthesize(doc);
+  if (!track.ok()) return 1;
+  voice::VoiceDocument vdoc(std::move(track).value());
+  vdoc.TagFromAlignment(doc, voice::EditingLevel::kFull);
+  object::MultimediaObject audio(2);
+  audio.descriptor().driving_mode = object::DrivingMode::kAudio;
+  audio.SetVoicePart(std::move(vdoc)).ok();
+  if (!audio.Archive().ok()) return 1;
+
+  SimClock clock;
+  render::Screen screen;
+  core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+  core::EventLog vlog, alog;
+  auto vb = core::VisualBrowser::Open(&visual, &screen, &messages, &clock,
+                                      &vlog);
+  auto ab = core::AudioBrowser::Open(&audio, &screen, &messages, &clock,
+                                     &alog);
+  if (!vb.ok() || !ab.ok()) return 1;
+
+  // Recognition index for spoken pattern commands.
+  voice::RecognizerParams rparams;
+  rparams.hit_rate = 1.0;
+  rparams.false_alarm_rate = 0.0;
+  voice::Recognizer recognizer({"paragraph", "presentation"}, rparams);
+  (*ab)->SetRecognitionIndex(voice::Recognizer::BuildIndex(
+      recognizer.Recognize(audio.voice_part().track()).utterances));
+
+  std::printf("text_pages=%d audio_pages=%d\n", (*vb)->page_count(),
+              (*ab)->page_count());
+  std::printf("%-22s %-12s %-12s %-10s\n", "command", "text_offset",
+              "voice_offset", "delta");
+
+  long long max_delta = 0;
+  auto report = [&](const char* command) {
+    const size_t text_pos = (*vb)->current_text_offset();
+    auto voice_text =
+        audio.voice_part().TextOffsetForSample((*ab)->position());
+    const size_t voice_pos = voice_text.value_or(0);
+    const long long delta = std::llabs(static_cast<long long>(text_pos) -
+                                       static_cast<long long>(voice_pos));
+    max_delta = std::max(max_delta, delta);
+    std::printf("%-22s %-12zu %-12zu %-10lld\n", command, text_pos,
+                voice_pos, delta);
+  };
+
+  // The same command sequence on both media.
+  (*vb)->NextUnit(text::LogicalUnit::kChapter).ok();
+  (*ab)->NextUnit(text::LogicalUnit::kChapter).ok();
+  report("next chapter");
+  (*vb)->NextUnit(text::LogicalUnit::kChapter).ok();
+  (*ab)->NextUnit(text::LogicalUnit::kChapter).ok();
+  report("next chapter");
+  (*vb)->NextUnit(text::LogicalUnit::kParagraph).ok();
+  (*ab)->NextUnit(text::LogicalUnit::kParagraph).ok();
+  report("next paragraph");
+  (*vb)->PreviousUnit(text::LogicalUnit::kChapter).ok();
+  (*ab)->PreviousUnit(text::LogicalUnit::kChapter).ok();
+  report("prev chapter");
+  (*vb)->FindPattern("presentation").ok();
+  (*ab)->FindSpokenPattern("presentation").ok();
+  report("find 'presentation'");
+
+  // The visual page and audio page counts bound the discrepancy: landing
+  // points differ at most by a page's worth of characters.
+  const size_t chars_per_text_page =
+      doc.size() / static_cast<size_t>((*vb)->page_count());
+  std::printf("max_delta=%lld chars_per_text_page=%zu\n", max_delta,
+              chars_per_text_page);
+  std::printf("paper_claim=the same browsing capabilities apply to text "
+              "and voice\n");
+  std::printf("holds=%s\n",
+              max_delta <= static_cast<long long>(2 * chars_per_text_page)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

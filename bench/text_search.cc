@@ -1,0 +1,72 @@
+// SRCH-1: pattern-browsing access methods. Google-benchmark comparison of
+// the direct Boyer-Moore-Horspool scan against the prebuilt inverted word
+// index across document sizes — the two access methods MINOS pattern
+// browsing uses for text (and, through the recognition index, for voice).
+
+#include <benchmark/benchmark.h>
+
+#include "minos/text/search.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+const text::Document& DocOfSize(int paragraphs) {
+  static std::map<int, text::Document>* docs =
+      new std::map<int, text::Document>();
+  auto it = docs->find(paragraphs);
+  if (it == docs->end()) {
+    it = docs->emplace(paragraphs, bench::LongReport(paragraphs)).first;
+  }
+  return it->second;
+}
+
+void BM_BmhScan(benchmark::State& state) {
+  const text::Document& doc = DocOfSize(static_cast<int>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    const auto found = text::FindAll(doc.contents(), "presentation");
+    hits += found.size();
+    benchmark::DoNotOptimize(found.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+  state.counters["doc_chars"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_BmhScan)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BmhFindNext(benchmark::State& state) {
+  const text::Document& doc = DocOfSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto hit = text::FindNext(doc.contents(), "presentation",
+                              doc.size() / 2);
+    benchmark::DoNotOptimize(hit.ok());
+  }
+}
+BENCHMARK(BM_BmhFindNext)->Arg(64)->Arg(1024);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const text::Document& doc = DocOfSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    text::WordIndex index;
+    index.Build(doc);
+    benchmark::DoNotOptimize(index.vocabulary_size());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IndexLookup(benchmark::State& state) {
+  const text::Document& doc = DocOfSize(static_cast<int>(state.range(0)));
+  text::WordIndex index;
+  index.Build(doc);
+  size_t from = 0;
+  for (auto _ : state) {
+    auto hit = index.NextOccurrence("presentation", from);
+    from = hit.ok() ? *hit + 1 : 0;
+    benchmark::DoNotOptimize(from);
+  }
+}
+BENCHMARK(BM_IndexLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace minos

@@ -1,0 +1,187 @@
+// City guide (§3 of the paper): a tourist information system. A large
+// labeled city map is browsed through views; labels answer "what is
+// this?" both ways (pattern -> highlight, click -> play/display); a
+// designer-authored tour plays automatically with voice messages; and a
+// process simulation walks the visitor through the old town with
+// overwrites marking the route.
+//
+//   ./build/examples/city_guide
+
+#include <cstdio>
+#include <map>
+
+#include "minos/core/presentation_manager.h"
+#include "minos/image/miniature.h"
+#include "minos/render/export.h"
+
+using namespace minos;  // Example code only.
+
+namespace {
+
+image::Image CityMap(int width, int height) {
+  image::GraphicsImage g(width, height);
+  // The river.
+  image::GraphicsObject river;
+  river.shape = image::ShapeKind::kPolyline;
+  river.vertices = {{0, height * 3 / 4},
+                    {width / 3, height * 2 / 3},
+                    {2 * width / 3, height * 3 / 4},
+                    {width - 1, height * 2 / 3}};
+  river.ink = 120;
+  river.label = {image::LabelKind::kText, "river", {width / 2, height * 3 / 4}};
+  g.Add(river);
+  // Sights with voice labels.
+  struct Sight {
+    const char* name;
+    int x, y;
+  };
+  const Sight sights[] = {
+      {"old clock tower", width / 4, height / 3},
+      {"market square", width / 2, height / 2},
+      {"city museum", 2 * width / 3, height / 4},
+      {"cathedral", width / 5, height / 2},
+      {"harbour crane", 4 * width / 5, height * 2 / 3},
+  };
+  for (const Sight& s : sights) {
+    image::GraphicsObject o;
+    o.shape = image::ShapeKind::kCircle;
+    o.vertices = {{s.x, s.y}};
+    o.radius = 6;
+    o.filled = true;
+    o.label = {image::LabelKind::kVoice, s.name, {s.x + 10, s.y - 4}};
+    g.Add(o);
+  }
+  // Hotels with text labels.
+  for (int i = 0; i < 3; ++i) {
+    image::GraphicsObject hotel;
+    hotel.shape = image::ShapeKind::kPolygon;
+    const int x = width / 6 + i * width / 3, y = height / 6;
+    hotel.vertices = {{x, y}, {x + 14, y}, {x + 14, y + 10}, {x, y + 10}};
+    hotel.label = {image::LabelKind::kText,
+                   "hotel " + std::to_string(i + 1), {x, y - 8}};
+    g.Add(hotel);
+  }
+  return image::Image::FromGraphics(std::move(g));
+}
+
+image::Image WalkOverwrite(int width, int height, int step) {
+  image::GraphicsImage g(width, height);
+  for (int i = 0; i <= step; ++i) {
+    image::GraphicsObject footprint;
+    footprint.shape = image::ShapeKind::kCircle;
+    footprint.vertices = {{width / 5 + i * width / 12,
+                           height / 2 - (i % 2) * height / 14}};
+    footprint.radius = 3;
+    footprint.filled = true;
+    g.Add(footprint);
+  }
+  return image::Image::FromGraphics(std::move(g));
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kWidth = 360, kHeight = 240;
+  object::MultimediaObject guide(7);
+  const uint32_t map = guide.AddImage(CityMap(kWidth, kHeight)).value();
+  object::VisualPageSpec map_page;
+  map_page.images.push_back({map, image::Rect{0, 0, kWidth, kHeight}});
+  guide.descriptor().pages.push_back(map_page);
+
+  // The guided tour.
+  object::ObjectDescriptor::TourSpec tour;
+  tour.image_index = map;
+  tour.view_width = 130;
+  tour.view_height = 90;
+  tour.positions = {{20, 40}, {110, 70}, {180, 100}, {230, 40}};
+  tour.audio_messages = {"welcome to the old town",
+                         "the market square dates from the middle ages",
+                         "", "the museum closes at six"};
+  guide.descriptor().tours.push_back(tour);
+
+  // The walking-tour process simulation: base map + route overwrites.
+  object::ProcessSimulationSpec walk;
+  walk.first_page = 0;
+  walk.count = 5;
+  walk.page_interval = MillisToMicros(700);
+  walk.page_messages = {"we begin at the cathedral",
+                        "cross the market square",
+                        "the clock tower appears on the left",
+                        "follow the river bank",
+                        "the walk ends at the harbour"};
+  for (int step = 0; step < 4; ++step) {
+    const uint32_t overlay =
+        guide.AddImage(WalkOverwrite(kWidth, kHeight, step)).value();
+    object::VisualPageSpec page;
+    page.kind = object::VisualPageSpec::Kind::kOverwrite;
+    page.images.push_back({overlay, image::Rect{0, 0, kWidth, kHeight}});
+    guide.descriptor().pages.push_back(page);
+  }
+  guide.descriptor().process_simulations.push_back(walk);
+  if (Status s = guide.Archive(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::map<storage::ObjectId, object::MultimediaObject> library;
+  library.emplace(guide.id(), guide);
+  SimClock clock;
+  render::Screen screen;
+  core::PresentationManager pm(&screen, &clock);
+  pm.SetResolver([&library](storage::ObjectId id)
+                     -> StatusOr<object::MultimediaObject> {
+    auto it = library.find(id);
+    if (it == library.end()) return Status::NotFound("no object");
+    return it->second;
+  });
+  if (!pm.Open(7).ok()) return 1;
+
+  // 1. Label facilities.
+  auto hotels = pm.HighlightLabelPattern(map, "hotel");
+  std::printf("highlighted %zu objects matching 'hotel'\n", hotels->size());
+  auto clicked = pm.SelectObjectAt(map, kWidth / 2, kHeight / 2);
+  if (clicked.ok()) {
+    std::printf("clicked the dot at the center: voice label '%s' played\n",
+                clicked->c_str());
+  }
+
+  // 2. A view over the map: move it, grow it, labels play as it moves.
+  auto view = pm.CreateView(map, image::Rect{0, 0, 120, 90});
+  view->set_voice_option(true);
+  auto encountered = view->Move(kWidth / 2 - 60, kHeight / 2 - 45);
+  std::printf("moved the view to the center; %zu voice labels "
+              "encountered on the way\n",
+              encountered.size());
+  view->Retrieve();
+  std::printf("view transferred %llu bytes (the whole map would cost "
+              "%llu)\n",
+              static_cast<unsigned long long>(view->bytes_transferred()),
+              static_cast<unsigned long long>(
+                  guide.images()[map].ByteSize()));
+
+  // 3. The guided tour, with an interruption after stop 2.
+  auto paused = pm.PlayTour(0, 0, 2);
+  std::printf("tour interrupted after stop %zu at %llds\n", *paused,
+              static_cast<long long>(clock.Now() / 1000000));
+  pm.PlayTour(0, *paused).ok();
+  std::printf("tour finished: %zu stops, %zu voice messages, %zu labels "
+              "played\n",
+              pm.log().OfKind(core::EventKind::kTourStop).size(),
+              pm.log().OfKind(core::EventKind::kVoiceMessagePlayed).size(),
+              pm.log().OfKind(core::EventKind::kLabelPlayed).size());
+
+  // 4. The walking-tour process simulation.
+  core::VisualBrowser* browser = pm.visual_browser();
+  browser->PlayProcessSimulation(0).ok();
+  std::printf("process simulation played %zu auto pages\n",
+              pm.log().OfKind(core::EventKind::kProcessPage).size());
+  std::printf("\n--- final screen (route overwrites on the map) ---\n%s\n",
+              render::ToAscii(screen.PageSnapshot(), 90).c_str());
+
+  // 5. A miniature of the map (what the query interface would show).
+  auto mini = image::Miniature::Build(guide.images()[map], 4);
+  std::printf("map miniature: %dx%d, %llu bytes\n",
+              mini->raster().width(), mini->raster().height(),
+              static_cast<unsigned long long>(mini->ByteSize()));
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Interactive session: a command-driven MINOS workstation. Commands come
+// from stdin (one per line), mirroring the menu options the presentation
+// manager shows, so the example can be scripted or driven by hand:
+//
+//   echo "query hospital
+//   select
+//   menu
+//   next
+//   find fracture
+//   indicators
+//   enter 0
+//   return
+//   quit" | ./build/examples/interactive_session
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "minos/format/object_formatter.h"
+#include "minos/render/export.h"
+#include "minos/util/string_util.h"
+#include "minos/server/object_server.h"
+#include "minos/server/workstation.h"
+
+using namespace minos;  // Example code only.
+
+namespace {
+
+/// Populates the archive with a few objects worth browsing.
+void Populate(server::ObjectServer* server) {
+  format::ObjectFormatter formatter;
+  {
+    format::ObjectWorkspace ws("radiology-note");
+    ws.SetSynthesis(R"(@MODE visual
+@LAYOUT 46 12
+.TITLE Radiology Note
+.CHAPTER Findings
+.PP
+The radiograph shows a hairline fracture near the wrist joint. The
+hospital will review the images on Thursday.
+.CHAPTER Plan
+.PP
+A short arm cast for three weeks, then a follow up radiograph.
+)");
+    auto obj = formatter.Format(ws, 1);
+    obj->SetAttribute("department", "radiology").ok();
+    // Link to the admissions memo as a relevant object.
+    object::RelevantObjectLink link;
+    link.target = 2;
+    link.indicator_label = "admissions memo";
+    link.parent_text_anchor = object::TextAnchor{0, 40};
+    obj->descriptor().relevant_objects.push_back(link);
+    obj->Archive().ok();
+    server->Store(*obj).ok();
+  }
+  {
+    format::ObjectWorkspace ws("admissions-memo");
+    ws.SetSynthesis(R"(.TITLE Admissions Memo
+.PP
+The hospital admitted the patient on Monday evening after the fall.
+)");
+    auto obj = formatter.Format(ws, 2);
+    obj->Archive().ok();
+    server->Store(*obj).ok();
+  }
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  storage::BlockDevice optical("optical", 1 << 14, 512,
+                               storage::DeviceCostModel::OpticalDisk(),
+                               true, &clock);
+  storage::BlockCache cache(256);
+  storage::Archiver archiver(&optical, &cache);
+  storage::VersionStore versions;
+  server::Link link = server::Link::Ethernet(&clock);
+  server::ObjectServer server(&archiver, &versions, &clock, &link);
+  Populate(&server);
+
+  render::Screen screen;
+  server::Workstation workstation(&server, &screen, &clock);
+  core::PresentationManager& pm = workstation.presentation();
+  std::unique_ptr<server::MiniatureBrowser> miniatures;
+
+  auto report = [](const Status& s) {
+    if (!s.ok()) std::printf("! %s\n", s.ToString().c_str());
+  };
+  auto browser = [&]() -> core::VisualBrowser* {
+    core::VisualBrowser* b = pm.visual_browser();
+    if (b == nullptr) std::printf("! no visual object open\n");
+    return b;
+  };
+
+  std::printf("MINOS interactive session. Commands: query <word>, next "
+              "miniature, select, open <id>, menu, next, prev, goto <n>, "
+              "chapter, find <pattern>, indicators, enter <i>, return, "
+              "screen, quit\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "query") {
+      std::string word;
+      in >> word;
+      auto result = workstation.Query({word});
+      if (!result.ok()) {
+        report(result.status());
+        continue;
+      }
+      miniatures = std::make_unique<server::MiniatureBrowser>(
+          std::move(result).value());
+      std::printf("%zu qualifying objects (miniatures ready)\n",
+                  miniatures->size());
+    } else if (cmd == "select") {
+      if (!miniatures) {
+        std::printf("! run a query first\n");
+        continue;
+      }
+      auto id = miniatures->Select();
+      if (!id.ok()) {
+        report(id.status());
+        continue;
+      }
+      report(workstation.Present(*id));
+      std::printf("opened object %llu\n",
+                  static_cast<unsigned long long>(*id));
+    } else if (cmd == "open") {
+      uint64_t id = 0;
+      in >> id;
+      report(workstation.Present(id));
+    } else if (cmd == "menu") {
+      if (core::VisualBrowser* b = browser()) {
+        for (const std::string& option : b->MenuOptions()) {
+          std::printf("[%s] ", option.c_str());
+        }
+        std::printf("\n");
+      }
+    } else if (cmd == "next") {
+      if (core::VisualBrowser* b = browser()) report(b->NextPage());
+    } else if (cmd == "prev") {
+      if (core::VisualBrowser* b = browser()) report(b->PreviousPage());
+    } else if (cmd == "goto") {
+      int n = 0;
+      in >> n;
+      if (core::VisualBrowser* b = browser()) report(b->GotoPage(n));
+    } else if (cmd == "chapter") {
+      if (core::VisualBrowser* b = browser()) {
+        report(b->NextUnit(text::LogicalUnit::kChapter));
+      }
+    } else if (cmd == "find") {
+      std::string pattern;
+      std::getline(in, pattern);
+      if (core::VisualBrowser* b = browser()) {
+        report(b->FindPattern(
+            std::string(TrimWhitespace(pattern))));
+      }
+    } else if (cmd == "indicators") {
+      for (const std::string& label : pm.VisibleRelevantIndicators()) {
+        std::printf("-> %s\n", label.c_str());
+      }
+    } else if (cmd == "enter") {
+      size_t i = 0;
+      in >> i;
+      report(pm.EnterRelevantObject(i));
+      std::printf("depth=%zu\n", pm.depth());
+    } else if (cmd == "return") {
+      report(pm.ReturnFromRelevantObject());
+      std::printf("depth=%zu\n", pm.depth());
+    } else if (cmd == "screen") {
+      std::printf("%s\n", render::ToAscii(screen.framebuffer(), 96).c_str());
+    } else {
+      std::printf("! unknown command '%s'\n", cmd.c_str());
+    }
+    if (core::VisualBrowser* b = pm.visual_browser()) {
+      std::printf("(page %d/%d, t=%lldms)\n", b->current_page(),
+                  b->page_count(),
+                  static_cast<long long>(MicrosToMillis(clock.Now())));
+    }
+  }
+  std::printf("session over: %zu presentation events, %llu bytes over "
+              "the link\n",
+              pm.log().size(),
+              static_cast<unsigned long long>(link.bytes_transferred()));
+  return 0;
+}

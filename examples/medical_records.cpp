@@ -1,0 +1,152 @@
+// Medical records (§3 of the paper): a doctor files observations about an
+// x-ray as an *audio-mode* object — "Doctors are notoriously bad typers!"
+// The x-ray is attached as a visual logical message to the section of the
+// speech that discusses it, so it appears on screen exactly while that
+// section plays, and whenever browsing branches into it. The symmetric
+// visual-mode twin pins the x-ray while the related text pages below.
+//
+//   ./build/examples/medical_records
+
+#include <cstdio>
+
+#include "minos/core/audio_browser.h"
+#include "minos/core/visual_browser.h"
+#include "minos/text/markup.h"
+#include "minos/voice/recognizer.h"
+#include "minos/voice/synthesizer.h"
+
+using namespace minos;  // Example code only.
+
+namespace {
+
+image::Image MakeXray() {
+  image::Bitmap bm(200, 140);
+  // Bone shaft with a hairline crack.
+  bm.FillRect(image::Rect{20, 60, 160, 22}, 120);
+  for (int i = 0; i < 12; ++i) bm.Set(120 + i / 3, 60 + i, 20);
+  return image::Image::FromBitmap(std::move(bm));
+}
+
+constexpr char kDictation[] =
+    ".CHAPTER History\n.PP\n"
+    "The patient fell from a bicycle onto the right hand two days ago. "
+    "Swelling developed overnight around the wrist.\n"
+    ".CHAPTER Radiology\n.PP\n"
+    "The radiograph shows a hairline fracture of the distal radius. "
+    "There is no displacement and the joint surface is intact.\n"
+    ".CHAPTER Plan\n.PP\n"
+    "Immobilize in a short arm cast for three weeks. Repeat the "
+    "radiograph after cast removal to confirm healing.\n";
+
+}  // namespace
+
+int main() {
+  // The dictation, synthesized into digitized voice with ground-truth
+  // alignment (our substitute for the voice digitizer hardware).
+  text::MarkupParser parser;
+  auto dictation = parser.Parse(kDictation);
+  if (!dictation.ok()) return 1;
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  auto track = synth.Synthesize(*dictation);
+  if (!track.ok()) return 1;
+
+  // Sample span of the Radiology chapter (the section about the x-ray).
+  voice::VoiceDocument vdoc(std::move(track).value());
+  vdoc.TagFromAlignment(*dictation, voice::EditingLevel::kChapters);
+  const auto& chapters = vdoc.Components(text::LogicalUnit::kChapter);
+  const voice::SampleSpan radiology = chapters[1].span;
+
+  // --- The audio-mode object -------------------------------------------
+  object::MultimediaObject record(1042);
+  record.descriptor().driving_mode = object::DrivingMode::kAudio;
+  record.SetAttribute("patient", "case 1042").ok();
+  const uint32_t xray = record.AddImage(MakeXray()).value();
+  object::VisualLogicalMessage message;
+  message.text = "XRAY right wrist, case 1042";
+  message.image_index = xray;
+  message.voice_anchors.push_back(
+      object::VoiceAnchor{radiology.begin, radiology.end});
+  record.descriptor().visual_messages.push_back(message);
+  record.SetVoicePart(std::move(vdoc)).ok();
+  if (!record.Archive().ok()) return 1;
+
+  SimClock clock;
+  render::Screen screen;
+  core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+  core::EventLog log;
+  auto browser = core::AudioBrowser::Open(&record, &screen, &messages,
+                                          &clock, &log);
+  if (!browser.ok()) return 1;
+
+  std::printf("playing the dictation (%llds of voice, %d voice pages)\n",
+              static_cast<long long>(
+                  record.voice_part().pcm().Duration() / 1000000),
+              (*browser)->page_count());
+  (*browser)->Play().ok();
+
+  const auto shown = log.OfKind(core::EventKind::kVisualMessageShown);
+  const auto hidden = log.OfKind(core::EventKind::kVisualMessageHidden);
+  std::printf("x-ray appeared at %llds and disappeared at %llds — exactly "
+              "the Radiology section of the speech\n",
+              static_cast<long long>(shown[0].at / 1000000),
+              static_cast<long long>(hidden[0].at / 1000000));
+
+  // Browsing near the fracture: rewind two short pauses and replay.
+  (*browser)->RewindPauses(2, voice::PauseKind::kShort).ok();
+  std::printf("rewound 2 short pauses back to sample %zu; replaying\n",
+              (*browser)->position());
+  (*browser)->Play().ok();
+
+  // Spoken pattern browsing over the insertion-time recognition index.
+  voice::RecognizerParams rp;
+  rp.hit_rate = 0.9;
+  voice::Recognizer recognizer({"fracture", "cast", "radiograph"}, rp);
+  (*browser)->SetRecognitionIndex(voice::Recognizer::BuildIndex(
+      recognizer.Recognize(record.voice_part().track()).utterances));
+  (*browser)->GotoPage(1).ok();
+  if ((*browser)->FindSpokenPattern("cast").ok()) {
+    std::printf("spoken pattern 'cast' found: jumped to voice page %d\n",
+                (*browser)->current_page());
+  }
+
+  // --- The symmetric visual-mode twin ----------------------------------
+  object::MultimediaObject note(1043);
+  note.descriptor().layout.width = 44;
+  note.descriptor().layout.height = 7;  // Lower half under the x-ray.
+  auto doc2 = parser.Parse(kDictation);
+  note.SetTextPart(std::move(doc2).value()).ok();
+  const uint32_t xray2 = note.AddImage(MakeXray()).value();
+  {
+    text::TextFormatter formatter(note.descriptor().layout);
+    const size_t pages = formatter.Paginate(note.text_part()).value().size();
+    for (size_t i = 0; i < pages; ++i) {
+      object::VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      note.descriptor().pages.push_back(page);
+    }
+  }
+  const std::string& contents = note.text_part().contents();
+  object::VisualLogicalMessage pinned;
+  pinned.text = "XRAY right wrist, case 1042";
+  pinned.image_index = xray2;
+  const size_t begin = contents.find("The radiograph");
+  const size_t end = contents.find("Immobilize");
+  pinned.text_anchors.push_back(object::TextAnchor{begin, end});
+  note.descriptor().visual_messages.push_back(pinned);
+  if (!note.Archive().ok()) return 1;
+
+  core::EventLog vlog;
+  auto vbrowser = core::VisualBrowser::Open(&note, &screen, &messages,
+                                            &clock, &vlog);
+  if (!vbrowser.ok()) return 1;
+  std::printf("\nvisual twin: %d pages\n", (*vbrowser)->page_count());
+  (*vbrowser)->FindPattern("radiograph").ok();
+  std::printf("while reading the radiology text the x-ray stays pinned "
+              "at the top: %s\n",
+              vlog.OfKind(core::EventKind::kVisualMessageShown).empty()
+                  ? "NO"
+                  : "yes");
+  std::printf("\nsymmetric capabilities demonstrated: the same record "
+              "browses by voice and by text.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "minos/audio/audio_device.h"
+
+#include <algorithm>
+
+namespace minos::audio {
+
+void AudioDevice::Load(const voice::PcmBuffer* pcm) {
+  pcm_ = pcm;
+  position_ = 0;
+  playing_ = false;
+  total_play_time_ = 0;
+  events_.clear();
+}
+
+void AudioDevice::Record(PlaybackEvent::Kind kind) {
+  events_.push_back(PlaybackEvent{kind, clock_->Now(), position_});
+}
+
+Status AudioDevice::PlayToEnd() {
+  if (pcm_ == nullptr) {
+    return Status::FailedPrecondition("no PCM buffer loaded");
+  }
+  playing_ = true;
+  Record(PlaybackEvent::Kind::kStart);
+  const size_t remaining = pcm_->size() - position_;
+  const Micros duration = pcm_->SamplesToMicros(remaining);
+  clock_->Advance(duration);
+  total_play_time_ += duration;
+  position_ = pcm_->size();
+  playing_ = false;
+  Record(PlaybackEvent::Kind::kFinish);
+  return Status::OK();
+}
+
+StatusOr<size_t> AudioDevice::PlayFor(Micros duration) {
+  if (pcm_ == nullptr) {
+    return Status::FailedPrecondition("no PCM buffer loaded");
+  }
+  if (duration < 0) return Status::InvalidArgument("negative duration");
+  playing_ = true;
+  Record(PlaybackEvent::Kind::kStart);
+  const size_t want = pcm_->MicrosToSamples(duration);
+  const size_t play = std::min(want, pcm_->size() - position_);
+  const Micros actual = pcm_->SamplesToMicros(play);
+  clock_->Advance(actual);
+  total_play_time_ += actual;
+  position_ += play;
+  playing_ = false;
+  Record(position_ == pcm_->size() ? PlaybackEvent::Kind::kFinish
+                                   : PlaybackEvent::Kind::kInterrupt);
+  return play;
+}
+
+void AudioDevice::Interrupt() {
+  if (!playing_) return;
+  playing_ = false;
+  Record(PlaybackEvent::Kind::kInterrupt);
+}
+
+Status AudioDevice::Resume() {
+  if (pcm_ == nullptr) {
+    return Status::FailedPrecondition("no PCM buffer loaded");
+  }
+  Record(PlaybackEvent::Kind::kResume);
+  return PlayToEnd();
+}
+
+Status AudioDevice::Seek(size_t sample) {
+  if (pcm_ == nullptr) {
+    return Status::FailedPrecondition("no PCM buffer loaded");
+  }
+  position_ = std::min(sample, pcm_->size());
+  Record(PlaybackEvent::Kind::kSeek);
+  return Status::OK();
+}
+
+Status AudioDevice::PlayFrom(size_t sample) {
+  MINOS_RETURN_IF_ERROR(Seek(sample));
+  return PlayToEnd();
+}
+
+}  // namespace minos::audio

@@ -1,0 +1,87 @@
+#ifndef MINOS_AUDIO_AUDIO_DEVICE_H_
+#define MINOS_AUDIO_AUDIO_DEVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "minos/util/clock.h"
+#include "minos/util/status.h"
+#include "minos/util/statusor.h"
+#include "minos/voice/pcm.h"
+
+namespace minos::audio {
+
+/// One playback event (for tests and the figure benches to verify the
+/// audible timeline).
+struct PlaybackEvent {
+  enum class Kind { kStart, kInterrupt, kResume, kSeek, kFinish };
+  Kind kind;
+  Micros at = 0;       ///< Simulated time of the event.
+  size_t sample = 0;   ///< Playback position at the event.
+};
+
+/// Simulated voice output device under virtual time — the substitute for
+/// the workstation's voice output hardware. Playback advances the
+/// injected SimClock in real-time proportion; the browsing commands of §2
+/// (interrupt, resume, resume from a given position) map one-to-one onto
+/// this API.
+class AudioDevice {
+ public:
+  /// `clock` must outlive the device.
+  explicit AudioDevice(SimClock* clock) : clock_(clock) {}
+
+  /// Loads a buffer (borrowed; must outlive playback) and rewinds to 0.
+  void Load(const voice::PcmBuffer* pcm);
+
+  /// True while a Play()/Resume() is conceptually sounding. Because time
+  /// is simulated, "playing" means: the last command started playback and
+  /// it has not been interrupted or finished.
+  bool playing() const { return playing_; }
+
+  /// Current playback sample position.
+  size_t position() const { return position_; }
+
+  /// Starts playback at the current position and plays until the end of
+  /// the buffer (advancing the clock by the remaining duration).
+  /// FailedPrecondition when no buffer is loaded.
+  Status PlayToEnd();
+
+  /// Plays for at most `duration` of simulated time, then pauses (used by
+  /// audio pages and gated process simulation). Returns the samples
+  /// actually played.
+  StatusOr<size_t> PlayFor(Micros duration);
+
+  /// Interrupts playback, freezing the position ("interrupt the voice
+  /// output", §2). No-op when not playing.
+  void Interrupt();
+
+  /// Resumes from the frozen position ("resume the voice output from the
+  /// current position", §2) and plays to the end.
+  Status Resume();
+
+  /// Seeks to an absolute sample (clamped to the buffer).
+  Status Seek(size_t sample);
+
+  /// Convenience: seek then play to the end.
+  Status PlayFrom(size_t sample);
+
+  /// The full event log since Load().
+  const std::vector<PlaybackEvent>& events() const { return events_; }
+
+  /// Total simulated time this device has spent sounding.
+  Micros total_play_time() const { return total_play_time_; }
+
+ private:
+  void Record(PlaybackEvent::Kind kind);
+
+  SimClock* clock_;
+  const voice::PcmBuffer* pcm_ = nullptr;
+  size_t position_ = 0;
+  bool playing_ = false;
+  Micros total_play_time_ = 0;
+  std::vector<PlaybackEvent> events_;
+};
+
+}  // namespace minos::audio
+
+#endif  // MINOS_AUDIO_AUDIO_DEVICE_H_

@@ -1,0 +1,367 @@
+#include "minos/core/audio_browser.h"
+
+#include <algorithm>
+#include <set>
+
+namespace minos::core {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::ObjectState;
+using object::VoiceAnchor;
+
+StatusOr<std::unique_ptr<AudioBrowser>> AudioBrowser::Open(
+    const MultimediaObject* obj, render::Screen* screen,
+    MessagePlayer* messages, SimClock* clock, EventLog* log,
+    voice::AudioPagerParams pager_params,
+    voice::PauseDetectorParams pause_params) {
+  if (obj->state() != ObjectState::kArchived) {
+    return Status::FailedPrecondition(
+        "presentation requires an archived object");
+  }
+  if (obj->descriptor().driving_mode != DrivingMode::kAudio) {
+    return Status::InvalidArgument(
+        "object is visually driven; open a VisualBrowser");
+  }
+  if (!obj->has_voice()) {
+    return Status::InvalidArgument("audio-mode object has no voice part");
+  }
+  std::unique_ptr<AudioBrowser> browser(
+      new AudioBrowser(obj, screen, messages, clock, log));
+  browser->pause_detector_ = voice::PauseDetector(pause_params);
+  browser->pauses_ =
+      browser->pause_detector_.Detect(obj->voice_part().pcm());
+  voice::AudioPager pager(pager_params);
+  browser->pages_ =
+      pager.Paginate(obj->voice_part().pcm(), browser->pauses_);
+  browser->voice_message_armed_.assign(
+      obj->descriptor().voice_messages.size(), true);
+  browser->RefreshScreen();
+  return browser;
+}
+
+AudioBrowser::AudioBrowser(const MultimediaObject* obj,
+                           render::Screen* screen, MessagePlayer* messages,
+                           SimClock* clock, EventLog* log)
+    : obj_(obj),
+      screen_(screen),
+      messages_(messages),
+      clock_(clock),
+      log_(log),
+      compositor_(screen) {}
+
+int AudioBrowser::current_page() const {
+  return voice::AudioPager::PageForSample(pages_, position_);
+}
+
+void AudioBrowser::RefreshScreen() {
+  screen_->ClearRegion(screen_->PageArea());
+  if (active_visual_message_ >= 0) {
+    const object::VisualLogicalMessage& m =
+        obj_->descriptor()
+            .visual_messages[static_cast<size_t>(active_visual_message_)];
+    // Errors here are impossible for validated objects; ignore status to
+    // keep the playback path simple.
+    compositor_.ComposeVisualMessage(*obj_, m, screen_->MessageArea());
+  }
+  screen_->SetMenu(MenuOptions());
+  screen_->DrawStatusLine(
+      "voice page " + std::to_string(current_page()) + "/" +
+      std::to_string(page_count()) +
+      (playing_ ? " [playing]" : " [stopped]"));
+}
+
+void AudioBrowser::ProcessTriggersAt(size_t sample) {
+  const object::ObjectDescriptor& desc = obj_->descriptor();
+
+  // Audio page starts.
+  for (const voice::AudioPage& p : pages_) {
+    if (p.samples.begin == sample && log_ != nullptr) {
+      log_->Add(EventKind::kAudioPageStarted, clock_->Now(), p.number, "");
+    }
+  }
+
+  // Voice logical messages: played before the voice of the related
+  // segment, and on any branch into the segment.
+  for (size_t i = 0; i < desc.voice_messages.size(); ++i) {
+    const object::VoiceLogicalMessage& m = desc.voice_messages[i];
+    if (!m.voice_anchor.has_value()) continue;
+    const bool inside = m.voice_anchor->Contains(sample);
+    if (inside && voice_message_armed_[i]) {
+      voice_message_armed_[i] = false;
+      messages_->Play(m.transcript, log_, EventKind::kVoiceMessagePlayed,
+                      static_cast<int64_t>(sample));
+    } else if (!inside) {
+      voice_message_armed_[i] = true;
+    }
+  }
+
+  // Visual logical messages: pinned for the duration of the related
+  // segment's play.
+  int next_active = -1;
+  for (size_t i = 0; i < desc.visual_messages.size(); ++i) {
+    for (const VoiceAnchor& a : desc.visual_messages[i].voice_anchors) {
+      if (a.Contains(sample)) {
+        next_active = static_cast<int>(i);
+        break;
+      }
+    }
+    if (next_active >= 0) break;
+  }
+  if (next_active != active_visual_message_) {
+    if (active_visual_message_ >= 0 && log_ != nullptr) {
+      log_->Add(EventKind::kVisualMessageHidden, clock_->Now(),
+                active_visual_message_, "");
+    }
+    if (next_active >= 0 && log_ != nullptr) {
+      log_->Add(EventKind::kVisualMessageShown, clock_->Now(), next_active,
+                desc.visual_messages[static_cast<size_t>(next_active)].text);
+    }
+    active_visual_message_ = next_active;
+    RefreshScreen();
+  }
+}
+
+Status AudioBrowser::PlayInternal(size_t end_sample) {
+  const voice::PcmBuffer& pcm = obj_->voice_part().pcm();
+  end_sample = std::min(end_sample, pcm.size());
+  if (position_ >= end_sample) return Status::OK();
+
+  // Collect trigger boundaries in (position_, end_sample).
+  std::set<size_t> boundaries;
+  const object::ObjectDescriptor& desc = obj_->descriptor();
+  for (const object::VoiceLogicalMessage& m : desc.voice_messages) {
+    if (m.voice_anchor.has_value()) {
+      boundaries.insert(static_cast<size_t>(m.voice_anchor->begin));
+      boundaries.insert(static_cast<size_t>(m.voice_anchor->end));
+    }
+  }
+  for (const object::VisualLogicalMessage& m : desc.visual_messages) {
+    for (const VoiceAnchor& a : m.voice_anchors) {
+      boundaries.insert(static_cast<size_t>(a.begin));
+      boundaries.insert(static_cast<size_t>(a.end));
+    }
+  }
+  for (const voice::AudioPage& p : pages_) {
+    boundaries.insert(p.samples.begin);
+  }
+
+  playing_ = true;
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kVoicePlayed, clock_->Now(),
+              static_cast<int64_t>(position_),
+              "to " + std::to_string(end_sample));
+  }
+  while (position_ < end_sample) {
+    ProcessTriggersAt(position_);
+    auto it = boundaries.upper_bound(position_);
+    const size_t next =
+        it == boundaries.end() ? end_sample : std::min(*it, end_sample);
+    clock_->Advance(pcm.SamplesToMicros(next - position_));
+    position_ = next;
+  }
+  ProcessTriggersAt(position_);
+  playing_ = false;
+  RefreshScreen();
+  return Status::OK();
+}
+
+Status AudioBrowser::Play() {
+  return PlayInternal(obj_->voice_part().pcm().size());
+}
+
+Status AudioBrowser::PlayFor(Micros duration) {
+  if (duration < 0) return Status::InvalidArgument("negative duration");
+  const voice::PcmBuffer& pcm = obj_->voice_part().pcm();
+  return PlayInternal(position_ + pcm.MicrosToSamples(duration));
+}
+
+Status AudioBrowser::Interrupt() {
+  // Playback in simulated time completes within a command; Interrupt is
+  // meaningful between PlayFor() calls. It freezes the position.
+  playing_ = false;
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kVoiceInterrupted, clock_->Now(),
+              static_cast<int64_t>(position_), "");
+  }
+  RefreshScreen();
+  return Status::OK();
+}
+
+Status AudioBrowser::Resume() {
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kVoiceResumed, clock_->Now(),
+              static_cast<int64_t>(position_), "");
+  }
+  return Play();
+}
+
+Status AudioBrowser::ResumeFromPageStart() {
+  MINOS_ASSIGN_OR_RETURN(
+      size_t start, voice::AudioPager::PageStart(pages_, current_page()));
+  position_ = start;
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kVoiceResumed, clock_->Now(),
+              static_cast<int64_t>(position_), "page-start");
+  }
+  return Play();
+}
+
+Status AudioBrowser::AdvancePages(int delta) {
+  return GotoPage(current_page() + delta);
+}
+
+Status AudioBrowser::GotoPage(int number) {
+  MINOS_ASSIGN_OR_RETURN(size_t start,
+                         voice::AudioPager::PageStart(pages_, number));
+  position_ = start;
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kAudioPageStarted, clock_->Now(), number, "goto");
+  }
+  RefreshScreen();
+  return Status::OK();
+}
+
+Status AudioBrowser::NextUnit(text::LogicalUnit unit) {
+  const voice::VoiceDocument& vd = obj_->voice_part();
+  if (!vd.HasUnit(unit)) {
+    return Status::Unsupported(std::string("voice part has no ") +
+                               text::LogicalUnitName(unit) +
+                               " components tagged");
+  }
+  MINOS_ASSIGN_OR_RETURN(size_t start, vd.NextUnitStart(unit, position_));
+  position_ = start;
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kUnitReached, clock_->Now(),
+              static_cast<int64_t>(start), text::LogicalUnitName(unit));
+  }
+  RefreshScreen();
+  return Status::OK();
+}
+
+Status AudioBrowser::PreviousUnit(text::LogicalUnit unit) {
+  const voice::VoiceDocument& vd = obj_->voice_part();
+  if (!vd.HasUnit(unit)) {
+    return Status::Unsupported(std::string("voice part has no ") +
+                               text::LogicalUnitName(unit) +
+                               " components tagged");
+  }
+  MINOS_ASSIGN_OR_RETURN(size_t start,
+                         vd.PreviousUnitStart(unit, position_));
+  position_ = start;
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kUnitReached, clock_->Now(),
+              static_cast<int64_t>(start), text::LogicalUnitName(unit));
+  }
+  RefreshScreen();
+  return Status::OK();
+}
+
+Status AudioBrowser::RewindPauses(int n, voice::PauseKind kind) {
+  const voice::PcmBuffer& pcm = obj_->voice_part().pcm();
+  // Sample the short/long split from ~60 seconds around the position.
+  const size_t window = pcm.MicrosToSamples(SecondsToMicros(60));
+  const voice::PauseContext context =
+      pause_detector_.SampleContext(pcm, pauses_, position_, window);
+  StatusOr<size_t> target = pause_detector_.RewindPauses(
+      pcm, pauses_, context, position_, n, kind);
+  if (!target.ok() && target.status().IsOutOfRange()) {
+    // Fewer than n matching pauses: restart from the beginning.
+    position_ = 0;
+  } else if (!target.ok()) {
+    return target.status();
+  } else {
+    position_ = *target;
+  }
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kRewound, clock_->Now(),
+              static_cast<int64_t>(position_),
+              kind == voice::PauseKind::kShort ? "short" : "long");
+  }
+  RefreshScreen();
+  return Status::OK();
+}
+
+Status AudioBrowser::FindSpokenPattern(std::string_view word) {
+  if (!recognition_index_.has_value()) {
+    return Status::FailedPrecondition(
+        "no recognition index was built at insertion time");
+  }
+  MINOS_ASSIGN_OR_RETURN(
+      size_t hit, recognition_index_->NextOccurrence(word, position_ + 1));
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kPatternFound, clock_->Now(),
+              static_cast<int64_t>(hit), std::string(word));
+  }
+  // Return the page with the occurrence (symmetric with text browsing).
+  return GotoPage(voice::AudioPager::PageForSample(pages_, hit));
+}
+
+Status AudioBrowser::SpeakPattern(const voice::Recognizer& recognizer,
+                                  std::string_view spoken) {
+  // The user's utterance is digitized and run through the recognizer —
+  // this is browse-time recognition of the *pattern*, not of the object
+  // voice part (which was indexed at insertion time, §2).
+  voice::SpeakerParams speaker;
+  speaker.seed = util_seed_++;
+  voice::SpeechSynthesizer synth(speaker);
+  const voice::VoiceTrack utterance =
+      synth.SynthesizeWords({std::string(spoken)});
+  // Speaking the pattern takes real (simulated) time.
+  clock_->Advance(utterance.pcm.Duration());
+  const voice::RecognitionResult result = recognizer.Recognize(utterance);
+  if (result.utterances.empty()) {
+    return Status::NotFound("spoken pattern was not recognized");
+  }
+  return FindSpokenPattern(result.utterances.front().word);
+}
+
+void AudioBrowser::SetRecognitionIndex(text::WordIndex index) {
+  recognition_index_ = std::move(index);
+}
+
+std::vector<std::string> AudioBrowser::MenuOptions() const {
+  std::vector<std::string> options;
+  options.emplace_back("play");
+  options.emplace_back("interrupt");
+  options.emplace_back("resume");
+  options.emplace_back("resume page start");
+  options.emplace_back("next page");
+  options.emplace_back("prev page");
+  options.emplace_back("goto page");
+  options.emplace_back("+5 pages");
+  options.emplace_back("-5 pages");
+  options.emplace_back("rewind short pauses");
+  options.emplace_back("rewind long pauses");
+  const voice::VoiceDocument& vd = obj_->voice_part();
+  using text::LogicalUnit;
+  for (LogicalUnit unit : {LogicalUnit::kChapter, LogicalUnit::kSection,
+                           LogicalUnit::kParagraph, LogicalUnit::kSentence}) {
+    if (vd.HasUnit(unit)) {
+      options.push_back(std::string("next ") + text::LogicalUnitName(unit));
+      options.push_back(std::string("prev ") + text::LogicalUnitName(unit));
+    }
+  }
+  if (recognition_index_.has_value()) {
+    options.emplace_back("find spoken pattern");
+  }
+  for (const object::RelevantObjectLink* link : VisibleRelevantLinks()) {
+    options.push_back("-> " + link->indicator_label);
+  }
+  return options;
+}
+
+std::vector<const object::RelevantObjectLink*>
+AudioBrowser::VisibleRelevantLinks() const {
+  std::vector<const object::RelevantObjectLink*> out;
+  for (const object::RelevantObjectLink& link :
+       obj_->descriptor().relevant_objects) {
+    if (link.parent_voice_anchor.has_value() &&
+        link.parent_voice_anchor->Contains(position_)) {
+      out.push_back(&link);
+    }
+  }
+  return out;
+}
+
+}  // namespace minos::core

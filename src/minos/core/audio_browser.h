@@ -1,0 +1,147 @@
+#ifndef MINOS_CORE_AUDIO_BROWSER_H_
+#define MINOS_CORE_AUDIO_BROWSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minos/audio/audio_device.h"
+#include "minos/core/events.h"
+#include "minos/core/message_player.h"
+#include "minos/core/page_compositor.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/render/screen.h"
+#include "minos/text/search.h"
+#include "minos/voice/audio_pages.h"
+#include "minos/voice/pause.h"
+#include "minos/voice/recognizer.h"
+#include "minos/util/statusor.h"
+
+namespace minos::core {
+
+/// Browser for audio-mode objects: the symmetric counterpart of
+/// VisualBrowser. Provides the §2 audio command set — interrupt / resume /
+/// resume-from-page-start, audio-page browsing, pause-based rewind,
+/// logical-unit browsing over tagged voice components, and spoken-pattern
+/// browsing over the insertion-time recognition index — plus the
+/// audio-mode triggering of logical messages: voice messages play *before*
+/// the related segment's voice; visual messages stay pinned for the
+/// duration of the related segment.
+class AudioBrowser {
+ public:
+  /// Opens a browser on an archived audio-mode object. Pointers are
+  /// borrowed. The pager/detector parameters control audio pagination
+  /// and pause detection.
+  static StatusOr<std::unique_ptr<AudioBrowser>> Open(
+      const object::MultimediaObject* obj, render::Screen* screen,
+      MessagePlayer* messages, SimClock* clock, EventLog* log,
+      voice::AudioPagerParams pager_params = {},
+      voice::PauseDetectorParams pause_params = {});
+
+  /// Playback ------------------------------------------------------------
+
+  /// Plays from the current position to the end of the voice part,
+  /// triggering logical messages as their segments are entered/left.
+  Status Play();
+
+  /// Plays at most `duration` of voice, then stops (keeps position).
+  Status PlayFor(Micros duration);
+
+  /// Interrupts playback (§2: "interrupt the voice output").
+  Status Interrupt();
+
+  /// Resumes from the current position (§2).
+  Status Resume();
+
+  /// Resumes from the beginning of the current voice page (§2).
+  Status ResumeFromPageStart();
+
+  /// Page browsing (symmetric with text: next/previous/advance/goto).
+  /// Repositions playback to the page start; does not auto-play.
+  Status NextPage() { return AdvancePages(1); }
+  Status PreviousPage() { return AdvancePages(-1); }
+  Status AdvancePages(int delta);
+  Status GotoPage(int number);  ///< 1-based.
+
+  /// Logical browsing over manually tagged voice components (§2).
+  /// Unsupported when the voice part has no components of `unit`.
+  Status NextUnit(text::LogicalUnit unit);
+  Status PreviousUnit(text::LogicalUnit unit);
+
+  /// Pause-based rewind (§2): repositions to just after the n-th
+  /// short/long pause before the current position; the short/long split
+  /// is sampled adaptively from the surrounding context.
+  Status RewindPauses(int n, voice::PauseKind kind);
+
+  /// Spoken-pattern browsing over the recognition index built at
+  /// insertion time (§2). FailedPrecondition when no index is installed.
+  Status FindSpokenPattern(std::string_view word);
+
+  /// The full §2 interaction: the user *speaks* the pattern, the
+  /// recognizer recognizes the utterance (it may mis-hear), and browsing
+  /// proceeds over the insertion-time index. `spoken` is the transcript
+  /// of the user's utterance. NotFound when the utterance was not
+  /// recognized or the recognized word never occurs.
+  Status SpeakPattern(const voice::Recognizer& recognizer,
+                      std::string_view spoken);
+
+  /// Installs the insertion-time recognition index (sample positions).
+  void SetRecognitionIndex(text::WordIndex index);
+
+  /// Menu options available for this object.
+  std::vector<std::string> MenuOptions() const;
+
+  /// Relevant-object links whose voice anchor contains the current
+  /// position.
+  std::vector<const object::RelevantObjectLink*> VisibleRelevantLinks()
+      const;
+
+  /// State ----------------------------------------------------------------
+
+  size_t position() const { return position_; }
+  int current_page() const;
+  int page_count() const { return static_cast<int>(pages_.size()); }
+  bool playing() const { return playing_; }
+  const std::vector<voice::AudioPage>& pages() const { return pages_; }
+  const std::vector<voice::Pause>& pauses() const { return pauses_; }
+  const object::MultimediaObject& object() const { return *obj_; }
+
+ private:
+  AudioBrowser(const object::MultimediaObject* obj, render::Screen* screen,
+               MessagePlayer* messages, SimClock* clock, EventLog* log);
+
+  /// Plays samples [position_, end), firing message triggers. Stops early
+  /// after `limit` samples when limit != npos.
+  Status PlayInternal(size_t end_sample);
+
+  /// Fires triggers crossing into `sample` (voice messages before their
+  /// segment; visual messages shown/hidden at segment boundaries).
+  void ProcessTriggersAt(size_t sample);
+
+  /// Shows the audio-mode screen: pinned visual message (if active) and
+  /// the status/menu chrome.
+  void RefreshScreen();
+
+  const object::MultimediaObject* obj_;
+  render::Screen* screen_;
+  MessagePlayer* messages_;
+  SimClock* clock_;
+  EventLog* log_;
+  PageCompositor compositor_;
+  voice::PauseDetector pause_detector_;
+  std::vector<voice::Pause> pauses_;
+  std::vector<voice::AudioPage> pages_;
+  std::optional<text::WordIndex> recognition_index_;
+
+  size_t position_ = 0;
+  bool playing_ = false;
+  uint64_t util_seed_ = 0x5eed;  ///< Varies spoken-pattern utterances.
+  int active_visual_message_ = -1;
+  /// Voice messages already played for their current segment entry.
+  std::vector<bool> voice_message_armed_;
+};
+
+}  // namespace minos::core
+
+#endif  // MINOS_CORE_AUDIO_BROWSER_H_

@@ -1,0 +1,40 @@
+#include "minos/core/editing_preview.h"
+
+#include "minos/core/page_compositor.h"
+#include "minos/image/miniature.h"
+#include "minos/render/screen.h"
+
+namespace minos::core {
+
+StatusOr<image::Bitmap> RenderEditingPreview(
+    const object::MultimediaObject& obj, int page_number, int scale) {
+  const auto& pages = obj.descriptor().pages;
+  if (page_number < 1 || page_number > static_cast<int>(pages.size())) {
+    return Status::OutOfRange("no such page to preview");
+  }
+  if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
+  MINOS_ASSIGN_OR_RETURN(FormattedText formatted, FormatObjectText(obj));
+
+  render::Screen screen(render::ScreenLayout{360, 280, 0, 0});
+  PageCompositor compositor(&screen);
+  const image::Rect region{0, 0, 360, 280};
+  // Compose the transparency/overwrite stack up to the requested page,
+  // exactly as browsing would.
+  const size_t index = static_cast<size_t>(page_number - 1);
+  size_t base = index;
+  while (base > 0 &&
+         pages[base].kind != object::VisualPageSpec::Kind::kNormal) {
+    --base;
+  }
+  for (size_t i = base; i <= index; ++i) {
+    MINOS_RETURN_IF_ERROR(
+        compositor.ComposePage(obj, formatted, i, region));
+  }
+  MINOS_ASSIGN_OR_RETURN(
+      image::Miniature mini,
+      image::Miniature::Build(
+          image::Image::FromBitmap(screen.framebuffer()), scale));
+  return mini.raster();
+}
+
+}  // namespace minos::core

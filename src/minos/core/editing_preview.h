@@ -1,0 +1,26 @@
+#ifndef MINOS_CORE_EDITING_PREVIEW_H_
+#define MINOS_CORE_EDITING_PREVIEW_H_
+
+#include "minos/image/bitmap.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/util/statusor.h"
+
+namespace minos::core {
+
+/// Interactive-formatter preview (§4): "When the user inserts information
+/// in the synthesis file for visual mode objects a miniature of the
+/// current page of the formatted object is displayed in the right hand
+/// side of the screen, below the menu options. This way the user can
+/// immediately see the results of his formatting actions."
+///
+/// Renders visual page `page_number` (1-based) of an object — in the
+/// *editing* state or archived — through the same compositor the archived
+/// browsing path uses ("Duplication of software is not required", §4),
+/// downscaled by `scale`. Transparency/overwrite stacks are composed the
+/// way browsing would show them.
+StatusOr<image::Bitmap> RenderEditingPreview(
+    const object::MultimediaObject& obj, int page_number, int scale = 2);
+
+}  // namespace minos::core
+
+#endif  // MINOS_CORE_EDITING_PREVIEW_H_

@@ -1,0 +1,81 @@
+#include "minos/core/events.h"
+
+#include "minos/util/string_util.h"
+
+namespace minos::core {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPageShown:
+      return "page-shown";
+    case EventKind::kAudioPageStarted:
+      return "audio-page-started";
+    case EventKind::kVoiceMessagePlayed:
+      return "voice-message-played";
+    case EventKind::kVisualMessageShown:
+      return "visual-message-shown";
+    case EventKind::kVisualMessageHidden:
+      return "visual-message-hidden";
+    case EventKind::kVoicePlayed:
+      return "voice-played";
+    case EventKind::kVoiceInterrupted:
+      return "voice-interrupted";
+    case EventKind::kVoiceResumed:
+      return "voice-resumed";
+    case EventKind::kPatternFound:
+      return "pattern-found";
+    case EventKind::kUnitReached:
+      return "unit-reached";
+    case EventKind::kRelevantEntered:
+      return "relevant-entered";
+    case EventKind::kRelevantReturned:
+      return "relevant-returned";
+    case EventKind::kTourStop:
+      return "tour-stop";
+    case EventKind::kLabelPlayed:
+      return "label-played";
+    case EventKind::kLabelShown:
+      return "label-shown";
+    case EventKind::kProcessPage:
+      return "process-page";
+    case EventKind::kTransparencyShown:
+      return "transparency-shown";
+    case EventKind::kRewound:
+      return "rewound";
+  }
+  return "?";
+}
+
+void EventLog::Add(EventKind kind, Micros at, int64_t value,
+                   std::string detail) {
+  events_.push_back(BrowseEvent{kind, at, value, std::move(detail)});
+}
+
+std::vector<BrowseEvent> EventLog::OfKind(EventKind kind) const {
+  std::vector<BrowseEvent> out;
+  for (const BrowseEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string EventLog::ToString() const {
+  std::string out;
+  for (const BrowseEvent& e : events_) {
+    out += std::to_string(e.at);
+    out += ' ';
+    out += EventKindName(e.kind);
+    out += ' ';
+    out += std::to_string(e.value);
+    if (!e.detail.empty()) {
+      out += ' ';
+      out += e.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+uint64_t EventLog::Digest() const { return Fnv1a64(ToString()); }
+
+}  // namespace minos::core

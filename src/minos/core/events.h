@@ -1,0 +1,74 @@
+#ifndef MINOS_CORE_EVENTS_H_
+#define MINOS_CORE_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minos/util/clock.h"
+
+namespace minos::core {
+
+/// Kind of an observable presentation event. The original MINOS showed
+/// these on a screen and played them through speakers; the reproduction
+/// additionally records them on a timeline so tests and figure benches can
+/// verify *what the user would have seen and heard, and when*.
+enum class EventKind : uint8_t {
+  kPageShown = 0,            ///< A visual page was presented.
+  kAudioPageStarted = 1,     ///< Playback entered an audio page.
+  kVoiceMessagePlayed = 2,   ///< A voice logical message sounded.
+  kVisualMessageShown = 3,   ///< A visual logical message was pinned.
+  kVisualMessageHidden = 4,  ///< A pinned visual message was removed.
+  kVoicePlayed = 5,          ///< A stretch of the object voice part played.
+  kVoiceInterrupted = 6,     ///< Playback interrupted.
+  kVoiceResumed = 7,         ///< Playback resumed.
+  kPatternFound = 8,         ///< A pattern-browsing command landed.
+  kUnitReached = 9,          ///< A logical-unit navigation landed.
+  kRelevantEntered = 10,     ///< Browsing entered a relevant object.
+  kRelevantReturned = 11,    ///< Returned to the parent object.
+  kTourStop = 12,            ///< A tour reached a stop.
+  kLabelPlayed = 13,         ///< A voice label was played.
+  kLabelShown = 14,          ///< A text label was displayed.
+  kProcessPage = 15,         ///< Process simulation advanced a page.
+  kTransparencyShown = 16,   ///< A transparency was laid over the page.
+  kRewound = 17,             ///< Pause-based rewind repositioned playback.
+};
+
+/// Returns a stable name ("page-shown", ...) for digests and logs.
+const char* EventKindName(EventKind kind);
+
+/// One entry of the presentation timeline.
+struct BrowseEvent {
+  EventKind kind;
+  Micros at = 0;        ///< Simulated time of the event.
+  int64_t value = 0;    ///< Page number, sample position, stop index, ...
+  std::string detail;   ///< Message text, pattern, unit name, ...
+};
+
+/// Ordered presentation timeline with a deterministic digest.
+class EventLog {
+ public:
+  EventLog() = default;
+
+  void Add(EventKind kind, Micros at, int64_t value, std::string detail);
+
+  const std::vector<BrowseEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  std::vector<BrowseEvent> OfKind(EventKind kind) const;
+
+  /// Renders the log as one line per event (stable across runs).
+  std::string ToString() const;
+
+  /// FNV digest of ToString() — figure benches report this.
+  uint64_t Digest() const;
+
+ private:
+  std::vector<BrowseEvent> events_;
+};
+
+}  // namespace minos::core
+
+#endif  // MINOS_CORE_EVENTS_H_

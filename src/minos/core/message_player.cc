@@ -1,0 +1,21 @@
+#include "minos/core/message_player.h"
+
+#include "minos/util/string_util.h"
+
+namespace minos::core {
+
+Micros MessagePlayer::Play(const std::string& transcript, EventLog* log,
+                           EventKind kind, int64_t value) {
+  const Micros duration = DurationOf(transcript);
+  if (log != nullptr) log->Add(kind, clock_->Now(), value, transcript);
+  clock_->Advance(duration);
+  return duration;
+}
+
+Micros MessagePlayer::DurationOf(const std::string& transcript) const {
+  const voice::VoiceTrack track =
+      synthesizer_.SynthesizeWords(SplitWords(transcript));
+  return track.pcm.Duration();
+}
+
+}  // namespace minos::core

@@ -1,0 +1,141 @@
+#include "minos/core/page_compositor.h"
+
+#include <algorithm>
+
+#include "minos/render/font5x7.h"
+
+namespace minos::core {
+
+using image::Rect;
+using object::MultimediaObject;
+using object::PlacedImage;
+using object::VisualPageSpec;
+
+StatusOr<FormattedText> FormatObjectText(const MultimediaObject& obj) {
+  FormattedText out;
+  if (!obj.has_text()) return out;
+  text::TextFormatter formatter(obj.descriptor().layout);
+  MINOS_ASSIGN_OR_RETURN(out.pages, formatter.Paginate(obj.text_part()));
+  out.page_map = text::PageMap(out.pages);
+  return out;
+}
+
+Status PageCompositor::DrawPlacedImage(const MultimediaObject& obj,
+                                       const PlacedImage& placed,
+                                       const Rect& region,
+                                       VisualPageSpec::Kind kind) {
+  if (placed.image_index >= obj.images().size()) {
+    return Status::InvalidArgument("placed image index out of range");
+  }
+  const image::Image& img = obj.images()[placed.image_index];
+  // A zero-size placement means "fit the region".
+  Rect target = placed.placement;
+  if (target.w == 0 || target.h == 0) {
+    target = Rect{0, 0, region.w, region.h};
+  }
+  // Render the image region that fits the target (no scaling: MINOS
+  // presents pixels one-to-one; larger images are viewed through views).
+  image::Bitmap raster =
+      img.RenderRegion(Rect{0, 0, target.w, target.h});
+  const Rect screen_rect{region.x + target.x, region.y + target.y,
+                         target.w, target.h};
+  switch (kind) {
+    case VisualPageSpec::Kind::kNormal:
+      screen_->DrawBitmap(raster, screen_rect);
+      break;
+    case VisualPageSpec::Kind::kTransparency:
+      screen_->BlendBitmap(raster, screen_rect);
+      break;
+    case VisualPageSpec::Kind::kOverwrite:
+      screen_->OverwriteBitmap(raster, screen_rect);
+      break;
+  }
+  // Labels of graphics objects: "Text labels are displayed near the
+  // graphics object, at a designer's specified position. A voice label
+  // indication is also displayed near a graphics object with a voice
+  // label." (§2) Invisible labels display nothing.
+  if (img.is_graphics()) {
+    MINOS_ASSIGN_OR_RETURN(image::GraphicsImage g, img.graphics());
+    for (const image::GraphicsObject& o : g.objects()) {
+      const int lx = screen_rect.x + o.label.anchor.x;
+      const int ly = screen_rect.y + o.label.anchor.y;
+      if (!screen_rect.Contains(lx, ly)) continue;
+      if (o.label.kind == image::LabelKind::kText) {
+        screen_->DrawText(lx, ly, o.label.text, 255);
+      } else if (o.label.kind == image::LabelKind::kVoice) {
+        screen_->DrawText(lx, ly, "(*)", 255);  // Voice indicator.
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PageCompositor::ComposePage(const MultimediaObject& obj,
+                                   const FormattedText& formatted,
+                                   size_t page_index, const Rect& region) {
+  const auto& pages = obj.descriptor().pages;
+  if (page_index >= pages.size()) {
+    return Status::OutOfRange("no such visual page");
+  }
+  const VisualPageSpec& spec = pages[page_index];
+  if (spec.kind == VisualPageSpec::Kind::kNormal) {
+    screen_->ClearRegion(region);
+  }
+  if (spec.text_page != 0) {
+    if (spec.text_page > formatted.pages.size()) {
+      return Status::InvalidArgument("page references missing text page");
+    }
+    // Text on a transparency lays over; on normal pages the region was
+    // just cleared, so DrawTextPage's internal clear is harmless.
+    if (spec.kind == VisualPageSpec::Kind::kNormal) {
+      screen_->DrawTextPage(formatted.pages[spec.text_page - 1], region);
+    } else {
+      // Draw the transparency text into a scratch bitmap, then compose.
+      render::Screen scratch(render::ScreenLayout{
+          region.w, region.h, 0, 0});
+      scratch.DrawTextPage(formatted.pages[spec.text_page - 1],
+                           Rect{0, 0, region.w, region.h});
+      if (spec.kind == VisualPageSpec::Kind::kTransparency) {
+        screen_->BlendBitmap(scratch.framebuffer(), region);
+      } else {
+        screen_->OverwriteBitmap(scratch.framebuffer(), region);
+      }
+    }
+  }
+  for (const PlacedImage& placed : spec.images) {
+    MINOS_RETURN_IF_ERROR(DrawPlacedImage(obj, placed, region, spec.kind));
+  }
+  return Status::OK();
+}
+
+Status PageCompositor::ComposeVisualMessage(
+    const MultimediaObject& obj,
+    const object::VisualLogicalMessage& message, const Rect& region) {
+  screen_->ClearRegion(region);
+  int y = region.y + 2;
+  if (!message.text.empty()) {
+    // Headline at double letter size ("various character fonts, letter
+    // sizes", §3), falling back to normal size when it would not fit.
+    const int scale =
+        static_cast<int>(message.text.size()) *
+                    render::Font5x7::kCellWidth * 2 <=
+                region.w
+            ? 2
+            : 1;
+    screen_->DrawTextScaled(region.x + 2, y, message.text, scale, 255);
+    y += render::Font5x7::kCellHeight * scale + 2;
+  }
+  if (message.image_index.has_value()) {
+    if (*message.image_index >= obj.images().size()) {
+      return Status::InvalidArgument("visual message image out of range");
+    }
+    const image::Image& img = obj.images()[*message.image_index];
+    const Rect target{region.x, y, region.w, region.y + region.h - y};
+    image::Bitmap raster =
+        img.RenderRegion(Rect{0, 0, target.w, target.h});
+    screen_->DrawBitmap(raster, target);
+  }
+  return Status::OK();
+}
+
+}  // namespace minos::core

@@ -1,0 +1,63 @@
+#ifndef MINOS_CORE_PAGE_COMPOSITOR_H_
+#define MINOS_CORE_PAGE_COMPOSITOR_H_
+
+#include <vector>
+
+#include "minos/object/multimedia_object.h"
+#include "minos/render/screen.h"
+#include "minos/text/formatter.h"
+#include "minos/util/statusor.h"
+
+namespace minos::core {
+
+/// The formatted text part of an object: pages plus the offset->page map.
+/// Built once per object per layout and shared by the browser and the
+/// compositor.
+struct FormattedText {
+  std::vector<text::TextPage> pages;
+  text::PageMap page_map;
+};
+
+/// Formats the object text part with the descriptor's layout. Objects
+/// without a text part yield zero pages.
+StatusOr<FormattedText> FormatObjectText(const object::MultimediaObject& obj);
+
+/// Composes the visual pages of a multimedia object onto the simulated
+/// screen, applying the page-kind semantics of §2:
+///   * normal pages clear the page area first,
+///   * transparencies lay their ink over what is displayed,
+///   * overwrites replace inked pixels and leave the rest intact.
+class PageCompositor {
+ public:
+  /// `screen` is borrowed and must outlive the compositor.
+  explicit PageCompositor(render::Screen* screen) : screen_(screen) {}
+
+  /// Draws descriptor page `page_index` (0-based) of `obj` into `region`.
+  /// `formatted` must come from FormatObjectText(obj).
+  ///
+  /// For transparencies/overwrites the existing region content is the
+  /// previous page; callers sequence page draws in presentation order.
+  Status ComposePage(const object::MultimediaObject& obj,
+                     const FormattedText& formatted, size_t page_index,
+                     const image::Rect& region);
+
+  /// Draws a visual logical message into the message area: its text at
+  /// the top, its image (if any) below the text.
+  Status ComposeVisualMessage(const object::MultimediaObject& obj,
+                              const object::VisualLogicalMessage& message,
+                              const image::Rect& region);
+
+  render::Screen* screen() { return screen_; }
+
+ private:
+  Status DrawPlacedImage(const object::MultimediaObject& obj,
+                         const object::PlacedImage& placed,
+                         const image::Rect& region,
+                         object::VisualPageSpec::Kind kind);
+
+  render::Screen* screen_;
+};
+
+}  // namespace minos::core
+
+#endif  // MINOS_CORE_PAGE_COMPOSITOR_H_

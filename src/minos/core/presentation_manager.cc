@@ -1,0 +1,321 @@
+#include "minos/core/presentation_manager.h"
+
+#include <algorithm>
+
+#include "minos/image/view.h"
+#include "minos/util/string_util.h"
+
+namespace minos::core {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::Relevance;
+using object::RelevantObjectLink;
+
+PresentationManager::PresentationManager(render::Screen* screen,
+                                         SimClock* clock,
+                                         voice::SpeakerParams message_speaker)
+    : screen_(screen), clock_(clock), messages_(clock, message_speaker) {}
+
+Status PresentationManager::Open(storage::ObjectId id) {
+  stack_.clear();
+  return OpenFrame(id, nullptr);
+}
+
+Status PresentationManager::OpenFrame(storage::ObjectId id,
+                                      const RelevantObjectLink* via) {
+  if (!resolver_) {
+    return Status::FailedPrecondition("no object resolver installed");
+  }
+  MINOS_ASSIGN_OR_RETURN(MultimediaObject fetched, resolver_(id));
+  Frame frame;
+  frame.id = id;
+  frame.object =
+      std::make_unique<MultimediaObject>(std::move(fetched));
+  frame.via = via;
+  if (frame.object->descriptor().driving_mode == DrivingMode::kVisual) {
+    MINOS_ASSIGN_OR_RETURN(
+        frame.visual, VisualBrowser::Open(frame.object.get(), screen_,
+                                          &messages_, clock_, &log_));
+  } else {
+    MINOS_ASSIGN_OR_RETURN(
+        frame.audio, AudioBrowser::Open(frame.object.get(), screen_,
+                                        &messages_, clock_, &log_));
+  }
+  stack_.push_back(std::move(frame));
+  if (stack_.back().visual != nullptr) {
+    return stack_.back().visual->ShowCurrentPage();
+  }
+  return Status::OK();
+}
+
+StatusOr<DrivingMode> PresentationManager::CurrentMode() const {
+  if (stack_.empty()) {
+    return Status::FailedPrecondition("no object is open");
+  }
+  return stack_.back().object->descriptor().driving_mode;
+}
+
+VisualBrowser* PresentationManager::visual_browser() {
+  Frame* f = top();
+  return f == nullptr ? nullptr : f->visual.get();
+}
+
+AudioBrowser* PresentationManager::audio_browser() {
+  Frame* f = top();
+  return f == nullptr ? nullptr : f->audio.get();
+}
+
+StatusOr<const MultimediaObject*> PresentationManager::CurrentObject()
+    const {
+  if (stack_.empty()) {
+    return Status::FailedPrecondition("no object is open");
+  }
+  return static_cast<const MultimediaObject*>(stack_.back().object.get());
+}
+
+std::vector<std::string> PresentationManager::VisibleRelevantIndicators()
+    const {
+  std::vector<std::string> labels;
+  const Frame* f = top();
+  if (f == nullptr) return labels;
+  if (f->visual != nullptr) {
+    for (const RelevantObjectLink* link : f->visual->VisibleRelevantLinks()) {
+      labels.push_back(link->indicator_label);
+    }
+  } else if (f->audio != nullptr) {
+    for (const RelevantObjectLink* link : f->audio->VisibleRelevantLinks()) {
+      labels.push_back(link->indicator_label);
+    }
+  }
+  return labels;
+}
+
+Status PresentationManager::EnterRelevantObject(size_t indicator_index) {
+  Frame* f = top();
+  if (f == nullptr) return Status::FailedPrecondition("no object is open");
+  std::vector<const RelevantObjectLink*> links;
+  if (f->visual != nullptr) {
+    links = f->visual->VisibleRelevantLinks();
+  } else if (f->audio != nullptr) {
+    links = f->audio->VisibleRelevantLinks();
+  }
+  if (indicator_index >= links.size()) {
+    return Status::OutOfRange("no such relevant object indicator");
+  }
+  const RelevantObjectLink* link = links[indicator_index];
+  log_.Add(EventKind::kRelevantEntered, clock_->Now(),
+           static_cast<int64_t>(link->target), link->indicator_label);
+  return OpenFrame(link->target, link);
+}
+
+Status PresentationManager::ReturnFromRelevantObject() {
+  if (stack_.size() < 2) {
+    return Status::FailedPrecondition(
+        "not browsing a relevant object; nothing to return from");
+  }
+  stack_.pop_back();
+  Frame& parent = stack_.back();
+  log_.Add(EventKind::kRelevantReturned, clock_->Now(),
+           static_cast<int64_t>(parent.id), "");
+  // Reestablish the parent's mode of browsing.
+  if (parent.visual != nullptr) return parent.visual->ShowCurrentPage();
+  return Status::OK();
+}
+
+std::vector<Relevance> PresentationManager::CurrentRelevances() const {
+  const Frame* f = top();
+  if (f == nullptr || f->via == nullptr) return {};
+  return f->via->relevances;
+}
+
+Status PresentationManager::ShowImageRelevance(const Relevance& relevance) {
+  if (!relevance.image_index.has_value() ||
+      !relevance.image_object_id.has_value()) {
+    return Status::InvalidArgument("relevance has no image polygon");
+  }
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img,
+                         ImageOf(*relevance.image_index));
+  const image::Rect region = screen_->PageArea();
+  image::Bitmap raster = img->RenderRegion(
+      image::Rect{0, 0, region.w, region.h}, {*relevance.image_object_id});
+  screen_->DrawBitmap(raster, region);
+  log_.Add(EventKind::kLabelShown, clock_->Now(),
+           *relevance.image_object_id, "relevance");
+  return Status::OK();
+}
+
+Status PresentationManager::ShowTextRelevance(const Relevance& relevance) {
+  if (!relevance.text_span.has_value()) {
+    return Status::InvalidArgument("relevance has no text span");
+  }
+  Frame* f = top();
+  if (f == nullptr || f->visual == nullptr) {
+    return Status::FailedPrecondition(
+        "text relevances display in a visual-mode object");
+  }
+  MINOS_RETURN_IF_ERROR(f->visual->GotoTextOffset(
+      static_cast<size_t>(relevance.text_span->begin)));
+  // Begin/end indicators at the exact on-screen extent of the related
+  // section (falling back silently when the span straddles pages).
+  f->visual
+      ->MarkTextSpan(static_cast<size_t>(relevance.text_span->begin),
+                     static_cast<size_t>(relevance.text_span->end))
+      .ok();
+  log_.Add(EventKind::kLabelShown, clock_->Now(),
+           static_cast<int64_t>(relevance.text_span->begin),
+           "text-relevance");
+  return Status::OK();
+}
+
+Status PresentationManager::PlayNextRelevantVoiceSegment() {
+  Frame* f = top();
+  if (f == nullptr || f->via == nullptr) {
+    return Status::FailedPrecondition("not inside a relevant object");
+  }
+  if (!f->object->has_voice()) {
+    return Status::Unsupported("relevant object has no voice part");
+  }
+  std::vector<const Relevance*> voice_relevances;
+  for (const Relevance& r : f->via->relevances) {
+    if (r.voice_span.has_value()) voice_relevances.push_back(&r);
+  }
+  if (voice_relevances.empty()) {
+    return Status::NotFound("link has no voice relevances");
+  }
+  if (f->next_voice_relevance >= voice_relevances.size()) {
+    f->next_voice_relevance = 0;  // Wrap around.
+    return Status::OutOfRange("all voice relevances played; wrapping");
+  }
+  const Relevance* r = voice_relevances[f->next_voice_relevance++];
+  const voice::PcmBuffer& pcm = f->object->voice_part().pcm();
+  const size_t begin = static_cast<size_t>(r->voice_span->begin);
+  const size_t end =
+      std::min(static_cast<size_t>(r->voice_span->end), pcm.size());
+  log_.Add(EventKind::kVoicePlayed, clock_->Now(),
+           static_cast<int64_t>(begin), "relevance");
+  clock_->Advance(pcm.SamplesToMicros(end - begin));
+  return Status::OK();
+}
+
+StatusOr<const image::Image*> PresentationManager::ImageOf(
+    uint32_t image_index) const {
+  MINOS_ASSIGN_OR_RETURN(const MultimediaObject* obj, CurrentObject());
+  if (image_index >= obj->images().size()) {
+    return Status::OutOfRange("no such image in the current object");
+  }
+  return &obj->images()[image_index];
+}
+
+StatusOr<image::View> PresentationManager::CreateView(
+    uint32_t image_index, const image::Rect& rect) const {
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(image_index));
+  return image::View(img, rect);
+}
+
+StatusOr<size_t> PresentationManager::PlayTour(size_t tour_index,
+                                               size_t first_stop,
+                                               size_t stop_limit) {
+  MINOS_ASSIGN_OR_RETURN(const MultimediaObject* obj, CurrentObject());
+  const auto& tours = obj->descriptor().tours;
+  if (tour_index >= tours.size()) {
+    return Status::OutOfRange("no such tour");
+  }
+  const object::ObjectDescriptor::TourSpec& tour = tours[tour_index];
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(tour.image_index));
+  if (first_stop >= tour.positions.size()) {
+    return Status::OutOfRange("tour starting stop past end");
+  }
+  image::View view(img, image::Rect{tour.positions[first_stop].x,
+                                    tour.positions[first_stop].y,
+                                    tour.view_width, tour.view_height});
+  view.set_voice_option(true);
+  const size_t end = std::min(stop_limit, tour.positions.size());
+  size_t stop = first_stop;
+  for (; stop < end; ++stop) {
+    std::vector<image::GraphicsObject> encountered =
+        stop == first_stop
+            // The view starts on the first stop: everything under it is
+            // "encountered".
+            ? img->VoiceLabeledObjectsIn(view.rect())
+            : view.JumpTo(tour.positions[stop].x, tour.positions[stop].y);
+    const image::Bitmap raster = view.Retrieve();
+    screen_->DrawBitmap(raster, screen_->PageArea());
+    log_.Add(EventKind::kTourStop, clock_->Now(),
+             static_cast<int64_t>(stop), "");
+    if (stop < tour.audio_messages.size() &&
+        !tour.audio_messages[stop].empty()) {
+      messages_.Play(tour.audio_messages[stop], &log_,
+                     EventKind::kVoiceMessagePlayed,
+                     static_cast<int64_t>(stop));
+    } else {
+      clock_->Advance(SecondsToMicros(2));  // Default dwell.
+    }
+    for (const image::GraphicsObject& o : encountered) {
+      messages_.Play(o.label.text, &log_, EventKind::kLabelPlayed, o.id);
+    }
+  }
+  return stop;
+}
+
+Status PresentationManager::PlayVoiceLabel(uint32_t image_index,
+                                           uint32_t object_id) {
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(image_index));
+  MINOS_ASSIGN_OR_RETURN(image::GraphicsImage g, img->graphics());
+  MINOS_ASSIGN_OR_RETURN(image::GraphicsObject o, g.Find(object_id));
+  if (o.label.kind != image::LabelKind::kVoice) {
+    return Status::InvalidArgument("object has no voice label");
+  }
+  messages_.Play(o.label.text, &log_, EventKind::kLabelPlayed, o.id);
+  return Status::OK();
+}
+
+Status PresentationManager::PlayAllVoiceLabels(uint32_t image_index) {
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(image_index));
+  MINOS_ASSIGN_OR_RETURN(image::GraphicsImage g, img->graphics());
+  // System-defined order: ascending object id.
+  std::vector<const image::GraphicsObject*> voiced;
+  for (const image::GraphicsObject& o : g.objects()) {
+    if (o.label.kind == image::LabelKind::kVoice) voiced.push_back(&o);
+  }
+  std::sort(voiced.begin(), voiced.end(),
+            [](const image::GraphicsObject* a,
+               const image::GraphicsObject* b) { return a->id < b->id; });
+  for (const image::GraphicsObject* o : voiced) {
+    messages_.Play(o->label.text, &log_, EventKind::kLabelPlayed, o->id);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> PresentationManager::SelectObjectAt(
+    uint32_t image_index, int x, int y) {
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(image_index));
+  MINOS_ASSIGN_OR_RETURN(image::GraphicsObject o, img->ObjectAt(x, y));
+  if (o.label.kind == image::LabelKind::kNone) {
+    return Status::NotFound("selected object has no label");
+  }
+  if (o.label.kind == image::LabelKind::kVoice) {
+    messages_.Play(o.label.text, &log_, EventKind::kLabelPlayed, o.id);
+  } else {
+    log_.Add(EventKind::kLabelShown, clock_->Now(), o.id, o.label.text);
+    screen_->DrawText(screen_->PageArea().x + 2, screen_->PageArea().y + 2,
+                      o.label.text);
+  }
+  return o.label.text;
+}
+
+StatusOr<std::vector<uint32_t>> PresentationManager::HighlightLabelPattern(
+    uint32_t image_index, std::string_view pattern) {
+  MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(image_index));
+  const std::vector<uint32_t> ids = img->MatchLabels(pattern);
+  const image::Rect region = screen_->PageArea();
+  const image::Bitmap raster =
+      img->RenderRegion(image::Rect{0, 0, region.w, region.h}, ids);
+  screen_->DrawBitmap(raster, region);
+  log_.Add(EventKind::kLabelShown, clock_->Now(),
+           static_cast<int64_t>(ids.size()),
+           "highlight " + std::string(pattern));
+  return ids;
+}
+
+}  // namespace minos::core

@@ -1,0 +1,171 @@
+#ifndef MINOS_CORE_PRESENTATION_MANAGER_H_
+#define MINOS_CORE_PRESENTATION_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minos/core/audio_browser.h"
+#include "minos/core/events.h"
+#include "minos/image/view.h"
+#include "minos/core/message_player.h"
+#include "minos/core/visual_browser.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/render/screen.h"
+#include "minos/util/statusor.h"
+
+namespace minos::core {
+
+/// The multimedia object presentation manager — the paper's primary
+/// contribution. It "resides in the user's workstation and requests the
+/// appropriate pieces of information from the multimedia object server
+/// subsystems" (§5), presents the selected object according to its
+/// driving mode, and "will also facilitate the user in navigating from
+/// the current object to other related objects".
+///
+/// The manager keeps a navigation stack: entering a relevant object
+/// suspends the parent's browsing mode and opens the target with *its*
+/// driving mode; returning "reestablishes the mode of browsing of the
+/// parent object" (§3). It also executes tours, views, and label
+/// operations on the current object's images.
+class PresentationManager {
+ public:
+  /// Fetches archived objects by identifier (backed by the archive mailer
+  /// or the object server).
+  using ObjectResolver =
+      std::function<StatusOr<object::MultimediaObject>(storage::ObjectId)>;
+
+  /// All pointers are borrowed and must outlive the manager.
+  PresentationManager(render::Screen* screen, SimClock* clock,
+                      voice::SpeakerParams message_speaker = {});
+
+  /// Installs the object source.
+  void SetResolver(ObjectResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Opens the root object, replacing any existing navigation stack.
+  Status Open(storage::ObjectId id);
+
+  /// Current browsing state --------------------------------------------
+
+  /// True when any object is open.
+  bool is_open() const { return !stack_.empty(); }
+
+  /// Driving mode of the currently browsed object.
+  StatusOr<object::DrivingMode> CurrentMode() const;
+
+  /// The active browsers (null when the current object uses the other
+  /// mode).
+  VisualBrowser* visual_browser();
+  AudioBrowser* audio_browser();
+
+  /// The currently browsed object.
+  StatusOr<const object::MultimediaObject*> CurrentObject() const;
+
+  /// Navigation depth (1 = root object).
+  size_t depth() const { return stack_.size(); }
+
+  /// Relevant objects ---------------------------------------------------
+
+  /// Indicator labels currently visible (anchor overlaps the current
+  /// page / playback position).
+  std::vector<std::string> VisibleRelevantIndicators() const;
+
+  /// Enters the i-th visible relevant object ("The user can browse
+  /// through a relevant object by explicitly selecting the relevant
+  /// object indicator", §2).
+  Status EnterRelevantObject(size_t indicator_index);
+
+  /// Returns to the parent object and re-presents it in its own mode.
+  Status ReturnFromRelevantObject();
+
+  /// Relevances of the link through which the current object was entered
+  /// (empty for the root).
+  std::vector<object::Relevance> CurrentRelevances() const;
+
+  /// Renders a polygon relevance: the image with the related graphics
+  /// object highlighted, drawn into the page area.
+  Status ShowImageRelevance(const object::Relevance& relevance);
+
+  /// Shows a text relevance: navigates the current (visual-mode) object
+  /// to the page presenting the related text section and draws the
+  /// begin/end indicators ("Relevances to text sections are indicated
+  /// graphically with beginning and end indicators", §2).
+  Status ShowTextRelevance(const object::Relevance& relevance);
+
+  /// Plays the next voice-segment relevance ("A menu option has to be
+  /// selected in order to hear the next related voice segment", §2).
+  /// OutOfRange when all have been played; a repeat call wraps around.
+  Status PlayNextRelevantVoiceSegment();
+
+  /// Views, tours and labels on the current object ----------------------
+
+  /// Creates a view over image `image_index` of the current object.
+  StatusOr<image::View> CreateView(uint32_t image_index,
+                                   const image::Rect& rect) const;
+
+  /// Plays tour `tour_index` of the current object from stop
+  /// `first_stop`: jumps the view, retrieves and displays each stop,
+  /// plays attached messages, and plays voice labels the moving view
+  /// encounters. Returns the index one past the last stop played (the
+  /// user may interrupt a tour by passing a smaller `stop_limit`).
+  StatusOr<size_t> PlayTour(size_t tour_index, size_t first_stop = 0,
+                            size_t stop_limit = SIZE_MAX);
+
+  /// Plays the voice label of a specific graphics object (mouse
+  /// selection of the voice indicator).
+  Status PlayVoiceLabel(uint32_t image_index, uint32_t object_id);
+
+  /// Plays all voice labels of an image in a system-defined order
+  /// (object id order).
+  Status PlayAllVoiceLabels(uint32_t image_index);
+
+  /// Inverse lookup: the label of the topmost object at (x, y) — text
+  /// labels are displayed, voice labels played (§2).
+  StatusOr<std::string> SelectObjectAt(uint32_t image_index, int x, int y);
+
+  /// Highlights objects whose label matches `pattern` and renders the
+  /// image to the page area; returns the matched ids.
+  StatusOr<std::vector<uint32_t>> HighlightLabelPattern(
+      uint32_t image_index, std::string_view pattern);
+
+  /// Plumbing ------------------------------------------------------------
+
+  EventLog& log() { return log_; }
+  render::Screen* screen() { return screen_; }
+  SimClock* clock() { return clock_; }
+  MessagePlayer& messages() { return messages_; }
+
+ private:
+  struct Frame {
+    storage::ObjectId id = 0;
+    std::unique_ptr<object::MultimediaObject> object;
+    std::unique_ptr<VisualBrowser> visual;
+    std::unique_ptr<AudioBrowser> audio;
+    /// The link followed to get here (null for the root).
+    const object::RelevantObjectLink* via = nullptr;
+    size_t next_voice_relevance = 0;
+  };
+
+  Status OpenFrame(storage::ObjectId id,
+                   const object::RelevantObjectLink* via);
+  StatusOr<const image::Image*> ImageOf(uint32_t image_index) const;
+  Frame* top() { return stack_.empty() ? nullptr : &stack_.back(); }
+  const Frame* top() const {
+    return stack_.empty() ? nullptr : &stack_.back();
+  }
+
+  render::Screen* screen_;
+  SimClock* clock_;
+  MessagePlayer messages_;
+  EventLog log_;
+  ObjectResolver resolver_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace minos::core
+
+#endif  // MINOS_CORE_PRESENTATION_MANAGER_H_

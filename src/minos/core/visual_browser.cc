@@ -1,0 +1,495 @@
+#include "minos/core/visual_browser.h"
+
+#include <algorithm>
+
+#include "minos/render/font5x7.h"
+
+namespace minos::core {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::ObjectState;
+using object::TextAnchor;
+using object::TransparencySetSpec;
+using object::VisualPageSpec;
+
+StatusOr<std::unique_ptr<VisualBrowser>> VisualBrowser::Open(
+    const MultimediaObject* obj, render::Screen* screen,
+    MessagePlayer* messages, SimClock* clock, EventLog* log) {
+  if (obj->state() != ObjectState::kArchived) {
+    return Status::FailedPrecondition(
+        "presentation requires an archived object");
+  }
+  if (obj->descriptor().driving_mode != DrivingMode::kVisual) {
+    return Status::InvalidArgument(
+        "object is audio-driven; open an AudioBrowser");
+  }
+  if (obj->descriptor().pages.empty()) {
+    return Status::InvalidArgument("object has no visual pages");
+  }
+  std::unique_ptr<VisualBrowser> browser(
+      new VisualBrowser(obj, screen, messages, clock, log));
+  MINOS_ASSIGN_OR_RETURN(browser->formatted_, FormatObjectText(*obj));
+  return browser;
+}
+
+VisualBrowser::VisualBrowser(const MultimediaObject* obj,
+                             render::Screen* screen, MessagePlayer* messages,
+                             SimClock* clock, EventLog* log)
+    : obj_(obj),
+      screen_(screen),
+      messages_(messages),
+      clock_(clock),
+      log_(log),
+      compositor_(screen) {}
+
+text::TextSpan VisualBrowser::PageTextSpan(size_t index) const {
+  const VisualPageSpec& spec = obj_->descriptor().pages[index];
+  if (spec.text_page == 0 || spec.text_page > formatted_.pages.size()) {
+    return text::TextSpan{};
+  }
+  return formatted_.pages[spec.text_page - 1].span;
+}
+
+std::vector<uint32_t> VisualBrowser::PageImages(size_t index) const {
+  std::vector<uint32_t> out;
+  for (const object::PlacedImage& pi :
+       obj_->descriptor().pages[index].images) {
+    out.push_back(pi.image_index);
+  }
+  return out;
+}
+
+bool VisualBrowser::AnchorOnPage(const TextAnchor& anchor,
+                                 size_t index) const {
+  const text::TextSpan span = PageTextSpan(index);
+  if (span.begin == span.end) return false;
+  if (anchor.begin == anchor.end) {
+    return anchor.begin >= span.begin && anchor.begin < span.end;
+  }
+  return anchor.begin < span.end && span.begin < anchor.end;
+}
+
+const TransparencySetSpec* VisualBrowser::SetContaining(
+    size_t index) const {
+  for (const TransparencySetSpec& t :
+       obj_->descriptor().transparency_sets) {
+    if (index >= t.first_page && index < t.first_page + t.count) return &t;
+  }
+  return nullptr;
+}
+
+size_t VisualBrowser::current_text_offset() const {
+  return PageTextSpan(current_).begin;
+}
+
+Status VisualBrowser::ComposeStack(size_t index, const image::Rect& region) {
+  const auto& pages = obj_->descriptor().pages;
+  // Find the base: the last normal page at or before `index`.
+  size_t base = index;
+  while (base > 0 && pages[base].kind != VisualPageSpec::Kind::kNormal) {
+    --base;
+  }
+  const TransparencySetSpec* set = SetContaining(index);
+  for (size_t i = base; i <= index; ++i) {
+    const VisualPageSpec& spec = pages[i];
+    if (spec.kind == VisualPageSpec::Kind::kTransparency &&
+        set != nullptr && i >= set->first_page &&
+        i < set->first_page + set->count && i != index &&
+        set->method == object::TransparencyDisplay::kSeparate) {
+      continue;  // Separate method: only the current transparency shows.
+    }
+    MINOS_RETURN_IF_ERROR(
+        compositor_.ComposePage(*obj_, formatted_, i, region));
+    if (spec.kind == VisualPageSpec::Kind::kTransparency && i == index &&
+        log_ != nullptr) {
+      log_->Add(EventKind::kTransparencyShown, clock_->Now(),
+                static_cast<int64_t>(i) + 1, "");
+    }
+  }
+  return Status::OK();
+}
+
+Status VisualBrowser::TriggerMessages(size_t old_page, size_t new_page,
+                                      bool first_show) {
+  const object::ObjectDescriptor& desc = obj_->descriptor();
+  const std::vector<uint32_t> new_images = PageImages(new_page);
+  auto on_new_image = [&](const std::optional<uint32_t>& idx) {
+    return idx.has_value() &&
+           std::find(new_images.begin(), new_images.end(), *idx) !=
+               new_images.end();
+  };
+  auto on_old_image = [&](const std::optional<uint32_t>& idx) {
+    if (!idx.has_value() || first_show) return false;
+    const std::vector<uint32_t> old_images = PageImages(old_page);
+    return std::find(old_images.begin(), old_images.end(), *idx) !=
+           old_images.end();
+  };
+
+  // Voice logical messages: played on branch-in to a related segment.
+  for (const object::VoiceLogicalMessage& m : desc.voice_messages) {
+    bool related_new = false, related_old = false;
+    if (m.text_anchor.has_value()) {
+      related_new = AnchorOnPage(*m.text_anchor, new_page);
+      related_old = !first_show && AnchorOnPage(*m.text_anchor, old_page);
+    }
+    if (m.image_index.has_value()) {
+      related_new = related_new || on_new_image(m.image_index);
+      related_old = related_old || on_old_image(m.image_index);
+    }
+    if (related_new && !related_old) {
+      messages_->Play(m.transcript, log_, EventKind::kVoiceMessagePlayed,
+                      static_cast<int64_t>(new_page) + 1);
+    }
+  }
+
+  // Visual logical messages: pinned at the top while browsing related
+  // text. Exactly one can be active; the first matching one wins.
+  int next_active = -1;
+  for (size_t i = 0; i < desc.visual_messages.size(); ++i) {
+    const object::VisualLogicalMessage& m = desc.visual_messages[i];
+    bool related = false;
+    for (const TextAnchor& a : m.text_anchors) {
+      if (AnchorOnPage(a, new_page)) {
+        related = true;
+        break;
+      }
+    }
+    if (!related) continue;
+    if (m.display_once && displayed_once_.count(i) > 0 &&
+        active_visual_message_ != static_cast<int>(i)) {
+      continue;  // Already shown once; do not re-pin on a new branch-in.
+    }
+    next_active = static_cast<int>(i);
+    break;
+  }
+  if (next_active != active_visual_message_) {
+    if (active_visual_message_ >= 0 && log_ != nullptr) {
+      log_->Add(EventKind::kVisualMessageHidden, clock_->Now(),
+                active_visual_message_, "");
+    }
+    if (next_active >= 0) {
+      displayed_once_.insert(static_cast<size_t>(next_active));
+      if (log_ != nullptr) {
+        log_->Add(EventKind::kVisualMessageShown, clock_->Now(),
+                  next_active,
+                  desc.visual_messages[static_cast<size_t>(next_active)]
+                      .text);
+      }
+    }
+    active_visual_message_ = next_active;
+  }
+  return Status::OK();
+}
+
+Status VisualBrowser::ShowCurrentPage() {
+  const size_t old_page = last_shown_;
+  const bool first = !shown_once_;
+  shown_once_ = true;
+  last_shown_ = current_;
+  MINOS_RETURN_IF_ERROR(TriggerMessages(old_page, current_, first));
+
+  // When a visual message is pinned, the page content uses the lower
+  // area; otherwise the full page area.
+  if (active_visual_message_ >= 0) {
+    const object::VisualLogicalMessage& m =
+        obj_->descriptor()
+            .visual_messages[static_cast<size_t>(active_visual_message_)];
+    MINOS_RETURN_IF_ERROR(compositor_.ComposeVisualMessage(
+        *obj_, m, screen_->MessageArea()));
+    content_region_ = screen_->LowerPageArea();
+  } else {
+    content_region_ = screen_->PageArea();
+  }
+  MINOS_RETURN_IF_ERROR(ComposeStack(current_, content_region_));
+  screen_->SetMenu(MenuOptions());
+  screen_->DrawStatusLine("page " + std::to_string(current_page()) + "/" +
+                          std::to_string(page_count()));
+  if (log_ != nullptr) {
+    log_->Add(EventKind::kPageShown, clock_->Now(), current_page(), "");
+  }
+  return Status::OK();
+}
+
+Status VisualBrowser::AdvancePages(int delta) {
+  const int target = static_cast<int>(current_) + delta;
+  return GotoPage(target + 1);
+}
+
+Status VisualBrowser::GotoPage(int number) {
+  if (number < 1 || number > page_count()) {
+    return Status::OutOfRange("page " + std::to_string(number) +
+                              " out of range 1.." +
+                              std::to_string(page_count()));
+  }
+  current_ = static_cast<size_t>(number - 1);
+  return ShowCurrentPage();
+}
+
+Status VisualBrowser::GotoTextOffset(size_t offset) {
+  if (!obj_->has_text()) {
+    return Status::Unsupported("object has no text part");
+  }
+  const int page = formatted_.page_map.PageForOffset(offset);
+  const auto& pages = obj_->descriptor().pages;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i].text_page == static_cast<uint32_t>(page)) {
+      return GotoPage(static_cast<int>(i) + 1);
+    }
+  }
+  return Status::NotFound("no visual page presents that text offset");
+}
+
+image::Rect VisualBrowser::PlacementRect(const text::WordPlacement& w,
+                                         const image::Rect& region) const {
+  const int cw = render::Font5x7::kCellWidth;
+  const int ch = render::Font5x7::kCellHeight;
+  return image::Rect{region.x + w.col_begin * cw, region.y + w.line * ch,
+                     (w.col_end - w.col_begin) * cw, ch};
+}
+
+Status VisualBrowser::HighlightOffset(size_t offset) {
+  const object::VisualPageSpec& spec =
+      obj_->descriptor().pages[current_];
+  if (spec.text_page == 0 || spec.text_page > formatted_.pages.size()) {
+    return Status::NotFound("current page presents no text");
+  }
+  const text::TextPage& page = formatted_.pages[spec.text_page - 1];
+  const text::WordPlacement* w = page.FindWordAt(offset);
+  if (w == nullptr) {
+    return Status::NotFound("offset not visible on the current page");
+  }
+  // Highlight on a 1-bit display: redraw the word bold with an underline
+  // at its exact on-screen position.
+  const image::Rect box = PlacementRect(*w, content_region_);
+  const std::string word =
+      obj_->text_part().contents().substr(w->span.begin, w->span.length());
+  screen_->DrawText(box.x, box.y, word, 255, /*bold=*/true,
+                    /*underline=*/true);
+  return Status::OK();
+}
+
+Status VisualBrowser::MarkTextSpan(size_t begin, size_t end) {
+  const object::VisualPageSpec& spec =
+      obj_->descriptor().pages[current_];
+  if (spec.text_page == 0 || spec.text_page > formatted_.pages.size()) {
+    return Status::NotFound("current page presents no text");
+  }
+  const text::TextPage& page = formatted_.pages[spec.text_page - 1];
+  // Begin indicator: before the first visible word at/after `begin`.
+  const text::WordPlacement* first = nullptr;
+  const text::WordPlacement* last = nullptr;
+  for (const text::WordPlacement& w : page.words) {
+    if (w.span.end > begin && w.span.begin < end) {
+      if (first == nullptr) first = &w;
+      last = &w;
+    }
+  }
+  if (first == nullptr) {
+    return Status::NotFound("span not visible on the current page");
+  }
+  const image::Rect b = PlacementRect(*first, content_region_);
+  const image::Rect e = PlacementRect(*last, content_region_);
+  screen_->DrawText(b.x - render::Font5x7::kCellWidth, b.y, ">", 255,
+                    /*bold=*/true);
+  screen_->DrawText(e.x + e.w, e.y, "<", 255, /*bold=*/true);
+  return Status::OK();
+}
+
+Status VisualBrowser::NextUnit(text::LogicalUnit unit) {
+  if (!obj_->has_text() || !obj_->text_part().HasUnit(unit)) {
+    return Status::Unsupported(std::string("object has no ") +
+                               text::LogicalUnitName(unit) +
+                               " components");
+  }
+  // "Next" is relative to what the user currently sees: units starting
+  // after the end of the current page (a unit already visible on this
+  // page is not a navigation target).
+  const text::TextSpan current_span = PageTextSpan(current_);
+  const size_t from =
+      current_span.end > 0 ? current_span.end - 1 : current_span.begin;
+  MINOS_ASSIGN_OR_RETURN(size_t offset,
+                         obj_->text_part().NextUnitStart(unit, from));
+  const int page = formatted_.page_map.PageForOffset(offset);
+  // Map the text page to the descriptor page presenting it.
+  const auto& pages = obj_->descriptor().pages;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i].text_page == static_cast<uint32_t>(page)) {
+      if (log_ != nullptr) {
+        log_->Add(EventKind::kUnitReached, clock_->Now(),
+                  static_cast<int64_t>(offset), text::LogicalUnitName(unit));
+      }
+      return GotoPage(static_cast<int>(i) + 1);
+    }
+  }
+  return Status::NotFound("no visual page presents that text page");
+}
+
+Status VisualBrowser::PreviousUnit(text::LogicalUnit unit) {
+  if (!obj_->has_text() || !obj_->text_part().HasUnit(unit)) {
+    return Status::Unsupported(std::string("object has no ") +
+                               text::LogicalUnitName(unit) +
+                               " components");
+  }
+  MINOS_ASSIGN_OR_RETURN(
+      size_t offset,
+      obj_->text_part().PreviousUnitStart(unit, current_text_offset()));
+  const int page = formatted_.page_map.PageForOffset(offset);
+  const auto& pages = obj_->descriptor().pages;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i].text_page == static_cast<uint32_t>(page)) {
+      if (log_ != nullptr) {
+        log_->Add(EventKind::kUnitReached, clock_->Now(),
+                  static_cast<int64_t>(offset), text::LogicalUnitName(unit));
+      }
+      return GotoPage(static_cast<int>(i) + 1);
+    }
+  }
+  return Status::NotFound("no visual page presents that text page");
+}
+
+Status VisualBrowser::FindPattern(std::string_view pattern) {
+  if (!obj_->has_text()) {
+    return Status::Unsupported("object has no text part");
+  }
+  const text::TextSpan span = PageTextSpan(current_);
+  const size_t from = span.end;  // Strictly after the current page.
+  MINOS_ASSIGN_OR_RETURN(
+      size_t offset,
+      text::FindNext(obj_->text_part().contents(), pattern, from));
+  const int page = formatted_.page_map.PageForOffset(offset);
+  const auto& pages = obj_->descriptor().pages;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i].text_page == static_cast<uint32_t>(page)) {
+      if (log_ != nullptr) {
+        log_->Add(EventKind::kPatternFound, clock_->Now(),
+                  static_cast<int64_t>(offset), std::string(pattern));
+      }
+      MINOS_RETURN_IF_ERROR(GotoPage(static_cast<int>(i) + 1));
+      // Highlight the hit at its exact screen position (best effort: a
+      // hit inside swallowed whitespace has no placed word).
+      HighlightOffset(offset).ok();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no visual page presents that text page");
+}
+
+Status VisualBrowser::ShowSelectedTransparencies(
+    size_t set_index, const std::vector<uint32_t>& selected) {
+  const auto& sets = obj_->descriptor().transparency_sets;
+  if (set_index >= sets.size()) {
+    return Status::OutOfRange("no such transparency set");
+  }
+  const TransparencySetSpec& set = sets[set_index];
+  // Base page: last normal page before the set.
+  size_t base = set.first_page;
+  while (base > 0 && obj_->descriptor().pages[base].kind !=
+                         VisualPageSpec::Kind::kNormal) {
+    --base;
+  }
+  const image::Rect region = screen_->PageArea();
+  MINOS_RETURN_IF_ERROR(
+      compositor_.ComposePage(*obj_, formatted_, base, region));
+  for (uint32_t s : selected) {
+    if (s >= set.count) {
+      return Status::OutOfRange("transparency selection out of set");
+    }
+    MINOS_RETURN_IF_ERROR(compositor_.ComposePage(
+        *obj_, formatted_, set.first_page + s, region));
+    if (log_ != nullptr) {
+      log_->Add(EventKind::kTransparencyShown, clock_->Now(),
+                static_cast<int64_t>(set.first_page + s) + 1, "selected");
+    }
+  }
+  screen_->SetMenu(MenuOptions());
+  return Status::OK();
+}
+
+Status VisualBrowser::PlayProcessSimulation(size_t index,
+                                            double speed_factor) {
+  const auto& sims = obj_->descriptor().process_simulations;
+  if (index >= sims.size()) {
+    return Status::OutOfRange("no such process simulation");
+  }
+  if (speed_factor <= 0.0) {
+    return Status::InvalidArgument("speed factor must be positive");
+  }
+  const object::ProcessSimulationSpec& sim = sims[index];
+  const Micros interval = static_cast<Micros>(
+      static_cast<double>(sim.page_interval) / speed_factor);
+  const image::Rect region = screen_->PageArea();
+  for (uint32_t p = 0; p < sim.count; ++p) {
+    const size_t page = sim.first_page + p;
+    MINOS_RETURN_IF_ERROR(
+        compositor_.ComposePage(*obj_, formatted_, page, region));
+    current_ = page;
+    if (log_ != nullptr) {
+      log_->Add(EventKind::kProcessPage, clock_->Now(),
+                static_cast<int64_t>(page) + 1, "");
+    }
+    // Audio-gated advance: the next page waits for the message.
+    if (!sim.page_messages.empty() && !sim.page_messages[p].empty()) {
+      messages_->Play(sim.page_messages[p], log_,
+                      EventKind::kVoiceMessagePlayed,
+                      static_cast<int64_t>(page) + 1);
+    }
+    if (p + 1 < sim.count) clock_->Advance(interval);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VisualBrowser::MenuOptions() const {
+  std::vector<std::string> options;
+  options.emplace_back("next page");
+  options.emplace_back("prev page");
+  options.emplace_back("goto page");
+  options.emplace_back("+5 pages");
+  options.emplace_back("-5 pages");
+  if (obj_->has_text()) {
+    const text::Document& doc = obj_->text_part();
+    using text::LogicalUnit;
+    for (LogicalUnit unit :
+         {LogicalUnit::kChapter, LogicalUnit::kSection,
+          LogicalUnit::kParagraph, LogicalUnit::kSentence}) {
+      if (doc.HasUnit(unit)) {
+        options.push_back(std::string("next ") +
+                          text::LogicalUnitName(unit));
+        options.push_back(std::string("prev ") +
+                          text::LogicalUnitName(unit));
+      }
+    }
+    options.emplace_back("find pattern");
+  }
+  if (!obj_->descriptor().transparency_sets.empty()) {
+    options.emplace_back("select transparencies");
+  }
+  if (!obj_->descriptor().process_simulations.empty()) {
+    options.emplace_back("play simulation");
+  }
+  for (const object::RelevantObjectLink* link : VisibleRelevantLinks()) {
+    options.push_back("-> " + link->indicator_label);
+  }
+  return options;
+}
+
+std::vector<const object::RelevantObjectLink*>
+VisualBrowser::VisibleRelevantLinks() const {
+  std::vector<const object::RelevantObjectLink*> out;
+  const std::vector<uint32_t> images = PageImages(current_);
+  for (const object::RelevantObjectLink& link :
+       obj_->descriptor().relevant_objects) {
+    bool visible = false;
+    if (link.parent_text_anchor.has_value()) {
+      visible = AnchorOnPage(*link.parent_text_anchor, current_);
+    }
+    if (!visible && link.parent_image_index.has_value()) {
+      visible = std::find(images.begin(), images.end(),
+                          *link.parent_image_index) != images.end();
+    }
+    if (visible) out.push_back(&link);
+  }
+  return out;
+}
+
+}  // namespace minos::core

@@ -1,0 +1,151 @@
+#ifndef MINOS_CORE_VISUAL_BROWSER_H_
+#define MINOS_CORE_VISUAL_BROWSER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minos/core/events.h"
+#include "minos/core/message_player.h"
+#include "minos/core/page_compositor.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/render/screen.h"
+#include "minos/text/search.h"
+#include "minos/util/statusor.h"
+
+namespace minos::core {
+
+/// Browser for visual-mode objects. Implements the §2 visual command set:
+/// page browsing (next/previous/advance-k/goto), logical-unit browsing
+/// (next/previous chapter, section, ...), pattern browsing, transparency
+/// sets, overwrites, process simulation, and the triggering semantics of
+/// voice and visual logical messages.
+class VisualBrowser {
+ public:
+  /// Opens a browser on an archived visual-mode object. All pointers are
+  /// borrowed and must outlive the browser. FailedPrecondition when the
+  /// object is not archived; InvalidArgument for audio-mode objects.
+  static StatusOr<std::unique_ptr<VisualBrowser>> Open(
+      const object::MultimediaObject* obj, render::Screen* screen,
+      MessagePlayer* messages, SimClock* clock, EventLog* log);
+
+  /// Presents the current page (composing transparency/overwrite stacks
+  /// and triggering logical messages).
+  Status ShowCurrentPage();
+
+  /// Page browsing (§2: "move to next page, previous page, advance a
+  /// number of pages forth and back, or find a page with a given page
+  /// number").
+  Status NextPage() { return AdvancePages(1); }
+  Status PreviousPage() { return AdvancePages(-1); }
+  Status AdvancePages(int delta);
+  Status GotoPage(int number);  ///< 1-based.
+
+  /// Shows the page presenting text offset `offset` (used by relevance
+  /// indicators and cross-media navigation). Unsupported without a text
+  /// part; NotFound when no visual page presents that offset.
+  Status GotoTextOffset(size_t offset);
+
+  /// Draws a highlight box around the on-screen word containing document
+  /// offset `offset` on the current page (used after pattern browsing).
+  /// NotFound when the offset is not visible on the current page.
+  Status HighlightOffset(size_t offset);
+
+  /// Draws begin/end relevance indicators around the visible extent of
+  /// [begin, end) on the current page ("Relevances to text sections are
+  /// indicated graphically with beginning and end indicators", §2).
+  Status MarkTextSpan(size_t begin, size_t end);
+
+  /// Logical browsing (§2: "see ... the page with the next or previous
+  /// start of a logical unit"). Unsupported when the object's text part
+  /// has no components of `unit`.
+  Status NextUnit(text::LogicalUnit unit);
+  Status PreviousUnit(text::LogicalUnit unit);
+
+  /// Pattern browsing (§2): shows the next page with an occurrence of
+  /// `pattern` strictly after the current page's first occurrence point.
+  /// NotFound past the last occurrence.
+  Status FindPattern(std::string_view pattern);
+
+  /// User-controlled superimposition for a transparency set displayed
+  /// with the "separate" method: shows the base page with exactly the
+  /// selected transparencies (0-based within the set) laid over it.
+  Status ShowSelectedTransparencies(size_t set_index,
+                                    const std::vector<uint32_t>& selected);
+
+  /// Plays process simulation `index` from the descriptor; `speed_factor`
+  /// scales the authored interval ("it may be altered by the user").
+  Status PlayProcessSimulation(size_t index, double speed_factor = 1.0);
+
+  /// The operations available for this object, as menu labels (§2: "The
+  /// menu options which are displayed define the set of available
+  /// operations").
+  std::vector<std::string> MenuOptions() const;
+
+  /// Relevant-object links whose anchor overlaps the current page (their
+  /// indicators are displayed).
+  std::vector<const object::RelevantObjectLink*> VisibleRelevantLinks()
+      const;
+
+  /// Current 1-based page number and total page count.
+  int current_page() const { return static_cast<int>(current_) + 1; }
+  int page_count() const {
+    return static_cast<int>(obj_->descriptor().pages.size());
+  }
+
+  /// First text offset presented on the current page (0 when the page has
+  /// no text).
+  size_t current_text_offset() const;
+
+  const object::MultimediaObject& object() const { return *obj_; }
+
+ private:
+  VisualBrowser(const object::MultimediaObject* obj, render::Screen* screen,
+                MessagePlayer* messages, SimClock* clock, EventLog* log);
+
+  /// Text span presented by descriptor page `index` ({0,0} if none).
+  text::TextSpan PageTextSpan(size_t index) const;
+
+  /// Image indices placed on descriptor page `index`.
+  std::vector<uint32_t> PageImages(size_t index) const;
+
+  /// True when `anchor` overlaps the content of page `index`.
+  bool AnchorOnPage(const object::TextAnchor& anchor, size_t index) const;
+
+  /// Composes the full stack for page `index` (base + transparencies /
+  /// overwrites) into `region`.
+  Status ComposeStack(size_t index, const image::Rect& region);
+
+  /// Fires branch-in logical messages for the transition old -> new page.
+  Status TriggerMessages(size_t old_page, size_t new_page, bool first_show);
+
+  /// The transparency set containing page `index`, if any.
+  const object::TransparencySetSpec* SetContaining(size_t index) const;
+
+  const object::MultimediaObject* obj_;
+  render::Screen* screen_;
+  MessagePlayer* messages_;
+  SimClock* clock_;
+  EventLog* log_;
+  PageCompositor compositor_;
+  FormattedText formatted_;
+  /// Pixel rectangle of the word placement `w` within `region`.
+  image::Rect PlacementRect(const text::WordPlacement& w,
+                            const image::Rect& region) const;
+
+  size_t current_ = 0;
+  size_t last_shown_ = 0;  ///< Page at the previous ShowCurrentPage().
+  /// Region the current page content was drawn into (full page area, or
+  /// the lower area when a visual message is pinned).
+  image::Rect content_region_;
+  bool shown_once_ = false;
+  /// Visual messages (by index) that already displayed, for display_once.
+  std::set<size_t> displayed_once_;
+  /// Visual message currently pinned (index into descriptor list) or -1.
+  int active_visual_message_ = -1;
+};
+
+}  // namespace minos::core
+
+#endif  // MINOS_CORE_VISUAL_BROWSER_H_

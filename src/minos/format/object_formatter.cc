@@ -1,0 +1,125 @@
+#include "minos/format/object_formatter.h"
+
+#include "minos/text/markup.h"
+
+namespace minos::format {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::ObjectDescriptor;
+using object::TransparencyDisplay;
+using object::TransparencySetSpec;
+using object::VisualPageSpec;
+
+StatusOr<MultimediaObject> ObjectFormatter::Format(
+    const ObjectWorkspace& workspace, storage::ObjectId id) const {
+  if (!workspace.directory().AllFinal()) {
+    return Status::FailedPrecondition(
+        "workspace has draft data files; finalize before formatting for "
+        "archive");
+  }
+  MINOS_ASSIGN_OR_RETURN(SynthesisFile synth,
+                         ParseSynthesis(workspace.synthesis()));
+
+  MultimediaObject obj(id);
+  ObjectDescriptor& desc = obj.descriptor();
+  desc.driving_mode = synth.DeclaredMode();
+  if (auto layout = synth.DeclaredLayout(); layout.has_value()) {
+    desc.layout = *layout;
+  }
+
+  // Text part from the markup lines.
+  text::MarkupParser markup_parser;
+  MINOS_ASSIGN_OR_RETURN(text::Document doc,
+                         markup_parser.Parse(synth.markup));
+  const bool has_text = doc.size() > 0;
+
+  // Paginate now so the descriptor's page list matches the presentation.
+  size_t text_page_count = 0;
+  if (has_text) {
+    text::TextFormatter formatter(desc.layout);
+    MINOS_ASSIGN_OR_RETURN(std::vector<text::TextPage> pages,
+                           formatter.Paginate(doc));
+    text_page_count = pages.size();
+    for (size_t i = 0; i < pages.size(); ++i) {
+      VisualPageSpec spec;
+      spec.kind = VisualPageSpec::Kind::kNormal;
+      spec.text_page = static_cast<uint32_t>(i + 1);
+      desc.pages.push_back(std::move(spec));
+    }
+    MINOS_RETURN_IF_ERROR(obj.SetTextPart(std::move(doc)));
+  }
+  (void)text_page_count;
+
+  // Image/transparency/overwrite pages, in directive order.
+  TransparencyDisplay current_method = TransparencyDisplay::kStacked;
+  std::optional<TransparencySetSpec> open_set;
+  auto close_set = [&]() {
+    if (open_set.has_value()) {
+      desc.transparency_sets.push_back(*open_set);
+      open_set.reset();
+    }
+  };
+  for (const Directive& d : synth.directives) {
+    switch (d.kind) {
+      case Directive::Kind::kMode:
+      case Directive::Kind::kLayout:
+        break;
+      case Directive::Kind::kMethod:
+        current_method = d.arg == "separate" ? TransparencyDisplay::kSeparate
+                                             : TransparencyDisplay::kStacked;
+        if (open_set.has_value()) open_set->method = current_method;
+        break;
+      case Directive::Kind::kImage:
+      case Directive::Kind::kTransparency:
+      case Directive::Kind::kOverwrite: {
+        MINOS_ASSIGN_OR_RETURN(std::string payload,
+                               workspace.ReadDataFile(d.arg));
+        MINOS_ASSIGN_OR_RETURN(image::Image img,
+                               image::Image::Deserialize(payload));
+        MINOS_ASSIGN_OR_RETURN(uint32_t index, obj.AddImage(std::move(img)));
+        VisualPageSpec spec;
+        spec.kind = d.kind == Directive::Kind::kImage
+                        ? VisualPageSpec::Kind::kNormal
+                    : d.kind == Directive::Kind::kTransparency
+                        ? VisualPageSpec::Kind::kTransparency
+                        : VisualPageSpec::Kind::kOverwrite;
+        // Zero-size placement means "fit the page area" to the
+        // compositor.
+        spec.images.push_back(object::PlacedImage{index, image::Rect{}});
+        desc.pages.push_back(std::move(spec));
+        if (d.kind == Directive::Kind::kTransparency) {
+          if (!open_set.has_value()) {
+            open_set = TransparencySetSpec{
+                static_cast<uint32_t>(desc.pages.size() - 1), 1,
+                current_method};
+          } else {
+            ++open_set->count;
+          }
+        } else {
+          close_set();
+        }
+        break;
+      }
+      case Directive::Kind::kProcess: {
+        close_set();
+        const uint32_t count = static_cast<uint32_t>(d.value_b);
+        if (count > desc.pages.size()) {
+          return Status::InvalidArgument(
+              "@PROCESS covers more pages than exist");
+        }
+        object::ProcessSimulationSpec spec;
+        spec.first_page =
+            static_cast<uint32_t>(desc.pages.size()) - count;
+        spec.count = count;
+        spec.page_interval = MillisToMicros(d.value_a);
+        desc.process_simulations.push_back(std::move(spec));
+        break;
+      }
+    }
+  }
+  close_set();
+  return obj;
+}
+
+}  // namespace minos::format

@@ -1,0 +1,43 @@
+#ifndef MINOS_FORMAT_OBJECT_FORMATTER_H_
+#define MINOS_FORMAT_OBJECT_FORMATTER_H_
+
+#include "minos/format/synthesis.h"
+#include "minos/format/workspace.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/util/statusor.h"
+
+namespace minos::format {
+
+/// The multimedia object formatter: "responsible for the creation of the
+/// multimedia object descriptor. The formatter is declarative and
+/// interactive. Declarative formatters emphasize more the logical
+/// structure of the object instead of how to do the formatting." (§4)
+///
+/// Format() runs the object formation process: it parses the synthesis
+/// file, builds the text part from the markup tags, paginates it, loads
+/// the data files referenced by directives into the image part, and
+/// records the presentation form (visual pages, transparency sets,
+/// process simulations) in the object descriptor. The result is an object
+/// in the *editing* state; callers attach voice parts, logical messages
+/// and relationships through the object API, then Archive() it.
+///
+/// Page order: the text pages come first (in text order), then one page
+/// per @IMAGE/@TRANSPARENCY/@OVERWRITE directive in directive order.
+/// Images can additionally be placed *onto* text pages programmatically
+/// via the descriptor's PlacedImage lists.
+class ObjectFormatter {
+ public:
+  ObjectFormatter() = default;
+
+  /// Formats `workspace` into an editing-state object with identifier
+  /// `id`. FailedPrecondition when any data file is still a draft
+  /// ("The presentation interface of the archiver expects always the data
+  /// in its final form", §4); InvalidArgument on synthesis or data file
+  /// errors.
+  StatusOr<object::MultimediaObject> Format(const ObjectWorkspace& workspace,
+                                            storage::ObjectId id) const;
+};
+
+}  // namespace minos::format
+
+#endif  // MINOS_FORMAT_OBJECT_FORMATTER_H_

@@ -1,0 +1,98 @@
+#include "minos/format/synthesis.h"
+
+#include "minos/util/string_util.h"
+
+namespace minos::format {
+
+object::DrivingMode SynthesisFile::DeclaredMode() const {
+  for (const Directive& d : directives) {
+    if (d.kind == Directive::Kind::kMode) {
+      return d.arg == "audio" ? object::DrivingMode::kAudio
+                              : object::DrivingMode::kVisual;
+    }
+  }
+  return object::DrivingMode::kVisual;
+}
+
+std::optional<text::PageLayout> SynthesisFile::DeclaredLayout() const {
+  for (const Directive& d : directives) {
+    if (d.kind == Directive::Kind::kLayout) {
+      text::PageLayout layout;
+      layout.width = d.value_a;
+      layout.height = d.value_b;
+      return layout;
+    }
+  }
+  return std::nullopt;
+}
+
+StatusOr<SynthesisFile> ParseSynthesis(std::string_view source) {
+  SynthesisFile out;
+  size_t markup_lines = 0;
+  for (const std::string& raw : SplitString(source, '\n')) {
+    const std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] != '@') {
+      out.markup += raw;
+      out.markup += '\n';
+      if (!line.empty()) ++markup_lines;
+      continue;
+    }
+    const std::vector<std::string> tokens = SplitWords(line);
+    const std::string_view tag = tokens[0];
+    Directive d;
+    d.markup_lines_before = markup_lines;
+    if (tag == "@MODE") {
+      if (tokens.size() != 2 ||
+          (tokens[1] != "visual" && tokens[1] != "audio")) {
+        return Status::InvalidArgument("@MODE requires visual|audio");
+      }
+      d.kind = Directive::Kind::kMode;
+      d.arg = tokens[1];
+    } else if (tag == "@LAYOUT") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument("@LAYOUT requires width height");
+      }
+      d.kind = Directive::Kind::kLayout;
+      d.value_a = std::atoi(tokens[1].c_str());
+      d.value_b = std::atoi(tokens[2].c_str());
+      if (d.value_a < 8 || d.value_b < 3) {
+        return Status::InvalidArgument("@LAYOUT dimensions too small");
+      }
+    } else if (tag == "@IMAGE" || tag == "@TRANSPARENCY" ||
+               tag == "@OVERWRITE") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument(std::string(tag) +
+                                       " requires a data file name");
+      }
+      d.kind = tag == "@IMAGE"          ? Directive::Kind::kImage
+               : tag == "@TRANSPARENCY" ? Directive::Kind::kTransparency
+                                        : Directive::Kind::kOverwrite;
+      d.arg = tokens[1];
+    } else if (tag == "@METHOD") {
+      if (tokens.size() != 2 ||
+          (tokens[1] != "stacked" && tokens[1] != "separate")) {
+        return Status::InvalidArgument("@METHOD requires stacked|separate");
+      }
+      d.kind = Directive::Kind::kMethod;
+      d.arg = tokens[1];
+    } else if (tag == "@PROCESS") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument(
+            "@PROCESS requires interval-ms page-count");
+      }
+      d.kind = Directive::Kind::kProcess;
+      d.value_a = std::atoi(tokens[1].c_str());
+      d.value_b = std::atoi(tokens[2].c_str());
+      if (d.value_a <= 0 || d.value_b <= 0) {
+        return Status::InvalidArgument("@PROCESS values must be positive");
+      }
+    } else {
+      return Status::InvalidArgument("unknown directive '" +
+                                     std::string(tag) + "'");
+    }
+    out.directives.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace minos::format

@@ -1,0 +1,56 @@
+#ifndef MINOS_FORMAT_SYNTHESIS_H_
+#define MINOS_FORMAT_SYNTHESIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minos/object/descriptor.h"
+#include "minos/util/statusor.h"
+
+namespace minos::format {
+
+/// A formatter directive found in a synthesis file. "The synthesis file
+/// contains information about the presentation form of the multimedia
+/// object, tags with the names of various data files, and possibly text."
+/// (§4)
+struct Directive {
+  enum class Kind : uint8_t {
+    kMode = 0,          ///< @MODE visual|audio
+    kLayout = 1,        ///< @LAYOUT <width-chars> <height-lines>
+    kImage = 2,         ///< @IMAGE <dataname>  — a page showing the image
+    kTransparency = 3,  ///< @TRANSPARENCY <dataname> — overlays previous
+    kOverwrite = 4,     ///< @OVERWRITE <dataname> — replaces inked pixels
+    kMethod = 5,        ///< @METHOD stacked|separate (current transp. set)
+    kProcess = 6,       ///< @PROCESS <interval-ms> <page-count>
+  };
+  Kind kind;
+  std::string arg;       ///< Data file name / mode / method keyword.
+  int value_a = 0;       ///< Layout width / process interval (ms).
+  int value_b = 0;       ///< Layout height / process page count.
+  /// Order marker: number of markup lines seen before this directive
+  /// (directives after all text attach after the last text page).
+  size_t markup_lines_before = 0;
+};
+
+/// A parsed synthesis file: the pass-through text markup (handed to
+/// text::MarkupParser) and the ordered formatter directives.
+struct SynthesisFile {
+  std::string markup;
+  std::vector<Directive> directives;
+
+  /// Convenience: the declared driving mode (visual when absent).
+  object::DrivingMode DeclaredMode() const;
+
+  /// Convenience: the declared layout, if any.
+  std::optional<text::PageLayout> DeclaredLayout() const;
+};
+
+/// Parses synthesis-file source. Lines starting with '@' are directives;
+/// everything else (including '.' markup tags) passes through as text
+/// markup. InvalidArgument on a malformed directive.
+StatusOr<SynthesisFile> ParseSynthesis(std::string_view source);
+
+}  // namespace minos::format
+
+#endif  // MINOS_FORMAT_SYNTHESIS_H_

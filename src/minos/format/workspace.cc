@@ -1,0 +1,40 @@
+#include "minos/format/workspace.h"
+
+namespace minos::format {
+
+void ObjectWorkspace::AddDataFile(std::string name, storage::DataType type,
+                                  std::string payload) {
+  directory_.AddLocal(name, type, payload.size(),
+                      storage::DataStatus::kFinal);
+  data_files_[std::move(name)] = std::move(payload);
+}
+
+void ObjectWorkspace::AddDraftDataFile(std::string name,
+                                       storage::DataType type,
+                                       std::string payload) {
+  directory_.AddLocal(name, type, payload.size(),
+                      storage::DataStatus::kDraft);
+  data_files_[std::move(name)] = std::move(payload);
+}
+
+Status ObjectWorkspace::FinalizeDataFile(std::string_view name) {
+  return directory_.MarkFinal(name);
+}
+
+void ObjectWorkspace::ReferenceArchiverData(
+    std::string name, storage::DataType type,
+    storage::ArchiveAddress address) {
+  directory_.AddArchiverReference(std::move(name), type, address);
+}
+
+StatusOr<std::string> ObjectWorkspace::ReadDataFile(
+    std::string_view name) const {
+  auto it = data_files_.find(name);
+  if (it == data_files_.end()) {
+    return Status::NotFound("no local data file '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+}  // namespace minos::format

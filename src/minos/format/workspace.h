@@ -1,0 +1,63 @@
+#ifndef MINOS_FORMAT_WORKSPACE_H_
+#define MINOS_FORMAT_WORKSPACE_H_
+
+#include <map>
+#include <string>
+
+#include "minos/storage/archiver.h"
+#include "minos/storage/data_directory.h"
+#include "minos/util/statusor.h"
+
+namespace minos::format {
+
+/// The multimedia object file of an object in the editing state: "a set of
+/// files organized within a directory which has the name of the multimedia
+/// object. This set of files contains a synthesis-file, the object
+/// descriptor, a composition-file, a data-directory file, and a set of
+/// data files." (§4) The reproduction keeps the file set in memory; the
+/// data directory catalogs each data file's name, type, length and status,
+/// plus references to archiver data that was "extracted but not copied".
+class ObjectWorkspace {
+ public:
+  /// Creates a workspace named after the object.
+  explicit ObjectWorkspace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Installs the synthesis file source.
+  void SetSynthesis(std::string source) { synthesis_ = std::move(source); }
+  const std::string& synthesis() const { return synthesis_; }
+
+  /// Adds a local data file in final (archival) form.
+  void AddDataFile(std::string name, storage::DataType type,
+                   std::string payload);
+
+  /// Adds a local data file still in draft form; the formatter refuses to
+  /// archive or mail until it is marked final.
+  void AddDraftDataFile(std::string name, storage::DataType type,
+                        std::string payload);
+
+  /// Marks a draft final (its payload is already the archival form here;
+  /// a real editor would convert when completing the edit, §4).
+  Status FinalizeDataFile(std::string_view name);
+
+  /// References data that lives in the archiver without copying it.
+  void ReferenceArchiverData(std::string name, storage::DataType type,
+                             storage::ArchiveAddress address);
+
+  /// Reads a data file payload (NotFound for archiver references — those
+  /// are fetched through the archiver at mail time).
+  StatusOr<std::string> ReadDataFile(std::string_view name) const;
+
+  const storage::DataDirectory& directory() const { return directory_; }
+
+ private:
+  std::string name_;
+  std::string synthesis_;
+  std::map<std::string, std::string, std::less<>> data_files_;
+  storage::DataDirectory directory_;
+};
+
+}  // namespace minos::format
+
+#endif  // MINOS_FORMAT_WORKSPACE_H_

@@ -1,0 +1,82 @@
+#include "minos/format/workspace_store.h"
+
+#include "minos/util/coding.h"
+
+namespace minos::format {
+
+StatusOr<std::string> EncodeWorkspace(const ObjectWorkspace& workspace) {
+  std::string out;
+  PutLengthPrefixed(&out, workspace.name());
+  PutLengthPrefixed(&out, workspace.synthesis());
+  const auto& entries = workspace.directory().entries();
+  PutVarint64(&out, entries.size());
+  for (const storage::DataDirectory::Entry& e : entries) {
+    PutLengthPrefixed(&out, e.name);
+    out.push_back(static_cast<char>(e.type));
+    out.push_back(static_cast<char>(e.location));
+    out.push_back(static_cast<char>(e.status));
+    if (e.location == storage::DataLocation::kLocalFile) {
+      MINOS_ASSIGN_OR_RETURN(std::string payload,
+                             workspace.ReadDataFile(e.name));
+      PutLengthPrefixed(&out, payload);
+    } else {
+      PutVarint64(&out, e.archive_address.offset);
+      PutVarint64(&out, e.archive_address.length);
+    }
+  }
+  return out;
+}
+
+StatusOr<ObjectWorkspace> DecodeWorkspace(std::string_view bytes) {
+  Decoder dec(bytes);
+  std::string name, synthesis;
+  MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&name));
+  MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&synthesis));
+  ObjectWorkspace workspace(std::move(name));
+  workspace.SetSynthesis(std::move(synthesis));
+  uint64_t n = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string entry_name, header;
+    MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&entry_name));
+    MINOS_RETURN_IF_ERROR(dec.GetRaw(3, &header));
+    const auto type =
+        static_cast<storage::DataType>(static_cast<uint8_t>(header[0]));
+    const auto location = static_cast<storage::DataLocation>(
+        static_cast<uint8_t>(header[1]));
+    const auto status =
+        static_cast<storage::DataStatus>(static_cast<uint8_t>(header[2]));
+    if (location == storage::DataLocation::kLocalFile) {
+      std::string payload;
+      MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&payload));
+      if (status == storage::DataStatus::kDraft) {
+        workspace.AddDraftDataFile(entry_name, type, std::move(payload));
+      } else {
+        workspace.AddDataFile(entry_name, type, std::move(payload));
+      }
+    } else {
+      storage::ArchiveAddress address;
+      MINOS_RETURN_IF_ERROR(dec.GetVarint64(&address.offset));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint64(&address.length));
+      workspace.ReferenceArchiverData(entry_name, type, address);
+    }
+  }
+  return workspace;
+}
+
+Status WorkspaceStore::Save(const ObjectWorkspace& workspace) {
+  MINOS_ASSIGN_OR_RETURN(std::string bytes, EncodeWorkspace(workspace));
+  return files_->Put(workspace.name(), bytes);
+}
+
+StatusOr<ObjectWorkspace> WorkspaceStore::Load(
+    const std::string& name) const {
+  MINOS_ASSIGN_OR_RETURN(std::string bytes, files_->Get(name));
+  return DecodeWorkspace(bytes);
+}
+
+Status WorkspaceStore::Remove(const std::string& name) {
+  return files_->Delete(name);
+}
+
+}  // namespace minos::format

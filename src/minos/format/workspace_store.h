@@ -1,0 +1,48 @@
+#ifndef MINOS_FORMAT_WORKSPACE_STORE_H_
+#define MINOS_FORMAT_WORKSPACE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "minos/format/workspace.h"
+#include "minos/storage/file_store.h"
+#include "minos/util/statusor.h"
+
+namespace minos::format {
+
+/// Byte codec for an editing-state workspace (synthesis file + data
+/// directory + data files) — the on-disk form of the "multimedia object
+/// file" of §4.
+StatusOr<std::string> EncodeWorkspace(const ObjectWorkspace& workspace);
+StatusOr<ObjectWorkspace> DecodeWorkspace(std::string_view bytes);
+
+/// Editing-state objects on the workstation's magnetic disk, retrieved by
+/// name (§5: "Multimedia objects in an editing state are stored in those
+/// disks. Retrieval is done by name. The user edits only a number of
+/// these objects at any point in time and he can easily recall their
+/// names.").
+class WorkspaceStore {
+ public:
+  /// `files` is borrowed and must outlive the store.
+  explicit WorkspaceStore(storage::FileStore* files) : files_(files) {}
+
+  /// Saves (or overwrites) a workspace under its own name.
+  Status Save(const ObjectWorkspace& workspace);
+
+  /// Loads a workspace by name.
+  StatusOr<ObjectWorkspace> Load(const std::string& name) const;
+
+  /// Removes a workspace (when its object is archived and the editing
+  /// files are no longer needed).
+  Status Remove(const std::string& name);
+
+  /// Names of all stored workspaces.
+  std::vector<std::string> List() const { return files_->List(); }
+
+ private:
+  storage::FileStore* files_;
+};
+
+}  // namespace minos::format
+
+#endif  // MINOS_FORMAT_WORKSPACE_STORE_H_

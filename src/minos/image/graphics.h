@@ -1,0 +1,109 @@
+#ifndef MINOS_IMAGE_GRAPHICS_H_
+#define MINOS_IMAGE_GRAPHICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minos/image/bitmap.h"
+#include "minos/util/statusor.h"
+
+namespace minos::image {
+
+/// Integer point.
+struct Point {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Presentation form of a graphics-object label: "The presentation form of
+/// a label may be invisible, text label, or voice label." (§2)
+enum class LabelKind : uint8_t {
+  kNone = 0,       ///< No label at all.
+  kInvisible = 1,  ///< Label exists but displays nothing by default.
+  kText = 2,       ///< Short text displayed near the object.
+  kVoice = 3,      ///< Short voice; an indicator is displayed near the
+                   ///< object and the label plays on selection.
+};
+
+/// A label attached to a graphics object. For voice labels `text` is the
+/// transcript handed to the speech synthesizer; `anchor` is the
+/// designer-specified display position.
+struct Label {
+  LabelKind kind = LabelKind::kNone;
+  std::string text;
+  Point anchor;  ///< Designer-specified position (relative to the image).
+};
+
+/// Kind of a graphics object.
+enum class ShapeKind : uint8_t {
+  kPoint = 0,
+  kPolyline = 1,
+  kPolygon = 2,
+  kCircle = 3,
+};
+
+/// One graphics object: "Images with graphics contain graphics objects
+/// such as points, polygons, polylines, circles, etc. Graphics objects may
+/// have a label associated with them." (§2)
+struct GraphicsObject {
+  uint32_t id = 0;
+  ShapeKind shape = ShapeKind::kPoint;
+  /// kPoint: 1 vertex; kPolyline: >= 2; kPolygon: >= 3 (closed
+  /// implicitly); kCircle: vertices[0] = center.
+  std::vector<Point> vertices;
+  int radius = 0;       ///< kCircle only.
+  bool filled = false;  ///< kPolygon / kCircle shading.
+  uint8_t ink = 255;
+  Label label;
+
+  /// Tight bounding box of the shape.
+  Rect BoundingBox() const;
+
+  /// True if (x, y) is on or inside the object (hit testing for the
+  /// paper's inverse lookup: "the user can select an object using the
+  /// mouse and the system plays or displays the label").
+  bool HitTest(int x, int y, int slack = 2) const;
+};
+
+/// A vector image: a canvas size plus graphics objects in z-order.
+class GraphicsImage {
+ public:
+  GraphicsImage(int width, int height) : width_(width), height_(height) {}
+  GraphicsImage() : GraphicsImage(0, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Adds an object; assigns and returns its id.
+  uint32_t Add(GraphicsObject object);
+
+  const std::vector<GraphicsObject>& objects() const { return objects_; }
+
+  /// Object by id.
+  StatusOr<GraphicsObject> Find(uint32_t id) const;
+
+  /// Topmost object hit at (x, y), if any.
+  StatusOr<GraphicsObject> ObjectAt(int x, int y) const;
+
+  /// Ids of objects whose label text contains `pattern` (case-sensitive
+  /// substring). Supports "the user can specify a pattern and request that
+  /// the objects in which this pattern appears within their label are
+  /// highlighted" (§2).
+  std::vector<uint32_t> MatchLabels(std::string_view pattern) const;
+
+  /// Serialization for composition files and the archiver.
+  std::string Serialize() const;
+  static StatusOr<GraphicsImage> Deserialize(std::string_view bytes);
+
+ private:
+  int width_;
+  int height_;
+  uint32_t next_id_ = 1;
+  std::vector<GraphicsObject> objects_;
+};
+
+}  // namespace minos::image
+
+#endif  // MINOS_IMAGE_GRAPHICS_H_

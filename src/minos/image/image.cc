@@ -1,0 +1,150 @@
+#include "minos/image/image.h"
+
+#include <algorithm>
+
+#include "minos/util/coding.h"
+
+namespace minos::image {
+
+Image Image::FromBitmap(Bitmap bitmap) {
+  Image img;
+  img.bitmap_ = std::move(bitmap);
+  return img;
+}
+
+Image Image::FromGraphics(GraphicsImage graphics) {
+  Image img;
+  img.graphics_ = std::move(graphics);
+  return img;
+}
+
+int Image::width() const {
+  if (bitmap_) return bitmap_->width();
+  if (graphics_) return graphics_->width();
+  return 0;
+}
+
+int Image::height() const {
+  if (bitmap_) return bitmap_->height();
+  if (graphics_) return graphics_->height();
+  return 0;
+}
+
+Bitmap Image::Render(const std::vector<uint32_t>& highlighted_ids) const {
+  if (bitmap_) return *bitmap_;
+  if (graphics_) return Rasterize(*graphics_, highlighted_ids);
+  return Bitmap();
+}
+
+Bitmap Image::RenderRegion(
+    const Rect& r, const std::vector<uint32_t>& highlighted_ids) const {
+  if (bitmap_) return bitmap_->SubBitmap(r);
+  if (graphics_) {
+    // Rasterize only objects intersecting the region, then crop. This is
+    // the "system will only retrieve the relevant data" behaviour (§2).
+    Bitmap full(graphics_->width(), graphics_->height());
+    for (const GraphicsObject& o : graphics_->objects()) {
+      if (!o.BoundingBox().Intersects(r)) continue;
+      RenderObject(&full, o);
+      if (std::find(highlighted_ids.begin(), highlighted_ids.end(), o.id) !=
+          highlighted_ids.end()) {
+        const Rect bb = o.BoundingBox();
+        DrawPolygon(&full,
+                    {{bb.x - 2, bb.y - 2},
+                     {bb.x + bb.w + 1, bb.y - 2},
+                     {bb.x + bb.w + 1, bb.y + bb.h + 1},
+                     {bb.x - 2, bb.y + bb.h + 1}},
+                    255);
+      }
+    }
+    return full.SubBitmap(r);
+  }
+  return Bitmap();
+}
+
+uint64_t Image::ByteSize() const {
+  if (bitmap_) return bitmap_->ByteSize();
+  if (graphics_) return graphics_->Serialize().size();
+  return 0;
+}
+
+uint64_t Image::RegionByteSize(const Rect& r) const {
+  const Rect clipped = r.Intersect(Rect{0, 0, width(), height()});
+  if (bitmap_) return static_cast<uint64_t>(clipped.area());
+  if (graphics_) {
+    // Graphics transfers cost the serialized objects intersecting the
+    // region.
+    uint64_t bytes = 0;
+    for (const GraphicsObject& o : graphics_->objects()) {
+      if (o.BoundingBox().Intersects(clipped)) {
+        bytes += 16 + 8 * o.vertices.size() + o.label.text.size();
+      }
+    }
+    return bytes;
+  }
+  return 0;
+}
+
+StatusOr<GraphicsImage> Image::graphics() const {
+  if (!graphics_) {
+    return Status::Unsupported("image is a bitmap, not graphics");
+  }
+  return *graphics_;
+}
+
+StatusOr<GraphicsObject> Image::ObjectAt(int x, int y) const {
+  if (!graphics_) {
+    return Status::Unsupported("image is a bitmap, not graphics");
+  }
+  return graphics_->ObjectAt(x, y);
+}
+
+std::vector<uint32_t> Image::MatchLabels(std::string_view pattern) const {
+  if (!graphics_) return {};
+  return graphics_->MatchLabels(pattern);
+}
+
+std::vector<GraphicsObject> Image::VoiceLabeledObjectsIn(
+    const Rect& r) const {
+  std::vector<GraphicsObject> out;
+  if (!graphics_) return out;
+  for (const GraphicsObject& o : graphics_->objects()) {
+    if (o.label.kind == LabelKind::kVoice && o.BoundingBox().Intersects(r)) {
+      out.push_back(o);
+    }
+  }
+  return out;
+}
+
+std::string Image::Serialize() const {
+  std::string out;
+  if (bitmap_) {
+    out.push_back(0);
+    out += bitmap_->Serialize();
+  } else if (graphics_) {
+    out.push_back(1);
+    out += graphics_->Serialize();
+  } else {
+    out.push_back(2);
+  }
+  return out;
+}
+
+StatusOr<Image> Image::Deserialize(std::string_view bytes) {
+  if (bytes.empty()) return Status::Corruption("empty image bytes");
+  const uint8_t kind = static_cast<uint8_t>(bytes[0]);
+  bytes.remove_prefix(1);
+  if (kind == 0) {
+    MINOS_ASSIGN_OR_RETURN(Bitmap bm, Bitmap::Deserialize(bytes));
+    return FromBitmap(std::move(bm));
+  }
+  if (kind == 1) {
+    MINOS_ASSIGN_OR_RETURN(GraphicsImage g,
+                           GraphicsImage::Deserialize(bytes));
+    return FromGraphics(std::move(g));
+  }
+  if (kind == 2) return Image();
+  return Status::Corruption("bad image kind byte");
+}
+
+}  // namespace minos::image

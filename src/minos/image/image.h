@@ -1,0 +1,74 @@
+#ifndef MINOS_IMAGE_IMAGE_H_
+#define MINOS_IMAGE_IMAGE_H_
+
+#include <optional>
+#include <string>
+
+#include "minos/image/bitmap.h"
+#include "minos/image/graphics.h"
+#include "minos/image/raster.h"
+#include "minos/util/statusor.h"
+
+namespace minos::image {
+
+/// A MINOS image: "Images in MINOS may be bitmaps or graphics." (§2)
+/// Both forms expose a common raster interface (presentation always ends
+/// at a framebuffer) while graphics images additionally carry selectable,
+/// labeled objects.
+class Image {
+ public:
+  /// Wraps a bitmap image.
+  static Image FromBitmap(Bitmap bitmap);
+
+  /// Wraps a graphics image.
+  static Image FromGraphics(GraphicsImage graphics);
+
+  Image() = default;
+
+  bool is_bitmap() const { return bitmap_.has_value(); }
+  bool is_graphics() const { return graphics_.has_value(); }
+
+  int width() const;
+  int height() const;
+
+  /// Full raster of the image. For graphics images, `highlighted_ids`
+  /// are drawn with halos.
+  Bitmap Render(const std::vector<uint32_t>& highlighted_ids = {}) const;
+
+  /// Raster of the sub-rectangle `r` only (the data a view retrieves).
+  Bitmap RenderRegion(const Rect& r,
+                      const std::vector<uint32_t>& highlighted_ids = {}) const;
+
+  /// Bytes a full-image retrieval transfers.
+  uint64_t ByteSize() const;
+
+  /// Bytes a retrieval of region `r` transfers (clipped to the image).
+  uint64_t RegionByteSize(const Rect& r) const;
+
+  /// Graphics-only facilities; Unsupported on bitmap images ------------
+
+  /// The underlying graphics (Unsupported for bitmaps).
+  StatusOr<GraphicsImage> graphics() const;
+
+  /// Topmost labeled object at a point (inverse label lookup).
+  StatusOr<GraphicsObject> ObjectAt(int x, int y) const;
+
+  /// Ids of objects whose label matches `pattern`.
+  std::vector<uint32_t> MatchLabels(std::string_view pattern) const;
+
+  /// All objects with a voice label intersecting `r` (played as a moving
+  /// view encounters them, §2).
+  std::vector<GraphicsObject> VoiceLabeledObjectsIn(const Rect& r) const;
+
+  /// Serialization for composition files and the archiver.
+  std::string Serialize() const;
+  static StatusOr<Image> Deserialize(std::string_view bytes);
+
+ private:
+  std::optional<Bitmap> bitmap_;
+  std::optional<GraphicsImage> graphics_;
+};
+
+}  // namespace minos::image
+
+#endif  // MINOS_IMAGE_IMAGE_H_

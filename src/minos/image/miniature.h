@@ -1,0 +1,56 @@
+#ifndef MINOS_IMAGE_MINIATURE_H_
+#define MINOS_IMAGE_MINIATURE_H_
+
+#include "minos/image/image.h"
+#include "minos/util/statusor.h"
+
+namespace minos::image {
+
+/// A representation (miniature) of an image: "an image itself, where only
+/// a high level representation of the content of the image are presented
+/// in positions which correspond to the actual positions of the objects of
+/// the image ... much smaller than the image itself, and thus it is easily
+/// transferable to main memory" (§2). Views defined on the miniature map
+/// back to regions of the full image so that only the view's data is
+/// transferred.
+class Miniature {
+ public:
+  /// Builds a miniature of `image` scaled down by integer factor
+  /// `scale` (>= 1). Bitmaps are box-filtered; graphics images render a
+  /// scaled sketch (bounding boxes + label anchors), matching the paper's
+  /// "high level representation of the content".
+  static StatusOr<Miniature> Build(const Image& image, int scale);
+
+  /// The miniature raster itself.
+  const Bitmap& raster() const { return raster_; }
+
+  /// Downscale factor.
+  int scale() const { return scale_; }
+
+  /// Size of the full image the miniature represents.
+  int full_width() const { return full_width_; }
+  int full_height() const { return full_height_; }
+
+  /// Maps a rectangle selected on the miniature to full-image
+  /// coordinates (the "define a view on the representation" operation).
+  Rect ToFullImage(const Rect& on_miniature) const;
+
+  /// Maps a full-image rectangle to miniature coordinates (for drawing
+  /// the current view's outline on the representation).
+  Rect ToMiniature(const Rect& on_full) const;
+
+  /// Bytes transferring the miniature costs.
+  uint64_t ByteSize() const { return raster_.ByteSize(); }
+
+ private:
+  Miniature() = default;
+
+  Bitmap raster_;
+  int scale_ = 1;
+  int full_width_ = 0;
+  int full_height_ = 0;
+};
+
+}  // namespace minos::image
+
+#endif  // MINOS_IMAGE_MINIATURE_H_

@@ -1,0 +1,157 @@
+#include "minos/image/raster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace minos::image {
+
+void DrawLine(Bitmap* bm, Point a, Point b, uint8_t ink) {
+  int x0 = a.x, y0 = a.y, x1 = b.x, y1 = b.y;
+  const int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  const int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    bm->Blend(x0, y0, ink);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void DrawCircle(Bitmap* bm, Point c, int radius, uint8_t ink) {
+  if (radius <= 0) {
+    bm->Blend(c.x, c.y, ink);
+    return;
+  }
+  int x = radius, y = 0, err = 1 - radius;
+  while (x >= y) {
+    bm->Blend(c.x + x, c.y + y, ink);
+    bm->Blend(c.x + y, c.y + x, ink);
+    bm->Blend(c.x - y, c.y + x, ink);
+    bm->Blend(c.x - x, c.y + y, ink);
+    bm->Blend(c.x - x, c.y - y, ink);
+    bm->Blend(c.x - y, c.y - x, ink);
+    bm->Blend(c.x + y, c.y - x, ink);
+    bm->Blend(c.x + x, c.y - y, ink);
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+void FillCircle(Bitmap* bm, Point c, int radius, uint8_t ink) {
+  for (int y = -radius; y <= radius; ++y) {
+    for (int x = -radius; x <= radius; ++x) {
+      if (x * x + y * y <= radius * radius) {
+        bm->Blend(c.x + x, c.y + y, ink);
+      }
+    }
+  }
+}
+
+void DrawPolyline(Bitmap* bm, const std::vector<Point>& points,
+                  uint8_t ink) {
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    DrawLine(bm, points[i], points[i + 1], ink);
+  }
+}
+
+void DrawPolygon(Bitmap* bm, const std::vector<Point>& points,
+                 uint8_t ink) {
+  if (points.size() < 2) return;
+  DrawPolyline(bm, points, ink);
+  DrawLine(bm, points.back(), points.front(), ink);
+}
+
+void FillPolygon(Bitmap* bm, const std::vector<Point>& points,
+                 uint8_t ink) {
+  if (points.size() < 3) return;
+  int y0 = points[0].y, y1 = points[0].y;
+  for (const Point& p : points) {
+    y0 = std::min(y0, p.y);
+    y1 = std::max(y1, p.y);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    // Gather x-crossings of scanline y.
+    std::vector<double> xs;
+    for (size_t i = 0, j = points.size() - 1; i < points.size(); j = i++) {
+      const Point& a = points[i];
+      const Point& b = points[j];
+      if ((a.y > y) != (b.y > y)) {
+        xs.push_back(a.x + static_cast<double>(y - a.y) / (b.y - a.y) *
+                               (b.x - a.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int xa = static_cast<int>(std::ceil(xs[i]));
+      const int xb = static_cast<int>(std::floor(xs[i + 1]));
+      for (int x = xa; x <= xb; ++x) bm->Blend(x, y, ink);
+    }
+  }
+}
+
+void RenderObject(Bitmap* bm, const GraphicsObject& object) {
+  switch (object.shape) {
+    case ShapeKind::kPoint:
+      if (!object.vertices.empty()) {
+        FillCircle(bm, object.vertices[0], 1, object.ink);
+      }
+      break;
+    case ShapeKind::kPolyline:
+      DrawPolyline(bm, object.vertices, object.ink);
+      break;
+    case ShapeKind::kPolygon:
+      if (object.filled) {
+        FillPolygon(bm, object.vertices, object.ink);
+      }
+      DrawPolygon(bm, object.vertices, object.ink);
+      break;
+    case ShapeKind::kCircle:
+      if (!object.vertices.empty()) {
+        if (object.filled) {
+          FillCircle(bm, object.vertices[0], object.radius, object.ink);
+        } else {
+          DrawCircle(bm, object.vertices[0], object.radius, object.ink);
+        }
+      }
+      break;
+  }
+}
+
+Bitmap Rasterize(const GraphicsImage& image,
+                 const std::vector<uint32_t>& highlighted_ids) {
+  Bitmap bm(image.width(), image.height());
+  for (const GraphicsObject& o : image.objects()) {
+    RenderObject(&bm, o);
+    const bool highlighted =
+        std::find(highlighted_ids.begin(), highlighted_ids.end(), o.id) !=
+        highlighted_ids.end();
+    if (highlighted) {
+      // Halo: draw the bounding box around the object at full ink.
+      const Rect bb = o.BoundingBox();
+      const Rect halo{bb.x - 2, bb.y - 2, bb.w + 4, bb.h + 4};
+      DrawPolygon(&bm,
+                  {{halo.x, halo.y},
+                   {halo.x + halo.w - 1, halo.y},
+                   {halo.x + halo.w - 1, halo.y + halo.h - 1},
+                   {halo.x, halo.y + halo.h - 1}},
+                  255);
+    }
+  }
+  return bm;
+}
+
+}  // namespace minos::image

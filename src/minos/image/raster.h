@@ -1,0 +1,43 @@
+#ifndef MINOS_IMAGE_RASTER_H_
+#define MINOS_IMAGE_RASTER_H_
+
+#include "minos/image/bitmap.h"
+#include "minos/image/graphics.h"
+
+namespace minos::image {
+
+/// Scan-conversion primitives used to turn graphics objects into ink.
+/// The archival form of an image with graphics is "device and software
+/// package independent" (§4); rasterization happens at presentation time.
+
+/// Bresenham line.
+void DrawLine(Bitmap* bm, Point a, Point b, uint8_t ink);
+
+/// Midpoint circle outline.
+void DrawCircle(Bitmap* bm, Point center, int radius, uint8_t ink);
+
+/// Filled circle.
+void FillCircle(Bitmap* bm, Point center, int radius, uint8_t ink);
+
+/// Polyline (open).
+void DrawPolyline(Bitmap* bm, const std::vector<Point>& points,
+                  uint8_t ink);
+
+/// Polygon outline (closed).
+void DrawPolygon(Bitmap* bm, const std::vector<Point>& points, uint8_t ink);
+
+/// Scanline-filled polygon (even-odd rule).
+void FillPolygon(Bitmap* bm, const std::vector<Point>& points, uint8_t ink);
+
+/// Renders one graphics object.
+void RenderObject(Bitmap* bm, const GraphicsObject& object);
+
+/// Renders a whole graphics image onto a bitmap of its canvas size.
+/// Highlighted object ids are drawn with a double-thick halo (the paper's
+/// label-pattern highlighting).
+Bitmap Rasterize(const GraphicsImage& image,
+                 const std::vector<uint32_t>& highlighted_ids = {});
+
+}  // namespace minos::image
+
+#endif  // MINOS_IMAGE_RASTER_H_

@@ -1,0 +1,11 @@
+#include "minos/image/tour.h"
+
+namespace minos::image {
+
+StatusOr<Rect> Tour::RectAt(size_t i) const {
+  if (i >= stops_.size()) return Status::OutOfRange("tour stop past end");
+  return Rect{stops_[i].position.x, stops_[i].position.y, view_width_,
+              view_height_};
+}
+
+}  // namespace minos::image

@@ -1,0 +1,55 @@
+#ifndef MINOS_IMAGE_TOUR_H_
+#define MINOS_IMAGE_TOUR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minos/image/image.h"
+#include "minos/util/clock.h"
+#include "minos/util/statusor.h"
+
+namespace minos::image {
+
+/// One stop of a tour: a position of the tour rectangle, optionally with a
+/// logical message. "A tour is defined by a rectangle and a sequence of
+/// points indicating the position of the rectangle on the large image ...
+/// A logical message (visual or audio) may be associated with each
+/// position of the tour." (§2)
+struct TourStop {
+  Point position;                      ///< Top-left of the rectangle.
+  std::optional<std::string> visual_message;
+  std::optional<std::string> audio_message;  ///< Transcript to speak.
+  Micros dwell = SecondsToMicros(2);   ///< Time at this stop (no message).
+};
+
+/// A designer-authored tour over an image: an automatically played
+/// sequence of views. Playback itself (timing, messages, interruption)
+/// is driven by the presentation manager; this class holds the authored
+/// data and the view sequence.
+class Tour {
+ public:
+  /// A tour with a fixed rectangle size.
+  Tour(int view_width, int view_height)
+      : view_width_(view_width), view_height_(view_height) {}
+
+  /// Appends a stop.
+  void AddStop(TourStop stop) { stops_.push_back(std::move(stop)); }
+
+  int view_width() const { return view_width_; }
+  int view_height() const { return view_height_; }
+  const std::vector<TourStop>& stops() const { return stops_; }
+  size_t size() const { return stops_.size(); }
+
+  /// The view rectangle at stop `i` (OutOfRange past the end).
+  StatusOr<Rect> RectAt(size_t i) const;
+
+ private:
+  int view_width_;
+  int view_height_;
+  std::vector<TourStop> stops_;
+};
+
+}  // namespace minos::image
+
+#endif  // MINOS_IMAGE_TOUR_H_

@@ -1,0 +1,57 @@
+#include "minos/image/view.h"
+
+#include <algorithm>
+
+namespace minos::image {
+
+View::View(const Image* image, Rect rect) : image_(image) {
+  rect_ = Clamp(rect);
+}
+
+Rect View::Clamp(Rect r) const {
+  r.w = std::clamp(r.w, 1, std::max(1, image_->width()));
+  r.h = std::clamp(r.h, 1, std::max(1, image_->height()));
+  r.x = std::clamp(r.x, 0, std::max(0, image_->width() - r.w));
+  r.y = std::clamp(r.y, 0, std::max(0, image_->height() - r.h));
+  return r;
+}
+
+std::vector<GraphicsObject> View::NewVoiceLabels(const Rect& before,
+                                                 const Rect& after) const {
+  std::vector<GraphicsObject> fresh;
+  if (!voice_option_) return fresh;
+  for (const GraphicsObject& o : image_->VoiceLabeledObjectsIn(after)) {
+    if (!o.BoundingBox().Intersects(before)) fresh.push_back(o);
+  }
+  return fresh;
+}
+
+std::vector<GraphicsObject> View::Move(int dx, int dy) {
+  const Rect before = rect_;
+  rect_ = Clamp(Rect{rect_.x + dx, rect_.y + dy, rect_.w, rect_.h});
+  return NewVoiceLabels(before, rect_);
+}
+
+std::vector<GraphicsObject> View::JumpTo(int x, int y) {
+  const Rect before = rect_;
+  rect_ = Clamp(Rect{x, y, rect_.w, rect_.h});
+  return NewVoiceLabels(before, rect_);
+}
+
+std::vector<GraphicsObject> View::Resize(int dw, int dh) {
+  const Rect before = rect_;
+  Rect r = rect_;
+  r.x -= dw / 2;
+  r.y -= dh / 2;
+  r.w += dw;
+  r.h += dh;
+  rect_ = Clamp(r);
+  return NewVoiceLabels(before, rect_);
+}
+
+Bitmap View::Retrieve() {
+  bytes_transferred_ += image_->RegionByteSize(rect_);
+  return image_->RenderRegion(rect_);
+}
+
+}  // namespace minos::image

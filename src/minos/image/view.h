@@ -1,0 +1,65 @@
+#ifndef MINOS_IMAGE_VIEW_H_
+#define MINOS_IMAGE_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minos/image/image.h"
+#include "minos/util/statusor.h"
+
+namespace minos::image {
+
+/// A view: "a rectangle overlaid on an image. The portion of the image
+/// which is enclosed by the rectangle is presented into the display ...
+/// The view can be moved at the top of the image using menu options and
+/// the mouse ... The dimensions of the view can be shrunk or expanded"
+/// (§2). The view tracks the bytes it caused to be transferred, which is
+/// what the VIEW-1 experiment measures against full-image retrieval.
+class View {
+ public:
+  /// Creates a view over `image` (borrowed; must outlive the view).
+  /// The rectangle is clamped into the image.
+  View(const Image* image, Rect rect);
+
+  /// Current view rectangle.
+  const Rect& rect() const { return rect_; }
+
+  /// Moves by a delta (clamped). If the voice option is on, returns the
+  /// voice-labeled objects newly intersecting the view (the system "plays
+  /// the voice labels which are encountered as the view moves").
+  std::vector<GraphicsObject> Move(int dx, int dy);
+
+  /// Non-contiguous move (jump) to an absolute position (clamped).
+  std::vector<GraphicsObject> JumpTo(int x, int y);
+
+  /// Grows each dimension by (dw, dh), anchored at the center (clamped;
+  /// minimum size 1x1). "When the size increases new labels may be
+  /// played" — newly covered voice labels are returned.
+  std::vector<GraphicsObject> Resize(int dw, int dh);
+
+  /// Retrieves the data under the view: renders the region and charges
+  /// `RegionByteSize` to the transfer counter.
+  Bitmap Retrieve();
+
+  /// Total bytes retrieved through this view so far.
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  /// Voice-label playback option (§2: "If the voice option has been
+  /// turned on...").
+  void set_voice_option(bool on) { voice_option_ = on; }
+  bool voice_option() const { return voice_option_; }
+
+ private:
+  Rect Clamp(Rect r) const;
+  std::vector<GraphicsObject> NewVoiceLabels(const Rect& before,
+                                             const Rect& after) const;
+
+  const Image* image_;
+  Rect rect_;
+  bool voice_option_ = false;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace minos::image
+
+#endif  // MINOS_IMAGE_VIEW_H_

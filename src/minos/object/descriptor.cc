@@ -1,0 +1,378 @@
+#include "minos/object/descriptor.h"
+
+#include "minos/util/coding.h"
+
+namespace minos::object {
+
+namespace {
+
+void PutOptAnchor(std::string* out, const std::optional<TextAnchor>& a) {
+  out->push_back(a.has_value() ? 1 : 0);
+  if (a.has_value()) {
+    PutVarint64(out, a->begin);
+    PutVarint64(out, a->end);
+  }
+}
+
+void PutOptVoiceAnchor(std::string* out,
+                       const std::optional<VoiceAnchor>& a) {
+  out->push_back(a.has_value() ? 1 : 0);
+  if (a.has_value()) {
+    PutVarint64(out, a->begin);
+    PutVarint64(out, a->end);
+  }
+}
+
+void PutOptU32(std::string* out, const std::optional<uint32_t>& v) {
+  out->push_back(v.has_value() ? 1 : 0);
+  if (v.has_value()) PutVarint32(out, *v);
+}
+
+Status GetFlag(Decoder* dec, bool* flag) {
+  std::string b;
+  MINOS_RETURN_IF_ERROR(dec->GetRaw(1, &b));
+  *flag = b[0] != 0;
+  return Status::OK();
+}
+
+Status GetOptAnchor(Decoder* dec, std::optional<TextAnchor>* a) {
+  bool has = false;
+  MINOS_RETURN_IF_ERROR(GetFlag(dec, &has));
+  if (!has) {
+    a->reset();
+    return Status::OK();
+  }
+  TextAnchor anchor;
+  MINOS_RETURN_IF_ERROR(dec->GetVarint64(&anchor.begin));
+  MINOS_RETURN_IF_ERROR(dec->GetVarint64(&anchor.end));
+  *a = anchor;
+  return Status::OK();
+}
+
+Status GetOptVoiceAnchor(Decoder* dec, std::optional<VoiceAnchor>* a) {
+  bool has = false;
+  MINOS_RETURN_IF_ERROR(GetFlag(dec, &has));
+  if (!has) {
+    a->reset();
+    return Status::OK();
+  }
+  VoiceAnchor anchor;
+  MINOS_RETURN_IF_ERROR(dec->GetVarint64(&anchor.begin));
+  MINOS_RETURN_IF_ERROR(dec->GetVarint64(&anchor.end));
+  *a = anchor;
+  return Status::OK();
+}
+
+Status GetOptU32(Decoder* dec, std::optional<uint32_t>* v) {
+  bool has = false;
+  MINOS_RETURN_IF_ERROR(GetFlag(dec, &has));
+  if (!has) {
+    v->reset();
+    return Status::OK();
+  }
+  uint32_t value = 0;
+  MINOS_RETURN_IF_ERROR(dec->GetVarint32(&value));
+  *v = value;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PartPointer> ObjectDescriptor::FindPart(
+    std::string_view name) const {
+  for (const PartPointer& p : parts) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("descriptor has no part '" + std::string(name) +
+                          "'");
+}
+
+void ObjectDescriptor::RebaseCompositionOffsets(uint64_t delta) {
+  for (PartPointer& p : parts) {
+    if (!p.in_archiver) p.offset += delta;
+  }
+}
+
+std::string ObjectDescriptor::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(driving_mode));
+  PutVarint32(&out, static_cast<uint32_t>(layout.width));
+  PutVarint32(&out, static_cast<uint32_t>(layout.height));
+  PutVarint32(&out, static_cast<uint32_t>(layout.paragraph_indent));
+  out.push_back(layout.chapter_starts_page ? 1 : 0);
+
+  PutVarint64(&out, parts.size());
+  for (const PartPointer& p : parts) {
+    PutLengthPrefixed(&out, p.name);
+    out.push_back(static_cast<char>(p.type));
+    out.push_back(p.in_archiver ? 1 : 0);
+    PutVarint64(&out, p.offset);
+    PutVarint64(&out, p.length);
+  }
+
+  PutVarint64(&out, pages.size());
+  for (const VisualPageSpec& page : pages) {
+    out.push_back(static_cast<char>(page.kind));
+    PutVarint32(&out, page.text_page);
+    PutVarint64(&out, page.images.size());
+    for (const PlacedImage& pi : page.images) {
+      PutVarint32(&out, pi.image_index);
+      PutVarint32(&out, static_cast<uint32_t>(pi.placement.x));
+      PutVarint32(&out, static_cast<uint32_t>(pi.placement.y));
+      PutVarint32(&out, static_cast<uint32_t>(pi.placement.w));
+      PutVarint32(&out, static_cast<uint32_t>(pi.placement.h));
+    }
+  }
+
+  PutVarint64(&out, voice_messages.size());
+  for (const VoiceLogicalMessage& m : voice_messages) {
+    PutLengthPrefixed(&out, m.transcript);
+    PutOptAnchor(&out, m.text_anchor);
+    PutOptU32(&out, m.image_index);
+    PutOptVoiceAnchor(&out, m.voice_anchor);
+  }
+
+  PutVarint64(&out, visual_messages.size());
+  for (const VisualLogicalMessage& m : visual_messages) {
+    PutLengthPrefixed(&out, m.text);
+    PutOptU32(&out, m.image_index);
+    PutVarint64(&out, m.voice_anchors.size());
+    for (const VoiceAnchor& a : m.voice_anchors) {
+      PutVarint64(&out, a.begin);
+      PutVarint64(&out, a.end);
+    }
+    PutVarint64(&out, m.text_anchors.size());
+    for (const TextAnchor& a : m.text_anchors) {
+      PutVarint64(&out, a.begin);
+      PutVarint64(&out, a.end);
+    }
+    out.push_back(m.display_once ? 1 : 0);
+  }
+
+  PutVarint64(&out, transparency_sets.size());
+  for (const TransparencySetSpec& t : transparency_sets) {
+    PutVarint32(&out, t.first_page);
+    PutVarint32(&out, t.count);
+    out.push_back(static_cast<char>(t.method));
+  }
+
+  PutVarint64(&out, process_simulations.size());
+  for (const ProcessSimulationSpec& p : process_simulations) {
+    PutVarint32(&out, p.first_page);
+    PutVarint32(&out, p.count);
+    PutVarint64(&out, static_cast<uint64_t>(p.page_interval));
+    PutVarint64(&out, p.page_messages.size());
+    for (const std::string& m : p.page_messages) {
+      PutLengthPrefixed(&out, m);
+    }
+  }
+
+  PutVarint64(&out, relevant_objects.size());
+  for (const RelevantObjectLink& r : relevant_objects) {
+    PutVarint64(&out, r.target);
+    PutLengthPrefixed(&out, r.indicator_label);
+    PutOptAnchor(&out, r.parent_text_anchor);
+    PutOptVoiceAnchor(&out, r.parent_voice_anchor);
+    PutOptU32(&out, r.parent_image_index);
+    PutVarint64(&out, r.relevances.size());
+    for (const Relevance& rel : r.relevances) {
+      PutOptAnchor(&out, rel.text_span);
+      PutOptU32(&out, rel.image_index);
+      PutOptU32(&out, rel.image_object_id);
+      PutOptVoiceAnchor(&out, rel.voice_span);
+    }
+  }
+
+  PutVarint64(&out, tours.size());
+  for (const TourSpec& t : tours) {
+    PutVarint32(&out, t.image_index);
+    PutVarint32(&out, static_cast<uint32_t>(t.view_width));
+    PutVarint32(&out, static_cast<uint32_t>(t.view_height));
+    PutVarint64(&out, t.positions.size());
+    for (const image::Point& p : t.positions) {
+      PutVarint32(&out, static_cast<uint32_t>(p.x));
+      PutVarint32(&out, static_cast<uint32_t>(p.y));
+    }
+    PutVarint64(&out, t.audio_messages.size());
+    for (const std::string& m : t.audio_messages) {
+      PutLengthPrefixed(&out, m);
+    }
+  }
+  return out;
+}
+
+StatusOr<ObjectDescriptor> ObjectDescriptor::Deserialize(
+    std::string_view bytes) {
+  Decoder dec(bytes);
+  ObjectDescriptor d;
+  std::string b;
+  MINOS_RETURN_IF_ERROR(dec.GetRaw(1, &b));
+  if (static_cast<uint8_t>(b[0]) > 1) {
+    return Status::Corruption("bad driving mode");
+  }
+  d.driving_mode = static_cast<DrivingMode>(b[0]);
+  uint32_t lw = 0, lh = 0, li = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetVarint32(&lw));
+  MINOS_RETURN_IF_ERROR(dec.GetVarint32(&lh));
+  MINOS_RETURN_IF_ERROR(dec.GetVarint32(&li));
+  d.layout.width = static_cast<int>(lw);
+  d.layout.height = static_cast<int>(lh);
+  d.layout.paragraph_indent = static_cast<int>(li);
+  bool csp = true;
+  MINOS_RETURN_IF_ERROR(GetFlag(&dec, &csp));
+  d.layout.chapter_starts_page = csp;
+
+  uint64_t n = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    PartPointer p;
+    MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&p.name));
+    MINOS_RETURN_IF_ERROR(dec.GetRaw(2, &b));
+    p.type = static_cast<storage::DataType>(static_cast<uint8_t>(b[0]));
+    p.in_archiver = b[1] != 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&p.offset));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&p.length));
+    d.parts.push_back(std::move(p));
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    VisualPageSpec page;
+    MINOS_RETURN_IF_ERROR(dec.GetRaw(1, &b));
+    page.kind = static_cast<VisualPageSpec::Kind>(static_cast<uint8_t>(b[0]));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&page.text_page));
+    uint64_t ni = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&ni));
+    for (uint64_t j = 0; j < ni; ++j) {
+      PlacedImage pi;
+      uint32_t x = 0, y = 0, w = 0, h = 0;
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&pi.image_index));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&x));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&y));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&w));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&h));
+      pi.placement = image::Rect{static_cast<int>(x), static_cast<int>(y),
+                                 static_cast<int>(w), static_cast<int>(h)};
+      page.images.push_back(pi);
+    }
+    d.pages.push_back(std::move(page));
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    VoiceLogicalMessage m;
+    MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&m.transcript));
+    MINOS_RETURN_IF_ERROR(GetOptAnchor(&dec, &m.text_anchor));
+    MINOS_RETURN_IF_ERROR(GetOptU32(&dec, &m.image_index));
+    MINOS_RETURN_IF_ERROR(GetOptVoiceAnchor(&dec, &m.voice_anchor));
+    d.voice_messages.push_back(std::move(m));
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    VisualLogicalMessage m;
+    MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&m.text));
+    MINOS_RETURN_IF_ERROR(GetOptU32(&dec, &m.image_index));
+    uint64_t na = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&na));
+    for (uint64_t j = 0; j < na; ++j) {
+      VoiceAnchor a;
+      MINOS_RETURN_IF_ERROR(dec.GetVarint64(&a.begin));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint64(&a.end));
+      m.voice_anchors.push_back(a);
+    }
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&na));
+    for (uint64_t j = 0; j < na; ++j) {
+      TextAnchor a;
+      MINOS_RETURN_IF_ERROR(dec.GetVarint64(&a.begin));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint64(&a.end));
+      m.text_anchors.push_back(a);
+    }
+    bool once = false;
+    MINOS_RETURN_IF_ERROR(GetFlag(&dec, &once));
+    m.display_once = once;
+    d.visual_messages.push_back(std::move(m));
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    TransparencySetSpec t;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&t.first_page));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&t.count));
+    MINOS_RETURN_IF_ERROR(dec.GetRaw(1, &b));
+    t.method = static_cast<TransparencyDisplay>(static_cast<uint8_t>(b[0]));
+    d.transparency_sets.push_back(t);
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ProcessSimulationSpec p;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&p.first_page));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&p.count));
+    uint64_t interval = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&interval));
+    p.page_interval = static_cast<Micros>(interval);
+    uint64_t nm = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&nm));
+    for (uint64_t j = 0; j < nm; ++j) {
+      std::string m;
+      MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&m));
+      p.page_messages.push_back(std::move(m));
+    }
+    d.process_simulations.push_back(std::move(p));
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    RelevantObjectLink r;
+    uint64_t target = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&target));
+    r.target = target;
+    MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&r.indicator_label));
+    MINOS_RETURN_IF_ERROR(GetOptAnchor(&dec, &r.parent_text_anchor));
+    MINOS_RETURN_IF_ERROR(GetOptVoiceAnchor(&dec, &r.parent_voice_anchor));
+    MINOS_RETURN_IF_ERROR(GetOptU32(&dec, &r.parent_image_index));
+    uint64_t nr = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&nr));
+    for (uint64_t j = 0; j < nr; ++j) {
+      Relevance rel;
+      MINOS_RETURN_IF_ERROR(GetOptAnchor(&dec, &rel.text_span));
+      MINOS_RETURN_IF_ERROR(GetOptU32(&dec, &rel.image_index));
+      MINOS_RETURN_IF_ERROR(GetOptU32(&dec, &rel.image_object_id));
+      MINOS_RETURN_IF_ERROR(GetOptVoiceAnchor(&dec, &rel.voice_span));
+      r.relevances.push_back(rel);
+    }
+    d.relevant_objects.push_back(std::move(r));
+  }
+
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    TourSpec t;
+    uint32_t vw = 0, vh = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&t.image_index));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&vw));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&vh));
+    t.view_width = static_cast<int>(vw);
+    t.view_height = static_cast<int>(vh);
+    uint64_t np = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&np));
+    for (uint64_t j = 0; j < np; ++j) {
+      uint32_t x = 0, y = 0;
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&x));
+      MINOS_RETURN_IF_ERROR(dec.GetVarint32(&y));
+      t.positions.push_back(
+          image::Point{static_cast<int>(x), static_cast<int>(y)});
+    }
+    uint64_t nm = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&nm));
+    for (uint64_t j = 0; j < nm; ++j) {
+      std::string m;
+      MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&m));
+      t.audio_messages.push_back(std::move(m));
+    }
+    d.tours.push_back(std::move(t));
+  }
+  return d;
+}
+
+}  // namespace minos::object

@@ -1,0 +1,220 @@
+#ifndef MINOS_OBJECT_DESCRIPTOR_H_
+#define MINOS_OBJECT_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minos/image/bitmap.h"
+#include "minos/image/graphics.h"
+#include "minos/storage/composition_file.h"
+#include "minos/storage/version_store.h"
+#include "minos/text/formatter.h"
+#include "minos/util/clock.h"
+#include "minos/util/statusor.h"
+
+namespace minos::object {
+
+/// The principal way an object presents its information: "Each multimedia
+/// object has a driving mode associated with it ... either visual or
+/// audio. ... The reason for enforcing a driving mode for each multimedia
+/// object is so that the users do not become confused trying to navigate
+/// in two different media at the same time." (§2)
+enum class DrivingMode : uint8_t { kVisual = 0, kAudio = 1 };
+
+/// A text segment anchor: "Text is linear. Two points identify the
+/// beginning and the end of a text segment. The two points may coincide."
+/// (§2) Offsets are characters into the object text part.
+struct TextAnchor {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  /// A point anchor (begin == end) contains exactly its point.
+  bool Contains(uint64_t pos) const {
+    if (begin == end) return pos == begin;
+    return pos >= begin && pos < end;
+  }
+  friend bool operator==(const TextAnchor&, const TextAnchor&) = default;
+};
+
+/// A voice segment anchor (sample offsets into the object voice part).
+/// begin == end identifies a particular *point* within the voice part.
+struct VoiceAnchor {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  /// A point anchor (begin == end) contains exactly its point.
+  bool Contains(uint64_t pos) const {
+    if (begin == end) return pos == begin;
+    return pos >= begin && pos < end;
+  }
+  friend bool operator==(const VoiceAnchor&, const VoiceAnchor&) = default;
+};
+
+/// A voice logical message: "unstructured audio segments (typically
+/// short). They can be attached to either visual mode objects or audio
+/// mode objects ... The semantics are that the voice logical message will
+/// be played when the user first branches into the corresponding segments
+/// during browsing." (§2)
+struct VoiceLogicalMessage {
+  std::string transcript;  ///< Words handed to the speech synthesizer.
+  /// Visual-mode attachments: a text segment and/or an image (by index
+  /// into the object image part). Messages may attach to overlapping
+  /// segments.
+  std::optional<TextAnchor> text_anchor;
+  std::optional<uint32_t> image_index;
+  /// Audio-mode attachment: a voice segment or point.
+  std::optional<VoiceAnchor> voice_anchor;
+};
+
+/// A visual logical message: "short (at most one visual page long)
+/// segments of visual information (text and/or images). They are
+/// unstructured in the sense that they are always displayed in the same
+/// page of the presentation form (top part)." (§2)
+struct VisualLogicalMessage {
+  std::string text;                     ///< Text content (may be empty).
+  std::optional<uint32_t> image_index;  ///< Pinned image, if any.
+  /// Audio-mode attachments: displayed for the duration of each related
+  /// voice segment.
+  std::vector<VoiceAnchor> voice_anchors;
+  /// Visual-mode attachments: pinned at the top while the lower screen
+  /// pages through the related text.
+  std::vector<TextAnchor> text_anchors;
+  /// "The user has the option to specify that the visual logical message
+  /// is displayed only once" per branch into a related segment.
+  bool display_once = false;
+};
+
+/// How the transparencies of a set are presented: "The first method is by
+/// displaying every transparency on the top of one another ... The second
+/// method is by displaying every transparency of the set separately, on
+/// the top of the last page before the transparency set." (§2)
+enum class TransparencyDisplay : uint8_t { kStacked = 0, kSeparate = 1 };
+
+/// An image placed on a visual page.
+struct PlacedImage {
+  uint32_t image_index = 0;  ///< Index into the object image part.
+  image::Rect placement;     ///< Where on the page it lands.
+};
+
+/// One page of the visual presentation form.
+struct VisualPageSpec {
+  enum class Kind : uint8_t {
+    kNormal = 0,
+    kTransparency = 1,  ///< Overlays the previous page.
+    kOverwrite = 2,     ///< Inked pixels replace, blanks leave intact.
+  };
+  Kind kind = Kind::kNormal;
+  /// 1-based formatted text page shown on this visual page (0 = none).
+  uint32_t text_page = 0;
+  std::vector<PlacedImage> images;
+};
+
+/// A transparency set: an ordered run of consecutive transparency pages.
+struct TransparencySetSpec {
+  uint32_t first_page = 0;  ///< Index into VisualPageSpec vector.
+  uint32_t count = 0;
+  TransparencyDisplay method = TransparencyDisplay::kStacked;
+};
+
+/// A process simulation: "an ordered set of consecutive visual pages which
+/// is displayed one after the other automatically ... When audio messages
+/// are attached the next visual page is only shown after the logical audio
+/// message has been played. The relative speed ... is set at object
+/// creation time but it may be altered by the user." (§2)
+struct ProcessSimulationSpec {
+  uint32_t first_page = 0;
+  uint32_t count = 0;
+  Micros page_interval = SecondsToMicros(1);
+  /// Transcripts of per-page voice messages (empty string = none).
+  std::vector<std::string> page_messages;
+};
+
+/// A relevance inside a relevant object: a section of its text, a part of
+/// one of its images, or one of its voice segments that relates to the
+/// parent section (§2).
+struct Relevance {
+  std::optional<TextAnchor> text_span;   ///< Begin/end indicators.
+  std::optional<uint32_t> image_index;   ///< Image carrying the polygon.
+  std::optional<uint32_t> image_object_id;  ///< Polygon drawn on top.
+  std::optional<VoiceAnchor> voice_span; ///< Played independently.
+};
+
+/// A link from a section of this (parent) object to an independent
+/// relevant object (§2). The indicator is displayed while browsing the
+/// anchored section; following it suspends the parent's driving mode.
+struct RelevantObjectLink {
+  storage::ObjectId target = 0;
+  std::string indicator_label;
+  /// Where in the parent the indicator shows (text span for visual-mode
+  /// parents, voice span for audio-mode parents; image anchors use
+  /// parent_image_index).
+  std::optional<TextAnchor> parent_text_anchor;
+  std::optional<VoiceAnchor> parent_voice_anchor;
+  std::optional<uint32_t> parent_image_index;
+  /// Relevances within the target object.
+  std::vector<Relevance> relevances;
+};
+
+/// Where the payload of one object part lives: inside the object's own
+/// composition file, or at an offset within the archiver ("the object
+/// descriptor points either to offsets within the composition file or to
+/// offsets within the archiver", §4).
+struct PartPointer {
+  std::string name;
+  storage::DataType type = storage::DataType::kOther;
+  bool in_archiver = false;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// The multimedia object descriptor: "The data interrelationships that are
+/// useful for multimedia object presentation and browsing are encoded
+/// within the multimedia object descriptor. The presentation manager uses
+/// the descriptor in order to navigate through various parts of an object
+/// during browsing." (§4)
+class ObjectDescriptor {
+ public:
+  ObjectDescriptor() = default;
+
+  DrivingMode driving_mode = DrivingMode::kVisual;
+
+  /// Text layout the formatter used; the presentation manager reformats
+  /// the text part with the same layout so page numbers in `pages` match.
+  text::PageLayout layout;
+
+  std::vector<PartPointer> parts;
+  std::vector<VisualPageSpec> pages;
+  std::vector<VoiceLogicalMessage> voice_messages;
+  std::vector<VisualLogicalMessage> visual_messages;
+  std::vector<TransparencySetSpec> transparency_sets;
+  std::vector<ProcessSimulationSpec> process_simulations;
+  std::vector<RelevantObjectLink> relevant_objects;
+
+  /// Tours and views are authored per image; the descriptor stores tours
+  /// as (image index, serialized tour) to keep image data self-contained.
+  struct TourSpec {
+    uint32_t image_index = 0;
+    int view_width = 0;
+    int view_height = 0;
+    std::vector<image::Point> positions;
+    std::vector<std::string> audio_messages;  ///< One per position ("" = none).
+  };
+  std::vector<TourSpec> tours;
+
+  /// Finds a part pointer by name.
+  StatusOr<PartPointer> FindPart(std::string_view name) const;
+
+  /// Rebases every composition-file offset by `delta` (used when the
+  /// composition file is placed at an offset within the archiver, §4:
+  /// "the offsets of the descriptor have to be incremented by the offset
+  /// where the composition file is placed within the archiver").
+  void RebaseCompositionOffsets(uint64_t delta);
+
+  /// Serialization.
+  std::string Serialize() const;
+  static StatusOr<ObjectDescriptor> Deserialize(std::string_view bytes);
+};
+
+}  // namespace minos::object
+
+#endif  // MINOS_OBJECT_DESCRIPTOR_H_

@@ -1,0 +1,41 @@
+#ifndef MINOS_OBJECT_PART_CODEC_H_
+#define MINOS_OBJECT_PART_CODEC_H_
+
+#include <map>
+#include <string>
+
+#include "minos/text/document.h"
+#include "minos/util/statusor.h"
+#include "minos/voice/voice_document.h"
+
+namespace minos::object {
+
+/// Byte codecs for the media parts of a multimedia object: these are the
+/// "final form ... device and software package independent" (§4) encodings
+/// that composition files and the archiver store.
+
+/// Encodes a text document (contents + logical components + emphasis).
+std::string EncodeDocument(const text::Document& doc);
+
+/// Decodes a text document.
+StatusOr<text::Document> DecodeDocument(std::string_view bytes);
+
+/// Encodes a voice document (PCM + word alignment + silences + tagged
+/// logical components).
+std::string EncodeVoiceDocument(const voice::VoiceDocument& doc);
+
+/// Decodes a voice document.
+StatusOr<voice::VoiceDocument> DecodeVoiceDocument(std::string_view bytes);
+
+/// Attribute map used by MultimediaObject.
+using AttributeMap = std::map<std::string, std::string, std::less<>>;
+
+/// Encodes the attribute part.
+std::string EncodeAttributes(const AttributeMap& attributes);
+
+/// Decodes the attribute part.
+StatusOr<AttributeMap> DecodeAttributes(std::string_view bytes);
+
+}  // namespace minos::object
+
+#endif  // MINOS_OBJECT_PART_CODEC_H_

@@ -1,0 +1,52 @@
+#include "minos/render/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace minos::render {
+
+Status WritePgm(const image::Bitmap& bm, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "P5\n%d %d\n255\n", bm.width(), bm.height());
+  for (int y = 0; y < bm.height(); ++y) {
+    for (int x = 0; x < bm.width(); ++x) {
+      // Invert: ink 255 -> black (0) on white paper.
+      const unsigned char v =
+          static_cast<unsigned char>(255 - bm.At(x, y));
+      std::fputc(v, f);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+std::string ToAscii(const image::Bitmap& bm, int max_width) {
+  std::string out;
+  if (bm.empty() || max_width <= 0) return out;
+  static const char kRamp[] = " .:-=+*#%@";
+  const int levels = static_cast<int>(sizeof(kRamp)) - 1;  // 10 glyphs.
+  const int step = std::max(1, (bm.width() + max_width - 1) / max_width);
+  // Character cells are roughly twice as tall as wide.
+  const int ystep = step * 2;
+  for (int y = 0; y < bm.height(); y += ystep) {
+    for (int x = 0; x < bm.width(); x += step) {
+      uint32_t sum = 0;
+      int n = 0;
+      for (int dy = 0; dy < ystep && y + dy < bm.height(); ++dy) {
+        for (int dx = 0; dx < step && x + dx < bm.width(); ++dx) {
+          sum += bm.At(x + dx, y + dy);
+          ++n;
+        }
+      }
+      const int avg = n > 0 ? static_cast<int>(sum / n) : 0;
+      out.push_back(kRamp[avg * levels / 256]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace minos::render

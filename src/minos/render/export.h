@@ -1,0 +1,22 @@
+#ifndef MINOS_RENDER_EXPORT_H_
+#define MINOS_RENDER_EXPORT_H_
+
+#include <string>
+
+#include "minos/image/bitmap.h"
+#include "minos/util/status.h"
+
+namespace minos::render {
+
+/// Writes a bitmap as a binary PGM (grayscale; ink 255 renders black so
+/// pages look like paper).
+Status WritePgm(const image::Bitmap& bm, const std::string& path);
+
+/// Renders a bitmap as ASCII art, downsampled so the output is at most
+/// `max_width` characters wide. Used by examples to show pages in a
+/// terminal.
+std::string ToAscii(const image::Bitmap& bm, int max_width = 96);
+
+}  // namespace minos::render
+
+#endif  // MINOS_RENDER_EXPORT_H_

@@ -1,0 +1,44 @@
+#ifndef MINOS_RENDER_FONT5X7_H_
+#define MINOS_RENDER_FONT5X7_H_
+
+#include <cstdint>
+
+#include "minos/image/bitmap.h"
+
+namespace minos::render {
+
+/// Fixed 5x7 raster font covering printable ASCII (32..126). The SUN-3
+/// workstation drew text with its display firmware fonts; the reproduction
+/// embeds a small public-domain-style glyph set so that visual pages are
+/// self-contained and deterministic.
+///
+/// Glyphs are stored as 5 column bytes; bit 0 is the top row.
+struct Font5x7 {
+  static constexpr int kGlyphWidth = 5;
+  static constexpr int kGlyphHeight = 7;
+  static constexpr int kCellWidth = 6;   ///< Glyph + 1 px spacing.
+  static constexpr int kCellHeight = 9;  ///< Glyph + leading + underline row.
+
+  /// The 5 column bytes of `c` (space for characters outside 32..126).
+  static const uint8_t* Glyph(char c);
+
+  /// Draws one character with its top-left cell corner at (x, y).
+  static void DrawChar(image::Bitmap* bm, int x, int y, char c, uint8_t ink,
+                       bool bold = false, bool underline = false);
+
+  /// Draws a string; returns the x coordinate after the last cell.
+  static int DrawString(image::Bitmap* bm, int x, int y,
+                        std::string_view text, uint8_t ink,
+                        bool bold = false, bool underline = false);
+
+  /// Draws a string at an integer scale factor ("letter sizes", §3):
+  /// each glyph pixel becomes a scale x scale block. Returns the x
+  /// coordinate after the last cell.
+  static int DrawStringScaled(image::Bitmap* bm, int x, int y,
+                              std::string_view text, int scale,
+                              uint8_t ink);
+};
+
+}  // namespace minos::render
+
+#endif  // MINOS_RENDER_FONT5X7_H_

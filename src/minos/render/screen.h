@@ -1,0 +1,102 @@
+#ifndef MINOS_RENDER_SCREEN_H_
+#define MINOS_RENDER_SCREEN_H_
+
+#include <string>
+#include <vector>
+
+#include "minos/image/bitmap.h"
+#include "minos/text/formatter.h"
+
+namespace minos::render {
+
+/// Pixel layout of the simulated workstation display. The figures in the
+/// paper show the page content on the left and "some menu options
+/// displayed ... in the right hand side of the screen" plus, for objects
+/// with visual logical messages, a pinned strip at the top of the page.
+struct ScreenLayout {
+  int width = 512;
+  int height = 400;
+  int menu_width = 116;      ///< Right-hand menu strip.
+  int message_height = 180;  ///< Top strip when a visual message is pinned.
+};
+
+/// The simulated workstation screen: a framebuffer with the MINOS screen
+/// regions, text rendering through the built-in font, and deterministic
+/// digests for the figure-reproduction benches. This is the substitute
+/// for the SUN-3 bitmap display.
+class Screen {
+ public:
+  explicit Screen(ScreenLayout layout = {});
+
+  const ScreenLayout& layout() const { return layout_; }
+
+  /// Blanks the whole framebuffer.
+  void Clear();
+
+  /// Blanks one region.
+  void ClearRegion(const image::Rect& region);
+
+  /// Screen regions -----------------------------------------------------
+
+  /// Everything left of the menu strip.
+  image::Rect PageArea() const;
+  /// The right-hand menu strip.
+  image::Rect MenuArea() const;
+  /// Top strip of the page area (visual logical messages live here).
+  image::Rect MessageArea() const;
+  /// Page area minus the message strip.
+  image::Rect LowerPageArea() const;
+
+  /// Drawing ------------------------------------------------------------
+
+  /// Renders a formatted text page into `region` (one font cell per
+  /// character; content beyond the region is clipped). Emphasis runs are
+  /// drawn bold/underlined/italic (italic renders as underline in the
+  /// 5x7 font).
+  void DrawTextPage(const text::TextPage& page, const image::Rect& region);
+
+  /// Draws a single text line at a pixel position.
+  void DrawText(int x, int y, std::string_view line, uint8_t ink = 255,
+                bool bold = false, bool underline = false);
+
+  /// Draws a line at an integer letter-size scale (§3: "various character
+  /// fonts, letter sizes"); used for message headlines and titles.
+  void DrawTextScaled(int x, int y, std::string_view line, int scale,
+                      uint8_t ink = 255);
+
+  /// Copies a bitmap into a region (top-left anchored, clipped).
+  void DrawBitmap(const image::Bitmap& bm, const image::Rect& region);
+
+  /// Lays bitmap ink over a region (transparency compositing).
+  void BlendBitmap(const image::Bitmap& bm, const image::Rect& region);
+
+  /// Replaces only inked pixels (overwrite compositing).
+  void OverwriteBitmap(const image::Bitmap& bm, const image::Rect& region);
+
+  /// Draws the menu strip with one boxed option per row. The option list
+  /// is exactly the set of operations available for the current object
+  /// ("the presentation and browsing functions ... are presented in the
+  /// form of menu options", §2).
+  void SetMenu(const std::vector<std::string>& options);
+
+  /// Draws a one-line status at the bottom of the page area.
+  void DrawStatusLine(std::string_view status);
+
+  /// Inspection ----------------------------------------------------------
+
+  const image::Bitmap& framebuffer() const { return fb_; }
+
+  /// Copy of the page area pixels (what a user "sees" apart from menus).
+  image::Bitmap PageSnapshot() const;
+
+  /// Deterministic digest of the full framebuffer.
+  uint64_t Digest() const { return fb_.Digest(); }
+
+ private:
+  ScreenLayout layout_;
+  image::Bitmap fb_;
+};
+
+}  // namespace minos::render
+
+#endif  // MINOS_RENDER_SCREEN_H_

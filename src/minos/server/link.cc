@@ -1,0 +1,22 @@
+#include "minos/server/link.h"
+
+namespace minos::server {
+
+Micros Link::Transfer(uint64_t bytes) {
+  const Micros elapsed =
+      latency_ + static_cast<Micros>(static_cast<double>(bytes) /
+                                     bytes_per_second_ * 1e6);
+  clock_->Advance(elapsed);
+  bytes_transferred_ += bytes;
+  ++transfer_count_;
+  busy_time_ += elapsed;
+  return elapsed;
+}
+
+void Link::ResetStats() {
+  bytes_transferred_ = 0;
+  transfer_count_ = 0;
+  busy_time_ = 0;
+}
+
+}  // namespace minos::server

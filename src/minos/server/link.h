@@ -1,0 +1,46 @@
+#ifndef MINOS_SERVER_LINK_H_
+#define MINOS_SERVER_LINK_H_
+
+#include <cstdint>
+
+#include "minos/util/clock.h"
+
+namespace minos::server {
+
+/// Cost model of the workstation <-> server interconnect ("a number of
+/// workstations interconnected through high capacity links", §5; the
+/// Waterloo implementation used Ethernet). Transfers advance the shared
+/// simulated clock.
+class Link {
+ public:
+  /// `bytes_per_second` > 0; `latency` charged per transfer.
+  Link(double bytes_per_second, Micros latency, SimClock* clock)
+      : bytes_per_second_(bytes_per_second),
+        latency_(latency),
+        clock_(clock) {}
+
+  /// 10 Mbit/s Ethernet with 1 ms request latency.
+  static Link Ethernet(SimClock* clock) {
+    return Link(10.0 * 1000 * 1000 / 8, MillisToMicros(1), clock);
+  }
+
+  /// Transfers `bytes`; advances the clock and returns the elapsed time.
+  Micros Transfer(uint64_t bytes);
+
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  uint64_t transfer_count() const { return transfer_count_; }
+  Micros busy_time() const { return busy_time_; }
+  void ResetStats();
+
+ private:
+  double bytes_per_second_;
+  Micros latency_;
+  SimClock* clock_;
+  uint64_t bytes_transferred_ = 0;
+  uint64_t transfer_count_ = 0;
+  Micros busy_time_ = 0;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_LINK_H_

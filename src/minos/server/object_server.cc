@@ -1,0 +1,253 @@
+#include "minos/server/object_server.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "minos/format/archive_mailer.h"
+#include "minos/render/screen.h"
+#include "minos/util/coding.h"
+#include "minos/util/string_util.h"
+
+namespace minos::server {
+
+using object::MultimediaObject;
+using object::ObjectDescriptor;
+using storage::ArchiveAddress;
+using storage::ObjectId;
+
+ObjectServer::ObjectServer(storage::Archiver* archiver,
+                           storage::VersionStore* versions, SimClock* clock,
+                           Link* link)
+    : archiver_(archiver), versions_(versions), clock_(clock), link_(link) {}
+
+void ObjectServer::IndexWords(ObjectId id, std::string_view text) {
+  for (std::string& w : SplitWords(text)) {
+    while (!w.empty() && !std::isalnum(static_cast<unsigned char>(w.back()))) {
+      w.pop_back();
+    }
+    if (w.empty()) continue;
+    index_[AsciiToLower(w)].insert(id);
+  }
+}
+
+StatusOr<ArchiveAddress> ObjectServer::Store(const MultimediaObject& obj) {
+  MINOS_ASSIGN_OR_RETURN(std::string bytes, obj.SerializeArchived());
+  MINOS_ASSIGN_OR_RETURN(ArchiveAddress addr, archiver_->Append(bytes));
+  MINOS_RETURN_IF_ERROR(archiver_->Flush());
+  versions_->Record(obj.id(), addr, clock_->Now());
+
+  // Catalog: the serialized descriptor (its parts carry composition
+  // offsets) plus the payload base within the object bytes.
+  Decoder dec(bytes);
+  std::string desc_bytes;
+  MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&desc_bytes));
+  MINOS_ASSIGN_OR_RETURN(ObjectDescriptor desc,
+                         ObjectDescriptor::Deserialize(desc_bytes));
+  uint64_t data_len = 0;
+  for (const object::PartPointer& p : desc.parts) {
+    if (!p.in_archiver) data_len += p.length;
+  }
+  CatalogEntry entry;
+  entry.address = addr;
+  entry.descriptor = std::move(desc);
+  entry.payload_base = bytes.size() - data_len;
+  catalog_[obj.id()] = std::move(entry);
+
+  // Content index: text words, attribute values, and the words the voice
+  // recognizer produced at insertion time (we index the spoken-word
+  // ground truth; a limited-vocabulary deployment would index the
+  // Recognizer's output instead).
+  if (obj.has_text()) IndexWords(obj.id(), obj.text_part().contents());
+  for (const auto& [k, v] : obj.attributes()) {
+    IndexWords(obj.id(), v);
+  }
+  if (obj.has_voice()) {
+    for (const voice::WordAlignment& w : obj.voice_part().track().words) {
+      IndexWords(obj.id(), w.word);
+    }
+  }
+  return addr;
+}
+
+std::vector<ObjectId> ObjectServer::Query(std::string_view word) const {
+  std::vector<ObjectId> out;
+  auto it = index_.find(AsciiToLower(word));
+  if (it == index_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::vector<ObjectId> ObjectServer::QueryAll(
+    const std::vector<std::string>& words) const {
+  std::vector<ObjectId> result;
+  bool first = true;
+  for (const std::string& w : words) {
+    std::vector<ObjectId> hits = Query(w);
+    if (first) {
+      result = std::move(hits);
+      first = false;
+    } else {
+      std::vector<ObjectId> merged;
+      std::set_intersection(result.begin(), result.end(), hits.begin(),
+                            hits.end(), std::back_inserter(merged));
+      result = std::move(merged);
+    }
+    if (result.empty()) break;
+  }
+  return result;
+}
+
+StatusOr<const ObjectServer::CatalogEntry*> ObjectServer::Lookup(
+    ObjectId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " is not archived at this server");
+  }
+  return &it->second;
+}
+
+StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  std::string bytes;
+  MINOS_RETURN_IF_ERROR(archiver_->Read(entry->address, &bytes));
+  format::ArchiveMailer mailer(archiver_, versions_, clock_);
+  MINOS_ASSIGN_OR_RETURN(std::string resolved,
+                         mailer.ResolvePointers(bytes));
+  if (link_ != nullptr) link_->Transfer(resolved.size());
+  return MultimediaObject::DeserializeArchived(id, resolved);
+}
+
+StatusOr<MultimediaObject> ObjectServer::FetchVersion(ObjectId id,
+                                                      uint32_t version) {
+  MINOS_ASSIGN_OR_RETURN(storage::ObjectVersion v,
+                         versions_->Get(id, version));
+  std::string bytes;
+  MINOS_RETURN_IF_ERROR(archiver_->Read(v.address, &bytes));
+  format::ArchiveMailer mailer(archiver_, versions_, clock_);
+  MINOS_ASSIGN_OR_RETURN(std::string resolved,
+                         mailer.ResolvePointers(bytes));
+  if (link_ != nullptr) link_->Transfer(resolved.size());
+  return MultimediaObject::DeserializeArchived(id, resolved);
+}
+
+StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
+                                                     int thumb_width) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  // The server renders the miniature locally (no link charge for the
+  // object itself), then ships the small card.
+  std::string bytes;
+  MINOS_RETURN_IF_ERROR(archiver_->Read(entry->address, &bytes));
+  format::ArchiveMailer mailer(archiver_, versions_, clock_);
+  MINOS_ASSIGN_OR_RETURN(std::string resolved,
+                         mailer.ResolvePointers(bytes));
+  MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
+                         MultimediaObject::DeserializeArchived(id, resolved));
+
+  MiniatureCard card;
+  card.id = id;
+  card.audio_mode =
+      obj.descriptor().driving_mode == object::DrivingMode::kAudio;
+  if (card.audio_mode) {
+    // "an indication that an object is an audio mode object and some
+    // voice segments which are played as the miniature passes" (§5).
+    const auto& words = obj.voice_part().track().words;
+    std::string preview;
+    for (size_t i = 0; i < words.size() && i < 6; ++i) {
+      if (!preview.empty()) preview += ' ';
+      preview += words[i].word;
+    }
+    card.preview_transcript = std::move(preview);
+    card.thumb = image::Bitmap(thumb_width, thumb_width / 2);
+    // Simple loudspeaker glyph so audio cards are visually distinct.
+    card.thumb.FillRect(image::Rect{thumb_width / 4, thumb_width / 8,
+                                    thumb_width / 2, thumb_width / 4},
+                        180);
+  } else if (!obj.descriptor().pages.empty()) {
+    render::Screen page_screen(render::ScreenLayout{320, 240, 0, 0});
+    core::PageCompositor compositor(&page_screen);
+    MINOS_ASSIGN_OR_RETURN(core::FormattedText formatted,
+                           core::FormatObjectText(obj));
+    MINOS_RETURN_IF_ERROR(compositor.ComposePage(
+        obj, formatted, 0, image::Rect{0, 0, 320, 240}));
+    const int scale = std::max(1, 320 / thumb_width);
+    MINOS_ASSIGN_OR_RETURN(
+        image::Miniature mini,
+        image::Miniature::Build(
+            image::Image::FromBitmap(page_screen.framebuffer()), scale));
+    card.thumb = mini.raster();
+  } else {
+    card.thumb = image::Bitmap(thumb_width, thumb_width / 2);
+  }
+  card.byte_size = card.thumb.ByteSize() + card.preview_transcript.size();
+  if (link_ != nullptr) link_->Transfer(card.byte_size);
+  return card;
+}
+
+StatusOr<image::Image> ObjectServer::FetchImage(ObjectId id,
+                                                uint32_t image_index) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  MINOS_ASSIGN_OR_RETURN(
+      object::PartPointer part,
+      entry->descriptor.FindPart("image:" + std::to_string(image_index)));
+  std::string payload;
+  if (part.in_archiver) {
+    MINOS_RETURN_IF_ERROR(
+        archiver_->ReadRange(part.offset, part.length, &payload));
+  } else {
+    MINOS_RETURN_IF_ERROR(archiver_->ReadRange(
+        entry->address.offset + entry->payload_base + part.offset,
+        part.length, &payload));
+  }
+  if (link_ != nullptr) link_->Transfer(payload.size());
+  return image::Image::Deserialize(payload);
+}
+
+StatusOr<image::Bitmap> ObjectServer::FetchImageRegion(
+    ObjectId id, uint32_t image_index, const image::Rect& r) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  MINOS_ASSIGN_OR_RETURN(
+      object::PartPointer part,
+      entry->descriptor.FindPart("image:" + std::to_string(image_index)));
+  const uint64_t part_base =
+      part.in_archiver
+          ? part.offset
+          : entry->address.offset + entry->payload_base + part.offset;
+
+  // Decode the serialized-image header: [kind][varint w][varint h].
+  std::string header;
+  const uint64_t header_probe = std::min<uint64_t>(part.length, 16);
+  MINOS_RETURN_IF_ERROR(
+      archiver_->ReadRange(part_base, header_probe, &header));
+  if (header.empty() || header[0] != 0) {
+    return Status::Unsupported(
+        "region fetch is only defined for bitmap images");
+  }
+  Decoder dec(std::string_view(header).substr(1));
+  uint32_t w = 0, h = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetVarint32(&w));
+  MINOS_RETURN_IF_ERROR(dec.GetVarint32(&h));
+  const uint64_t header_size = header_probe - dec.remaining();
+
+  const image::Rect clipped =
+      r.Intersect(image::Rect{0, 0, static_cast<int>(w),
+                              static_cast<int>(h)});
+  image::Bitmap out(clipped.w, clipped.h);
+  std::string row;
+  for (int y = 0; y < clipped.h; ++y) {
+    const uint64_t row_offset =
+        header_size +
+        static_cast<uint64_t>(clipped.y + y) * w + clipped.x;
+    MINOS_RETURN_IF_ERROR(archiver_->ReadRange(
+        part_base + row_offset, static_cast<uint64_t>(clipped.w), &row));
+    for (int x = 0; x < clipped.w; ++x) {
+      out.Set(x, y, static_cast<uint8_t>(row[static_cast<size_t>(x)]));
+    }
+  }
+  if (link_ != nullptr) {
+    link_->Transfer(static_cast<uint64_t>(clipped.area()));
+  }
+  return out;
+}
+
+}  // namespace minos::server

@@ -1,0 +1,117 @@
+#ifndef MINOS_SERVER_OBJECT_SERVER_H_
+#define MINOS_SERVER_OBJECT_SERVER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minos/core/page_compositor.h"
+#include "minos/image/miniature.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/server/link.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/version_store.h"
+#include "minos/util/statusor.h"
+
+namespace minos::server {
+
+/// A miniature card returned by content queries: "Miniatures of qualifying
+/// objects may be returned to the user using a sequential browsing
+/// interface ... They can for example contain a small bitmap of the first
+/// visual page or an indication that an object is an audio mode object and
+/// some voice segments which are played as the miniature passes through
+/// the screen." (§5)
+struct MiniatureCard {
+  storage::ObjectId id = 0;
+  bool audio_mode = false;
+  image::Bitmap thumb;            ///< Small bitmap of the first visual page.
+  std::string preview_transcript; ///< First spoken words (audio objects).
+  uint64_t byte_size = 0;         ///< Transfer cost of this card.
+};
+
+/// The multimedia object server subsystem (§5): optical-disk based
+/// archived-object store with access methods, caching, version control,
+/// and content queries evaluated server-side. Retrievals go through the
+/// link cost model so workstation-side experiments see realistic transfer
+/// economics.
+class ObjectServer {
+ public:
+  /// All pointers borrowed. `link` may be null (no transfer charging).
+  ObjectServer(storage::Archiver* archiver, storage::VersionStore* versions,
+               SimClock* clock, Link* link);
+
+  /// Ingest ---------------------------------------------------------------
+
+  /// Archives an object (must be in archived state) and indexes its
+  /// content for queries. Returns the archive address.
+  StatusOr<storage::ArchiveAddress> Store(
+      const object::MultimediaObject& obj);
+
+  /// Queries --------------------------------------------------------------
+
+  /// Objects whose text content, attribute values, or recognized voice
+  /// words contain `word` (case-insensitive whole-word match).
+  std::vector<storage::ObjectId> Query(std::string_view word) const;
+
+  /// Conjunctive query: objects matching all words.
+  std::vector<storage::ObjectId> QueryAll(
+      const std::vector<std::string>& words) const;
+
+  /// Builds the miniature card of an object (rendered server-side,
+  /// transferred over the link).
+  StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
+                                         int thumb_width = 96);
+
+  /// Retrieval ------------------------------------------------------------
+
+  /// Fetches a whole object (descriptor + composition) over the link.
+  StatusOr<object::MultimediaObject> Fetch(storage::ObjectId id);
+
+  /// Fetches a specific archived version (§5 version control). The
+  /// catalog tracks the latest version; older versions decode from their
+  /// recorded archive address.
+  StatusOr<object::MultimediaObject> FetchVersion(storage::ObjectId id,
+                                                  uint32_t version);
+
+  /// Fetches only rows [r.y, r.y+r.h) x [r.x, r.x+r.w) of a stored bitmap
+  /// image part — the view-retrieval path that touches only the covering
+  /// archive blocks and transfers only the region bytes ("The system will
+  /// only retrieve the relevant data", §2). Unsupported for graphics
+  /// images (those transfer their intersecting objects instead).
+  StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
+                                           uint32_t image_index,
+                                           const image::Rect& r);
+
+  /// Fetches one whole image part over the link.
+  StatusOr<image::Image> FetchImage(storage::ObjectId id,
+                                    uint32_t image_index);
+
+  /// Introspection ---------------------------------------------------------
+
+  size_t object_count() const { return catalog_.size(); }
+  const storage::Archiver& archiver() const { return *archiver_; }
+
+ private:
+  /// Per-object catalog entry built at Store time.
+  struct CatalogEntry {
+    storage::ArchiveAddress address;   ///< Whole serialized object.
+    object::ObjectDescriptor descriptor;
+    /// Byte offset of the composition payload within the object bytes.
+    uint64_t payload_base = 0;
+  };
+
+  StatusOr<const CatalogEntry*> Lookup(storage::ObjectId id) const;
+  void IndexWords(storage::ObjectId id, std::string_view text);
+
+  storage::Archiver* archiver_;
+  storage::VersionStore* versions_;
+  SimClock* clock_;
+  Link* link_;
+  std::map<storage::ObjectId, CatalogEntry> catalog_;
+  std::map<std::string, std::set<storage::ObjectId>, std::less<>> index_;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_OBJECT_SERVER_H_

@@ -1,0 +1,65 @@
+#include "minos/server/workstation.h"
+
+namespace minos::server {
+
+StatusOr<const MiniatureCard*> MiniatureBrowser::Current() const {
+  if (cards_.empty()) return Status::NotFound("no qualifying objects");
+  return &cards_[cursor_];
+}
+
+void MiniatureBrowser::PlayPreviewIfAudio() {
+  if (player_ == nullptr || cursor_ >= cards_.size()) return;
+  const MiniatureCard& card = cards_[cursor_];
+  if (!card.audio_mode || card.preview_transcript.empty()) return;
+  player_->Play(card.preview_transcript, log_,
+                core::EventKind::kVoicePlayed,
+                static_cast<int64_t>(card.id));
+}
+
+Status MiniatureBrowser::Next() {
+  if (cursor_ + 1 >= cards_.size()) {
+    return Status::OutOfRange("already at the last miniature");
+  }
+  ++cursor_;
+  PlayPreviewIfAudio();
+  return Status::OK();
+}
+
+Status MiniatureBrowser::Previous() {
+  if (cursor_ == 0) {
+    return Status::OutOfRange("already at the first miniature");
+  }
+  --cursor_;
+  PlayPreviewIfAudio();
+  return Status::OK();
+}
+
+StatusOr<storage::ObjectId> MiniatureBrowser::Select() const {
+  MINOS_ASSIGN_OR_RETURN(const MiniatureCard* card, Current());
+  return card->id;
+}
+
+Workstation::Workstation(ObjectServer* server, render::Screen* screen,
+                         SimClock* clock)
+    : server_(server), presentation_(screen, clock) {
+  presentation_.SetResolver(
+      [this](storage::ObjectId id) { return server_->Fetch(id); });
+}
+
+StatusOr<MiniatureBrowser> Workstation::Query(
+    const std::vector<std::string>& words) {
+  const std::vector<storage::ObjectId> ids = server_->QueryAll(words);
+  std::vector<MiniatureCard> cards;
+  cards.reserve(ids.size());
+  for (storage::ObjectId id : ids) {
+    MINOS_ASSIGN_OR_RETURN(MiniatureCard card, server_->FetchMiniature(id));
+    cards.push_back(std::move(card));
+  }
+  return MiniatureBrowser(std::move(cards));
+}
+
+Status Workstation::Present(storage::ObjectId id) {
+  return presentation_.Open(id);
+}
+
+}  // namespace minos::server

@@ -1,0 +1,83 @@
+#ifndef MINOS_SERVER_WORKSTATION_H_
+#define MINOS_SERVER_WORKSTATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minos/core/presentation_manager.h"
+#include "minos/server/object_server.h"
+#include "minos/util/statusor.h"
+
+namespace minos::server {
+
+/// Sequential miniature-browsing interface (§5): the user pages through
+/// the miniature cards of qualifying objects and selects one to open.
+class MiniatureBrowser {
+ public:
+  explicit MiniatureBrowser(std::vector<MiniatureCard> cards)
+      : cards_(std::move(cards)) {}
+
+  bool empty() const { return cards_.empty(); }
+  size_t size() const { return cards_.size(); }
+
+  /// Attaches a message player: audio-mode cards then play their voice
+  /// preview as they pass under the cursor ("some voice segments which
+  /// are played as the miniature passes through the screen", §5).
+  /// Both pointers are borrowed; `log` may be null.
+  void AttachPlayer(core::MessagePlayer* player, core::EventLog* log) {
+    player_ = player;
+    log_ = log;
+  }
+
+  /// The card under the cursor.
+  StatusOr<const MiniatureCard*> Current() const;
+
+  /// Sequential movement; clamped at the ends (OutOfRange when already
+  /// at the boundary). With a player attached, arriving on an audio-mode
+  /// card plays its preview.
+  Status Next();
+  Status Previous();
+
+  /// Selecting the current miniature yields its object id.
+  StatusOr<storage::ObjectId> Select() const;
+
+ private:
+  void PlayPreviewIfAudio();
+
+  std::vector<MiniatureCard> cards_;
+  size_t cursor_ = 0;
+  core::MessagePlayer* player_ = nullptr;
+  core::EventLog* log_ = nullptr;
+};
+
+/// A user workstation session: issues content queries to the object
+/// server, browses the returned miniatures, and hands selected objects to
+/// the presentation manager ("When the user selects the miniature of an
+/// object the multimedia object presentation manager undertakes the
+/// responsibility to present the information of the selected object",
+/// §5). The user may interrupt presentation and return to the query or
+/// sequential-browsing interfaces at any time.
+class Workstation {
+ public:
+  /// `server`, `screen` and `clock` are borrowed.
+  Workstation(ObjectServer* server, render::Screen* screen, SimClock* clock);
+
+  /// Evaluates a conjunctive content query at the server and returns the
+  /// miniature browser over the qualifying objects.
+  StatusOr<MiniatureBrowser> Query(const std::vector<std::string>& words);
+
+  /// Opens the selected object in the presentation manager.
+  Status Present(storage::ObjectId id);
+
+  /// The presentation manager of this workstation.
+  core::PresentationManager& presentation() { return presentation_; }
+
+ private:
+  ObjectServer* server_;
+  core::PresentationManager presentation_;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_WORKSTATION_H_

@@ -1,0 +1,53 @@
+#include "minos/storage/block_cache.h"
+
+namespace minos::storage {
+
+BlockCache::BlockCache(size_t capacity_blocks)
+    : capacity_(capacity_blocks) {}
+
+bool BlockCache::Lookup(uint64_t block, std::string* out) {
+  auto it = map_.find(block);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->payload;
+  return true;
+}
+
+void BlockCache::Insert(uint64_t block, std::string payload) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{block, std::move(payload)});
+  map_[block] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().block);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::Erase(uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+double BlockCache::HitRate() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+}  // namespace minos::storage

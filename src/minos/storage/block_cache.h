@@ -1,0 +1,63 @@
+#ifndef MINOS_STORAGE_BLOCK_CACHE_H_
+#define MINOS_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace minos::storage {
+
+/// LRU cache of device blocks, standing in for the magnetic-disk / main
+/// memory caching layer of the MINOS server subsystem ("the subsystem
+/// provides access methods, scheduling, cashing, version control", §5).
+/// Keys are (device-local) block numbers; values are block payloads.
+class BlockCache {
+ public:
+  /// Creates a cache holding at most `capacity_blocks` blocks.
+  /// Capacity 0 disables caching (every lookup misses).
+  explicit BlockCache(size_t capacity_blocks);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Looks up a block; on hit copies the payload into `out`, refreshes
+  /// recency and returns true.
+  bool Lookup(uint64_t block, std::string* out);
+
+  /// Inserts (or refreshes) a block, evicting the least recently used
+  /// entries as needed.
+  void Insert(uint64_t block, std::string payload);
+
+  /// Removes a block if present (used on rewrite of magnetic blocks).
+  void Erase(uint64_t block);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Hit/miss counters for the caching experiments.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Fraction of lookups that hit (0 when no lookups yet).
+  double HitRate() const;
+
+ private:
+  struct Entry {
+    uint64_t block;
+    std::string payload;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace minos::storage
+
+#endif  // MINOS_STORAGE_BLOCK_CACHE_H_

@@ -1,0 +1,102 @@
+#include "minos/storage/composition_file.h"
+
+#include "minos/util/coding.h"
+
+namespace minos::storage {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kAttributes:
+      return "attributes";
+    case DataType::kText:
+      return "text";
+    case DataType::kVoice:
+      return "voice";
+    case DataType::kImage:
+      return "image";
+    case DataType::kDescriptor:
+      return "descriptor";
+    case DataType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+uint64_t CompositionFile::AppendPart(std::string name, DataType type,
+                                     std::string_view payload) {
+  Part p;
+  p.name = std::move(name);
+  p.type = type;
+  p.offset = data_.size();
+  p.length = payload.size();
+  data_.append(payload);
+  parts_.push_back(std::move(p));
+  return parts_.back().offset;
+}
+
+StatusOr<CompositionFile::Part> CompositionFile::FindPart(
+    std::string_view name) const {
+  for (const Part& p : parts_) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("composition part '" + std::string(name) +
+                          "' not found");
+}
+
+Status CompositionFile::ReadPart(const Part& part, std::string* out) const {
+  return ReadRange(part.offset, part.length, out);
+}
+
+Status CompositionFile::ReadRange(uint64_t offset, uint64_t length,
+                                  std::string* out) const {
+  if (offset + length > data_.size()) {
+    return Status::OutOfRange("composition file range past end");
+  }
+  out->assign(data_, offset, length);
+  return Status::OK();
+}
+
+std::string CompositionFile::Serialize() const {
+  std::string out;
+  PutVarint64(&out, parts_.size());
+  for (const Part& p : parts_) {
+    PutLengthPrefixed(&out, p.name);
+    out.push_back(static_cast<char>(p.type));
+    PutVarint64(&out, p.offset);
+    PutVarint64(&out, p.length);
+  }
+  PutLengthPrefixed(&out, data_);
+  return out;
+}
+
+StatusOr<CompositionFile> CompositionFile::Deserialize(
+    std::string_view bytes) {
+  Decoder dec(bytes);
+  uint64_t n = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));
+  CompositionFile cf;
+  cf.parts_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Part p;
+    MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&p.name));
+    std::string type_byte;
+    MINOS_RETURN_IF_ERROR(dec.GetRaw(1, &type_byte));
+    const auto raw = static_cast<uint8_t>(type_byte[0]);
+    if (raw > static_cast<uint8_t>(DataType::kOther)) {
+      return Status::Corruption("bad composition part type");
+    }
+    p.type = static_cast<DataType>(raw);
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&p.offset));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&p.length));
+    cf.parts_.push_back(std::move(p));
+  }
+  MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&cf.data_));
+  for (const Part& p : cf.parts_) {
+    if (p.offset + p.length > cf.data_.size()) {
+      return Status::Corruption("composition part out of bounds");
+    }
+  }
+  return cf;
+}
+
+}  // namespace minos::storage

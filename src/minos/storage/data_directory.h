@@ -1,0 +1,79 @@
+#ifndef MINOS_STORAGE_DATA_DIRECTORY_H_
+#define MINOS_STORAGE_DATA_DIRECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minos/storage/archiver.h"
+#include "minos/storage/composition_file.h"
+#include "minos/util/status.h"
+#include "minos/util/statusor.h"
+
+namespace minos::storage {
+
+/// Where the payload of a data entry currently lives while an object is in
+/// the editing state.
+enum class DataLocation : uint8_t {
+  kLocalFile = 0,  ///< A data file inside the multimedia object file (§4).
+  kArchiver = 1,   ///< Extracted-but-not-copied data in the archiver.
+};
+
+/// Editing status of a data entry: "the status information describes if
+/// the data in a particular file is in its final form which is to be used
+/// for archiving or mailing" (§4).
+enum class DataStatus : uint8_t {
+  kDraft = 0,  ///< Still being edited (e.g. editable graphics form).
+  kFinal = 1,  ///< Device- and package-independent archival form.
+};
+
+/// The data directory file of a multimedia object in the editing state:
+/// catalog of the object's data files and of archiver data that has been
+/// referenced but not copied. "Such information is the name, type,
+/// location, length, and status of data." (§4)
+class DataDirectory {
+ public:
+  struct Entry {
+    std::string name;
+    DataType type = DataType::kOther;
+    DataLocation location = DataLocation::kLocalFile;
+    DataStatus status = DataStatus::kDraft;
+    uint64_t length = 0;
+    /// Valid when location == kArchiver.
+    ArchiveAddress archive_address;
+  };
+
+  DataDirectory() = default;
+
+  /// Registers a local data file entry.
+  void AddLocal(std::string name, DataType type, uint64_t length,
+                DataStatus status);
+
+  /// Registers a reference to archiver-resident data.
+  void AddArchiverReference(std::string name, DataType type,
+                            ArchiveAddress address);
+
+  /// Looks up an entry by name.
+  StatusOr<Entry> Find(std::string_view name) const;
+
+  /// Marks an entry final (it is a FailedPrecondition to archive or mail
+  /// an object while any entry is still a draft).
+  Status MarkFinal(std::string_view name);
+
+  /// True iff every entry is in final form.
+  bool AllFinal() const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Serialization (the directory is itself one of the files of the
+  /// multimedia object file).
+  std::string Serialize() const;
+  static StatusOr<DataDirectory> Deserialize(std::string_view bytes);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace minos::storage
+
+#endif  // MINOS_STORAGE_DATA_DIRECTORY_H_

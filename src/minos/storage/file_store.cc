@@ -1,0 +1,111 @@
+#include "minos/storage/file_store.h"
+
+#include <algorithm>
+
+namespace minos::storage {
+
+FileStore::FileStore(BlockDevice* device) : device_(device) {
+  free_.reserve(device->num_blocks());
+  // Descending so pop_back hands out low block numbers first (keeps
+  // files near the outer tracks, like a fresh disk).
+  for (uint64_t b = device->num_blocks(); b > 0; --b) {
+    free_.push_back(b - 1);
+  }
+}
+
+Status FileStore::Allocate(uint64_t blocks_needed,
+                           std::vector<Extent>* out) {
+  if (blocks_needed > free_.size()) {
+    return Status::ResourceExhausted("workstation disk full");
+  }
+  // Take blocks and coalesce consecutive ones into extents.
+  std::vector<uint64_t> taken;
+  taken.reserve(blocks_needed);
+  for (uint64_t i = 0; i < blocks_needed; ++i) {
+    taken.push_back(free_.back());
+    free_.pop_back();
+  }
+  std::sort(taken.begin(), taken.end());
+  for (uint64_t b : taken) {
+    if (!out->empty() &&
+        out->back().block + out->back().count == b) {
+      ++out->back().count;
+    } else {
+      out->push_back(Extent{b, 1});
+    }
+  }
+  return Status::OK();
+}
+
+void FileStore::Free(const std::vector<Extent>& extents) {
+  for (const Extent& e : extents) {
+    for (uint64_t i = 0; i < e.count; ++i) {
+      free_.push_back(e.block + i);
+    }
+  }
+  // Keep descending order so low blocks are reused first.
+  std::sort(free_.begin(), free_.end(), std::greater<uint64_t>());
+}
+
+Status FileStore::Put(const std::string& name, std::string_view bytes) {
+  const uint32_t bs = device_->block_size();
+  const uint64_t blocks_needed = (bytes.size() + bs - 1) / bs;
+
+  // Allocate the new space first so a full disk leaves the old file
+  // intact; then free the old extents.
+  FileEntry entry;
+  entry.size = bytes.size();
+  MINOS_RETURN_IF_ERROR(Allocate(std::max<uint64_t>(blocks_needed, 0),
+                                 &entry.extents));
+  std::string padded(bytes);
+  padded.resize(blocks_needed * bs, '\0');
+  uint64_t written = 0;
+  for (const Extent& e : entry.extents) {
+    MINOS_RETURN_IF_ERROR(device_->Write(
+        e.block,
+        std::string_view(padded).substr(written * bs, e.count * bs)));
+    written += e.count;
+  }
+  auto it = catalog_.find(name);
+  if (it != catalog_.end()) Free(it->second.extents);
+  catalog_[name] = std::move(entry);
+  return Status::OK();
+}
+
+StatusOr<std::string> FileStore::Get(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no file named '" + name + "'");
+  }
+  std::string out;
+  std::string chunk;
+  for (const Extent& e : it->second.extents) {
+    MINOS_RETURN_IF_ERROR(device_->Read(e.block, e.count, &chunk));
+    out += chunk;
+  }
+  out.resize(it->second.size);
+  return out;
+}
+
+Status FileStore::Delete(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no file named '" + name + "'");
+  }
+  Free(it->second.extents);
+  catalog_.erase(it);
+  return Status::OK();
+}
+
+bool FileStore::Contains(const std::string& name) const {
+  return catalog_.count(name) > 0;
+}
+
+std::vector<std::string> FileStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) names.push_back(name);
+  return names;
+}
+
+}  // namespace minos::storage

@@ -1,0 +1,74 @@
+#ifndef MINOS_STORAGE_FILE_STORE_H_
+#define MINOS_STORAGE_FILE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minos/storage/block_device.h"
+#include "minos/util/status.h"
+#include "minos/util/statusor.h"
+
+namespace minos::storage {
+
+/// A small rewritable file store over a (magnetic) block device — the
+/// workstation-side disk of §5: "The workstations may have some disk
+/// devices associated with them... Multimedia objects in an editing state
+/// are stored in those disks. Retrieval is done by name."
+///
+/// In contrast to the append-only optical Archiver, files here are
+/// mutable: Put overwrites, Delete frees blocks for reuse. Allocation is
+/// a simple free-list of whole blocks; each file occupies a run-length
+/// list of block extents kept in an in-memory catalog (a real 1986
+/// filesystem would persist it; the catalog is not the behaviour under
+/// study).
+class FileStore {
+ public:
+  /// `device` is borrowed and must outlive the store; it must not be
+  /// write-once.
+  explicit FileStore(BlockDevice* device);
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  /// Writes (or overwrites) a named file. ResourceExhausted when the
+  /// device has too few free blocks.
+  Status Put(const std::string& name, std::string_view bytes);
+
+  /// Reads a named file.
+  StatusOr<std::string> Get(const std::string& name) const;
+
+  /// Removes a file, returning its blocks to the free list.
+  Status Delete(const std::string& name);
+
+  /// True when the file exists.
+  bool Contains(const std::string& name) const;
+
+  /// Names in lexicographic order.
+  std::vector<std::string> List() const;
+
+  /// Free blocks remaining.
+  uint64_t free_blocks() const { return free_.size(); }
+
+ private:
+  struct Extent {
+    uint64_t block;
+    uint64_t count;
+  };
+  struct FileEntry {
+    uint64_t size = 0;
+    std::vector<Extent> extents;
+  };
+
+  Status Allocate(uint64_t blocks_needed, std::vector<Extent>* out);
+  void Free(const std::vector<Extent>& extents);
+
+  BlockDevice* device_;
+  std::map<std::string, FileEntry> catalog_;
+  std::vector<uint64_t> free_;  // Free block numbers, descending.
+};
+
+}  // namespace minos::storage
+
+#endif  // MINOS_STORAGE_FILE_STORE_H_

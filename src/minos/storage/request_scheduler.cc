@@ -1,0 +1,152 @@
+#include "minos/storage/request_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace minos::storage {
+
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFcfs:
+      return "FCFS";
+    case SchedulingPolicy::kSstf:
+      return "SSTF";
+    case SchedulingPolicy::kScan:
+      return "SCAN";
+  }
+  return "?";
+}
+
+RequestScheduler::RequestScheduler(BlockDevice* device,
+                                   SchedulingPolicy policy)
+    : device_(device), policy_(policy) {}
+
+size_t RequestScheduler::PickNext(const std::vector<IoRequest>& pending,
+                                  uint64_t head, bool sweep_up) const {
+  assert(!pending.empty());
+  switch (policy_) {
+    case SchedulingPolicy::kFcfs: {
+      size_t best = 0;
+      for (size_t i = 1; i < pending.size(); ++i) {
+        if (pending[i].arrival_time < pending[best].arrival_time) best = i;
+      }
+      return best;
+    }
+    case SchedulingPolicy::kSstf: {
+      size_t best = 0;
+      uint64_t best_dist = std::numeric_limits<uint64_t>::max();
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const uint64_t b = pending[i].block;
+        const uint64_t dist = b > head ? b - head : head - b;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedulingPolicy::kScan: {
+      // Nearest request in the sweep direction; if none, the sweep
+      // reverses (handled by the caller re-invoking with !sweep_up).
+      size_t best = pending.size();
+      uint64_t best_dist = std::numeric_limits<uint64_t>::max();
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const uint64_t b = pending[i].block;
+        const bool in_dir = sweep_up ? b >= head : b <= head;
+        if (!in_dir) continue;
+        const uint64_t dist = b > head ? b - head : head - b;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = i;
+        }
+      }
+      if (best == pending.size()) {
+        // Nothing in the sweep direction: pick nearest overall.
+        return PickNext(pending, head, !sweep_up);
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+std::vector<IoCompletion> RequestScheduler::Run(
+    std::vector<IoRequest> requests) {
+  std::vector<IoCompletion> done;
+  done.reserve(requests.size());
+  if (requests.empty()) return done;
+
+  Micros now = 0;
+  bool sweep_up = true;
+  std::vector<IoRequest> waiting = std::move(requests);
+  std::sort(waiting.begin(), waiting.end(),
+            [](const IoRequest& a, const IoRequest& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+  now = waiting.front().arrival_time;
+
+  std::vector<IoRequest> pending;
+  size_t next_arrival = 0;
+  while (!pending.empty() || next_arrival < waiting.size()) {
+    // Admit everything that has arrived.
+    while (next_arrival < waiting.size() &&
+           waiting[next_arrival].arrival_time <= now) {
+      pending.push_back(waiting[next_arrival++]);
+    }
+    if (pending.empty()) {
+      now = waiting[next_arrival].arrival_time;
+      continue;
+    }
+    const uint64_t head = device_->head_position();
+    const size_t pick = PickNext(pending, head, sweep_up);
+    const IoRequest req = pending[pick];
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(pick));
+    if (policy_ == SchedulingPolicy::kScan) {
+      sweep_up = req.block >= head;
+    }
+
+    const Micros service = device_->EstimateServiceTime(req.block, req.count);
+    std::string scratch;
+    // Perform the access so head position and stats advance. The device
+    // clock advance equals `service`.
+    device_->Read(req.block, req.count, &scratch);
+
+    IoCompletion c;
+    c.id = req.id;
+    c.start_time = now;
+    c.service_time = service;
+    c.completion_time = now + service;
+    c.queueing_delay = now - req.arrival_time;
+    now = c.completion_time;
+    done.push_back(c);
+  }
+  return done;
+}
+
+QueueingStats RequestScheduler::Summarize(
+    const std::vector<IoRequest>& requests,
+    const std::vector<IoCompletion>& done) {
+  QueueingStats s;
+  if (done.empty()) return s;
+  Micros first_arrival = std::numeric_limits<Micros>::max();
+  for (const IoRequest& r : requests) {
+    first_arrival = std::min(first_arrival, r.arrival_time);
+  }
+  double sum_q = 0.0, sum_r = 0.0;
+  Micros last_completion = 0;
+  for (const IoCompletion& c : done) {
+    sum_q += static_cast<double>(c.queueing_delay);
+    const Micros resp = c.queueing_delay + c.service_time;
+    sum_r += static_cast<double>(resp);
+    s.max_response_time_us = std::max(s.max_response_time_us, resp);
+    last_completion = std::max(last_completion, c.completion_time);
+  }
+  s.mean_queueing_delay_us = sum_q / static_cast<double>(done.size());
+  s.mean_response_time_us = sum_r / static_cast<double>(done.size());
+  s.makespan_us = last_completion - first_arrival;
+  return s;
+}
+
+}  // namespace minos::storage

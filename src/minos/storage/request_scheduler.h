@@ -1,0 +1,80 @@
+#ifndef MINOS_STORAGE_REQUEST_SCHEDULER_H_
+#define MINOS_STORAGE_REQUEST_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minos/storage/block_device.h"
+#include "minos/util/clock.h"
+
+namespace minos::storage {
+
+/// Disk-arm scheduling policy for the server subsystem experiments.
+enum class SchedulingPolicy {
+  kFcfs,  ///< First come, first served.
+  kSstf,  ///< Shortest seek time first.
+  kScan,  ///< Elevator: sweep up then down.
+};
+
+/// Returns "FCFS" / "SSTF" / "SCAN".
+const char* SchedulingPolicyName(SchedulingPolicy policy);
+
+/// One queued I/O request.
+struct IoRequest {
+  uint64_t id = 0;           ///< Caller-chosen identifier.
+  uint64_t block = 0;        ///< First block of the access.
+  uint64_t count = 1;        ///< Number of consecutive blocks.
+  Micros arrival_time = 0;   ///< When the request entered the queue.
+};
+
+/// Outcome of one request after simulation.
+struct IoCompletion {
+  uint64_t id = 0;
+  Micros start_time = 0;       ///< When service began.
+  Micros completion_time = 0;  ///< When the transfer finished.
+  Micros queueing_delay = 0;   ///< start_time - arrival_time.
+  Micros service_time = 0;     ///< completion_time - start_time.
+};
+
+/// Aggregate queueing statistics over a batch of completions.
+struct QueueingStats {
+  double mean_queueing_delay_us = 0.0;
+  double mean_response_time_us = 0.0;  ///< Queueing delay + service time.
+  Micros max_response_time_us = 0;
+  Micros makespan_us = 0;  ///< Last completion - first arrival.
+};
+
+/// Simulates the service of a batch of read requests against a device
+/// under a given arm-scheduling policy. This reproduces the §5 concern:
+/// "Performance may be crucial due to queueing delays that may be
+/// experienced when several users try to access data from the same
+/// device."
+///
+/// The simulation is event driven: at each step the scheduler picks among
+/// the requests that have arrived by the current time (or, if none, jumps
+/// to the next arrival), charges the device cost model, and records the
+/// completion. The device's clock is advanced to the makespan.
+class RequestScheduler {
+ public:
+  /// The device must outlive the scheduler.
+  RequestScheduler(BlockDevice* device, SchedulingPolicy policy);
+
+  /// Runs all `requests` to completion and returns per-request outcomes
+  /// ordered by completion time. Requests must fit the device.
+  std::vector<IoCompletion> Run(std::vector<IoRequest> requests);
+
+  /// Computes aggregate statistics for a batch of completions.
+  static QueueingStats Summarize(const std::vector<IoRequest>& requests,
+                                 const std::vector<IoCompletion>& done);
+
+ private:
+  size_t PickNext(const std::vector<IoRequest>& pending, uint64_t head,
+                  bool sweep_up) const;
+
+  BlockDevice* device_;
+  SchedulingPolicy policy_;
+};
+
+}  // namespace minos::storage
+
+#endif  // MINOS_STORAGE_REQUEST_SCHEDULER_H_

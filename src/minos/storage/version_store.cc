@@ -1,0 +1,45 @@
+#include "minos/storage/version_store.h"
+
+namespace minos::storage {
+
+uint32_t VersionStore::Record(ObjectId id, ArchiveAddress address,
+                              Micros archived_at) {
+  std::vector<ObjectVersion>& lineage = versions_[id];
+  ObjectVersion v;
+  v.version = static_cast<uint32_t>(lineage.size()) + 1;
+  v.address = address;
+  v.archived_at = archived_at;
+  lineage.push_back(v);
+  return v.version;
+}
+
+StatusOr<ObjectVersion> VersionStore::Current(ObjectId id) const {
+  auto it = versions_.find(id);
+  if (it == versions_.end() || it->second.empty()) {
+    return Status::NotFound("object has no archived versions");
+  }
+  return it->second.back();
+}
+
+StatusOr<ObjectVersion> VersionStore::Get(ObjectId id,
+                                          uint32_t version) const {
+  auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound("object has no archived versions");
+  }
+  if (version == 0 || version > it->second.size()) {
+    return Status::NotFound("no such version");
+  }
+  return it->second[version - 1];
+}
+
+StatusOr<std::vector<ObjectVersion>> VersionStore::History(
+    ObjectId id) const {
+  auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound("object has no archived versions");
+  }
+  return it->second;
+}
+
+}  // namespace minos::storage

@@ -1,0 +1,56 @@
+#ifndef MINOS_STORAGE_VERSION_STORE_H_
+#define MINOS_STORAGE_VERSION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minos/storage/archiver.h"
+#include "minos/util/clock.h"
+#include "minos/util/status.h"
+#include "minos/util/statusor.h"
+
+namespace minos::storage {
+
+/// Identifier of an archived multimedia object. The paper assigns each
+/// multimedia object a unique object identifier (§2).
+using ObjectId = uint64_t;
+
+/// One archived version of an object.
+struct ObjectVersion {
+  uint32_t version = 0;          ///< 1-based, monotonically increasing.
+  ArchiveAddress address;        ///< Where descriptor+composition live.
+  Micros archived_at = 0;        ///< Simulated archive time.
+};
+
+/// Version-control catalog of the server subsystem (§5: "The subsystem
+/// provides access methods, scheduling, cashing, version control").
+/// Because the optical archive is write-once, a new version of an object
+/// is a new appended image; the store records the lineage.
+class VersionStore {
+ public:
+  VersionStore() = default;
+
+  /// Records a new version; returns the assigned version number.
+  uint32_t Record(ObjectId id, ArchiveAddress address, Micros archived_at);
+
+  /// Latest version of an object.
+  StatusOr<ObjectVersion> Current(ObjectId id) const;
+
+  /// A specific version.
+  StatusOr<ObjectVersion> Get(ObjectId id, uint32_t version) const;
+
+  /// Full lineage (oldest first); NotFound if the object was never seen.
+  StatusOr<std::vector<ObjectVersion>> History(ObjectId id) const;
+
+  /// Number of distinct objects tracked.
+  size_t object_count() const { return versions_.size(); }
+
+ private:
+  std::map<ObjectId, std::vector<ObjectVersion>> versions_;
+};
+
+}  // namespace minos::storage
+
+#endif  // MINOS_STORAGE_VERSION_STORE_H_

@@ -1,0 +1,164 @@
+#include "minos/text/document.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace minos::text {
+
+const char* LogicalUnitName(LogicalUnit unit) {
+  switch (unit) {
+    case LogicalUnit::kTitle:
+      return "title";
+    case LogicalUnit::kAbstract:
+      return "abstract";
+    case LogicalUnit::kChapter:
+      return "chapter";
+    case LogicalUnit::kSection:
+      return "section";
+    case LogicalUnit::kParagraph:
+      return "paragraph";
+    case LogicalUnit::kSentence:
+      return "sentence";
+    case LogicalUnit::kWord:
+      return "word";
+    case LogicalUnit::kReferences:
+      return "references";
+  }
+  return "?";
+}
+
+size_t Document::AppendText(std::string_view chars) {
+  const size_t at = contents_.size();
+  contents_.append(chars);
+  return at;
+}
+
+void Document::AddComponent(LogicalUnit unit, size_t begin,
+                            std::string title) {
+  LogicalComponent c;
+  c.unit = unit;
+  c.span = TextSpan{begin, contents_.size()};
+  c.title = std::move(title);
+  components_[static_cast<size_t>(unit)].push_back(std::move(c));
+}
+
+void Document::AddComponentSpan(LogicalComponent component) {
+  components_[static_cast<size_t>(component.unit)].push_back(
+      std::move(component));
+}
+
+void Document::AddEmphasis(EmphasisSpan span) {
+  emphasis_.push_back(span);
+}
+
+const std::vector<LogicalComponent>& Document::Components(
+    LogicalUnit unit) const {
+  return components_[static_cast<size_t>(unit)];
+}
+
+void Document::DeriveFineStructure() {
+  components_[static_cast<size_t>(LogicalUnit::kSentence)].clear();
+  components_[static_cast<size_t>(LogicalUnit::kWord)].clear();
+  // Speakable blocks: paragraphs, plus the title and the header text of
+  // chapters/sections (a reader speaks headers too; this keeps the text
+  // and voice renditions of a document aligned word for word).
+  std::vector<LogicalComponent> blocks;
+  for (const LogicalComponent& t : Components(LogicalUnit::kTitle)) {
+    blocks.push_back(t);
+  }
+  for (const LogicalComponent& c : Components(LogicalUnit::kChapter)) {
+    LogicalComponent header = c;
+    header.span.end = c.span.begin + c.title.size();
+    if (header.span.length() > 0) blocks.push_back(header);
+  }
+  for (const LogicalComponent& s : Components(LogicalUnit::kSection)) {
+    LogicalComponent header = s;
+    header.span.end = s.span.begin + s.title.size();
+    if (header.span.length() > 0) blocks.push_back(header);
+  }
+  for (const LogicalComponent& p : Components(LogicalUnit::kParagraph)) {
+    blocks.push_back(p);
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const LogicalComponent& a, const LogicalComponent& b) {
+              return a.span.begin < b.span.begin;
+            });
+  for (const LogicalComponent& para : blocks) {
+    // Sentences: split at '.', '!' or '?' followed by whitespace/end.
+    size_t sent_begin = para.span.begin;
+    for (size_t i = para.span.begin; i < para.span.end; ++i) {
+      const char c = contents_[i];
+      const bool terminator = (c == '.' || c == '!' || c == '?');
+      const bool at_end = i + 1 >= para.span.end;
+      const bool followed_by_space =
+          !at_end && std::isspace(static_cast<unsigned char>(contents_[i + 1]));
+      if (terminator && (at_end || followed_by_space)) {
+        LogicalComponent s;
+        s.unit = LogicalUnit::kSentence;
+        s.span = TextSpan{sent_begin, i + 1};
+        AddComponentSpan(std::move(s));
+        // Skip following whitespace to start the next sentence.
+        size_t j = i + 1;
+        while (j < para.span.end &&
+               std::isspace(static_cast<unsigned char>(contents_[j]))) {
+          ++j;
+        }
+        sent_begin = j;
+      }
+    }
+    if (sent_begin < para.span.end) {
+      LogicalComponent s;
+      s.unit = LogicalUnit::kSentence;
+      s.span = TextSpan{sent_begin, para.span.end};
+      AddComponentSpan(std::move(s));
+    }
+    // Words: maximal non-whitespace runs.
+    size_t i = para.span.begin;
+    while (i < para.span.end) {
+      while (i < para.span.end &&
+             std::isspace(static_cast<unsigned char>(contents_[i]))) {
+        ++i;
+      }
+      size_t w = i;
+      while (i < para.span.end &&
+             !std::isspace(static_cast<unsigned char>(contents_[i]))) {
+        ++i;
+      }
+      if (i > w) {
+        LogicalComponent word;
+        word.unit = LogicalUnit::kWord;
+        word.span = TextSpan{w, i};
+        AddComponentSpan(std::move(word));
+      }
+    }
+  }
+}
+
+StatusOr<size_t> Document::NextUnitStart(LogicalUnit unit,
+                                         size_t pos) const {
+  for (const LogicalComponent& c : Components(unit)) {
+    if (c.span.begin > pos) return c.span.begin;
+  }
+  return Status::NotFound(std::string("no next ") + LogicalUnitName(unit));
+}
+
+StatusOr<size_t> Document::PreviousUnitStart(LogicalUnit unit,
+                                             size_t pos) const {
+  const std::vector<LogicalComponent>& cs = Components(unit);
+  for (auto it = cs.rbegin(); it != cs.rend(); ++it) {
+    if (it->span.begin < pos) return it->span.begin;
+  }
+  return Status::NotFound(std::string("no previous ") +
+                          LogicalUnitName(unit));
+}
+
+StatusOr<LogicalComponent> Document::EnclosingUnit(LogicalUnit unit,
+                                                   size_t pos) const {
+  for (const LogicalComponent& c : Components(unit)) {
+    if (c.span.Contains(pos)) return c;
+  }
+  return Status::NotFound(std::string("position not inside any ") +
+                          LogicalUnitName(unit));
+}
+
+}  // namespace minos::text

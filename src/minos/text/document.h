@@ -1,0 +1,125 @@
+#ifndef MINOS_TEXT_DOCUMENT_H_
+#define MINOS_TEXT_DOCUMENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minos/util/status.h"
+#include "minos/util/statusor.h"
+
+namespace minos::text {
+
+/// Logical subdivision levels of a text (or voice) segment. "A text segment
+/// of a multimedia object in MINOS may be logically subdivided into title,
+/// abstract, chapters, and references. Each chapter is subdivided into
+/// sections, sections into paragraphs, paragraphs into sentences and
+/// sentences into words." (§2)
+enum class LogicalUnit : uint8_t {
+  kTitle = 0,
+  kAbstract = 1,
+  kChapter = 2,
+  kSection = 3,
+  kParagraph = 4,
+  kSentence = 5,
+  kWord = 6,
+  kReferences = 7,
+};
+
+/// Returns "chapter", "sentence", ... for menus and diagnostics.
+const char* LogicalUnitName(LogicalUnit unit);
+
+/// Half-open character range [begin, end) within a document's flat text.
+struct TextSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+  bool Contains(size_t pos) const { return pos >= begin && pos < end; }
+  friend bool operator==(const TextSpan&, const TextSpan&) = default;
+};
+
+/// Inline emphasis recorded by the markup parser. In text, "emphasis and
+/// meaning aspects are expressed by some special symbols as well as by some
+/// conventions such as underlined words, tilted words, bold tones" (§2).
+enum class Emphasis : uint8_t { kBold = 0, kUnderline = 1, kItalic = 2 };
+
+/// An emphasized run of the flat text.
+struct EmphasisSpan {
+  TextSpan span;
+  Emphasis kind = Emphasis::kBold;
+};
+
+/// A logical component instance: one chapter, one section, one sentence...
+/// `title` is non-empty for units the author named (chapters/sections).
+struct LogicalComponent {
+  LogicalUnit unit = LogicalUnit::kParagraph;
+  TextSpan span;
+  std::string title;
+};
+
+/// A parsed text document: flat character content plus the logical
+/// structure the presentation manager navigates by, plus emphasis runs the
+/// formatter styles. Documents are immutable once built (they model the
+/// archived state).
+class Document {
+ public:
+  Document() = default;
+
+  /// Builder interface used by the markup parser ------------------------
+
+  /// Appends raw characters; returns the offset where they start.
+  size_t AppendText(std::string_view chars);
+
+  /// Records a logical component covering [begin, current end).
+  void AddComponent(LogicalUnit unit, size_t begin, std::string title);
+
+  /// Records a component with an explicit span.
+  void AddComponentSpan(LogicalComponent component);
+
+  /// Records an emphasis run.
+  void AddEmphasis(EmphasisSpan span);
+
+  /// Derives sentence and word components for every paragraph present.
+  /// Sentences end at '.', '!' or '?'; words are whitespace-separated.
+  void DeriveFineStructure();
+
+  /// Read interface -----------------------------------------------------
+
+  /// The flat character content.
+  const std::string& contents() const { return contents_; }
+  size_t size() const { return contents_.size(); }
+
+  /// All components of one unit, in document order.
+  const std::vector<LogicalComponent>& Components(LogicalUnit unit) const;
+
+  /// Emphasis runs in document order.
+  const std::vector<EmphasisSpan>& emphasis() const { return emphasis_; }
+
+  /// True iff at least one component of `unit` was identified. Menu
+  /// options depend on this: "The logical browsing options that are
+  /// available to the user in MINOS depend on the object." (§2)
+  bool HasUnit(LogicalUnit unit) const { return !Components(unit).empty(); }
+
+  /// Start offset of the next component of `unit` strictly after `pos`;
+  /// NotFound when there is none.
+  StatusOr<size_t> NextUnitStart(LogicalUnit unit, size_t pos) const;
+
+  /// Start offset of the latest component of `unit` starting strictly
+  /// before `pos`; NotFound when there is none.
+  StatusOr<size_t> PreviousUnitStart(LogicalUnit unit, size_t pos) const;
+
+  /// The component of `unit` containing `pos`, if any.
+  StatusOr<LogicalComponent> EnclosingUnit(LogicalUnit unit,
+                                           size_t pos) const;
+
+ private:
+  std::string contents_;
+  // Indexed by LogicalUnit value.
+  std::vector<LogicalComponent> components_[8];
+  std::vector<EmphasisSpan> emphasis_;
+};
+
+}  // namespace minos::text
+
+#endif  // MINOS_TEXT_DOCUMENT_H_

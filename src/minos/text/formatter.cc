@@ -1,0 +1,294 @@
+#include "minos/text/formatter.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace minos::text {
+
+namespace {
+
+/// One typesettable block derived from the document's logical structure.
+struct Block {
+  enum class Kind { kTitle, kChapterHeader, kSectionHeader, kBody };
+  Kind kind;
+  size_t order;      // Document offset for ordering.
+  TextSpan span;     // Characters this block presents.
+  std::string text;  // Header text (headers only).
+};
+
+/// A word placed during wrapping, with its document offsets.
+struct PlacedWord {
+  size_t doc_begin;
+  size_t doc_end;
+  std::string chars;
+};
+
+std::vector<PlacedWord> ExtractWords(const std::string& contents,
+                                     TextSpan span) {
+  std::vector<PlacedWord> words;
+  size_t i = span.begin;
+  while (i < span.end) {
+    while (i < span.end &&
+           std::isspace(static_cast<unsigned char>(contents[i]))) {
+      ++i;
+    }
+    const size_t w = i;
+    while (i < span.end &&
+           !std::isspace(static_cast<unsigned char>(contents[i]))) {
+      ++i;
+    }
+    if (i > w) {
+      words.push_back(PlacedWord{w, i, contents.substr(w, i - w)});
+    }
+  }
+  return words;
+}
+
+/// Incrementally builds pages line by line.
+class PageBuilder {
+ public:
+  PageBuilder(const PageLayout& layout, const Document& doc)
+      : layout_(layout), doc_(doc) {}
+
+  /// Starts a new page unless the current one is still empty.
+  void BreakPage() {
+    if (!current_lines_.empty()) FlushPage();
+  }
+
+  /// Appends one line; breaks the page when full. `covered` is the
+  /// document range the line presents ({0,0} for decorative lines), and
+  /// `word_cols` maps placed words to their columns for styling.
+  void AddLine(std::string line, TextSpan covered,
+               const std::vector<std::pair<PlacedWord, int>>& word_cols) {
+    if (static_cast<int>(current_lines_.size()) >= layout_.height) {
+      FlushPage();
+    }
+    const int line_index = static_cast<int>(current_lines_.size());
+    // Record word placements for highlight/indicator positioning.
+    for (const auto& [word, col] : word_cols) {
+      WordPlacement placement;
+      placement.span = TextSpan{word.doc_begin, word.doc_end};
+      placement.line = line_index;
+      placement.col_begin = col;
+      placement.col_end = col + static_cast<int>(word.chars.size());
+      current_words_.push_back(placement);
+    }
+    // Style runs: overlap every emphasis span with the placed words.
+    for (const auto& [word, col] : word_cols) {
+      for (const EmphasisSpan& em : doc_.emphasis()) {
+        const size_t lo = std::max(em.span.begin, word.doc_begin);
+        const size_t hi = std::min(em.span.end, word.doc_end);
+        if (lo >= hi) continue;
+        StyledRun run;
+        run.line = line_index;
+        run.col_begin = col + static_cast<int>(lo - word.doc_begin);
+        run.col_end = col + static_cast<int>(hi - word.doc_begin);
+        run.kind = em.kind;
+        current_styles_.push_back(run);
+      }
+    }
+    current_lines_.push_back(std::move(line));
+    if (covered.begin < covered.end) {
+      if (current_span_.begin == current_span_.end) {
+        current_span_ = covered;
+      } else {
+        current_span_.begin = std::min(current_span_.begin, covered.begin);
+        current_span_.end = std::max(current_span_.end, covered.end);
+      }
+    }
+  }
+
+  /// Adds a blank separator line (no page coverage); never starts a page
+  /// with a blank line.
+  void AddBlank() {
+    if (current_lines_.empty()) return;
+    if (static_cast<int>(current_lines_.size()) >= layout_.height) {
+      FlushPage();
+      return;
+    }
+    current_lines_.emplace_back();
+  }
+
+  /// Lines still available on the current page.
+  int remaining_lines() const {
+    return layout_.height - static_cast<int>(current_lines_.size());
+  }
+
+  std::vector<TextPage> Finish() {
+    if (!current_lines_.empty()) FlushPage();
+    return std::move(pages_);
+  }
+
+ private:
+  void FlushPage() {
+    TextPage page;
+    page.number = static_cast<int>(pages_.size()) + 1;
+    page.lines = std::move(current_lines_);
+    page.lines.resize(layout_.height);  // Pad to full height.
+    page.styles = std::move(current_styles_);
+    page.words = std::move(current_words_);
+    page.span = current_span_;
+    pages_.push_back(std::move(page));
+    current_lines_.clear();
+    current_styles_.clear();
+    current_words_.clear();
+    current_span_ = TextSpan{};
+  }
+
+  const PageLayout& layout_;
+  const Document& doc_;
+  std::vector<TextPage> pages_;
+  std::vector<std::string> current_lines_;
+  std::vector<StyledRun> current_styles_;
+  std::vector<WordPlacement> current_words_;
+  TextSpan current_span_;
+};
+
+/// Word-wraps `span` of the document into the builder, indenting the first
+/// line by `first_indent` columns.
+void WrapBody(const Document& doc, TextSpan span, int first_indent,
+              const PageLayout& layout, PageBuilder* builder) {
+  const std::vector<PlacedWord> words =
+      ExtractWords(doc.contents(), span);
+  std::string line(static_cast<size_t>(std::max(first_indent, 0)), ' ');
+  std::vector<std::pair<PlacedWord, int>> cols;
+  TextSpan covered{};
+  auto flush_line = [&]() {
+    if (line.empty() && cols.empty()) return;
+    builder->AddLine(std::move(line), covered, cols);
+    line.clear();
+    cols.clear();
+    covered = TextSpan{};
+  };
+  for (const PlacedWord& w : words) {
+    const int needed = static_cast<int>(w.chars.size()) +
+                       (line.empty() || line.back() == ' ' ? 0 : 1);
+    if (!line.empty() &&
+        static_cast<int>(line.size()) + needed > layout.width) {
+      flush_line();
+    }
+    if (!line.empty() && line.back() != ' ') line.push_back(' ');
+    const int col = static_cast<int>(line.size());
+    // Words longer than the line width are hard-truncated to fit.
+    std::string chars = w.chars;
+    if (static_cast<int>(chars.size()) > layout.width) {
+      chars.resize(static_cast<size_t>(layout.width));
+    }
+    line += chars;
+    cols.emplace_back(w, col);
+    if (covered.begin == covered.end) {
+      covered = TextSpan{w.doc_begin, w.doc_end};
+    } else {
+      covered.end = w.doc_end;
+    }
+  }
+  flush_line();
+}
+
+}  // namespace
+
+const WordPlacement* TextPage::FindWordAt(size_t pos) const {
+  for (const WordPlacement& w : words) {
+    if (pos >= w.span.begin && pos < w.span.end) return &w;
+  }
+  return nullptr;
+}
+
+PageMap::PageMap(const std::vector<TextPage>& pages) {
+  spans_.reserve(pages.size());
+  for (const TextPage& p : pages) spans_.push_back(p.span);
+}
+
+int PageMap::PageForOffset(size_t pos) const {
+  if (spans_.empty()) return 0;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (pos < spans_[i].end) return static_cast<int>(i) + 1;
+  }
+  return static_cast<int>(spans_.size());
+}
+
+StatusOr<std::vector<TextPage>> TextFormatter::Paginate(
+    const Document& doc) const {
+  if (layout_.width < 8 || layout_.height < 3) {
+    return Status::InvalidArgument("degenerate page layout");
+  }
+  // Derive typesettable blocks from the logical structure.
+  std::vector<Block> blocks;
+  for (const LogicalComponent& c : doc.Components(LogicalUnit::kTitle)) {
+    blocks.push_back(
+        {Block::Kind::kTitle, c.span.begin, c.span, c.title});
+  }
+  for (const LogicalComponent& c : doc.Components(LogicalUnit::kChapter)) {
+    blocks.push_back({Block::Kind::kChapterHeader, c.span.begin,
+                      TextSpan{c.span.begin, c.span.begin + c.title.size()},
+                      c.title});
+  }
+  for (const LogicalComponent& c : doc.Components(LogicalUnit::kSection)) {
+    blocks.push_back({Block::Kind::kSectionHeader, c.span.begin,
+                      TextSpan{c.span.begin, c.span.begin + c.title.size()},
+                      c.title});
+  }
+  for (const LogicalComponent& c :
+       doc.Components(LogicalUnit::kParagraph)) {
+    blocks.push_back({Block::Kind::kBody, c.span.begin, c.span, ""});
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.order < b.order; });
+
+  PageBuilder builder(layout_, doc);
+  for (const Block& block : blocks) {
+    switch (block.kind) {
+      case Block::Kind::kTitle: {
+        // Centered title on the first page.
+        std::string text = block.text;
+        if (static_cast<int>(text.size()) > layout_.width) {
+          text.resize(static_cast<size_t>(layout_.width));
+        }
+        const int pad = (layout_.width - static_cast<int>(text.size())) / 2;
+        builder.AddLine(std::string(static_cast<size_t>(pad), ' ') + text,
+                        block.span, {});
+        builder.AddBlank();
+        break;
+      }
+      case Block::Kind::kChapterHeader: {
+        if (layout_.chapter_starts_page) {
+          builder.BreakPage();
+        } else {
+          builder.AddBlank();
+        }
+        std::string header = block.text;
+        for (char& ch : header) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        builder.AddLine(std::move(header), block.span, {});
+        builder.AddBlank();
+        break;
+      }
+      case Block::Kind::kSectionHeader: {
+        // Keep a section header attached to at least two body lines.
+        if (builder.remaining_lines() < 4) builder.BreakPage();
+        builder.AddBlank();
+        builder.AddLine(block.text, block.span, {});
+        builder.AddBlank();
+        break;
+      }
+      case Block::Kind::kBody: {
+        WrapBody(doc, block.span, layout_.paragraph_indent, layout_,
+                 &builder);
+        builder.AddBlank();
+        break;
+      }
+    }
+  }
+  std::vector<TextPage> pages = builder.Finish();
+  if (pages.empty()) {
+    // An empty document still presents one (blank) page.
+    TextPage page;
+    page.number = 1;
+    page.lines.resize(layout_.height);
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+}  // namespace minos::text

@@ -1,0 +1,104 @@
+#ifndef MINOS_TEXT_FORMATTER_H_
+#define MINOS_TEXT_FORMATTER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minos/text/document.h"
+#include "minos/util/statusor.h"
+
+namespace minos::text {
+
+/// Layout parameters of the text area of a visual page. "The presentation
+/// form of text is subdivided into text pages. A text page is all the text
+/// information which is presented at the same time at the screen of the
+/// workstation." (§2) MINOS provides "presentation capabilities for text
+/// similar to those found in traditional text formatters ... various
+/// character fonts, letter sizes, paragraphing, indenting" (§3).
+struct PageLayout {
+  int width = 64;              ///< Characters per line.
+  int height = 20;             ///< Lines per page.
+  int paragraph_indent = 2;    ///< First-line indent of a paragraph.
+  bool chapter_starts_page = true;  ///< Chapters begin on a fresh page.
+
+  /// Layout for a page whose lower half shows text under a pinned visual
+  /// logical message (Figures 3-4): same width, half the lines.
+  PageLayout LowerHalf() const {
+    PageLayout half = *this;
+    half.height = height / 2;
+    return half;
+  }
+};
+
+/// A styled run of characters on one page line.
+struct StyledRun {
+  int line = 0;       ///< Line index within the page.
+  int col_begin = 0;  ///< First styled column.
+  int col_end = 0;    ///< One past the last styled column.
+  Emphasis kind = Emphasis::kBold;
+};
+
+/// Where one word of the document landed on a page (line/column grid).
+/// Lets browsing code highlight search hits and draw relevance
+/// indicators at the exact on-screen position of a document offset.
+struct WordPlacement {
+  TextSpan span;      ///< Document offsets of the word.
+  int line = 0;       ///< Page line index.
+  int col_begin = 0;  ///< First column of the word.
+  int col_end = 0;    ///< One past the last column.
+};
+
+/// One formatted text page: fixed-size line grid plus style runs plus the
+/// document character range it presents (used to map logical positions and
+/// search hits to pages).
+struct TextPage {
+  int number = 0;                   ///< 1-based page number.
+  std::vector<std::string> lines;   ///< Exactly layout.height lines.
+  std::vector<StyledRun> styles;
+  std::vector<WordPlacement> words; ///< Placed body words, page order.
+  TextSpan span;                    ///< Document offsets covered.
+
+  /// Placement of the word containing document offset `pos`, or null.
+  const WordPlacement* FindWordAt(size_t pos) const;
+};
+
+/// Maps document character offsets to page numbers.
+class PageMap {
+ public:
+  /// Builds the map from formatted pages (must be in page-number order).
+  explicit PageMap(const std::vector<TextPage>& pages);
+  PageMap() = default;
+
+  /// Page presenting offset `pos`. Offsets that fall between pages (e.g.
+  /// whitespace swallowed by wrapping) map to the following page; offsets
+  /// past the end map to the last page. Zero when there are no pages.
+  int PageForOffset(size_t pos) const;
+
+  int page_count() const { return static_cast<int>(spans_.size()); }
+
+ private:
+  std::vector<TextSpan> spans_;
+};
+
+/// The MINOS text formatter: turns a logical Document into numbered text
+/// pages, honoring paragraph indentation, headers and emphasis. The
+/// formatter is deterministic: equal documents and layouts yield equal
+/// pages (figure benches rely on this for digests).
+class TextFormatter {
+ public:
+  explicit TextFormatter(PageLayout layout) : layout_(layout) {}
+
+  /// Paginates the whole document. InvalidArgument if the layout is
+  /// degenerate (width < 8 or height < 3).
+  StatusOr<std::vector<TextPage>> Paginate(const Document& doc) const;
+
+  const PageLayout& layout() const { return layout_; }
+
+ private:
+  PageLayout layout_;
+};
+
+}  // namespace minos::text
+
+#endif  // MINOS_TEXT_FORMATTER_H_

@@ -1,0 +1,170 @@
+#include "minos/text/markup.h"
+
+#include <optional>
+#include <vector>
+
+#include "minos/util/string_util.h"
+
+namespace minos::text {
+
+namespace {
+
+/// Open structural scopes being accumulated while scanning lines.
+struct OpenScope {
+  LogicalUnit unit;
+  size_t begin;
+  std::string title;
+};
+
+/// Appends `body` to the document, translating inline emphasis markers to
+/// EmphasisSpans and stripping the marker characters.
+Status AppendBodyText(std::string_view body, Document* doc) {
+  std::optional<char> open_marker;
+  size_t emphasis_begin = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    const bool is_marker = (c == '*' || c == '_' || c == '/');
+    if (!is_marker) {
+      doc->AppendText(std::string_view(&c, 1));
+      continue;
+    }
+    if (!open_marker.has_value()) {
+      open_marker = c;
+      emphasis_begin = doc->size();
+    } else if (*open_marker == c) {
+      Emphasis kind = Emphasis::kBold;
+      if (c == '_') kind = Emphasis::kUnderline;
+      if (c == '/') kind = Emphasis::kItalic;
+      doc->AddEmphasis(
+          EmphasisSpan{TextSpan{emphasis_begin, doc->size()}, kind});
+      open_marker.reset();
+    } else {
+      // A different marker nested inside an open one: treat literally.
+      doc->AppendText(std::string_view(&c, 1));
+    }
+  }
+  if (open_marker.has_value()) {
+    return Status::InvalidArgument(
+        std::string("unterminated emphasis marker '") + *open_marker + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Document> MarkupParser::Parse(std::string_view markup) const {
+  Document doc;
+  std::vector<OpenScope> open;  // At most one per unit level.
+
+  // Structural nesting depth: title < {abstract, chapter, references}
+  // < section < paragraph. Abstract, chapters and references are siblings.
+  auto depth = [](LogicalUnit unit) {
+    switch (unit) {
+      case LogicalUnit::kTitle:
+        return 0;
+      case LogicalUnit::kAbstract:
+      case LogicalUnit::kChapter:
+      case LogicalUnit::kReferences:
+        return 1;
+      case LogicalUnit::kSection:
+        return 2;
+      default:
+        return 3;
+    }
+  };
+  auto close_down_to = [&](LogicalUnit level, Document* d) {
+    // Closes every open scope at the same or a finer depth than `level`.
+    while (!open.empty() && depth(open.back().unit) >= depth(level)) {
+      OpenScope s = open.back();
+      open.pop_back();
+      LogicalComponent c;
+      c.unit = s.unit;
+      c.span = TextSpan{s.begin, d->size()};
+      c.title = std::move(s.title);
+      d->AddComponentSpan(std::move(c));
+    }
+  };
+  auto close_unit = [&](LogicalUnit unit, Document* d) {
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (open[i].unit == unit) {
+        close_down_to(unit, d);
+        return;
+      }
+    }
+  };
+
+  bool in_paragraph = false;
+  for (const std::string& raw_line : SplitString(markup, '\n')) {
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty()) {
+      // Blank line ends the current paragraph.
+      close_unit(LogicalUnit::kParagraph, &doc);
+      in_paragraph = false;
+      continue;
+    }
+    if (line[0] == '.') {
+      const size_t sp = line.find(' ');
+      std::string_view tag = line.substr(0, sp);
+      std::string_view arg =
+          sp == std::string_view::npos ? "" : TrimWhitespace(line.substr(sp));
+      in_paragraph = false;
+      if (tag == ".TITLE") {
+        close_down_to(LogicalUnit::kTitle, &doc);
+        const size_t at = doc.AppendText(arg);
+        doc.AppendText("\n");
+        LogicalComponent c;
+        c.unit = LogicalUnit::kTitle;
+        c.span = TextSpan{at, at + arg.size()};
+        c.title = std::string(arg);
+        doc.AddComponentSpan(std::move(c));
+      } else if (tag == ".ABSTRACT") {
+        close_down_to(LogicalUnit::kAbstract, &doc);
+        open.push_back({LogicalUnit::kAbstract, doc.size(), ""});
+        // An abstract behaves like a paragraph for fine structure.
+        open.push_back({LogicalUnit::kParagraph, doc.size(), ""});
+        in_paragraph = true;
+      } else if (tag == ".CHAPTER") {
+        close_down_to(LogicalUnit::kChapter, &doc);
+        open.push_back({LogicalUnit::kChapter, doc.size(),
+                        std::string(arg)});
+        const size_t at = doc.AppendText(arg);
+        doc.AppendText("\n");
+        (void)at;
+      } else if (tag == ".SECTION") {
+        close_down_to(LogicalUnit::kSection, &doc);
+        open.push_back({LogicalUnit::kSection, doc.size(),
+                        std::string(arg)});
+        doc.AppendText(arg);
+        doc.AppendText("\n");
+      } else if (tag == ".PP") {
+        close_down_to(LogicalUnit::kParagraph, &doc);
+        open.push_back({LogicalUnit::kParagraph, doc.size(), ""});
+        in_paragraph = true;
+      } else if (tag == ".REFERENCES") {
+        close_down_to(LogicalUnit::kChapter, &doc);
+        open.push_back({LogicalUnit::kReferences, doc.size(), ""});
+        open.push_back({LogicalUnit::kParagraph, doc.size(), ""});
+        in_paragraph = true;
+      } else {
+        return Status::InvalidArgument("unknown markup tag '" +
+                                       std::string(tag) + "'");
+      }
+      continue;
+    }
+    // Body line.
+    if (!in_paragraph) {
+      open.push_back({LogicalUnit::kParagraph, doc.size(), ""});
+      in_paragraph = true;
+    }
+    if (doc.size() > 0 && doc.contents().back() != '\n' &&
+        !doc.contents().empty() && doc.contents().back() != ' ') {
+      doc.AppendText(" ");
+    }
+    MINOS_RETURN_IF_ERROR(AppendBodyText(line, &doc));
+  }
+  close_down_to(LogicalUnit::kTitle, &doc);
+  doc.DeriveFineStructure();
+  return doc;
+}
+
+}  // namespace minos::text

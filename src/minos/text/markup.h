@@ -1,0 +1,44 @@
+#ifndef MINOS_TEXT_MARKUP_H_
+#define MINOS_TEXT_MARKUP_H_
+
+#include <string>
+#include <string_view>
+
+#include "minos/text/document.h"
+#include "minos/util/statusor.h"
+
+namespace minos::text {
+
+/// Parser for the MINOS declarative text markup. "For objects which have
+/// been generated interactively in a given environment, these subdivisions
+/// can be easily identified by the tags that the user inserts in order to
+/// format the text." (§2) The formatter is declarative: tags describe the
+/// logical structure, not the layout (§4).
+///
+/// Tag language (one tag per line, leading dot):
+///
+///   .TITLE <text>        title of the object text part
+///   .ABSTRACT            abstract until the next structural tag
+///   .CHAPTER <name>      starts a chapter
+///   .SECTION <name>      starts a section
+///   .PP                  starts a paragraph
+///   .REFERENCES          starts the references part
+///
+/// Inline emphasis inside body lines:
+///   *bold*   _underline_   /italic/
+///
+/// Lines that do not start with '.' are body text; consecutive body lines
+/// of the same paragraph are joined with single spaces.
+class MarkupParser {
+ public:
+  MarkupParser() = default;
+
+  /// Parses markup into a Document with full logical structure (including
+  /// derived sentences and words). Returns InvalidArgument on an unknown
+  /// tag or an unterminated emphasis marker.
+  StatusOr<Document> Parse(std::string_view markup) const;
+};
+
+}  // namespace minos::text
+
+#endif  // MINOS_TEXT_MARKUP_H_

@@ -1,0 +1,68 @@
+#ifndef MINOS_TEXT_SEARCH_H_
+#define MINOS_TEXT_SEARCH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minos/text/document.h"
+#include "minos/util/statusor.h"
+
+namespace minos::text {
+
+/// Pattern-matching browsing support. "A user types a text pattern ... and
+/// the system returns the next page with the occurrence of this pattern in
+/// the object's text" (§2). Two access methods are provided, matching the
+/// paper's "same access methods as in text" requirement for recognized
+/// voice: a direct scan (Boyer-Moore-Horspool) and a prebuilt inverted
+/// word index.
+
+/// All occurrences (start offsets) of `pattern` in `text`, in order.
+/// Case-sensitive; empty patterns match nowhere.
+std::vector<size_t> FindAll(std::string_view text, std::string_view pattern);
+
+/// First occurrence at or after `from`; NotFound when absent.
+StatusOr<size_t> FindNext(std::string_view text, std::string_view pattern,
+                          size_t from);
+
+/// Last occurrence strictly before `from`; NotFound when absent.
+StatusOr<size_t> FindPrevious(std::string_view text,
+                              std::string_view pattern, size_t from);
+
+/// Inverted index from (case-folded) words to their start offsets.
+/// This is the access method a content-addressable archive would maintain;
+/// the voice Recognizer produces entries of exactly this shape so browsing
+/// code is shared between the media (the paper's symmetry requirement).
+class WordIndex {
+ public:
+  WordIndex() = default;
+
+  /// Indexes every word component of the document. The document must have
+  /// derived fine structure.
+  void Build(const Document& doc);
+
+  /// Adds one posting directly (used by voice recognition results).
+  void AddPosting(std::string_view word, size_t position);
+
+  /// Sorted start offsets of `word` (case-insensitive); empty if absent.
+  const std::vector<size_t>& Positions(std::string_view word) const;
+
+  /// First occurrence of `word` at or after `from`; NotFound when absent.
+  StatusOr<size_t> NextOccurrence(std::string_view word, size_t from) const;
+
+  /// Last occurrence strictly before `from`; NotFound when absent.
+  StatusOr<size_t> PreviousOccurrence(std::string_view word,
+                                      size_t from) const;
+
+  /// Number of distinct indexed words.
+  size_t vocabulary_size() const { return postings_.size(); }
+
+ private:
+  std::map<std::string, std::vector<size_t>, std::less<>> postings_;
+};
+
+}  // namespace minos::text
+
+#endif  // MINOS_TEXT_SEARCH_H_

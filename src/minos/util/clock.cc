@@ -1,0 +1,20 @@
+#include "minos/util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace minos {
+
+Micros WallClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WallClock::Sleep(Micros duration) {
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  }
+}
+
+}  // namespace minos

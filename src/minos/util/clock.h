@@ -1,0 +1,79 @@
+#ifndef MINOS_UTIL_CLOCK_H_
+#define MINOS_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace minos {
+
+/// Microseconds — the time unit used throughout the MINOS simulation.
+using Micros = int64_t;
+
+/// Converts whole milliseconds to Micros.
+constexpr Micros MillisToMicros(int64_t ms) { return ms * 1000; }
+
+/// Converts whole seconds to Micros.
+constexpr Micros SecondsToMicros(int64_t s) { return s * 1000000; }
+
+/// Converts Micros to (truncated) milliseconds.
+constexpr int64_t MicrosToMillis(Micros us) { return us / 1000; }
+
+/// Converts Micros to seconds as a double.
+constexpr double MicrosToSeconds(Micros us) {
+  return static_cast<double>(us) / 1e6;
+}
+
+/// Abstract clock. All time-dependent MINOS components (audio playback,
+/// device models, tours, process simulation) take a Clock so that tests and
+/// benchmarks run under simulated time deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual Micros Now() const = 0;
+
+  /// Blocks (or, for a simulated clock, advances time) for `duration`.
+  virtual void Sleep(Micros duration) = 0;
+};
+
+/// Deterministic simulated clock. Now() returns a counter that only moves
+/// when Sleep() or Advance() is called. This is the clock used everywhere
+/// in the reproduction: the original MINOS ran against wall-clock audio
+/// hardware; we substitute virtual time so that audio playback, pauses,
+/// tours and queueing models are exactly reproducible.
+class SimClock final : public Clock {
+ public:
+  /// Starts at time zero (or `start`).
+  explicit SimClock(Micros start = 0) : now_(start) {}
+
+  Micros Now() const override { return now_; }
+
+  /// Advances simulated time; negative durations are ignored.
+  void Sleep(Micros duration) override {
+    if (duration > 0) now_ += duration;
+  }
+
+  /// Alias of Sleep for call sites that read better as an explicit advance.
+  void Advance(Micros duration) { Sleep(duration); }
+
+  /// Moves the clock to an absolute time, which must not be in the past.
+  void AdvanceTo(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_;
+};
+
+/// Real wall clock (CLOCK_MONOTONIC). Used only by benchmark harnesses that
+/// want to report real elapsed time; the library itself always takes an
+/// injected Clock.
+class WallClock final : public Clock {
+ public:
+  Micros Now() const override;
+  void Sleep(Micros duration) override;
+};
+
+}  // namespace minos
+
+#endif  // MINOS_UTIL_CLOCK_H_

@@ -1,0 +1,97 @@
+#include "minos/util/coding.h"
+
+namespace minos {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+Status Decoder::GetFixed32(uint32_t* value) {
+  if (data_.size() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[i]))
+         << (8 * i);
+  }
+  data_.remove_prefix(4);
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed64(uint64_t* value) {
+  if (data_.size() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[i]))
+         << (8 * i);
+  }
+  data_.remove_prefix(8);
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetVarint32(uint32_t* value) {
+  uint64_t v = 0;
+  MINOS_RETURN_IF_ERROR(GetVarint64(&v));
+  if (v > 0xFFFFFFFFULL) return Status::Corruption("varint32 overflow");
+  *value = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+Status Decoder::GetVarint64(uint64_t* value) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (data_.empty()) return Status::Corruption("truncated varint");
+    const unsigned char byte = static_cast<unsigned char>(data_[0]);
+    data_.remove_prefix(1);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+Status Decoder::GetLengthPrefixed(std::string* value) {
+  uint64_t len = 0;
+  MINOS_RETURN_IF_ERROR(GetVarint64(&len));
+  return GetRaw(static_cast<size_t>(len), value);
+}
+
+Status Decoder::GetRaw(size_t n, std::string* value) {
+  if (data_.size() < n) return Status::Corruption("truncated raw bytes");
+  value->assign(data_.data(), n);
+  data_.remove_prefix(n);
+  return Status::OK();
+}
+
+}  // namespace minos

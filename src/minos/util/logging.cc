@@ -1,0 +1,39 @@
+#include "minos/util/logging.h"
+
+#include <cstdio>
+
+namespace minos {
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Log(LogLevel level, std::string_view file, int line,
+                 const std::string& message) {
+  if (level < threshold_) return;
+  ++emitted_;
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      name = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      name = "INFO";
+      break;
+    case LogLevel::kWarning:
+      name = "WARN";
+      break;
+    case LogLevel::kError:
+      name = "ERROR";
+      break;
+  }
+  // Strip directories from the file name for compact records.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  std::fprintf(stderr, "[%s %.*s:%d] %s\n", name,
+               static_cast<int>(file.size()), file.data(), line,
+               message.c_str());
+}
+
+}  // namespace minos

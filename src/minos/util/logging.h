@@ -1,0 +1,58 @@
+#ifndef MINOS_UTIL_LOGGING_H_
+#define MINOS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace minos {
+
+/// Severity of a log record.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal logging sink. By default records at or above kWarning go to
+/// stderr; tests can lower the threshold or capture records.
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& Get();
+
+  /// Emits one record (thread-compatible; MINOS simulation is single
+  /// threaded by design, matching a single workstation session).
+  void Log(LogLevel level, std::string_view file, int line,
+           const std::string& message);
+
+  /// Only records with level >= threshold are emitted.
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  /// Number of records emitted since construction (observable by tests).
+  int emitted_count() const { return emitted_; }
+
+ private:
+  LogLevel threshold_ = LogLevel::kWarning;
+  int emitted_ = 0;
+};
+
+/// Internal: stream-builder that forwards to Logger on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Get().Log(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace minos
+
+#define MINOS_LOG(level)                                              \
+  ::minos::LogMessage(::minos::LogLevel::level, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // MINOS_UTIL_LOGGING_H_

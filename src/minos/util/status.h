@@ -1,0 +1,115 @@
+#ifndef MINOS_UTIL_STATUS_H_
+#define MINOS_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace minos {
+
+/// Result of a fallible operation, in the style of RocksDB/Abseil status
+/// objects. MINOS does not use C++ exceptions; every operation that can
+/// fail returns a Status (or a StatusOr<T> when it also produces a value).
+///
+/// A Status is cheap to copy and move, and carries a machine-readable code
+/// plus a human-readable message describing the failure.
+class Status {
+ public:
+  /// Machine-readable failure category.
+  enum class Code : int {
+    kOk = 0,
+    kNotFound = 1,         ///< Object, page, segment, or file does not exist.
+    kInvalidArgument = 2,  ///< Caller passed an out-of-domain argument.
+    kCorruption = 3,       ///< Stored bytes failed to decode.
+    kFailedPrecondition = 4,  ///< Operation illegal in the current state.
+    kOutOfRange = 5,       ///< Position past the end of a part or device.
+    kUnsupported = 6,      ///< Capability not available for this object.
+    kResourceExhausted = 7,  ///< Device, cache, or queue capacity exceeded.
+    kInternal = 8,         ///< Invariant violation inside MINOS itself.
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status Unsupported(std::string_view msg) {
+    return Status(Code::kUnsupported, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsUnsupported() const { return code_ == Code::kUnsupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// The failure category.
+  Code code() const { return code_; }
+
+  /// The human-readable message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "NotFound: object 42 is not archived" or "OK".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Returns the canonical spelling of a status code ("NotFound", ...).
+std::string_view StatusCodeName(Status::Code code);
+
+}  // namespace minos
+
+/// Propagates a non-OK Status to the caller. Usable only in functions that
+/// themselves return Status.
+#define MINOS_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::minos::Status _minos_status_ = (expr);       \
+    if (!_minos_status_.ok()) return _minos_status_; \
+  } while (0)
+
+#endif  // MINOS_UTIL_STATUS_H_

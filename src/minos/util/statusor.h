@@ -1,0 +1,95 @@
+#ifndef MINOS_UTIL_STATUSOR_H_
+#define MINOS_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "minos/util/status.h"
+
+namespace minos {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced. The usual usage pattern is:
+///
+///   StatusOr<VisualPage> page = formatter.Paginate(doc, 3);
+///   if (!page.ok()) return page.status();
+///   Render(*page);
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a failure. `status` must not be OK; an OK status here
+  /// indicates a logic error and is converted to an Internal error.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value; the StatusOr is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace minos
+
+/// Evaluates `rexpr` (a StatusOr<T>); on failure propagates the status,
+/// on success binds the value to `lhs`.
+#define MINOS_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  MINOS_ASSIGN_OR_RETURN_IMPL_(                         \
+      MINOS_STATUS_CONCAT_(_minos_statusor_, __LINE__), lhs, rexpr)
+
+#define MINOS_STATUS_CONCAT_INNER_(a, b) a##b
+#define MINOS_STATUS_CONCAT_(a, b) MINOS_STATUS_CONCAT_INNER_(a, b)
+#define MINOS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // MINOS_UTIL_STATUSOR_H_

@@ -1,0 +1,42 @@
+#ifndef MINOS_UTIL_STRING_UTIL_H_
+#define MINOS_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minos {
+
+/// Splits `input` on the single character `sep`. Empty fields are kept.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Splits `input` into whitespace-separated tokens (no empties).
+std::vector<std::string> SplitWords(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// FNV-1a 64-bit hash, used for deterministic page digests in the figure
+/// reproduction benches.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Renders `us` microseconds as a compact human-readable duration
+/// (e.g. "2.50s", "130ms", "75us").
+std::string FormatDuration(int64_t us);
+
+/// Renders a byte count as e.g. "3.2MB", "12KB", "640B".
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace minos
+
+#endif  // MINOS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+#include "minos/voice/audio_pages.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace minos::voice {
+
+std::vector<AudioPage> AudioPager::Paginate(
+    const PcmBuffer& pcm, const std::vector<Pause>& pauses) const {
+  std::vector<AudioPage> pages;
+  if (pcm.empty()) return pages;
+  const size_t nominal = std::max<size_t>(
+      1, pcm.MicrosToSamples(params_.page_duration));
+  const size_t tolerance = static_cast<size_t>(
+      static_cast<double>(nominal) * params_.snap_tolerance);
+
+  size_t begin = 0;
+  int number = 1;
+  while (begin < pcm.size()) {
+    size_t end = std::min(begin + nominal, pcm.size());
+    if (end < pcm.size() && tolerance > 0 && !pauses.empty()) {
+      // Snap to the midpoint of the nearest pause within tolerance.
+      size_t best = end;
+      size_t best_dist = tolerance + 1;
+      for (const Pause& p : pauses) {
+        const size_t mid = p.samples.begin + p.length() / 2;
+        if (mid <= begin) continue;
+        const size_t dist =
+            mid > end ? mid - end : end - mid;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = mid;
+        }
+      }
+      end = best;
+    }
+    if (end <= begin) end = std::min(begin + nominal, pcm.size());
+    pages.push_back(AudioPage{number++, SampleSpan{begin, end}});
+    begin = end;
+  }
+  return pages;
+}
+
+int AudioPager::PageForSample(const std::vector<AudioPage>& pages,
+                              size_t pos) {
+  if (pages.empty()) return 0;
+  for (const AudioPage& p : pages) {
+    if (pos < p.samples.end) return p.number;
+  }
+  return pages.back().number;
+}
+
+StatusOr<size_t> AudioPager::PageStart(const std::vector<AudioPage>& pages,
+                                       int number) {
+  if (number < 1 || number > static_cast<int>(pages.size())) {
+    return Status::NotFound("no such audio page");
+  }
+  return pages[static_cast<size_t>(number) - 1].samples.begin;
+}
+
+}  // namespace minos::voice

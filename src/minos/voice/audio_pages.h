@@ -1,0 +1,57 @@
+#ifndef MINOS_VOICE_AUDIO_PAGES_H_
+#define MINOS_VOICE_AUDIO_PAGES_H_
+
+#include <vector>
+
+#include "minos/util/statusor.h"
+#include "minos/voice/pause.h"
+#include "minos/voice/pcm.h"
+
+namespace minos::voice {
+
+/// One audio page. "Audio pages (or voice pages) in a speech are
+/// consecutive partitions of the audio object part which are of
+/// approximately constant time length." (§2)
+struct AudioPage {
+  int number = 0;     ///< 1-based, like text pages.
+  SampleSpan samples;
+};
+
+/// Parameters for audio pagination.
+struct AudioPagerParams {
+  /// Nominal page duration.
+  Micros page_duration = SecondsToMicros(15);
+  /// Page boundaries snap to the nearest detected pause within this
+  /// fraction of the page duration ("approximately constant time length").
+  /// 0 disables snapping.
+  double snap_tolerance = 0.15;
+};
+
+/// Partitions a voice part into audio pages and answers the page <-> sample
+/// queries browsing needs (the voice analogue of text::PageMap).
+class AudioPager {
+ public:
+  explicit AudioPager(AudioPagerParams params = {}) : params_(params) {}
+
+  /// Builds pages over `pcm`, snapping boundaries to `pauses` (pass an
+  /// empty vector to disable snapping).
+  std::vector<AudioPage> Paginate(const PcmBuffer& pcm,
+                                  const std::vector<Pause>& pauses) const;
+
+  /// Page containing sample `pos` (1-based; last page for pos past the
+  /// end; 0 when `pages` is empty).
+  static int PageForSample(const std::vector<AudioPage>& pages, size_t pos);
+
+  /// First sample of page `number`; NotFound for an invalid number.
+  static StatusOr<size_t> PageStart(const std::vector<AudioPage>& pages,
+                                    int number);
+
+  const AudioPagerParams& params() const { return params_; }
+
+ private:
+  AudioPagerParams params_;
+};
+
+}  // namespace minos::voice
+
+#endif  // MINOS_VOICE_AUDIO_PAGES_H_

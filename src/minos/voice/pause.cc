@@ -1,0 +1,120 @@
+#include "minos/voice/pause.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minos::voice {
+
+std::vector<Pause> PauseDetector::Detect(const PcmBuffer& pcm) const {
+  std::vector<Pause> pauses;
+  if (pcm.empty()) return pauses;
+  const size_t frame =
+      std::max<size_t>(1, pcm.MicrosToSamples(
+                              static_cast<Micros>(params_.frame_ms * 1000)));
+  const size_t min_pause = pcm.MicrosToSamples(
+      static_cast<Micros>(params_.min_pause_ms * 1000));
+
+  bool in_pause = false;
+  size_t pause_begin = 0;
+  for (size_t at = 0; at < pcm.size(); at += frame) {
+    const SampleSpan span{at, std::min(at + frame, pcm.size())};
+    const bool silent = pcm.RmsEnergy(span) < params_.energy_threshold;
+    if (silent && !in_pause) {
+      in_pause = true;
+      pause_begin = at;
+    } else if (!silent && in_pause) {
+      in_pause = false;
+      if (at - pause_begin >= min_pause) {
+        pauses.push_back(Pause{{pause_begin, at}});
+      }
+    }
+  }
+  if (in_pause && pcm.size() - pause_begin >= min_pause) {
+    pauses.push_back(Pause{{pause_begin, pcm.size()}});
+  }
+  return pauses;
+}
+
+PauseContext PauseDetector::SampleContext(const PcmBuffer& pcm,
+                                          const std::vector<Pause>& pauses,
+                                          size_t position,
+                                          size_t window) const {
+  auto collect = [&](size_t lo, size_t hi) {
+    std::vector<double> ms;
+    for (const Pause& p : pauses) {
+      if (p.samples.begin >= lo && p.samples.end <= hi) {
+        ms.push_back(MicrosToSeconds(pcm.SamplesToMicros(p.length())) *
+                     1000.0);
+      }
+    }
+    return ms;
+  };
+  const size_t half = window / 2;
+  const size_t lo = position > half ? position - half : 0;
+  const size_t hi = std::min(pcm.size(), position + half);
+  std::vector<double> durations = collect(lo, hi);
+  if (durations.size() < 4) durations = collect(0, pcm.size());
+
+  PauseContext ctx;
+  ctx.sampled_pauses = durations.size();
+  if (durations.empty()) return ctx;
+  if (durations.size() == 1) {
+    ctx.short_mean_ms = ctx.long_mean_ms = durations[0];
+    ctx.split_ms = durations[0] * 2.0;
+    return ctx;
+  }
+  // 1-D two-means: seed with min and max, iterate to a fixed point.
+  auto [min_it, max_it] = std::minmax_element(durations.begin(),
+                                              durations.end());
+  double c_short = *min_it;
+  double c_long = *max_it;
+  for (int iter = 0; iter < 16; ++iter) {
+    double sum_s = 0.0, sum_l = 0.0;
+    size_t n_s = 0, n_l = 0;
+    const double mid = (c_short + c_long) / 2.0;
+    for (double d : durations) {
+      if (d < mid) {
+        sum_s += d;
+        ++n_s;
+      } else {
+        sum_l += d;
+        ++n_l;
+      }
+    }
+    const double new_s = n_s > 0 ? sum_s / static_cast<double>(n_s) : c_short;
+    const double new_l = n_l > 0 ? sum_l / static_cast<double>(n_l) : c_long;
+    if (std::abs(new_s - c_short) < 1e-9 &&
+        std::abs(new_l - c_long) < 1e-9) {
+      break;
+    }
+    c_short = new_s;
+    c_long = new_l;
+  }
+  ctx.short_mean_ms = c_short;
+  ctx.long_mean_ms = c_long;
+  ctx.split_ms = (c_short + c_long) / 2.0;
+  return ctx;
+}
+
+StatusOr<size_t> PauseDetector::RewindPauses(
+    const PcmBuffer& pcm, const std::vector<Pause>& pauses,
+    const PauseContext& context, size_t from, int n, PauseKind kind) const {
+  if (n < 1) return Status::InvalidArgument("pause rewind count must be >= 1");
+  int remaining = n;
+  for (auto it = pauses.rbegin(); it != pauses.rend(); ++it) {
+    if (it->samples.end > from) continue;  // Pause not fully before `from`.
+    // Classify against the sampled context. A long pause also counts as a
+    // boundary when rewinding by short pauses (it certainly separates
+    // words).
+    const double ms =
+        static_cast<double>(pcm.SamplesToMicros(it->length())) / 1000.0;
+    const bool is_long = context.split_ms > 0.0 && ms >= context.split_ms;
+    const bool matches = (kind == PauseKind::kLong) ? is_long : true;
+    if (matches && --remaining == 0) {
+      return it->samples.end;
+    }
+  }
+  return Status::OutOfRange("fewer than n matching pauses before position");
+}
+
+}  // namespace minos::voice

@@ -1,0 +1,80 @@
+#ifndef MINOS_VOICE_PAUSE_H_
+#define MINOS_VOICE_PAUSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "minos/util/statusor.h"
+#include "minos/voice/pcm.h"
+
+namespace minos::voice {
+
+/// A detected pause: "a segment of digitized voice which does not contain
+/// any sound (in practice the intensity of the registered sound is very
+/// small)" (§2).
+struct Pause {
+  SampleSpan samples;
+
+  size_t length() const { return samples.length(); }
+};
+
+/// Short vs long pause, the two rewind granularities MINOS offers in place
+/// of word/paragraph rewind (which would need full speech understanding).
+enum class PauseKind { kShort, kLong };
+
+/// Parameters of the energy-based silence detector.
+struct PauseDetectorParams {
+  double frame_ms = 10.0;          ///< Analysis frame length.
+  double energy_threshold = 0.05;  ///< RMS below this (vs full scale) = silent.
+  double min_pause_ms = 25.0;      ///< Shorter silences are ignored.
+};
+
+/// Adaptive classification context. "The exact timing for short and long
+/// pauses depends on the speaker and the section of the speech. It is
+/// decided from the current context by sampling." (§2) We sample the pause
+/// durations in a window around the replay position and split them into
+/// two modes with a 1-D two-means pass.
+struct PauseContext {
+  double short_mean_ms = 0.0;   ///< Mean duration of the short cluster.
+  double long_mean_ms = 0.0;    ///< Mean duration of the long cluster.
+  double split_ms = 0.0;        ///< Duration boundary between the kinds.
+  size_t sampled_pauses = 0;    ///< How many pauses informed the estimate.
+};
+
+/// Energy-based pause detector plus the pause-rewind browsing primitive.
+class PauseDetector {
+ public:
+  explicit PauseDetector(PauseDetectorParams params = {})
+      : params_(params) {}
+
+  /// Detects all pauses in `pcm`, in order.
+  std::vector<Pause> Detect(const PcmBuffer& pcm) const;
+
+  /// Samples pause statistics in a window of `window` samples centered on
+  /// `position` (clamped to the buffer), classifying short vs long from
+  /// the local context. Falls back to global statistics when fewer than
+  /// four pauses are in the window.
+  PauseContext SampleContext(const PcmBuffer& pcm,
+                             const std::vector<Pause>& pauses,
+                             size_t position, size_t window) const;
+
+  /// The paper's rewind primitive: "the audio is replayed starting from a
+  /// number of short or long pauses back from the current position".
+  /// Returns the sample offset of the end of the n-th matching pause
+  /// before `from` (so replay starts right after that pause).
+  /// `n` must be >= 1. OutOfRange when there are fewer than n matching
+  /// pauses before `from` (the caller typically restarts from 0).
+  StatusOr<size_t> RewindPauses(const PcmBuffer& pcm,
+                                const std::vector<Pause>& pauses,
+                                const PauseContext& context, size_t from,
+                                int n, PauseKind kind) const;
+
+  const PauseDetectorParams& params() const { return params_; }
+
+ private:
+  PauseDetectorParams params_;
+};
+
+}  // namespace minos::voice
+
+#endif  // MINOS_VOICE_PAUSE_H_

@@ -1,0 +1,27 @@
+#include "minos/voice/pcm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minos::voice {
+
+void PcmBuffer::Append(const std::vector<int16_t>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+void PcmBuffer::AppendConstant(size_t count, int16_t value) {
+  samples_.insert(samples_.end(), count, value);
+}
+
+double PcmBuffer::RmsEnergy(SampleSpan span) const {
+  span.end = std::min(span.end, samples_.size());
+  if (span.begin >= span.end) return 0.0;
+  double sum = 0.0;
+  for (size_t i = span.begin; i < span.end; ++i) {
+    const double s = static_cast<double>(samples_[i]) / 32768.0;
+    sum += s * s;
+  }
+  return std::sqrt(sum / static_cast<double>(span.length()));
+}
+
+}  // namespace minos::voice

@@ -1,0 +1,66 @@
+#include "minos/voice/recognizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "minos/util/string_util.h"
+
+namespace minos::voice {
+
+Recognizer::Recognizer(std::vector<std::string> vocabulary,
+                       RecognizerParams params)
+    : params_(params) {
+  vocabulary_.reserve(vocabulary.size());
+  for (std::string& w : vocabulary) {
+    vocabulary_.push_back(AsciiToLower(w));
+  }
+  std::sort(vocabulary_.begin(), vocabulary_.end());
+  vocabulary_.erase(std::unique(vocabulary_.begin(), vocabulary_.end()),
+                    vocabulary_.end());
+}
+
+bool Recognizer::InVocabulary(const std::string& word) const {
+  return std::binary_search(vocabulary_.begin(), vocabulary_.end(), word);
+}
+
+RecognitionResult Recognizer::Recognize(const VoiceTrack& track) const {
+  Random rng(params_.seed);
+  RecognitionResult result;
+  result.words_seen = track.words.size();
+  result.cpu_cost =
+      params_.cpu_cost_per_word * static_cast<Micros>(track.words.size());
+  for (const WordAlignment& w : track.words) {
+    std::string token = AsciiToLower(w.word);
+    while (!token.empty() &&
+           !std::isalnum(static_cast<unsigned char>(token.back()))) {
+      token.pop_back();
+    }
+    if (token.empty()) continue;
+    if (InVocabulary(token)) {
+      if (rng.Bernoulli(params_.hit_rate)) {
+        result.utterances.push_back(
+            RecognizedUtterance{token, w.samples.begin, true});
+      }
+    } else if (!vocabulary_.empty() &&
+               rng.Bernoulli(params_.false_alarm_rate)) {
+      // A false alarm: the spotter reports some (deterministic) vocabulary
+      // word where a different word was spoken.
+      const std::string& wrong =
+          vocabulary_[rng.Uniform(vocabulary_.size())];
+      result.utterances.push_back(
+          RecognizedUtterance{wrong, w.samples.begin, false});
+    }
+  }
+  return result;
+}
+
+text::WordIndex Recognizer::BuildIndex(
+    const std::vector<RecognizedUtterance>& utterances) {
+  text::WordIndex index;
+  for (const RecognizedUtterance& u : utterances) {
+    index.AddPosting(u.word, u.sample_position);
+  }
+  return index;
+}
+
+}  // namespace minos::voice

@@ -1,0 +1,71 @@
+#ifndef MINOS_VOICE_RECOGNIZER_H_
+#define MINOS_VOICE_RECOGNIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "minos/text/search.h"
+#include "minos/util/clock.h"
+#include "minos/util/random.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::voice {
+
+/// Behaviour of the (limited-vocabulary) speech recognizer. The paper is
+/// explicit that recognition happens at insertion time or machine idle
+/// time, never at browsing time: "Voice recognition is not taking place at
+/// the time of browsing. Instead, some voice segments have been recognized
+/// at the time of voice insertion, or at machine's idle time." (§2)
+/// We substitute a keyword spotter over the synthesis ground truth with a
+/// configurable miss/false-alarm profile — the design contract (an
+/// utterance -> position index with limited accuracy) is what matters.
+struct RecognizerParams {
+  double hit_rate = 0.85;             ///< P(vocabulary word is spotted).
+  double false_alarm_rate = 0.01;     ///< P(non-vocab word spawns a hit).
+  Micros cpu_cost_per_word = MillisToMicros(180);  ///< Insertion-time cost.
+  uint64_t seed = 7;
+};
+
+/// One recognized utterance, anchored to the voice part: "recognized
+/// utterances are associated with a particular point of the object voice
+/// part in order to facilitate browsing within an object" (§2).
+struct RecognizedUtterance {
+  std::string word;
+  size_t sample_position = 0;  ///< First sample of the spotted burst.
+  bool correct = true;         ///< Ground truth (benchmark scoring only).
+};
+
+/// Insertion-time recognition result.
+struct RecognitionResult {
+  std::vector<RecognizedUtterance> utterances;
+  Micros cpu_cost = 0;  ///< Simulated recognition time consumed.
+  size_t words_seen = 0;
+};
+
+/// Limited-vocabulary keyword spotter.
+class Recognizer {
+ public:
+  Recognizer(std::vector<std::string> vocabulary, RecognizerParams params);
+
+  /// Spots vocabulary words in `track`. Deterministic given the seed.
+  RecognitionResult Recognize(const VoiceTrack& track) const;
+
+  /// Builds the content-addressability index from recognition output.
+  /// The index type is text::WordIndex — the very same access method used
+  /// for text patterns, as the paper requires ("by using the same access
+  /// methods as in text"); positions are sample offsets.
+  static text::WordIndex BuildIndex(
+      const std::vector<RecognizedUtterance>& utterances);
+
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  bool InVocabulary(const std::string& word) const;
+
+  std::vector<std::string> vocabulary_;  // Case-folded, sorted.
+  RecognizerParams params_;
+};
+
+}  // namespace minos::voice
+
+#endif  // MINOS_VOICE_RECOGNIZER_H_

@@ -1,0 +1,111 @@
+// Semantics of the small vocabulary types used across module boundaries:
+// StatusOr copy/move, Decoder cursor behaviour, Rect algebra, and
+// LowerHalf layout derivation.
+
+#include <gtest/gtest.h>
+
+#include "minos/image/bitmap.h"
+#include "minos/text/formatter.h"
+#include "minos/util/coding.h"
+#include "minos/util/statusor.h"
+
+namespace minos {
+namespace {
+
+TEST(StatusOrSemanticsTest, CopyPreservesBothStates) {
+  StatusOr<std::string> ok_value = std::string("payload");
+  StatusOr<std::string> ok_copy = ok_value;
+  ASSERT_TRUE(ok_copy.ok());
+  EXPECT_EQ(*ok_copy, "payload");
+  EXPECT_EQ(*ok_value, "payload");  // Source intact.
+
+  StatusOr<std::string> err = Status::NotFound("gone");
+  StatusOr<std::string> err_copy = err;
+  EXPECT_TRUE(err_copy.status().IsNotFound());
+}
+
+TEST(StatusOrSemanticsTest, MoveTransfersValue) {
+  StatusOr<std::string> source = std::string(1000, 'x');
+  StatusOr<std::string> dest = std::move(source);
+  ASSERT_TRUE(dest.ok());
+  EXPECT_EQ(dest->size(), 1000u);
+}
+
+TEST(StatusOrSemanticsTest, AssignmentReplacesState) {
+  StatusOr<int> v = 1;
+  v = Status::Corruption("bad");
+  EXPECT_TRUE(v.status().IsCorruption());
+  v = 2;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 2);
+}
+
+TEST(DecoderSemanticsTest, CursorAdvancesAcrossMixedFields) {
+  std::string buf;
+  PutVarint64(&buf, 7);
+  PutFixed32(&buf, 0xAABBCCDD);
+  PutLengthPrefixed(&buf, "mid");
+  PutVarint64(&buf, 9);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.remaining(), buf.size());
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  uint32_t f = 0;
+  ASSERT_TRUE(dec.GetFixed32(&f).ok());
+  std::string s;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  EXPECT_EQ(v, 9u);
+  EXPECT_TRUE(dec.empty());
+  // Reading past the end fails without crashing.
+  EXPECT_TRUE(dec.GetVarint64(&v).IsCorruption());
+}
+
+TEST(DecoderSemanticsTest, FailedReadDoesNotCorruptLaterState) {
+  std::string buf;
+  PutVarint64(&buf, 5);
+  Decoder dec(buf);
+  uint64_t big = 0;
+  std::string raw;
+  EXPECT_TRUE(dec.GetRaw(100, &raw).IsCorruption());
+  // The varint is still readable after the failed raw read.
+  ASSERT_TRUE(dec.GetVarint64(&big).ok());
+  EXPECT_EQ(big, 5u);
+}
+
+TEST(RectAlgebraTest, IntersectionIsCommutativeAndContained) {
+  const image::Rect a{0, 0, 10, 10};
+  const image::Rect b{5, -5, 10, 10};
+  const image::Rect ab = a.Intersect(b);
+  const image::Rect ba = b.Intersect(a);
+  EXPECT_EQ(ab, ba);
+  for (int y = ab.y; y < ab.y + ab.h; ++y) {
+    for (int x = ab.x; x < ab.x + ab.w; ++x) {
+      EXPECT_TRUE(a.Contains(x, y));
+      EXPECT_TRUE(b.Contains(x, y));
+    }
+  }
+}
+
+TEST(RectAlgebraTest, EmptyIntersectionHasZeroArea) {
+  const image::Rect a{0, 0, 5, 5};
+  const image::Rect b{5, 0, 5, 5};  // Touching edges do not intersect.
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_EQ(a.Intersect(b).area(), 0);
+}
+
+TEST(PageLayoutTest, LowerHalfOnlyShrinksHeight) {
+  text::PageLayout layout;
+  layout.width = 52;
+  layout.height = 21;
+  layout.paragraph_indent = 4;
+  layout.chapter_starts_page = false;
+  const text::PageLayout half = layout.LowerHalf();
+  EXPECT_EQ(half.width, 52);
+  EXPECT_EQ(half.height, 10);
+  EXPECT_EQ(half.paragraph_indent, 4);
+  EXPECT_FALSE(half.chapter_starts_page);
+}
+
+}  // namespace
+}  // namespace minos

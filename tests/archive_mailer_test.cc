@@ -1,0 +1,204 @@
+#include "minos/format/archive_mailer.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/object/part_codec.h"
+#include "minos/text/markup.h"
+#include "minos/util/coding.h"
+
+namespace minos::format {
+namespace {
+
+using object::MultimediaObject;
+using storage::ArchiveAddress;
+
+class ArchiveMailerTest : public ::testing::Test {
+ protected:
+  ArchiveMailerTest()
+      : device_("optical", 8192, 64, storage::DeviceCostModel::Instant(),
+                /*write_once=*/true, &clock_),
+        cache_(64),
+        archiver_(&device_, &cache_),
+        mailer_(&archiver_, &versions_, &clock_) {}
+
+  MultimediaObject MakeObject(storage::ObjectId id,
+                              const std::string& body) {
+    MultimediaObject obj(id);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(".PP\n" + body + "\n");
+    EXPECT_TRUE(doc.ok());
+    EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+    image::Bitmap bm(32, 32);
+    bm.FillRect(image::Rect{4, 4, 10, 10}, 222);
+    EXPECT_TRUE(
+        obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok());
+    object::VisualPageSpec page;
+    page.text_page = 1;
+    obj.descriptor().pages.push_back(page);
+    EXPECT_TRUE(obj.Archive().ok());
+    return obj;
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BlockCache cache_;
+  storage::Archiver archiver_;
+  storage::VersionStore versions_;
+  ArchiveMailer mailer_;
+};
+
+TEST_F(ArchiveMailerTest, ArchiveAndFetchRoundTrip) {
+  MultimediaObject obj = MakeObject(1, "hello archival world");
+  auto addr = mailer_.ArchiveObject(obj);
+  ASSERT_TRUE(addr.ok());
+  auto fetched = mailer_.FetchObject(1);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(fetched->text_part().contents(), obj.text_part().contents());
+  EXPECT_EQ(fetched->images().size(), 1u);
+}
+
+TEST_F(ArchiveMailerTest, VersionsRecorded) {
+  MultimediaObject v1 = MakeObject(1, "first version");
+  MultimediaObject v2 = MakeObject(1, "second version");
+  ASSERT_TRUE(mailer_.ArchiveObject(v1).ok());
+  clock_.Advance(1000);
+  ASSERT_TRUE(mailer_.ArchiveObject(v2).ok());
+  auto history = versions_.History(1);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 2u);
+  auto fetched = mailer_.FetchObject(1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_NE(fetched->text_part().contents().find("second"),
+            std::string::npos);
+}
+
+TEST_F(ArchiveMailerTest, FetchUnknownObject) {
+  EXPECT_TRUE(mailer_.FetchObject(99).status().IsNotFound());
+}
+
+TEST_F(ArchiveMailerTest, MailInsideReturnsRawBytes) {
+  MultimediaObject obj = MakeObject(1, "mail me");
+  ASSERT_TRUE(mailer_.ArchiveObject(obj).ok());
+  auto bytes = mailer_.MailInside(1);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = MultimediaObject::DeserializeArchived(1, *bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->has_text());
+}
+
+TEST_F(ArchiveMailerTest, SharedPartsAvoidDuplication) {
+  // Archive a standalone x-ray payload first (the shared data).
+  MultimediaObject base = MakeObject(1, "object with the shared x-ray");
+  const std::string image_payload = base.images()[0].Serialize();
+  auto image_addr = archiver_.Append(image_payload);
+  ASSERT_TRUE(image_addr.ok());
+  ASSERT_TRUE(archiver_.Flush().ok());
+
+  auto with_refs = mailer_.SerializeWithArchiverRefs(
+      base, {{"image:0", *image_addr}});
+  ASSERT_TRUE(with_refs.ok());
+  auto full = base.SerializeArchived();
+  ASSERT_TRUE(full.ok());
+  // The referencing form is smaller: it omits the image payload.
+  EXPECT_LT(with_refs->size() + image_payload.size() / 2, full->size());
+}
+
+TEST_F(ArchiveMailerTest, ObjectWithRefsCannotDecodeDirectly) {
+  MultimediaObject base = MakeObject(1, "dedup target");
+  auto image_addr = archiver_.Append(base.images()[0].Serialize());
+  ASSERT_TRUE(image_addr.ok());
+  ASSERT_TRUE(archiver_.Flush().ok());
+  auto with_refs =
+      mailer_.SerializeWithArchiverRefs(base, {{"image:0", *image_addr}});
+  ASSERT_TRUE(with_refs.ok());
+  EXPECT_TRUE(MultimediaObject::DeserializeArchived(1, *with_refs)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ArchiveMailerTest, MailOutsideResolvesPointers) {
+  MultimediaObject base = MakeObject(1, "dedup then mail outside");
+  auto image_addr = archiver_.Append(base.images()[0].Serialize());
+  ASSERT_TRUE(image_addr.ok());
+  ASSERT_TRUE(archiver_.Flush().ok());
+  auto with_refs =
+      mailer_.SerializeWithArchiverRefs(base, {{"image:0", *image_addr}});
+  ASSERT_TRUE(with_refs.ok());
+  ASSERT_TRUE(mailer_.ArchiveBytes(2, *with_refs).ok());
+
+  auto mailed = mailer_.MailOutside(2);
+  ASSERT_TRUE(mailed.ok());
+  // The mailed form is self-contained: decodes without the archiver.
+  auto decoded = MultimediaObject::DeserializeArchived(2, *mailed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->images().size(), 1u);
+  EXPECT_EQ(decoded->images()[0].Render().Digest(),
+            base.images()[0].Render().Digest());
+}
+
+TEST_F(ArchiveMailerTest, FetchObjectResolvesPointersToo) {
+  MultimediaObject base = MakeObject(1, "server side resolution");
+  auto image_addr = archiver_.Append(base.images()[0].Serialize());
+  ASSERT_TRUE(image_addr.ok());
+  ASSERT_TRUE(archiver_.Flush().ok());
+  auto with_refs =
+      mailer_.SerializeWithArchiverRefs(base, {{"image:0", *image_addr}});
+  ASSERT_TRUE(with_refs.ok());
+  ASSERT_TRUE(mailer_.ArchiveBytes(3, *with_refs).ok());
+  auto fetched = mailer_.FetchObject(3);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->images().size(), 1u);
+}
+
+TEST_F(ArchiveMailerTest, ResolveIsIdempotentOnSelfContainedBytes) {
+  MultimediaObject obj = MakeObject(1, "already resolved");
+  auto bytes = obj.SerializeArchived();
+  ASSERT_TRUE(bytes.ok());
+  auto resolved = mailer_.ResolvePointers(*bytes);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *bytes);
+}
+
+TEST_F(ArchiveMailerTest, RebasedDescriptorOffsetsAddressTheArchiver) {
+  // §4: "In the case that objects are archived the offsets of the
+  // descriptor have to be incremented by the offset where the
+  // composition file is placed within the archiver." After rebasing, a
+  // part pointer dereferences directly in archiver address space.
+  MultimediaObject obj = MakeObject(1, "rebased offsets address me");
+  auto bytes = obj.SerializeArchived();
+  ASSERT_TRUE(bytes.ok());
+  auto addr = mailer_.ArchiveBytes(1, *bytes);
+  ASSERT_TRUE(addr.ok());
+
+  // Recover the descriptor and the composition payload base.
+  Decoder dec(*bytes);
+  std::string desc_bytes;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&desc_bytes).ok());
+  auto desc = object::ObjectDescriptor::Deserialize(desc_bytes);
+  ASSERT_TRUE(desc.ok());
+  uint64_t data_len = 0;
+  for (const object::PartPointer& p : desc->parts) data_len += p.length;
+  const uint64_t payload_base = bytes->size() - data_len;
+
+  desc->RebaseCompositionOffsets(addr->offset + payload_base);
+  auto text_part = desc->FindPart("text");
+  ASSERT_TRUE(text_part.ok());
+  std::string payload;
+  ASSERT_TRUE(archiver_
+                  .ReadRange(text_part->offset, text_part->length, &payload)
+                  .ok());
+  auto decoded = object::DecodeDocument(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(decoded->contents().find("rebased offsets"),
+            std::string::npos);
+}
+
+TEST_F(ArchiveMailerTest, EditingObjectRejectedBySharedSerializer) {
+  MultimediaObject editing(9);
+  EXPECT_TRUE(mailer_.SerializeWithArchiverRefs(editing, {})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace minos::format

@@ -1,0 +1,350 @@
+#include "minos/core/audio_browser.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+#include "minos/voice/recognizer.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::core {
+namespace {
+
+using object::MultimediaObject;
+using object::VoiceAnchor;
+
+constexpr char kMarkup[] =
+    ".CHAPTER Examination\n.PP\n"
+    "The patient presented with wrist pain after a fall. The x-ray shows "
+    "a hairline fracture near the joint.\n"
+    ".PP\nNo displacement is visible in the lateral view today.\n"
+    ".CHAPTER Plan\n.PP\n"
+    "Immobilize the wrist for three weeks. Schedule a follow up x-ray "
+    "after the cast removal.\n";
+
+class AudioBrowserTest : public ::testing::Test {
+ protected:
+  AudioBrowserTest() : messages_(&clock_, voice::SpeakerParams{}) {
+    text::MarkupParser parser;
+    auto doc = parser.Parse(kMarkup);
+    EXPECT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+    voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+    auto track = synth.Synthesize(doc_);
+    EXPECT_TRUE(track.ok());
+    track_ = *track;
+    voice::VoiceDocument vdoc(std::move(track).value());
+    vdoc.TagFromAlignment(doc_, voice::EditingLevel::kParagraphs);
+    obj_ = std::make_unique<MultimediaObject>(3);
+    obj_->descriptor().driving_mode = object::DrivingMode::kAudio;
+    EXPECT_TRUE(obj_->SetVoicePart(std::move(vdoc)).ok());
+    image::Bitmap xray(32, 32);
+    xray.FillRect(image::Rect{8, 8, 16, 16}, 210);
+    EXPECT_TRUE(
+        obj_->AddImage(image::Image::FromBitmap(std::move(xray))).ok());
+  }
+
+  void FinishObject(voice::AudioPagerParams pager = MakePager()) {
+    ASSERT_TRUE(obj_->Archive().ok());
+    auto browser = AudioBrowser::Open(obj_.get(), &screen_, &messages_,
+                                      &clock_, &log_, pager);
+    ASSERT_TRUE(browser.ok()) << browser.status().ToString();
+    browser_ = std::move(browser).value();
+  }
+
+  static voice::AudioPagerParams MakePager() {
+    voice::AudioPagerParams p;
+    p.page_duration = SecondsToMicros(3);
+    return p;
+  }
+
+  /// Sample span of the spoken word at text position of `word`.
+  voice::SampleSpan SpanOfWord(const std::string& word) {
+    const size_t pos = doc_.contents().find(word);
+    EXPECT_NE(pos, std::string::npos);
+    for (const voice::WordAlignment& w : track_.words) {
+      if (w.text_offset == pos) return w.samples;
+    }
+    ADD_FAILURE() << "word not aligned: " << word;
+    return {};
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog log_;
+  text::Document doc_;
+  voice::VoiceTrack track_;
+  std::unique_ptr<MultimediaObject> obj_;
+  std::unique_ptr<AudioBrowser> browser_;
+};
+
+TEST_F(AudioBrowserTest, OpenRejectsVisualMode) {
+  obj_->descriptor().driving_mode = object::DrivingMode::kVisual;
+  object::VisualPageSpec page;
+  obj_->descriptor().pages.push_back(page);
+  ASSERT_TRUE(obj_->Archive().ok());
+  auto browser = AudioBrowser::Open(obj_.get(), &screen_, &messages_,
+                                    &clock_, &log_);
+  EXPECT_TRUE(browser.status().IsInvalidArgument());
+}
+
+TEST_F(AudioBrowserTest, PlayAdvancesClockByVoiceDuration) {
+  FinishObject();
+  const Micros duration = obj_->voice_part().pcm().Duration();
+  ASSERT_TRUE(browser_->Play().ok());
+  EXPECT_EQ(clock_.Now(), duration);
+  EXPECT_EQ(browser_->position(), obj_->voice_part().pcm().size());
+}
+
+TEST_F(AudioBrowserTest, PlayForStopsEarly) {
+  FinishObject();
+  ASSERT_TRUE(browser_->PlayFor(SecondsToMicros(2)).ok());
+  EXPECT_EQ(browser_->position(),
+            obj_->voice_part().pcm().MicrosToSamples(SecondsToMicros(2)));
+  ASSERT_TRUE(browser_->Interrupt().ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceInterrupted).size(), 1u);
+}
+
+TEST_F(AudioBrowserTest, ResumeContinues) {
+  FinishObject();
+  ASSERT_TRUE(browser_->PlayFor(SecondsToMicros(1)).ok());
+  ASSERT_TRUE(browser_->Interrupt().ok());
+  ASSERT_TRUE(browser_->Resume().ok());
+  EXPECT_EQ(browser_->position(), obj_->voice_part().pcm().size());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceResumed).size(), 1u);
+}
+
+TEST_F(AudioBrowserTest, ResumeFromPageStartRewinds) {
+  FinishObject();
+  ASSERT_TRUE(browser_->PlayFor(SecondsToMicros(4)).ok());  // Into page 2.
+  const int page = browser_->current_page();
+  EXPECT_GE(page, 2);
+  ASSERT_TRUE(browser_->ResumeFromPageStart().ok());
+  // The resume event carries the page-start position.
+  const auto resumed = log_.OfKind(EventKind::kVoiceResumed);
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_EQ(resumed[0].detail, "page-start");
+}
+
+TEST_F(AudioBrowserTest, PageNavigationSymmetricWithText) {
+  FinishObject();
+  EXPECT_EQ(browser_->current_page(), 1);
+  ASSERT_TRUE(browser_->NextPage().ok());
+  EXPECT_EQ(browser_->current_page(), 2);
+  ASSERT_TRUE(browser_->PreviousPage().ok());
+  EXPECT_EQ(browser_->current_page(), 1);
+  EXPECT_TRUE(browser_->PreviousPage().IsNotFound());
+  EXPECT_TRUE(browser_->GotoPage(999).IsNotFound());
+  ASSERT_GE(browser_->page_count(), 3);
+  ASSERT_TRUE(browser_->AdvancePages(2).ok());
+  EXPECT_EQ(browser_->current_page(), 3);
+}
+
+TEST_F(AudioBrowserTest, AudioPageEventsDuringPlayback) {
+  FinishObject();
+  ASSERT_TRUE(browser_->Play().ok());
+  const auto starts = log_.OfKind(EventKind::kAudioPageStarted);
+  EXPECT_EQ(static_cast<int>(starts.size()), browser_->page_count());
+  // Pages start at increasing times.
+  for (size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GT(starts[i].at, starts[i - 1].at);
+  }
+}
+
+TEST_F(AudioBrowserTest, LogicalUnitNavigation) {
+  FinishObject();
+  ASSERT_TRUE(browser_->NextUnit(text::LogicalUnit::kChapter).ok());
+  const auto reached = log_.OfKind(EventKind::kUnitReached);
+  ASSERT_EQ(reached.size(), 1u);
+  EXPECT_EQ(reached[0].detail, "chapter");
+  // The landing sample is the second chapter's start.
+  const auto& chapters =
+      obj_->voice_part().Components(text::LogicalUnit::kChapter);
+  ASSERT_EQ(chapters.size(), 2u);
+  EXPECT_EQ(browser_->position(), chapters[1].span.begin);
+  ASSERT_TRUE(browser_->PreviousUnit(text::LogicalUnit::kChapter).ok());
+  EXPECT_EQ(browser_->position(), chapters[0].span.begin);
+}
+
+TEST_F(AudioBrowserTest, UntaggedUnitUnsupported) {
+  FinishObject();
+  EXPECT_TRUE(
+      browser_->NextUnit(text::LogicalUnit::kSentence).IsUnsupported());
+}
+
+TEST_F(AudioBrowserTest, PauseRewindMovesBackward) {
+  FinishObject();
+  ASSERT_TRUE(browser_->PlayFor(SecondsToMicros(6)).ok());
+  const size_t before = browser_->position();
+  ASSERT_TRUE(browser_->RewindPauses(2, voice::PauseKind::kShort).ok());
+  EXPECT_LT(browser_->position(), before);
+  const auto rewound = log_.OfKind(EventKind::kRewound);
+  ASSERT_EQ(rewound.size(), 1u);
+  EXPECT_EQ(rewound[0].detail, "short");
+}
+
+TEST_F(AudioBrowserTest, LongPauseRewindLandsAtParagraph) {
+  FinishObject();
+  ASSERT_TRUE(browser_->Play().ok());
+  ASSERT_TRUE(browser_->RewindPauses(1, voice::PauseKind::kLong).ok());
+  // A long-pause rewind lands near a paragraph boundary silence.
+  bool near = false;
+  for (const voice::SilenceTruth& s : track_.silences) {
+    if (s.level >= 1) {
+      const int64_t d = static_cast<int64_t>(browser_->position()) -
+                        static_cast<int64_t>(s.samples.end);
+      if (d > -2000 && d < 2000) near = true;
+    }
+  }
+  EXPECT_TRUE(near);
+}
+
+TEST_F(AudioBrowserTest, RewindPastStartRestartsFromZero) {
+  FinishObject();
+  ASSERT_TRUE(browser_->PlayFor(MillisToMicros(500)).ok());
+  ASSERT_TRUE(browser_->RewindPauses(500, voice::PauseKind::kShort).ok());
+  EXPECT_EQ(browser_->position(), 0u);
+}
+
+TEST_F(AudioBrowserTest, SpokenPatternRequiresIndex) {
+  FinishObject();
+  EXPECT_TRUE(
+      browser_->FindSpokenPattern("fracture").IsFailedPrecondition());
+}
+
+TEST_F(AudioBrowserTest, SpokenPatternFindsPage) {
+  FinishObject();
+  voice::RecognizerParams params;
+  params.hit_rate = 1.0;
+  params.false_alarm_rate = 0.0;
+  voice::Recognizer recognizer({"fracture", "cast"}, params);
+  const auto result = recognizer.Recognize(obj_->voice_part().track());
+  browser_->SetRecognitionIndex(
+      voice::Recognizer::BuildIndex(result.utterances));
+  ASSERT_TRUE(browser_->FindSpokenPattern("fracture").ok());
+  const auto found = log_.OfKind(EventKind::kPatternFound);
+  ASSERT_EQ(found.size(), 1u);
+  // The browser moved to the page holding the spoken word.
+  const voice::SampleSpan span = SpanOfWord("fracture");
+  const int expected_page =
+      voice::AudioPager::PageForSample(browser_->pages(), span.begin);
+  EXPECT_EQ(browser_->current_page(), expected_page);
+  EXPECT_TRUE(browser_->FindSpokenPattern("surgery").IsNotFound());
+}
+
+TEST_F(AudioBrowserTest, VoiceMessagePlaysBeforeSegment) {
+  // Attach a voice message to the Plan chapter's voice span.
+  const voice::SampleSpan plan = SpanOfWord("Immobilize");
+  object::VoiceLogicalMessage m;
+  m.transcript = "treatment instructions follow";
+  m.voice_anchor = VoiceAnchor{plan.begin, plan.begin + 8000};
+  obj_->descriptor().voice_messages.push_back(m);
+  FinishObject();
+  ASSERT_TRUE(browser_->Play().ok());
+  const auto played = log_.OfKind(EventKind::kVoiceMessagePlayed);
+  ASSERT_EQ(played.size(), 1u);
+  // The message fired exactly when playback reached the anchor: the
+  // simulated time at the event equals the duration of voice before it.
+  const Micros voice_before =
+      obj_->voice_part().pcm().SamplesToMicros(plan.begin);
+  EXPECT_EQ(played[0].at, voice_before);
+}
+
+TEST_F(AudioBrowserTest, VoiceMessageReplaysOnRebranch) {
+  const voice::SampleSpan plan = SpanOfWord("Immobilize");
+  object::VoiceLogicalMessage m;
+  m.transcript = "instructions";
+  m.voice_anchor = VoiceAnchor{plan.begin, plan.begin + 8000};
+  obj_->descriptor().voice_messages.push_back(m);
+  FinishObject();
+  ASSERT_TRUE(browser_->Play().ok());
+  // Seek back before the segment and play again: branch-in fires again.
+  ASSERT_TRUE(browser_->GotoPage(1).ok());
+  ASSERT_TRUE(browser_->Play().ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceMessagePlayed).size(), 2u);
+}
+
+TEST_F(AudioBrowserTest, VisualMessagePinnedForSegmentDuration) {
+  const voice::SampleSpan from = SpanOfWord("x-ray");
+  const voice::SampleSpan to = SpanOfWord("joint.");
+  object::VisualLogicalMessage m;
+  m.text = "XRAY";
+  m.image_index = 0;
+  m.voice_anchors.push_back(VoiceAnchor{from.begin, to.end});
+  obj_->descriptor().visual_messages.push_back(m);
+  FinishObject();
+  ASSERT_TRUE(browser_->Play().ok());
+  const auto shown = log_.OfKind(EventKind::kVisualMessageShown);
+  const auto hidden = log_.OfKind(EventKind::kVisualMessageHidden);
+  ASSERT_EQ(shown.size(), 1u);
+  ASSERT_EQ(hidden.size(), 1u);
+  const voice::PcmBuffer& pcm = obj_->voice_part().pcm();
+  EXPECT_EQ(shown[0].at, pcm.SamplesToMicros(from.begin));
+  EXPECT_EQ(hidden[0].at, pcm.SamplesToMicros(to.end));
+  EXPECT_GT(hidden[0].at, shown[0].at);
+}
+
+TEST_F(AudioBrowserTest, BranchIntoSegmentShowsMessageImmediately) {
+  const voice::SampleSpan from = SpanOfWord("x-ray");
+  const voice::SampleSpan to = SpanOfWord("joint.");
+  object::VisualLogicalMessage m;
+  m.text = "XRAY";
+  m.voice_anchors.push_back(VoiceAnchor{from.begin, to.end});
+  obj_->descriptor().visual_messages.push_back(m);
+  FinishObject();
+  // Seek into the middle of the segment, then play a little.
+  const size_t mid = from.begin + (to.end - from.begin) / 2;
+  ASSERT_TRUE(browser_->GotoPage(voice::AudioPager::PageForSample(
+                                     browser_->pages(), mid))
+                  .ok());
+  // Play from the page start through the segment.
+  ASSERT_TRUE(browser_->PlayFor(SecondsToMicros(1)).ok());
+  EXPECT_GE(log_.OfKind(EventKind::kVisualMessageShown).size(), 0u);
+  ASSERT_TRUE(browser_->Play().ok());
+  EXPECT_GE(log_.OfKind(EventKind::kVisualMessageShown).size(), 1u);
+}
+
+TEST_F(AudioBrowserTest, MenuOptionsSymmetricWithVisual) {
+  FinishObject();
+  const auto options = browser_->MenuOptions();
+  auto has = [&](const std::string& s) {
+    return std::find(options.begin(), options.end(), s) != options.end();
+  };
+  // The page vocabulary matches the visual browser's.
+  EXPECT_TRUE(has("next page"));
+  EXPECT_TRUE(has("prev page"));
+  EXPECT_TRUE(has("goto page"));
+  // Plus the audio-specific commands.
+  EXPECT_TRUE(has("play"));
+  EXPECT_TRUE(has("rewind short pauses"));
+  EXPECT_TRUE(has("rewind long pauses"));
+  // Logical units tagged at insertion time appear.
+  EXPECT_TRUE(has("next chapter"));
+  EXPECT_TRUE(has("next paragraph"));
+  EXPECT_FALSE(has("next sentence"));  // Not tagged at kParagraphs level.
+}
+
+TEST_F(AudioBrowserTest, RelevantLinksVisibleAtVoicePosition) {
+  const voice::SampleSpan plan = SpanOfWord("Immobilize");
+  object::RelevantObjectLink link;
+  link.target = 55;
+  link.indicator_label = "cast instructions";
+  link.parent_voice_anchor = VoiceAnchor{plan.begin, plan.begin + 16000};
+  obj_->descriptor().relevant_objects.push_back(link);
+  FinishObject();
+  EXPECT_TRUE(browser_->VisibleRelevantLinks().empty());
+  // Move playback into the anchored span.
+  ASSERT_TRUE(browser_->GotoPage(voice::AudioPager::PageForSample(
+                                     browser_->pages(), plan.begin + 100))
+                  .ok());
+  // Position is at the page start, maybe before the anchor; nudge by
+  // playing up to the anchor.
+  const voice::PcmBuffer& pcm = obj_->voice_part().pcm();
+  while (browser_->position() < plan.begin) {
+    ASSERT_TRUE(browser_->PlayFor(pcm.SamplesToMicros(4000)).ok());
+  }
+  EXPECT_EQ(browser_->VisibleRelevantLinks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace minos::core

@@ -1,0 +1,138 @@
+#include "minos/audio/audio_device.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::audio {
+namespace {
+
+voice::PcmBuffer OneSecondBuffer() {
+  voice::PcmBuffer pcm(8000);
+  pcm.AppendConstant(8000, 1000);
+  return pcm;
+}
+
+TEST(AudioDeviceTest, PlayWithoutLoadFails) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  EXPECT_TRUE(device.PlayToEnd().IsFailedPrecondition());
+  EXPECT_TRUE(device.Resume().IsFailedPrecondition());
+  EXPECT_TRUE(device.Seek(0).IsFailedPrecondition());
+}
+
+TEST(AudioDeviceTest, PlayToEndAdvancesClockByDuration) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  ASSERT_TRUE(device.PlayToEnd().ok());
+  EXPECT_EQ(clock.Now(), SecondsToMicros(1));
+  EXPECT_EQ(device.position(), pcm.size());
+  EXPECT_FALSE(device.playing());
+}
+
+TEST(AudioDeviceTest, PlayForPartial) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  auto played = device.PlayFor(MillisToMicros(250));
+  ASSERT_TRUE(played.ok());
+  EXPECT_EQ(*played, 2000u);
+  EXPECT_EQ(device.position(), 2000u);
+  EXPECT_EQ(clock.Now(), MillisToMicros(250));
+}
+
+TEST(AudioDeviceTest, PlayForPastEndClamps) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  auto played = device.PlayFor(SecondsToMicros(10));
+  ASSERT_TRUE(played.ok());
+  EXPECT_EQ(*played, 8000u);
+  EXPECT_EQ(clock.Now(), SecondsToMicros(1));
+}
+
+TEST(AudioDeviceTest, NegativeDurationRejected) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  EXPECT_TRUE(device.PlayFor(-1).status().IsInvalidArgument());
+}
+
+TEST(AudioDeviceTest, SeekClampsToBuffer) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  ASSERT_TRUE(device.Seek(4000).ok());
+  EXPECT_EQ(device.position(), 4000u);
+  ASSERT_TRUE(device.Seek(100000).ok());
+  EXPECT_EQ(device.position(), pcm.size());
+}
+
+TEST(AudioDeviceTest, PlayFromSeeksThenPlays) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  ASSERT_TRUE(device.PlayFrom(4000).ok());
+  EXPECT_EQ(clock.Now(), MillisToMicros(500));
+  EXPECT_EQ(device.total_play_time(), MillisToMicros(500));
+}
+
+TEST(AudioDeviceTest, ResumeContinuesFromPosition) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  ASSERT_TRUE(device.PlayFor(MillisToMicros(300)).ok());
+  ASSERT_TRUE(device.Resume().ok());
+  EXPECT_EQ(device.position(), pcm.size());
+  EXPECT_EQ(device.total_play_time(), SecondsToMicros(1));
+}
+
+TEST(AudioDeviceTest, EventTimelineRecorded) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  device.PlayFor(MillisToMicros(100));
+  device.Seek(0);
+  device.PlayToEnd();
+  const auto& events = device.events();
+  ASSERT_GE(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, PlaybackEvent::Kind::kStart);
+  EXPECT_EQ(events[1].kind, PlaybackEvent::Kind::kInterrupt);
+  EXPECT_EQ(events[2].kind, PlaybackEvent::Kind::kSeek);
+  EXPECT_EQ(events.back().kind, PlaybackEvent::Kind::kFinish);
+  // Events are time-ordered.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+}
+
+TEST(AudioDeviceTest, LoadResetsState) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  device.PlayFor(MillisToMicros(100));
+  device.Load(&pcm);
+  EXPECT_EQ(device.position(), 0u);
+  EXPECT_TRUE(device.events().empty());
+  EXPECT_EQ(device.total_play_time(), 0);
+}
+
+TEST(AudioDeviceTest, InterruptWhenIdleIsNoOp) {
+  SimClock clock;
+  AudioDevice device(&clock);
+  const voice::PcmBuffer pcm = OneSecondBuffer();
+  device.Load(&pcm);
+  device.Interrupt();
+  EXPECT_TRUE(device.events().empty());
+}
+
+}  // namespace
+}  // namespace minos::audio

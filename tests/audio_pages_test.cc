@@ -1,0 +1,142 @@
+#include "minos/voice/audio_pages.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::voice {
+namespace {
+
+PcmBuffer MakeSilence(size_t seconds) {
+  PcmBuffer pcm(8000);
+  pcm.AppendConstant(seconds * 8000, 0);
+  return pcm;
+}
+
+TEST(AudioPagerTest, EmptyBufferNoPages) {
+  AudioPager pager;
+  EXPECT_TRUE(pager.Paginate(PcmBuffer(8000), {}).empty());
+}
+
+TEST(AudioPagerTest, PagesTileTheBuffer) {
+  const PcmBuffer pcm = MakeSilence(60);
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(10);
+  params.snap_tolerance = 0.0;
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, {});
+  ASSERT_EQ(pages.size(), 6u);
+  size_t expected = 0;
+  for (const AudioPage& p : pages) {
+    EXPECT_EQ(p.samples.begin, expected);
+    expected = p.samples.end;
+  }
+  EXPECT_EQ(expected, pcm.size());
+}
+
+TEST(AudioPagerTest, PageNumbersOneBased) {
+  const PcmBuffer pcm = MakeSilence(30);
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(10);
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, {});
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(pages[i].number, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(AudioPagerTest, ApproximatelyConstantDuration) {
+  const PcmBuffer pcm = MakeSilence(100);
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(15);
+  params.snap_tolerance = 0.0;
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, {});
+  for (size_t i = 0; i + 1 < pages.size(); ++i) {
+    EXPECT_EQ(pcm.SamplesToMicros(pages[i].samples.length()),
+              SecondsToMicros(15));
+  }
+}
+
+TEST(AudioPagerTest, SnapsToNearbyPause) {
+  const PcmBuffer pcm = MakeSilence(20);
+  // A pause centered 0.5 s before the nominal 10 s boundary.
+  const size_t pause_mid = 8000 * 9 + 4000;
+  std::vector<Pause> pauses = {
+      Pause{{pause_mid - 400, pause_mid + 400}}};
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(10);
+  params.snap_tolerance = 0.10;  // 1 s window.
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, pauses);
+  ASSERT_GE(pages.size(), 2u);
+  EXPECT_EQ(pages[0].samples.end, pause_mid);
+}
+
+TEST(AudioPagerTest, DoesNotSnapToFarPause) {
+  const PcmBuffer pcm = MakeSilence(20);
+  const size_t pause_mid = 8000 * 5;  // 5 s before the boundary.
+  std::vector<Pause> pauses = {
+      Pause{{pause_mid - 400, pause_mid + 400}}};
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(10);
+  params.snap_tolerance = 0.10;
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, pauses);
+  ASSERT_GE(pages.size(), 2u);
+  EXPECT_EQ(pages[0].samples.end, 8000u * 10);
+}
+
+TEST(AudioPagerTest, PageForSample) {
+  const PcmBuffer pcm = MakeSilence(30);
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(10);
+  params.snap_tolerance = 0.0;
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, {});
+  EXPECT_EQ(AudioPager::PageForSample(pages, 0), 1);
+  EXPECT_EQ(AudioPager::PageForSample(pages, 8000 * 15), 2);
+  EXPECT_EQ(AudioPager::PageForSample(pages, pcm.size() + 100), 3);
+  EXPECT_EQ(AudioPager::PageForSample({}, 0), 0);
+}
+
+TEST(AudioPagerTest, PageStart) {
+  const PcmBuffer pcm = MakeSilence(30);
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(10);
+  params.snap_tolerance = 0.0;
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, {});
+  auto start = AudioPager::PageStart(pages, 2);
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(*start, 8000u * 10);
+  EXPECT_TRUE(AudioPager::PageStart(pages, 0).status().IsNotFound());
+  EXPECT_TRUE(AudioPager::PageStart(pages, 4).status().IsNotFound());
+}
+
+TEST(AudioPagerTest, RealSpeechPagesCoverEverything) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(
+      ".PP\nSome words spoken for a while in this test. More words "
+      "follow. And still more after that.\n");
+  ASSERT_TRUE(doc.ok());
+  SpeechSynthesizer synth{SpeakerParams{}};
+  auto track = synth.Synthesize(*doc);
+  ASSERT_TRUE(track.ok());
+  PauseDetector detector;
+  const auto pauses = detector.Detect(track->pcm);
+  AudioPagerParams params;
+  params.page_duration = SecondsToMicros(2);
+  AudioPager pager(params);
+  const auto pages = pager.Paginate(track->pcm, pauses);
+  ASSERT_FALSE(pages.empty());
+  EXPECT_EQ(pages.front().samples.begin, 0u);
+  EXPECT_EQ(pages.back().samples.end, track->pcm.size());
+  for (size_t i = 1; i < pages.size(); ++i) {
+    EXPECT_EQ(pages[i].samples.begin, pages[i - 1].samples.end);
+  }
+}
+
+}  // namespace
+}  // namespace minos::voice

@@ -1,0 +1,142 @@
+#include "minos/image/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::image {
+namespace {
+
+TEST(RectTest, ContainsAndIntersects) {
+  Rect r{10, 10, 5, 5};
+  EXPECT_TRUE(r.Contains(10, 10));
+  EXPECT_TRUE(r.Contains(14, 14));
+  EXPECT_FALSE(r.Contains(15, 15));
+  EXPECT_TRUE(r.Intersects(Rect{14, 14, 10, 10}));
+  EXPECT_FALSE(r.Intersects(Rect{15, 10, 5, 5}));
+  EXPECT_EQ(r.area(), 25);
+}
+
+TEST(RectTest, Intersection) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.Intersect(Rect{5, 5, 10, 10}), (Rect{5, 5, 5, 5}));
+  EXPECT_EQ(r.Intersect(Rect{20, 20, 5, 5}), (Rect{}));
+  EXPECT_EQ(r.Intersect(r), r);
+}
+
+TEST(BitmapTest, StartsBlank) {
+  Bitmap bm(4, 3);
+  EXPECT_EQ(bm.width(), 4);
+  EXPECT_EQ(bm.height(), 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) EXPECT_EQ(bm.At(x, y), 0);
+  }
+}
+
+TEST(BitmapTest, OutOfBoundsReadsZeroWritesIgnored) {
+  Bitmap bm(2, 2);
+  EXPECT_EQ(bm.At(-1, 0), 0);
+  EXPECT_EQ(bm.At(5, 5), 0);
+  bm.Set(-1, 0, 255);  // No crash, no effect.
+  bm.Set(2, 0, 255);
+  EXPECT_EQ(bm.At(0, 0), 0);
+}
+
+TEST(BitmapTest, BlendTakesMax) {
+  Bitmap bm(2, 2);
+  bm.Set(0, 0, 100);
+  bm.Blend(0, 0, 50);
+  EXPECT_EQ(bm.At(0, 0), 100);
+  bm.Blend(0, 0, 200);
+  EXPECT_EQ(bm.At(0, 0), 200);
+}
+
+TEST(BitmapTest, FillRectClips) {
+  Bitmap bm(4, 4);
+  bm.FillRect(Rect{2, 2, 10, 10}, 7);
+  EXPECT_EQ(bm.At(1, 1), 0);
+  EXPECT_EQ(bm.At(2, 2), 7);
+  EXPECT_EQ(bm.At(3, 3), 7);
+}
+
+TEST(BitmapTest, BlitOverwritesIncludingBlanks) {
+  Bitmap dst(4, 4);
+  dst.Fill(9);
+  Bitmap src(2, 2);  // All zeros.
+  dst.Blit(src, 1, 1);
+  EXPECT_EQ(dst.At(1, 1), 0);  // Blank copied over ink.
+  EXPECT_EQ(dst.At(0, 0), 9);
+}
+
+TEST(BitmapTest, BlendOverIsTransparencyRule) {
+  Bitmap dst(2, 2);
+  dst.Set(0, 0, 100);
+  Bitmap src(2, 2);
+  src.Set(0, 0, 50);
+  src.Set(1, 1, 200);
+  dst.BlendOver(src, 0, 0);
+  EXPECT_EQ(dst.At(0, 0), 100);  // Existing darker ink kept.
+  EXPECT_EQ(dst.At(1, 1), 200);  // New ink laid down.
+}
+
+TEST(BitmapTest, OverwriteByIsOverwriteRule) {
+  Bitmap dst(2, 2);
+  dst.Set(0, 0, 100);
+  dst.Set(1, 0, 80);
+  Bitmap src(2, 2);
+  src.Set(0, 0, 30);  // Inked: replaces (even if lighter).
+  // (1,0) blank in src: leaves dst intact.
+  dst.OverwriteBy(src, 0, 0);
+  EXPECT_EQ(dst.At(0, 0), 30);
+  EXPECT_EQ(dst.At(1, 0), 80);
+}
+
+TEST(BitmapTest, SubBitmapClipsAndPads) {
+  Bitmap bm(4, 4);
+  bm.Set(3, 3, 77);
+  Bitmap sub = bm.SubBitmap(Rect{2, 2, 4, 4});
+  EXPECT_EQ(sub.width(), 4);
+  EXPECT_EQ(sub.height(), 4);
+  EXPECT_EQ(sub.At(1, 1), 77);
+  EXPECT_EQ(sub.At(3, 3), 0);  // Outside the source: blank.
+}
+
+TEST(BitmapTest, DigestSensitiveToContentAndShape) {
+  Bitmap a(4, 4), b(4, 4), c(2, 8);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.Set(1, 1, 1);
+  EXPECT_NE(a.Digest(), b.Digest());
+  EXPECT_NE(a.Digest(), c.Digest());  // Same pixel count, different shape.
+}
+
+TEST(BitmapTest, SerializeRoundTrip) {
+  Bitmap bm(3, 2);
+  bm.Set(0, 0, 1);
+  bm.Set(2, 1, 255);
+  auto restored = Bitmap::Deserialize(bm.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, bm);
+}
+
+TEST(BitmapTest, DeserializeRejectsTruncation) {
+  Bitmap bm(8, 8);
+  const std::string bytes = bm.Serialize();
+  EXPECT_TRUE(Bitmap::Deserialize(std::string_view(bytes).substr(0, 10))
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(BitmapTest, ByteSize) {
+  Bitmap bm(10, 20);
+  EXPECT_EQ(bm.ByteSize(), 200u);
+}
+
+TEST(BitmapTest, EmptyBitmap) {
+  Bitmap bm;
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.ByteSize(), 0u);
+  auto restored = Bitmap::Deserialize(bm.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+}  // namespace
+}  // namespace minos::image

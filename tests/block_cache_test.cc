@@ -1,0 +1,93 @@
+#include "minos/storage/block_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::storage {
+namespace {
+
+TEST(BlockCacheTest, MissOnEmpty) {
+  BlockCache cache(4);
+  std::string out;
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(BlockCacheTest, HitAfterInsert) {
+  BlockCache cache(4);
+  cache.Insert(1, "payload");
+  std::string out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  EXPECT_EQ(out, "payload");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(2);
+  cache.Insert(1, "a");
+  cache.Insert(2, "b");
+  std::string out;
+  ASSERT_TRUE(cache.Lookup(1, &out));  // 1 is now MRU.
+  cache.Insert(3, "c");                // Evicts 2.
+  EXPECT_TRUE(cache.Lookup(1, &out));
+  EXPECT_FALSE(cache.Lookup(2, &out));
+  EXPECT_TRUE(cache.Lookup(3, &out));
+}
+
+TEST(BlockCacheTest, InsertRefreshesExisting) {
+  BlockCache cache(2);
+  cache.Insert(1, "a");
+  cache.Insert(2, "b");
+  cache.Insert(1, "a2");  // Refresh 1; 2 becomes LRU.
+  cache.Insert(3, "c");   // Evicts 2.
+  std::string out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  EXPECT_EQ(out, "a2");
+  EXPECT_FALSE(cache.Lookup(2, &out));
+}
+
+TEST(BlockCacheTest, ZeroCapacityNeverStores) {
+  BlockCache cache(0);
+  cache.Insert(1, "a");
+  std::string out;
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BlockCacheTest, EraseRemoves) {
+  BlockCache cache(4);
+  cache.Insert(1, "a");
+  cache.Erase(1);
+  std::string out;
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  cache.Erase(99);  // Erasing a missing key is a no-op.
+}
+
+TEST(BlockCacheTest, ClearRemovesEverything) {
+  BlockCache cache(4);
+  cache.Insert(1, "a");
+  cache.Insert(2, "b");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  std::string out;
+  EXPECT_FALSE(cache.Lookup(1, &out));
+}
+
+TEST(BlockCacheTest, HitRateComputed) {
+  BlockCache cache(4);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+  cache.Insert(1, "a");
+  std::string out;
+  cache.Lookup(1, &out);
+  cache.Lookup(2, &out);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+TEST(BlockCacheTest, SizeNeverExceedsCapacity) {
+  BlockCache cache(8);
+  for (uint64_t i = 0; i < 100; ++i) cache.Insert(i, "x");
+  EXPECT_EQ(cache.size(), 8u);
+}
+
+}  // namespace
+}  // namespace minos::storage

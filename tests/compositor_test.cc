@@ -1,0 +1,175 @@
+#include "minos/core/page_compositor.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+
+namespace minos::core {
+namespace {
+
+using image::Bitmap;
+using image::Rect;
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+std::string Body(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += "Sentence number " + std::to_string(i) + " about the system. ";
+  }
+  return out;
+}
+
+MultimediaObject ThreePageObject() {
+  MultimediaObject obj(1);
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\n" + Body(60) + "\n");
+  EXPECT_TRUE(doc.ok());
+  obj.descriptor().layout.width = 40;
+  obj.descriptor().layout.height = 10;
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  // One image: a dark square.
+  image::Bitmap bm(30, 30);
+  bm.FillRect(Rect{0, 0, 30, 30}, 200);
+  EXPECT_TRUE(obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok());
+  return obj;
+}
+
+int Inked(const Bitmap& bm, const Rect& r) {
+  int count = 0;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      if (bm.At(x, y) > 0) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(FormatObjectTextTest, FormatsWithDescriptorLayout) {
+  MultimediaObject obj = ThreePageObject();
+  auto formatted = FormatObjectText(obj);
+  ASSERT_TRUE(formatted.ok());
+  EXPECT_GT(formatted->pages.size(), 1u);
+  EXPECT_EQ(static_cast<int>(formatted->pages[0].lines.size()), 10);
+}
+
+TEST(FormatObjectTextTest, NoTextYieldsNoPages) {
+  MultimediaObject obj(2);
+  auto formatted = FormatObjectText(obj);
+  ASSERT_TRUE(formatted.ok());
+  EXPECT_TRUE(formatted->pages.empty());
+}
+
+class CompositorTest : public ::testing::Test {
+ protected:
+  CompositorTest() : obj_(ThreePageObject()), compositor_(&screen_) {
+    // Page 0: text page 1. Page 1: image page. Page 2: transparency with
+    // the image. Page 3: overwrite with the image.
+    VisualPageSpec text_page;
+    text_page.text_page = 1;
+    obj_.descriptor().pages.push_back(text_page);
+    VisualPageSpec image_page;
+    image_page.images.push_back({0, Rect{10, 10, 30, 30}});
+    obj_.descriptor().pages.push_back(image_page);
+    VisualPageSpec transparency;
+    transparency.kind = VisualPageSpec::Kind::kTransparency;
+    transparency.images.push_back({0, Rect{25, 25, 30, 30}});
+    obj_.descriptor().pages.push_back(transparency);
+    VisualPageSpec overwrite;
+    overwrite.kind = VisualPageSpec::Kind::kOverwrite;
+    overwrite.images.push_back({0, Rect{0, 0, 30, 30}});
+    obj_.descriptor().pages.push_back(overwrite);
+    EXPECT_TRUE(obj_.Archive().ok());
+    auto formatted = FormatObjectText(obj_);
+    EXPECT_TRUE(formatted.ok());
+    formatted_ = std::move(formatted).value();
+  }
+
+  render::Screen screen_;
+  MultimediaObject obj_;
+  PageCompositor compositor_;
+  FormattedText formatted_;
+};
+
+TEST_F(CompositorTest, NormalPageClearsAndDrawsText) {
+  screen_.framebuffer();  // Silence unused warnings in some builds.
+  const Rect region = screen_.PageArea();
+  // Pre-ink the region to prove the clear.
+  screen_.DrawText(5, 5, "leftover junk");
+  ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 0, region).ok());
+  EXPECT_GT(Inked(screen_.framebuffer(), region), 100);
+}
+
+TEST_F(CompositorTest, ImagePagePlacesImage) {
+  const Rect region = screen_.PageArea();
+  ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 1, region).ok());
+  EXPECT_EQ(screen_.framebuffer().At(region.x + 15, region.y + 15), 200);
+  EXPECT_EQ(screen_.framebuffer().At(region.x + 5, region.y + 5), 0);
+}
+
+TEST_F(CompositorTest, TransparencyLaysOverPreviousPage) {
+  const Rect region = screen_.PageArea();
+  ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 1, region).ok());
+  ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 2, region).ok());
+  // Both the original image (10..39) and the overlay (25..54) show.
+  EXPECT_EQ(screen_.framebuffer().At(region.x + 15, region.y + 15), 200);
+  EXPECT_EQ(screen_.framebuffer().At(region.x + 50, region.y + 50), 200);
+}
+
+TEST_F(CompositorTest, OverwriteReplacesOnlyInkedPixels) {
+  const Rect region = screen_.PageArea();
+  ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 1, region).ok());
+  const uint8_t before = screen_.framebuffer().At(region.x + 35, region.y + 35);
+  ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 3, region).ok());
+  // Overwrite image covers (0,0)-(29,29): replaces there...
+  EXPECT_EQ(screen_.framebuffer().At(region.x + 5, region.y + 5), 200);
+  // ...but leaves pixels outside its ink intact.
+  EXPECT_EQ(screen_.framebuffer().At(region.x + 35, region.y + 35), before);
+}
+
+TEST_F(CompositorTest, OutOfRangePageRejected) {
+  EXPECT_TRUE(compositor_
+                  .ComposePage(obj_, formatted_, 99, screen_.PageArea())
+                  .IsOutOfRange());
+}
+
+TEST_F(CompositorTest, ZeroPlacementFitsRegion) {
+  MultimediaObject obj(9);
+  image::Bitmap big(1000, 1000);
+  big.Fill(123);
+  EXPECT_TRUE(obj.AddImage(image::Image::FromBitmap(std::move(big))).ok());
+  VisualPageSpec page;
+  page.images.push_back({0, Rect{}});  // Fit the page area.
+  obj.descriptor().pages.push_back(page);
+  ASSERT_TRUE(obj.Archive().ok());
+  PageCompositor compositor(&screen_);
+  FormattedText none;
+  const Rect region = screen_.PageArea();
+  ASSERT_TRUE(compositor.ComposePage(obj, none, 0, region).ok());
+  // Fills exactly the page area, not the menu strip.
+  EXPECT_EQ(screen_.framebuffer().At(region.x + region.w - 1,
+                                     region.y + region.h - 1),
+            123);
+  EXPECT_EQ(screen_.framebuffer().At(region.x + region.w + 2, 10), 0);
+}
+
+TEST_F(CompositorTest, VisualMessageDrawsTextAndImage) {
+  object::VisualLogicalMessage message;
+  message.text = "X-RAY OF PATIENT";
+  message.image_index = 0;
+  const Rect region = screen_.MessageArea();
+  ASSERT_TRUE(
+      compositor_.ComposeVisualMessage(obj_, message, region).ok());
+  EXPECT_GT(Inked(screen_.framebuffer(), region), 50);
+}
+
+TEST_F(CompositorTest, VisualMessageBadImageRejected) {
+  object::VisualLogicalMessage message;
+  message.image_index = 42;
+  EXPECT_TRUE(compositor_
+                  .ComposeVisualMessage(obj_, message, screen_.MessageArea())
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace minos::core

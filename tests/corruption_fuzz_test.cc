@@ -1,0 +1,181 @@
+// Property tests: decoders must never crash and must either fail cleanly
+// or produce a structurally valid object, for every single-byte
+// corruption and truncation of a valid archive. The archiver must serve
+// any read pattern consistently with an in-memory reference.
+
+#include <gtest/gtest.h>
+
+#include "minos/object/multimedia_object.h"
+#include "minos/object/part_codec.h"
+#include "minos/storage/archiver.h"
+#include "minos/text/markup.h"
+#include "minos/util/random.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos {
+namespace {
+
+object::MultimediaObject ReferenceObject() {
+  object::MultimediaObject obj(77);
+  text::MarkupParser parser;
+  auto doc = parser.Parse(
+      ".TITLE Fuzz Target\n.CHAPTER One\n.PP\nSome *styled* body text "
+      "with a few words. Another sentence.\n");
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  image::Bitmap bm(24, 16);
+  bm.FillRect(image::Rect{2, 2, 8, 8}, 99);
+  EXPECT_TRUE(obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok());
+  object::VisualPageSpec page;
+  page.text_page = 1;
+  page.images.push_back({0, image::Rect{1, 2, 20, 10}});
+  obj.descriptor().pages.push_back(page);
+  object::VoiceLogicalMessage m;
+  m.transcript = "fuzzed note";
+  m.text_anchor = object::TextAnchor{3, 9};
+  obj.descriptor().voice_messages.push_back(m);
+  EXPECT_TRUE(obj.Archive().ok());
+  return obj;
+}
+
+TEST(CorruptionFuzzTest, EveryTruncationFailsCleanly) {
+  const object::MultimediaObject obj = ReferenceObject();
+  const std::string bytes = obj.SerializeArchived().value();
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    auto decoded = object::MultimediaObject::DeserializeArchived(
+        77, std::string_view(bytes).substr(0, cut));
+    // Must not crash; almost always an error. If a prefix happens to
+    // decode, it must be structurally sound.
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->state(), object::ObjectState::kArchived);
+    }
+  }
+}
+
+TEST(CorruptionFuzzTest, SingleByteFlipsNeverCrash) {
+  const object::MultimediaObject obj = ReferenceObject();
+  const std::string bytes = obj.SerializeArchived().value();
+  Random rng(2024);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = bytes;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(rng.Next64());
+    auto decoded =
+        object::MultimediaObject::DeserializeArchived(77, mutated);
+    if (decoded.ok()) {
+      // A surviving decode must be internally consistent: anchors and
+      // image references may be wild, but reading the parts must work.
+      if (decoded->has_text()) {
+        EXPECT_LE(decoded->text_part().size(), mutated.size());
+      }
+      for (const auto& img : decoded->images()) {
+        EXPECT_GE(img.width(), 0);
+        EXPECT_GE(img.height(), 0);
+      }
+    }
+  }
+}
+
+TEST(CorruptionFuzzTest, DescriptorFlipsNeverCrash) {
+  object::ObjectDescriptor desc = ReferenceObject().descriptor();
+  const std::string bytes = desc.Serialize();
+  Random rng(7);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = bytes;
+    mutated[rng.Uniform(mutated.size())] = static_cast<char>(rng.Next64());
+    auto decoded = object::ObjectDescriptor::Deserialize(mutated);
+    (void)decoded;  // Either ok or an error; never a crash.
+  }
+}
+
+TEST(CorruptionFuzzTest, VoiceDocumentFlipsNeverCrash) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\nshort spoken words here\n");
+  ASSERT_TRUE(doc.ok());
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  voice::VoiceDocument vdoc(synth.Synthesize(*doc).value());
+  const std::string bytes = object::EncodeVoiceDocument(vdoc);
+  Random rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = bytes;
+    // Flip in the header region where structure lives (the sample data
+    // dominates the tail and flips there are uninteresting).
+    mutated[rng.Uniform(std::min<size_t>(mutated.size(), 64))] =
+        static_cast<char>(rng.Next64());
+    auto decoded = object::DecodeVoiceDocument(mutated);
+    (void)decoded;
+  }
+}
+
+TEST(ArchiverPropertyTest, RandomAppendsReadBackExactly) {
+  SimClock clock;
+  storage::BlockDevice device("d", 4096, 32,
+                              storage::DeviceCostModel::Instant(), true,
+                              &clock);
+  storage::BlockCache cache(8);
+  storage::Archiver archiver(&device, &cache);
+  Random rng(5);
+  std::string reference;  // The logical byte stream.
+  std::vector<storage::ArchiveAddress> addrs;
+  for (int i = 0; i < 60; ++i) {
+    const size_t len = 1 + rng.Uniform(200);
+    std::string payload;
+    for (size_t b = 0; b < len; ++b) {
+      payload.push_back(static_cast<char>(rng.Next64()));
+    }
+    if (rng.Bernoulli(0.2)) {
+      ASSERT_TRUE(archiver.Flush().ok());
+      reference.resize(archiver.size(), '\0');  // Flush pads the block.
+    }
+    auto addr = archiver.Append(payload);
+    ASSERT_TRUE(addr.ok());
+    ASSERT_EQ(addr->offset, reference.size());
+    reference += payload;
+    addrs.push_back(*addr);
+  }
+  // Whole-record reads.
+  Random pick(6);
+  for (int i = 0; i < 60; ++i) {
+    const auto& addr = addrs[pick.Uniform(addrs.size())];
+    std::string out;
+    ASSERT_TRUE(archiver.Read(addr, &out).ok());
+    EXPECT_EQ(out, reference.substr(addr.offset, addr.length));
+  }
+  // Arbitrary range reads.
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t off = pick.Uniform(reference.size());
+    const uint64_t len = pick.Uniform(reference.size() - off + 1);
+    std::string out;
+    ASSERT_TRUE(archiver.ReadRange(off, len, &out).ok());
+    EXPECT_EQ(out, reference.substr(off, len));
+  }
+}
+
+TEST(MarkupPropertyTest, RandomMarkupNeverCrashesParser) {
+  Random rng(31337);
+  const char* pieces[] = {".TITLE x\n", ".CHAPTER y\n", ".SECTION z\n",
+                          ".PP\n",      ".ABSTRACT\n",  ".REFERENCES\n",
+                          "word ",      "*bold* ",      "_under_ ",
+                          "\n",         "sentence. ",   "/tilt/ "};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string markup;
+    const int n = 1 + static_cast<int>(rng.Uniform(30));
+    for (int i = 0; i < n; ++i) {
+      markup += pieces[rng.Uniform(std::size(pieces))];
+    }
+    text::MarkupParser parser;
+    auto doc = parser.Parse(markup);
+    if (doc.ok()) {
+      // Structural sanity: every component span within bounds.
+      for (int u = 0; u < 8; ++u) {
+        for (const auto& c :
+             doc->Components(static_cast<text::LogicalUnit>(u))) {
+          EXPECT_LE(c.span.begin, c.span.end);
+          EXPECT_LE(c.span.end, doc->size());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minos

@@ -1,0 +1,192 @@
+#include "minos/object/descriptor.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::object {
+namespace {
+
+ObjectDescriptor FullDescriptor() {
+  ObjectDescriptor d;
+  d.driving_mode = DrivingMode::kAudio;
+  d.layout.width = 48;
+  d.layout.height = 12;
+  d.layout.paragraph_indent = 3;
+  d.layout.chapter_starts_page = false;
+
+  d.parts.push_back({"text", storage::DataType::kText, false, 0, 100});
+  d.parts.push_back({"image:0", storage::DataType::kImage, true, 4096, 500});
+
+  VisualPageSpec p0;
+  p0.kind = VisualPageSpec::Kind::kNormal;
+  p0.text_page = 1;
+  p0.images.push_back({0, image::Rect{10, 20, 30, 40}});
+  d.pages.push_back(p0);
+  VisualPageSpec p1;
+  p1.kind = VisualPageSpec::Kind::kTransparency;
+  d.pages.push_back(p1);
+  VisualPageSpec p2;
+  p2.kind = VisualPageSpec::Kind::kOverwrite;
+  d.pages.push_back(p2);
+
+  VoiceLogicalMessage vm;
+  vm.transcript = "note the fracture here";
+  vm.text_anchor = TextAnchor{10, 50};
+  vm.image_index = 0;
+  d.voice_messages.push_back(vm);
+  VoiceLogicalMessage vm2;
+  vm2.transcript = "point message";
+  vm2.voice_anchor = VoiceAnchor{800, 800};
+  d.voice_messages.push_back(vm2);
+
+  VisualLogicalMessage xm;
+  xm.text = "X-RAY 42";
+  xm.image_index = 0;
+  xm.voice_anchors.push_back(VoiceAnchor{100, 900});
+  xm.text_anchors.push_back(TextAnchor{0, 60});
+  xm.display_once = true;
+  d.visual_messages.push_back(xm);
+
+  d.transparency_sets.push_back({1, 1, TransparencyDisplay::kSeparate});
+  ProcessSimulationSpec sim;
+  sim.first_page = 0;
+  sim.count = 3;
+  sim.page_interval = MillisToMicros(750);
+  sim.page_messages = {"one", "", "three"};
+  d.process_simulations.push_back(sim);
+
+  RelevantObjectLink link;
+  link.target = 77;
+  link.indicator_label = "hospitals";
+  link.parent_text_anchor = TextAnchor{5, 25};
+  Relevance rel;
+  rel.image_index = 0;
+  rel.image_object_id = 3;
+  link.relevances.push_back(rel);
+  Relevance rel2;
+  rel2.voice_span = VoiceAnchor{0, 500};
+  link.relevances.push_back(rel2);
+  d.relevant_objects.push_back(link);
+
+  ObjectDescriptor::TourSpec tour;
+  tour.image_index = 0;
+  tour.view_width = 80;
+  tour.view_height = 60;
+  tour.positions = {{0, 0}, {40, 30}, {80, 60}};
+  tour.audio_messages = {"start", "", "end"};
+  d.tours.push_back(tour);
+  return d;
+}
+
+TEST(DescriptorTest, RoundTripPreservesEverything) {
+  const ObjectDescriptor d = FullDescriptor();
+  auto r = ObjectDescriptor::Deserialize(d.Serialize());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(r->driving_mode, DrivingMode::kAudio);
+  EXPECT_EQ(r->layout.width, 48);
+  EXPECT_EQ(r->layout.height, 12);
+  EXPECT_EQ(r->layout.paragraph_indent, 3);
+  EXPECT_FALSE(r->layout.chapter_starts_page);
+
+  ASSERT_EQ(r->parts.size(), 2u);
+  EXPECT_EQ(r->parts[1].name, "image:0");
+  EXPECT_TRUE(r->parts[1].in_archiver);
+  EXPECT_EQ(r->parts[1].offset, 4096u);
+
+  ASSERT_EQ(r->pages.size(), 3u);
+  EXPECT_EQ(r->pages[0].kind, VisualPageSpec::Kind::kNormal);
+  EXPECT_EQ(r->pages[0].text_page, 1u);
+  ASSERT_EQ(r->pages[0].images.size(), 1u);
+  EXPECT_EQ(r->pages[0].images[0].placement, (image::Rect{10, 20, 30, 40}));
+  EXPECT_EQ(r->pages[1].kind, VisualPageSpec::Kind::kTransparency);
+  EXPECT_EQ(r->pages[2].kind, VisualPageSpec::Kind::kOverwrite);
+
+  ASSERT_EQ(r->voice_messages.size(), 2u);
+  EXPECT_EQ(r->voice_messages[0].transcript, "note the fracture here");
+  EXPECT_EQ(*r->voice_messages[0].text_anchor, (TextAnchor{10, 50}));
+  EXPECT_EQ(*r->voice_messages[0].image_index, 0u);
+  EXPECT_FALSE(r->voice_messages[0].voice_anchor.has_value());
+  EXPECT_EQ(*r->voice_messages[1].voice_anchor, (VoiceAnchor{800, 800}));
+
+  ASSERT_EQ(r->visual_messages.size(), 1u);
+  EXPECT_EQ(r->visual_messages[0].text, "X-RAY 42");
+  EXPECT_TRUE(r->visual_messages[0].display_once);
+  ASSERT_EQ(r->visual_messages[0].voice_anchors.size(), 1u);
+  ASSERT_EQ(r->visual_messages[0].text_anchors.size(), 1u);
+
+  ASSERT_EQ(r->transparency_sets.size(), 1u);
+  EXPECT_EQ(r->transparency_sets[0].method, TransparencyDisplay::kSeparate);
+
+  ASSERT_EQ(r->process_simulations.size(), 1u);
+  EXPECT_EQ(r->process_simulations[0].page_interval, MillisToMicros(750));
+  EXPECT_EQ(r->process_simulations[0].page_messages.size(), 3u);
+
+  ASSERT_EQ(r->relevant_objects.size(), 1u);
+  EXPECT_EQ(r->relevant_objects[0].target, 77u);
+  ASSERT_EQ(r->relevant_objects[0].relevances.size(), 2u);
+  EXPECT_EQ(*r->relevant_objects[0].relevances[0].image_object_id, 3u);
+  EXPECT_EQ(r->relevant_objects[0].relevances[1].voice_span->end, 500u);
+
+  ASSERT_EQ(r->tours.size(), 1u);
+  EXPECT_EQ(r->tours[0].positions.size(), 3u);
+  EXPECT_EQ(r->tours[0].positions[1], (image::Point{40, 30}));
+  EXPECT_EQ(r->tours[0].audio_messages[2], "end");
+}
+
+TEST(DescriptorTest, EmptyRoundTrip) {
+  ObjectDescriptor d;
+  auto r = ObjectDescriptor::Deserialize(d.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->driving_mode, DrivingMode::kVisual);
+  EXPECT_TRUE(r->pages.empty());
+  EXPECT_TRUE(r->parts.empty());
+}
+
+TEST(DescriptorTest, TruncationRejectedAtEveryPrefix) {
+  const std::string bytes = FullDescriptor().Serialize();
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    auto r = ObjectDescriptor::Deserialize(
+        std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(DescriptorTest, BadDrivingModeRejected) {
+  std::string bytes = FullDescriptor().Serialize();
+  bytes[0] = 9;
+  EXPECT_TRUE(
+      ObjectDescriptor::Deserialize(bytes).status().IsCorruption());
+}
+
+TEST(DescriptorTest, FindPart) {
+  const ObjectDescriptor d = FullDescriptor();
+  auto p = d.FindPart("text");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->length, 100u);
+  EXPECT_TRUE(d.FindPart("nope").status().IsNotFound());
+}
+
+TEST(DescriptorTest, RebaseShiftsOnlyCompositionOffsets) {
+  ObjectDescriptor d = FullDescriptor();
+  d.RebaseCompositionOffsets(1000);
+  EXPECT_EQ(d.parts[0].offset, 1000u);   // Composition-resident.
+  EXPECT_EQ(d.parts[1].offset, 4096u);   // Archiver pointer untouched.
+}
+
+TEST(AnchorTest, RangeAnchorContainment) {
+  TextAnchor a{10, 20};
+  EXPECT_TRUE(a.Contains(10));
+  EXPECT_TRUE(a.Contains(19));
+  EXPECT_FALSE(a.Contains(20));
+  EXPECT_FALSE(a.Contains(9));
+}
+
+TEST(AnchorTest, PointAnchorContainsOnlyItsPoint) {
+  VoiceAnchor p{15, 15};
+  EXPECT_TRUE(p.Contains(15));
+  EXPECT_FALSE(p.Contains(14));
+  EXPECT_FALSE(p.Contains(16));
+}
+
+}  // namespace
+}  // namespace minos::object

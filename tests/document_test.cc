@@ -1,0 +1,126 @@
+#include "minos/text/document.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::text {
+namespace {
+
+Document SimpleDoc() {
+  Document doc;
+  const size_t p1 = doc.AppendText("One two. Three four!");
+  doc.AddComponent(LogicalUnit::kParagraph, p1, "");
+  const size_t p2 = doc.AppendText(" Five six seven.");
+  doc.AddComponentSpan(
+      {LogicalUnit::kParagraph, TextSpan{p2 + 1, doc.size()}, ""});
+  doc.DeriveFineStructure();
+  return doc;
+}
+
+TEST(DocumentTest, AppendTextReturnsOffsets) {
+  Document doc;
+  EXPECT_EQ(doc.AppendText("abc"), 0u);
+  EXPECT_EQ(doc.AppendText("def"), 3u);
+  EXPECT_EQ(doc.contents(), "abcdef");
+  EXPECT_EQ(doc.size(), 6u);
+}
+
+TEST(DocumentTest, DeriveSentences) {
+  Document doc = SimpleDoc();
+  const auto& sentences = doc.Components(LogicalUnit::kSentence);
+  ASSERT_EQ(sentences.size(), 3u);
+  EXPECT_EQ(doc.contents().substr(sentences[0].span.begin,
+                                  sentences[0].span.length()),
+            "One two.");
+  EXPECT_EQ(doc.contents().substr(sentences[1].span.begin,
+                                  sentences[1].span.length()),
+            "Three four!");
+  EXPECT_EQ(doc.contents().substr(sentences[2].span.begin,
+                                  sentences[2].span.length()),
+            "Five six seven.");
+}
+
+TEST(DocumentTest, DeriveWords) {
+  Document doc = SimpleDoc();
+  const auto& words = doc.Components(LogicalUnit::kWord);
+  ASSERT_EQ(words.size(), 7u);
+  EXPECT_EQ(doc.contents().substr(words[0].span.begin,
+                                  words[0].span.length()),
+            "One");
+  EXPECT_EQ(doc.contents().substr(words[6].span.begin,
+                                  words[6].span.length()),
+            "seven.");
+}
+
+TEST(DocumentTest, HasUnit) {
+  Document doc = SimpleDoc();
+  EXPECT_TRUE(doc.HasUnit(LogicalUnit::kParagraph));
+  EXPECT_TRUE(doc.HasUnit(LogicalUnit::kWord));
+  EXPECT_FALSE(doc.HasUnit(LogicalUnit::kChapter));
+}
+
+TEST(DocumentTest, NextUnitStart) {
+  Document doc = SimpleDoc();
+  auto next = doc.NextUnitStart(LogicalUnit::kSentence, 0);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 9u);  // "Three four!" starts after "One two. ".
+  auto last = doc.NextUnitStart(LogicalUnit::kSentence, doc.size());
+  EXPECT_TRUE(last.status().IsNotFound());
+}
+
+TEST(DocumentTest, PreviousUnitStart) {
+  Document doc = SimpleDoc();
+  auto prev = doc.PreviousUnitStart(LogicalUnit::kSentence, doc.size());
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(doc.contents().substr(*prev, 4), "Five");
+  EXPECT_TRUE(
+      doc.PreviousUnitStart(LogicalUnit::kSentence, 0).status().IsNotFound());
+}
+
+TEST(DocumentTest, EnclosingUnit) {
+  Document doc = SimpleDoc();
+  auto unit = doc.EnclosingUnit(LogicalUnit::kSentence, 10);
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(doc.contents().substr(unit->span.begin, unit->span.length()),
+            "Three four!");
+}
+
+TEST(DocumentTest, EmphasisRecorded) {
+  Document doc;
+  doc.AppendText("plain bold plain");
+  doc.AddEmphasis(EmphasisSpan{TextSpan{6, 10}, Emphasis::kBold});
+  ASSERT_EQ(doc.emphasis().size(), 1u);
+  EXPECT_EQ(doc.emphasis()[0].kind, Emphasis::kBold);
+}
+
+TEST(DocumentTest, SpanHelpers) {
+  TextSpan span{5, 10};
+  EXPECT_EQ(span.length(), 5u);
+  EXPECT_TRUE(span.Contains(5));
+  EXPECT_TRUE(span.Contains(9));
+  EXPECT_FALSE(span.Contains(10));
+  EXPECT_FALSE(span.Contains(4));
+}
+
+TEST(DocumentTest, LogicalUnitNames) {
+  EXPECT_STREQ(LogicalUnitName(LogicalUnit::kChapter), "chapter");
+  EXPECT_STREQ(LogicalUnitName(LogicalUnit::kWord), "word");
+  EXPECT_STREQ(LogicalUnitName(LogicalUnit::kReferences), "references");
+}
+
+TEST(DocumentTest, DeriveIsIdempotent) {
+  Document doc = SimpleDoc();
+  const size_t words_before = doc.Components(LogicalUnit::kWord).size();
+  doc.DeriveFineStructure();
+  EXPECT_EQ(doc.Components(LogicalUnit::kWord).size(), words_before);
+}
+
+TEST(DocumentTest, QuestionMarkEndsSentence) {
+  Document doc;
+  const size_t at = doc.AppendText("Is it? Yes it is.");
+  doc.AddComponent(LogicalUnit::kParagraph, at, "");
+  doc.DeriveFineStructure();
+  ASSERT_EQ(doc.Components(LogicalUnit::kSentence).size(), 2u);
+}
+
+}  // namespace
+}  // namespace minos::text

@@ -1,0 +1,195 @@
+// Edge cases across modules: degenerate screen layouts, empty
+// transparency selections, audio-mode relevant-object entry, multiple
+// transparency sets, and pager snapping degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "minos/core/presentation_manager.h"
+#include "minos/format/object_formatter.h"
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+TEST(ScreenEdgeTest, MessageHeightLargerThanScreenClamps) {
+  render::ScreenLayout layout;
+  layout.height = 100;
+  layout.message_height = 500;
+  render::Screen screen(layout);
+  EXPECT_EQ(screen.MessageArea().h, screen.PageArea().h);
+  EXPECT_EQ(screen.LowerPageArea().h, 0);
+}
+
+TEST(ScreenEdgeTest, ZeroMenuWidth) {
+  render::ScreenLayout layout;
+  layout.menu_width = 0;
+  render::Screen screen(layout);
+  EXPECT_EQ(screen.PageArea().w, layout.width);
+  EXPECT_EQ(screen.MenuArea().w, 0);
+  screen.SetMenu({"option"});  // Draws nothing, crashes never.
+}
+
+TEST(AudioPagerEdgeTest, SnapNeverCreatesEmptyPages) {
+  voice::PcmBuffer pcm(8000);
+  pcm.AppendConstant(8000 * 20, 0);
+  // A pathological pause right at the start of every page.
+  std::vector<voice::Pause> pauses;
+  for (size_t s = 0; s < pcm.size(); s += 8000 * 5) {
+    pauses.push_back(voice::Pause{{s, s + 100}});
+  }
+  voice::AudioPagerParams params;
+  params.page_duration = SecondsToMicros(5);
+  params.snap_tolerance = 0.5;
+  voice::AudioPager pager(params);
+  const auto pages = pager.Paginate(pcm, pauses);
+  for (const voice::AudioPage& p : pages) {
+    EXPECT_GT(p.samples.length(), 0u);
+  }
+  EXPECT_EQ(pages.back().samples.end, pcm.size());
+}
+
+TEST(TransparencyEdgeTest, EmptySelectionShowsBaseOnly) {
+  MultimediaObject obj(1);
+  image::Bitmap base_bm(40, 40);
+  base_bm.FillRect(image::Rect{0, 0, 20, 20}, 100);
+  obj.AddImage(image::Image::FromBitmap(std::move(base_bm))).ok();
+  image::Bitmap overlay_bm(40, 40);
+  overlay_bm.FillRect(image::Rect{20, 20, 20, 20}, 200);
+  obj.AddImage(image::Image::FromBitmap(std::move(overlay_bm))).ok();
+  VisualPageSpec base;
+  base.images.push_back({0, image::Rect{0, 0, 40, 40}});
+  obj.descriptor().pages.push_back(base);
+  VisualPageSpec t;
+  t.kind = VisualPageSpec::Kind::kTransparency;
+  t.images.push_back({1, image::Rect{0, 0, 40, 40}});
+  obj.descriptor().pages.push_back(t);
+  obj.descriptor().transparency_sets.push_back(
+      {1, 1, object::TransparencyDisplay::kSeparate});
+  ASSERT_TRUE(obj.Archive().ok());
+
+  SimClock clock;
+  render::Screen screen;
+  core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+  core::EventLog log;
+  auto browser =
+      core::VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  ASSERT_TRUE(browser.ok());
+  ASSERT_TRUE((*browser)->ShowSelectedTransparencies(0, {}).ok());
+  // Base ink present, overlay ink absent.
+  EXPECT_GT(screen.framebuffer().At(5, 5), 0);
+  EXPECT_EQ(screen.framebuffer().At(25, 25), 0);
+  // Out-of-set selection rejected.
+  EXPECT_TRUE(
+      (*browser)->ShowSelectedTransparencies(0, {7}).IsOutOfRange());
+  EXPECT_TRUE(
+      (*browser)->ShowSelectedTransparencies(3, {}).IsOutOfRange());
+}
+
+TEST(FormatterEdgeTest, TwoTransparencySetsSeparatedByImage) {
+  format::ObjectWorkspace ws("two-sets");
+  auto serialized = [](uint8_t ink) {
+    image::Bitmap bm(16, 16);
+    bm.FillRect(image::Rect{0, 0, 8, 8}, ink);
+    return image::Image::FromBitmap(std::move(bm)).Serialize();
+  };
+  ws.SetSynthesis(
+      "@IMAGE a\n@TRANSPARENCY b\n@IMAGE c\n@TRANSPARENCY d\n"
+      "@TRANSPARENCY e\n");
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    ws.AddDataFile(name, storage::DataType::kImage,
+                   serialized(static_cast<uint8_t>(name[0])));
+  }
+  format::ObjectFormatter formatter;
+  auto obj = formatter.Format(ws, 9);
+  ASSERT_TRUE(obj.ok());
+  const auto& sets = obj->descriptor().transparency_sets;
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].count, 1u);
+  EXPECT_EQ(sets[1].count, 2u);
+  EXPECT_TRUE(obj->Archive().ok());
+}
+
+TEST(RelevantFromAudioTest, AudioParentEntersVisualChild) {
+  std::map<storage::ObjectId, MultimediaObject> library;
+  {
+    MultimediaObject child(30);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(".PP\nthe visual child body\n");
+    child.SetTextPart(std::move(doc).value()).ok();
+    VisualPageSpec page;
+    page.text_page = 1;
+    child.descriptor().pages.push_back(page);
+    ASSERT_TRUE(child.Archive().ok());
+    library.emplace(30, std::move(child));
+  }
+  {
+    MultimediaObject parent(31);
+    parent.descriptor().driving_mode = object::DrivingMode::kAudio;
+    text::MarkupParser parser;
+    auto doc = parser.Parse(".PP\nspoken parent words here today\n");
+    voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+    auto track = synth.Synthesize(*doc);
+    const size_t half = track->pcm.size() / 2;
+    parent.SetVoicePart(voice::VoiceDocument(std::move(track).value()))
+        .ok();
+    object::RelevantObjectLink link;
+    link.target = 30;
+    link.indicator_label = "text twin";
+    link.parent_voice_anchor = object::VoiceAnchor{0, half};
+    parent.descriptor().relevant_objects.push_back(link);
+    ASSERT_TRUE(parent.Archive().ok());
+    library.emplace(31, std::move(parent));
+  }
+
+  SimClock clock;
+  render::Screen screen;
+  core::PresentationManager pm(&screen, &clock);
+  pm.SetResolver([&library](storage::ObjectId id)
+                     -> StatusOr<MultimediaObject> {
+    auto it = library.find(id);
+    if (it == library.end()) return Status::NotFound("none");
+    return it->second;
+  });
+  ASSERT_TRUE(pm.Open(31).ok());
+  ASSERT_NE(pm.audio_browser(), nullptr);
+  // At position 0 the voice anchor covers us: the indicator shows.
+  ASSERT_EQ(pm.VisibleRelevantIndicators().size(), 1u);
+  ASSERT_TRUE(pm.EnterRelevantObject(0).ok());
+  EXPECT_NE(pm.visual_browser(), nullptr);  // Child's own mode.
+  EXPECT_EQ(pm.audio_browser(), nullptr);
+  ASSERT_TRUE(pm.ReturnFromRelevantObject().ok());
+  EXPECT_NE(pm.audio_browser(), nullptr);  // Parent's mode restored.
+}
+
+TEST(MenuRenderEdgeTest, LongOptionLabelsTruncateInsideStrip) {
+  render::Screen screen;
+  screen.SetMenu({std::string(200, 'x')});
+  // Nothing leaks into the page area.
+  const auto page = screen.PageArea();
+  int ink = 0;
+  for (int y = page.y; y < page.y + page.h; ++y) {
+    for (int x = page.x; x < page.x + page.w; ++x) {
+      if (screen.framebuffer().At(x, y) > 0) ++ink;
+    }
+  }
+  EXPECT_EQ(ink, 0);
+}
+
+TEST(ViewEdgeTest, ViewLargerThanImageClampsToWholeImage) {
+  image::Bitmap bm(50, 40);
+  const image::Image img = image::Image::FromBitmap(std::move(bm));
+  image::View view(&img, image::Rect{0, 0, 500, 400});
+  EXPECT_EQ(view.rect(), (image::Rect{0, 0, 50, 40}));
+  const image::Bitmap data = view.Retrieve();
+  EXPECT_EQ(data.width(), 50);
+  EXPECT_EQ(data.height(), 40);
+}
+
+}  // namespace
+}  // namespace minos

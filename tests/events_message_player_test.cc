@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "minos/core/events.h"
+#include "minos/core/message_player.h"
+
+namespace minos::core {
+namespace {
+
+TEST(EventLogTest, RecordsInOrder) {
+  EventLog log;
+  log.Add(EventKind::kPageShown, 100, 1, "");
+  log.Add(EventKind::kVoicePlayed, 200, 0, "to 500");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].kind, EventKind::kPageShown);
+  EXPECT_EQ(log.events()[1].at, 200);
+  EXPECT_EQ(log.events()[1].detail, "to 500");
+}
+
+TEST(EventLogTest, OfKindFilters) {
+  EventLog log;
+  log.Add(EventKind::kPageShown, 1, 1, "");
+  log.Add(EventKind::kTourStop, 2, 0, "");
+  log.Add(EventKind::kPageShown, 3, 2, "");
+  const auto pages = log.OfKind(EventKind::kPageShown);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[1].value, 2);
+  EXPECT_TRUE(log.OfKind(EventKind::kRewound).empty());
+}
+
+TEST(EventLogTest, ToStringStableFormat) {
+  EventLog log;
+  log.Add(EventKind::kUnitReached, 42, 7, "chapter");
+  EXPECT_EQ(log.ToString(), "42 unit-reached 7 chapter\n");
+}
+
+TEST(EventLogTest, DigestStableAndSensitive) {
+  EventLog a, b;
+  a.Add(EventKind::kPageShown, 1, 1, "");
+  b.Add(EventKind::kPageShown, 1, 1, "");
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.Add(EventKind::kPageShown, 2, 2, "");
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(EventLogTest, ClearEmpties) {
+  EventLog log;
+  log.Add(EventKind::kPageShown, 1, 1, "");
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLogTest, EveryKindHasAName) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kRewound); ++k) {
+    EXPECT_STRNE(EventKindName(static_cast<EventKind>(k)), "?");
+  }
+}
+
+TEST(MessagePlayerTest, PlayAdvancesClockByAudioDuration) {
+  SimClock clock;
+  MessagePlayer player(&clock, voice::SpeakerParams{});
+  EventLog log;
+  const Micros duration =
+      player.Play("a short message", &log, EventKind::kVoiceMessagePlayed, 3);
+  EXPECT_GT(duration, 0);
+  EXPECT_EQ(clock.Now(), duration);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events()[0].at, 0);  // Logged at the start of playback.
+  EXPECT_EQ(log.events()[0].value, 3);
+  EXPECT_EQ(log.events()[0].detail, "a short message");
+}
+
+TEST(MessagePlayerTest, DurationMatchesPlay) {
+  SimClock clock;
+  MessagePlayer player(&clock, voice::SpeakerParams{});
+  const Micros estimated = player.DurationOf("hello there friend");
+  const Micros played =
+      player.Play("hello there friend", nullptr, EventKind::kLabelPlayed, 0);
+  EXPECT_EQ(estimated, played);
+}
+
+TEST(MessagePlayerTest, LongerTranscriptTakesLonger) {
+  SimClock clock;
+  MessagePlayer player(&clock, voice::SpeakerParams{});
+  EXPECT_GT(player.DurationOf("one two three four five six seven"),
+            player.DurationOf("one"));
+}
+
+TEST(MessagePlayerTest, NullLogIsSafe) {
+  SimClock clock;
+  MessagePlayer player(&clock, voice::SpeakerParams{});
+  EXPECT_GT(player.Play("msg", nullptr, EventKind::kLabelPlayed, 0), 0);
+}
+
+TEST(MessagePlayerTest, EmptyTranscriptIsInstant) {
+  SimClock clock;
+  MessagePlayer player(&clock, voice::SpeakerParams{});
+  EXPECT_EQ(player.DurationOf(""), 0);
+}
+
+}  // namespace
+}  // namespace minos::core

@@ -1,0 +1,277 @@
+// Tests for the §2/§4/§5 extension features: editing-state previews,
+// spoken-pattern recognition at browse time, text-relevance indicators,
+// cross-media GotoTextOffset, and miniature voice previews.
+
+#include <gtest/gtest.h>
+
+#include "minos/core/audio_browser.h"
+#include "minos/core/editing_preview.h"
+#include "minos/core/presentation_manager.h"
+#include "minos/core/visual_browser.h"
+#include "minos/server/workstation.h"
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::core {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+MultimediaObject EditingObject() {
+  MultimediaObject obj(1);
+  text::MarkupParser parser;
+  auto doc = parser.Parse(
+      ".TITLE Draft\n.PP\nStill editing this text right now.\n");
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  image::Bitmap bm(60, 40);
+  bm.FillRect(image::Rect{10, 10, 20, 20}, 255);
+  EXPECT_TRUE(obj.AddImage(image::Image::FromBitmap(std::move(bm))).ok());
+  VisualPageSpec text_page;
+  text_page.text_page = 1;
+  obj.descriptor().pages.push_back(text_page);
+  VisualPageSpec image_page;
+  image_page.images.push_back({0, image::Rect{0, 0, 60, 40}});
+  obj.descriptor().pages.push_back(image_page);
+  VisualPageSpec transparency;
+  transparency.kind = VisualPageSpec::Kind::kTransparency;
+  transparency.images.push_back({0, image::Rect{30, 30, 60, 40}});
+  obj.descriptor().pages.push_back(transparency);
+  return obj;
+}
+
+TEST(EditingPreviewTest, WorksOnEditingStateObjects) {
+  MultimediaObject obj = EditingObject();
+  ASSERT_EQ(obj.state(), object::ObjectState::kEditing);
+  auto preview = RenderEditingPreview(obj, 1, 2);
+  ASSERT_TRUE(preview.ok()) << preview.status().ToString();
+  EXPECT_EQ(preview->width(), 180);
+  EXPECT_EQ(preview->height(), 140);
+  // The text page carries ink.
+  int ink = 0;
+  for (uint8_t v : preview->pixels()) {
+    if (v > 0) ++ink;
+  }
+  EXPECT_GT(ink, 20);
+}
+
+TEST(EditingPreviewTest, ComposesTransparencyStack) {
+  MultimediaObject obj = EditingObject();
+  auto base = RenderEditingPreview(obj, 2, 1);
+  auto stacked = RenderEditingPreview(obj, 3, 1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(stacked.ok());
+  // The transparency page includes the base image plus the overlay.
+  EXPECT_NE(base->Digest(), stacked->Digest());
+  // Overlay ink: the image's inked square sits at (10,10)-(30,30) within
+  // the placement at (30,30), so screen (45,45) is inked by the overlay
+  // only.
+  EXPECT_GT(stacked->At(45, 45), 0);
+  EXPECT_EQ(base->At(45, 45), 0);
+}
+
+TEST(EditingPreviewTest, BadArgumentsRejected) {
+  MultimediaObject obj = EditingObject();
+  EXPECT_TRUE(RenderEditingPreview(obj, 0).status().IsOutOfRange());
+  EXPECT_TRUE(RenderEditingPreview(obj, 9).status().IsOutOfRange());
+  EXPECT_TRUE(RenderEditingPreview(obj, 1, 0).status().IsInvalidArgument());
+}
+
+TEST(EditingPreviewTest, PreviewMatchesArchivedBrowsing) {
+  // "The user can use the same browsing within object capabilities as in
+  // the object archiver in order to view objects which are in the
+  // editing stage." (§4) — previews before and after Archive() agree.
+  MultimediaObject obj = EditingObject();
+  auto before = RenderEditingPreview(obj, 2, 1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(obj.Archive().ok());
+  auto after = RenderEditingPreview(obj, 2, 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->Digest(), after->Digest());
+}
+
+class SpokenPatternTest : public ::testing::Test {
+ protected:
+  SpokenPatternTest() : messages_(&clock_, voice::SpeakerParams{}) {
+    text::MarkupParser parser;
+    auto doc = parser.Parse(
+        ".PP\nThe fracture is visible in the radiograph today. The cast "
+        "stays for three weeks.\n");
+    EXPECT_TRUE(doc.ok());
+    voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+    auto track = synth.Synthesize(*doc);
+    obj_ = std::make_unique<MultimediaObject>(5);
+    obj_->descriptor().driving_mode = object::DrivingMode::kAudio;
+    EXPECT_TRUE(
+        obj_->SetVoicePart(voice::VoiceDocument(std::move(track).value()))
+            .ok());
+    EXPECT_TRUE(obj_->Archive().ok());
+    auto browser = AudioBrowser::Open(obj_.get(), &screen_, &messages_,
+                                      &clock_, &log_);
+    EXPECT_TRUE(browser.ok());
+    browser_ = std::move(browser).value();
+    voice::RecognizerParams perfect;
+    perfect.hit_rate = 1.0;
+    perfect.false_alarm_rate = 0.0;
+    voice::Recognizer indexer({"fracture", "cast"}, perfect);
+    browser_->SetRecognitionIndex(voice::Recognizer::BuildIndex(
+        indexer.Recognize(obj_->voice_part().track()).utterances));
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog log_;
+  std::unique_ptr<MultimediaObject> obj_;
+  std::unique_ptr<AudioBrowser> browser_;
+};
+
+TEST_F(SpokenPatternTest, RecognizedUtteranceBrowses) {
+  voice::RecognizerParams perfect;
+  perfect.hit_rate = 1.0;
+  perfect.false_alarm_rate = 0.0;
+  voice::Recognizer ear({"fracture", "cast"}, perfect);
+  const Micros before = clock_.Now();
+  ASSERT_TRUE(browser_->SpeakPattern(ear, "fracture").ok());
+  EXPECT_GT(clock_.Now(), before);  // Speaking the pattern took time.
+  EXPECT_EQ(log_.OfKind(EventKind::kPatternFound).size(), 1u);
+}
+
+TEST_F(SpokenPatternTest, DeafRecognizerReportsNotFound) {
+  voice::RecognizerParams deaf;
+  deaf.hit_rate = 0.0;
+  deaf.false_alarm_rate = 0.0;
+  voice::Recognizer ear({"fracture"}, deaf);
+  EXPECT_TRUE(browser_->SpeakPattern(ear, "fracture").IsNotFound());
+}
+
+TEST_F(SpokenPatternTest, OutOfVocabularyUtteranceNotFound) {
+  voice::RecognizerParams perfect;
+  perfect.hit_rate = 1.0;
+  perfect.false_alarm_rate = 0.0;
+  voice::Recognizer ear({"fracture"}, perfect);
+  EXPECT_TRUE(browser_->SpeakPattern(ear, "surgery").IsNotFound());
+}
+
+TEST(GotoTextOffsetTest, NavigatesToPresentingPage) {
+  MultimediaObject obj(1);
+  text::MarkupParser parser;
+  std::string body;
+  for (int i = 0; i < 40; ++i) {
+    body += "Filler sentence number " + std::to_string(i) + " here. ";
+  }
+  auto doc = parser.Parse(".PP\n" + body + "\n");
+  obj.descriptor().layout.width = 40;
+  obj.descriptor().layout.height = 6;
+  ASSERT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  auto formatted = FormatObjectText(obj);
+  ASSERT_TRUE(formatted.ok());
+  for (size_t i = 0; i < formatted->pages.size(); ++i) {
+    VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    obj.descriptor().pages.push_back(page);
+  }
+  ASSERT_TRUE(obj.Archive().ok());
+  SimClock clock;
+  render::Screen screen;
+  MessagePlayer messages(&clock, voice::SpeakerParams{});
+  EventLog log;
+  auto browser =
+      VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  ASSERT_TRUE(browser.ok());
+  const size_t target = obj.text_part().contents().find("number 30");
+  ASSERT_TRUE((*browser)->GotoTextOffset(target).ok());
+  const text::TextSpan span =
+      formatted->pages[static_cast<size_t>(
+                           (*browser)->current_page() - 1)]
+          .span;
+  EXPECT_GE(target + 10, span.begin);
+  EXPECT_LE(target, span.end);
+}
+
+TEST(TextRelevanceTest, NavigatesAndMarks) {
+  // Parent links to a child whose text has a relevance span.
+  std::map<storage::ObjectId, MultimediaObject> library;
+  {
+    MultimediaObject child(20);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(
+        ".PP\nIntro text. The relevant passage sits right here in the "
+        "middle. Outro text follows.\n");
+    child.descriptor().layout.width = 40;
+    child.descriptor().layout.height = 6;
+    ASSERT_TRUE(child.SetTextPart(std::move(doc).value()).ok());
+    VisualPageSpec page;
+    page.text_page = 1;
+    child.descriptor().pages.push_back(page);
+    ASSERT_TRUE(child.Archive().ok());
+    library.emplace(20, std::move(child));
+  }
+  MultimediaObject parent(10);
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\nparent body text\n");
+  ASSERT_TRUE(parent.SetTextPart(std::move(doc).value()).ok());
+  VisualPageSpec page;
+  page.text_page = 1;
+  parent.descriptor().pages.push_back(page);
+  object::RelevantObjectLink link;
+  link.target = 20;
+  link.indicator_label = "related passage";
+  link.parent_text_anchor = object::TextAnchor{0, 6};
+  object::Relevance rel;
+  const size_t rel_begin =
+      library.at(20).text_part().contents().find("relevant passage");
+  rel.text_span = object::TextAnchor{rel_begin, rel_begin + 16};
+  link.relevances.push_back(rel);
+  parent.descriptor().relevant_objects.push_back(link);
+  ASSERT_TRUE(parent.Archive().ok());
+  library.emplace(10, std::move(parent));
+
+  SimClock clock;
+  render::Screen screen;
+  PresentationManager pm(&screen, &clock);
+  pm.SetResolver([&library](storage::ObjectId id)
+                     -> StatusOr<MultimediaObject> {
+    auto it = library.find(id);
+    if (it == library.end()) return Status::NotFound("none");
+    return it->second;
+  });
+  ASSERT_TRUE(pm.Open(10).ok());
+  ASSERT_TRUE(pm.EnterRelevantObject(0).ok());
+  const auto relevances = pm.CurrentRelevances();
+  ASSERT_EQ(relevances.size(), 1u);
+  ASSERT_TRUE(pm.ShowTextRelevance(relevances[0]).ok());
+  const auto marks = pm.log().OfKind(EventKind::kLabelShown);
+  ASSERT_EQ(marks.size(), 1u);
+  EXPECT_EQ(marks[0].detail, "text-relevance");
+  // The root object (no link) has no relevances to show.
+  ASSERT_TRUE(pm.ReturnFromRelevantObject().ok());
+  EXPECT_TRUE(pm.CurrentRelevances().empty());
+}
+
+TEST(MiniatureVoicePreviewTest, AudioCardsPlayWhilePassing) {
+  server::MiniatureCard visual_card;
+  visual_card.id = 1;
+  visual_card.audio_mode = false;
+  server::MiniatureCard audio_card;
+  audio_card.id = 2;
+  audio_card.audio_mode = true;
+  audio_card.preview_transcript = "spoken preview words";
+  server::MiniatureBrowser browser({visual_card, audio_card, visual_card});
+
+  SimClock clock;
+  MessagePlayer player(&clock, voice::SpeakerParams{});
+  EventLog log;
+  browser.AttachPlayer(&player, &log);
+
+  ASSERT_TRUE(browser.Next().ok());  // Onto the audio card: plays.
+  EXPECT_EQ(log.OfKind(EventKind::kVoicePlayed).size(), 1u);
+  EXPECT_GT(clock.Now(), 0);
+  ASSERT_TRUE(browser.Next().ok());  // Visual card: silent.
+  EXPECT_EQ(log.OfKind(EventKind::kVoicePlayed).size(), 1u);
+  ASSERT_TRUE(browser.Previous().ok());  // Back over the audio card.
+  EXPECT_EQ(log.OfKind(EventKind::kVoicePlayed).size(), 2u);
+}
+
+}  // namespace
+}  // namespace minos::core

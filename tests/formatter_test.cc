@@ -1,0 +1,265 @@
+#include "minos/text/formatter.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+
+namespace minos::text {
+namespace {
+
+Document ParseOrDie(std::string_view markup) {
+  MarkupParser parser;
+  auto doc = parser.Parse(markup);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+std::string LongMarkup(int paragraphs) {
+  std::string m = ".TITLE Long Document\n";
+  for (int i = 0; i < paragraphs; ++i) {
+    m += ".PP\n";
+    for (int s = 0; s < 4; ++s) {
+      m += "Paragraph " + std::to_string(i) +
+           " sentence about multimedia objects and browsing. ";
+    }
+    m += "\n";
+  }
+  return m;
+}
+
+TEST(FormatterTest, RejectsDegenerateLayout) {
+  Document doc = ParseOrDie(".PP\nhello world\n");
+  PageLayout tiny;
+  tiny.width = 4;
+  TextFormatter formatter(tiny);
+  EXPECT_TRUE(formatter.Paginate(doc).status().IsInvalidArgument());
+}
+
+TEST(FormatterTest, EmptyDocumentYieldsOneBlankPage) {
+  Document doc;
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  ASSERT_EQ(pages->size(), 1u);
+  EXPECT_EQ((*pages)[0].number, 1);
+}
+
+TEST(FormatterTest, LinesRespectWidth) {
+  Document doc = ParseOrDie(LongMarkup(5));
+  PageLayout layout;
+  layout.width = 40;
+  layout.height = 12;
+  TextFormatter formatter(layout);
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  for (const TextPage& page : *pages) {
+    for (const std::string& line : page.lines) {
+      EXPECT_LE(static_cast<int>(line.size()), layout.width);
+    }
+  }
+}
+
+TEST(FormatterTest, PagesHaveExactHeight) {
+  Document doc = ParseOrDie(LongMarkup(5));
+  PageLayout layout;
+  layout.height = 10;
+  TextFormatter formatter(layout);
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  for (const TextPage& page : *pages) {
+    EXPECT_EQ(static_cast<int>(page.lines.size()), layout.height);
+  }
+}
+
+TEST(FormatterTest, PageNumbersSequential) {
+  Document doc = ParseOrDie(LongMarkup(10));
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  for (size_t i = 0; i < pages->size(); ++i) {
+    EXPECT_EQ((*pages)[i].number, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(FormatterTest, PageSpansAreMonotonic) {
+  Document doc = ParseOrDie(LongMarkup(10));
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  ASSERT_GT(pages->size(), 1u);
+  for (size_t i = 1; i < pages->size(); ++i) {
+    EXPECT_GE((*pages)[i].span.begin, (*pages)[i - 1].span.end -
+              1);  // Allow the boundary word to touch.
+    EXPECT_LE((*pages)[i - 1].span.begin, (*pages)[i].span.begin);
+  }
+}
+
+TEST(FormatterTest, AllWordsAppearExactlyOnce) {
+  Document doc = ParseOrDie(LongMarkup(6));
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  std::string all;
+  for (const TextPage& p : *pages) {
+    for (const std::string& line : p.lines) {
+      all += line;
+      all += ' ';
+    }
+  }
+  // Every word of the source document must appear in the output.
+  for (const LogicalComponent& w : doc.Components(LogicalUnit::kWord)) {
+    const std::string word =
+        doc.contents().substr(w.span.begin, w.span.length());
+    EXPECT_NE(all.find(word), std::string::npos) << word;
+  }
+}
+
+TEST(FormatterTest, ChapterStartsNewPage) {
+  Document doc = ParseOrDie(
+      ".CHAPTER One\n.PP\nalpha beta\n.CHAPTER Two\n.PP\ngamma delta\n");
+  PageLayout layout;
+  layout.chapter_starts_page = true;
+  TextFormatter formatter(layout);
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(pages->size(), 2u);
+}
+
+TEST(FormatterTest, ChapterInlineWhenDisabled) {
+  Document doc = ParseOrDie(
+      ".CHAPTER One\n.PP\nalpha beta\n.CHAPTER Two\n.PP\ngamma delta\n");
+  PageLayout layout;
+  layout.chapter_starts_page = false;
+  TextFormatter formatter(layout);
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(pages->size(), 1u);
+}
+
+TEST(FormatterTest, ChapterHeaderUppercased) {
+  Document doc = ParseOrDie(".CHAPTER Introduction\n.PP\nbody\n");
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  bool found = false;
+  for (const std::string& line : (*pages)[0].lines) {
+    if (line.find("INTRODUCTION") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FormatterTest, ParagraphIndentApplied) {
+  Document doc = ParseOrDie(".PP\nindented paragraph text\n");
+  PageLayout layout;
+  layout.paragraph_indent = 4;
+  TextFormatter formatter(layout);
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  // Find the first non-empty line; it must start with 4 spaces.
+  for (const std::string& line : (*pages)[0].lines) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.substr(0, 4), "    ");
+      break;
+    }
+  }
+}
+
+TEST(FormatterTest, StylesLandOnBoldWord) {
+  Document doc = ParseOrDie(".PP\nplain *bold* plain\n");
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  ASSERT_FALSE((*pages)[0].styles.empty());
+  const StyledRun& run = (*pages)[0].styles[0];
+  EXPECT_EQ(run.kind, Emphasis::kBold);
+  const std::string& line = (*pages)[0].lines[static_cast<size_t>(run.line)];
+  EXPECT_EQ(line.substr(static_cast<size_t>(run.col_begin),
+                        static_cast<size_t>(run.col_end - run.col_begin)),
+            "bold");
+}
+
+TEST(FormatterTest, DeterministicOutput) {
+  Document doc = ParseOrDie(LongMarkup(8));
+  TextFormatter formatter(PageLayout{});
+  auto a = formatter.Paginate(doc);
+  auto b = formatter.Paginate(doc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].lines, (*b)[i].lines);
+  }
+}
+
+TEST(FormatterTest, PageMapFindsPageForEveryWord) {
+  Document doc = ParseOrDie(LongMarkup(6));
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  PageMap map(*pages);
+  EXPECT_EQ(map.page_count(), static_cast<int>(pages->size()));
+  for (const LogicalComponent& w : doc.Components(LogicalUnit::kWord)) {
+    const int page = map.PageForOffset(w.span.begin);
+    ASSERT_GE(page, 1);
+    ASSERT_LE(page, map.page_count());
+    // The word's offset must fall at or before the page's end.
+    EXPECT_LE(w.span.begin,
+              (*pages)[static_cast<size_t>(page - 1)].span.end);
+  }
+}
+
+TEST(FormatterTest, PageMapClampsPastEnd) {
+  Document doc = ParseOrDie(LongMarkup(3));
+  TextFormatter formatter(PageLayout{});
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  PageMap map(*pages);
+  EXPECT_EQ(map.PageForOffset(doc.size() + 1000), map.page_count());
+}
+
+TEST(FormatterTest, EmptyPageMap) {
+  PageMap map;
+  EXPECT_EQ(map.PageForOffset(0), 0);
+  EXPECT_EQ(map.page_count(), 0);
+}
+
+TEST(FormatterTest, LowerHalfLayout) {
+  PageLayout layout;
+  layout.height = 20;
+  EXPECT_EQ(layout.LowerHalf().height, 10);
+  EXPECT_EQ(layout.LowerHalf().width, layout.width);
+}
+
+// Parameterized sweep: pagination invariants hold across layouts.
+class FormatterLayoutSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FormatterLayoutSweep, InvariantsHold) {
+  const auto [width, height] = GetParam();
+  Document doc = ParseOrDie(LongMarkup(6));
+  PageLayout layout;
+  layout.width = width;
+  layout.height = height;
+  TextFormatter formatter(layout);
+  auto pages = formatter.Paginate(doc);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_GE(pages->size(), 1u);
+  size_t covered = 0;
+  for (const TextPage& page : *pages) {
+    EXPECT_EQ(static_cast<int>(page.lines.size()), height);
+    for (const std::string& line : page.lines) {
+      EXPECT_LE(static_cast<int>(line.size()), width);
+    }
+    covered += page.span.length();
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, FormatterLayoutSweep,
+    ::testing::Values(std::make_pair(24, 5), std::make_pair(40, 10),
+                      std::make_pair(64, 20), std::make_pair(80, 40),
+                      std::make_pair(100, 8), std::make_pair(12, 3)));
+
+}  // namespace
+}  // namespace minos::text

@@ -1,0 +1,135 @@
+// Tests for word placements, on-screen pattern highlighting, and
+// relevance span markers.
+
+#include <gtest/gtest.h>
+
+#include "minos/core/visual_browser.h"
+#include "minos/render/font5x7.h"
+#include "minos/text/markup.h"
+
+namespace minos::core {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+TEST(WordPlacementTest, EveryWordHasAPlacement) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(
+      ".PP\nalpha beta gamma delta epsilon zeta eta theta\n");
+  ASSERT_TRUE(doc.ok());
+  text::TextFormatter formatter(text::PageLayout{});
+  auto pages = formatter.Paginate(*doc);
+  ASSERT_TRUE(pages.ok());
+  size_t placed = 0;
+  for (const text::TextPage& p : *pages) placed += p.words.size();
+  EXPECT_EQ(placed, doc->Components(text::LogicalUnit::kWord).size());
+}
+
+TEST(WordPlacementTest, PlacementMatchesRenderedLine) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\nfind the needle in this line\n");
+  ASSERT_TRUE(doc.ok());
+  text::TextFormatter formatter(text::PageLayout{});
+  auto pages = formatter.Paginate(*doc);
+  ASSERT_TRUE(pages.ok());
+  const size_t offset = doc->contents().find("needle");
+  const text::WordPlacement* w = (*pages)[0].FindWordAt(offset);
+  ASSERT_NE(w, nullptr);
+  const std::string& line =
+      (*pages)[0].lines[static_cast<size_t>(w->line)];
+  EXPECT_EQ(line.substr(static_cast<size_t>(w->col_begin),
+                        static_cast<size_t>(w->col_end - w->col_begin)),
+            "needle");
+}
+
+TEST(WordPlacementTest, FindWordAtMisses) {
+  text::TextPage page;
+  page.words.push_back(text::WordPlacement{{10, 16}, 0, 0, 6});
+  EXPECT_EQ(page.FindWordAt(5), nullptr);
+  EXPECT_NE(page.FindWordAt(12), nullptr);
+  EXPECT_EQ(page.FindWordAt(16), nullptr);  // End is exclusive.
+}
+
+class HighlightTest : public ::testing::Test {
+ protected:
+  HighlightTest() : messages_(&clock_, voice::SpeakerParams{}) {
+    obj_ = std::make_unique<MultimediaObject>(1);
+    text::MarkupParser parser;
+    std::string body;
+    for (int i = 0; i < 30; ++i) {
+      body += "Common filler sentence number " + std::to_string(i) + ". ";
+    }
+    body += "The unique beacon word sits here. ";
+    for (int i = 0; i < 30; ++i) {
+      body += "Trailing filler sentence " + std::to_string(i) + ". ";
+    }
+    auto doc = parser.Parse(".PP\n" + body + "\n");
+    obj_->descriptor().layout.width = 40;
+    obj_->descriptor().layout.height = 8;
+    obj_->SetTextPart(std::move(doc).value()).ok();
+    auto formatted = FormatObjectText(*obj_);
+    for (size_t i = 0; i < formatted->pages.size(); ++i) {
+      VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      obj_->descriptor().pages.push_back(page);
+    }
+    obj_->Archive().ok();
+    auto browser = VisualBrowser::Open(obj_.get(), &screen_, &messages_,
+                                       &clock_, &log_);
+    browser_ = std::move(browser).value();
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog log_;
+  std::unique_ptr<MultimediaObject> obj_;
+  std::unique_ptr<VisualBrowser> browser_;
+};
+
+TEST_F(HighlightTest, FindPatternHighlightsTheHit) {
+  const uint64_t before = screen_.Digest();
+  ASSERT_TRUE(browser_->FindPattern("beacon").ok());
+  const uint64_t after = screen_.Digest();
+  EXPECT_NE(before, after);
+  // The underline row below the highlighted word carries ink: find the
+  // word's placement and check the pixel row beneath it.
+  const size_t offset = obj_->text_part().contents().find("beacon");
+  const auto& pages = obj_->descriptor().pages;
+  const uint32_t text_page =
+      pages[static_cast<size_t>(browser_->current_page() - 1)].text_page;
+  auto formatted = FormatObjectText(*obj_);
+  const text::WordPlacement* w =
+      formatted->pages[text_page - 1].FindWordAt(offset);
+  ASSERT_NE(w, nullptr);
+  const int cw = render::Font5x7::kCellWidth;
+  const int ch = render::Font5x7::kCellHeight;
+  const int x = w->col_begin * cw + cw;  // Inside the word.
+  const int y = w->line * ch + render::Font5x7::kGlyphHeight + 1;
+  EXPECT_GT(screen_.framebuffer().At(x, y), 0);
+}
+
+TEST_F(HighlightTest, HighlightOffsetOffPageIsNotFound) {
+  ASSERT_TRUE(browser_->GotoPage(1).ok());
+  const size_t far_offset = obj_->text_part().size() - 5;
+  EXPECT_TRUE(browser_->HighlightOffset(far_offset).IsNotFound());
+}
+
+TEST_F(HighlightTest, MarkTextSpanDrawsIndicators) {
+  const size_t begin = obj_->text_part().contents().find("unique");
+  const size_t end = obj_->text_part().contents().find("sits here") + 9;
+  ASSERT_TRUE(browser_->GotoTextOffset(begin).ok());
+  const uint64_t before = screen_.Digest();
+  ASSERT_TRUE(browser_->MarkTextSpan(begin, end).ok());
+  EXPECT_NE(screen_.Digest(), before);
+}
+
+TEST_F(HighlightTest, MarkTextSpanOffPageIsNotFound) {
+  ASSERT_TRUE(browser_->GotoPage(1).ok());
+  const size_t far = obj_->text_part().size();
+  EXPECT_TRUE(browser_->MarkTextSpan(far - 4, far).IsNotFound());
+}
+
+}  // namespace
+}  // namespace minos::core

@@ -1,0 +1,151 @@
+#include "minos/text/markup.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::text {
+namespace {
+
+constexpr char kSample[] = R"(.TITLE The MINOS Report
+.ABSTRACT
+This paper describes the system.
+.CHAPTER Introduction
+.PP
+Multimedia data bases become feasible. They need browsing.
+.PP
+Voice is *important* for _communication_ today.
+.SECTION Motivation
+Workstations offer high resolution displays.
+.CHAPTER Design
+.PP
+The presentation manager resides in the workstation.
+.REFERENCES
+Christodoulakis 1985.
+)";
+
+TEST(MarkupTest, ParsesTitle) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  const auto& titles = doc->Components(LogicalUnit::kTitle);
+  ASSERT_EQ(titles.size(), 1u);
+  EXPECT_EQ(titles[0].title, "The MINOS Report");
+}
+
+TEST(MarkupTest, ParsesChaptersWithNames) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  const auto& chapters = doc->Components(LogicalUnit::kChapter);
+  ASSERT_EQ(chapters.size(), 2u);
+  EXPECT_EQ(chapters[0].title, "Introduction");
+  EXPECT_EQ(chapters[1].title, "Design");
+  EXPECT_LT(chapters[0].span.begin, chapters[1].span.begin);
+}
+
+TEST(MarkupTest, ChapterSpansCoverTheirContent) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  const auto& chapters = doc->Components(LogicalUnit::kChapter);
+  const auto& sections = doc->Components(LogicalUnit::kSection);
+  ASSERT_EQ(sections.size(), 1u);
+  // The Motivation section sits inside the Introduction chapter.
+  EXPECT_GE(sections[0].span.begin, chapters[0].span.begin);
+  EXPECT_LE(sections[0].span.end, chapters[0].span.end);
+}
+
+TEST(MarkupTest, ParsesAbstractAndReferences) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Components(LogicalUnit::kAbstract).size(), 1u);
+  EXPECT_EQ(doc->Components(LogicalUnit::kReferences).size(), 1u);
+}
+
+TEST(MarkupTest, ParagraphCount) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  // Abstract body, 2 in Introduction, 1 in Motivation (implicit),
+  // 1 in Design, 1 in References.
+  EXPECT_EQ(doc->Components(LogicalUnit::kParagraph).size(), 6u);
+}
+
+TEST(MarkupTest, EmphasisMarkersStripped) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->contents().find('*'), std::string::npos);
+  EXPECT_EQ(doc->contents().find('_'), std::string::npos);
+  ASSERT_EQ(doc->emphasis().size(), 2u);
+  const auto& bold = doc->emphasis()[0];
+  EXPECT_EQ(bold.kind, Emphasis::kBold);
+  EXPECT_EQ(doc->contents().substr(bold.span.begin, bold.span.length()),
+            "important");
+  const auto& under = doc->emphasis()[1];
+  EXPECT_EQ(under.kind, Emphasis::kUnderline);
+  EXPECT_EQ(doc->contents().substr(under.span.begin, under.span.length()),
+            "communication");
+}
+
+TEST(MarkupTest, ItalicEmphasis) {
+  MarkupParser parser;
+  auto doc = parser.Parse(".PP\nthis is /tilted/ text\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->emphasis().size(), 1u);
+  EXPECT_EQ(doc->emphasis()[0].kind, Emphasis::kItalic);
+}
+
+TEST(MarkupTest, UnterminatedEmphasisRejected) {
+  MarkupParser parser;
+  auto doc = parser.Parse(".PP\nthis is *unterminated\n");
+  EXPECT_TRUE(doc.status().IsInvalidArgument());
+}
+
+TEST(MarkupTest, UnknownTagRejected) {
+  MarkupParser parser;
+  EXPECT_TRUE(parser.Parse(".BOGUS arg\n").status().IsInvalidArgument());
+}
+
+TEST(MarkupTest, BlankLineEndsParagraph) {
+  MarkupParser parser;
+  auto doc = parser.Parse("first line\n\nsecond paragraph\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Components(LogicalUnit::kParagraph).size(), 2u);
+}
+
+TEST(MarkupTest, BodyLinesJoinWithSpaces) {
+  MarkupParser parser;
+  auto doc = parser.Parse(".PP\nline one\nline two\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->contents().find("one line two"), std::string::npos);
+}
+
+TEST(MarkupTest, DerivesSentencesAndWords) {
+  MarkupParser parser;
+  auto doc = parser.Parse(kSample);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GT(doc->Components(LogicalUnit::kSentence).size(), 5u);
+  EXPECT_GT(doc->Components(LogicalUnit::kWord).size(), 30u);
+}
+
+TEST(MarkupTest, EmptyInputYieldsEmptyDocument) {
+  MarkupParser parser;
+  auto doc = parser.Parse("");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 0u);
+}
+
+TEST(MarkupTest, ReferencesSurviveBlankLines) {
+  MarkupParser parser;
+  auto doc = parser.Parse(".REFERENCES\nref one.\n\nref two.\n");
+  ASSERT_TRUE(doc.ok());
+  const auto& refs = doc->Components(LogicalUnit::kReferences);
+  ASSERT_EQ(refs.size(), 1u);
+  // Both references fall inside the references span.
+  EXPECT_NE(doc->contents().substr(refs[0].span.begin).find("ref two"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace minos::text

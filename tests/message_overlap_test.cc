@@ -1,0 +1,122 @@
+// §2 details: "Voice logical messages may be attached to overlapping text
+// segments or images" — all messages whose segments are branched into
+// play; pattern highlighting works in the lower content region while a
+// visual message is pinned.
+
+#include <gtest/gtest.h>
+
+#include "minos/core/visual_browser.h"
+#include "minos/text/markup.h"
+
+namespace minos::core {
+namespace {
+
+using object::MultimediaObject;
+using object::TextAnchor;
+using object::VisualPageSpec;
+
+class OverlapTest : public ::testing::Test {
+ protected:
+  OverlapTest() : messages_(&clock_, voice::SpeakerParams{}) {
+    obj_ = std::make_unique<MultimediaObject>(1);
+    text::MarkupParser parser;
+    std::string filler;
+    for (int i = 0; i < 25; ++i) {
+      filler += "Leading filler sentence " + std::to_string(i) + ". ";
+    }
+    auto doc = parser.Parse(".PP\n" + filler +
+                            "The overlapping target phrase lives here "
+                            "with more trailing words after it.\n");
+    obj_->descriptor().layout.width = 40;
+    obj_->descriptor().layout.height = 8;
+    obj_->SetTextPart(std::move(doc).value()).ok();
+    auto formatted = FormatObjectText(*obj_);
+    for (size_t i = 0; i < formatted->pages.size(); ++i) {
+      VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      obj_->descriptor().pages.push_back(page);
+    }
+  }
+
+  void Finish() {
+    ASSERT_TRUE(obj_->Archive().ok());
+    auto browser = VisualBrowser::Open(obj_.get(), &screen_, &messages_,
+                                       &clock_, &log_);
+    ASSERT_TRUE(browser.ok());
+    browser_ = std::move(browser).value();
+  }
+
+  size_t TargetPos() const {
+    return obj_->text_part().contents().find("overlapping target");
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog log_;
+  std::unique_ptr<MultimediaObject> obj_;
+  std::unique_ptr<VisualBrowser> browser_;
+};
+
+TEST_F(OverlapTest, OverlappingVoiceMessagesAllPlay) {
+  const size_t pos = TargetPos();
+  object::VoiceLogicalMessage wide;
+  wide.transcript = "wide segment note";
+  wide.text_anchor = TextAnchor{pos - 10, pos + 60};
+  object::VoiceLogicalMessage narrow;
+  narrow.transcript = "narrow segment note";
+  narrow.text_anchor = TextAnchor{pos, pos + 18};
+  obj_->descriptor().voice_messages.push_back(wide);
+  obj_->descriptor().voice_messages.push_back(narrow);
+  Finish();
+  ASSERT_TRUE(browser_->FindPattern("overlapping").ok());
+  const auto played = log_.OfKind(EventKind::kVoiceMessagePlayed);
+  ASSERT_EQ(played.size(), 2u);
+  EXPECT_EQ(played[0].detail, "wide segment note");
+  EXPECT_EQ(played[1].detail, "narrow segment note");
+}
+
+TEST_F(OverlapTest, HighlightWorksUnderPinnedMessage) {
+  const size_t pos = TargetPos();
+  object::VisualLogicalMessage pinned;
+  pinned.text = "PINNED";
+  pinned.text_anchors.push_back(TextAnchor{pos, pos + 30});
+  obj_->descriptor().visual_messages.push_back(pinned);
+  Finish();
+  // FindPattern lands on the page, pins the message, and highlights the
+  // hit in the *lower* content region.
+  ASSERT_TRUE(browser_->FindPattern("overlapping").ok());
+  ASSERT_EQ(log_.OfKind(EventKind::kVisualMessageShown).size(), 1u);
+  // The hit word must be highlightable again explicitly, proving the
+  // content region is tracked correctly while pinned.
+  EXPECT_TRUE(browser_->HighlightOffset(TargetPos()).ok());
+  // The message area carries the pinned headline ink.
+  const auto msg = screen_.MessageArea();
+  int ink = 0;
+  for (int y = msg.y; y < msg.y + msg.h; ++y) {
+    for (int x = msg.x; x < msg.x + msg.w; ++x) {
+      if (screen_.framebuffer().At(x, y) > 0) ++ink;
+    }
+  }
+  EXPECT_GT(ink, 30);
+}
+
+TEST_F(OverlapTest, OverlappingVisualMessagesFirstWins) {
+  const size_t pos = TargetPos();
+  object::VisualLogicalMessage first;
+  first.text = "FIRST";
+  first.text_anchors.push_back(TextAnchor{pos, pos + 30});
+  object::VisualLogicalMessage second;
+  second.text = "SECOND";
+  second.text_anchors.push_back(TextAnchor{pos - 5, pos + 40});
+  obj_->descriptor().visual_messages.push_back(first);
+  obj_->descriptor().visual_messages.push_back(second);
+  Finish();
+  ASSERT_TRUE(browser_->FindPattern("overlapping").ok());
+  const auto shown = log_.OfKind(EventKind::kVisualMessageShown);
+  ASSERT_EQ(shown.size(), 1u);  // Exactly one pinned at a time.
+  EXPECT_EQ(shown[0].detail, "FIRST");
+}
+
+}  // namespace
+}  // namespace minos::core

@@ -1,0 +1,215 @@
+#include "minos/object/multimedia_object.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/object/part_codec.h"
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::object {
+namespace {
+
+text::Document MakeDoc() {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(
+      ".TITLE Patient Record\n.CHAPTER Findings\n.PP\n"
+      "The x-ray shows a hairline fracture near the joint. Follow up in "
+      "two weeks.\n");
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+voice::VoiceDocument MakeVoice(const text::Document& doc) {
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  auto track = synth.Synthesize(doc);
+  EXPECT_TRUE(track.ok());
+  voice::VoiceDocument vdoc(std::move(track).value());
+  vdoc.TagFromAlignment(doc, voice::EditingLevel::kParagraphs);
+  return vdoc;
+}
+
+image::Image MakeXray() {
+  image::Bitmap bm(64, 64);
+  bm.FillRect(image::Rect{20, 20, 24, 24}, 180);
+  return image::Image::FromBitmap(std::move(bm));
+}
+
+MultimediaObject MakeFullObject() {
+  MultimediaObject obj(42);
+  EXPECT_TRUE(obj.SetAttribute("patient", "John Doe").ok());
+  EXPECT_TRUE(obj.SetAttribute("modality", "xray chest").ok());
+  text::Document doc = MakeDoc();
+  voice::VoiceDocument vdoc = MakeVoice(doc);
+  EXPECT_TRUE(obj.SetVoicePart(std::move(vdoc)).ok());
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc)).ok());
+  EXPECT_TRUE(obj.AddImage(MakeXray()).ok());
+  VisualPageSpec page;
+  page.kind = VisualPageSpec::Kind::kNormal;
+  page.text_page = 1;
+  obj.descriptor().pages.push_back(page);
+  return obj;
+}
+
+TEST(PartCodecTest, DocumentRoundTrip) {
+  const text::Document doc = MakeDoc();
+  auto restored = DecodeDocument(EncodeDocument(doc));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->contents(), doc.contents());
+  for (int u = 0; u < 8; ++u) {
+    const auto unit = static_cast<text::LogicalUnit>(u);
+    ASSERT_EQ(restored->Components(unit).size(),
+              doc.Components(unit).size());
+    for (size_t i = 0; i < doc.Components(unit).size(); ++i) {
+      EXPECT_EQ(restored->Components(unit)[i].span,
+                doc.Components(unit)[i].span);
+      EXPECT_EQ(restored->Components(unit)[i].title,
+                doc.Components(unit)[i].title);
+    }
+  }
+}
+
+TEST(PartCodecTest, DocumentRejectsOutOfBoundsSpan) {
+  text::Document doc;
+  doc.AppendText("short");
+  doc.AddComponentSpan(
+      {text::LogicalUnit::kChapter, text::TextSpan{0, 999}, "bad"});
+  const std::string bytes = EncodeDocument(doc);
+  EXPECT_TRUE(DecodeDocument(bytes).status().IsCorruption());
+}
+
+TEST(PartCodecTest, VoiceDocumentRoundTrip) {
+  const text::Document doc = MakeDoc();
+  voice::VoiceDocument vdoc = MakeVoice(doc);
+  auto restored = DecodeVoiceDocument(EncodeVoiceDocument(vdoc));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->pcm().samples(), vdoc.pcm().samples());
+  EXPECT_EQ(restored->pcm().sample_rate(), vdoc.pcm().sample_rate());
+  ASSERT_EQ(restored->track().words.size(), vdoc.track().words.size());
+  EXPECT_EQ(restored->track().words[3].word, vdoc.track().words[3].word);
+  EXPECT_EQ(restored->track().silences.size(),
+            vdoc.track().silences.size());
+  EXPECT_EQ(
+      restored->Components(text::LogicalUnit::kParagraph).size(),
+      vdoc.Components(text::LogicalUnit::kParagraph).size());
+}
+
+TEST(PartCodecTest, AttributesRoundTrip) {
+  AttributeMap attrs{{"a", "1"}, {"b", "two"}};
+  auto restored = DecodeAttributes(EncodeAttributes(attrs));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, attrs);
+}
+
+TEST(MultimediaObjectTest, StartsInEditingState) {
+  MultimediaObject obj(1);
+  EXPECT_EQ(obj.state(), ObjectState::kEditing);
+  EXPECT_EQ(obj.id(), 1u);
+}
+
+TEST(MultimediaObjectTest, AttributesReadableAndMissing) {
+  MultimediaObject obj = MakeFullObject();
+  auto v = obj.GetAttribute("patient");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "John Doe");
+  EXPECT_TRUE(obj.GetAttribute("age").status().IsNotFound());
+}
+
+TEST(MultimediaObjectTest, ArchivedObjectRejectsModification) {
+  MultimediaObject obj = MakeFullObject();
+  ASSERT_TRUE(obj.Archive().ok());
+  EXPECT_EQ(obj.state(), ObjectState::kArchived);
+  EXPECT_TRUE(obj.SetAttribute("x", "y").IsFailedPrecondition());
+  EXPECT_TRUE(obj.SetTextPart(MakeDoc()).IsFailedPrecondition());
+  EXPECT_TRUE(obj.AddImage(MakeXray()).status().IsFailedPrecondition());
+  EXPECT_TRUE(obj.Archive().IsFailedPrecondition());  // Double archive.
+}
+
+TEST(MultimediaObjectTest, ValidationCatchesMissingImage) {
+  MultimediaObject obj = MakeFullObject();
+  obj.descriptor().pages[0].images.push_back({9, image::Rect{}});
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, ValidationCatchesBadTextAnchor) {
+  MultimediaObject obj = MakeFullObject();
+  VoiceLogicalMessage m;
+  m.transcript = "note";
+  m.text_anchor = TextAnchor{0, 100000};
+  obj.descriptor().voice_messages.push_back(m);
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, ValidationCatchesBadVoiceAnchor) {
+  MultimediaObject obj = MakeFullObject();
+  VisualLogicalMessage m;
+  m.voice_anchors.push_back(VoiceAnchor{0, 1ULL << 60});
+  obj.descriptor().visual_messages.push_back(m);
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, ValidationCatchesBadTransparencySet) {
+  MultimediaObject obj = MakeFullObject();
+  obj.descriptor().transparency_sets.push_back(
+      {0, 1, TransparencyDisplay::kStacked});
+  // Page 0 is kNormal, not a transparency.
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, ValidationCatchesBadProcessRange) {
+  MultimediaObject obj = MakeFullObject();
+  ProcessSimulationSpec sim;
+  sim.first_page = 0;
+  sim.count = 99;
+  obj.descriptor().process_simulations.push_back(sim);
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, ValidationAudioModeNeedsVoice) {
+  MultimediaObject obj(5);
+  text::Document doc = MakeDoc();
+  ASSERT_TRUE(obj.SetTextPart(std::move(doc)).ok());
+  obj.descriptor().driving_mode = DrivingMode::kAudio;
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, ValidationCatchesBadTour) {
+  MultimediaObject obj = MakeFullObject();
+  ObjectDescriptor::TourSpec tour;
+  tour.image_index = 7;
+  obj.descriptor().tours.push_back(tour);
+  EXPECT_TRUE(obj.Archive().IsInvalidArgument());
+}
+
+TEST(MultimediaObjectTest, SerializeRequiresArchivedState) {
+  MultimediaObject obj = MakeFullObject();
+  EXPECT_TRUE(obj.SerializeArchived().status().IsFailedPrecondition());
+}
+
+TEST(MultimediaObjectTest, ArchivalRoundTrip) {
+  MultimediaObject obj = MakeFullObject();
+  ASSERT_TRUE(obj.Archive().ok());
+  auto bytes = obj.SerializeArchived();
+  ASSERT_TRUE(bytes.ok());
+  auto restored = MultimediaObject::DeserializeArchived(42, *bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->state(), ObjectState::kArchived);
+  EXPECT_EQ(restored->id(), 42u);
+  EXPECT_EQ(restored->attributes().size(), 2u);
+  ASSERT_TRUE(restored->has_text());
+  EXPECT_EQ(restored->text_part().contents(), obj.text_part().contents());
+  ASSERT_TRUE(restored->has_voice());
+  EXPECT_EQ(restored->voice_part().pcm().size(),
+            obj.voice_part().pcm().size());
+  ASSERT_EQ(restored->images().size(), 1u);
+  EXPECT_EQ(restored->images()[0].Render().Digest(),
+            obj.images()[0].Render().Digest());
+  EXPECT_EQ(restored->descriptor().pages.size(), 1u);
+}
+
+TEST(MultimediaObjectTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(MultimediaObject::DeserializeArchived(1, "garbage").ok());
+  EXPECT_FALSE(MultimediaObject::DeserializeArchived(1, "").ok());
+}
+
+}  // namespace
+}  // namespace minos::object

@@ -1,0 +1,170 @@
+#include "minos/format/object_formatter.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::format {
+namespace {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::TransparencyDisplay;
+using object::VisualPageSpec;
+
+std::string SerializedBitmap(int w, int h, uint8_t ink) {
+  image::Bitmap bm(w, h);
+  bm.FillRect(image::Rect{0, 0, w / 2, h / 2}, ink);
+  return image::Image::FromBitmap(std::move(bm)).Serialize();
+}
+
+ObjectWorkspace TourWorkspace() {
+  ObjectWorkspace ws("city-tour");
+  ws.SetSynthesis(R"(@MODE visual
+@LAYOUT 40 10
+.TITLE City Tour
+.PP
+Welcome to the tour of the old town and its squares.
+@IMAGE map
+@TRANSPARENCY overlay_a
+@TRANSPARENCY overlay_b
+@METHOD separate
+@OVERWRITE footprints
+@PROCESS 500 2
+)");
+  ws.AddDataFile("map", storage::DataType::kImage,
+                 SerializedBitmap(64, 48, 120));
+  ws.AddDataFile("overlay_a", storage::DataType::kImage,
+                 SerializedBitmap(64, 48, 200));
+  ws.AddDataFile("overlay_b", storage::DataType::kImage,
+                 SerializedBitmap(64, 48, 250));
+  ws.AddDataFile("footprints", storage::DataType::kImage,
+                 SerializedBitmap(64, 48, 90));
+  return ws;
+}
+
+TEST(ObjectFormatterTest, BuildsTextAndImageParts) {
+  ObjectFormatter formatter;
+  auto obj = formatter.Format(TourWorkspace(), 7);
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->id(), 7u);
+  EXPECT_EQ(obj->state(), object::ObjectState::kEditing);
+  EXPECT_TRUE(obj->has_text());
+  EXPECT_EQ(obj->images().size(), 4u);
+  EXPECT_EQ(obj->descriptor().driving_mode, DrivingMode::kVisual);
+  EXPECT_EQ(obj->descriptor().layout.width, 40);
+}
+
+TEST(ObjectFormatterTest, PageSequenceTextThenDirectives) {
+  ObjectFormatter formatter;
+  auto obj = formatter.Format(TourWorkspace(), 7);
+  ASSERT_TRUE(obj.ok());
+  const auto& pages = obj->descriptor().pages;
+  // Text pages come first (text_page != 0), then 4 directive pages.
+  ASSERT_GE(pages.size(), 5u);
+  const size_t text_pages = pages.size() - 4;
+  for (size_t i = 0; i < text_pages; ++i) {
+    EXPECT_EQ(pages[i].kind, VisualPageSpec::Kind::kNormal);
+    EXPECT_EQ(pages[i].text_page, static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_EQ(pages[text_pages].kind, VisualPageSpec::Kind::kNormal);
+  EXPECT_EQ(pages[text_pages + 1].kind,
+            VisualPageSpec::Kind::kTransparency);
+  EXPECT_EQ(pages[text_pages + 2].kind,
+            VisualPageSpec::Kind::kTransparency);
+  EXPECT_EQ(pages[text_pages + 3].kind, VisualPageSpec::Kind::kOverwrite);
+}
+
+TEST(ObjectFormatterTest, TransparencySetCollected) {
+  ObjectFormatter formatter;
+  auto obj = formatter.Format(TourWorkspace(), 7);
+  ASSERT_TRUE(obj.ok());
+  const auto& sets = obj->descriptor().transparency_sets;
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].count, 2u);
+  // @METHOD separate was declared while the set was open.
+  EXPECT_EQ(sets[0].method, TransparencyDisplay::kSeparate);
+}
+
+TEST(ObjectFormatterTest, ProcessSimulationCoversTrailingPages) {
+  ObjectFormatter formatter;
+  auto obj = formatter.Format(TourWorkspace(), 7);
+  ASSERT_TRUE(obj.ok());
+  const auto& sims = obj->descriptor().process_simulations;
+  ASSERT_EQ(sims.size(), 1u);
+  EXPECT_EQ(sims[0].count, 2u);
+  EXPECT_EQ(sims[0].first_page + sims[0].count,
+            obj->descriptor().pages.size());
+  EXPECT_EQ(sims[0].page_interval, MillisToMicros(500));
+}
+
+TEST(ObjectFormatterTest, FormattedObjectArchivesCleanly) {
+  ObjectFormatter formatter;
+  auto obj = formatter.Format(TourWorkspace(), 7);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->Archive().ok());
+}
+
+TEST(ObjectFormatterTest, DraftDataFileBlocksFormatting) {
+  ObjectWorkspace ws("draft");
+  ws.SetSynthesis("@IMAGE pic\n");
+  ws.AddDraftDataFile("pic", storage::DataType::kImage,
+                      SerializedBitmap(8, 8, 99));
+  ObjectFormatter formatter;
+  EXPECT_TRUE(formatter.Format(ws, 1).status().IsFailedPrecondition());
+  ASSERT_TRUE(ws.FinalizeDataFile("pic").ok());
+  EXPECT_TRUE(formatter.Format(ws, 1).ok());
+}
+
+TEST(ObjectFormatterTest, MissingDataFileReported) {
+  ObjectWorkspace ws("missing");
+  ws.SetSynthesis("@IMAGE ghost\n");
+  ObjectFormatter formatter;
+  EXPECT_TRUE(formatter.Format(ws, 1).status().IsNotFound());
+}
+
+TEST(ObjectFormatterTest, CorruptDataFileReported) {
+  ObjectWorkspace ws("corrupt");
+  ws.SetSynthesis("@IMAGE junk\n");
+  ws.AddDataFile("junk", storage::DataType::kImage, "not an image");
+  ObjectFormatter formatter;
+  EXPECT_FALSE(formatter.Format(ws, 1).ok());
+}
+
+TEST(ObjectFormatterTest, ProcessBiggerThanPagesRejected) {
+  ObjectWorkspace ws("bad-process");
+  ws.SetSynthesis("@PROCESS 100 5\n");
+  ObjectFormatter formatter;
+  EXPECT_TRUE(formatter.Format(ws, 1).status().IsInvalidArgument());
+}
+
+TEST(ObjectFormatterTest, TextOnlyWorkspace) {
+  ObjectWorkspace ws("text-only");
+  ws.SetSynthesis(".PP\nplain paragraph text here\n");
+  ObjectFormatter formatter;
+  auto obj = formatter.Format(ws, 2);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->has_text());
+  EXPECT_TRUE(obj->images().empty());
+  EXPECT_GE(obj->descriptor().pages.size(), 1u);
+}
+
+TEST(ObjectFormatterTest, WorkspaceReadDataFile) {
+  ObjectWorkspace ws("rw");
+  ws.AddDataFile("a", storage::DataType::kText, "payload");
+  auto read = ws.ReadDataFile("a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "payload");
+  EXPECT_TRUE(ws.ReadDataFile("b").status().IsNotFound());
+}
+
+TEST(ObjectFormatterTest, WorkspaceArchiverReferenceIsNotLocal) {
+  ObjectWorkspace ws("ref");
+  ws.ReferenceArchiverData("shared", storage::DataType::kImage,
+                           storage::ArchiveAddress{100, 50});
+  EXPECT_TRUE(ws.ReadDataFile("shared").status().IsNotFound());
+  auto e = ws.directory().Find("shared");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->location, storage::DataLocation::kArchiver);
+}
+
+}  // namespace
+}  // namespace minos::format

@@ -1,0 +1,211 @@
+#include "minos/voice/pause.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::voice {
+namespace {
+
+VoiceTrack MakeTrack(std::string_view markup, SpeakerParams params = {}) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(markup);
+  EXPECT_TRUE(doc.ok());
+  SpeechSynthesizer synth(params);
+  auto track = synth.Synthesize(*doc);
+  EXPECT_TRUE(track.ok());
+  return std::move(track).value();
+}
+
+constexpr char kSpeech[] =
+    ".PP\nThe quick brown fox jumps over the lazy dog today. Pack my box "
+    "with five dozen liquor jugs now.\n"
+    ".PP\nHow vexingly quick daft zebras jump around. Sphinx of black "
+    "quartz judge my vow.\n"
+    ".PP\nFinal paragraph with several closing words here.\n";
+
+TEST(PauseDetectorTest, DetectsMostTrueSilences) {
+  const VoiceTrack track = MakeTrack(kSpeech);
+  PauseDetector detector;
+  const std::vector<Pause> pauses = detector.Detect(track.pcm);
+  // Every synthesized silence >= min_pause should be found (energy floor
+  // is far below the threshold).
+  size_t expected = 0;
+  const size_t min_pause =
+      track.pcm.MicrosToSamples(static_cast<Micros>(
+          detector.params().min_pause_ms * 1000));
+  for (const SilenceTruth& s : track.silences) {
+    if (s.samples.length() >= 2 * min_pause) ++expected;
+  }
+  EXPECT_GE(pauses.size(), expected * 8 / 10);
+}
+
+TEST(PauseDetectorTest, PausesAlignWithTrueSilences) {
+  const VoiceTrack track = MakeTrack(kSpeech);
+  PauseDetector detector;
+  const std::vector<Pause> pauses = detector.Detect(track.pcm);
+  ASSERT_FALSE(pauses.empty());
+  int aligned = 0;
+  for (const Pause& p : pauses) {
+    const size_t mid = p.samples.begin + p.length() / 2;
+    for (const SilenceTruth& s : track.silences) {
+      if (s.samples.Contains(mid)) {
+        ++aligned;
+        break;
+      }
+    }
+  }
+  // At least 90% of detected pauses sit inside a true silence.
+  EXPECT_GE(aligned * 10, static_cast<int>(pauses.size()) * 9);
+}
+
+TEST(PauseDetectorTest, PausesAreOrderedAndDisjoint) {
+  const VoiceTrack track = MakeTrack(kSpeech);
+  PauseDetector detector;
+  const std::vector<Pause> pauses = detector.Detect(track.pcm);
+  for (size_t i = 1; i < pauses.size(); ++i) {
+    EXPECT_GE(pauses[i].samples.begin, pauses[i - 1].samples.end);
+  }
+}
+
+TEST(PauseDetectorTest, EmptyBufferNoPauses) {
+  PcmBuffer pcm(8000);
+  PauseDetector detector;
+  EXPECT_TRUE(detector.Detect(pcm).empty());
+}
+
+TEST(PauseDetectorTest, AllSilenceIsOnePause) {
+  PcmBuffer pcm(8000);
+  pcm.AppendConstant(8000, 0);
+  PauseDetector detector;
+  const auto pauses = detector.Detect(pcm);
+  ASSERT_EQ(pauses.size(), 1u);
+  EXPECT_EQ(pauses[0].samples.begin, 0u);
+  EXPECT_EQ(pauses[0].samples.end, 8000u);
+}
+
+TEST(PauseContextTest, SplitsShortFromLong) {
+  const VoiceTrack track = MakeTrack(kSpeech);
+  PauseDetector detector;
+  const auto pauses = detector.Detect(track.pcm);
+  const PauseContext ctx = detector.SampleContext(
+      track.pcm, pauses, track.pcm.size() / 2, track.pcm.size());
+  EXPECT_GT(ctx.sampled_pauses, 4u);
+  EXPECT_GT(ctx.long_mean_ms, ctx.short_mean_ms);
+  EXPECT_GT(ctx.split_ms, ctx.short_mean_ms);
+  EXPECT_LT(ctx.split_ms, ctx.long_mean_ms);
+  // With default speaker params, word pauses ~70ms, paragraph ~950ms.
+  EXPECT_LT(ctx.short_mean_ms, 400.0);
+  EXPECT_GT(ctx.long_mean_ms, 300.0);
+}
+
+TEST(PauseContextTest, EmptyPausesYieldEmptyContext) {
+  PcmBuffer pcm(8000);
+  pcm.AppendConstant(100, 20000);
+  PauseDetector detector;
+  const PauseContext ctx = detector.SampleContext(pcm, {}, 0, 100);
+  EXPECT_EQ(ctx.sampled_pauses, 0u);
+  EXPECT_DOUBLE_EQ(ctx.split_ms, 0.0);
+}
+
+class RewindTest : public ::testing::Test {
+ protected:
+  RewindTest() : track_(MakeTrack(kSpeech)) {
+    pauses_ = detector_.Detect(track_.pcm);
+    context_ = detector_.SampleContext(track_.pcm, pauses_,
+                                       track_.pcm.size(), track_.pcm.size());
+  }
+  VoiceTrack track_;
+  PauseDetector detector_;
+  std::vector<Pause> pauses_;
+  PauseContext context_;
+};
+
+TEST_F(RewindTest, OneShortPauseBackLandsJustBehind) {
+  const size_t from = track_.pcm.size();
+  auto target = detector_.RewindPauses(track_.pcm, pauses_, context_, from,
+                                       1, PauseKind::kShort);
+  ASSERT_TRUE(target.ok());
+  EXPECT_LT(*target, from);
+  // The landing point is the end of a detected pause.
+  bool is_pause_end = false;
+  for (const Pause& p : pauses_) {
+    if (p.samples.end == *target) is_pause_end = true;
+  }
+  EXPECT_TRUE(is_pause_end);
+}
+
+TEST_F(RewindTest, MorePausesRewindFurther) {
+  const size_t from = track_.pcm.size();
+  auto one = detector_.RewindPauses(track_.pcm, pauses_, context_, from, 1,
+                                    PauseKind::kShort);
+  auto three = detector_.RewindPauses(track_.pcm, pauses_, context_, from,
+                                      3, PauseKind::kShort);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_LT(*three, *one);
+}
+
+TEST_F(RewindTest, LongPauseRewindSkipsWordPauses) {
+  const size_t from = track_.pcm.size();
+  auto long_rewind = detector_.RewindPauses(track_.pcm, pauses_, context_,
+                                            from, 1, PauseKind::kLong);
+  ASSERT_TRUE(long_rewind.ok());
+  // The long pause is the paragraph boundary; its landing point is close
+  // to a truth silence of level >= 1.
+  bool near_boundary = false;
+  for (const SilenceTruth& s : track_.silences) {
+    if (s.level >= 1) {
+      const int64_t d = static_cast<int64_t>(*long_rewind) -
+                        static_cast<int64_t>(s.samples.end);
+      if (d >= -2000 && d <= 2000) near_boundary = true;
+    }
+  }
+  EXPECT_TRUE(near_boundary);
+}
+
+TEST_F(RewindTest, TooManyPausesIsOutOfRange) {
+  auto target = detector_.RewindPauses(track_.pcm, pauses_, context_,
+                                       track_.pcm.size(), 10000,
+                                       PauseKind::kShort);
+  EXPECT_TRUE(target.status().IsOutOfRange());
+}
+
+TEST_F(RewindTest, InvalidCountRejected) {
+  auto target = detector_.RewindPauses(track_.pcm, pauses_, context_, 100,
+                                       0, PauseKind::kShort);
+  EXPECT_TRUE(target.status().IsInvalidArgument());
+}
+
+TEST_F(RewindTest, RewindFromStartIsOutOfRange) {
+  auto target = detector_.RewindPauses(track_.pcm, pauses_, context_, 0, 1,
+                                       PauseKind::kShort);
+  EXPECT_TRUE(target.status().IsOutOfRange());
+}
+
+// Sweep: detection keeps working across speaker rates and noise floors.
+struct SpeakerCase {
+  double word_pause_ms;
+  double noise_floor;
+};
+
+class PauseSweep : public ::testing::TestWithParam<SpeakerCase> {};
+
+TEST_P(PauseSweep, DetectionSurvivesSpeakerVariation) {
+  SpeakerParams params;
+  params.word_pause_ms = GetParam().word_pause_ms;
+  params.noise_floor = GetParam().noise_floor;
+  const VoiceTrack track = MakeTrack(kSpeech, params);
+  PauseDetector detector;
+  const auto pauses = detector.Detect(track.pcm);
+  EXPECT_GT(pauses.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Speakers, PauseSweep,
+    ::testing::Values(SpeakerCase{50, 0.01}, SpeakerCase{80, 0.02},
+                      SpeakerCase{120, 0.03}, SpeakerCase{60, 0.04}));
+
+}  // namespace
+}  // namespace minos::voice

@@ -1,0 +1,340 @@
+#include "minos/core/presentation_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::core {
+namespace {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::Relevance;
+using object::RelevantObjectLink;
+using object::TextAnchor;
+using object::VisualPageSpec;
+
+/// An in-memory object library acting as the resolver.
+class ObjectLibrary {
+ public:
+  void Put(MultimediaObject obj) {
+    const storage::ObjectId id = obj.id();
+    objects_.emplace(id, std::move(obj));
+  }
+
+  PresentationManager::ObjectResolver Resolver() {
+    return [this](storage::ObjectId id) -> StatusOr<MultimediaObject> {
+      auto it = objects_.find(id);
+      if (it == objects_.end()) return Status::NotFound("no such object");
+      // Hand out a copy via the archival round trip, as a server would.
+      auto bytes = it->second.SerializeArchived();
+      if (!bytes.ok()) return bytes.status();
+      return MultimediaObject::DeserializeArchived(id, *bytes);
+    };
+  }
+
+ private:
+  std::map<storage::ObjectId, MultimediaObject> objects_;
+};
+
+text::Document ParseOrDie(std::string_view markup) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(markup);
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+MultimediaObject VisualObject(storage::ObjectId id,
+                              const std::string& body) {
+  MultimediaObject obj(id);
+  text::Document doc = ParseOrDie(".PP\n" + body + "\n");
+  obj.descriptor().layout.width = 40;
+  obj.descriptor().layout.height = 8;
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc)).ok());
+  VisualPageSpec page;
+  page.text_page = 1;
+  obj.descriptor().pages.push_back(page);
+  return obj;
+}
+
+MultimediaObject AudioObject(storage::ObjectId id,
+                             const std::string& body) {
+  MultimediaObject obj(id);
+  text::Document doc = ParseOrDie(".PP\n" + body + "\n");
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  auto track = synth.Synthesize(doc);
+  EXPECT_TRUE(track.ok());
+  voice::VoiceDocument vdoc(std::move(track).value());
+  EXPECT_TRUE(obj.SetVoicePart(std::move(vdoc)).ok());
+  obj.descriptor().driving_mode = DrivingMode::kAudio;
+  return obj;
+}
+
+image::Image SubwayMap() {
+  image::GraphicsImage g(300, 200);
+  image::GraphicsObject station;
+  station.shape = image::ShapeKind::kCircle;
+  station.vertices = {{60, 60}};
+  station.radius = 6;
+  station.label = {image::LabelKind::kVoice, "union station", {60, 50}};
+  g.Add(station);
+  image::GraphicsObject hospital;
+  hospital.shape = image::ShapeKind::kPolygon;
+  hospital.vertices = {{200, 100}, {240, 100}, {240, 140}, {200, 140}};
+  hospital.label = {image::LabelKind::kText, "city hospital", {220, 95}};
+  g.Add(hospital);
+  image::GraphicsObject river;
+  river.shape = image::ShapeKind::kPolyline;
+  river.vertices = {{0, 180}, {150, 170}, {299, 185}};
+  g.Add(river);
+  return image::Image::FromGraphics(std::move(g));
+}
+
+class PresentationManagerTest : public ::testing::Test {
+ protected:
+  PresentationManagerTest() : manager_(&screen_, &clock_) {
+    manager_.SetResolver(library_.Resolver());
+  }
+
+  render::Screen screen_;
+  SimClock clock_;
+  ObjectLibrary library_;
+  PresentationManager manager_;
+};
+
+TEST_F(PresentationManagerTest, OpenRequiresResolver) {
+  PresentationManager bare(&screen_, &clock_);
+  EXPECT_TRUE(bare.Open(1).IsFailedPrecondition());
+}
+
+TEST_F(PresentationManagerTest, OpenVisualObject) {
+  MultimediaObject obj = VisualObject(1, "hello presentation manager");
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+  EXPECT_TRUE(manager_.is_open());
+  EXPECT_EQ(manager_.depth(), 1u);
+  auto mode = manager_.CurrentMode();
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(*mode, DrivingMode::kVisual);
+  EXPECT_NE(manager_.visual_browser(), nullptr);
+  EXPECT_EQ(manager_.audio_browser(), nullptr);
+  // The first page was presented.
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kPageShown).size(), 1u);
+}
+
+TEST_F(PresentationManagerTest, OpenAudioObject) {
+  MultimediaObject obj = AudioObject(2, "spoken record for the archive");
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(2).ok());
+  EXPECT_EQ(manager_.visual_browser(), nullptr);
+  ASSERT_NE(manager_.audio_browser(), nullptr);
+  EXPECT_TRUE(manager_.audio_browser()->Play().ok());
+}
+
+TEST_F(PresentationManagerTest, OpenMissingObject) {
+  EXPECT_TRUE(manager_.Open(99).IsNotFound());
+  EXPECT_FALSE(manager_.is_open());
+}
+
+TEST_F(PresentationManagerTest, EnterAndReturnRelevantObject) {
+  // Parent: visual; relevant object: audio — modes must switch and then
+  // be reestablished (§3).
+  MultimediaObject child =
+      AudioObject(20, "voice annotation about the survey area");
+  ASSERT_TRUE(child.Archive().ok());
+  library_.Put(std::move(child));
+
+  MultimediaObject parent =
+      VisualObject(10, "the survey area is shown with further notes");
+  RelevantObjectLink link;
+  link.target = 20;
+  link.indicator_label = "voice notes";
+  const size_t pos = parent.text_part().contents().find("survey");
+  link.parent_text_anchor = TextAnchor{pos, pos + 11};
+  parent.descriptor().relevant_objects.push_back(link);
+  ASSERT_TRUE(parent.Archive().ok());
+  library_.Put(std::move(parent));
+
+  ASSERT_TRUE(manager_.Open(10).ok());
+  const auto indicators = manager_.VisibleRelevantIndicators();
+  ASSERT_EQ(indicators.size(), 1u);
+  EXPECT_EQ(indicators[0], "voice notes");
+
+  ASSERT_TRUE(manager_.EnterRelevantObject(0).ok());
+  EXPECT_EQ(manager_.depth(), 2u);
+  auto mode = manager_.CurrentMode();
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(*mode, DrivingMode::kAudio);
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kRelevantEntered).size(), 1u);
+
+  ASSERT_TRUE(manager_.ReturnFromRelevantObject().ok());
+  EXPECT_EQ(manager_.depth(), 1u);
+  mode = manager_.CurrentMode();
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(*mode, DrivingMode::kVisual);
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kRelevantReturned).size(), 1u);
+}
+
+TEST_F(PresentationManagerTest, ReturnFromRootFails) {
+  MultimediaObject obj = VisualObject(1, "root only");
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+  EXPECT_TRUE(manager_.ReturnFromRelevantObject().IsFailedPrecondition());
+}
+
+TEST_F(PresentationManagerTest, EnterBadIndicatorIndex) {
+  MultimediaObject obj = VisualObject(1, "no links here");
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+  EXPECT_TRUE(manager_.EnterRelevantObject(0).IsOutOfRange());
+}
+
+TEST_F(PresentationManagerTest, RelevancesAvailableInsideLink) {
+  MultimediaObject child = AudioObject(20, "related speech plays here");
+  ASSERT_TRUE(child.Archive().ok());
+  const size_t half = child.voice_part().pcm().size() / 2;
+  library_.Put(std::move(child));
+
+  MultimediaObject parent = VisualObject(10, "parent section text");
+  RelevantObjectLink link;
+  link.target = 20;
+  link.indicator_label = "related voice";
+  link.parent_text_anchor = TextAnchor{0, 10};
+  Relevance rel;
+  rel.voice_span = object::VoiceAnchor{0, half};
+  link.relevances.push_back(rel);
+  parent.descriptor().relevant_objects.push_back(link);
+  ASSERT_TRUE(parent.Archive().ok());
+  library_.Put(std::move(parent));
+
+  ASSERT_TRUE(manager_.Open(10).ok());
+  EXPECT_TRUE(manager_.CurrentRelevances().empty());  // Root has none.
+  ASSERT_TRUE(manager_.EnterRelevantObject(0).ok());
+  EXPECT_EQ(manager_.CurrentRelevances().size(), 1u);
+
+  // Playing the voice relevance advances the clock by the span duration.
+  const Micros before = clock_.Now();
+  ASSERT_TRUE(manager_.PlayNextRelevantVoiceSegment().ok());
+  EXPECT_GT(clock_.Now(), before);
+  // Exhausted: wraps with OutOfRange.
+  EXPECT_TRUE(manager_.PlayNextRelevantVoiceSegment().IsOutOfRange());
+  // After the wrap the first relevance plays again.
+  EXPECT_TRUE(manager_.PlayNextRelevantVoiceSegment().ok());
+}
+
+TEST_F(PresentationManagerTest, ImageLabelFacilities) {
+  MultimediaObject obj = VisualObject(1, "map of the city follows");
+  EXPECT_TRUE(obj.AddImage(SubwayMap()).ok());
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+
+  // Pattern highlighting.
+  auto ids = manager_.HighlightLabelPattern(0, "hospital");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 1u);
+
+  // Inverse lookup: text label displayed, voice label played.
+  auto text_label = manager_.SelectObjectAt(0, 220, 120);
+  ASSERT_TRUE(text_label.ok());
+  EXPECT_EQ(*text_label, "city hospital");
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kLabelShown).size(), 2u);
+
+  const Micros before = clock_.Now();
+  // Click on the circle's ring (the station icon outline).
+  auto voice_label = manager_.SelectObjectAt(0, 66, 60);
+  ASSERT_TRUE(voice_label.ok());
+  EXPECT_EQ(*voice_label, "union station");
+  EXPECT_GT(clock_.Now(), before);  // Voice label actually played.
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kLabelPlayed).size(), 1u);
+
+  // Unlabeled object: NotFound.
+  EXPECT_TRUE(manager_.SelectObjectAt(0, 150, 170).status().IsNotFound());
+
+  // Play-all walks voice labels in id order.
+  ASSERT_TRUE(manager_.PlayAllVoiceLabels(0).ok());
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kLabelPlayed).size(), 2u);
+
+  // PlayVoiceLabel rejects text-labeled objects.
+  EXPECT_TRUE(manager_.PlayVoiceLabel(0, 2).IsInvalidArgument());
+}
+
+TEST_F(PresentationManagerTest, ViewCreationClampsToImage) {
+  MultimediaObject obj = VisualObject(1, "viewing a large image");
+  EXPECT_TRUE(obj.AddImage(SubwayMap()).ok());
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+  auto view = manager_.CreateView(0, image::Rect{250, 150, 100, 100});
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->rect(), (image::Rect{200, 100, 100, 100}));
+  EXPECT_TRUE(manager_.CreateView(9, image::Rect{}).status().IsOutOfRange());
+}
+
+TEST_F(PresentationManagerTest, TourPlaysStopsAndMessages) {
+  MultimediaObject obj = VisualObject(1, "tour of the old town");
+  EXPECT_TRUE(obj.AddImage(SubwayMap()).ok());
+  object::ObjectDescriptor::TourSpec tour;
+  tour.image_index = 0;
+  tour.view_width = 100;
+  tour.view_height = 80;
+  tour.positions = {{0, 0}, {40, 40}, {150, 60}};
+  tour.audio_messages = {"welcome to the tour", "", "this ends the tour"};
+  obj.descriptor().tours.push_back(tour);
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+
+  auto end = manager_.PlayTour(0);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, 3u);
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kTourStop).size(), 3u);
+  // Two stops had audio messages.
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kVoiceMessagePlayed).size(),
+            2u);
+  // The first stop's view covers the station -> its voice label played.
+  EXPECT_GE(manager_.log().OfKind(EventKind::kLabelPlayed).size(), 1u);
+  EXPECT_GT(clock_.Now(), 0);
+}
+
+TEST_F(PresentationManagerTest, TourInterruptionAndResume) {
+  MultimediaObject obj = VisualObject(1, "interruptible tour");
+  EXPECT_TRUE(obj.AddImage(SubwayMap()).ok());
+  object::ObjectDescriptor::TourSpec tour;
+  tour.image_index = 0;
+  tour.view_width = 50;
+  tour.view_height = 50;
+  tour.positions = {{0, 0}, {50, 50}, {100, 100}, {150, 120}};
+  obj.descriptor().tours.push_back(tour);
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+
+  // Play only the first two stops (the user interrupts).
+  auto paused = manager_.PlayTour(0, 0, 2);
+  ASSERT_TRUE(paused.ok());
+  EXPECT_EQ(*paused, 2u);
+  // Resume from where the tour stopped.
+  auto done = manager_.PlayTour(0, *paused);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(*done, 4u);
+  EXPECT_EQ(manager_.log().OfKind(EventKind::kTourStop).size(), 4u);
+}
+
+TEST_F(PresentationManagerTest, TourBadIndices) {
+  MultimediaObject obj = VisualObject(1, "no tours");
+  ASSERT_TRUE(obj.Archive().ok());
+  library_.Put(std::move(obj));
+  ASSERT_TRUE(manager_.Open(1).ok());
+  EXPECT_TRUE(manager_.PlayTour(0).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace minos::core

@@ -1,0 +1,133 @@
+#include "minos/image/raster.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::image {
+namespace {
+
+int InkedPixels(const Bitmap& bm) {
+  int count = 0;
+  for (int y = 0; y < bm.height(); ++y) {
+    for (int x = 0; x < bm.width(); ++x) {
+      if (bm.At(x, y) > 0) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(RasterTest, HorizontalLine) {
+  Bitmap bm(10, 3);
+  DrawLine(&bm, {0, 1}, {9, 1}, 255);
+  for (int x = 0; x < 10; ++x) EXPECT_EQ(bm.At(x, 1), 255);
+  EXPECT_EQ(InkedPixels(bm), 10);
+}
+
+TEST(RasterTest, DiagonalLineEndpoints) {
+  Bitmap bm(10, 10);
+  DrawLine(&bm, {0, 0}, {9, 9}, 200);
+  EXPECT_EQ(bm.At(0, 0), 200);
+  EXPECT_EQ(bm.At(9, 9), 200);
+  EXPECT_EQ(InkedPixels(bm), 10);
+}
+
+TEST(RasterTest, LineClipsSafely) {
+  Bitmap bm(5, 5);
+  DrawLine(&bm, {-10, 2}, {20, 2}, 255);  // No crash; clipped.
+  EXPECT_EQ(bm.At(0, 2), 255);
+  EXPECT_EQ(bm.At(4, 2), 255);
+}
+
+TEST(RasterTest, CircleOutlineSymmetric) {
+  Bitmap bm(21, 21);
+  DrawCircle(&bm, {10, 10}, 8, 255);
+  EXPECT_EQ(bm.At(18, 10), 255);
+  EXPECT_EQ(bm.At(2, 10), 255);
+  EXPECT_EQ(bm.At(10, 18), 255);
+  EXPECT_EQ(bm.At(10, 2), 255);
+  EXPECT_EQ(bm.At(10, 10), 0);  // Hollow.
+}
+
+TEST(RasterTest, FillCircleCoversInterior) {
+  Bitmap bm(21, 21);
+  FillCircle(&bm, {10, 10}, 5, 255);
+  EXPECT_EQ(bm.At(10, 10), 255);
+  EXPECT_EQ(bm.At(13, 10), 255);
+  EXPECT_EQ(bm.At(17, 10), 0);
+  // Area roughly pi r^2.
+  EXPECT_NEAR(InkedPixels(bm), 3.14159 * 25, 12);
+}
+
+TEST(RasterTest, ZeroRadiusCircleIsAPoint) {
+  Bitmap bm(5, 5);
+  DrawCircle(&bm, {2, 2}, 0, 255);
+  EXPECT_EQ(bm.At(2, 2), 255);
+  EXPECT_EQ(InkedPixels(bm), 1);
+}
+
+TEST(RasterTest, PolygonOutlineClosed) {
+  Bitmap bm(20, 20);
+  DrawPolygon(&bm, {{2, 2}, {17, 2}, {17, 17}, {2, 17}}, 255);
+  EXPECT_EQ(bm.At(10, 2), 255);   // Top edge.
+  EXPECT_EQ(bm.At(2, 10), 255);   // Left edge (closing segment).
+  EXPECT_EQ(bm.At(10, 10), 0);    // Interior empty.
+}
+
+TEST(RasterTest, FillPolygonEvenOdd) {
+  Bitmap bm(20, 20);
+  FillPolygon(&bm, {{2, 2}, {17, 2}, {17, 17}, {2, 17}}, 100);
+  EXPECT_EQ(bm.At(10, 10), 100);
+  EXPECT_EQ(bm.At(1, 1), 0);
+  EXPECT_EQ(bm.At(18, 18), 0);
+}
+
+TEST(RasterTest, FillTriangle) {
+  Bitmap bm(20, 20);
+  FillPolygon(&bm, {{0, 0}, {19, 0}, {0, 19}}, 255);
+  EXPECT_EQ(bm.At(3, 3), 255);     // Inside.
+  EXPECT_EQ(bm.At(15, 15), 0);     // Outside the hypotenuse.
+}
+
+TEST(RasterTest, PolylineOpen) {
+  Bitmap bm(20, 20);
+  DrawPolyline(&bm, {{0, 0}, {19, 0}, {19, 19}}, 255);
+  EXPECT_EQ(bm.At(10, 0), 255);
+  EXPECT_EQ(bm.At(19, 10), 255);
+  EXPECT_EQ(bm.At(10, 10), 0);  // No closing segment.
+}
+
+TEST(RasterTest, RenderObjectDispatch) {
+  Bitmap bm(30, 30);
+  GraphicsObject circle;
+  circle.shape = ShapeKind::kCircle;
+  circle.vertices = {{15, 15}};
+  circle.radius = 5;
+  circle.filled = true;
+  circle.ink = 200;
+  RenderObject(&bm, circle);
+  EXPECT_EQ(bm.At(15, 15), 200);
+}
+
+TEST(RasterTest, RasterizeWholeImage) {
+  GraphicsImage img(40, 40);
+  GraphicsObject box;
+  box.shape = ShapeKind::kPolygon;
+  box.vertices = {{5, 5}, {35, 5}, {35, 35}, {5, 35}};
+  img.Add(box);
+  const Bitmap bm = Rasterize(img);
+  EXPECT_EQ(bm.width(), 40);
+  EXPECT_EQ(bm.At(20, 5), 255);
+}
+
+TEST(RasterTest, RasterizeHighlightsDrawHalo) {
+  GraphicsImage img(40, 40);
+  GraphicsObject dot;
+  dot.shape = ShapeKind::kPoint;
+  dot.vertices = {{20, 20}};
+  const uint32_t id = img.Add(dot);
+  const Bitmap plain = Rasterize(img);
+  const Bitmap highlighted = Rasterize(img, {id});
+  EXPECT_GT(InkedPixels(highlighted), InkedPixels(plain));
+}
+
+}  // namespace
+}  // namespace minos::image

@@ -1,0 +1,146 @@
+#include "minos/voice/recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+
+namespace minos::voice {
+namespace {
+
+VoiceTrack SpeechAboutMaps() {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(
+      ".PP\nThe map shows the hospital near the university. The map also "
+      "shows the subway station and another hospital. The university "
+      "campus appears twice on the map today.\n");
+  EXPECT_TRUE(doc.ok());
+  SpeechSynthesizer synth{SpeakerParams{}};
+  auto track = synth.Synthesize(*doc);
+  EXPECT_TRUE(track.ok());
+  return std::move(track).value();
+}
+
+TEST(RecognizerTest, PerfectRecognizerSpotsEveryVocabularyWord) {
+  RecognizerParams params;
+  params.hit_rate = 1.0;
+  params.false_alarm_rate = 0.0;
+  Recognizer recognizer({"map", "hospital", "university"}, params);
+  const VoiceTrack track = SpeechAboutMaps();
+  const RecognitionResult result = recognizer.Recognize(track);
+  int maps = 0, hospitals = 0, universities = 0;
+  for (const RecognizedUtterance& u : result.utterances) {
+    EXPECT_TRUE(u.correct);
+    if (u.word == "map") ++maps;
+    if (u.word == "hospital") ++hospitals;
+    if (u.word == "university") ++universities;
+  }
+  EXPECT_EQ(maps, 3);
+  EXPECT_EQ(hospitals, 2);
+  EXPECT_EQ(universities, 2);
+}
+
+TEST(RecognizerTest, UtterancePositionsMatchAlignment) {
+  RecognizerParams params;
+  params.hit_rate = 1.0;
+  params.false_alarm_rate = 0.0;
+  Recognizer recognizer({"map"}, params);
+  const VoiceTrack track = SpeechAboutMaps();
+  const RecognitionResult result = recognizer.Recognize(track);
+  for (const RecognizedUtterance& u : result.utterances) {
+    bool found = false;
+    for (const WordAlignment& w : track.words) {
+      if (w.samples.begin == u.sample_position) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RecognizerTest, MissRateReducesHits) {
+  RecognizerParams strict;
+  strict.hit_rate = 1.0;
+  strict.false_alarm_rate = 0.0;
+  RecognizerParams lossy = strict;
+  lossy.hit_rate = 0.3;
+  const VoiceTrack track = SpeechAboutMaps();
+  const auto full =
+      Recognizer({"the"}, strict).Recognize(track).utterances.size();
+  const auto partial =
+      Recognizer({"the"}, lossy).Recognize(track).utterances.size();
+  EXPECT_LT(partial, full);
+}
+
+TEST(RecognizerTest, FalseAlarmsMarkedIncorrect) {
+  RecognizerParams params;
+  params.hit_rate = 0.0;
+  params.false_alarm_rate = 1.0;  // Every non-vocab word misfires.
+  Recognizer recognizer({"map"}, params);
+  const VoiceTrack track = SpeechAboutMaps();
+  const RecognitionResult result = recognizer.Recognize(track);
+  EXPECT_FALSE(result.utterances.empty());
+  for (const RecognizedUtterance& u : result.utterances) {
+    EXPECT_FALSE(u.correct);
+    EXPECT_EQ(u.word, "map");  // Only vocabulary words are reported.
+  }
+}
+
+TEST(RecognizerTest, CpuCostProportionalToWords) {
+  RecognizerParams params;
+  params.cpu_cost_per_word = MillisToMicros(100);
+  Recognizer recognizer({"map"}, params);
+  const VoiceTrack track = SpeechAboutMaps();
+  const RecognitionResult result = recognizer.Recognize(track);
+  EXPECT_EQ(result.words_seen, track.words.size());
+  EXPECT_EQ(result.cpu_cost,
+            MillisToMicros(100) *
+                static_cast<Micros>(track.words.size()));
+}
+
+TEST(RecognizerTest, DeterministicForSeed) {
+  RecognizerParams params;
+  params.hit_rate = 0.5;
+  Recognizer recognizer({"map", "the"}, params);
+  const VoiceTrack track = SpeechAboutMaps();
+  const auto a = recognizer.Recognize(track);
+  const auto b = recognizer.Recognize(track);
+  ASSERT_EQ(a.utterances.size(), b.utterances.size());
+  for (size_t i = 0; i < a.utterances.size(); ++i) {
+    EXPECT_EQ(a.utterances[i].word, b.utterances[i].word);
+    EXPECT_EQ(a.utterances[i].sample_position,
+              b.utterances[i].sample_position);
+  }
+}
+
+TEST(RecognizerTest, VocabularyCaseFoldedAndDeduped) {
+  Recognizer recognizer({"Map", "MAP", "map"}, RecognizerParams{});
+  EXPECT_EQ(recognizer.vocabulary().size(), 1u);
+}
+
+TEST(RecognizerTest, BuildIndexUsesTextAccessMethods) {
+  RecognizerParams params;
+  params.hit_rate = 1.0;
+  params.false_alarm_rate = 0.0;
+  Recognizer recognizer({"map", "hospital"}, params);
+  const VoiceTrack track = SpeechAboutMaps();
+  const RecognitionResult result = recognizer.Recognize(track);
+  // The index is a text::WordIndex — the same access method as for text.
+  text::WordIndex index = Recognizer::BuildIndex(result.utterances);
+  EXPECT_EQ(index.Positions("map").size(), 3u);
+  EXPECT_EQ(index.Positions("hospital").size(), 2u);
+  auto first = index.NextOccurrence("map", 0);
+  ASSERT_TRUE(first.ok());
+  auto second = index.NextOccurrence("map", *first + 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(*second, *first);
+}
+
+TEST(RecognizerTest, EmptyVocabularyRecognizesNothing) {
+  Recognizer recognizer({}, RecognizerParams{});
+  const VoiceTrack track = SpeechAboutMaps();
+  EXPECT_TRUE(recognizer.Recognize(track).utterances.empty());
+}
+
+}  // namespace
+}  // namespace minos::voice

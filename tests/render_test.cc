@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "minos/render/export.h"
+#include "minos/render/font5x7.h"
+#include "minos/render/screen.h"
+#include "minos/text/markup.h"
+
+namespace minos::render {
+namespace {
+
+using image::Bitmap;
+using image::Rect;
+
+int InkedPixels(const Bitmap& bm, const Rect& r) {
+  int count = 0;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      if (bm.At(x, y) > 0) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(FontTest, GlyphsNonEmptyForPrintable) {
+  for (char c = '!'; c <= '~'; ++c) {
+    const uint8_t* glyph = Font5x7::Glyph(c);
+    int bits = 0;
+    for (int i = 0; i < 5; ++i) bits += __builtin_popcount(glyph[i]);
+    EXPECT_GT(bits, 0) << "glyph for '" << c << "' is blank";
+  }
+}
+
+TEST(FontTest, SpaceIsBlank) {
+  const uint8_t* glyph = Font5x7::Glyph(' ');
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(glyph[i], 0);
+  // Out-of-range characters render as space.
+  EXPECT_EQ(Font5x7::Glyph('\x7F'), Font5x7::Glyph(' '));
+}
+
+TEST(FontTest, DrawCharInksPixels) {
+  Bitmap bm(10, 10);
+  Font5x7::DrawChar(&bm, 0, 0, 'A', 255);
+  EXPECT_GT(InkedPixels(bm, Rect{0, 0, 10, 10}), 5);
+}
+
+TEST(FontTest, BoldThickerThanPlain) {
+  Bitmap plain(10, 10), bold(10, 10);
+  Font5x7::DrawChar(&plain, 0, 0, 'I', 255, false);
+  Font5x7::DrawChar(&bold, 0, 0, 'I', 255, true);
+  EXPECT_GT(InkedPixels(bold, Rect{0, 0, 10, 10}),
+            InkedPixels(plain, Rect{0, 0, 10, 10}));
+}
+
+TEST(FontTest, UnderlineAddsRow) {
+  Bitmap bm(10, 12);
+  Font5x7::DrawChar(&bm, 0, 0, 'x', 255, false, true);
+  int row_ink = 0;
+  for (int x = 0; x < Font5x7::kCellWidth; ++x) {
+    if (bm.At(x, Font5x7::kGlyphHeight + 1) > 0) ++row_ink;
+  }
+  EXPECT_EQ(row_ink, Font5x7::kCellWidth);
+}
+
+TEST(FontTest, ScaledGlyphCoversScaledArea) {
+  Bitmap small(10, 10), big(20, 20);
+  Font5x7::DrawChar(&small, 0, 0, 'H', 255);
+  Font5x7::DrawStringScaled(&big, 0, 0, "H", 2, 255);
+  const int small_ink = InkedPixels(small, Rect{0, 0, 10, 10});
+  const int big_ink = InkedPixels(big, Rect{0, 0, 20, 20});
+  EXPECT_EQ(big_ink, 4 * small_ink);  // Each pixel becomes a 2x2 block.
+}
+
+TEST(FontTest, ScaledStringAdvancesByScaledCells) {
+  Bitmap bm(100, 30);
+  const int end = Font5x7::DrawStringScaled(&bm, 0, 0, "ab", 3, 255);
+  EXPECT_EQ(end, 2 * Font5x7::kCellWidth * 3);
+}
+
+TEST(FontTest, ScaleBelowOneClampsToOne) {
+  Bitmap a(10, 10), b(10, 10);
+  Font5x7::DrawStringScaled(&a, 0, 0, "x", 0, 255);
+  Font5x7::DrawStringScaled(&b, 0, 0, "x", 1, 255);
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(ScreenTest, DrawTextScaledInksMore) {
+  Screen plain_screen, scaled_screen;
+  plain_screen.DrawText(10, 10, "TITLE");
+  scaled_screen.DrawTextScaled(10, 10, "TITLE", 2);
+  EXPECT_GT(InkedPixels(scaled_screen.framebuffer(),
+                        scaled_screen.PageArea()),
+            InkedPixels(plain_screen.framebuffer(),
+                        plain_screen.PageArea()));
+}
+
+TEST(FontTest, DrawStringAdvances) {
+  Bitmap bm(100, 12);
+  const int end = Font5x7::DrawString(&bm, 0, 0, "abc", 255);
+  EXPECT_EQ(end, 3 * Font5x7::kCellWidth);
+}
+
+TEST(ScreenTest, RegionsPartitionTheScreen) {
+  Screen screen;
+  const Rect page = screen.PageArea();
+  const Rect menu = screen.MenuArea();
+  EXPECT_EQ(page.w + menu.w, screen.layout().width);
+  EXPECT_EQ(page.x, 0);
+  EXPECT_EQ(menu.x, page.w);
+  const Rect msg = screen.MessageArea();
+  const Rect lower = screen.LowerPageArea();
+  EXPECT_EQ(msg.h + lower.h, page.h);
+  EXPECT_EQ(lower.y, msg.h);
+}
+
+TEST(ScreenTest, ClearBlanksEverything) {
+  Screen screen;
+  screen.DrawText(10, 10, "hello");
+  EXPECT_GT(InkedPixels(screen.framebuffer(), screen.PageArea()), 0);
+  screen.Clear();
+  EXPECT_EQ(InkedPixels(screen.framebuffer(), screen.PageArea()), 0);
+}
+
+TEST(ScreenTest, DrawTextPageShowsContent) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\nvisible words on the page\n");
+  ASSERT_TRUE(doc.ok());
+  text::TextFormatter formatter(text::PageLayout{});
+  auto pages = formatter.Paginate(*doc);
+  ASSERT_TRUE(pages.ok());
+  Screen screen;
+  screen.DrawTextPage((*pages)[0], screen.PageArea());
+  EXPECT_GT(InkedPixels(screen.framebuffer(), screen.PageArea()), 50);
+}
+
+TEST(ScreenTest, MenuDrawsOptions) {
+  Screen screen;
+  screen.SetMenu({"next page", "prev page", "find"});
+  EXPECT_GT(InkedPixels(screen.framebuffer(), screen.MenuArea()), 50);
+}
+
+TEST(ScreenTest, MenuOverflowTruncates) {
+  Screen screen;
+  std::vector<std::string> many(100, "option");
+  screen.SetMenu(many);  // Must not crash or draw outside the strip.
+  const Rect page = screen.PageArea();
+  EXPECT_EQ(InkedPixels(screen.framebuffer(), page), 0);
+}
+
+TEST(ScreenTest, DigestChangesWithContent) {
+  Screen screen;
+  const uint64_t blank = screen.Digest();
+  screen.DrawText(5, 5, "x");
+  EXPECT_NE(screen.Digest(), blank);
+}
+
+TEST(ScreenTest, BitmapCompositingModes) {
+  Screen screen;
+  Bitmap base(10, 10);
+  base.FillRect(Rect{0, 0, 10, 10}, 100);
+  screen.DrawBitmap(base, Rect{0, 0, 10, 10});
+  Bitmap overlay(10, 10);
+  overlay.Set(0, 0, 50);
+  // Transparency: max(100, 50) = 100 stays.
+  screen.BlendBitmap(overlay, Rect{0, 0, 10, 10});
+  EXPECT_EQ(screen.framebuffer().At(0, 0), 100);
+  // Overwrite: inked 50 replaces 100, blanks leave rest.
+  screen.OverwriteBitmap(overlay, Rect{0, 0, 10, 10});
+  EXPECT_EQ(screen.framebuffer().At(0, 0), 50);
+  EXPECT_EQ(screen.framebuffer().At(5, 5), 100);
+}
+
+TEST(ScreenTest, PageSnapshotExcludesMenu) {
+  Screen screen;
+  screen.SetMenu({"option"});
+  const Bitmap snap = screen.PageSnapshot();
+  EXPECT_EQ(snap.width(), screen.PageArea().w);
+  EXPECT_EQ(InkedPixels(snap, Rect{0, 0, snap.width(), snap.height()}), 0);
+}
+
+TEST(ExportTest, AsciiArtDimensions) {
+  Bitmap bm(100, 50);
+  bm.FillRect(Rect{0, 0, 100, 50}, 255);
+  const std::string art = ToAscii(bm, 50);
+  ASSERT_FALSE(art.empty());
+  const size_t first_line = art.find('\n');
+  EXPECT_LE(first_line, 50u);
+  EXPECT_EQ(art[0], '@');  // Full ink maps to the darkest glyph.
+}
+
+TEST(ExportTest, AsciiBlankIsSpaces) {
+  Bitmap bm(20, 10);
+  const std::string art = ToAscii(bm, 20);
+  for (char c : art) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(ExportTest, PgmWriteSucceeds) {
+  Bitmap bm(8, 8);
+  bm.Set(1, 1, 255);
+  EXPECT_TRUE(WritePgm(bm, "/tmp/minos_render_test.pgm").ok());
+  EXPECT_TRUE(WritePgm(bm, "/nonexistent/dir/x.pgm").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace minos::render

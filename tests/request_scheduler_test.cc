@@ -1,0 +1,140 @@
+#include "minos/storage/request_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace minos::storage {
+namespace {
+
+BlockDevice MakeDevice(SimClock* clock) {
+  DeviceCostModel cost;
+  cost.seek_base = 100;
+  cost.seek_per_block = 1.0;
+  cost.rotational_latency = 0;
+  cost.transfer_per_block = 1;
+  return BlockDevice("d", 1000, 16, cost, false, clock);
+}
+
+std::vector<IoRequest> ThreeRequestsAtOnce() {
+  // All arrive at t=0; blocks 900, 50, 500.
+  return {{1, 900, 1, 0}, {2, 50, 1, 0}, {3, 500, 1, 0}};
+}
+
+std::vector<uint64_t> CompletionOrder(const std::vector<IoCompletion>& cs) {
+  std::vector<uint64_t> ids;
+  for (const IoCompletion& c : cs) ids.push_back(c.id);
+  return ids;
+}
+
+TEST(RequestSchedulerTest, FcfsServesInArrivalOrder) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kFcfs);
+  auto done = sched.Run(ThreeRequestsAtOnce());
+  EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(RequestSchedulerTest, SstfPicksNearestFirst) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kSstf);
+  // Head starts at 0: nearest is 50, then 500, then 900.
+  auto done = sched.Run(ThreeRequestsAtOnce());
+  EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{2, 3, 1}));
+}
+
+TEST(RequestSchedulerTest, ScanSweepsUpThenDown) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  // Seed head position at 400 by a direct read.
+  std::string scratch;
+  ASSERT_TRUE(dev.Read(399, 1, &scratch).ok());  // Head at 400.
+  RequestScheduler sched(&dev, SchedulingPolicy::kScan);
+  auto done = sched.Run(ThreeRequestsAtOnce());
+  // Sweep up from 400: 500, 900; then down: 50.
+  EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{3, 1, 2}));
+}
+
+TEST(RequestSchedulerTest, SstfBeatsFcfsOnTotalSeek) {
+  SimClock c1, c2;
+  BlockDevice d1 = MakeDevice(&c1);
+  BlockDevice d2 = MakeDevice(&c2);
+  // A seek-heavy pattern: alternating far ends.
+  std::vector<IoRequest> reqs;
+  for (uint64_t i = 0; i < 20; ++i) {
+    reqs.push_back({i, (i % 2 == 0) ? i * 10 : 900 - i * 10, 1, 0});
+  }
+  RequestScheduler fcfs(&d1, SchedulingPolicy::kFcfs);
+  RequestScheduler sstf(&d2, SchedulingPolicy::kSstf);
+  auto done_fcfs = fcfs.Run(reqs);
+  auto done_sstf = sstf.Run(reqs);
+  const QueueingStats sf = RequestScheduler::Summarize(reqs, done_fcfs);
+  const QueueingStats ss = RequestScheduler::Summarize(reqs, done_sstf);
+  EXPECT_LT(ss.makespan_us, sf.makespan_us);
+}
+
+TEST(RequestSchedulerTest, RespectsArrivalTimes) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kSstf);
+  // Request 2 is nearest but arrives much later; request 1 must go first.
+  std::vector<IoRequest> reqs = {{1, 800, 1, 0}, {2, 10, 1, 5000000}};
+  auto done = sched.Run(reqs);
+  EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{1, 2}));
+  // The second service cannot start before its arrival.
+  EXPECT_GE(done[1].start_time, 5000000);
+}
+
+TEST(RequestSchedulerTest, QueueingDelayGrowsWithLoad) {
+  auto run_with = [](int n) {
+    SimClock clock;
+    BlockDevice dev = MakeDevice(&clock);
+    RequestScheduler sched(&dev, SchedulingPolicy::kFcfs);
+    std::vector<IoRequest> reqs;
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back({static_cast<uint64_t>(i),
+                      static_cast<uint64_t>((i * 37) % 1000), 1, 0});
+    }
+    auto done = sched.Run(reqs);
+    return RequestScheduler::Summarize(reqs, done).mean_queueing_delay_us;
+  };
+  EXPECT_GT(run_with(32), run_with(4));
+}
+
+TEST(RequestSchedulerTest, EmptyBatch) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kScan);
+  auto done = sched.Run({});
+  EXPECT_TRUE(done.empty());
+  const QueueingStats s = RequestScheduler::Summarize({}, done);
+  EXPECT_EQ(s.makespan_us, 0);
+}
+
+TEST(RequestSchedulerTest, SummaryStatisticsConsistent) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kFcfs);
+  std::vector<IoRequest> reqs = ThreeRequestsAtOnce();
+  auto done = sched.Run(reqs);
+  const QueueingStats s = RequestScheduler::Summarize(reqs, done);
+  EXPECT_GT(s.mean_response_time_us, 0.0);
+  EXPECT_GE(s.mean_response_time_us, s.mean_queueing_delay_us);
+  EXPECT_GE(s.max_response_time_us, s.mean_response_time_us);
+  Micros last = 0;
+  for (const IoCompletion& c : done) {
+    EXPECT_GE(c.completion_time, last);
+    EXPECT_EQ(c.completion_time, c.start_time + c.service_time);
+    last = c.completion_time;
+  }
+}
+
+TEST(RequestSchedulerTest, PolicyNames) {
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kFcfs), "FCFS");
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kSstf), "SSTF");
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kScan), "SCAN");
+}
+
+}  // namespace
+}  // namespace minos::storage

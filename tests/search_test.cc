@@ -1,0 +1,157 @@
+#include "minos/text/search.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+#include "minos/util/random.h"
+
+namespace minos::text {
+namespace {
+
+TEST(FindAllTest, FindsAllOccurrences) {
+  const auto hits = FindAll("abracadabra", "abra");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 7u);
+}
+
+TEST(FindAllTest, OverlappingOccurrences) {
+  const auto hits = FindAll("aaaa", "aa");
+  ASSERT_EQ(hits.size(), 3u);
+}
+
+TEST(FindAllTest, EmptyPatternMatchesNothing) {
+  EXPECT_TRUE(FindAll("abc", "").empty());
+}
+
+TEST(FindAllTest, PatternLongerThanText) {
+  EXPECT_TRUE(FindAll("ab", "abc").empty());
+}
+
+TEST(FindAllTest, CaseSensitive) {
+  EXPECT_TRUE(FindAll("Hello", "hello").empty());
+  EXPECT_EQ(FindAll("Hello", "Hello").size(), 1u);
+}
+
+TEST(FindAllTest, MatchesAgainstNaiveSearch) {
+  Random rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text;
+    for (int i = 0; i < 500; ++i) {
+      text.push_back(static_cast<char>('a' + rng.Uniform(4)));
+    }
+    std::string pattern;
+    const size_t plen = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < plen; ++i) {
+      pattern.push_back(static_cast<char>('a' + rng.Uniform(4)));
+    }
+    // Naive reference.
+    std::vector<size_t> expected;
+    for (size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+      if (text.compare(i, pattern.size(), pattern) == 0) expected.push_back(i);
+    }
+    EXPECT_EQ(FindAll(text, pattern), expected) << pattern;
+  }
+}
+
+TEST(FindNextTest, StartsAtFrom) {
+  const std::string text = "one two one two one";
+  auto first = FindNext(text, "one", 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0u);
+  auto second = FindNext(text, "one", 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 8u);
+  EXPECT_TRUE(FindNext(text, "one", 17).status().IsNotFound());
+  EXPECT_TRUE(FindNext(text, "", 0).status().IsInvalidArgument());
+}
+
+TEST(FindPreviousTest, FindsStrictlyBefore) {
+  const std::string text = "one two one two one";
+  auto prev = FindPrevious(text, "one", 16);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(*prev, 8u);
+  auto prev2 = FindPrevious(text, "one", 8);
+  ASSERT_TRUE(prev2.ok());
+  EXPECT_EQ(*prev2, 0u);
+  EXPECT_TRUE(FindPrevious(text, "one", 0).status().IsNotFound());
+}
+
+class WordIndexTest : public ::testing::Test {
+ protected:
+  WordIndexTest() {
+    MarkupParser parser;
+    auto doc = parser.Parse(
+        ".PP\nThe map shows the hospital. The map also shows the "
+        "university campus.\n");
+    EXPECT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+    index_.Build(doc_);
+  }
+  Document doc_;
+  WordIndex index_;
+};
+
+TEST_F(WordIndexTest, PositionsSortedAndComplete) {
+  const auto& maps = index_.Positions("map");
+  ASSERT_EQ(maps.size(), 2u);
+  EXPECT_LT(maps[0], maps[1]);
+  EXPECT_EQ(doc_.contents().substr(maps[0], 3), "map");
+}
+
+TEST_F(WordIndexTest, CaseInsensitiveLookup) {
+  EXPECT_EQ(index_.Positions("THE").size(), index_.Positions("the").size());
+  EXPECT_GE(index_.Positions("the").size(), 4u);
+}
+
+TEST_F(WordIndexTest, PunctuationStripped) {
+  // "hospital." indexes as "hospital".
+  EXPECT_EQ(index_.Positions("hospital").size(), 1u);
+}
+
+TEST_F(WordIndexTest, NextOccurrence) {
+  const auto& maps = index_.Positions("map");
+  auto first = index_.NextOccurrence("map", 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, maps[0]);
+  auto second = index_.NextOccurrence("map", maps[0] + 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, maps[1]);
+  EXPECT_TRUE(
+      index_.NextOccurrence("map", maps[1] + 1).status().IsNotFound());
+  EXPECT_TRUE(index_.NextOccurrence("zebra", 0).status().IsNotFound());
+}
+
+TEST_F(WordIndexTest, PreviousOccurrence) {
+  const auto& maps = index_.Positions("map");
+  auto prev = index_.PreviousOccurrence("map", maps[1]);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(*prev, maps[0]);
+  EXPECT_TRUE(
+      index_.PreviousOccurrence("map", maps[0]).status().IsNotFound());
+}
+
+TEST_F(WordIndexTest, MissingWordIsEmpty) {
+  EXPECT_TRUE(index_.Positions("zebra").empty());
+}
+
+TEST(WordIndexPostingTest, OutOfOrderInsertsStaySorted) {
+  WordIndex index;
+  index.AddPosting("word", 100);
+  index.AddPosting("word", 50);
+  index.AddPosting("word", 75);
+  const auto& positions = index.Positions("word");
+  ASSERT_EQ(positions.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+}
+
+TEST(WordIndexPostingTest, VocabularySize) {
+  WordIndex index;
+  index.AddPosting("a", 1);
+  index.AddPosting("b", 2);
+  index.AddPosting("A", 3);  // Case-folds onto "a".
+  EXPECT_EQ(index.vocabulary_size(), 2u);
+}
+
+}  // namespace
+}  // namespace minos::text

@@ -1,0 +1,188 @@
+// Property sweeps across layouts, editing levels and speakers: the
+// symmetric-browsing discrepancy stays bounded by a page of characters;
+// reformatting after a synthesis change regenerates the presentation
+// form; the workstation can interrupt presentation and return to the
+// query interface.
+
+#include <gtest/gtest.h>
+
+#include "minos/core/audio_browser.h"
+#include "minos/core/visual_browser.h"
+#include "minos/format/object_formatter.h"
+#include "minos/server/object_server.h"
+#include "minos/server/workstation.h"
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+std::string ReportMarkup(int paragraphs) {
+  std::string markup = ".TITLE Sweep Report\n";
+  for (int i = 0; i < paragraphs; ++i) {
+    if (i % 4 == 0) {
+      markup += ".CHAPTER Part " + std::to_string(i / 4 + 1) + "\n";
+    }
+    markup += ".PP\n";
+    for (int s = 0; s < 3; ++s) {
+      markup += "Paragraph " + std::to_string(i) + " sentence " +
+                std::to_string(s) + " about browsing multimedia. ";
+    }
+    markup += "\n";
+  }
+  return markup;
+}
+
+struct SymmetryCase {
+  int layout_width;
+  int layout_height;
+  voice::EditingLevel level;
+  uint64_t speaker_seed;
+};
+
+class SymmetrySweep : public ::testing::TestWithParam<SymmetryCase> {};
+
+TEST_P(SymmetrySweep, UnitNavigationAgreesWithinOnePage) {
+  const SymmetryCase param = GetParam();
+  text::MarkupParser parser;
+  auto doc = parser.Parse(ReportMarkup(12));
+  ASSERT_TRUE(doc.ok());
+
+  MultimediaObject visual(1);
+  visual.descriptor().layout.width = param.layout_width;
+  visual.descriptor().layout.height = param.layout_height;
+  ASSERT_TRUE(visual.SetTextPart(*doc).ok());
+  auto formatted = core::FormatObjectText(visual);
+  ASSERT_TRUE(formatted.ok());
+  for (size_t i = 0; i < formatted->pages.size(); ++i) {
+    VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    visual.descriptor().pages.push_back(page);
+  }
+  ASSERT_TRUE(visual.Archive().ok());
+
+  voice::SpeakerParams speaker;
+  speaker.seed = param.speaker_seed;
+  voice::SpeechSynthesizer synth(speaker);
+  auto track = synth.Synthesize(*doc);
+  ASSERT_TRUE(track.ok());
+  voice::VoiceDocument vdoc(std::move(track).value());
+  vdoc.TagFromAlignment(*doc, param.level);
+  MultimediaObject audio(2);
+  audio.descriptor().driving_mode = object::DrivingMode::kAudio;
+  ASSERT_TRUE(audio.SetVoicePart(std::move(vdoc)).ok());
+  ASSERT_TRUE(audio.Archive().ok());
+
+  SimClock clock;
+  render::Screen screen;
+  core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+  core::EventLog vlog, alog;
+  auto vb = core::VisualBrowser::Open(&visual, &screen, &messages, &clock,
+                                      &vlog);
+  auto ab = core::AudioBrowser::Open(&audio, &screen, &messages, &clock,
+                                     &alog);
+  ASSERT_TRUE(vb.ok());
+  ASSERT_TRUE(ab.ok());
+
+  const size_t chars_per_page =
+      doc->size() / static_cast<size_t>((*vb)->page_count()) + 1;
+  // Walk chapters with the same command on both media.
+  for (int step = 0; step < 2; ++step) {
+    const Status vs = (*vb)->NextUnit(text::LogicalUnit::kChapter);
+    const Status as = (*ab)->NextUnit(text::LogicalUnit::kChapter);
+    ASSERT_EQ(vs.ok(), as.ok()) << vs.ToString() << " vs " << as.ToString();
+    if (!vs.ok()) break;
+    auto voice_text =
+        audio.voice_part().TextOffsetForSample((*ab)->position());
+    ASSERT_TRUE(voice_text.ok());
+    const int64_t delta =
+        static_cast<int64_t>((*vb)->current_text_offset()) -
+        static_cast<int64_t>(*voice_text);
+    EXPECT_LE(std::abs(delta), static_cast<int64_t>(2 * chars_per_page));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsLevelsSpeakers, SymmetrySweep,
+    ::testing::Values(
+        SymmetryCase{40, 8, voice::EditingLevel::kChapters, 1},
+        SymmetryCase{40, 8, voice::EditingLevel::kFull, 1},
+        SymmetryCase{64, 20, voice::EditingLevel::kChapters, 2},
+        SymmetryCase{64, 20, voice::EditingLevel::kSections, 3},
+        SymmetryCase{24, 5, voice::EditingLevel::kChapters, 4},
+        SymmetryCase{80, 30, voice::EditingLevel::kFull, 5}));
+
+TEST(ReformatTest, SynthesisChangeRegeneratesPresentation) {
+  // §4: changing the synthesis file means the descriptor and composition
+  // are recreated by re-running the formatter.
+  format::ObjectWorkspace ws("evolving");
+  ws.SetSynthesis(".PP\nshort body\n");
+  format::ObjectFormatter formatter;
+  auto v1 = formatter.Format(ws, 1);
+  ASSERT_TRUE(v1.ok());
+  const size_t pages_before = v1->descriptor().pages.size();
+
+  std::string longer = "@LAYOUT 40 6\n";
+  for (int i = 0; i < 30; ++i) {
+    longer += ".PP\nparagraph " + std::to_string(i) +
+              " with a good amount of text to fill lines\n";
+  }
+  ws.SetSynthesis(longer);
+  auto v2 = formatter.Format(ws, 1);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(v2->descriptor().pages.size(), pages_before);
+  EXPECT_EQ(v2->descriptor().layout.width, 40);
+}
+
+TEST(WorkstationFlowTest, InterruptPresentationReturnToQuery) {
+  // §5: "The user may interrupt this process and return back to the
+  // sequential browsing interface or to the query specification
+  // interface to refine his filter."
+  SimClock clock;
+  storage::BlockDevice device("optical", 1 << 14, 512,
+                              storage::DeviceCostModel::Instant(), true,
+                              &clock);
+  storage::BlockCache cache(128);
+  storage::Archiver archiver(&device, &cache);
+  storage::VersionStore versions;
+  server::Link link = server::Link::Ethernet(&clock);
+  server::ObjectServer server(&archiver, &versions, &clock, &link);
+
+  text::MarkupParser parser;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    MultimediaObject obj(id);
+    auto doc = parser.Parse(".PP\nshared keyword plus body " +
+                            std::to_string(id) + "\n");
+    ASSERT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+    VisualPageSpec page;
+    page.text_page = 1;
+    obj.descriptor().pages.push_back(page);
+    ASSERT_TRUE(obj.Archive().ok());
+    ASSERT_TRUE(server.Store(obj).ok());
+  }
+
+  render::Screen screen;
+  server::Workstation workstation(&server, &screen, &clock);
+  auto first_query = workstation.Query({"shared"});
+  ASSERT_TRUE(first_query.ok());
+  ASSERT_EQ(first_query->size(), 3u);
+  ASSERT_TRUE(workstation.Present(first_query->Select().value()).ok());
+  ASSERT_TRUE(workstation.presentation().is_open());
+
+  // Interrupt: refine the filter and browse the new result set; the
+  // presentation session is simply replaced on the next Present.
+  auto refined = workstation.Query({"shared", "2"});
+  ASSERT_TRUE(refined.ok());
+  ASSERT_EQ(refined->size(), 1u);
+  ASSERT_TRUE(workstation.Present(refined->Select().value()).ok());
+  auto current = workstation.presentation().CurrentObject();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ((*current)->id(), 2u);
+  EXPECT_EQ(workstation.presentation().depth(), 1u);
+}
+
+}  // namespace
+}  // namespace minos

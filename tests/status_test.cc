@@ -1,0 +1,121 @@
+#include "minos/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/util/statusor.h"
+
+namespace minos {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesMatchPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, NonOkStatusesAreNotOk) {
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::NotFound("object 42 missing");
+  EXPECT_EQ(s.message(), "object 42 missing");
+  EXPECT_EQ(s.ToString(), "NotFound: object 42 missing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(Status::Code::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(Status::Code::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeName(Status::Code::kUnsupported), "Unsupported");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  MINOS_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  StatusOr<int> v = Status::OK();
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInternal());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<int> v = 5;
+  EXPECT_EQ(v.value_or(-1), 5);
+}
+
+StatusOr<int> Double(int x) {
+  if (x > 100) return Status::OutOfRange("too big");
+  return 2 * x;
+}
+
+StatusOr<int> Quadruple(int x) {
+  MINOS_ASSIGN_OR_RETURN(int doubled, Double(x));
+  return Double(doubled);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  StatusOr<int> v = Quadruple(3);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 12);
+  EXPECT_TRUE(Quadruple(200).status().IsOutOfRange());
+  // Failure in the second stage propagates too.
+  EXPECT_TRUE(Quadruple(60).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace minos

@@ -1,0 +1,83 @@
+#include "minos/util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace minos {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  const auto parts = SplitString(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWordsTest, CollapsesWhitespace) {
+  const auto words = SplitWords("  the   quick\tbrown\nfox  ");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "the");
+  EXPECT_EQ(words[3], "fox");
+}
+
+TEST(SplitWordsTest, EmptyAndAllSpace) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("   \t\n").empty());
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi  "), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(AsciiToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("MiNoS-1986"), "minos-1986");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("miniature", "mini"));
+  EXPECT_FALSE(StartsWith("mini", "miniature"));
+  EXPECT_TRUE(EndsWith("voice.pcm", ".pcm"));
+  EXPECT_FALSE(EndsWith(".pcm", "voice.pcm"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(Fnv1a64Test, StableAndSensitive) {
+  const uint64_t a = Fnv1a64("hello");
+  EXPECT_EQ(a, Fnv1a64("hello"));
+  EXPECT_NE(a, Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), 0u);
+}
+
+TEST(FormatDurationTest, PicksUnits) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(1500), "1ms");
+  EXPECT_EQ(FormatDuration(2500000), "2.50s");
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0MB");
+  EXPECT_EQ(FormatBytes(2ULL * 1024 * 1024 * 1024), "2.0GB");
+}
+
+}  // namespace
+}  // namespace minos

@@ -1,0 +1,218 @@
+// Integration test of the paper's central claim: "The information system
+// should offer symmetric capabilities for entering, presenting, and
+// browsing through voice or text." (§1)
+//
+// One Document is rendered both as a visual-mode object (text pages) and
+// as an audio-mode object (voice pages over synthesized speech). The same
+// logical browsing commands are issued on both; the positions they land on
+// must correspond across media through the synthesis alignment.
+
+#include <gtest/gtest.h>
+
+#include "minos/core/audio_browser.h"
+#include "minos/core/visual_browser.h"
+#include "minos/text/markup.h"
+#include "minos/voice/recognizer.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::core {
+namespace {
+
+using object::DrivingMode;
+using object::MultimediaObject;
+using object::VisualPageSpec;
+using text::LogicalUnit;
+
+constexpr char kMarkup[] =
+    ".TITLE Expedition Notes\n"
+    ".CHAPTER Valley\n.PP\n"
+    "The northern valley held three camps along the river. Supplies "
+    "arrived by mule every second week without fail.\n"
+    ".PP\nWinter closed the passes early that year.\n"
+    ".CHAPTER Summit\n.PP\n"
+    "The summit push began before dawn on the ninth day. Oxygen ran low "
+    "near the ridge but the weather held.\n"
+    ".CHAPTER Return\n.PP\n"
+    "The descent took four days through heavy snow. Every member "
+    "returned safely to the base camp.\n";
+
+class SymmetryTest : public ::testing::Test {
+ protected:
+  SymmetryTest()
+      : messages_(&clock_, voice::SpeakerParams{}) {
+    text::MarkupParser parser;
+    auto doc = parser.Parse(kMarkup);
+    EXPECT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+
+    // Visual twin.
+    visual_ = std::make_unique<MultimediaObject>(1);
+    visual_->descriptor().layout.width = 44;
+    visual_->descriptor().layout.height = 8;
+    EXPECT_TRUE(visual_->SetTextPart(doc_).ok());
+    auto formatted = FormatObjectText(*visual_);
+    EXPECT_TRUE(formatted.ok());
+    for (size_t i = 0; i < formatted->pages.size(); ++i) {
+      VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      visual_->descriptor().pages.push_back(page);
+    }
+    EXPECT_TRUE(visual_->Archive().ok());
+
+    // Audio twin from the same document.
+    voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+    auto track = synth.Synthesize(doc_);
+    EXPECT_TRUE(track.ok());
+    voice::VoiceDocument vdoc(std::move(track).value());
+    vdoc.TagFromAlignment(doc_, voice::EditingLevel::kFull);
+    audio_ = std::make_unique<MultimediaObject>(2);
+    audio_->descriptor().driving_mode = DrivingMode::kAudio;
+    EXPECT_TRUE(audio_->SetVoicePart(std::move(vdoc)).ok());
+    EXPECT_TRUE(audio_->Archive().ok());
+
+    auto vb = VisualBrowser::Open(visual_.get(), &screen_, &messages_,
+                                  &clock_, &vlog_);
+    EXPECT_TRUE(vb.ok());
+    vbrowser_ = std::move(vb).value();
+    auto ab = AudioBrowser::Open(audio_.get(), &screen_, &messages_,
+                                 &clock_, &alog_);
+    EXPECT_TRUE(ab.ok());
+    abrowser_ = std::move(ab).value();
+  }
+
+  /// Maps the audio browser's sample position to a text offset.
+  size_t AudioTextOffset() {
+    auto offset = audio_->voice_part().TextOffsetForSample(
+        abrowser_->position());
+    EXPECT_TRUE(offset.ok());
+    return offset.value_or(0);
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog vlog_, alog_;
+  text::Document doc_;
+  std::unique_ptr<MultimediaObject> visual_;
+  std::unique_ptr<MultimediaObject> audio_;
+  std::unique_ptr<VisualBrowser> vbrowser_;
+  std::unique_ptr<AudioBrowser> abrowser_;
+};
+
+TEST_F(SymmetryTest, BothMediaOfferTheSamePageCommands) {
+  // next / prev / advance / goto behave identically at the API level.
+  ASSERT_TRUE(vbrowser_->NextPage().ok());
+  ASSERT_TRUE(abrowser_->NextPage().ok());
+  EXPECT_EQ(vbrowser_->current_page(), 2);
+  EXPECT_EQ(abrowser_->current_page(), 2);
+  ASSERT_TRUE(vbrowser_->PreviousPage().ok());
+  ASSERT_TRUE(abrowser_->PreviousPage().ok());
+  EXPECT_EQ(vbrowser_->current_page(), 1);
+  EXPECT_EQ(abrowser_->current_page(), 1);
+}
+
+TEST_F(SymmetryTest, ChapterNavigationLandsOnCorrespondingContent) {
+  // Drive both browsers to the Summit chapter with the same command
+  // sequence.
+  ASSERT_TRUE(vbrowser_->NextUnit(LogicalUnit::kChapter).ok());  // Valley.
+  ASSERT_TRUE(vbrowser_->NextUnit(LogicalUnit::kChapter).ok());  // Summit.
+  ASSERT_TRUE(abrowser_->NextUnit(LogicalUnit::kChapter).ok());
+  ASSERT_TRUE(abrowser_->NextUnit(LogicalUnit::kChapter).ok());
+
+  // The audio position corresponds to the Summit chapter's text start.
+  const auto& chapters = doc_.Components(LogicalUnit::kChapter);
+  ASSERT_EQ(chapters.size(), 3u);
+  const size_t audio_text = AudioTextOffset();
+  EXPECT_GE(audio_text, chapters[1].span.begin);
+  EXPECT_LT(audio_text, chapters[2].span.begin);
+
+  // The visual page presents the same chapter start.
+  const size_t visual_text = vbrowser_->current_text_offset();
+  EXPECT_GE(visual_text + 1, chapters[1].span.begin);
+  EXPECT_LT(visual_text, chapters[2].span.begin);
+}
+
+TEST_F(SymmetryTest, SentenceNavigationExistsInBothMedia) {
+  // Sentences were derived in text and tagged (kFull) in voice.
+  ASSERT_TRUE(vbrowser_->NextUnit(LogicalUnit::kSentence).ok());
+  ASSERT_TRUE(abrowser_->NextUnit(LogicalUnit::kSentence).ok());
+  EXPECT_EQ(vlog_.OfKind(EventKind::kUnitReached).size(), 1u);
+  EXPECT_EQ(alog_.OfKind(EventKind::kUnitReached).size(), 1u);
+}
+
+TEST_F(SymmetryTest, PatternBrowsingFindsTheSameWord) {
+  // Text side: direct pattern scan.
+  ASSERT_TRUE(vbrowser_->FindPattern("Oxygen").ok());
+  const auto vfound = vlog_.OfKind(EventKind::kPatternFound);
+  ASSERT_EQ(vfound.size(), 1u);
+  const size_t text_hit = static_cast<size_t>(vfound[0].value);
+
+  // Voice side: insertion-time recognition index, same access method.
+  voice::RecognizerParams params;
+  params.hit_rate = 1.0;
+  params.false_alarm_rate = 0.0;
+  voice::Recognizer recognizer({"oxygen"}, params);
+  const auto result = recognizer.Recognize(audio_->voice_part().track());
+  abrowser_->SetRecognitionIndex(
+      voice::Recognizer::BuildIndex(result.utterances));
+  ASSERT_TRUE(abrowser_->FindSpokenPattern("oxygen").ok());
+  const auto afound = alog_.OfKind(EventKind::kPatternFound);
+  ASSERT_EQ(afound.size(), 1u);
+
+  // The spoken hit corresponds to the very same text offset.
+  auto spoken_text_offset = audio_->voice_part().TextOffsetForSample(
+      static_cast<size_t>(afound[0].value));
+  ASSERT_TRUE(spoken_text_offset.ok());
+  EXPECT_EQ(*spoken_text_offset, text_hit);
+}
+
+TEST_F(SymmetryTest, VoiceCachingViaPauseRewindParallelsTextRereading) {
+  // "Text pages present a cache of information... A similar facility in
+  // voice [is] the short pause and long pause options." (§2)
+  ASSERT_TRUE(abrowser_->Play().ok());
+  const size_t end = abrowser_->position();
+  ASSERT_TRUE(abrowser_->RewindPauses(1, voice::PauseKind::kLong).ok());
+  const size_t after_long = abrowser_->position();
+  EXPECT_LT(after_long, end);
+  // Rewinding by a long pause goes near a paragraph/sentence boundary:
+  // the text offset it lands on starts within one word of a sentence.
+  auto text_offset = audio_->voice_part().TextOffsetForSample(after_long);
+  ASSERT_TRUE(text_offset.ok());
+  bool near_sentence_start = false;
+  for (const auto& s : doc_.Components(LogicalUnit::kSentence)) {
+    // Within 16 characters of some sentence start.
+    const int64_t d = static_cast<int64_t>(*text_offset) -
+                      static_cast<int64_t>(s.span.begin);
+    if (d >= -16 && d <= 16) near_sentence_start = true;
+  }
+  EXPECT_TRUE(near_sentence_start);
+}
+
+TEST_F(SymmetryTest, MenusShareThePageVocabulary) {
+  const auto voptions = vbrowser_->MenuOptions();
+  const auto aoptions = abrowser_->MenuOptions();
+  for (const char* shared :
+       {"next page", "prev page", "goto page", "+5 pages", "-5 pages",
+        "next chapter", "prev chapter"}) {
+    EXPECT_NE(std::find(voptions.begin(), voptions.end(), shared),
+              voptions.end())
+        << shared;
+    EXPECT_NE(std::find(aoptions.begin(), aoptions.end(), shared),
+              aoptions.end())
+        << shared;
+  }
+}
+
+TEST_F(SymmetryTest, VisualPagesTurnExplicitlyAudioPagesFlowOn) {
+  // "speech is not interrupted at the end of each voice page. In
+  // contrast, visual pages are not turned automatically." (§2)
+  ASSERT_TRUE(abrowser_->Play().ok());
+  // Playback crossed every page boundary without a command.
+  EXPECT_EQ(alog_.OfKind(EventKind::kAudioPageStarted).size(),
+            static_cast<size_t>(abrowser_->page_count()));
+  // The visual browser stayed on page 1 the whole time.
+  EXPECT_EQ(vbrowser_->current_page(), 1);
+}
+
+}  // namespace
+}  // namespace minos::core

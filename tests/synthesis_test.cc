@@ -1,0 +1,103 @@
+#include "minos/format/synthesis.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::format {
+namespace {
+
+constexpr char kSource[] = R"(@MODE visual
+@LAYOUT 48 14
+.TITLE Walking Tour
+.PP
+Welcome to the old town district.
+@IMAGE map
+@TRANSPARENCY route_one
+@TRANSPARENCY route_two
+@METHOD separate
+@OVERWRITE footprints
+@PROCESS 500 2
+.PP
+Closing remarks follow here.
+)";
+
+TEST(SynthesisTest, SplitsMarkupFromDirectives) {
+  auto s = ParseSynthesis(kSource);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_NE(s->markup.find(".TITLE Walking Tour"), std::string::npos);
+  EXPECT_NE(s->markup.find("Closing remarks"), std::string::npos);
+  EXPECT_EQ(s->markup.find("@IMAGE"), std::string::npos);
+  ASSERT_EQ(s->directives.size(), 8u);
+}
+
+TEST(SynthesisTest, DirectiveKindsAndArgs) {
+  auto s = ParseSynthesis(kSource);
+  ASSERT_TRUE(s.ok());
+  const auto& d = s->directives;
+  EXPECT_EQ(d[0].kind, Directive::Kind::kMode);
+  EXPECT_EQ(d[0].arg, "visual");
+  EXPECT_EQ(d[1].kind, Directive::Kind::kLayout);
+  EXPECT_EQ(d[1].value_a, 48);
+  EXPECT_EQ(d[1].value_b, 14);
+  EXPECT_EQ(d[2].kind, Directive::Kind::kImage);
+  EXPECT_EQ(d[2].arg, "map");
+  EXPECT_EQ(d[3].kind, Directive::Kind::kTransparency);
+  EXPECT_EQ(d[4].kind, Directive::Kind::kTransparency);
+  EXPECT_EQ(d[5].kind, Directive::Kind::kMethod);
+  EXPECT_EQ(d[5].arg, "separate");
+  EXPECT_EQ(d[6].kind, Directive::Kind::kOverwrite);
+  EXPECT_EQ(d[6].arg, "footprints");
+  EXPECT_EQ(d[7].kind, Directive::Kind::kProcess);
+  EXPECT_EQ(d[7].value_a, 500);
+  EXPECT_EQ(d[7].value_b, 2);
+}
+
+TEST(SynthesisTest, DeclaredModeAndLayout) {
+  auto s = ParseSynthesis(kSource);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DeclaredMode(), object::DrivingMode::kVisual);
+  auto layout = s->DeclaredLayout();
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layout->width, 48);
+  EXPECT_EQ(layout->height, 14);
+}
+
+TEST(SynthesisTest, DefaultsWhenUndeclared) {
+  auto s = ParseSynthesis(".PP\njust text\n");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DeclaredMode(), object::DrivingMode::kVisual);
+  EXPECT_FALSE(s->DeclaredLayout().has_value());
+}
+
+TEST(SynthesisTest, AudioMode) {
+  auto s = ParseSynthesis("@MODE audio\n");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DeclaredMode(), object::DrivingMode::kAudio);
+}
+
+TEST(SynthesisTest, MarkupLinesBeforeCounts) {
+  auto s = ParseSynthesis(".PP\nline one\nline two\n@IMAGE pic\nline three\n");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->directives.size(), 1u);
+  EXPECT_EQ(s->directives[0].markup_lines_before, 3u);
+}
+
+TEST(SynthesisTest, RejectsMalformedDirectives) {
+  EXPECT_TRUE(ParseSynthesis("@MODE teletext\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSynthesis("@LAYOUT 48\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSynthesis("@LAYOUT 2 2\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSynthesis("@IMAGE\n").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSynthesis("@METHOD sideways\n").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSynthesis("@PROCESS 0 5\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSynthesis("@BOGUS x\n").status().IsInvalidArgument());
+}
+
+TEST(SynthesisTest, EmptySourceOk) {
+  auto s = ParseSynthesis("");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->directives.empty());
+}
+
+}  // namespace
+}  // namespace minos::format

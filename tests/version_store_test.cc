@@ -1,0 +1,59 @@
+#include "minos/storage/version_store.h"
+
+#include <gtest/gtest.h>
+
+namespace minos::storage {
+namespace {
+
+TEST(VersionStoreTest, RecordAssignsIncreasingVersions) {
+  VersionStore store;
+  EXPECT_EQ(store.Record(7, ArchiveAddress{0, 10}, 100), 1u);
+  EXPECT_EQ(store.Record(7, ArchiveAddress{10, 20}, 200), 2u);
+  EXPECT_EQ(store.Record(8, ArchiveAddress{30, 5}, 300), 1u);
+  EXPECT_EQ(store.object_count(), 2u);
+}
+
+TEST(VersionStoreTest, CurrentReturnsLatest) {
+  VersionStore store;
+  store.Record(7, ArchiveAddress{0, 10}, 100);
+  store.Record(7, ArchiveAddress{10, 20}, 200);
+  auto v = store.Current(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->version, 2u);
+  EXPECT_EQ(v->address, (ArchiveAddress{10, 20}));
+  EXPECT_EQ(v->archived_at, 200);
+}
+
+TEST(VersionStoreTest, GetSpecificVersion) {
+  VersionStore store;
+  store.Record(7, ArchiveAddress{0, 10}, 100);
+  store.Record(7, ArchiveAddress{10, 20}, 200);
+  auto v1 = store.Get(7, 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->address, (ArchiveAddress{0, 10}));
+  EXPECT_TRUE(store.Get(7, 0).status().IsNotFound());
+  EXPECT_TRUE(store.Get(7, 3).status().IsNotFound());
+  EXPECT_TRUE(store.Get(9, 1).status().IsNotFound());
+}
+
+TEST(VersionStoreTest, HistoryOldestFirst) {
+  VersionStore store;
+  store.Record(7, ArchiveAddress{0, 10}, 100);
+  store.Record(7, ArchiveAddress{10, 20}, 200);
+  store.Record(7, ArchiveAddress{30, 40}, 300);
+  auto h = store.History(7);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->size(), 3u);
+  EXPECT_EQ((*h)[0].version, 1u);
+  EXPECT_EQ((*h)[2].version, 3u);
+  EXPECT_LT((*h)[0].archived_at, (*h)[2].archived_at);
+}
+
+TEST(VersionStoreTest, UnknownObjectNotFound) {
+  VersionStore store;
+  EXPECT_TRUE(store.Current(42).status().IsNotFound());
+  EXPECT_TRUE(store.History(42).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace minos::storage

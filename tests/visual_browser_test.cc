@@ -1,0 +1,282 @@
+#include "minos/core/visual_browser.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/text/markup.h"
+
+namespace minos::core {
+namespace {
+
+using object::MultimediaObject;
+using object::TextAnchor;
+using object::VisualPageSpec;
+
+constexpr char kMarkup[] =
+    ".TITLE Field Report\n"
+    ".CHAPTER Overview\n.PP\n"
+    "The expedition mapped the northern valley in spring. Weather stayed "
+    "fair for nine days straight. The survey team collected samples.\n"
+    ".PP\nFurther observations were recorded in the *journal* daily.\n"
+    ".CHAPTER Findings\n.PP\n"
+    "Mineral deposits appeared along the river bend. The fracture zone "
+    "runs east to west across the entire site area.\n"
+    ".SECTION Analysis\n"
+    "Samples show high iron content throughout the deposit layers.\n";
+
+class VisualBrowserTest : public ::testing::Test {
+ protected:
+  VisualBrowserTest()
+      : messages_(&clock_, voice::SpeakerParams{}) {
+    obj_ = std::make_unique<MultimediaObject>(1);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(kMarkup);
+    EXPECT_TRUE(doc.ok());
+    obj_->descriptor().layout.width = 40;
+    obj_->descriptor().layout.height = 8;
+    EXPECT_TRUE(obj_->SetTextPart(std::move(doc).value()).ok());
+    image::Bitmap xray(40, 40);
+    xray.FillRect(image::Rect{10, 10, 20, 20}, 230);
+    EXPECT_TRUE(
+        obj_->AddImage(image::Image::FromBitmap(std::move(xray))).ok());
+  }
+
+  // Builds pages from the formatted text and archives.
+  void FinishObject() {
+    auto formatted = FormatObjectText(*obj_);
+    ASSERT_TRUE(formatted.ok());
+    for (size_t i = 0; i < formatted->pages.size(); ++i) {
+      VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      obj_->descriptor().pages.push_back(page);
+    }
+    ASSERT_TRUE(obj_->Archive().ok());
+    auto browser =
+        VisualBrowser::Open(obj_.get(), &screen_, &messages_, &clock_, &log_);
+    ASSERT_TRUE(browser.ok()) << browser.status().ToString();
+    browser_ = std::move(browser).value();
+  }
+
+  SimClock clock_;
+  render::Screen screen_;
+  MessagePlayer messages_;
+  EventLog log_;
+  std::unique_ptr<MultimediaObject> obj_;
+  std::unique_ptr<VisualBrowser> browser_;
+};
+
+TEST_F(VisualBrowserTest, OpenRejectsEditingObject) {
+  auto browser =
+      VisualBrowser::Open(obj_.get(), &screen_, &messages_, &clock_, &log_);
+  EXPECT_TRUE(browser.status().IsFailedPrecondition());
+}
+
+TEST_F(VisualBrowserTest, PageNavigation) {
+  FinishObject();
+  EXPECT_EQ(browser_->current_page(), 1);
+  ASSERT_TRUE(browser_->NextPage().ok());
+  EXPECT_EQ(browser_->current_page(), 2);
+  ASSERT_TRUE(browser_->PreviousPage().ok());
+  EXPECT_EQ(browser_->current_page(), 1);
+  EXPECT_TRUE(browser_->PreviousPage().IsOutOfRange());
+  EXPECT_TRUE(browser_->GotoPage(99).IsOutOfRange());
+  ASSERT_TRUE(browser_->GotoPage(browser_->page_count()).ok());
+  EXPECT_TRUE(browser_->NextPage().IsOutOfRange());
+}
+
+TEST_F(VisualBrowserTest, AdvanceSeveralPages) {
+  FinishObject();
+  ASSERT_GE(browser_->page_count(), 3);
+  ASSERT_TRUE(browser_->AdvancePages(2).ok());
+  EXPECT_EQ(browser_->current_page(), 3);
+  ASSERT_TRUE(browser_->AdvancePages(-2).ok());
+  EXPECT_EQ(browser_->current_page(), 1);
+}
+
+TEST_F(VisualBrowserTest, PageShownEventsLogged) {
+  FinishObject();
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  ASSERT_TRUE(browser_->NextPage().ok());
+  const auto shown = log_.OfKind(EventKind::kPageShown);
+  ASSERT_EQ(shown.size(), 2u);
+  EXPECT_EQ(shown[0].value, 1);
+  EXPECT_EQ(shown[1].value, 2);
+}
+
+TEST_F(VisualBrowserTest, ScreenShowsContentAndMenu) {
+  FinishObject();
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  int page_ink = 0, menu_ink = 0;
+  const auto& fb = screen_.framebuffer();
+  const auto page = screen_.PageArea();
+  const auto menu = screen_.MenuArea();
+  for (int y = 0; y < fb.height(); ++y) {
+    for (int x = 0; x < fb.width(); ++x) {
+      if (fb.At(x, y) == 0) continue;
+      if (page.Contains(x, y)) ++page_ink;
+      if (menu.Contains(x, y)) ++menu_ink;
+    }
+  }
+  EXPECT_GT(page_ink, 100);
+  EXPECT_GT(menu_ink, 50);
+}
+
+TEST_F(VisualBrowserTest, LogicalUnitNavigation) {
+  FinishObject();
+  // "next chapter" from the title page lands on Overview.
+  ASSERT_TRUE(browser_->NextUnit(text::LogicalUnit::kChapter).ok());
+  const int overview_page = browser_->current_page();
+  EXPECT_GT(overview_page, 1);
+  // A second "next chapter" lands on Findings.
+  ASSERT_TRUE(browser_->NextUnit(text::LogicalUnit::kChapter).ok());
+  const int findings_page = browser_->current_page();
+  EXPECT_GT(findings_page, overview_page);
+  const auto reached = log_.OfKind(EventKind::kUnitReached);
+  ASSERT_EQ(reached.size(), 2u);
+  EXPECT_EQ(reached[0].detail, "chapter");
+  // Past the last chapter: NotFound.
+  EXPECT_TRUE(browser_->NextUnit(text::LogicalUnit::kChapter).IsNotFound());
+  // "prev chapter" goes back toward Overview.
+  ASSERT_TRUE(browser_->PreviousUnit(text::LogicalUnit::kChapter).ok());
+  EXPECT_LE(browser_->current_page(), overview_page);
+}
+
+TEST_F(VisualBrowserTest, UnsupportedUnitWhenAbsent) {
+  FinishObject();
+  // No .ABSTRACT in the markup... actually kMarkup has none.
+  EXPECT_TRUE(
+      browser_->NextUnit(text::LogicalUnit::kAbstract).IsUnsupported());
+}
+
+TEST_F(VisualBrowserTest, PatternBrowsing) {
+  FinishObject();
+  ASSERT_TRUE(browser_->FindPattern("fracture").ok());
+  const auto found = log_.OfKind(EventKind::kPatternFound);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].detail, "fracture");
+  // The shown page's span contains the hit.
+  const size_t hit = static_cast<size_t>(found[0].value);
+  EXPECT_EQ(obj_->text_part().contents().substr(hit, 8), "fracture");
+  // Next occurrence does not exist -> NotFound.
+  EXPECT_TRUE(browser_->FindPattern("fracture").IsNotFound());
+}
+
+TEST_F(VisualBrowserTest, MenuOptionsReflectObject) {
+  FinishObject();
+  const auto options = browser_->MenuOptions();
+  auto has = [&](const std::string& s) {
+    return std::find(options.begin(), options.end(), s) != options.end();
+  };
+  EXPECT_TRUE(has("next page"));
+  EXPECT_TRUE(has("next chapter"));
+  EXPECT_TRUE(has("next section"));
+  EXPECT_TRUE(has("find pattern"));
+  EXPECT_FALSE(has("play"));  // That is an audio-mode option.
+}
+
+TEST_F(VisualBrowserTest, VoiceMessagePlayedOnBranchIn) {
+  // Attach a voice message to the "fracture" text segment.
+  const size_t pos = obj_->text_part().contents().find("fracture");
+  ASSERT_NE(pos, std::string::npos);
+  object::VoiceLogicalMessage m;
+  m.transcript = "note this region";
+  m.text_anchor = TextAnchor{pos, pos + 40};
+  obj_->descriptor().voice_messages.push_back(m);
+  FinishObject();
+
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  EXPECT_TRUE(log_.OfKind(EventKind::kVoiceMessagePlayed).empty());
+  // Browse to the page with the anchor.
+  ASSERT_TRUE(browser_->FindPattern("fracture").ok());
+  const auto played = log_.OfKind(EventKind::kVoiceMessagePlayed);
+  ASSERT_EQ(played.size(), 1u);
+  EXPECT_EQ(played[0].detail, "note this region");
+  // Staying on the page (re-show) does not replay.
+  const int anchored_page = browser_->current_page();
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceMessagePlayed).size(), 1u);
+  // Leaving and re-entering replays (branch-in again).
+  ASSERT_TRUE(browser_->GotoPage(1).ok());
+  ASSERT_TRUE(browser_->GotoPage(anchored_page).ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVoiceMessagePlayed).size(), 2u);
+}
+
+TEST_F(VisualBrowserTest, VoiceMessagePlaybackAdvancesClock) {
+  const size_t pos = obj_->text_part().contents().find("expedition");
+  object::VoiceLogicalMessage m;
+  m.transcript = "a rather long spoken annotation for this section";
+  m.text_anchor = TextAnchor{pos, pos + 10};
+  obj_->descriptor().voice_messages.push_back(m);
+  FinishObject();
+  const Micros before = clock_.Now();
+  ASSERT_TRUE(browser_->FindPattern("expedition").ok());
+  EXPECT_GT(clock_.Now(), before);  // Message audio took simulated time.
+}
+
+TEST_F(VisualBrowserTest, VisualMessagePinsAndHides) {
+  // Pin the x-ray image while browsing the Findings chapter text.
+  const size_t pos = obj_->text_part().contents().find("Mineral");
+  const size_t end = obj_->text_part().contents().find("deposit layers");
+  object::VisualLogicalMessage m;
+  m.text = "XRAY 1042";
+  m.image_index = 0;
+  m.text_anchors.push_back(TextAnchor{pos, end});
+  obj_->descriptor().visual_messages.push_back(m);
+  FinishObject();
+
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  EXPECT_TRUE(log_.OfKind(EventKind::kVisualMessageShown).empty());
+  ASSERT_TRUE(browser_->FindPattern("Mineral").ok());
+  ASSERT_EQ(log_.OfKind(EventKind::kVisualMessageShown).size(), 1u);
+  // The message area carries ink (the pinned image).
+  int ink = 0;
+  const auto msg_area = screen_.MessageArea();
+  for (int y = msg_area.y; y < msg_area.y + msg_area.h; ++y) {
+    for (int x = msg_area.x; x < msg_area.x + msg_area.w; ++x) {
+      if (screen_.framebuffer().At(x, y) > 0) ++ink;
+    }
+  }
+  EXPECT_GT(ink, 50);
+  // Going back to page 1 hides it.
+  ASSERT_TRUE(browser_->GotoPage(1).ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVisualMessageHidden).size(), 1u);
+}
+
+TEST_F(VisualBrowserTest, DisplayOnceMessageNotRepinned) {
+  const size_t pos = obj_->text_part().contents().find("Mineral");
+  object::VisualLogicalMessage m;
+  m.text = "ONLY ONCE";
+  m.text_anchors.push_back(TextAnchor{pos, pos + 60});
+  m.display_once = true;
+  obj_->descriptor().visual_messages.push_back(m);
+  FinishObject();
+  ASSERT_TRUE(browser_->FindPattern("Mineral").ok());
+  EXPECT_EQ(log_.OfKind(EventKind::kVisualMessageShown).size(), 1u);
+  const int anchored_page = browser_->current_page();
+  ASSERT_TRUE(browser_->GotoPage(1).ok());
+  ASSERT_TRUE(browser_->GotoPage(anchored_page).ok());
+  // Second branch-in: not shown again.
+  EXPECT_EQ(log_.OfKind(EventKind::kVisualMessageShown).size(), 1u);
+}
+
+TEST_F(VisualBrowserTest, RelevantLinksVisibleOnlyOnAnchoredPages) {
+  const size_t pos = obj_->text_part().contents().find("river bend");
+  object::RelevantObjectLink link;
+  link.target = 99;
+  link.indicator_label = "geology survey";
+  link.parent_text_anchor = TextAnchor{pos, pos + 10};
+  obj_->descriptor().relevant_objects.push_back(link);
+  FinishObject();
+  ASSERT_TRUE(browser_->ShowCurrentPage().ok());
+  EXPECT_TRUE(browser_->VisibleRelevantLinks().empty());
+  ASSERT_TRUE(browser_->FindPattern("river").ok());
+  const auto links = browser_->VisibleRelevantLinks();
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0]->indicator_label, "geology survey");
+  // And the menu shows the indicator.
+  const auto options = browser_->MenuOptions();
+  EXPECT_NE(std::find(options.begin(), options.end(), "-> geology survey"),
+            options.end());
+}
+
+}  // namespace
+}  // namespace minos::core

@@ -1,0 +1,132 @@
+// minos_render — command-line renderer for MINOS synthesis files.
+//
+// Formats a synthesis file into a multimedia object and renders every
+// visual page to a PGM image, exactly as the presentation manager would
+// show it (including transparency/overwrite stacking). Data files
+// referenced by @IMAGE/@TRANSPARENCY/@OVERWRITE directives are read from
+// the directory given with -d (serialized minos::image::Image payloads,
+// as produced by Image::Serialize()).
+//
+// Usage:
+//   minos_render [-d data_dir] [-o out_prefix] [-a] synthesis_file
+//     -d DIR   directory holding the data files (default: alongside input)
+//     -o PRE   output prefix (default: "page"); writes PRE_001.pgm ...
+//     -a       additionally print each page as ASCII art to stdout
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "minos/core/editing_preview.h"
+#include "minos/core/page_compositor.h"
+#include "minos/format/object_formatter.h"
+#include "minos/render/export.h"
+#include "minos/render/screen.h"
+
+namespace minos {
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Run(int argc, char** argv) {
+  std::string data_dir;
+  std::string prefix = "page";
+  bool ascii = false;
+  std::string input;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-d") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "-a") == 0) {
+      ascii = true;
+    } else if (argv[i][0] != '-') {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: minos_render [-d data_dir] [-o prefix] [-a] "
+                 "synthesis_file\n");
+    return 2;
+  }
+  if (data_dir.empty()) {
+    const size_t slash = input.rfind('/');
+    data_dir = slash == std::string::npos ? "." : input.substr(0, slash);
+  }
+
+  auto synthesis = ReadFile(input);
+  if (!synthesis.ok()) {
+    std::fprintf(stderr, "%s\n", synthesis.status().ToString().c_str());
+    return 1;
+  }
+  format::ObjectWorkspace workspace("cli");
+  workspace.SetSynthesis(*synthesis);
+
+  // Load every data file the directives reference.
+  auto parsed = format::ParseSynthesis(*synthesis);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  for (const format::Directive& d : parsed->directives) {
+    if (d.kind != format::Directive::Kind::kImage &&
+        d.kind != format::Directive::Kind::kTransparency &&
+        d.kind != format::Directive::Kind::kOverwrite) {
+      continue;
+    }
+    auto payload = ReadFile(data_dir + "/" + d.arg);
+    if (!payload.ok()) {
+      std::fprintf(stderr, "data file '%s': %s\n", d.arg.c_str(),
+                   payload.status().ToString().c_str());
+      return 1;
+    }
+    workspace.AddDataFile(d.arg, storage::DataType::kImage,
+                          std::move(payload).value());
+  }
+
+  format::ObjectFormatter formatter;
+  auto object = formatter.Format(workspace, 1);
+  if (!object.ok()) {
+    std::fprintf(stderr, "format: %s\n",
+                 object.status().ToString().c_str());
+    return 1;
+  }
+  const int pages = static_cast<int>(object->descriptor().pages.size());
+  std::printf("%d pages\n", pages);
+  for (int page = 1; page <= pages; ++page) {
+    auto raster = core::RenderEditingPreview(*object, page, /*scale=*/1);
+    if (!raster.ok()) {
+      std::fprintf(stderr, "page %d: %s\n", page,
+                   raster.status().ToString().c_str());
+      return 1;
+    }
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s_%03d.pgm", prefix.c_str(), page);
+    if (Status s = render::WritePgm(*raster, path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path);
+    if (ascii) {
+      std::printf("%s\n", render::ToAscii(*raster, 96).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main(int argc, char** argv) { return minos::Run(argc, argv); }
