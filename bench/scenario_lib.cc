@@ -1,9 +1,12 @@
 #include "scenario_lib.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 #include "minos/image/raster.h"
+#include "minos/obs/export.h"
+#include "minos/obs/metrics.h"
 #include "minos/text/markup.h"
 
 namespace minos::bench {
@@ -391,8 +394,65 @@ MultimediaObject BuildProcessSimulationObject(storage::ObjectId id,
   return obj;
 }
 
+namespace {
+
+/// Exit-time snapshot bookkeeping for the bench that called PrintHeader.
+struct SnapshotState {
+  std::string bench;
+  Micros sim_time = 0;
+  bool emitted_explicitly = false;
+};
+
+SnapshotState& State() {
+  static SnapshotState* state = new SnapshotState();
+  return *state;
+}
+
+std::string SanitizeBenchName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+std::string SnapshotPath(const std::string& bench) {
+  const std::string base = "BENCH_" + SanitizeBenchName(bench) + ".json";
+  const char* dir = std::getenv("MINOS_STATS_DIR");
+  return (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" + base
+                                          : base;
+}
+
+void EmitSnapshotAtExit() {
+  SnapshotState& state = State();
+  if (state.emitted_explicitly || state.bench.empty()) return;
+  obs::SnapshotMeta meta{state.bench, state.sim_time};
+  Status status = obs::WriteSnapshotJson(obs::MetricsRegistry::Default(),
+                                         SnapshotPath(state.bench), meta);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics snapshot failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
 void PrintHeader(const std::string& experiment, const std::string& title) {
   std::printf("== %s: %s ==\n", experiment.c_str(), title.c_str());
+  SnapshotState& state = State();
+  if (state.bench.empty()) {
+    state.bench = experiment;
+    std::atexit(EmitSnapshotAtExit);
+  }
+}
+
+void NoteSimTime(Micros sim_time_us) { State().sim_time = sim_time_us; }
+
+Status EmitMetricsSnapshot(const std::string& bench_name,
+                           const std::string& path, Micros sim_time_us) {
+  State().emitted_explicitly = true;
+  obs::SnapshotMeta meta{bench_name, sim_time_us};
+  return obs::WriteSnapshotJson(obs::MetricsRegistry::Default(), path, meta);
 }
 
 }  // namespace minos::bench

@@ -10,6 +10,7 @@
 #include "minos/image/image.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/text/document.h"
+#include "minos/util/status.h"
 
 namespace minos::bench {
 
@@ -63,8 +64,22 @@ RelevantObjectsScenario BuildRelevantObjectsScenario(storage::ObjectId id);
 object::MultimediaObject BuildProcessSimulationObject(storage::ObjectId id,
                                                       int steps);
 
-/// Prints a standard bench header line.
+/// Prints a standard bench header line and arms the end-of-run metrics
+/// snapshot: at process exit the default registry is exported as
+/// `BENCH_<experiment>.json` (non-alphanumerics in the experiment name
+/// become '_') into $MINOS_STATS_DIR, or the working directory when the
+/// variable is unset.
 void PrintHeader(const std::string& experiment, const std::string& title);
+
+/// Stamps the simulated time that the exit-time snapshot will carry in
+/// its `sim_time_us` header field. Benches that advance a SimClock call
+/// this once at the end of the run.
+void NoteSimTime(Micros sim_time_us);
+
+/// Writes a minos.metrics.v1 snapshot of the default registry to `path`
+/// right now, instead of (not in addition to) the exit-time export.
+Status EmitMetricsSnapshot(const std::string& bench_name,
+                           const std::string& path, Micros sim_time_us = 0);
 
 }  // namespace minos::bench
 

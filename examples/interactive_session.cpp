@@ -18,6 +18,8 @@
 #include <string>
 
 #include "minos/format/object_formatter.h"
+#include "minos/obs/export.h"
+#include "minos/obs/metrics.h"
 #include "minos/render/export.h"
 #include "minos/util/string_util.h"
 #include "minos/server/object_server.h"
@@ -97,7 +99,7 @@ int main() {
   std::printf("MINOS interactive session. Commands: query <word>, next "
               "miniature, select, open <id>, menu, next, prev, goto <n>, "
               "chapter, find <pattern>, indicators, enter <i>, return, "
-              "screen, quit\n");
+              "screen, stats [path], trace, quit\n");
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -175,6 +177,40 @@ int main() {
       std::printf("depth=%zu\n", pm.depth());
     } else if (cmd == "screen") {
       std::printf("%s\n", render::ToAscii(screen.framebuffer(), 96).c_str());
+    } else if (cmd == "stats") {
+      // Session statistics so far: print the key families inline, or
+      // export the whole registry as a minos.metrics.v1 snapshot when a
+      // path is given ("stats session.json").
+      std::string path;
+      in >> path;
+      obs::SnapshotMeta meta{"interactive_session", clock.Now()};
+      if (!path.empty()) {
+        report(obs::WriteSnapshotJson(obs::MetricsRegistry::Default(),
+                                      path, meta));
+        std::printf("wrote %s\n", path.c_str());
+      } else {
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::Default().Snapshot();
+        std::printf("cache: %llu hits / %llu misses, link: %llu bytes in "
+                    "%llu transfers\n",
+                    static_cast<unsigned long long>(cache.hits()),
+                    static_cast<unsigned long long>(cache.misses()),
+                    static_cast<unsigned long long>(link.bytes_transferred()),
+                    static_cast<unsigned long long>(link.transfer_count()));
+        std::printf("navigation: %lld opens, %lld enters, depth=%.0f\n",
+                    static_cast<long long>(
+                        snap.CounterValue("presentation.opens")),
+                    static_cast<long long>(
+                        snap.CounterValue("presentation.enters")),
+                    snap.GaugeValue("presentation.depth"));
+        if (const obs::HistogramSummary* h =
+                snap.FindHistogram("browser.visual.page_turn_us")) {
+          std::printf("page turns: %lld (p50=%.0fus p99=%.0fus)\n",
+                      static_cast<long long>(h->count), h->p50, h->p99);
+        }
+      }
+    } else if (cmd == "trace") {
+      std::printf("%s\n", pm.tracer().ToJson().c_str());
     } else {
       std::printf("! unknown command '%s'\n", cmd.c_str());
     }

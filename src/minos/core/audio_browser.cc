@@ -48,7 +48,15 @@ AudioBrowser::AudioBrowser(const MultimediaObject* obj,
       messages_(messages),
       clock_(clock),
       log_(log),
-      compositor_(screen) {}
+      compositor_(screen) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  page_turns_ = reg.counter("browser.audio.page_turns");
+  page_turn_us_ = reg.histogram("browser.audio.page_turn_us");
+  play_us_ = reg.histogram("browser.audio.play_us");
+  pause_rewinds_ = reg.counter("browser.audio.pause_rewinds");
+  rewind_sampled_pauses_ =
+      reg.histogram("browser.audio.rewind_sampled_pauses");
+}
 
 int AudioBrowser::current_page() const {
   return voice::AudioPager::PageForSample(pages_, position_);
@@ -147,6 +155,7 @@ Status AudioBrowser::PlayInternal(size_t end_sample) {
   }
 
   playing_ = true;
+  const Micros play_started_at = clock_->Now();
   if (log_ != nullptr) {
     log_->Add(EventKind::kVoicePlayed, clock_->Now(),
               static_cast<int64_t>(position_),
@@ -162,6 +171,7 @@ Status AudioBrowser::PlayInternal(size_t end_sample) {
   }
   ProcessTriggersAt(position_);
   playing_ = false;
+  play_us_->Record(static_cast<double>(clock_->Now() - play_started_at));
   RefreshScreen();
   return Status::OK();
 }
@@ -218,7 +228,10 @@ Status AudioBrowser::GotoPage(int number) {
   if (log_ != nullptr) {
     log_->Add(EventKind::kAudioPageStarted, clock_->Now(), number, "goto");
   }
+  const Micros presented_at = clock_->Now();
   RefreshScreen();
+  page_turns_->Increment();
+  page_turn_us_->Record(static_cast<double>(clock_->Now() - presented_at));
   return Status::OK();
 }
 
@@ -263,6 +276,9 @@ Status AudioBrowser::RewindPauses(int n, voice::PauseKind kind) {
   const size_t window = pcm.MicrosToSamples(SecondsToMicros(60));
   const voice::PauseContext context =
       pause_detector_.SampleContext(pcm, pauses_, position_, window);
+  pause_rewinds_->Increment();
+  rewind_sampled_pauses_->Record(
+      static_cast<double>(context.sampled_pauses));
   StatusOr<size_t> target = pause_detector_.RewindPauses(
       pcm, pauses_, context, position_, n, kind);
   if (!target.ok() && target.status().IsOutOfRange()) {

@@ -10,6 +10,7 @@
 #include "minos/core/events.h"
 #include "minos/core/message_player.h"
 #include "minos/core/page_compositor.h"
+#include "minos/obs/metrics.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/render/screen.h"
 #include "minos/text/search.h"
@@ -133,6 +134,15 @@ class AudioBrowser {
   std::vector<voice::Pause> pauses_;
   std::vector<voice::AudioPage> pages_;
   std::optional<text::WordIndex> recognition_index_;
+
+  /// Registry-owned browsing statistics ("browser.audio.*"), aggregated
+  /// across browsers: page turns, playback spans, and the pause-rewind
+  /// sampling counts of the adaptive short/long split.
+  obs::Counter* page_turns_ = nullptr;
+  obs::Histogram* page_turn_us_ = nullptr;
+  obs::Histogram* play_us_ = nullptr;
+  obs::Counter* pause_rewinds_ = nullptr;
+  obs::Histogram* rewind_sampled_pauses_ = nullptr;
 
   size_t position_ = 0;
   bool playing_ = false;

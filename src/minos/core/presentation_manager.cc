@@ -15,11 +15,26 @@ using object::RelevantObjectLink;
 PresentationManager::PresentationManager(render::Screen* screen,
                                          SimClock* clock,
                                          voice::SpeakerParams message_speaker)
-    : screen_(screen), clock_(clock), messages_(clock, message_speaker) {}
+    : screen_(screen), clock_(clock), messages_(clock, message_speaker),
+      tracer_(clock) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  tracer_.set_metrics_registry(&reg);
+  opens_ = reg.counter("presentation.opens");
+  enters_ = reg.counter("presentation.enters");
+  returns_ = reg.counter("presentation.returns");
+  depth_ = reg.gauge("presentation.depth");
+  open_us_ = reg.histogram("presentation.open_us");
+}
 
 Status PresentationManager::Open(storage::ObjectId id) {
   stack_.clear();
-  return OpenFrame(id, nullptr);
+  depth_->Set(0);
+  opens_->Increment();
+  obs::TraceSpan span = tracer_.StartSpan("open#" + std::to_string(id));
+  const Micros opened_at = clock_->Now();
+  Status status = OpenFrame(id, nullptr);
+  open_us_->Record(static_cast<double>(clock_->Now() - opened_at));
+  return status;
 }
 
 Status PresentationManager::OpenFrame(storage::ObjectId id,
@@ -43,6 +58,7 @@ Status PresentationManager::OpenFrame(storage::ObjectId id,
                                         &messages_, clock_, &log_));
   }
   stack_.push_back(std::move(frame));
+  depth_->Set(static_cast<double>(stack_.size()));
   if (stack_.back().visual != nullptr) {
     return stack_.back().visual->ShowCurrentPage();
   }
@@ -106,6 +122,9 @@ Status PresentationManager::EnterRelevantObject(size_t indicator_index) {
   const RelevantObjectLink* link = links[indicator_index];
   log_.Add(EventKind::kRelevantEntered, clock_->Now(),
            static_cast<int64_t>(link->target), link->indicator_label);
+  enters_->Increment();
+  obs::TraceSpan span =
+      tracer_.StartSpan("enter#" + std::to_string(link->target));
   return OpenFrame(link->target, link);
 }
 
@@ -115,6 +134,8 @@ Status PresentationManager::ReturnFromRelevantObject() {
         "not browsing a relevant object; nothing to return from");
   }
   stack_.pop_back();
+  returns_->Increment();
+  depth_->Set(static_cast<double>(stack_.size()));
   Frame& parent = stack_.back();
   log_.Add(EventKind::kRelevantReturned, clock_->Now(),
            static_cast<int64_t>(parent.id), "");
@@ -222,6 +243,8 @@ StatusOr<size_t> PresentationManager::PlayTour(size_t tour_index,
     return Status::OutOfRange("no such tour");
   }
   const object::ObjectDescriptor::TourSpec& tour = tours[tour_index];
+  obs::TraceSpan tour_span =
+      tracer_.StartSpan("tour#" + std::to_string(tour_index));
   MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(tour.image_index));
   if (first_stop >= tour.positions.size()) {
     return Status::OutOfRange("tour starting stop past end");

@@ -12,6 +12,8 @@
 #include "minos/image/view.h"
 #include "minos/core/message_player.h"
 #include "minos/core/visual_browser.h"
+#include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/render/screen.h"
 #include "minos/util/statusor.h"
@@ -139,6 +141,11 @@ class PresentationManager {
   SimClock* clock() { return clock_; }
   MessagePlayer& messages() { return messages_; }
 
+  /// Sim-clock-driven trace of this session: one span per open /
+  /// relevant-object excursion / tour, nested like the navigation stack.
+  /// Deterministic and replayable (virtual time, not wall time).
+  obs::Tracer& tracer() { return tracer_; }
+
  private:
   struct Frame {
     storage::ObjectId id = 0;
@@ -164,6 +171,13 @@ class PresentationManager {
   EventLog log_;
   ObjectResolver resolver_;
   std::vector<Frame> stack_;
+  obs::Tracer tracer_;
+  /// Registry-owned navigation statistics ("presentation.*").
+  obs::Counter* opens_ = nullptr;
+  obs::Counter* enters_ = nullptr;
+  obs::Counter* returns_ = nullptr;
+  obs::Gauge* depth_ = nullptr;
+  obs::Histogram* open_us_ = nullptr;
 };
 
 }  // namespace minos::core

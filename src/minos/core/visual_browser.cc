@@ -41,7 +41,11 @@ VisualBrowser::VisualBrowser(const MultimediaObject* obj,
       messages_(messages),
       clock_(clock),
       log_(log),
-      compositor_(screen) {}
+      compositor_(screen) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  page_turns_ = reg.counter("browser.visual.page_turns");
+  page_turn_us_ = reg.histogram("browser.visual.page_turn_us");
+}
 
 text::TextSpan VisualBrowser::PageTextSpan(size_t index) const {
   const VisualPageSpec& spec = obj_->descriptor().pages[index];
@@ -223,7 +227,13 @@ Status VisualBrowser::GotoPage(int number) {
                               std::to_string(page_count()));
   }
   current_ = static_cast<size_t>(number - 1);
-  return ShowCurrentPage();
+  // Page-turn latency is simulated time: presenting the page may play
+  // triggered messages and advance the clock.
+  const Micros presented_at = clock_->Now();
+  Status status = ShowCurrentPage();
+  page_turns_->Increment();
+  page_turn_us_->Record(static_cast<double>(clock_->Now() - presented_at));
+  return status;
 }
 
 Status VisualBrowser::GotoTextOffset(size_t offset) {

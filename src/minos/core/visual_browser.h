@@ -9,6 +9,7 @@
 #include "minos/core/events.h"
 #include "minos/core/message_player.h"
 #include "minos/core/page_compositor.h"
+#include "minos/obs/metrics.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/render/screen.h"
 #include "minos/text/search.h"
@@ -133,6 +134,12 @@ class VisualBrowser {
   /// Pixel rectangle of the word placement `w` within `region`.
   image::Rect PlacementRect(const text::WordPlacement& w,
                             const image::Rect& region) const;
+
+  /// Registry-owned page-turn statistics ("browser.visual.*"),
+  /// aggregated across browsers: every navigation that lands on a page
+  /// records the simulated time it took to present it.
+  obs::Counter* page_turns_ = nullptr;
+  obs::Histogram* page_turn_us_ = nullptr;
 
   size_t current_ = 0;
   size_t last_shown_ = 0;  ///< Page at the previous ShowCurrentPage().

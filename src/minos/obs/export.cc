@@ -1,0 +1,142 @@
+#include "minos/obs/export.h"
+
+#include <fstream>
+
+#include "minos/obs/json.h"
+
+namespace minos::obs {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot write '" + path + "'");
+  out << contents;
+  out.flush();
+  if (!out) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+void AppendHistogramJson(const HistogramSummary& h, std::string* out) {
+  *out += "{\"count\":" + std::to_string(h.count);
+  *out += ",\"sum\":" + JsonNumber(h.sum);
+  *out += ",\"min\":" + JsonNumber(h.min);
+  *out += ",\"max\":" + JsonNumber(h.max);
+  *out += ",\"mean\":" + JsonNumber(h.mean);
+  *out += ",\"p50\":" + JsonNumber(h.p50);
+  *out += ",\"p90\":" + JsonNumber(h.p90);
+  *out += ",\"p99\":" + JsonNumber(h.p99);
+  *out += "}";
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot,
+                           const SnapshotMeta& meta) {
+  std::string out = "{\"schema\":\"";
+  out += kMetricsSchema;
+  out += "\",\"bench\":\"" + JsonEscape(meta.bench) + "\"";
+  out += ",\"sim_time_us\":" + std::to_string(meta.sim_time_us);
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(snapshot.counters[i].first) +
+           "\":" + std::to_string(snapshot.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(snapshot.gauges[i].first) +
+           "\":" + JsonNumber(snapshot.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(snapshot.histograms[i].name) + "\":";
+    AppendHistogramJson(snapshot.histograms[i], &out);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string SnapshotToCsv(const MetricsSnapshot& snapshot) {
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "counter," + name + ",value," + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "gauge," + name + ",value," + JsonNumber(value) + "\n";
+  }
+  for (const HistogramSummary& h : snapshot.histograms) {
+    out += "histogram," + h.name + ",count," + std::to_string(h.count) + "\n";
+    out += "histogram," + h.name + ",sum," + JsonNumber(h.sum) + "\n";
+    out += "histogram," + h.name + ",min," + JsonNumber(h.min) + "\n";
+    out += "histogram," + h.name + ",max," + JsonNumber(h.max) + "\n";
+    out += "histogram," + h.name + ",mean," + JsonNumber(h.mean) + "\n";
+    out += "histogram," + h.name + ",p50," + JsonNumber(h.p50) + "\n";
+    out += "histogram," + h.name + ",p90," + JsonNumber(h.p90) + "\n";
+    out += "histogram," + h.name + ",p99," + JsonNumber(h.p99) + "\n";
+  }
+  return out;
+}
+
+Status WriteSnapshotJson(const MetricsRegistry& registry,
+                         const std::string& path, const SnapshotMeta& meta) {
+  return WriteFile(path, SnapshotToJson(registry.Snapshot(), meta) + "\n");
+}
+
+Status WriteSnapshotCsv(const MetricsRegistry& registry,
+                        const std::string& path) {
+  return WriteFile(path, SnapshotToCsv(registry.Snapshot()));
+}
+
+Status ValidateSnapshotJson(const std::string& json) {
+  MINOS_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("snapshot is not a JSON object");
+  }
+  if (root.Get("schema").string() != kMetricsSchema) {
+    return Status::InvalidArgument("schema tag is not '" +
+                                   std::string(kMetricsSchema) + "'");
+  }
+  if (!root.Get("bench").is_string()) {
+    return Status::InvalidArgument("missing string field 'bench'");
+  }
+  if (!root.Get("sim_time_us").is_number()) {
+    return Status::InvalidArgument("missing numeric field 'sim_time_us'");
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!root.Get(section).is_object()) {
+      return Status::InvalidArgument(std::string("missing object section '") +
+                                     section + "'");
+    }
+  }
+  for (const auto& [name, value] : root.Get("counters").object()) {
+    if (!value.is_number()) {
+      return Status::InvalidArgument("counter '" + name + "' is not numeric");
+    }
+  }
+  for (const auto& [name, value] : root.Get("gauges").object()) {
+    if (!value.is_number()) {
+      return Status::InvalidArgument("gauge '" + name + "' is not numeric");
+    }
+  }
+  static constexpr const char* kHistogramFields[] = {
+      "count", "sum", "min", "max", "mean", "p50", "p90", "p99"};
+  for (const auto& [name, value] : root.Get("histograms").object()) {
+    if (!value.is_object()) {
+      return Status::InvalidArgument("histogram '" + name +
+                                     "' is not an object");
+    }
+    for (const char* field : kHistogramFields) {
+      if (!value.Get(field).is_number()) {
+        return Status::InvalidArgument("histogram '" + name +
+                                       "' lacks numeric field '" + field +
+                                       "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace minos::obs

@@ -1,0 +1,51 @@
+#ifndef MINOS_OBS_EXPORT_H_
+#define MINOS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "minos/obs/metrics.h"
+#include "minos/util/clock.h"
+#include "minos/util/status.h"
+
+namespace minos::obs {
+
+/// Header fields of an exported snapshot — the `BENCH_*.json` trajectory
+/// format every bench run and the `--stats` tool flag produce.
+struct SnapshotMeta {
+  std::string bench;        ///< Experiment / scenario identifier.
+  Micros sim_time_us = 0;   ///< SimClock reading at export time.
+};
+
+/// Schema identifier written into (and required of) every snapshot.
+inline constexpr char kMetricsSchema[] = "minos.metrics.v1";
+
+/// Serializes a snapshot as one JSON document:
+///   {"schema":"minos.metrics.v1","bench":...,"sim_time_us":...,
+///    "counters":{name:value,...},"gauges":{...},
+///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+///                        "mean":..,"p50":..,"p90":..,"p99":..},...}}
+std::string SnapshotToJson(const MetricsSnapshot& snapshot,
+                           const SnapshotMeta& meta = {});
+
+/// Serializes a snapshot as CSV rows: kind,name,field,value — one row
+/// per counter/gauge and one per histogram summary field.
+std::string SnapshotToCsv(const MetricsSnapshot& snapshot);
+
+/// Snapshots `registry` and writes the JSON document to `path`.
+Status WriteSnapshotJson(const MetricsRegistry& registry,
+                         const std::string& path,
+                         const SnapshotMeta& meta = {});
+
+/// Snapshots `registry` and writes the CSV document to `path`.
+Status WriteSnapshotCsv(const MetricsRegistry& registry,
+                        const std::string& path);
+
+/// Validates that `json` is a well-formed minos.metrics.v1 snapshot:
+/// correct schema tag, sections present, every histogram carrying the
+/// full summary field set. Returns the offending detail on failure.
+/// (C++ twin of tools/check_stats_schema.py.)
+Status ValidateSnapshotJson(const std::string& json);
+
+}  // namespace minos::obs
+
+#endif  // MINOS_OBS_EXPORT_H_

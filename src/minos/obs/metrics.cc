@@ -1,0 +1,210 @@
+#include "minos/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minos::obs {
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (++since_accept_ < stride_) return;
+  since_accept_ = 0;
+  samples_.push_back(value);
+  if (samples_.size() > kMaxSamples) {
+    // Deterministic decimation: keep every other sample, double the
+    // acceptance stride.
+    std::vector<double> kept;
+    kept.reserve(samples_.size() / 2 + 1);
+    for (size_t i = 0; i < samples_.size(); i += 2) kept.push_back(samples_[i]);
+    samples_ = std::move(kept);
+    stride_ *= 2;
+  }
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+namespace {
+
+/// Nearest-rank percentile over sorted samples; the smallest value with
+/// at least pct% of samples <= it.
+double SortedPercentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+double Histogram::Percentile(double pct) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return SortedPercentile(sorted, pct);
+}
+
+HistogramSummary Histogram::Summarize() const {
+  HistogramSummary s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = SortedPercentile(sorted, 50);
+  s.p90 = SortedPercentile(sorted, 90);
+  s.p99 = SortedPercentile(sorted, 99);
+  return s;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  samples_.clear();
+  stride_ = 1;
+  since_accept_ = 0;
+}
+
+int64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSummary* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSummary& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+bool MetricsSnapshot::HasCounter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    (void)v;
+    if (n == name) return true;
+  }
+  return false;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::MakeScope(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scope_seq_.find(prefix);
+  if (it == scope_seq_.end()) {
+    it = scope_seq_.emplace(std::string(prefix), 0).first;
+  }
+  return std::string(prefix) + std::to_string(it->second++);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s = h->Summarize();
+    s.name = name;
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  scope_seq_.clear();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace minos::obs

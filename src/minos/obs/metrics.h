@@ -1,0 +1,167 @@
+#ifndef MINOS_OBS_METRICS_H_
+#define MINOS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minos::obs {
+
+/// Monotonically increasing event count (bytes transferred, cache hits,
+/// ...). Negative deltas are allowed for the rare "thin view" migrations
+/// that must support a reset-style accessor, but the intended use is
+/// increment-only.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Instantaneous level (navigation-stack depth, queue length, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // Single-writer in practice; CAS keeps concurrent adders safe.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Percentile summary of a histogram at snapshot time.
+struct HistogramSummary {
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Value distribution with exact count/sum/min/max and percentiles over
+/// a bounded sample set. Typical values are simulated-time durations in
+/// microseconds (the registry convention is a `_us` name suffix), which
+/// makes the percentiles deterministic and replayable: the SimClock, not
+/// the wall clock, drives them.
+///
+/// When more than kMaxSamples values arrive, the sample set is decimated
+/// deterministically (every other retained sample is dropped and the
+/// acceptance stride doubles), so percentiles degrade gracefully to a
+/// uniform subsample while count/sum/min/max stay exact.
+class Histogram {
+ public:
+  static constexpr size_t kMaxSamples = 4096;
+
+  void Record(double value);
+
+  int64_t count() const;
+  double sum() const;
+  double min() const;  ///< 0 when empty.
+  double max() const;  ///< 0 when empty.
+  double mean() const; ///< 0 when empty.
+
+  /// Nearest-rank percentile over the retained samples; `pct` in [0,100].
+  /// Returns 0 when empty.
+  double Percentile(double pct) const;
+
+  /// Summary with the standard percentile set (name left empty).
+  HistogramSummary Summarize() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+  uint64_t stride_ = 1;       // Accept every stride_-th observation.
+  uint64_t since_accept_ = 0; // Observations since the last accepted one.
+};
+
+/// Point-in-time copy of every registered metric, ordered by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSummary> histograms;
+
+  /// Lookup helpers for tests and tools; counters/gauges return 0 and
+  /// histograms nullptr when `name` is absent.
+  int64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  const HistogramSummary* FindHistogram(std::string_view name) const;
+  bool HasCounter(std::string_view name) const;
+};
+
+/// Name-addressed registry of counters, gauges and histograms — the one
+/// queryable surface for every statistic the presentation pipeline
+/// produces (cache hits, link transfers, queueing delays, page-turn
+/// latencies, ...). Metric objects are owned by the registry and live
+/// until the registry is destroyed; Reset() zeroes values but never
+/// invalidates pointers, so instrumented components may cache them.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry used when no registry is injected. Leaked on
+  /// purpose (never destroyed), so cached metric pointers stay valid in
+  /// static destructors.
+  static MetricsRegistry& Default();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. Counters, gauges and histograms live in separate namespaces.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Allocates a unique instance scope, e.g. MakeScope("link") returns
+  /// "link0", then "link1", ... Components prefix their metric names
+  /// with a scope so per-instance accessors stay per-instance.
+  std::string MakeScope(std::string_view prefix);
+
+  /// Copies every metric's current value, ordered by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all values and clears histogram samples; registrations (and
+  /// pointers handed out) stay valid. Scope sequence numbers also reset
+  /// so a fresh run re-derives the same metric names.
+  void Reset();
+
+  /// Number of registered metrics of all kinds.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, uint64_t, std::less<>> scope_seq_;
+};
+
+}  // namespace minos::obs
+
+#endif  // MINOS_OBS_METRICS_H_

@@ -1,0 +1,111 @@
+#include "minos/obs/trace.h"
+
+#include <algorithm>
+
+#include "minos/obs/json.h"
+#include "minos/util/logging.h"
+
+namespace minos::obs {
+
+TraceSpan Tracer::StartSpan(std::string name) {
+  SpanRecord record;
+  record.name = name;
+  record.start_us = NowUs();
+  record.end_us = record.start_us;
+  record.depth = static_cast<int>(open_.size());
+  record.parent = open_.empty() ? -1 : open_.back();
+  const int64_t index = static_cast<int64_t>(spans_.size());
+  spans_.push_back(std::move(record));
+  open_.push_back(index);
+  return TraceSpan(this, std::move(name), index);
+}
+
+void Tracer::Finish(int64_t index) {
+  if (index < 0 || index >= static_cast<int64_t>(spans_.size())) return;
+  SpanRecord& record = spans_[static_cast<size_t>(index)];
+  record.end_us = std::max(record.start_us, NowUs());
+  open_.erase(std::remove(open_.begin(), open_.end(), index), open_.end());
+  if (registry_ != nullptr) {
+    registry_->histogram("span." + record.name + "_us")
+        ->Record(static_cast<double>(record.duration_us()));
+  }
+  if (log_spans_) {
+    Logger::Get().Log(
+        LogLevel::kDebug, "obs/trace.cc", 0, "span",
+        {{"name", record.name},
+         {"start_us", std::to_string(record.start_us)},
+         {"dur_us", std::to_string(record.duration_us())},
+         {"depth", std::to_string(record.depth)}});
+  }
+}
+
+void Tracer::Clear() {
+  // Open spans would dangle; detach them first (their End() becomes a
+  // no-op via the bounds check in Finish).
+  open_.clear();
+  spans_.clear();
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "{\"schema\":\"minos.trace.v1\",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"start_us\":" + std::to_string(s.start_us);
+    out += ",\"end_us\":" + std::to_string(s.end_us);
+    out += ",\"depth\":" + std::to_string(s.depth);
+    out += ",\"parent\":" + std::to_string(s.parent);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+StatusOr<std::vector<SpanRecord>> Tracer::FromJson(std::string_view json) {
+  MINOS_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (!root.is_object() || !root.Get("spans").is_array()) {
+    return Status::InvalidArgument("not a minos.trace document");
+  }
+  std::vector<SpanRecord> out;
+  for (const JsonValue& v : root.Get("spans").array()) {
+    if (!v.is_object()) {
+      return Status::InvalidArgument("span entry is not an object");
+    }
+    SpanRecord s;
+    s.name = v.Get("name").string();
+    s.start_us = static_cast<Micros>(v.Get("start_us").number());
+    s.end_us = static_cast<Micros>(v.Get("end_us").number());
+    s.depth = static_cast<int>(v.Get("depth").number());
+    s.parent = static_cast<int64_t>(v.Get("parent").number());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : tracer_(other.tracer_), name_(std::move(other.name_)),
+      index_(other.index_) {
+  other.tracer_ = nullptr;
+}
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    index_ = other.index_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->Finish(index_);
+  tracer_ = nullptr;
+}
+
+}  // namespace minos::obs

@@ -1,0 +1,117 @@
+#ifndef MINOS_OBS_TRACE_H_
+#define MINOS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minos/obs/metrics.h"
+#include "minos/util/clock.h"
+#include "minos/util/statusor.h"
+
+namespace minos::obs {
+
+/// One finished span. Times come from the tracer's (simulated) clock, so
+/// a trace of a presentation session is deterministic and replayable:
+/// re-running the same scenario yields byte-identical trace output.
+struct SpanRecord {
+  std::string name;
+  Micros start_us = 0;
+  Micros end_us = 0;
+  int depth = 0;        ///< 0 = root span.
+  int64_t parent = -1;  ///< Index of the enclosing span record, -1 if root.
+
+  Micros duration_us() const { return end_us - start_us; }
+};
+
+class TraceSpan;
+
+/// Collects scoped spans against an injected Clock (normally the session
+/// SimClock). Spans nest: a span started while another is open records
+/// the open span as its parent. Finished spans optionally feed a
+/// `span.<name>_us` histogram in a MetricsRegistry and/or the structured
+/// log stream, so traces, metrics and log records line up on one
+/// timeline.
+class Tracer {
+ public:
+  /// `clock` is borrowed and may be null (all times read as 0 until a
+  /// clock is installed with set_clock).
+  explicit Tracer(const Clock* clock = nullptr) : clock_(clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_clock(const Clock* clock) { clock_ = clock; }
+
+  /// Mirrors every finished span's duration into
+  /// `registry->histogram("span." + name + "_us")`. Null disables.
+  void set_metrics_registry(MetricsRegistry* registry) {
+    registry_ = registry;
+  }
+
+  /// Emits a structured log record (level kDebug, module "trace") per
+  /// finished span, so spans and log records share one event stream.
+  void set_log_spans(bool log_spans) { log_spans_ = log_spans; }
+
+  /// Opens a span; it finishes when the returned object is destroyed or
+  /// End() is called. The tracer must outlive the span.
+  TraceSpan StartSpan(std::string name);
+
+  /// Span records in start order. A still-open span's end_us equals its
+  /// start_us until it finishes.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Depth of the currently open span chain (0 = none open).
+  int open_depth() const { return static_cast<int>(open_.size()); }
+
+  void Clear();
+
+  /// Serializes finished spans as {"schema":"minos.trace.v1","spans":[...]}.
+  std::string ToJson() const;
+
+  /// Parses ToJson() output back into records (round-trip support for
+  /// replay tooling and tests).
+  static StatusOr<std::vector<SpanRecord>> FromJson(std::string_view json);
+
+ private:
+  friend class TraceSpan;
+
+  Micros NowUs() const { return clock_ == nullptr ? 0 : clock_->Now(); }
+  void Finish(int64_t index);
+
+  const Clock* clock_;
+  MetricsRegistry* registry_ = nullptr;
+  bool log_spans_ = false;
+  std::vector<int64_t> open_;  // Indexes into spans_, innermost last.
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII handle for one span. Movable, not copyable; finishes at
+/// destruction unless End() already ran.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Finishes the span now; later calls (and destruction) are no-ops.
+  void End();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Tracer;
+  TraceSpan(Tracer* tracer, std::string name, int64_t index)
+      : tracer_(tracer), name_(std::move(name)), index_(index) {}
+
+  Tracer* tracer_ = nullptr;  ///< Null once finished/moved-from.
+  std::string name_;
+  int64_t index_ = -1;  ///< Record index in the tracer.
+};
+
+}  // namespace minos::obs
+
+#endif  // MINOS_OBS_TRACE_H_

@@ -2,21 +2,35 @@
 
 namespace minos::server {
 
+Link::Link(double bytes_per_second, Micros latency, SimClock* clock,
+           obs::MetricsRegistry* registry)
+    : bytes_per_second_(bytes_per_second), latency_(latency), clock_(clock) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Default();
+  const std::string scope = reg.MakeScope("link");
+  bytes_transferred_ = reg.counter(scope + ".bytes_total");
+  transfer_count_ = reg.counter(scope + ".transfers");
+  busy_time_ = reg.counter(scope + ".busy_time_us");
+  transfer_us_ = reg.histogram(scope + ".transfer_us");
+}
+
 Micros Link::Transfer(uint64_t bytes) {
   const Micros elapsed =
       latency_ + static_cast<Micros>(static_cast<double>(bytes) /
                                      bytes_per_second_ * 1e6);
   clock_->Advance(elapsed);
-  bytes_transferred_ += bytes;
-  ++transfer_count_;
-  busy_time_ += elapsed;
+  bytes_transferred_->Increment(static_cast<int64_t>(bytes));
+  transfer_count_->Increment();
+  busy_time_->Increment(elapsed);
+  transfer_us_->Record(static_cast<double>(elapsed));
   return elapsed;
 }
 
 void Link::ResetStats() {
-  bytes_transferred_ = 0;
-  transfer_count_ = 0;
-  busy_time_ = 0;
+  bytes_transferred_->Reset();
+  transfer_count_->Reset();
+  busy_time_->Reset();
+  transfer_us_->Reset();
 }
 
 }  // namespace minos::server

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "minos/obs/metrics.h"
 #include "minos/util/clock.h"
 
 namespace minos::server {
@@ -11,34 +12,44 @@ namespace minos::server {
 /// workstations interconnected through high capacity links", §5; the
 /// Waterloo implementation used Ethernet). Transfers advance the shared
 /// simulated clock.
+///
+/// Transfer statistics live in a MetricsRegistry under a unique instance
+/// scope ("link0.bytes_total", "link0.transfers", "link0.busy_time_us");
+/// the accessors below are thin views over those registry counters and
+/// behave exactly like the hand-rolled members they replaced.
 class Link {
  public:
-  /// `bytes_per_second` > 0; `latency` charged per transfer.
-  Link(double bytes_per_second, Micros latency, SimClock* clock)
-      : bytes_per_second_(bytes_per_second),
-        latency_(latency),
-        clock_(clock) {}
+  /// `bytes_per_second` > 0; `latency` charged per transfer. Statistics
+  /// register in `registry` (the process default when null).
+  Link(double bytes_per_second, Micros latency, SimClock* clock,
+       obs::MetricsRegistry* registry = nullptr);
 
   /// 10 Mbit/s Ethernet with 1 ms request latency.
-  static Link Ethernet(SimClock* clock) {
-    return Link(10.0 * 1000 * 1000 / 8, MillisToMicros(1), clock);
+  static Link Ethernet(SimClock* clock,
+                       obs::MetricsRegistry* registry = nullptr) {
+    return Link(10.0 * 1000 * 1000 / 8, MillisToMicros(1), clock, registry);
   }
 
   /// Transfers `bytes`; advances the clock and returns the elapsed time.
   Micros Transfer(uint64_t bytes);
 
-  uint64_t bytes_transferred() const { return bytes_transferred_; }
-  uint64_t transfer_count() const { return transfer_count_; }
-  Micros busy_time() const { return busy_time_; }
+  uint64_t bytes_transferred() const {
+    return static_cast<uint64_t>(bytes_transferred_->value());
+  }
+  uint64_t transfer_count() const {
+    return static_cast<uint64_t>(transfer_count_->value());
+  }
+  Micros busy_time() const { return busy_time_->value(); }
   void ResetStats();
 
  private:
   double bytes_per_second_;
   Micros latency_;
   SimClock* clock_;
-  uint64_t bytes_transferred_ = 0;
-  uint64_t transfer_count_ = 0;
-  Micros busy_time_ = 0;
+  obs::Counter* bytes_transferred_;  // Owned by the registry.
+  obs::Counter* transfer_count_;     // Owned by the registry.
+  obs::Counter* busy_time_;          // Owned by the registry; micros.
+  obs::Histogram* transfer_us_;      // Owned by the registry.
 };
 
 }  // namespace minos::server

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "minos/format/archive_mailer.h"
+#include "minos/obs/metrics.h"
 #include "minos/render/screen.h"
 #include "minos/util/coding.h"
 #include "minos/util/string_util.h"
@@ -70,6 +71,7 @@ StatusOr<ArchiveAddress> ObjectServer::Store(const MultimediaObject& obj) {
 }
 
 std::vector<ObjectId> ObjectServer::Query(std::string_view word) const {
+  obs::MetricsRegistry::Default().counter("server.queries")->Increment();
   std::vector<ObjectId> out;
   auto it = index_.find(AsciiToLower(word));
   if (it == index_.end()) return out;
@@ -115,6 +117,10 @@ StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id) {
   MINOS_ASSIGN_OR_RETURN(std::string resolved,
                          mailer.ResolvePointers(bytes));
   if (link_ != nullptr) link_->Transfer(resolved.size());
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.counter("server.fetches")->Increment();
+  reg.histogram("server.fetch_bytes")
+      ->Record(static_cast<double>(resolved.size()));
   return MultimediaObject::DeserializeArchived(id, resolved);
 }
 
@@ -128,6 +134,10 @@ StatusOr<MultimediaObject> ObjectServer::FetchVersion(ObjectId id,
   MINOS_ASSIGN_OR_RETURN(std::string resolved,
                          mailer.ResolvePointers(bytes));
   if (link_ != nullptr) link_->Transfer(resolved.size());
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.counter("server.fetches")->Increment();
+  reg.histogram("server.fetch_bytes")
+      ->Record(static_cast<double>(resolved.size()));
   return MultimediaObject::DeserializeArchived(id, resolved);
 }
 

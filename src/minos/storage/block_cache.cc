@@ -2,16 +2,24 @@
 
 namespace minos::storage {
 
-BlockCache::BlockCache(size_t capacity_blocks)
-    : capacity_(capacity_blocks) {}
+BlockCache::BlockCache(size_t capacity_blocks,
+                       obs::MetricsRegistry* registry)
+    : capacity_(capacity_blocks) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Default();
+  const std::string scope = reg.MakeScope("block_cache");
+  hits_ = reg.counter(scope + ".hits");
+  misses_ = reg.counter(scope + ".misses");
+  evictions_ = reg.counter(scope + ".evictions");
+}
 
 bool BlockCache::Lookup(uint64_t block, std::string* out) {
   auto it = map_.find(block);
   if (it == map_.end()) {
-    ++misses_;
+    misses_->Increment();
     return false;
   }
-  ++hits_;
+  hits_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   *out = it->second->payload;
   return true;
@@ -30,6 +38,7 @@ void BlockCache::Insert(uint64_t block, std::string payload) {
   while (map_.size() > capacity_) {
     map_.erase(lru_.back().block);
     lru_.pop_back();
+    evictions_->Increment();
   }
 }
 
@@ -46,8 +55,8 @@ void BlockCache::Clear() {
 }
 
 double BlockCache::HitRate() const {
-  const uint64_t total = hits_ + misses_;
-  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  const uint64_t total = hits() + misses();
+  return total == 0 ? 0.0 : static_cast<double>(hits()) / total;
 }
 
 }  // namespace minos::storage

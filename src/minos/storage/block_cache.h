@@ -6,17 +6,25 @@
 #include <string>
 #include <unordered_map>
 
+#include "minos/obs/metrics.h"
+
 namespace minos::storage {
 
 /// LRU cache of device blocks, standing in for the magnetic-disk / main
 /// memory caching layer of the MINOS server subsystem ("the subsystem
 /// provides access methods, scheduling, cashing, version control", §5).
 /// Keys are (device-local) block numbers; values are block payloads.
+///
+/// Hit/miss/eviction counters live in a MetricsRegistry under a unique
+/// instance scope ("block_cache0.hits", ...); the accessors below are
+/// thin views over those registry counters.
 class BlockCache {
  public:
   /// Creates a cache holding at most `capacity_blocks` blocks.
   /// Capacity 0 disables caching (every lookup misses).
-  explicit BlockCache(size_t capacity_blocks);
+  /// Statistics register in `registry` (the process default when null).
+  explicit BlockCache(size_t capacity_blocks,
+                      obs::MetricsRegistry* registry = nullptr);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -38,9 +46,15 @@ class BlockCache {
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
 
-  /// Hit/miss counters for the caching experiments.
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  /// Hit/miss/eviction counters for the caching experiments (views over
+  /// the registry-backed counters).
+  uint64_t hits() const { return static_cast<uint64_t>(hits_->value()); }
+  uint64_t misses() const {
+    return static_cast<uint64_t>(misses_->value());
+  }
+  uint64_t evictions() const {
+    return static_cast<uint64_t>(evictions_->value());
+  }
 
   /// Fraction of lookups that hit (0 when no lookups yet).
   double HitRate() const;
@@ -54,8 +68,9 @@ class BlockCache {
   size_t capacity_;
   std::list<Entry> lru_;  // Front = most recently used.
   std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  obs::Counter* hits_;       // Owned by the registry.
+  obs::Counter* misses_;     // Owned by the registry.
+  obs::Counter* evictions_;  // Owned by the registry.
 };
 
 }  // namespace minos::storage

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cstddef>
 #include <limits>
+#include <string>
 
 namespace minos::storage {
 
@@ -19,9 +21,28 @@ const char* SchedulingPolicyName(SchedulingPolicy policy) {
   return "?";
 }
 
+namespace {
+
+/// Lowercase policy tag used in metric names ("fcfs", "sstf", "scan").
+std::string PolicyTag(SchedulingPolicy policy) {
+  std::string tag = SchedulingPolicyName(policy);
+  for (char& c : tag) c = static_cast<char>(std::tolower(c));
+  return tag;
+}
+
+}  // namespace
+
 RequestScheduler::RequestScheduler(BlockDevice* device,
-                                   SchedulingPolicy policy)
-    : device_(device), policy_(policy) {}
+                                   SchedulingPolicy policy,
+                                   obs::MetricsRegistry* registry)
+    : device_(device), policy_(policy) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Default();
+  const std::string prefix = "scheduler." + PolicyTag(policy);
+  queueing_delay_us_ = reg.histogram(prefix + ".queueing_delay_us");
+  service_time_us_ = reg.histogram(prefix + ".service_time_us");
+  requests_ = reg.counter(prefix + ".requests");
+}
 
 size_t RequestScheduler::PickNext(const std::vector<IoRequest>& pending,
                                   uint64_t head, bool sweep_up) const {
@@ -120,6 +141,9 @@ std::vector<IoCompletion> RequestScheduler::Run(
     c.completion_time = now + service;
     c.queueing_delay = now - req.arrival_time;
     now = c.completion_time;
+    requests_->Increment();
+    queueing_delay_us_->Record(static_cast<double>(c.queueing_delay));
+    service_time_us_->Record(static_cast<double>(c.service_time));
     done.push_back(c);
   }
   return done;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "minos/obs/metrics.h"
 #include "minos/storage/block_device.h"
 #include "minos/util/clock.h"
 
@@ -54,10 +55,18 @@ struct QueueingStats {
 /// the requests that have arrived by the current time (or, if none, jumps
 /// to the next arrival), charges the device cost model, and records the
 /// completion. The device's clock is advanced to the makespan.
+/// Every completion is also recorded into registry-backed per-policy
+/// summaries — histograms "scheduler.<policy>.queueing_delay_us" and
+/// "scheduler.<policy>.service_time_us" plus the request counter
+/// "scheduler.<policy>.requests" — so queueing-delay percentiles
+/// accumulate across batches and export with every metrics snapshot.
+/// The one-off Summarize() aggregation remains for per-batch views.
 class RequestScheduler {
  public:
-  /// The device must outlive the scheduler.
-  RequestScheduler(BlockDevice* device, SchedulingPolicy policy);
+  /// The device must outlive the scheduler. Statistics register in
+  /// `registry` (the process default when null).
+  RequestScheduler(BlockDevice* device, SchedulingPolicy policy,
+                   obs::MetricsRegistry* registry = nullptr);
 
   /// Runs all `requests` to completion and returns per-request outcomes
   /// ordered by completion time. Requests must fit the device.
@@ -73,6 +82,9 @@ class RequestScheduler {
 
   BlockDevice* device_;
   SchedulingPolicy policy_;
+  obs::Histogram* queueing_delay_us_;  // Owned by the registry.
+  obs::Histogram* service_time_us_;    // Owned by the registry.
+  obs::Counter* requests_;             // Owned by the registry.
 };
 
 }  // namespace minos::storage

@@ -4,11 +4,36 @@
 #include <cctype>
 #include <array>
 
+#include "minos/obs/metrics.h"
+#include "minos/util/clock.h"
 #include "minos/util/string_util.h"
 
 namespace minos::text {
 
 namespace {
+
+/// Registry-owned pattern-matching statistics ("text.search.*"): direct
+/// scans, match yield, scanned bytes and real scan CPU time. Pointers
+/// cached once; the default registry's Reset() keeps them valid.
+struct SearchMetrics {
+  obs::Counter* scans;
+  obs::Counter* matches;
+  obs::Counter* scanned_bytes;
+  obs::Histogram* scan_wall_us;
+};
+
+SearchMetrics& Metrics() {
+  static SearchMetrics* m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return new SearchMetrics{
+        reg.counter("text.search.scans"),
+        reg.counter("text.search.matches"),
+        reg.counter("text.search.scanned_bytes"),
+        reg.histogram("text.search.scan_wall_us"),
+    };
+  }();
+  return *m;
+}
 
 /// Boyer-Moore-Horspool bad-character table.
 std::array<size_t, 256> BuildSkipTable(std::string_view pattern) {
@@ -27,6 +52,11 @@ std::vector<size_t> FindAll(std::string_view text,
   std::vector<size_t> hits;
   const size_t m = pattern.size();
   if (m == 0 || text.size() < m) return hits;
+  SearchMetrics& metrics = Metrics();
+  metrics.scans->Increment();
+  metrics.scanned_bytes->Increment(static_cast<int64_t>(text.size()));
+  static WallClock wall;  // Scan time is CPU work, not simulated time.
+  const Micros scan_started_at = wall.Now();
   const std::array<size_t, 256> skip = BuildSkipTable(pattern);
   size_t i = 0;
   while (i + m <= text.size()) {
@@ -39,6 +69,9 @@ std::vector<size_t> FindAll(std::string_view text,
       i += skip[static_cast<unsigned char>(text[i + m - 1])];
     }
   }
+  metrics.matches->Increment(static_cast<int64_t>(hits.size()));
+  metrics.scan_wall_us->Record(static_cast<double>(wall.Now() -
+                                                   scan_started_at));
   return hits;
 }
 
@@ -91,6 +124,7 @@ void WordIndex::AddPosting(std::string_view word, size_t position) {
 const std::vector<size_t>& WordIndex::Positions(
     std::string_view word) const {
   static const std::vector<size_t>* empty = new std::vector<size_t>();
+  obs::MetricsRegistry::Default().counter("text.index.lookups")->Increment();
   auto it = postings_.find(AsciiToLower(word));
   return it == postings_.end() ? *empty : it->second;
 }

@@ -4,36 +4,190 @@
 
 namespace minos {
 
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view file) {
+  const size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  return file;
+}
+
+/// Minimal JSON string escaping for the kJsonLines format (duplicated
+/// from obs/json.cc because util must not depend on obs).
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Logger& Logger::Get() {
   static Logger* logger = new Logger();
   return *logger;
 }
 
+std::string Logger::ModuleOf(std::string_view file) {
+  const size_t at = file.rfind("minos/");
+  if (at != std::string_view::npos) {
+    std::string_view rest = file.substr(at + 6);
+    const size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) {
+      return std::string(rest.substr(0, slash));
+    }
+  }
+  std::string_view base = Basename(file);
+  const size_t dot = base.rfind('.');
+  if (dot != std::string_view::npos) base = base.substr(0, dot);
+  return std::string(base);
+}
+
 void Logger::Log(LogLevel level, std::string_view file, int line,
                  const std::string& message) {
-  if (level < threshold_) return;
-  ++emitted_;
-  const char* name = "?";
-  switch (level) {
-    case LogLevel::kDebug:
-      name = "DEBUG";
-      break;
-    case LogLevel::kInfo:
-      name = "INFO";
-      break;
-    case LogLevel::kWarning:
-      name = "WARN";
-      break;
-    case LogLevel::kError:
-      name = "ERROR";
-      break;
+  Log(level, file, line, message, {});
+}
+
+void Logger::Log(LogLevel level, std::string_view file, int line,
+                 const std::string& message,
+                 std::vector<std::pair<std::string, std::string>> fields) {
+  LogRecord record;
+  record.level = level;
+  record.module = ModuleOf(file);
+  record.file = std::string(Basename(file));
+  record.line = line;
+  record.message = message;
+  record.fields = std::move(fields);
+  Emit(record);
+}
+
+void Logger::Emit(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogLevel threshold = threshold_;
+  if (auto it = module_thresholds_.find(record.module);
+      it != module_thresholds_.end()) {
+    threshold = it->second;
   }
-  // Strip directories from the file name for compact records.
-  size_t slash = file.rfind('/');
-  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
-  std::fprintf(stderr, "[%s %.*s:%d] %s\n", name,
-               static_cast<int>(file.size()), file.data(), line,
-               message.c_str());
+  if (record.level < threshold) return;
+  ++emitted_;
+  if (sink_) {
+    sink_(record);
+    return;
+  }
+  switch (format_) {
+    case LogFormat::kText: {
+      std::string suffix;
+      for (const auto& [key, value] : record.fields) {
+        suffix += " " + key + "=" + value;
+      }
+      std::fprintf(stderr, "[%s %s:%d] %s%s\n", LevelName(record.level),
+                   record.file.c_str(), record.line,
+                   record.message.c_str(), suffix.c_str());
+      break;
+    }
+    case LogFormat::kKeyValue: {
+      std::string out = std::string("level=") + LevelName(record.level) +
+                        " module=" + record.module + " file=" + record.file +
+                        ":" + std::to_string(record.line) + " msg=\"" +
+                        record.message + "\"";
+      for (const auto& [key, value] : record.fields) {
+        out += " " + key + "=" + value;
+      }
+      std::fprintf(stderr, "%s\n", out.c_str());
+      break;
+    }
+    case LogFormat::kJsonLines: {
+      std::string out = std::string("{\"level\":\"") +
+                        LevelName(record.level) + "\",\"module\":\"" +
+                        Escape(record.module) + "\",\"file\":\"" +
+                        Escape(record.file) + "\",\"line\":" +
+                        std::to_string(record.line) + ",\"msg\":\"" +
+                        Escape(record.message) + "\"";
+      if (!record.fields.empty()) {
+        out += ",\"fields\":{";
+        for (size_t i = 0; i < record.fields.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "\"" + Escape(record.fields[i].first) + "\":\"" +
+                 Escape(record.fields[i].second) + "\"";
+        }
+        out += "}";
+      }
+      out += "}";
+      std::fprintf(stderr, "%s\n", out.c_str());
+      break;
+    }
+  }
+}
+
+void Logger::set_threshold(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ = level;
+}
+
+LogLevel Logger::threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_;
+}
+
+void Logger::set_module_threshold(std::string_view module, LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  module_thresholds_[std::string(module)] = level;
+}
+
+void Logger::clear_module_thresholds() {
+  std::lock_guard<std::mutex> lock(mu_);
+  module_thresholds_.clear();
+}
+
+void Logger::set_format(LogFormat format) {
+  std::lock_guard<std::mutex> lock(mu_);
+  format_ = format;
+}
+
+LogFormat Logger::format() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return format_;
+}
+
+void Logger::SetSink(std::function<void(const LogRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+int Logger::emitted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
 }
 
 }  // namespace minos

@@ -1,35 +1,96 @@
 #ifndef MINOS_UTIL_LOGGING_H_
 #define MINOS_UTIL_LOGGING_H_
 
+#include <functional>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace minos {
 
 /// Severity of a log record.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Minimal logging sink. By default records at or above kWarning go to
-/// stderr; tests can lower the threshold or capture records.
+/// How records render on the stderr sink.
+enum class LogFormat {
+  kText,      ///< "[WARN file.cc:42] message" (the historical format).
+  kKeyValue,  ///< level=WARN module=storage ... msg="message" key=value ...
+  kJsonLines, ///< One JSON object per record.
+};
+
+/// One structured log record. `fields` carries the key=value payload;
+/// trace spans emit through the same type, so metrics, spans and log
+/// records share one event stream.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string file;     ///< Basename of the emitting file.
+  int line = 0;
+  std::string module;   ///< Component under src/minos/ ("storage", ...).
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Process-wide logging sink. By default records at or above kWarning go
+/// to stderr in the text format; tests can lower the threshold, switch
+/// to a structured format, set per-module thresholds, or capture records
+/// via SetSink. Thread-safe.
 class Logger {
  public:
   /// Process-wide logger instance.
   static Logger& Get();
 
-  /// Emits one record (thread-compatible; MINOS simulation is single
-  /// threaded by design, matching a single workstation session).
+  /// Emits one unstructured record.
   void Log(LogLevel level, std::string_view file, int line,
            const std::string& message);
 
-  /// Only records with level >= threshold are emitted.
-  void set_threshold(LogLevel level) { threshold_ = level; }
-  LogLevel threshold() const { return threshold_; }
+  /// Emits one structured record with key=value fields.
+  void Log(LogLevel level, std::string_view file, int line,
+           const std::string& message,
+           std::vector<std::pair<std::string, std::string>> fields);
+
+  /// Only records with level >= threshold are emitted; a per-module
+  /// threshold (see set_module_threshold) takes precedence.
+  void set_threshold(LogLevel level);
+  LogLevel threshold() const;
+
+  /// Overrides the threshold for one module — the component directory
+  /// under src/minos/ ("storage", "core", ...), or the file basename
+  /// stem for files outside the tree. Lowering a module to kDebug turns
+  /// on its span/trace records without flooding stderr globally.
+  void set_module_threshold(std::string_view module, LogLevel level);
+
+  /// Drops all per-module overrides.
+  void clear_module_thresholds();
+
+  /// Selects the stderr rendering (ignored when a sink is installed).
+  void set_format(LogFormat format);
+  LogFormat format() const;
+
+  /// Routes emitted records to `sink` instead of stderr; pass nullptr to
+  /// restore stderr output. The sink runs under the logger mutex — it
+  /// must not log recursively.
+  void SetSink(std::function<void(const LogRecord&)> sink);
 
   /// Number of records emitted since construction (observable by tests).
-  int emitted_count() const { return emitted_; }
+  int emitted_count() const;
+
+  /// The module a path maps to: the path component after "minos/"
+  /// ("minos/storage/block_cache.cc" -> "storage"), else the file
+  /// basename without extension.
+  static std::string ModuleOf(std::string_view file);
 
  private:
+  void Emit(const LogRecord& record);
+
+  mutable std::mutex mu_;
   LogLevel threshold_ = LogLevel::kWarning;
+  LogFormat format_ = LogFormat::kText;
+  std::map<std::string, LogLevel, std::less<>> module_thresholds_;
+  std::function<void(const LogRecord&)> sink_;
   int emitted_ = 0;
 };
 
@@ -54,5 +115,10 @@ class LogMessage {
 #define MINOS_LOG(level)                                              \
   ::minos::LogMessage(::minos::LogLevel::level, __FILE__, __LINE__) \
       .stream()
+
+/// Structured logging: MINOS_SLOG(kInfo, "transfer", {{"bytes","512"}}).
+#define MINOS_SLOG(level, message, ...)                               \
+  ::minos::Logger::Get().Log(::minos::LogLevel::level, __FILE__,      \
+                             __LINE__, (message), __VA_ARGS__)
 
 #endif  // MINOS_UTIL_LOGGING_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "minos/obs/metrics.h"
 #include "minos/util/string_util.h"
 
 namespace minos::voice {
@@ -51,6 +52,13 @@ RecognitionResult Recognizer::Recognize(const VoiceTrack& track) const {
           RecognizedUtterance{wrong, w.samples.begin, false});
     }
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.counter("voice.recognizer.runs")->Increment();
+  reg.counter("voice.recognizer.words_seen")
+      ->Increment(static_cast<int64_t>(result.words_seen));
+  reg.counter("voice.recognizer.utterances")
+      ->Increment(static_cast<int64_t>(result.utterances.size()));
+  reg.counter("voice.recognizer.cpu_us")->Increment(result.cpu_cost);
   return result;
 }
 

@@ -1,0 +1,174 @@
+#include "minos/obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace minos::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, ExactAggregates) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.Record(10.0);
+  h.Record(2.0);
+  h.Record(6.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 18.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(HistogramTest, NearestRankPercentiles) {
+  Histogram h;
+  for (int v = 100; v >= 1; --v) h.Record(v);  // Insertion order is free.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, SummarizeCarriesTheStandardSet) {
+  Histogram h;
+  for (int v = 1; v <= 10; ++v) h.Record(v);
+  const HistogramSummary s = h.Summarize();
+  EXPECT_EQ(s.count, 10);
+  EXPECT_DOUBLE_EQ(s.sum, 55.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p90, 9.0);
+  EXPECT_DOUBLE_EQ(s.p99, 10.0);
+}
+
+TEST(HistogramTest, DecimationKeepsExactAggregatesAndSanePercentiles) {
+  Histogram h;
+  const int n = 50000;  // Far beyond kMaxSamples: forces decimation.
+  double sum = 0.0;
+  for (int v = 1; v <= n; ++v) {
+    h.Record(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), n);
+  // The subsample is uniform over the stream, so percentiles stay within
+  // a few percent of the true values.
+  EXPECT_NEAR(h.Percentile(50), n * 0.50, n * 0.05);
+  EXPECT_NEAR(h.Percentile(90), n * 0.90, n * 0.05);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(7.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1);
+}
+
+TEST(MetricsRegistryTest, KindsLiveInSeparateNamespaces) {
+  MetricsRegistry reg;
+  reg.counter("x")->Increment(2);
+  reg.gauge("x")->Set(1.5);
+  reg.histogram("x")->Record(9.0);
+  EXPECT_EQ(reg.size(), 3u);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("x"), 2);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("x"), 1.5);
+  ASSERT_NE(snap.FindHistogram("x"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("x")->count, 1);
+}
+
+TEST(MetricsRegistryTest, MakeScopeAllocatesUniquePrefixes) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.MakeScope("link"), "link0");
+  EXPECT_EQ(reg.MakeScope("link"), "link1");
+  EXPECT_EQ(reg.MakeScope("cache"), "cache0");
+}
+
+TEST(MetricsRegistryTest, SnapshotIsOrderedByName) {
+  MetricsRegistry reg;
+  reg.counter("b")->Increment();
+  reg.counter("a")->Increment();
+  reg.counter("c")->Increment();
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a");
+  EXPECT_EQ(snap.counters[1].first, "b");
+  EXPECT_EQ(snap.counters[2].first, "c");
+  EXPECT_FALSE(snap.HasCounter("zzz"));
+  EXPECT_EQ(snap.CounterValue("zzz"), 0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsPointersAndNames) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("hits");
+  Histogram* h = reg.histogram("lat_us");
+  const std::string scope = reg.MakeScope("dev");
+  EXPECT_EQ(scope, "dev0");
+  c->Increment(5);
+  h->Record(3.0);
+  reg.Reset();
+  // Pointers stay valid, values are zeroed, scope numbering restarts.
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(reg.counter("hits"), c);
+  EXPECT_EQ(reg.MakeScope("dev"), "dev0");
+}
+
+TEST(MetricsRegistryTest, DefaultIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace minos::obs

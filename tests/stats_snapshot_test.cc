@@ -1,0 +1,222 @@
+// End-to-end observability test: drives a presentation session through
+// the full pipeline (object server + link + block cache + scheduler +
+// visual browsing), exports the default registry as a minos.metrics.v1
+// snapshot, and checks that every metric family the trajectory format
+// promises is present — the same families BENCH_*.json files and
+// `minos_render --stats` carry.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "minos/core/visual_browser.h"
+#include "minos/obs/export.h"
+#include "minos/obs/json.h"
+#include "minos/obs/metrics.h"
+#include "minos/server/object_server.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
+#include "minos/storage/request_scheduler.h"
+#include "minos/text/formatter.h"
+#include "minos/text/markup.h"
+#include "minos/util/random.h"
+
+namespace minos {
+namespace {
+
+object::MultimediaObject MakeVisualObject(storage::ObjectId id) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(R"(.TITLE Observability Session
+.PP
+The presentation manager requests the appropriate pieces of information
+from the multimedia object server subsystems and presents them.
+.CHAPTER Browsing
+.PP
+The user turns pages, enters relevant objects, and returns; every step
+leaves a latency sample behind in the registry.
+.PP
+A final snapshot captures the whole session in one document.
+)");
+  object::MultimediaObject obj(id);
+  obj.descriptor().layout.width = 40;
+  obj.descriptor().layout.height = 8;
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  text::TextFormatter formatter(obj.descriptor().layout);
+  const size_t pages = formatter.Paginate(obj.text_part()).value().size();
+  for (size_t i = 0; i < pages; ++i) {
+    object::VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    obj.descriptor().pages.push_back(page);
+  }
+  EXPECT_TRUE(obj.Archive().ok());
+  return obj;
+}
+
+/// Runs the pipeline against the default registry and returns the final
+/// SimClock reading.
+Micros DriveSession() {
+  SimClock clock;
+  storage::BlockDevice device("optical", 4096, 1024,
+                              storage::DeviceCostModel::OpticalDisk(),
+                              false, &clock);
+  storage::BlockCache cache(1024);
+  storage::Archiver archiver(&device, &cache);
+  storage::VersionStore versions;
+  server::Link link = server::Link::Ethernet(&clock);
+  server::ObjectServer server(&archiver, &versions, &clock, &link);
+
+  object::MultimediaObject obj = MakeVisualObject(1);
+  EXPECT_TRUE(server.Store(obj).ok());
+  cache.Clear();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(server.Fetch(1).ok());
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_GT(link.bytes_transferred(), 0u);
+
+  render::Screen screen;
+  core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+  core::EventLog log;
+  auto browser =
+      core::VisualBrowser::Open(&obj, &screen, &messages, &clock, &log);
+  EXPECT_TRUE(browser.ok());
+  while ((*browser)->AdvancePages(1).ok()) {
+  }
+
+  storage::RequestScheduler scheduler(&device,
+                                      storage::SchedulingPolicy::kFcfs);
+  Random rng(9);
+  std::vector<storage::IoRequest> reqs;
+  for (uint64_t id = 0; id < 32; ++id) {
+    storage::IoRequest req;
+    req.id = id;
+    req.block = rng.Uniform(4096 - 4);
+    req.count = 2;
+    req.arrival_time = static_cast<Micros>(rng.Uniform(100000));
+    reqs.push_back(req);
+  }
+  scheduler.Run(reqs);
+  return clock.Now();
+}
+
+TEST(StatsSnapshotTest, ExportedSnapshotCarriesEveryPipelineFamily) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.Reset();  // Deterministic instance scopes: block_cache0, link0, ...
+  const Micros sim_time = DriveSession();
+
+  obs::SnapshotMeta meta{"stats_snapshot_test", sim_time};
+  const std::string json = obs::SnapshotToJson(reg.Snapshot(), meta);
+  ASSERT_TRUE(obs::ValidateSnapshotJson(json).ok())
+      << obs::ValidateSnapshotJson(json).ToString();
+
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue& root = *parsed;
+  EXPECT_EQ(root.Get("schema").string(), "minos.metrics.v1");
+  EXPECT_EQ(root.Get("bench").string(), "stats_snapshot_test");
+  EXPECT_EQ(static_cast<Micros>(root.Get("sim_time_us").number()),
+            sim_time);
+
+  // Block cache and link families (counters).
+  const obs::JsonValue& counters = root.Get("counters");
+  for (const char* name :
+       {"block_cache0.hits", "block_cache0.misses",
+        "block_cache0.evictions", "link0.bytes_total", "link0.transfers",
+        "server.fetches"}) {
+    ASSERT_TRUE(counters.Has(name)) << "missing counter " << name;
+  }
+  EXPECT_GT(counters.Get("block_cache0.hits").number(), 0);
+  EXPECT_GT(counters.Get("block_cache0.misses").number(), 0);
+  EXPECT_GT(counters.Get("link0.bytes_total").number(), 0);
+  EXPECT_GT(counters.Get("link0.transfers").number(), 0);
+
+  // Scheduler queueing-delay percentiles and page-turn latency
+  // (histograms with the full summary field set).
+  const obs::JsonValue& histograms = root.Get("histograms");
+  for (const char* name :
+       {"scheduler.fcfs.queueing_delay_us", "scheduler.fcfs.service_time_us",
+        "browser.visual.page_turn_us", "link0.transfer_us"}) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(histograms.Has(name)) << "missing histogram " << name;
+    const obs::JsonValue& h = histograms.Get(name);
+    for (const char* field :
+         {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}) {
+      EXPECT_TRUE(h.Has(field)) << "missing field " << field;
+    }
+  }
+  EXPECT_GT(
+      histograms.Get("scheduler.fcfs.queueing_delay_us").Get("count")
+          .number(),
+      0);
+  EXPECT_GT(
+      histograms.Get("browser.visual.page_turn_us").Get("count").number(),
+      0);
+}
+
+TEST(StatsSnapshotTest, WriteSnapshotJsonRoundTripsThroughDisk) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.Reset();
+  reg.counter("demo.events")->Increment(3);
+  reg.histogram("demo.latency_us")->Record(12.0);
+
+  const std::string path = testing::TempDir() + "/snapshot_test.json";
+  obs::SnapshotMeta meta{"disk_round_trip", 77};
+  ASSERT_TRUE(obs::WriteSnapshotJson(reg, path, meta).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  ASSERT_TRUE(obs::ValidateSnapshotJson(json).ok())
+      << obs::ValidateSnapshotJson(json).ToString();
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("bench").string(), "disk_round_trip");
+  EXPECT_EQ(parsed->Get("sim_time_us").number(), 77.0);
+  EXPECT_EQ(parsed->Get("counters").Get("demo.events").number(), 3.0);
+  EXPECT_EQ(
+      parsed->Get("histograms").Get("demo.latency_us").Get("count").number(),
+      1.0);
+  std::remove(path.c_str());
+}
+
+TEST(StatsSnapshotTest, CsvExportListsEveryMetric) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.hits")->Increment(2);
+  reg.gauge("b.depth")->Set(1.0);
+  reg.histogram("c.lat_us")->Record(5.0);
+  const std::string csv = obs::SnapshotToCsv(reg.Snapshot());
+  EXPECT_NE(csv.find("counter,a.hits,value,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("gauge,b.depth,value,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram,c.lat_us,count,1"), std::string::npos)
+      << csv;
+}
+
+TEST(StatsSnapshotTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ValidateSnapshotJson("not json").ok());
+  EXPECT_FALSE(obs::ValidateSnapshotJson("{}").ok());
+  EXPECT_FALSE(
+      obs::ValidateSnapshotJson(
+          R"({"schema":"wrong.v0","bench":"x","sim_time_us":0,)"
+          R"("counters":{},"gauges":{},"histograms":{}})")
+          .ok());
+  // Histogram missing its percentile fields.
+  EXPECT_FALSE(
+      obs::ValidateSnapshotJson(
+          R"({"schema":"minos.metrics.v1","bench":"x","sim_time_us":0,)"
+          R"("counters":{},"gauges":{},"histograms":{"h":{"count":1}}})")
+          .ok());
+  EXPECT_TRUE(
+      obs::ValidateSnapshotJson(
+          R"({"schema":"minos.metrics.v1","bench":"x","sim_time_us":0,)"
+          R"("counters":{},"gauges":{},"histograms":{}})")
+          .ok());
+}
+
+}  // namespace
+}  // namespace minos

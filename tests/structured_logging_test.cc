@@ -1,0 +1,126 @@
+#include "minos/util/logging.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "minos/obs/trace.h"
+#include "minos/util/clock.h"
+
+namespace minos {
+namespace {
+
+/// Restores the process-wide logger to its defaults on scope exit so
+/// tests cannot leak thresholds/sinks into each other.
+class LoggerGuard {
+ public:
+  LoggerGuard() = default;
+  ~LoggerGuard() {
+    Logger& log = Logger::Get();
+    log.SetSink(nullptr);
+    log.set_threshold(LogLevel::kWarning);
+    log.set_format(LogFormat::kText);
+    log.clear_module_thresholds();
+  }
+};
+
+TEST(LoggerTest, ThresholdFiltersRecords) {
+  LoggerGuard guard;
+  Logger& log = Logger::Get();
+  std::vector<LogRecord> captured;
+  log.SetSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  log.set_threshold(LogLevel::kWarning);
+  log.Log(LogLevel::kInfo, "minos/storage/block_cache.cc", 1, "dropped");
+  log.Log(LogLevel::kError, "minos/storage/block_cache.cc", 2, "kept");
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].message, "kept");
+  EXPECT_EQ(captured[0].module, "storage");
+  EXPECT_EQ(captured[0].file, "block_cache.cc");
+  EXPECT_EQ(captured[0].line, 2);
+}
+
+TEST(LoggerTest, ModuleThresholdOverridesGlobal) {
+  LoggerGuard guard;
+  Logger& log = Logger::Get();
+  std::vector<LogRecord> captured;
+  log.SetSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  log.set_threshold(LogLevel::kError);
+  log.set_module_threshold("core", LogLevel::kDebug);
+  log.Log(LogLevel::kDebug, "minos/core/visual_browser.cc", 1, "core dbg");
+  log.Log(LogLevel::kDebug, "minos/storage/archiver.cc", 1, "storage dbg");
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].message, "core dbg");
+  log.clear_module_thresholds();
+  log.Log(LogLevel::kDebug, "minos/core/visual_browser.cc", 1, "core dbg");
+  EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST(LoggerTest, StructuredFieldsReachTheSink) {
+  LoggerGuard guard;
+  Logger& log = Logger::Get();
+  LogRecord seen;
+  log.SetSink([&seen](const LogRecord& r) { seen = r; });
+  MINOS_SLOG(kWarning, "transfer complete",
+             {{"bytes", "512"}, {"link", "ethernet"}});
+  ASSERT_EQ(seen.fields.size(), 2u);
+  EXPECT_EQ(seen.fields[0].first, "bytes");
+  EXPECT_EQ(seen.fields[0].second, "512");
+  EXPECT_EQ(seen.fields[1].first, "link");
+  EXPECT_EQ(seen.fields[1].second, "ethernet");
+  EXPECT_EQ(seen.message, "transfer complete");
+}
+
+TEST(LoggerTest, ModuleOfMapsPathsUnderMinos) {
+  EXPECT_EQ(Logger::ModuleOf("minos/storage/block_cache.cc"), "storage");
+  EXPECT_EQ(Logger::ModuleOf("/root/repo/src/minos/core/browser.cc"),
+            "core");
+  EXPECT_EQ(Logger::ModuleOf("scratch/tool.cc"), "tool");
+}
+
+TEST(LoggerTest, ConcurrentLoggingIsLossless) {
+  LoggerGuard guard;
+  Logger& log = Logger::Get();
+  std::atomic<int> seen{0};
+  log.SetSink([&seen](const LogRecord&) {
+    seen.fetch_add(1, std::memory_order_relaxed);
+  });
+  log.set_threshold(LogLevel::kDebug);
+  const int before = log.emitted_count();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < 500; ++i) {
+        MINOS_LOG(kInfo) << "worker message " << i;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(seen.load(), 2000);
+  EXPECT_EQ(log.emitted_count() - before, 2000);
+}
+
+TEST(LoggerTest, TracerSpansShareTheLogStream) {
+  LoggerGuard guard;
+  Logger& log = Logger::Get();
+  std::vector<LogRecord> captured;
+  log.SetSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  log.set_module_threshold("trace", LogLevel::kDebug);
+
+  SimClock clock;
+  obs::Tracer tracer(&clock);
+  tracer.set_log_spans(true);
+  {
+    obs::TraceSpan span = tracer.StartSpan("open#1");
+    clock.Advance(42);
+  }
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].module, "trace");
+  ASSERT_GE(captured[0].fields.size(), 2u);
+  EXPECT_EQ(captured[0].fields[0].first, "name");
+  EXPECT_EQ(captured[0].fields[0].second, "open#1");
+  EXPECT_EQ(captured[0].fields[2].second, "42");  // dur_us
+}
+
+}  // namespace
+}  // namespace minos

@@ -1,0 +1,145 @@
+#include "minos/obs/trace.h"
+
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "minos/obs/metrics.h"
+#include "minos/util/clock.h"
+
+namespace minos::obs {
+namespace {
+
+TEST(TraceSpanTest, RecordsSimClockDurations) {
+  SimClock clock(100);
+  Tracer tracer(&clock);
+  {
+    TraceSpan span = tracer.StartSpan("fetch");
+    clock.Advance(250);
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const SpanRecord& rec = tracer.spans()[0];
+  EXPECT_EQ(rec.name, "fetch");
+  EXPECT_EQ(rec.start_us, 100);
+  EXPECT_EQ(rec.end_us, 350);
+  EXPECT_EQ(rec.duration_us(), 250);
+  EXPECT_EQ(rec.depth, 0);
+  EXPECT_EQ(rec.parent, -1);
+  EXPECT_EQ(tracer.open_depth(), 0);
+}
+
+TEST(TraceSpanTest, NestedSpansTrackDepthAndParent) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  {
+    TraceSpan outer = tracer.StartSpan("open");
+    clock.Advance(10);
+    {
+      TraceSpan inner = tracer.StartSpan("enter");
+      EXPECT_EQ(tracer.open_depth(), 2);
+      clock.Advance(5);
+    }
+    clock.Advance(10);
+    TraceSpan sibling = tracer.StartSpan("tour");
+    clock.Advance(1);
+    sibling.End();
+  }
+  // Records are kept in start order: open, enter, tour.
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.spans()[0].name, "open");
+  EXPECT_EQ(tracer.spans()[0].depth, 0);
+  EXPECT_EQ(tracer.spans()[0].parent, -1);
+  EXPECT_EQ(tracer.spans()[1].name, "enter");
+  EXPECT_EQ(tracer.spans()[1].depth, 1);
+  EXPECT_EQ(tracer.spans()[1].parent, 0);
+  EXPECT_EQ(tracer.spans()[2].name, "tour");
+  EXPECT_EQ(tracer.spans()[2].depth, 1);
+  EXPECT_EQ(tracer.spans()[2].parent, 0);
+  // The outer span closed last and covers the whole interval.
+  EXPECT_EQ(tracer.spans()[0].duration_us(), 26);
+  EXPECT_EQ(tracer.spans()[1].duration_us(), 5);
+}
+
+TEST(TraceSpanTest, EndIsIdempotentAndMoveSafe) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceSpan span = tracer.StartSpan("a");
+  clock.Advance(3);
+  span.End();
+  clock.Advance(100);
+  span.End();  // No-op.
+  TraceSpan moved = std::move(span);
+  moved.End();  // Moved-from source already finished; still a no-op.
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].duration_us(), 3);
+
+  // A live span survives a move and finishes exactly once.
+  TraceSpan b = tracer.StartSpan("b");
+  TraceSpan b2 = std::move(b);
+  clock.Advance(7);
+  b2.End();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].duration_us(), 7);
+}
+
+TEST(TraceSpanTest, MirrorsDurationsIntoRegistryHistogram) {
+  SimClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock);
+  tracer.set_metrics_registry(&registry);
+  for (int i = 1; i <= 3; ++i) {
+    TraceSpan span = tracer.StartSpan("page_turn");
+    clock.Advance(i * 10);
+  }
+  Histogram* h = registry.histogram("span.page_turn_us");
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_DOUBLE_EQ(h->sum(), 60.0);
+}
+
+TEST(TraceSpanTest, ClearWhileOpenIsSafe) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceSpan span = tracer.StartSpan("orphan");
+  tracer.Clear();
+  EXPECT_EQ(tracer.open_depth(), 0);
+  span.End();  // Must not touch the cleared record list.
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TraceSpanTest, JsonRoundTrip) {
+  SimClock clock(7);
+  Tracer tracer(&clock);
+  {
+    TraceSpan outer = tracer.StartSpan("open \"quoted\"");
+    clock.Advance(11);
+    TraceSpan inner = tracer.StartSpan("enter");
+    clock.Advance(2);
+    inner.End();
+    clock.Advance(1);
+  }
+  const std::string json = tracer.ToJson();
+  auto parsed = Tracer::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), tracer.spans().size());
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const SpanRecord& a = tracer.spans()[i];
+    const SpanRecord& b = (*parsed)[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.start_us, b.start_us);
+    EXPECT_EQ(a.end_us, b.end_us);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.parent, b.parent);
+  }
+}
+
+TEST(TraceSpanTest, NullClockReadsZero) {
+  Tracer tracer;
+  {
+    TraceSpan span = tracer.StartSpan("no_clock");
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].start_us, 0);
+  EXPECT_EQ(tracer.spans()[0].end_us, 0);
+}
+
+}  // namespace
+}  // namespace minos::obs

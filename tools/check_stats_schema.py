@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validates exported MINOS metrics snapshots (minos.metrics.v1).
+
+Usage:
+    check_stats_schema.py SNAPSHOT.json [SNAPSHOT.json ...]
+    check_stats_schema.py --require-pipeline BENCH_SYM_1.json
+
+Checks the schema contract that `minos::obs::ValidateSnapshotJson`
+enforces in C++: schema tag, bench string, numeric sim_time_us, the
+three metric sections, numeric values throughout, and the full
+count/sum/min/max/mean/p50/p90/p99 field set on every histogram.
+
+With --require-pipeline, additionally requires the metric families a
+full presentation-pipeline run produces (block cache, link, scheduler,
+page-turn latency) — the acceptance gate for BENCH_*.json trajectories
+and `minos_render --stats` output.
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "minos.metrics.v1"
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+# Metric families a full pipeline run must have touched. Instance scopes
+# are numbered (block_cache0, link1, ...), so these are name prefixes /
+# substrings rather than exact names.
+PIPELINE_COUNTER_PATTERNS = (
+    ("block_cache", ".hits"),
+    ("block_cache", ".misses"),
+    ("link", ".bytes_total"),
+    ("link", ".transfers"),
+)
+PIPELINE_HISTOGRAM_PATTERNS = (
+    ("scheduler.", ".queueing_delay_us"),
+    ("browser.", ".page_turn_us"),
+)
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate(doc, require_pipeline=False):
+    """Returns a list of problem strings (empty when valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema tag is not '{SCHEMA}'")
+    if not isinstance(doc.get("bench"), str):
+        problems.append("missing string field 'bench'")
+    if not _is_number(doc.get("sim_time_us")):
+        problems.append("missing numeric field 'sim_time_us'")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            problems.append(f"missing object section '{section}'")
+    if problems:
+        return problems
+
+    for name, value in doc["counters"].items():
+        if not _is_number(value):
+            problems.append(f"counter '{name}' is not numeric")
+    for name, value in doc["gauges"].items():
+        if not _is_number(value):
+            problems.append(f"gauge '{name}' is not numeric")
+    for name, summary in doc["histograms"].items():
+        if not isinstance(summary, dict):
+            problems.append(f"histogram '{name}' is not an object")
+            continue
+        for field in HISTOGRAM_FIELDS:
+            if not _is_number(summary.get(field)):
+                problems.append(f"histogram '{name}' missing field '{field}'")
+
+    if require_pipeline:
+        for prefix, suffix in PIPELINE_COUNTER_PATTERNS:
+            if not any(
+                n.startswith(prefix) and n.endswith(suffix)
+                for n in doc["counters"]
+            ):
+                problems.append(f"no pipeline counter {prefix}*{suffix}")
+        for prefix, suffix in PIPELINE_HISTOGRAM_PATTERNS:
+            if not any(
+                n.startswith(prefix) and n.endswith(suffix)
+                for n in doc["histograms"]
+            ):
+                problems.append(f"no pipeline histogram {prefix}*{suffix}")
+    return problems
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="snapshot JSON files")
+    parser.add_argument(
+        "--require-pipeline",
+        action="store_true",
+        help="also require block-cache/link/scheduler/page-turn families",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL: {err}")
+            failed = True
+            continue
+        problems = validate(doc, require_pipeline=args.require_pipeline)
+        if problems:
+            failed = True
+            print(f"{path}: FAIL")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            counters = len(doc["counters"])
+            gauges = len(doc["gauges"])
+            histograms = len(doc["histograms"])
+            print(
+                f"{path}: OK (bench={doc['bench']!r}, {counters} counters, "
+                f"{gauges} gauges, {histograms} histograms)"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,22 +8,38 @@
 // as produced by Image::Serialize()).
 //
 // Usage:
-//   minos_render [-d data_dir] [-o out_prefix] [-a] synthesis_file
-//     -d DIR   directory holding the data files (default: alongside input)
-//     -o PRE   output prefix (default: "page"); writes PRE_001.pgm ...
-//     -a       additionally print each page as ASCII art to stdout
+//   minos_render [-d data_dir] [-o out_prefix] [-a] [--stats=PATH]
+//                synthesis_file
+//     -d DIR        directory holding the data files (default: alongside
+//                   input)
+//     -o PRE        output prefix (default: "page"); writes PRE_001.pgm ...
+//     -a            additionally print each page as ASCII art to stdout
+//     --stats=PATH  after rendering, replay the formatted object through
+//                   the full presentation pipeline (archive at an object
+//                   server, fetch over the link through the block cache,
+//                   browse every page, run a contended scheduler pass) and
+//                   write a minos.metrics.v1 snapshot to PATH
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "minos/core/editing_preview.h"
 #include "minos/core/page_compositor.h"
+#include "minos/core/visual_browser.h"
 #include "minos/format/object_formatter.h"
+#include "minos/obs/export.h"
+#include "minos/obs/metrics.h"
 #include "minos/render/export.h"
 #include "minos/render/screen.h"
+#include "minos/server/object_server.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
+#include "minos/storage/request_scheduler.h"
+#include "minos/util/random.h"
 
 namespace minos {
 namespace {
@@ -36,16 +52,72 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+/// Replays `object` through the archival/presentation pipeline so the
+/// exported snapshot covers every subsystem the real session would touch:
+/// object-server store + repeated link fetches through the block cache,
+/// a page-by-page browse (page-turn latency), and a contended SCAN
+/// scheduler batch (queueing-delay percentiles).
+Status CollectPipelineStats(object::MultimediaObject* object,
+                            const std::string& stats_path) {
+  SimClock clock;
+  storage::BlockDevice device("optical", 20000, 1024,
+                              storage::DeviceCostModel::OpticalDisk(),
+                              false, &clock);
+  storage::BlockCache cache(64);
+  storage::Archiver archiver(&device, &cache);
+  storage::VersionStore versions;
+  server::Link link = server::Link::Ethernet(&clock);
+  server::ObjectServer server(&archiver, &versions, &clock, &link);
+  MINOS_RETURN_IF_ERROR(object->Archive());
+  MINOS_RETURN_IF_ERROR(server.Store(*object).status());
+  for (int round = 0; round < 4; ++round) {
+    MINOS_RETURN_IF_ERROR(server.Fetch(object->id()).status());
+  }
+
+  if (!object->descriptor().pages.empty()) {
+    render::Screen screen;
+    core::MessagePlayer messages(&clock, voice::SpeakerParams{});
+    core::EventLog log;
+    MINOS_ASSIGN_OR_RETURN(
+        auto browser,
+        core::VisualBrowser::Open(object, &screen, &messages, &clock,
+                                  &log));
+    while (browser->AdvancePages(1).ok()) {
+    }
+  }
+
+  storage::RequestScheduler scheduler(&device,
+                                      storage::SchedulingPolicy::kScan);
+  Random rng(42);
+  std::vector<storage::IoRequest> reqs;
+  for (uint64_t id = 0; id < 128; ++id) {
+    storage::IoRequest req;
+    req.id = id;
+    req.block = rng.Uniform(20000 - 8);
+    req.count = 4;
+    req.arrival_time = static_cast<Micros>(rng.Uniform(1000000));
+    reqs.push_back(req);
+  }
+  scheduler.Run(reqs);
+
+  obs::SnapshotMeta meta{"minos_render", clock.Now()};
+  return obs::WriteSnapshotJson(obs::MetricsRegistry::Default(),
+                                stats_path, meta);
+}
+
 int Run(int argc, char** argv) {
   std::string data_dir;
   std::string prefix = "page";
   bool ascii = false;
+  std::string stats_path;
   std::string input;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-d") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       prefix = argv[++i];
+    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+      stats_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "-a") == 0) {
       ascii = true;
     } else if (argv[i][0] != '-') {
@@ -122,6 +194,13 @@ int Run(int argc, char** argv) {
     if (ascii) {
       std::printf("%s\n", render::ToAscii(*raster, 96).c_str());
     }
+  }
+  if (!stats_path.empty()) {
+    if (Status s = CollectPipelineStats(&*object, stats_path); !s.ok()) {
+      std::fprintf(stderr, "stats: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", stats_path.c_str());
   }
   return 0;
 }
