@@ -1,0 +1,192 @@
+// FAULT-1: page latency and recovery effort as the fault rate rises. The
+// same query-select-present-browse session runs under increasingly hostile
+// link conditions; the table reports what the user experienced (sessions
+// completed, time to first page) and what the recovery machinery spent to
+// deliver it (faults absorbed, retries, breaker transitions). A final
+// dead-link phase drives the circuit breaker through its open/half-open
+// cycle so the exported snapshot carries every fault metric family.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minos/core/presentation_manager.h"
+#include "minos/obs/metrics.h"
+#include "minos/server/object_server.h"
+#include "minos/server/workstation.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+object::MultimediaObject TextObject(storage::ObjectId id,
+                                    const text::Document& doc) {
+  object::MultimediaObject obj(id);
+  obj.descriptor().layout.width = 48;
+  obj.descriptor().layout.height = 12;
+  obj.SetTextPart(doc).ok();
+  text::TextFormatter formatter(obj.descriptor().layout);
+  const size_t n = formatter.Paginate(obj.text_part()).value().size();
+  for (size_t i = 0; i < n; ++i) {
+    object::VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    obj.descriptor().pages.push_back(page);
+  }
+  obj.Archive().ok();
+  return obj;
+}
+
+object::MultimediaObject AudioObject(storage::ObjectId id,
+                                     const text::Document& doc) {
+  object::MultimediaObject obj(id);
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  auto track = synth.Synthesize(doc);
+  if (track.ok()) {
+    obj.SetVoicePart(voice::VoiceDocument(std::move(track).value())).ok();
+  }
+  obj.SetTextPart(doc).ok();
+  obj.descriptor().driving_mode = object::DrivingMode::kAudio;
+  obj.Archive().ok();
+  return obj;
+}
+
+struct SweepPoint {
+  const char* label;
+  server::FaultProfile profile;
+};
+
+int Run() {
+  bench::PrintHeader("fault_sweep", "page latency under injected faults");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  text::MarkupParser parser;
+  auto report = parser.Parse(
+      ".TITLE Field Report\n.CHAPTER Findings\n.PP\nThe hospital reviewed "
+      "the radiographs on Thursday and found a hairline fracture.\n"
+      ".CHAPTER Plan\n.PP\nA short arm cast for three weeks, then a follow "
+      "up radiograph at the hospital.\n");
+  if (!report.ok()) return 1;
+
+  std::vector<SweepPoint> sweep;
+  sweep.push_back({"none", server::FaultProfile::None()});
+  {
+    server::FaultProfile p;
+    p.drop_rate = 0.05;
+    sweep.push_back({"drop5", p});
+  }
+  sweep.push_back({"flaky", server::FaultProfile::Flaky()});
+  sweep.push_back({"storm", server::FaultProfile::Storm()});
+
+  std::printf("%-8s %-10s %-9s %-9s %-12s %-12s\n", "profile", "sessions",
+              "faults", "retries", "first_pg_ms", "p99_open_ms");
+
+  Micros last_sim_time = 0;
+  for (const SweepPoint& point : sweep) {
+    SimClock clock;
+    storage::BlockDevice device("optical", 65536, 512,
+                                storage::DeviceCostModel::OpticalDisk(),
+                                true, &clock);
+    storage::BlockCache cache(256);
+    storage::Archiver archiver(&device, &cache);
+    storage::VersionStore versions;
+    server::Link link = server::Link::Ethernet(&clock);
+    server::ObjectServer server(&archiver, &versions, &clock, &link);
+    server::FaultInjector injector(point.profile, 0xFA17, &clock);
+    link.SetFaultInjector(&injector);
+    if (!server.Store(TextObject(1, *report)).ok()) return 1;
+    if (!server.Store(AudioObject(2, *report)).ok()) return 1;
+
+    render::Screen screen;
+    server::Workstation workstation(&server, &screen, &clock);
+    obs::Histogram* open_us = reg.histogram("fault_sweep.page_open_us");
+    const int64_t retries_before =
+        reg.counter("retry.retries_total")->value();
+
+    int completed = 0;
+    double first_page_ms = 0;
+    const int kSessions = 12;
+    for (int session = 0; session < kSessions; ++session) {
+      auto browser = workstation.Query({"hospital"});
+      if (!browser.ok()) continue;
+      bool ok = true;
+      for (storage::ObjectId id = 1; id <= 2 && ok; ++id) {
+        const Micros before = clock.Now();
+        ok = workstation.Present(id).ok();
+        if (!ok) break;
+        const Micros open_time = clock.Now() - before;
+        open_us->Record(static_cast<double>(open_time));
+        if (completed == 0 && id == 1) {
+          first_page_ms =
+              static_cast<double>(MicrosToMillis(open_time));
+        }
+        if (core::VisualBrowser* vb =
+                workstation.presentation().visual_browser()) {
+          while (vb->NextPage().ok()) {
+          }
+        }
+      }
+      if (ok) ++completed;
+    }
+
+    const obs::MetricsSnapshot snap = reg.Snapshot();
+    const obs::HistogramSummary* h =
+        snap.FindHistogram("fault_sweep.page_open_us");
+    std::printf("%-8s %2d/%-7d %-9llu %-9lld %-12.1f %-12.1f\n", point.label,
+                completed, kSessions,
+                static_cast<unsigned long long>(injector.faults_injected()),
+                static_cast<long long>(
+                    reg.counter("retry.retries_total")->value() -
+                    retries_before),
+                first_page_ms, h != nullptr ? h->p99 / 1000.0 : 0.0);
+    last_sim_time = clock.Now();
+  }
+
+  // Dead-link phase: every transfer drops until the breaker opens, then
+  // the link heals and the half-open probe closes it again.
+  {
+    SimClock clock;
+    storage::BlockDevice device("optical", 65536, 512,
+                                storage::DeviceCostModel::Instant(), true,
+                                &clock);
+    storage::BlockCache cache(256);
+    storage::Archiver archiver(&device, &cache);
+    storage::VersionStore versions;
+    server::Link link = server::Link::Ethernet(&clock);
+    server::ObjectServer server(&archiver, &versions, &clock, &link);
+    server::FaultProfile dead;
+    dead.drop_rate = 1.0;
+    server::FaultInjector injector(dead, 0xDEAD, &clock);
+    link.SetFaultInjector(&injector);
+    server::CircuitBreaker::Options options;
+    options.failure_threshold = 4;
+    link.ConfigureBreaker(options);
+    if (!server.Store(TextObject(1, *report)).ok()) return 1;
+
+    server.Fetch(1).ok();  // Trips the breaker.
+    server.Fetch(1).ok();  // Fails fast while open.
+    const bool opened =
+        link.breaker().state() == server::CircuitBreaker::State::kOpen;
+    injector.set_profile(server::FaultProfile::None());  // The link heals.
+    clock.Advance(options.cooldown_us);
+    const bool recovered = server.Fetch(1).ok();
+    std::printf("breaker: opened=%s recovered_after_cooldown=%s\n",
+                opened ? "yes" : "NO", recovered ? "yes" : "NO");
+    last_sim_time += clock.Now();
+  }
+
+  std::printf(
+      "faults_injected_total=%lld retries_total=%lld retry_exhausted=%lld\n",
+      static_cast<long long>(reg.counter("faults.injected_total")->value()),
+      static_cast<long long>(reg.counter("retry.retries_total")->value()),
+      static_cast<long long>(reg.counter("retry.exhausted_total")->value()));
+  bench::NoteSimTime(last_sim_time);
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

@@ -64,7 +64,7 @@ int Run() {
       // The miniature is built from the image and shipped, then the user
       // defines the view on it and fetches only that region.
       auto mini = image::Miniature::Build(obj.images()[0], 8);
-      if (mini.ok()) link.Transfer(mini->ByteSize());
+      if (mini.ok()) link.Transfer(mini->ByteSize()).ok();
       server.FetchImageRegion(1, 0, view).ok();
     });
 

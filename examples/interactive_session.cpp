@@ -80,6 +80,11 @@ int main() {
   storage::VersionStore versions;
   server::Link link = server::Link::Ethernet(&clock);
   server::ObjectServer server(&archiver, &versions, &clock, &link);
+  // Chaos harness: the injector sits on the link, disabled until the
+  // user toggles a profile with the `chaos` command.
+  server::FaultInjector injector(server::FaultProfile::None(), 0xC4A05,
+                                 &clock);
+  link.SetFaultInjector(&injector);
   Populate(&server);
 
   render::Screen screen;
@@ -99,7 +104,8 @@ int main() {
   std::printf("MINOS interactive session. Commands: query <word>, next "
               "miniature, select, open <id>, menu, next, prev, goto <n>, "
               "chapter, find <pattern>, indicators, enter <i>, return, "
-              "screen, stats [path], trace, quit\n");
+              "screen, stats [path], trace, chaos [off|flaky|storm], "
+              "quit\n");
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -211,13 +217,35 @@ int main() {
       }
     } else if (cmd == "trace") {
       std::printf("%s\n", pm.tracer().ToJson().c_str());
+    } else if (cmd == "chaos") {
+      // Toggle fault profiles live; retries and degradation absorb what
+      // the injector throws at the session.
+      std::string profile;
+      in >> profile;
+      if (profile == "off") {
+        injector.set_profile(server::FaultProfile::None());
+      } else if (profile == "flaky") {
+        injector.set_profile(server::FaultProfile::Flaky());
+      } else if (profile == "storm") {
+        injector.set_profile(server::FaultProfile::Storm());
+      } else {
+        std::printf("! chaos profiles: off, flaky, storm\n");
+        continue;
+      }
+      const server::FaultProfile& p = injector.profile();
+      std::printf("chaos %s: drop=%.0f%% timeout=%.0f%% corrupt=%.0f%% "
+                  "latency=%.0f%% (%llu faults injected so far)\n",
+                  profile.c_str(), p.drop_rate * 100, p.timeout_rate * 100,
+                  p.corrupt_rate * 100, p.latency_rate * 100,
+                  static_cast<unsigned long long>(injector.faults_injected()));
     } else {
       std::printf("! unknown command '%s'\n", cmd.c_str());
     }
     if (core::VisualBrowser* b = pm.visual_browser()) {
-      std::printf("(page %d/%d, t=%lldms)\n", b->current_page(),
+      std::printf("(page %d/%d, t=%lldms%s)\n", b->current_page(),
                   b->page_count(),
-                  static_cast<long long>(MicrosToMillis(clock.Now())));
+                  static_cast<long long>(MicrosToMillis(clock.Now())),
+                  pm.current_degraded() ? ", degraded" : "");
     }
   }
   std::printf("session over: %zu presentation events, %llu bytes over "

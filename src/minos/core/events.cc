@@ -42,6 +42,8 @@ const char* EventKindName(EventKind kind) {
       return "transparency-shown";
     case EventKind::kRewound:
       return "rewound";
+    case EventKind::kDegraded:
+      return "degraded";
   }
   return "?";
 }

@@ -32,6 +32,7 @@ enum class EventKind : uint8_t {
   kProcessPage = 15,         ///< Process simulation advanced a page.
   kTransparencyShown = 16,   ///< A transparency was laid over the page.
   kRewound = 17,             ///< Pause-based rewind repositioned playback.
+  kDegraded = 18,            ///< A part was unavailable; a fallback showed.
 };
 
 /// Returns a stable name ("page-shown", ...) for digests and logs.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "minos/core/page_compositor.h"
 #include "minos/image/view.h"
 #include "minos/util/string_util.h"
 
@@ -22,6 +23,7 @@ PresentationManager::PresentationManager(render::Screen* screen,
   opens_ = reg.counter("presentation.opens");
   enters_ = reg.counter("presentation.enters");
   returns_ = reg.counter("presentation.returns");
+  degraded_ = reg.counter("presentation.degraded_parts");
   depth_ = reg.gauge("presentation.depth");
   open_us_ = reg.histogram("presentation.open_us");
 }
@@ -48,6 +50,29 @@ Status PresentationManager::OpenFrame(storage::ObjectId id,
   frame.object =
       std::make_unique<MultimediaObject>(std::move(fetched));
   frame.via = via;
+  if (frame.object->descriptor().driving_mode == DrivingMode::kAudio &&
+      !frame.object->has_voice()) {
+    // The voice part did not survive retrieval (salvaged decode).
+    // Symmetry's fallback direction: the equivalent text part carries
+    // the same information, so present the object visually rather than
+    // failing the open.
+    object::ObjectDescriptor& desc = frame.object->descriptor();
+    desc.driving_mode = DrivingMode::kVisual;
+    if (desc.pages.empty()) {
+      MINOS_ASSIGN_OR_RETURN(FormattedText formatted,
+                             FormatObjectText(*frame.object));
+      const size_t page_count = std::max<size_t>(1, formatted.pages.size());
+      for (size_t p = 0; p < page_count; ++p) {
+        object::VisualPageSpec page;
+        if (p < formatted.pages.size()) {
+          page.text_page = static_cast<uint32_t>(p + 1);
+        }
+        desc.pages.push_back(std::move(page));
+      }
+    }
+    frame.degraded = true;
+    NoteDegraded(id, "voice", "voice part unreadable; presenting text");
+  }
   if (frame.object->descriptor().driving_mode == DrivingMode::kVisual) {
     MINOS_ASSIGN_OR_RETURN(
         frame.visual, VisualBrowser::Open(frame.object.get(), screen_,
@@ -217,6 +242,16 @@ Status PresentationManager::PlayNextRelevantVoiceSegment() {
            static_cast<int64_t>(begin), "relevance");
   clock_->Advance(pcm.SamplesToMicros(end - begin));
   return Status::OK();
+}
+
+void PresentationManager::NoteDegraded(storage::ObjectId object_id,
+                                       std::string part,
+                                       std::string reason) {
+  log_.Add(EventKind::kDegraded, clock_->Now(),
+           static_cast<int64_t>(object_id), part + ": " + reason);
+  degraded_->Increment();
+  degraded_parts_.push_back(
+      DegradedPart{object_id, std::move(part), std::move(reason)});
 }
 
 StatusOr<const image::Image*> PresentationManager::ImageOf(

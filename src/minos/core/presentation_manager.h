@@ -20,6 +20,16 @@
 
 namespace minos::core {
 
+/// One part the manager could not present as authored. The session keeps
+/// presenting — degradation trades fidelity for availability — but every
+/// substitution is recorded so the user (and tests) can see what was
+/// lost.
+struct DegradedPart {
+  storage::ObjectId object_id = 0;
+  std::string part;    ///< "voice", "image:2", ...
+  std::string reason;  ///< Human-readable cause.
+};
+
 /// The multimedia object presentation manager — the paper's primary
 /// contribution. It "resides in the user's workstation and requests the
 /// appropriate pieces of information from the multimedia object server
@@ -134,6 +144,26 @@ class PresentationManager {
   StatusOr<std::vector<uint32_t>> HighlightLabelPattern(
       uint32_t image_index, std::string_view pattern);
 
+  /// Degraded presentation ----------------------------------------------
+
+  /// Records that `part` of `object_id` could not be presented as
+  /// authored and a fallback was substituted. Logged as a kDegraded
+  /// event and counted in "presentation.degraded_parts".
+  void NoteDegraded(storage::ObjectId object_id, std::string part,
+                    std::string reason);
+
+  /// Every substitution made this session, in order.
+  const std::vector<DegradedPart>& degraded_parts() const {
+    return degraded_parts_;
+  }
+
+  /// True when the currently browsed object is showing a fallback (e.g.
+  /// an audio-mode object presented visually after losing its voice
+  /// part).
+  bool current_degraded() const {
+    return top() != nullptr && top()->degraded;
+  }
+
   /// Plumbing ------------------------------------------------------------
 
   EventLog& log() { return log_; }
@@ -155,6 +185,8 @@ class PresentationManager {
     /// The link followed to get here (null for the root).
     const object::RelevantObjectLink* via = nullptr;
     size_t next_voice_relevance = 0;
+    /// This frame is presenting a fallback, not the authored form.
+    bool degraded = false;
   };
 
   Status OpenFrame(storage::ObjectId id,
@@ -171,11 +203,13 @@ class PresentationManager {
   EventLog log_;
   ObjectResolver resolver_;
   std::vector<Frame> stack_;
+  std::vector<DegradedPart> degraded_parts_;
   obs::Tracer tracer_;
   /// Registry-owned navigation statistics ("presentation.*").
   obs::Counter* opens_ = nullptr;
   obs::Counter* enters_ = nullptr;
   obs::Counter* returns_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
   obs::Gauge* depth_ = nullptr;
   obs::Histogram* open_us_ = nullptr;
 };

@@ -199,6 +199,18 @@ StatusOr<std::string> MultimediaObject::SerializeArchived() const {
 
 StatusOr<MultimediaObject> MultimediaObject::DeserializeArchived(
     storage::ObjectId id, std::string_view bytes) {
+  return DeserializeArchivedImpl(id, bytes, nullptr);
+}
+
+StatusOr<MultimediaObject> MultimediaObject::DeserializeArchivedLenient(
+    storage::ObjectId id, std::string_view bytes,
+    PartSalvageReport* report) {
+  return DeserializeArchivedImpl(id, bytes, report);
+}
+
+StatusOr<MultimediaObject> MultimediaObject::DeserializeArchivedImpl(
+    storage::ObjectId id, std::string_view bytes,
+    PartSalvageReport* report) {
   Decoder dec(bytes);
   std::string desc_bytes;
   MINOS_RETURN_IF_ERROR(dec.GetLengthPrefixed(&desc_bytes));
@@ -221,9 +233,15 @@ StatusOr<MultimediaObject> MultimediaObject::DeserializeArchived(
     MINOS_RETURN_IF_ERROR(comp.ReadRange(p.offset, p.length, &payload));
     switch (p.type) {
       case DataType::kAttributes: {
-        MINOS_ASSIGN_OR_RETURN(AttributeMap attrs,
-                               DecodeAttributes(payload));
-        obj.attributes_ = std::move(attrs);
+        StatusOr<AttributeMap> attrs = DecodeAttributes(payload);
+        if (!attrs.ok()) {
+          // Attributes are query metadata, not presented content: a
+          // lenient decode drops them rather than failing the object.
+          if (report == nullptr) return attrs.status();
+          report->dropped_parts.push_back(p.name);
+          break;
+        }
+        obj.attributes_ = std::move(attrs).value();
         break;
       }
       case DataType::kText: {
@@ -232,9 +250,15 @@ StatusOr<MultimediaObject> MultimediaObject::DeserializeArchived(
         break;
       }
       case DataType::kVoice: {
-        MINOS_ASSIGN_OR_RETURN(voice::VoiceDocument vdoc,
-                               DecodeVoiceDocument(payload));
-        obj.voice_ = std::move(vdoc);
+        StatusOr<voice::VoiceDocument> vdoc = DecodeVoiceDocument(payload);
+        if (!vdoc.ok()) {
+          // Symmetry's fallback direction: the object survives without
+          // its voice part; the presentation manager degrades to text.
+          if (report == nullptr) return vdoc.status();
+          report->dropped_parts.push_back(p.name);
+          break;
+        }
+        obj.voice_ = std::move(vdoc).value();
         break;
       }
       case DataType::kImage: {

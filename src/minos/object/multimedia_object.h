@@ -79,7 +79,25 @@ class MultimediaObject {
   static StatusOr<MultimediaObject> DeserializeArchived(
       storage::ObjectId id, std::string_view bytes);
 
+  /// Parts dropped by a lenient decode, by name ("voice", "attributes").
+  struct PartSalvageReport {
+    std::vector<std::string> dropped_parts;
+    bool degraded() const { return !dropped_parts.empty(); }
+  };
+
+  /// Best-effort decode for the degraded-presentation path: a voice or
+  /// attribute part that fails its checksum (or otherwise fails to
+  /// decode) is dropped and recorded in `report` instead of failing the
+  /// whole object. Corruption of the descriptor, the text part, or an
+  /// image part is still fatal — those have no presentable fallback.
+  static StatusOr<MultimediaObject> DeserializeArchivedLenient(
+      storage::ObjectId id, std::string_view bytes,
+      PartSalvageReport* report);
+
  private:
+  static StatusOr<MultimediaObject> DeserializeArchivedImpl(
+      storage::ObjectId id, std::string_view bytes,
+      PartSalvageReport* report);
   Status CheckEditable() const;
   Status ValidateDescriptor() const;
 

@@ -22,6 +22,25 @@ Status GetSpan(Decoder* dec, size_t* begin, size_t* end) {
   return Status::OK();
 }
 
+/// Appends the part checksum: CRC-32 of everything encoded so far.
+void AppendPartCrc(std::string* out) { PutFixed32(out, Crc32(*out)); }
+
+/// Verifies and strips the trailing part checksum before decoding.
+Status CheckAndStripPartCrc(std::string_view* bytes) {
+  if (bytes->size() < 4) {
+    return Status::Corruption("part too short to carry its checksum");
+  }
+  const std::string_view body = bytes->substr(0, bytes->size() - 4);
+  Decoder tail(bytes->substr(bytes->size() - 4));
+  uint32_t stored = 0;
+  MINOS_RETURN_IF_ERROR(tail.GetFixed32(&stored));
+  if (Crc32(body) != stored) {
+    return Status::Corruption("part checksum mismatch");
+  }
+  *bytes = body;
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string EncodeDocument(const text::Document& doc) {
@@ -41,10 +60,12 @@ std::string EncodeDocument(const text::Document& doc) {
     PutSpan(&out, e.span.begin, e.span.end);
     out.push_back(static_cast<char>(e.kind));
   }
+  AppendPartCrc(&out);
   return out;
 }
 
 StatusOr<text::Document> DecodeDocument(std::string_view bytes) {
+  MINOS_RETURN_IF_ERROR(CheckAndStripPartCrc(&bytes));
   Decoder dec(bytes);
   text::Document doc;
   std::string contents;
@@ -108,10 +129,12 @@ std::string EncodeVoiceDocument(const voice::VoiceDocument& doc) {
       PutLengthPrefixed(&out, c.title);
     }
   }
+  AppendPartCrc(&out);
   return out;
 }
 
 StatusOr<voice::VoiceDocument> DecodeVoiceDocument(std::string_view bytes) {
+  MINOS_RETURN_IF_ERROR(CheckAndStripPartCrc(&bytes));
   Decoder dec(bytes);
   uint32_t rate = 0;
   uint64_t nsamples = 0;
@@ -171,10 +194,12 @@ std::string EncodeAttributes(const AttributeMap& attributes) {
     PutLengthPrefixed(&out, k);
     PutLengthPrefixed(&out, v);
   }
+  AppendPartCrc(&out);
   return out;
 }
 
 StatusOr<AttributeMap> DecodeAttributes(std::string_view bytes) {
+  MINOS_RETURN_IF_ERROR(CheckAndStripPartCrc(&bytes));
   Decoder dec(bytes);
   uint64_t n = 0;
   MINOS_RETURN_IF_ERROR(dec.GetVarint64(&n));

@@ -13,6 +13,11 @@ namespace minos::object {
 /// Byte codecs for the media parts of a multimedia object: these are the
 /// "final form ... device and software package independent" (§4) encodings
 /// that composition files and the archiver store.
+///
+/// Every encoded part carries a trailing CRC-32 over its body, verified
+/// before structural decoding: bytes corrupted on the device or on the
+/// wire fail with Corruption (a retryable failure on the fetch path)
+/// instead of being rendered to the user.
 
 /// Encodes a text document (contents + logical components + emphasis).
 std::string EncodeDocument(const text::Document& doc);

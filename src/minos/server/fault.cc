@@ -1,0 +1,150 @@
+#include "minos/server/fault.h"
+
+namespace minos::server {
+
+FaultInjector::FaultInjector(FaultProfile profile, uint64_t seed,
+                             SimClock* clock,
+                             obs::MetricsRegistry* registry)
+    : profile_(profile), rng_(seed), clock_(clock) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Default();
+  const std::string scope = reg.MakeScope("fault");
+  injected_ = reg.counter(scope + ".injected_total");
+  drops_ = reg.counter(scope + ".drops");
+  timeouts_ = reg.counter(scope + ".timeouts");
+  corruptions_ = reg.counter(scope + ".corruptions");
+  latency_hits_ = reg.counter(scope + ".latency_hits");
+  latency_us_ = reg.histogram(scope + ".latency_us");
+  total_injected_ = reg.counter("faults.injected_total");
+}
+
+Status FaultInjector::OnOperation(std::string_view op) {
+  const int op_index = ops_seen_++;
+  if (op_index < profile_.fail_first_n) {
+    injected_->Increment();
+    drops_->Increment();
+    total_injected_->Increment();
+    return Status::Unavailable(std::string(op) + " failed (bring-up fault " +
+                               std::to_string(op_index + 1) + "/" +
+                               std::to_string(profile_.fail_first_n) + ")");
+  }
+  // One uniform draw per fault class keeps the stream layout stable when
+  // a rate is zero: toggling one knob does not reshuffle the others.
+  const bool drop = rng_.Bernoulli(profile_.drop_rate);
+  const bool timeout = rng_.Bernoulli(profile_.timeout_rate);
+  const bool latency = rng_.Bernoulli(profile_.latency_rate);
+  if (drop) {
+    injected_->Increment();
+    drops_->Increment();
+    total_injected_->Increment();
+    return Status::Unavailable(std::string(op) + " dropped (injected)");
+  }
+  if (timeout) {
+    injected_->Increment();
+    timeouts_->Increment();
+    total_injected_->Increment();
+    clock_->Advance(profile_.timeout_us);
+    return Status::DeadlineExceeded(std::string(op) +
+                                    " timed out (injected)");
+  }
+  if (latency) {
+    const Micros span =
+        std::max<Micros>(0, profile_.latency_max_us - profile_.latency_min_us);
+    const Micros extra =
+        profile_.latency_min_us +
+        (span > 0 ? static_cast<Micros>(
+                        rng_.Uniform(static_cast<uint64_t>(span) + 1))
+                  : 0);
+    injected_->Increment();
+    latency_hits_->Increment();
+    total_injected_->Increment();
+    latency_us_->Record(static_cast<double>(extra));
+    clock_->Advance(extra);
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::MaybeCorrupt(std::string* payload) {
+  if (payload == nullptr || payload->empty()) return false;
+  if (!rng_.Bernoulli(profile_.corrupt_rate)) return false;
+  const size_t pos = static_cast<size_t>(rng_.Uniform(payload->size()));
+  // XOR with a non-zero mask guarantees the byte actually changes.
+  (*payload)[pos] = static_cast<char>(
+      static_cast<unsigned char>((*payload)[pos]) ^
+      static_cast<unsigned char>(1 + rng_.Uniform(255)));
+  injected_->Increment();
+  corruptions_->Increment();
+  total_injected_->Increment();
+  return true;
+}
+
+Micros RetryPolicy::BackoffFor(int attempt, Random* rng) const {
+  double backoff = static_cast<double>(initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff_us));
+  if (rng != nullptr && jitter > 0) {
+    // Uniform in [-jitter, +jitter), seeded: equal seeds, equal schedule.
+    backoff *= 1.0 + jitter * (2.0 * rng->NextDouble() - 1.0);
+  }
+  return std::max<Micros>(0, static_cast<Micros>(backoff));
+}
+
+bool IsRetryable(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded() ||
+         status.IsCorruption() || status.IsResourceExhausted();
+}
+
+CircuitBreaker::CircuitBreaker(Options options, SimClock* clock,
+                               const std::string& scope,
+                               obs::MetricsRegistry* registry)
+    : options_(options), clock_(clock) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Default();
+  open_gauge_ = reg.gauge(scope + ".breaker_open");
+  opens_total_ = reg.counter(scope + ".breaker_opens_total");
+  closes_total_ = reg.counter(scope + ".breaker_closes_total");
+  fast_fails_ = reg.counter(scope + ".breaker_fast_fails");
+}
+
+Status CircuitBreaker::Admit() {
+  if (state_ == State::kOpen) {
+    if (clock_->Now() - opened_at_ >= options_.cooldown_us) {
+      state_ = State::kHalfOpen;  // Admit one probe.
+      open_gauge_->Set(0);
+    } else {
+      fast_fails_->Increment();
+      return Status::Unavailable("circuit breaker open; failing fast");
+    }
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ != State::kClosed) Close();
+}
+
+void CircuitBreaker::RecordFailure() {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen) {
+    Open();  // The probe failed; re-open for another cooldown.
+  } else if (state_ == State::kClosed &&
+             consecutive_failures_ >= options_.failure_threshold) {
+    Open();
+  }
+}
+
+void CircuitBreaker::Open() {
+  state_ = State::kOpen;
+  opened_at_ = clock_->Now();
+  open_gauge_->Set(1);
+  opens_total_->Increment();
+}
+
+void CircuitBreaker::Close() {
+  state_ = State::kClosed;
+  open_gauge_->Set(0);
+  closes_total_->Increment();
+}
+
+}  // namespace minos::server

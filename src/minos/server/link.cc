@@ -5,16 +5,31 @@ namespace minos::server {
 Link::Link(double bytes_per_second, Micros latency, SimClock* clock,
            obs::MetricsRegistry* registry)
     : bytes_per_second_(bytes_per_second), latency_(latency), clock_(clock) {
-  obs::MetricsRegistry& reg =
-      registry != nullptr ? *registry : obs::MetricsRegistry::Default();
-  const std::string scope = reg.MakeScope("link");
-  bytes_transferred_ = reg.counter(scope + ".bytes_total");
-  transfer_count_ = reg.counter(scope + ".transfers");
-  busy_time_ = reg.counter(scope + ".busy_time_us");
-  transfer_us_ = reg.histogram(scope + ".transfer_us");
+  registry_ =
+      registry != nullptr ? registry : &obs::MetricsRegistry::Default();
+  scope_ = registry_->MakeScope("link");
+  breaker_ = std::make_unique<CircuitBreaker>(CircuitBreaker::Options{},
+                                              clock_, scope_, registry_);
+  bytes_transferred_ = registry_->counter(scope_ + ".bytes_total");
+  transfer_count_ = registry_->counter(scope_ + ".transfers");
+  busy_time_ = registry_->counter(scope_ + ".busy_time_us");
+  transfer_us_ = registry_->histogram(scope_ + ".transfer_us");
 }
 
-Micros Link::Transfer(uint64_t bytes) {
+void Link::ConfigureBreaker(CircuitBreaker::Options options) {
+  breaker_ = std::make_unique<CircuitBreaker>(options, clock_, scope_,
+                                              registry_);
+}
+
+StatusOr<Micros> Link::Transfer(uint64_t bytes) {
+  MINOS_RETURN_IF_ERROR(breaker_->Admit());
+  if (injector_ != nullptr) {
+    Status verdict = injector_->OnOperation("link transfer");
+    if (!verdict.ok()) {
+      breaker_->RecordFailure();
+      return verdict;
+    }
+  }
   const Micros elapsed =
       latency_ + static_cast<Micros>(static_cast<double>(bytes) /
                                      bytes_per_second_ * 1e6);
@@ -23,6 +38,7 @@ Micros Link::Transfer(uint64_t bytes) {
   transfer_count_->Increment();
   busy_time_->Increment(elapsed);
   transfer_us_->Record(static_cast<double>(elapsed));
+  breaker_->RecordSuccess();
   return elapsed;
 }
 

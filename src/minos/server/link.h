@@ -2,9 +2,12 @@
 #define MINOS_SERVER_LINK_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "minos/obs/metrics.h"
+#include "minos/server/fault.h"
 #include "minos/util/clock.h"
+#include "minos/util/statusor.h"
 
 namespace minos::server {
 
@@ -13,10 +16,16 @@ namespace minos::server {
 /// Waterloo implementation used Ethernet). Transfers advance the shared
 /// simulated clock.
 ///
+/// Transfers are fallible: an attached FaultInjector may drop, delay or
+/// time out any transfer, and a per-link circuit breaker fails fast after
+/// consecutive failures so a dead link stops charging timeouts. Without
+/// an injector every transfer succeeds (the breaker never trips).
+///
 /// Transfer statistics live in a MetricsRegistry under a unique instance
-/// scope ("link0.bytes_total", "link0.transfers", "link0.busy_time_us");
-/// the accessors below are thin views over those registry counters and
-/// behave exactly like the hand-rolled members they replaced.
+/// scope ("link0.bytes_total", "link0.transfers", "link0.busy_time_us",
+/// "link0.breaker_open"); the accessors below are thin views over those
+/// registry counters and behave exactly like the hand-rolled members
+/// they replaced.
 class Link {
  public:
   /// `bytes_per_second` > 0; `latency` charged per transfer. Statistics
@@ -31,7 +40,20 @@ class Link {
   }
 
   /// Transfers `bytes`; advances the clock and returns the elapsed time.
-  Micros Transfer(uint64_t bytes);
+  /// Unavailable / DeadlineExceeded when the injector or the open
+  /// breaker fails the transfer (failed transfers still advance the
+  /// clock by whatever time the fault consumed).
+  StatusOr<Micros> Transfer(uint64_t bytes);
+
+  /// Attaches a fault source (borrowed; null detaches).
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Replaces the breaker policy (state resets to closed).
+  void ConfigureBreaker(CircuitBreaker::Options options);
+
+  /// The per-link circuit breaker (always present; trips only when an
+  /// injector produces consecutive failures).
+  CircuitBreaker& breaker() { return *breaker_; }
 
   uint64_t bytes_transferred() const {
     return static_cast<uint64_t>(bytes_transferred_->value());
@@ -46,6 +68,10 @@ class Link {
   double bytes_per_second_;
   Micros latency_;
   SimClock* clock_;
+  FaultInjector* injector_ = nullptr;  // Borrowed; may be null.
+  std::string scope_;
+  obs::MetricsRegistry* registry_;
+  std::unique_ptr<CircuitBreaker> breaker_;
   obs::Counter* bytes_transferred_;  // Owned by the registry.
   obs::Counter* transfer_count_;     // Owned by the registry.
   obs::Counter* busy_time_;          // Owned by the registry; micros.

@@ -109,36 +109,63 @@ StatusOr<const ObjectServer::CatalogEntry*> ObjectServer::Lookup(
   return &it->second;
 }
 
-StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id) {
-  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+StatusOr<std::string> ObjectServer::ReadAndDeliver(
+    const storage::ArchiveAddress& address, bool over_link) {
   std::string bytes;
-  MINOS_RETURN_IF_ERROR(archiver_->Read(entry->address, &bytes));
+  MINOS_RETURN_IF_ERROR(archiver_->Read(address, &bytes));
   format::ArchiveMailer mailer(archiver_, versions_, clock_);
   MINOS_ASSIGN_OR_RETURN(std::string resolved,
                          mailer.ResolvePointers(bytes));
-  if (link_ != nullptr) link_->Transfer(resolved.size());
+  if (over_link && link_ != nullptr) {
+    MINOS_RETURN_IF_ERROR(link_->Transfer(resolved.size()).status());
+    if (injector_ != nullptr) injector_->MaybeCorrupt(&resolved);
+  }
+  return resolved;
+}
+
+StatusOr<MultimediaObject> ObjectServer::FetchAt(
+    ObjectId id, const storage::ArchiveAddress& address, bool over_link) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  StatusOr<MultimediaObject> got = RetryWithBackoff<MultimediaObject>(
+      retry_policy_, clock_, &retry_rng_,
+      [&]() -> StatusOr<MultimediaObject> {
+        MINOS_ASSIGN_OR_RETURN(std::string resolved,
+                               ReadAndDeliver(address, over_link));
+        MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
+                               MultimediaObject::DeserializeArchived(
+                                   id, resolved));
+        reg.counter("server.fetches")->Increment();
+        reg.histogram("server.fetch_bytes")
+            ->Record(static_cast<double>(resolved.size()));
+        return obj;
+      });
+  if (got.ok() || !got.status().IsCorruption()) return got;
+  // Persistent corruption survived every retry (bad media or a poisoned
+  // cache block, not a wire glitch). Salvage the parts whose checksums
+  // still verify; the presentation manager degrades the rest.
+  StatusOr<std::string> resolved = ReadAndDeliver(address, over_link);
+  if (!resolved.ok()) return got;
+  object::MultimediaObject::PartSalvageReport report;
+  StatusOr<MultimediaObject> salvaged =
+      MultimediaObject::DeserializeArchivedLenient(id, *resolved, &report);
+  if (!salvaged.ok()) return got;  // Nothing presentable survived.
   reg.counter("server.fetches")->Increment();
+  reg.counter("server.fetch_salvages")->Increment();
   reg.histogram("server.fetch_bytes")
-      ->Record(static_cast<double>(resolved.size()));
-  return MultimediaObject::DeserializeArchived(id, resolved);
+      ->Record(static_cast<double>(resolved->size()));
+  return salvaged;
+}
+
+StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  return FetchAt(id, entry->address, /*over_link=*/true);
 }
 
 StatusOr<MultimediaObject> ObjectServer::FetchVersion(ObjectId id,
                                                       uint32_t version) {
   MINOS_ASSIGN_OR_RETURN(storage::ObjectVersion v,
                          versions_->Get(id, version));
-  std::string bytes;
-  MINOS_RETURN_IF_ERROR(archiver_->Read(v.address, &bytes));
-  format::ArchiveMailer mailer(archiver_, versions_, clock_);
-  MINOS_ASSIGN_OR_RETURN(std::string resolved,
-                         mailer.ResolvePointers(bytes));
-  if (link_ != nullptr) link_->Transfer(resolved.size());
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
-  reg.counter("server.fetches")->Increment();
-  reg.histogram("server.fetch_bytes")
-      ->Record(static_cast<double>(resolved.size()));
-  return MultimediaObject::DeserializeArchived(id, resolved);
+  return FetchAt(id, v.address, /*over_link=*/true);
 }
 
 StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
@@ -146,13 +173,8 @@ StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
   MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
   // The server renders the miniature locally (no link charge for the
   // object itself), then ships the small card.
-  std::string bytes;
-  MINOS_RETURN_IF_ERROR(archiver_->Read(entry->address, &bytes));
-  format::ArchiveMailer mailer(archiver_, versions_, clock_);
-  MINOS_ASSIGN_OR_RETURN(std::string resolved,
-                         mailer.ResolvePointers(bytes));
   MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
-                         MultimediaObject::DeserializeArchived(id, resolved));
+                         FetchAt(id, entry->address, /*over_link=*/false));
 
   MiniatureCard card;
   card.id = id;
@@ -161,11 +183,15 @@ StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
   if (card.audio_mode) {
     // "an indication that an object is an audio mode object and some
     // voice segments which are played as the miniature passes" (§5).
-    const auto& words = obj.voice_part().track().words;
+    // A salvaged object may have lost its voice part; its card then
+    // carries the audio marker with no preview.
     std::string preview;
-    for (size_t i = 0; i < words.size() && i < 6; ++i) {
-      if (!preview.empty()) preview += ' ';
-      preview += words[i].word;
+    if (obj.has_voice()) {
+      const auto& words = obj.voice_part().track().words;
+      for (size_t i = 0; i < words.size() && i < 6; ++i) {
+        if (!preview.empty()) preview += ' ';
+        preview += words[i].word;
+      }
     }
     card.preview_transcript = std::move(preview);
     card.thumb = image::Bitmap(thumb_width, thumb_width / 2);
@@ -190,7 +216,12 @@ StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
     card.thumb = image::Bitmap(thumb_width, thumb_width / 2);
   }
   card.byte_size = card.thumb.ByteSize() + card.preview_transcript.size();
-  if (link_ != nullptr) link_->Transfer(card.byte_size);
+  if (link_ != nullptr) {
+    MINOS_RETURN_IF_ERROR(
+        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_, [&] {
+          return link_->Transfer(card.byte_size);
+        }).status());
+  }
   return card;
 }
 
@@ -209,7 +240,12 @@ StatusOr<image::Image> ObjectServer::FetchImage(ObjectId id,
         entry->address.offset + entry->payload_base + part.offset,
         part.length, &payload));
   }
-  if (link_ != nullptr) link_->Transfer(payload.size());
+  if (link_ != nullptr) {
+    MINOS_RETURN_IF_ERROR(
+        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_, [&] {
+          return link_->Transfer(payload.size());
+        }).status());
+  }
   return image::Image::Deserialize(payload);
 }
 
@@ -255,7 +291,10 @@ StatusOr<image::Bitmap> ObjectServer::FetchImageRegion(
     }
   }
   if (link_ != nullptr) {
-    link_->Transfer(static_cast<uint64_t>(clipped.area()));
+    MINOS_RETURN_IF_ERROR(
+        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_, [&] {
+          return link_->Transfer(static_cast<uint64_t>(clipped.area()));
+        }).status());
   }
   return out;
 }

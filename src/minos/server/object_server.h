@@ -9,9 +9,11 @@
 #include "minos/core/page_compositor.h"
 #include "minos/image/miniature.h"
 #include "minos/object/multimedia_object.h"
+#include "minos/server/fault.h"
 #include "minos/server/link.h"
 #include "minos/storage/archiver.h"
 #include "minos/storage/version_store.h"
+#include "minos/util/random.h"
 #include "minos/util/statusor.h"
 
 namespace minos::server {
@@ -40,6 +42,19 @@ class ObjectServer {
   /// All pointers borrowed. `link` may be null (no transfer charging).
   ObjectServer(storage::Archiver* archiver, storage::VersionStore* versions,
                SimClock* clock, Link* link);
+
+  /// Fault tolerance -------------------------------------------------------
+
+  /// Attaches the injector that corrupts payloads in flight (borrowed;
+  /// null detaches). Transport drops/timeouts belong to the Link's own
+  /// injector; this one models wire corruption of delivered bytes.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Replaces the retry schedule used by every Fetch* method. The
+  /// default is RetryPolicy::Default(); RetryPolicy::None() restores the
+  /// fail-on-first-fault behaviour of the pre-fault-model server.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   /// Ingest ---------------------------------------------------------------
 
@@ -104,10 +119,26 @@ class ObjectServer {
   StatusOr<const CatalogEntry*> Lookup(storage::ObjectId id) const;
   void IndexWords(storage::ObjectId id, std::string_view text);
 
+  /// One delivery attempt: archive read, pointer resolution, link
+  /// transfer (skipped when `over_link` is false — server-side reads),
+  /// and injected wire corruption of the delivered bytes.
+  StatusOr<std::string> ReadAndDeliver(const storage::ArchiveAddress& address,
+                                       bool over_link);
+
+  /// Full object materialization with retry/backoff; on persistent
+  /// corruption falls back to a lenient decode that drops unreadable
+  /// voice/attribute parts (the degraded-presentation path).
+  StatusOr<object::MultimediaObject> FetchAt(
+      storage::ObjectId id, const storage::ArchiveAddress& address,
+      bool over_link);
+
   storage::Archiver* archiver_;
   storage::VersionStore* versions_;
   SimClock* clock_;
   Link* link_;
+  FaultInjector* injector_ = nullptr;  // Borrowed; wire corruption only.
+  RetryPolicy retry_policy_;
+  Random retry_rng_{0x5EED0FCA};  // Seeded backoff jitter: replayable.
   std::map<storage::ObjectId, CatalogEntry> catalog_;
   std::map<std::string, std::set<storage::ObjectId>, std::less<>> index_;
 };

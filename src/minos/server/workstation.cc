@@ -53,6 +53,7 @@ StatusOr<MiniatureBrowser> Workstation::Query(
   cards.reserve(ids.size());
   for (storage::ObjectId id : ids) {
     MINOS_ASSIGN_OR_RETURN(MiniatureCard card, server_->FetchMiniature(id));
+    thumb_cache_[id] = card.thumb;
     cards.push_back(std::move(card));
   }
   return MiniatureBrowser(std::move(cards));
@@ -60,6 +61,21 @@ StatusOr<MiniatureBrowser> Workstation::Query(
 
 Status Workstation::Present(storage::ObjectId id) {
   return presentation_.Open(id);
+}
+
+StatusOr<image::Bitmap> Workstation::FetchImageRegion(storage::ObjectId id,
+                                                      uint32_t image_index,
+                                                      const image::Rect& r) {
+  StatusOr<image::Bitmap> region =
+      server_->FetchImageRegion(id, image_index, r);
+  if (region.ok()) return region;
+  auto cached = thumb_cache_.find(id);
+  if (cached == thumb_cache_.end()) return region;
+  presentation_.NoteDegraded(id, "image:" + std::to_string(image_index),
+                             "region fetch failed (" +
+                                 region.status().message() +
+                                 "); showing cached miniature");
+  return cached->second;
 }
 
 }  // namespace minos::server

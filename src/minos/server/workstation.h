@@ -1,6 +1,7 @@
 #ifndef MINOS_SERVER_WORKSTATION_H_
 #define MINOS_SERVER_WORKSTATION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,12 +71,24 @@ class Workstation {
   /// Opens the selected object in the presentation manager.
   Status Present(storage::ObjectId id);
 
+  /// View retrieval with graceful degradation: fetches only the covering
+  /// region of a stored image; when the server cannot deliver it (link
+  /// down, persistent corruption), falls back to the miniature thumbnail
+  /// cached during Query — a coarse surrogate the user already saw — and
+  /// records the substitution with the presentation manager.
+  StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
+                                           uint32_t image_index,
+                                           const image::Rect& r);
+
   /// The presentation manager of this workstation.
   core::PresentationManager& presentation() { return presentation_; }
 
  private:
   ObjectServer* server_;
   core::PresentationManager presentation_;
+  /// Miniature thumbs by object id, kept from the last Query: the
+  /// degraded fallback for failed region fetches.
+  std::map<storage::ObjectId, image::Bitmap> thumb_cache_;
 };
 
 }  // namespace minos::server

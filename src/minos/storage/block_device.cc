@@ -89,6 +89,7 @@ Status BlockDevice::Read(uint64_t block, uint64_t count, std::string* out) {
       out->append(block_size_, '\0');  // Unwritten blocks read as zeros.
     }
   }
+  if (read_fault_) return read_fault_(block, count, out);
   return Status::OK();
 }
 

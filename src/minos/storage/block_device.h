@@ -2,6 +2,7 @@
 #define MINOS_STORAGE_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,20 @@ class BlockDevice {
   /// (resized to count*block_size). Charges seek + rotation + transfer.
   Status Read(uint64_t block, uint64_t count, std::string* out);
 
+  /// Fault hook consulted after every successful Read fills `out`: it may
+  /// corrupt the payload in place or return a non-OK status (a media
+  /// error). Layering keeps the injector type out of storage; a
+  /// server::FaultInjector is the usual implementation:
+  ///   device.SetReadFaultHook([&](uint64_t, uint64_t, std::string* d) {
+  ///     injector.MaybeCorrupt(d);
+  ///     return injector.OnOperation("device read");
+  ///   });
+  using ReadFaultHook =
+      std::function<Status(uint64_t block, uint64_t count, std::string* out)>;
+
+  /// Installs (or clears, with nullptr) the read fault hook.
+  void SetReadFaultHook(ReadFaultHook hook) { read_fault_ = std::move(hook); }
+
   /// Writes `data` (must be a whole number of blocks) starting at `block`.
   /// On a WORM device rewriting a written block fails with
   /// FailedPrecondition.
@@ -116,6 +131,7 @@ class BlockDevice {
 
   std::vector<std::string> blocks_;   // Lazily sized; empty = never written.
   std::vector<bool> written_;
+  ReadFaultHook read_fault_;          // Null when fault-free.
   uint64_t blocks_used_ = 0;
   uint64_t head_ = 0;
   DeviceStats stats_;

@@ -94,4 +94,31 @@ Status Decoder::GetRaw(size_t n, std::string* value) {
   return Status::OK();
 }
 
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table.entries[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 }  // namespace minos

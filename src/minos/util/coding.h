@@ -29,6 +29,11 @@ void PutVarint64(std::string* dst, uint64_t value);
 /// Appends a varint length prefix followed by the bytes of `value`.
 void PutLengthPrefixed(std::string* dst, std::string_view value);
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`. Used as the part
+/// checksum in the archival format so that corrupted media parts are
+/// detected at decode time instead of being rendered.
+uint32_t Crc32(std::string_view bytes);
+
 /// Cursor over encoded bytes. Each Get* consumes from the front and returns
 /// Corruption if the input is truncated or malformed.
 class Decoder {

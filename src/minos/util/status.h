@@ -26,6 +26,8 @@ class Status {
     kUnsupported = 6,      ///< Capability not available for this object.
     kResourceExhausted = 7,  ///< Device, cache, or queue capacity exceeded.
     kInternal = 8,         ///< Invariant violation inside MINOS itself.
+    kUnavailable = 9,      ///< Transient transport/server failure; retryable.
+    kDeadlineExceeded = 10,  ///< Operation exceeded its time budget.
   };
 
   /// Constructs an OK status.
@@ -62,6 +64,12 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == Code::kOk; }
@@ -78,6 +86,10 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   /// The failure category.
   Code code() const { return code_; }

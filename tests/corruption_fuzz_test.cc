@@ -7,6 +7,7 @@
 
 #include "minos/object/multimedia_object.h"
 #include "minos/object/part_codec.h"
+#include "minos/server/fault.h"
 #include "minos/storage/archiver.h"
 #include "minos/text/markup.h"
 #include "minos/util/random.h"
@@ -71,6 +72,38 @@ TEST(CorruptionFuzzTest, SingleByteFlipsNeverCrash) {
         EXPECT_GE(img.width(), 0);
         EXPECT_GE(img.height(), 0);
       }
+    }
+  }
+}
+
+TEST(CorruptionFuzzTest, InjectorWireFlipsNeverCrashEitherDecoder) {
+  // The same property under the fault injector's corruption model: its
+  // seeded byte flips (what the fetch path actually sees on the wire)
+  // must never crash the strict or the lenient decoder, and whenever the
+  // strict decode rejects the payload, the checksummed parts guarantee a
+  // Corruption (not a structurally confused success elsewhere).
+  const object::MultimediaObject obj = ReferenceObject();
+  const std::string bytes = obj.SerializeArchived().value();
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  server::FaultProfile profile;
+  profile.corrupt_rate = 1.0;
+  server::FaultInjector injector(profile, 0xBADBEEF, &clock, &reg);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string wire = bytes;
+    ASSERT_TRUE(injector.MaybeCorrupt(&wire));
+    auto strict = object::MultimediaObject::DeserializeArchived(77, wire);
+    object::MultimediaObject::PartSalvageReport report;
+    auto lenient = object::MultimediaObject::DeserializeArchivedLenient(
+        77, wire, &report);
+    if (strict.ok()) {
+      EXPECT_EQ(strict->state(), object::ObjectState::kArchived);
+    }
+    // Lenient decoding never does worse than strict decoding.
+    if (strict.ok()) EXPECT_TRUE(lenient.ok());
+    if (lenient.ok() && report.degraded()) {
+      // A salvage dropped parts; the object must still be presentable.
+      EXPECT_TRUE(lenient->has_text() || !lenient->images().empty());
     }
   }
 }

@@ -1,0 +1,486 @@
+// Fault injection and recovery: seeded injector determinism, the exact
+// retry backoff schedule, circuit-breaker transitions, checksum-detected
+// corruption recovery, and graceful degradation of presentations when a
+// part does not survive retrieval.
+
+#include "minos/server/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "minos/core/presentation_manager.h"
+#include "minos/object/part_codec.h"
+#include "minos/server/object_server.h"
+#include "minos/server/workstation.h"
+#include "minos/text/markup.h"
+#include "minos/util/coding.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::server {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+// --- Backoff schedule ------------------------------------------------
+
+TEST(RetryPolicyTest, UnjitteredScheduleIsExponentialAndClamped) {
+  RetryPolicy policy;
+  policy.jitter = 0;
+  EXPECT_EQ(policy.BackoffFor(1, nullptr), MillisToMicros(2));
+  EXPECT_EQ(policy.BackoffFor(2, nullptr), MillisToMicros(4));
+  EXPECT_EQ(policy.BackoffFor(3, nullptr), MillisToMicros(8));
+  EXPECT_EQ(policy.BackoffFor(4, nullptr), MillisToMicros(16));
+  // Growth clamps at max_backoff_us.
+  EXPECT_EQ(policy.BackoffFor(8, nullptr), MillisToMicros(250));
+  EXPECT_EQ(policy.BackoffFor(20, nullptr), MillisToMicros(250));
+}
+
+TEST(RetryPolicyTest, SeededJitterIsExactlyReproducible) {
+  const RetryPolicy policy;  // jitter = 0.25
+  Random a(42), b(42);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const Micros da = policy.BackoffFor(attempt, &a);
+    const Micros db = policy.BackoffFor(attempt, &b);
+    EXPECT_EQ(da, db) << "attempt " << attempt;
+    // Jitter stays within +/- 25% of the unjittered value.
+    RetryPolicy flat = policy;
+    flat.jitter = 0;
+    const double base = static_cast<double>(flat.BackoffFor(attempt, nullptr));
+    EXPECT_GE(static_cast<double>(da), base * 0.75 - 1);
+    EXPECT_LE(static_cast<double>(da), base * 1.25 + 1);
+  }
+}
+
+TEST(RetryPolicyTest, RetryWithBackoffAdvancesClockByExactSchedule) {
+  SimClock clock;
+  RetryPolicy policy;
+  policy.jitter = 0;
+  int calls = 0;
+  auto result = RetryWithBackoff<int>(policy, &clock, nullptr, [&] {
+    return ++calls < 3 ? StatusOr<int>(Status::Unavailable("flaky"))
+                       : StatusOr<int>(7);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_EQ(calls, 3);
+  // Two waits: 2 ms after the first failure, 4 ms after the second.
+  EXPECT_EQ(clock.Now(), MillisToMicros(6));
+}
+
+TEST(RetryPolicyTest, PermanentErrorsAreNotRetried) {
+  SimClock clock;
+  int calls = 0;
+  auto result =
+      RetryWithBackoff<int>(RetryPolicy::Default(), &clock, nullptr, [&] {
+        ++calls;
+        return StatusOr<int>(Status::NotFound("no such object"));
+      });
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.Now(), 0);
+}
+
+TEST(RetryPolicyTest, ExhaustionReturnsLastErrorUnchanged) {
+  SimClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0;
+  int calls = 0;
+  auto result = RetryWithBackoff<int>(policy, &clock, nullptr, [&] {
+    ++calls;
+    return StatusOr<int>(Status::Corruption("checksum mismatch"));
+  });
+  // The underlying Corruption must survive so callers can classify it
+  // (the salvage path depends on this).
+  EXPECT_TRUE(result.status().IsCorruption());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, DeadlineBudgetStopsRetrying) {
+  SimClock clock;
+  RetryPolicy policy;
+  policy.jitter = 0;
+  policy.deadline_us = MillisToMicros(5);  // Allows the 2 ms wait only.
+  int calls = 0;
+  auto result = RetryWithBackoff<int>(policy, &clock, nullptr, [&] {
+    ++calls;
+    return StatusOr<int>(Status::Unavailable("down"));
+  });
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_EQ(calls, 2);  // Second wait (4 ms) would overrun the budget.
+}
+
+// --- Fault injector ---------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameFaultSequence) {
+  SimClock clock_a, clock_b;
+  obs::MetricsRegistry reg_a, reg_b;
+  FaultInjector a(FaultProfile::Storm(), 123, &clock_a, &reg_a);
+  FaultInjector b(FaultProfile::Storm(), 123, &clock_b, &reg_b);
+  for (int i = 0; i < 200; ++i) {
+    const Status sa = a.OnOperation("op");
+    const Status sb = b.OnOperation("op");
+    EXPECT_EQ(sa.code(), sb.code()) << "op " << i;
+  }
+  EXPECT_EQ(clock_a.Now(), clock_b.Now());
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+  EXPECT_GT(a.faults_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, FailFirstNThenSucceed) {
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  FaultProfile profile;
+  profile.fail_first_n = 3;
+  FaultInjector injector(profile, 9, &clock, &reg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(injector.OnOperation("op").IsUnavailable());
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.OnOperation("op").ok());
+  }
+  EXPECT_EQ(injector.faults_injected(), 3u);
+}
+
+TEST(FaultInjectorTest, InjectedTimeoutChargesSimulatedTime) {
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  FaultProfile profile;
+  profile.timeout_rate = 1.0;
+  FaultInjector injector(profile, 1, &clock, &reg);
+  EXPECT_TRUE(injector.OnOperation("transfer").IsDeadlineExceeded());
+  EXPECT_EQ(clock.Now(), profile.timeout_us);
+}
+
+TEST(FaultInjectorTest, CorruptionAlwaysChangesThePayload) {
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  FaultProfile profile;
+  profile.corrupt_rate = 1.0;
+  FaultInjector injector(profile, 77, &clock, &reg);
+  const std::string original(64, 'x');
+  for (int i = 0; i < 50; ++i) {
+    std::string payload = original;
+    EXPECT_TRUE(injector.MaybeCorrupt(&payload));
+    EXPECT_NE(payload, original);
+    EXPECT_EQ(payload.size(), original.size());
+  }
+}
+
+// --- Part checksums ---------------------------------------------------
+
+TEST(PartChecksumTest, FlippedByteIsDetectedAsCorruption) {
+  object::AttributeMap attrs;
+  attrs["department"] = "radiology";
+  attrs["kind"] = "memo";
+  const std::string encoded = object::EncodeAttributes(attrs);
+  ASSERT_TRUE(object::DecodeAttributes(encoded).ok());
+  for (size_t pos = 0; pos < encoded.size(); ++pos) {
+    std::string mutated = encoded;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x20);
+    EXPECT_TRUE(object::DecodeAttributes(mutated).status().IsCorruption())
+        << "flip at " << pos << " escaped the checksum";
+  }
+}
+
+TEST(PartChecksumTest, VoicePartChecksumCoversSampleData) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\nspoken checksum coverage\n");
+  ASSERT_TRUE(doc.ok());
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  voice::VoiceDocument vdoc(synth.Synthesize(*doc).value());
+  std::string encoded = object::EncodeVoiceDocument(vdoc);
+  ASSERT_TRUE(object::DecodeVoiceDocument(encoded).ok());
+  // A flip deep inside the PCM samples — structurally invisible, only
+  // the checksum can catch it.
+  encoded[encoded.size() / 2] ^= 0x01;
+  EXPECT_TRUE(object::DecodeVoiceDocument(encoded).status().IsCorruption());
+}
+
+// --- Circuit breaker --------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndFailsFast) {
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_us = MillisToMicros(100);
+  CircuitBreaker breaker(options, &clock, "test", &reg);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(reg.gauge("test.breaker_open")->value(), 1.0);
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());  // Fast fail, no cooldown.
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.cooldown_us = MillisToMicros(100);
+  CircuitBreaker breaker(options, &clock, "test", &reg);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock.Advance(MillisToMicros(100));
+  EXPECT_TRUE(breaker.Admit().ok());  // The half-open probe.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(reg.gauge("test.breaker_open")->value(), 0.0);
+  EXPECT_EQ(reg.counter("test.breaker_closes_total")->value(), 1.0);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  SimClock clock;
+  obs::MetricsRegistry reg;
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.cooldown_us = MillisToMicros(100);
+  CircuitBreaker breaker(options, &clock, "test", &reg);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  clock.Advance(MillisToMicros(100));
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.RecordFailure();  // The probe failed.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.Admit().IsUnavailable());  // Cooldown restarted.
+  EXPECT_EQ(reg.counter("test.breaker_opens_total")->value(), 2.0);
+}
+
+// --- End to end: the fetch path under faults --------------------------
+
+class FaultedServerTest : public ::testing::Test {
+ protected:
+  FaultedServerTest()
+      : device_("optical", 65536, 512,
+                storage::DeviceCostModel::Instant(), true, &clock_),
+        cache_(256),
+        archiver_(&device_, &cache_),
+        link_(Link::Ethernet(&clock_)),
+        server_(&archiver_, &versions_, &clock_, &link_) {}
+
+  MultimediaObject TextObject(storage::ObjectId id,
+                              const std::string& body) {
+    MultimediaObject obj(id);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(".PP\n" + body + "\n");
+    EXPECT_TRUE(doc.ok());
+    EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+    VisualPageSpec page;
+    page.text_page = 1;
+    obj.descriptor().pages.push_back(page);
+    EXPECT_TRUE(obj.Archive().ok());
+    return obj;
+  }
+
+  /// An audio-mode object that also carries the equivalent text part —
+  /// the shape that can degrade to a visual presentation.
+  MultimediaObject AudioObject(storage::ObjectId id,
+                               const std::string& body) {
+    MultimediaObject obj(id);
+    text::MarkupParser parser;
+    auto doc = parser.Parse(".PP\n" + body + "\n");
+    EXPECT_TRUE(doc.ok());
+    voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+    auto track = synth.Synthesize(*doc);
+    EXPECT_TRUE(track.ok());
+    EXPECT_TRUE(
+        obj.SetVoicePart(voice::VoiceDocument(std::move(track).value()))
+            .ok());
+    EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+    obj.descriptor().driving_mode = object::DrivingMode::kAudio;
+    EXPECT_TRUE(obj.Archive().ok());
+    return obj;
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BlockCache cache_;
+  storage::Archiver archiver_;
+  storage::VersionStore versions_;
+  Link link_;
+  ObjectServer server_;
+};
+
+TEST_F(FaultedServerTest, RetriesHideBringUpFaultsFromTheCaller) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "retried body")).ok());
+  FaultProfile profile;
+  profile.fail_first_n = 3;
+  FaultInjector injector(profile, 5, &clock_);
+  link_.SetFaultInjector(&injector);
+
+  auto fetched = server_.Fetch(1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_NE(fetched->text_part().contents().find("retried"),
+            std::string::npos);
+  EXPECT_EQ(injector.faults_injected(), 3u);
+}
+
+TEST_F(FaultedServerTest, ExhaustedRetriesSurfaceTheFault) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "unreachable body")).ok());
+  FaultProfile profile;
+  profile.drop_rate = 1.0;  // Every transfer is lost.
+  FaultInjector injector(profile, 5, &clock_);
+  link_.SetFaultInjector(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  server_.SetRetryPolicy(policy);
+
+  const Status status = server_.Fetch(1).status();
+  EXPECT_TRUE(status.IsUnavailable() || status.IsDeadlineExceeded())
+      << status.ToString();
+}
+
+TEST_F(FaultedServerTest, DeadLinkTripsTheBreakerAndFailsFast) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "dead link body")).ok());
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector(profile, 5, &clock_);
+  link_.SetFaultInjector(&injector);
+  CircuitBreaker::Options options;
+  options.failure_threshold = 4;
+  link_.ConfigureBreaker(options);
+
+  // Enough failed fetches to exceed the threshold.
+  server_.Fetch(1).ok();
+  server_.Fetch(1).ok();
+  EXPECT_EQ(link_.breaker().state(), CircuitBreaker::State::kOpen);
+  // While open the link fails fast: the injector sees no more traffic.
+  const uint64_t faults_before = injector.faults_injected();
+  server_.Fetch(1).ok();
+  EXPECT_EQ(injector.faults_injected(), faults_before);
+}
+
+TEST_F(FaultedServerTest, WireCorruptionIsHealedByRetry) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "healed payload")).ok());
+  // Corrupt roughly half the deliveries; the checksum catches each hit
+  // and a retry eventually delivers clean bytes. Seeded: deterministic.
+  FaultProfile profile;
+  profile.corrupt_rate = 0.5;
+  FaultInjector injector(profile, 21, &clock_);
+  server_.SetFaultInjector(&injector);
+
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = server_.Fetch(1);
+    ASSERT_TRUE(fetched.ok()) << "fetch " << i;
+    EXPECT_NE(fetched->text_part().contents().find("healed"),
+              std::string::npos);
+  }
+  EXPECT_GT(injector.faults_injected(), 0u);
+}
+
+TEST_F(FaultedServerTest, FlakyProfileBrowsingCompletesWithoutUserVisibleFailures) {
+  // The acceptance gate: 10% drops + 1% corruption, symmetric browsing
+  // (text and audio objects) completes with zero user-visible failures.
+  ASSERT_TRUE(
+      server_.Store(TextObject(1, "hospital admission fracture memo")).ok());
+  ASSERT_TRUE(server_.Store(AudioObject(2, "hospital voice report")).ok());
+  FaultInjector injector(FaultProfile::Flaky(), 0xF1A2, &clock_);
+  link_.SetFaultInjector(&injector);
+
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  auto browser = workstation.Query({"hospital"});
+  ASSERT_TRUE(browser.ok());
+  EXPECT_EQ(browser->size(), 2u);
+  ASSERT_TRUE(workstation.Present(1).ok());
+  ASSERT_TRUE(workstation.Present(2).ok());
+  EXPECT_GT(injector.faults_injected(), 0u);
+  EXPECT_TRUE(workstation.presentation().degraded_parts().empty());
+}
+
+// --- Graceful degradation ---------------------------------------------
+
+/// Serializes `obj` and flips one byte in the middle of its voice part,
+/// so only the voice checksum fails.
+std::string CorruptVoicePart(const MultimediaObject& obj) {
+  std::string bytes = obj.SerializeArchived().value();
+  Decoder dec(bytes);
+  std::string desc_bytes;
+  EXPECT_TRUE(dec.GetLengthPrefixed(&desc_bytes).ok());
+  auto desc = object::ObjectDescriptor::Deserialize(desc_bytes);
+  EXPECT_TRUE(desc.ok());
+  uint64_t data_len = 0;
+  for (const object::PartPointer& p : desc->parts) {
+    if (!p.in_archiver) data_len += p.length;
+  }
+  const uint64_t payload_base = bytes.size() - data_len;
+  auto voice = desc->FindPart("voice");
+  EXPECT_TRUE(voice.ok());
+  bytes[payload_base + voice->offset + voice->length / 2] ^= 0x01;
+  return bytes;
+}
+
+TEST(DegradationTest, LenientDecodeDropsUnreadableVoicePart) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\ndegradable spoken text body\n");
+  ASSERT_TRUE(doc.ok());
+  MultimediaObject obj(5);
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  ASSERT_TRUE(
+      obj.SetVoicePart(voice::VoiceDocument(synth.Synthesize(*doc).value()))
+          .ok());
+  ASSERT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  obj.descriptor().driving_mode = object::DrivingMode::kAudio;
+  ASSERT_TRUE(obj.Archive().ok());
+  const std::string corrupted = CorruptVoicePart(obj);
+
+  // The strict decode refuses the object...
+  EXPECT_TRUE(MultimediaObject::DeserializeArchived(5, corrupted)
+                  .status()
+                  .IsCorruption());
+  // ...the lenient decode salvages everything but the voice part.
+  MultimediaObject::PartSalvageReport report;
+  auto salvaged =
+      MultimediaObject::DeserializeArchivedLenient(5, corrupted, &report);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_TRUE(report.degraded());
+  ASSERT_EQ(report.dropped_parts.size(), 1u);
+  EXPECT_EQ(report.dropped_parts[0], "voice");
+  EXPECT_FALSE(salvaged->has_voice());
+  EXPECT_TRUE(salvaged->has_text());
+}
+
+TEST(DegradationTest, AudioObjectWithoutVoicePresentsItsTextPart) {
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\nfallback text presentation body\n");
+  ASSERT_TRUE(doc.ok());
+  MultimediaObject obj(6);
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  ASSERT_TRUE(
+      obj.SetVoicePart(voice::VoiceDocument(synth.Synthesize(*doc).value()))
+          .ok());
+  ASSERT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  obj.descriptor().driving_mode = object::DrivingMode::kAudio;
+  ASSERT_TRUE(obj.Archive().ok());
+  const std::string corrupted = CorruptVoicePart(obj);
+
+  SimClock clock;
+  render::Screen screen;
+  core::PresentationManager pm(&screen, &clock);
+  pm.SetResolver([&](storage::ObjectId id) {
+    MultimediaObject::PartSalvageReport report;
+    return MultimediaObject::DeserializeArchivedLenient(id, corrupted,
+                                                        &report);
+  });
+
+  // The open succeeds in the fallback direction: text shown visually.
+  ASSERT_TRUE(pm.Open(6).ok());
+  EXPECT_TRUE(pm.current_degraded());
+  EXPECT_NE(pm.visual_browser(), nullptr);
+  EXPECT_EQ(pm.audio_browser(), nullptr);
+  ASSERT_EQ(pm.degraded_parts().size(), 1u);
+  EXPECT_EQ(pm.degraded_parts()[0].part, "voice");
+  EXPECT_EQ(pm.degraded_parts()[0].object_id, 6u);
+  // The substitution is on the event timeline.
+  EXPECT_EQ(pm.log().OfKind(core::EventKind::kDegraded).size(), 1u);
+}
+
+}  // namespace
+}  // namespace minos::server

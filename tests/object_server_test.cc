@@ -256,9 +256,10 @@ TEST_F(ObjectServerTest, ViewDefinedOnMiniatureFetchesMatchingRegion) {
 TEST(LinkTest, TransferChargesClockAndCounts) {
   SimClock clock;
   Link link(1000000.0, MillisToMicros(1), &clock);  // 1 MB/s, 1 ms latency.
-  const Micros t = link.Transfer(500000);
-  EXPECT_EQ(t, MillisToMicros(1) + 500000);
-  EXPECT_EQ(clock.Now(), t);
+  StatusOr<Micros> t = link.Transfer(500000);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MillisToMicros(1) + 500000);
+  EXPECT_EQ(clock.Now(), *t);
   EXPECT_EQ(link.bytes_transferred(), 500000u);
   EXPECT_EQ(link.transfer_count(), 1u);
   link.ResetStats();

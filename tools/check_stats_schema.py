@@ -4,6 +4,7 @@
 Usage:
     check_stats_schema.py SNAPSHOT.json [SNAPSHOT.json ...]
     check_stats_schema.py --require-pipeline BENCH_SYM_1.json
+    check_stats_schema.py --require-faults BENCH_fault_sweep.json
 
 Checks the schema contract that `minos::obs::ValidateSnapshotJson`
 enforces in C++: schema tag, bench string, numeric sim_time_us, the
@@ -14,6 +15,13 @@ With --require-pipeline, additionally requires the metric families a
 full presentation-pipeline run produces (block cache, link, scheduler,
 page-turn latency) — the acceptance gate for BENCH_*.json trajectories
 and `minos_render --stats` output.
+
+With --require-faults, additionally requires the fault-injection and
+recovery families (injected faults, retries actually taken, circuit
+breaker state and transitions, retry-delay and page-open-latency
+histograms) — the acceptance gate for BENCH_fault_sweep.json. Faults
+must have been injected and retries taken: zero-valued evidence
+counters fail the check.
 
 Exit status: 0 when every file validates, 1 otherwise.
 """
@@ -39,12 +47,31 @@ PIPELINE_HISTOGRAM_PATTERNS = (
     ("browser.", ".page_turn_us"),
 )
 
+# Fault-model families a chaos run must have produced. The > 0 counters
+# prove the run actually exercised recovery rather than merely linking
+# against it.
+FAULT_COUNTER_PATTERNS = (
+    ("faults", ".injected_total"),
+    ("fault", ".drops"),
+    ("retry", ".attempts_total"),
+    ("link", ".breaker_opens_total"),
+)
+FAULT_POSITIVE_COUNTERS = (
+    "faults.injected_total",
+    "retry.retries_total",
+)
+FAULT_GAUGE_PATTERNS = (("link", ".breaker_open"),)
+FAULT_HISTOGRAM_NAMES = (
+    "retry.delay_us",
+    "fault_sweep.page_open_us",
+)
+
 
 def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def validate(doc, require_pipeline=False):
+def validate(doc, require_pipeline=False, require_faults=False):
     """Returns a list of problem strings (empty when valid)."""
     problems = []
     if not isinstance(doc, dict):
@@ -88,6 +115,26 @@ def validate(doc, require_pipeline=False):
                 for n in doc["histograms"]
             ):
                 problems.append(f"no pipeline histogram {prefix}*{suffix}")
+
+    if require_faults:
+        for prefix, suffix in FAULT_COUNTER_PATTERNS:
+            if not any(
+                n.startswith(prefix) and n.endswith(suffix)
+                for n in doc["counters"]
+            ):
+                problems.append(f"no fault counter {prefix}*{suffix}")
+        for name in FAULT_POSITIVE_COUNTERS:
+            if not doc["counters"].get(name, 0) > 0:
+                problems.append(f"counter '{name}' is not > 0")
+        for prefix, suffix in FAULT_GAUGE_PATTERNS:
+            if not any(
+                n.startswith(prefix) and n.endswith(suffix)
+                for n in doc["gauges"]
+            ):
+                problems.append(f"no fault gauge {prefix}*{suffix}")
+        for name in FAULT_HISTOGRAM_NAMES:
+            if name not in doc["histograms"]:
+                problems.append(f"no fault histogram '{name}'")
     return problems
 
 
@@ -98,6 +145,12 @@ def main(argv):
         "--require-pipeline",
         action="store_true",
         help="also require block-cache/link/scheduler/page-turn families",
+    )
+    parser.add_argument(
+        "--require-faults",
+        action="store_true",
+        help="also require fault-injection/retry/breaker families with "
+        "nonzero fault and retry counts",
     )
     args = parser.parse_args(argv)
 
@@ -110,7 +163,11 @@ def main(argv):
             print(f"{path}: FAIL: {err}")
             failed = True
             continue
-        problems = validate(doc, require_pipeline=args.require_pipeline)
+        problems = validate(
+            doc,
+            require_pipeline=args.require_pipeline,
+            require_faults=args.require_faults,
+        )
         if problems:
             failed = True
             print(f"{path}: FAIL")
