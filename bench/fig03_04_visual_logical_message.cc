@@ -32,7 +32,8 @@ int Run() {
   std::printf("%-6s %-8s %-18s\n", "page", "pinned", "page_digest");
   for (int p = 1; p <= (*browser)->page_count(); ++p) {
     if (!(*browser)->GotoPage(p).ok()) return 1;
-    const size_t shown = log.OfKind(core::EventKind::kVisualMessageShown).size();
+    const size_t shown =
+        log.OfKind(core::EventKind::kVisualMessageShown).size();
     const size_t hidden =
         log.OfKind(core::EventKind::kVisualMessageHidden).size();
     const bool pinned = shown > hidden;

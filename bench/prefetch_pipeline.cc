@@ -1,0 +1,214 @@
+// PREFETCH-1: does overlapping link transfer with presentation time pay?
+// The same query-browse-present-page-through session runs under three
+// transfer disciplines — whole-object fetch at open ("whole"), skeleton
+// fetch with synchronous demand paging ("sync"), and skeleton fetch with
+// the asynchronous prefetch pipeline ("prefetch") — under a clean and a
+// flaky link. The table reports time-to-first-page and page-turn
+// latencies; the run fails (exit 1) unless prefetching beats synchronous
+// demand paging at the page-turn p99 on the clean link, which is the
+// acceptance gate for the pipeline.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minos/core/presentation_manager.h"
+#include "minos/core/visual_browser.h"
+#include "minos/obs/metrics.h"
+#include "minos/server/object_server.h"
+#include "minos/server/prefetch.h"
+#include "minos/server/workstation.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
+#include "minos/text/formatter.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+/// A report whose pages carry real transfer weight: formatted text plus
+/// a bitmap on every other page.
+object::MultimediaObject PagedObject(storage::ObjectId id, int paragraphs) {
+  object::MultimediaObject obj(id);
+  obj.descriptor().layout.width = 48;
+  obj.descriptor().layout.height = 12;
+  obj.SetTextPart(bench::LongReport(paragraphs)).ok();
+  text::TextFormatter formatter(obj.descriptor().layout);
+  const size_t pages = formatter.Paginate(obj.text_part()).value().size();
+  for (size_t i = 0; i < pages; ++i) {
+    object::VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    obj.descriptor().pages.push_back(page);
+  }
+  for (size_t i = 0; i < pages; i += 2) {
+    const uint32_t index =
+        obj.AddImage(bench::XrayBitmap(96, 72)).value();
+    object::PlacedImage placed;
+    placed.image_index = index;
+    placed.placement = image::Rect{180, 20, 96, 72};
+    obj.descriptor().pages[i].images.push_back(placed);
+  }
+  obj.Archive().ok();
+  return obj;
+}
+
+struct Config {
+  const char* name;
+  bool paged;     ///< Skeleton fetch + demand paging.
+  bool speculate; ///< Background prefetch around the cursor.
+};
+
+struct Profile {
+  const char* name;
+  server::FaultProfile faults;
+};
+
+/// Simulated reading time per page: the window background transfers
+/// overlap with ("the time that it takes for a user to browse through a
+/// page can be used to fetch other pages").
+constexpr Micros kViewTime = MillisToMicros(120);
+
+/// Time the user spends examining one miniature card before moving on or
+/// opening the object under the cursor — the window in which its
+/// skeleton transfers in the background.
+constexpr Micros kCardViewTime = MillisToMicros(1000);
+
+int Run() {
+  bench::PrintHeader("prefetch_pipeline",
+                     "page-turn latency: sync vs prefetch");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+
+  const std::vector<Config> configs = {
+      {"whole", false, false},
+      {"sync", true, false},
+      {"prefetch", true, true},
+  };
+  const std::vector<Profile> profiles = {
+      {"none", server::FaultProfile::None()},
+      {"flaky", server::FaultProfile::Flaky()},
+  };
+
+  std::printf("%-8s %-9s %-11s %-11s %-11s %-18s\n", "profile", "config",
+              "first_pg_ms", "turn_p50_ms", "turn_p99_ms",
+              "hits/partial/miss");
+
+  Micros total_sim_time = 0;
+  for (const Profile& profile : profiles) {
+    for (const Config& config : configs) {
+      SimClock clock;
+      storage::BlockDevice device("optical", 65536, 512,
+                                  storage::DeviceCostModel::OpticalDisk(),
+                                  true, &clock);
+      storage::BlockCache cache(256);
+      storage::Archiver archiver(&device, &cache);
+      storage::VersionStore versions;
+      server::Link link = server::Link::Ethernet(&clock);
+      server::ObjectServer server(&archiver, &versions, &clock, &link);
+      server::FaultInjector injector(profile.faults, 0xFE7C, &clock);
+      link.SetFaultInjector(&injector);
+      for (storage::ObjectId id = 1; id <= 3; ++id) {
+        if (!server.Store(PagedObject(id, 10)).ok()) return 1;
+      }
+
+      render::Screen screen;
+      server::Workstation workstation(&server, &screen, &clock);
+      if (config.paged) {
+        server::PrefetchOptions options;
+        if (!config.speculate) {
+          options.pages_ahead = 0;
+          options.pages_behind = 0;
+          options.miniature_radius = 0;
+          options.max_inflight_per_pump = 0;
+        }
+        workstation.EnablePrefetch(options);
+      }
+
+      const std::string scope = std::string("prefetch_pipeline.") +
+                                profile.name + "." + config.name;
+      obs::Histogram* open_us = reg.histogram(scope + ".page_open_us");
+      obs::Histogram* turn_us = reg.histogram(scope + ".page_turn_us");
+      const int64_t hits0 = reg.counter("prefetch.hits")->value();
+      const int64_t partial0 = reg.counter("prefetch.partial_hits")->value();
+      const int64_t miss0 = reg.counter("prefetch.misses")->value();
+
+      // The user browses the miniature strip, pausing on each card. The
+      // cursor steers the pipeline: adjacent miniatures and the skeleton
+      // of the object under the cursor transfer while the user looks.
+      auto browser = workstation.Query({"report"});
+      if (browser.ok() && !browser->empty()) {
+        clock.Advance(kCardViewTime);
+        browser->Next().ok();
+        clock.Advance(kCardViewTime);
+        browser->Previous().ok();
+        clock.Advance(kCardViewTime);
+      }
+      for (storage::ObjectId id = 1; id <= 3; ++id) {
+        const Micros open_start = clock.Now();
+        if (!workstation.Present(id).ok()) continue;
+        open_us->Record(static_cast<double>(clock.Now() - open_start));
+        core::VisualBrowser* vb =
+            workstation.presentation().visual_browser();
+        if (vb == nullptr) continue;
+        for (;;) {
+          clock.Advance(kViewTime);  // The user reads the page.
+          const Micros turn_start = clock.Now();
+          if (!vb->NextPage().ok()) break;
+          turn_us->Record(static_cast<double>(clock.Now() - turn_start));
+        }
+        // A random seek back to the start: stale entries around the old
+        // cursor are cancelled or wasted, never delivered.
+        clock.Advance(kViewTime);
+        vb->GotoPage(1).ok();
+      }
+
+      const obs::MetricsSnapshot snap = reg.Snapshot();
+      const obs::HistogramSummary* t =
+          snap.FindHistogram(scope + ".page_turn_us");
+      const obs::HistogramSummary* o =
+          snap.FindHistogram(scope + ".page_open_us");
+      std::printf(
+          "%-8s %-9s %-11.1f %-11.1f %-11.1f %lld/%lld/%lld\n",
+          profile.name, config.name,
+          o != nullptr ? o->p50 / 1000.0 : 0.0,
+          t != nullptr ? t->p50 / 1000.0 : 0.0,
+          t != nullptr ? t->p99 / 1000.0 : 0.0,
+          static_cast<long long>(reg.counter("prefetch.hits")->value() -
+                                 hits0),
+          static_cast<long long>(
+              reg.counter("prefetch.partial_hits")->value() - partial0),
+          static_cast<long long>(reg.counter("prefetch.misses")->value() -
+                                 miss0));
+      total_sim_time += clock.Now();
+    }
+  }
+
+  std::printf("prefetch.wasted=%lld prefetch.cancelled=%lld\n",
+              static_cast<long long>(reg.counter("prefetch.wasted")->value()),
+              static_cast<long long>(
+                  reg.counter("prefetch.cancelled")->value()));
+  bench::NoteSimTime(total_sim_time);
+
+  // Acceptance gate: on the clean link, prefetching must strictly beat
+  // synchronous demand paging at the page-turn p99.
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::HistogramSummary* sync_turns =
+      snap.FindHistogram("prefetch_pipeline.none.sync.page_turn_us");
+  const obs::HistogramSummary* prefetch_turns =
+      snap.FindHistogram("prefetch_pipeline.none.prefetch.page_turn_us");
+  if (sync_turns == nullptr || prefetch_turns == nullptr ||
+      !(prefetch_turns->p99 < sync_turns->p99)) {
+    std::printf("FAIL: prefetch page-turn p99 (%.1f us) is not below the "
+                "synchronous baseline (%.1f us)\n",
+                prefetch_turns != nullptr ? prefetch_turns->p99 : -1.0,
+                sync_turns != nullptr ? sync_turns->p99 : -1.0);
+    return 1;
+  }
+  std::printf("gate: prefetch p99 %.1f us < sync p99 %.1f us\n",
+              prefetch_turns->p99, sync_turns->p99);
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

@@ -28,7 +28,8 @@ image::Image CityMap(int width, int height) {
                     {2 * width / 3, height * 3 / 4},
                     {width - 1, height * 2 / 3}};
   river.ink = 120;
-  river.label = {image::LabelKind::kText, "river", {width / 2, height * 3 / 4}};
+  river.label = {
+      image::LabelKind::kText, "river", {width / 2, height * 3 / 4}};
   g.Add(river);
   // Sights with voice labels.
   struct Sight {

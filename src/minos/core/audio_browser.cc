@@ -222,6 +222,7 @@ Status AudioBrowser::AdvancePages(int delta) {
 }
 
 Status AudioBrowser::GotoPage(int number) {
+  const int old_page = current_page();
   MINOS_ASSIGN_OR_RETURN(size_t start,
                          voice::AudioPager::PageStart(pages_, number));
   position_ = start;
@@ -229,6 +230,10 @@ Status AudioBrowser::GotoPage(int number) {
     log_->Add(EventKind::kAudioPageStarted, clock_->Now(), number, "goto");
   }
   const Micros presented_at = clock_->Now();
+  if (cursor_listener_ && number != old_page) {
+    const int delta = number - old_page;
+    cursor_listener_(number, page_count(), delta > 1 || delta < -1);
+  }
   RefreshScreen();
   page_turns_->Increment();
   page_turn_us_->Record(static_cast<double>(clock_->Now() - presented_at));

@@ -1,6 +1,7 @@
 #ifndef MINOS_CORE_AUDIO_BROWSER_H_
 #define MINOS_CORE_AUDIO_BROWSER_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -90,6 +91,16 @@ class AudioBrowser {
   /// Installs the insertion-time recognition index (sample positions).
   void SetRecognitionIndex(text::WordIndex index);
 
+  /// Cursor listener: fired from GotoPage when the playback cursor moves
+  /// to a different audio page (1-based page, page count, jump = moved
+  /// more than one page). The prefetch pipeline listens here to keep the
+  /// upcoming voice segments staged.
+  using CursorListener =
+      std::function<void(int page, int page_count, bool jump)>;
+  void SetCursorListener(CursorListener listener) {
+    cursor_listener_ = std::move(listener);
+  }
+
   /// Menu options available for this object.
   std::vector<std::string> MenuOptions() const;
 
@@ -143,6 +154,8 @@ class AudioBrowser {
   obs::Histogram* play_us_ = nullptr;
   obs::Counter* pause_rewinds_ = nullptr;
   obs::Histogram* rewind_sampled_pauses_ = nullptr;
+
+  CursorListener cursor_listener_;
 
   size_t position_ = 0;
   bool playing_ = false;

@@ -77,15 +77,35 @@ Status PresentationManager::OpenFrame(storage::ObjectId id,
     MINOS_ASSIGN_OR_RETURN(
         frame.visual, VisualBrowser::Open(frame.object.get(), screen_,
                                           &messages_, clock_, &log_));
+    frame.visual->SetCursorListener(
+        [this, id](int page, int page_count, bool jump) {
+          if (!browse_listener_) return;
+          browse_listener_(BrowseEvent{id, DrivingMode::kVisual, page,
+                                       page_count, jump});
+        });
   } else {
     MINOS_ASSIGN_OR_RETURN(
         frame.audio, AudioBrowser::Open(frame.object.get(), screen_,
                                         &messages_, clock_, &log_));
+    frame.audio->SetCursorListener(
+        [this, id](int page, int page_count, bool jump) {
+          if (!browse_listener_) return;
+          browse_listener_(BrowseEvent{id, DrivingMode::kAudio, page,
+                                       page_count, jump});
+        });
   }
   stack_.push_back(std::move(frame));
   depth_->Set(static_cast<double>(stack_.size()));
   if (stack_.back().visual != nullptr) {
     return stack_.back().visual->ShowCurrentPage();
+  }
+  // Audio frames have no initial ShowCurrentPage; announce the opening
+  // position so prefetch can start staging the upcoming segments.
+  if (browse_listener_ && stack_.back().audio != nullptr) {
+    AudioBrowser* audio = stack_.back().audio.get();
+    browse_listener_(BrowseEvent{id, DrivingMode::kAudio,
+                                 audio->current_page(), audio->page_count(),
+                                 false});
   }
   return Status::OK();
 }

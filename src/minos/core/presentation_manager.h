@@ -58,6 +58,26 @@ class PresentationManager {
     resolver_ = std::move(resolver);
   }
 
+  /// One browsing-cursor movement inside an open object, forwarded to
+  /// the workstation layer so the prefetch pipeline can follow the user.
+  struct BrowseEvent {
+    storage::ObjectId object_id = 0;
+    /// Mode of the browser that moved (a degraded audio object browsed
+    /// visually reports kVisual).
+    object::DrivingMode mode = object::DrivingMode::kVisual;
+    int page = 1;  ///< 1-based.
+    int page_count = 1;
+    bool jump = false;  ///< Moved more than one page at once.
+  };
+  using BrowseListener = std::function<void(const BrowseEvent&)>;
+
+  /// Installs the browse listener. Every browser the manager opens (root
+  /// or relevant object, either mode) reports its cursor movements here;
+  /// replacing the listener affects already-open frames too.
+  void SetBrowseListener(BrowseListener listener) {
+    browse_listener_ = std::move(listener);
+  }
+
   /// Opens the root object, replacing any existing navigation stack.
   Status Open(storage::ObjectId id);
 
@@ -202,6 +222,7 @@ class PresentationManager {
   MessagePlayer messages_;
   EventLog log_;
   ObjectResolver resolver_;
+  BrowseListener browse_listener_;
   std::vector<Frame> stack_;
   std::vector<DegradedPart> degraded_parts_;
   obs::Tracer tracer_;

@@ -191,6 +191,14 @@ Status VisualBrowser::ShowCurrentPage() {
   const bool first = !shown_once_;
   shown_once_ = true;
   last_shown_ = current_;
+  if (cursor_listener_ && (first || current_ != old_page)) {
+    // Fired before composing: a demand-paging listener transfers the
+    // page's deferred bytes here, inside the page-turn measurement.
+    const int delta =
+        static_cast<int>(current_) - static_cast<int>(old_page);
+    const bool jump = !first && (delta > 1 || delta < -1);
+    cursor_listener_(current_page(), page_count(), jump);
+  }
   MINOS_RETURN_IF_ERROR(TriggerMessages(old_page, current_, first));
 
   // When a visual message is pinned, the page content uses the lower

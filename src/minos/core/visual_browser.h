@@ -1,6 +1,7 @@
 #ifndef MINOS_CORE_VISUAL_BROWSER_H_
 #define MINOS_CORE_VISUAL_BROWSER_H_
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -95,6 +96,20 @@ class VisualBrowser {
     return static_cast<int>(obj_->descriptor().pages.size());
   }
 
+  /// Cursor listener: fired from ShowCurrentPage whenever the browse
+  /// cursor lands somewhere new (first show, or the page changed).
+  /// Receives the 1-based page, the page count, and whether the move was
+  /// a jump (more than one page at once — goto / pattern / unit
+  /// browsing). The prefetch pipeline listens here to fetch page content
+  /// on demand and steer speculative fetches; the call happens inside
+  /// the page-turn latency measurement, so demand transfers are charged
+  /// to the turn that needed them.
+  using CursorListener =
+      std::function<void(int page, int page_count, bool jump)>;
+  void SetCursorListener(CursorListener listener) {
+    cursor_listener_ = std::move(listener);
+  }
+
   /// First text offset presented on the current page (0 when the page has
   /// no text).
   size_t current_text_offset() const;
@@ -140,6 +155,8 @@ class VisualBrowser {
   /// records the simulated time it took to present it.
   obs::Counter* page_turns_ = nullptr;
   obs::Histogram* page_turn_us_ = nullptr;
+
+  CursorListener cursor_listener_;
 
   size_t current_ = 0;
   size_t last_shown_ = 0;  ///< Page at the previous ShowCurrentPage().

@@ -5,7 +5,9 @@
 namespace minos::image {
 
 StatusOr<Miniature> Miniature::Build(const Image& image, int scale) {
-  if (scale < 1) return Status::InvalidArgument("miniature scale must be >= 1");
+  if (scale < 1) {
+    return Status::InvalidArgument("miniature scale must be >= 1");
+  }
   if (image.width() == 0 || image.height() == 0) {
     return Status::InvalidArgument("cannot miniaturize an empty image");
   }

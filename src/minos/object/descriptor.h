@@ -197,7 +197,8 @@ class ObjectDescriptor {
     int view_width = 0;
     int view_height = 0;
     std::vector<image::Point> positions;
-    std::vector<std::string> audio_messages;  ///< One per position ("" = none).
+    /// One per position ("" = none).
+    std::vector<std::string> audio_messages;
   };
   std::vector<TourSpec> tours;
 

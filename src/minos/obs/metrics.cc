@@ -23,7 +23,9 @@ void Histogram::Record(double value) {
     // acceptance stride.
     std::vector<double> kept;
     kept.reserve(samples_.size() / 2 + 1);
-    for (size_t i = 0; i < samples_.size(); i += 2) kept.push_back(samples_[i]);
+    for (size_t i = 0; i < samples_.size(); i += 2) {
+      kept.push_back(samples_[i]);
+    }
     samples_ = std::move(kept);
     stride_ *= 2;
   }

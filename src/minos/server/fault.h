@@ -204,16 +204,26 @@ class CircuitBreaker {
   obs::Counter* fast_fails_;
 };
 
+/// Sleeper invoked once per backoff window (the ROADMAP's
+/// "scheduler-integrated retries"). The sleeper owns the window: it MUST
+/// advance `clock` by exactly `delay`, but may do useful work first —
+/// the prefetch pipeline's sleeper pumps queued background transfers so
+/// speculative fetches progress while the foreground request waits out
+/// its backoff instead of dead-sleeping the whole session.
+using BackoffSleeper = std::function<void(Micros delay)>;
+
 /// Runs `attempt` until it succeeds, fails permanently, exhausts
 /// `policy.max_attempts`, or would overrun the deadline budget. Backoff
-/// delays advance `clock` and record under "retry.*" ("retry.
-/// attempts_total", "retry.retries_total", "retry.exhausted_total",
-/// "retry.delay_us"). On exhaustion the last underlying error is
-/// returned unchanged so callers can still classify it (e.g. salvage a
-/// Corruption); when the budget forbids another try, DeadlineExceeded.
+/// delays advance `clock` — through `sleeper` when one is installed —
+/// and record under "retry.*" ("retry.attempts_total",
+/// "retry.retries_total", "retry.exhausted_total", "retry.delay_us").
+/// On exhaustion the last underlying error is returned unchanged so
+/// callers can still classify it (e.g. salvage a Corruption); when the
+/// budget forbids another try, DeadlineExceeded.
 template <typename T, typename Fn>
 StatusOr<T> RetryWithBackoff(const RetryPolicy& policy, SimClock* clock,
-                             Random* rng, Fn&& attempt) {
+                             Random* rng, const BackoffSleeper& sleeper,
+                             Fn&& attempt) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   obs::Counter* attempts_total = reg.counter("retry.attempts_total");
   obs::Counter* retries_total = reg.counter("retry.retries_total");
@@ -241,8 +251,21 @@ StatusOr<T> RetryWithBackoff(const RetryPolicy& policy, SimClock* clock,
     }
     delay_us->Record(static_cast<double>(delay));
     retries_total->Increment();
-    clock->Advance(delay);
+    if (sleeper) {
+      sleeper(delay);
+    } else {
+      clock->Advance(delay);
+    }
   }
+}
+
+/// Convenience overload without a backoff sleeper: the backoff window is
+/// spent advancing the clock, exactly as before sleepers existed.
+template <typename T, typename Fn>
+StatusOr<T> RetryWithBackoff(const RetryPolicy& policy, SimClock* clock,
+                             Random* rng, Fn&& attempt) {
+  return RetryWithBackoff<T>(policy, clock, rng, BackoffSleeper(),
+                             std::forward<Fn>(attempt));
 }
 
 }  // namespace minos::server

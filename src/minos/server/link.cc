@@ -26,7 +26,9 @@ StatusOr<Micros> Link::Transfer(uint64_t bytes) {
   if (injector_ != nullptr) {
     Status verdict = injector_->OnOperation("link transfer");
     if (!verdict.ok()) {
-      breaker_->RecordFailure();
+      // Speculative (prefetch) failures carry no breaker weight: a
+      // prefetch storm must not open the circuit for the foreground.
+      if (!background_) breaker_->RecordFailure();
       return verdict;
     }
   }

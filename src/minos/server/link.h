@@ -48,6 +48,33 @@ class Link {
   /// Attaches a fault source (borrowed; null detaches).
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  /// While a BackgroundScope is live, transfers model speculative
+  /// (prefetch) traffic: failures are not recorded against the circuit
+  /// breaker, so a bad prefetch burst can never open the circuit for the
+  /// foreground path. Open-breaker fast-fails still apply — prefetching
+  /// over a link that is already known dead is pointless — and
+  /// successful background transfers still count as evidence of link
+  /// health (they can close a half-open probe).
+  class BackgroundScope {
+   public:
+    explicit BackgroundScope(Link* link)
+        : link_(link), prev_(link != nullptr && link->background_) {
+      if (link_ != nullptr) link_->background_ = true;
+    }
+    ~BackgroundScope() {
+      if (link_ != nullptr) link_->background_ = prev_;
+    }
+    BackgroundScope(const BackgroundScope&) = delete;
+    BackgroundScope& operator=(const BackgroundScope&) = delete;
+
+   private:
+    Link* link_;
+    bool prev_;
+  };
+
+  /// True while a BackgroundScope is live.
+  bool in_background() const { return background_; }
+
   /// Replaces the breaker policy (state resets to closed).
   void ConfigureBreaker(CircuitBreaker::Options options);
 
@@ -69,6 +96,7 @@ class Link {
   Micros latency_;
   SimClock* clock_;
   FaultInjector* injector_ = nullptr;  // Borrowed; may be null.
+  bool background_ = false;            // A BackgroundScope is live.
   std::string scope_;
   obs::MetricsRegistry* registry_;
   std::unique_ptr<CircuitBreaker> breaker_;

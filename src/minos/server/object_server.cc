@@ -110,27 +110,32 @@ StatusOr<const ObjectServer::CatalogEntry*> ObjectServer::Lookup(
 }
 
 StatusOr<std::string> ObjectServer::ReadAndDeliver(
-    const storage::ArchiveAddress& address, bool over_link) {
+    const storage::ArchiveAddress& address, bool over_link,
+    uint64_t transfer_discount) {
   std::string bytes;
   MINOS_RETURN_IF_ERROR(archiver_->Read(address, &bytes));
   format::ArchiveMailer mailer(archiver_, versions_, clock_);
   MINOS_ASSIGN_OR_RETURN(std::string resolved,
                          mailer.ResolvePointers(bytes));
   if (over_link && link_ != nullptr) {
-    MINOS_RETURN_IF_ERROR(link_->Transfer(resolved.size()).status());
+    uint64_t charge = resolved.size();
+    charge -= std::min<uint64_t>(transfer_discount, charge);
+    MINOS_RETURN_IF_ERROR(link_->Transfer(charge).status());
     if (injector_ != nullptr) injector_->MaybeCorrupt(&resolved);
   }
   return resolved;
 }
 
 StatusOr<MultimediaObject> ObjectServer::FetchAt(
-    ObjectId id, const storage::ArchiveAddress& address, bool over_link) {
+    ObjectId id, const storage::ArchiveAddress& address, bool over_link,
+    uint64_t transfer_discount) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   StatusOr<MultimediaObject> got = RetryWithBackoff<MultimediaObject>(
-      retry_policy_, clock_, &retry_rng_,
+      retry_policy_, clock_, &retry_rng_, backoff_sleeper_,
       [&]() -> StatusOr<MultimediaObject> {
-        MINOS_ASSIGN_OR_RETURN(std::string resolved,
-                               ReadAndDeliver(address, over_link));
+        MINOS_ASSIGN_OR_RETURN(
+            std::string resolved,
+            ReadAndDeliver(address, over_link, transfer_discount));
         MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
                                MultimediaObject::DeserializeArchived(
                                    id, resolved));
@@ -143,7 +148,8 @@ StatusOr<MultimediaObject> ObjectServer::FetchAt(
   // Persistent corruption survived every retry (bad media or a poisoned
   // cache block, not a wire glitch). Salvage the parts whose checksums
   // still verify; the presentation manager degrades the rest.
-  StatusOr<std::string> resolved = ReadAndDeliver(address, over_link);
+  StatusOr<std::string> resolved =
+      ReadAndDeliver(address, over_link, transfer_discount);
   if (!resolved.ok()) return got;
   object::MultimediaObject::PartSalvageReport report;
   StatusOr<MultimediaObject> salvaged =
@@ -156,9 +162,69 @@ StatusOr<MultimediaObject> ObjectServer::FetchAt(
   return salvaged;
 }
 
-StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id) {
+uint64_t ObjectServer::DeferredBytesOf(const ObjectDescriptor& desc) {
+  std::set<uint32_t> page_images;
+  bool pages_show_text = false;
+  for (const object::VisualPageSpec& page : desc.pages) {
+    if (page.text_page > 0) pages_show_text = true;
+    for (const object::PlacedImage& placed : page.images) {
+      page_images.insert(placed.image_index);
+    }
+  }
+  auto part_length = [&](const std::string& name) -> uint64_t {
+    for (const object::PartPointer& p : desc.parts) {
+      if (p.name == name) return p.length;
+    }
+    return 0;
+  };
+  uint64_t deferred = 0;
+  for (uint32_t index : page_images) {
+    deferred += part_length("image:" + std::to_string(index));
+  }
+  if (pages_show_text) deferred += part_length("text");
+  if (desc.driving_mode == object::DrivingMode::kAudio) {
+    deferred += part_length("voice");
+  }
+  return deferred;
+}
+
+StatusOr<uint64_t> ObjectServer::DeferredPageBytes(ObjectId id) const {
   MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
-  return FetchAt(id, entry->address, /*over_link=*/true);
+  return DeferredBytesOf(entry->descriptor);
+}
+
+StatusOr<uint64_t> ObjectServer::PartLength(
+    ObjectId id, std::string_view part_name) const {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  MINOS_ASSIGN_OR_RETURN(object::PartPointer part,
+                         entry->descriptor.FindPart(part_name));
+  return part.length;
+}
+
+Status ObjectServer::StagePartRange(ObjectId id, std::string_view part_name,
+                                    uint64_t offset, uint64_t length) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  MINOS_ASSIGN_OR_RETURN(object::PartPointer part,
+                         entry->descriptor.FindPart(part_name));
+  if (offset >= part.length) return Status::OK();
+  length = std::min(length, part.length - offset);
+  if (length == 0) return Status::OK();
+  const uint64_t base =
+      part.in_archiver
+          ? part.offset
+          : entry->address.offset + entry->payload_base + part.offset;
+  std::string scratch;
+  return archiver_->ReadRange(base + offset, length, &scratch);
+}
+
+StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id,
+                                               FetchGranularity granularity) {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  uint64_t discount = 0;
+  if (granularity == FetchGranularity::kSkeleton) {
+    discount = DeferredBytesOf(entry->descriptor);
+  }
+  return FetchAt(id, entry->address, /*over_link=*/true, discount);
 }
 
 StatusOr<MultimediaObject> ObjectServer::FetchVersion(ObjectId id,
@@ -218,9 +284,10 @@ StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
   card.byte_size = card.thumb.ByteSize() + card.preview_transcript.size();
   if (link_ != nullptr) {
     MINOS_RETURN_IF_ERROR(
-        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_, [&] {
-          return link_->Transfer(card.byte_size);
-        }).status());
+        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_,
+                                 backoff_sleeper_, [&] {
+                                   return link_->Transfer(card.byte_size);
+                                 }).status());
   }
   return card;
 }
@@ -242,9 +309,10 @@ StatusOr<image::Image> ObjectServer::FetchImage(ObjectId id,
   }
   if (link_ != nullptr) {
     MINOS_RETURN_IF_ERROR(
-        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_, [&] {
-          return link_->Transfer(payload.size());
-        }).status());
+        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_,
+                                 backoff_sleeper_, [&] {
+                                   return link_->Transfer(payload.size());
+                                 }).status());
   }
   return image::Image::Deserialize(payload);
 }
@@ -291,10 +359,14 @@ StatusOr<image::Bitmap> ObjectServer::FetchImageRegion(
     }
   }
   if (link_ != nullptr) {
-    MINOS_RETURN_IF_ERROR(
-        RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_, [&] {
-          return link_->Transfer(static_cast<uint64_t>(clipped.area()));
-        }).status());
+    MINOS_RETURN_IF_ERROR(RetryWithBackoff<Micros>(
+                              retry_policy_, clock_, &retry_rng_,
+                              backoff_sleeper_,
+                              [&] {
+                                return link_->Transfer(
+                                    static_cast<uint64_t>(clipped.area()));
+                              })
+                              .status());
   }
   return out;
 }

@@ -56,6 +56,15 @@ class ObjectServer {
   void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
 
+  /// Installs the sleeper every Fetch* retry spends its backoff windows
+  /// in (null restores plain clock advances). The prefetch pipeline
+  /// installs one that pumps queued background transfers during the
+  /// window, so retries yield the link to speculative work instead of
+  /// dead-sleeping the session.
+  void SetBackoffSleeper(BackoffSleeper sleeper) {
+    backoff_sleeper_ = std::move(sleeper);
+  }
+
   /// Ingest ---------------------------------------------------------------
 
   /// Archives an object (must be in archived state) and indexes its
@@ -80,8 +89,24 @@ class ObjectServer {
 
   /// Retrieval ------------------------------------------------------------
 
+  /// How much of an object one Fetch transfers over the link.
+  enum class FetchGranularity : uint8_t {
+    /// Everything: descriptor plus every part payload (the classic
+    /// whole-object fetch).
+    kWhole = 0,
+    /// Descriptor and structure only; the page-content payloads (image
+    /// parts placed on visual pages, the text/voice streams the pages
+    /// present) are deferred to page-granular transfers driven by the
+    /// browsing cursor. The object still materializes fully in memory —
+    /// the granularity governs transfer-cost accounting, which is what
+    /// the simulation measures.
+    kSkeleton = 1,
+  };
+
   /// Fetches a whole object (descriptor + composition) over the link.
-  StatusOr<object::MultimediaObject> Fetch(storage::ObjectId id);
+  StatusOr<object::MultimediaObject> Fetch(
+      storage::ObjectId id, FetchGranularity granularity =
+                                FetchGranularity::kWhole);
 
   /// Fetches a specific archived version (§5 version control). The
   /// catalog tracks the latest version; older versions decode from their
@@ -102,10 +127,34 @@ class ObjectServer {
   StatusOr<image::Image> FetchImage(storage::ObjectId id,
                                     uint32_t image_index);
 
+  /// Demand paging --------------------------------------------------------
+
+  /// Reads `length` bytes at `offset` within part `part_name` of the
+  /// cataloged object through the archiver, landing the covering blocks
+  /// in the block cache, without charging the link: the caller owns the
+  /// transfer accounting (a synchronous stall or a background prefetch).
+  /// The range is clamped to the part; a zero-length clamp is a no-op.
+  Status StagePartRange(storage::ObjectId id, std::string_view part_name,
+                        uint64_t offset, uint64_t length);
+
+  /// Bytes a skeleton fetch of `id` defers to page-granular transfers:
+  /// image parts placed on visual pages, plus the text or voice stream
+  /// the pages present. Zero for objects with no pageable content.
+  StatusOr<uint64_t> DeferredPageBytes(storage::ObjectId id) const;
+
+  /// Byte length of one named part of a cataloged object (the transfer
+  /// cost of delivering it in full).
+  StatusOr<uint64_t> PartLength(storage::ObjectId id,
+                                std::string_view part_name) const;
+
   /// Introspection ---------------------------------------------------------
 
   size_t object_count() const { return catalog_.size(); }
   const storage::Archiver& archiver() const { return *archiver_; }
+
+  /// The workstation-facing link (borrowed; null when transfers are not
+  /// charged). The prefetch pipeline shares it for background traffic.
+  Link* link() const { return link_; }
 
  private:
   /// Per-object catalog entry built at Store time.
@@ -121,16 +170,22 @@ class ObjectServer {
 
   /// One delivery attempt: archive read, pointer resolution, link
   /// transfer (skipped when `over_link` is false — server-side reads),
-  /// and injected wire corruption of the delivered bytes.
+  /// and injected wire corruption of the delivered bytes. A skeleton
+  /// fetch discounts `transfer_discount` deferred payload bytes from
+  /// the link charge.
   StatusOr<std::string> ReadAndDeliver(const storage::ArchiveAddress& address,
-                                       bool over_link);
+                                       bool over_link,
+                                       uint64_t transfer_discount = 0);
 
   /// Full object materialization with retry/backoff; on persistent
   /// corruption falls back to a lenient decode that drops unreadable
   /// voice/attribute parts (the degraded-presentation path).
   StatusOr<object::MultimediaObject> FetchAt(
       storage::ObjectId id, const storage::ArchiveAddress& address,
-      bool over_link);
+      bool over_link, uint64_t transfer_discount = 0);
+
+  /// Deferred-byte math over a catalog entry's descriptor.
+  static uint64_t DeferredBytesOf(const object::ObjectDescriptor& desc);
 
   storage::Archiver* archiver_;
   storage::VersionStore* versions_;
@@ -138,6 +193,7 @@ class ObjectServer {
   Link* link_;
   FaultInjector* injector_ = nullptr;  // Borrowed; wire corruption only.
   RetryPolicy retry_policy_;
+  BackoffSleeper backoff_sleeper_;  // Null: backoff advances the clock.
   Random retry_rng_{0x5EED0FCA};  // Seeded backoff jitter: replayable.
   std::map<storage::ObjectId, CatalogEntry> catalog_;
   std::map<std::string, std::set<storage::ObjectId>, std::less<>> index_;

@@ -1,0 +1,280 @@
+#include "minos/server/prefetch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace minos::server {
+
+PrefetchQueue::PrefetchQueue(SimClock* clock, Link* link,
+                             PrefetchOptions options)
+    : clock_(clock), link_(link), options_(options) {
+  obs::MetricsRegistry& reg = options_.registry != nullptr
+                                  ? *options_.registry
+                                  : obs::MetricsRegistry::Default();
+  enqueued_ = reg.counter("prefetch.enqueued");
+  issued_ = reg.counter("prefetch.issued");
+  hits_ = reg.counter("prefetch.hits");
+  partial_hits_ = reg.counter("prefetch.partial_hits");
+  misses_ = reg.counter("prefetch.misses");
+  wasted_ = reg.counter("prefetch.wasted");
+  cancelled_ = reg.counter("prefetch.cancelled");
+  errors_ = reg.counter("prefetch.errors");
+  wait_us_ = reg.histogram("prefetch.wait_us");
+  issue_cost_us_ = reg.histogram("prefetch.issue_cost_us");
+  queue_depth_ = reg.gauge("prefetch.queue_depth");
+}
+
+PrefetchQueue::~PrefetchQueue() {
+  for (const auto& [key, entry] : entries_) {
+    if (entry.ready) wasted_->Increment();
+  }
+}
+
+void PrefetchQueue::UpdateDepth() {
+  queue_depth_->Set(static_cast<double>(entries_.size()));
+}
+
+void PrefetchQueue::WantPage(const PrefetchKey& key, int distance,
+                             PageWork work) {
+  if (!work || entries_.count(key) > 0) return;
+  Entry entry;
+  entry.distance = std::abs(distance);
+  entry.seq = next_seq_++;
+  entry.run = std::move(work);
+  entries_.emplace(key, std::move(entry));
+  enqueued_->Increment();
+  UpdateDepth();
+}
+
+void PrefetchQueue::WantObject(uint64_t object_id, int distance,
+                               ObjectWork work) {
+  if (!work) return;
+  PrefetchKey key{PrefetchKind::kObject, object_id, 0};
+  auto shared =
+      std::make_shared<ObjectWork>(std::move(work));
+  WantPage(key, distance,
+           [this, key, shared]() -> Status {
+             StatusOr<object::MultimediaObject> got = (*shared)();
+             if (!got.ok()) return got.status();
+             entries_[key].object = *std::move(got);
+             return Status::OK();
+           });
+}
+
+void PrefetchQueue::WantMiniature(int position, int distance,
+                                  CardWork work) {
+  if (!work) return;
+  PrefetchKey key{PrefetchKind::kMiniature, 0, position};
+  auto shared = std::make_shared<CardWork>(std::move(work));
+  WantPage(key, distance,
+           [this, key, shared]() -> Status {
+             StatusOr<MiniatureCard> got = (*shared)();
+             if (!got.ok()) return got.status();
+             entries_[key].card = *std::move(got);
+             return Status::OK();
+           });
+}
+
+bool PrefetchQueue::Issue(Entry& entry) {
+  const Micros start = clock_->Now();
+  Status verdict = Status::OK();
+  {
+    Link::BackgroundScope background(link_);
+    verdict = entry.run();
+  }
+  const Micros cost = clock_->Now() - start;
+  // The foreground never saw this work: rewind and book the cost on the
+  // serialized background channel instead.
+  clock_->RewindTo(start);
+  issued_->Increment();
+  issue_cost_us_->Record(static_cast<double>(cost));
+  if (!verdict.ok()) {
+    errors_->Increment();
+    // Failed speculative work still occupied the channel while it tried.
+    bg_free_at_ = std::max(bg_free_at_, start) + cost;
+    return false;
+  }
+  entry.ready = true;
+  entry.ready_at = std::max(bg_free_at_, start) + cost;
+  bg_free_at_ = entry.ready_at;
+  entry.run = nullptr;
+  return true;
+}
+
+void PrefetchQueue::Pump() {
+  if (pumping_) return;  // A pumped transfer's retry is pumping us.
+  pumping_ = true;
+  for (int slot = 0; slot < options_.max_inflight_per_pump; ++slot) {
+    // Nearest cursor distance first; FIFO among equals.
+    const PrefetchKey* pick = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.ready) continue;
+      if (pick == nullptr) {
+        pick = &key;
+        continue;
+      }
+      const Entry& best = entries_.at(*pick);
+      if (entry.distance < best.distance ||
+          (entry.distance == best.distance && entry.seq < best.seq)) {
+        pick = &key;
+      }
+    }
+    if (pick == nullptr) break;
+    const PrefetchKey key = *pick;
+    if (!Issue(entries_.at(key))) entries_.erase(key);
+  }
+  EvictOverCapacity();
+  UpdateDepth();
+  pumping_ = false;
+}
+
+void PrefetchQueue::EvictOverCapacity() {
+  size_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.ready) ++ready;
+  }
+  while (ready > options_.ready_capacity) {
+    // Evict the stalest ready entry (smallest sequence number).
+    const PrefetchKey* victim = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (!entry.ready) continue;
+      if (victim == nullptr || entry.seq < entries_.at(*victim).seq) {
+        victim = &key;
+      }
+    }
+    entries_.erase(*victim);
+    wasted_->Increment();
+    --ready;
+  }
+}
+
+bool PrefetchQueue::TakePage(const PrefetchKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_->Increment();
+    return false;
+  }
+  if (!it->second.ready) {
+    // Queued but never issued: the foreground fetch supersedes it.
+    entries_.erase(it);
+    misses_->Increment();
+    UpdateDepth();
+    return false;
+  }
+  const Micros now = clock_->Now();
+  if (it->second.ready_at > now) {
+    // Early consumer: wait out the residual background time only.
+    const Micros residual = it->second.ready_at - now;
+    if (key.kind != PrefetchKind::kObject &&
+        residual > options_.max_page_wait_us) {
+      // The channel is backed up behind other speculation; a foreground
+      // transfer is cheaper than waiting. The work was done for nothing.
+      entries_.erase(it);
+      wasted_->Increment();
+      misses_->Increment();
+      UpdateDepth();
+      return false;
+    }
+    clock_->Advance(residual);
+    wait_us_->Record(static_cast<double>(residual));
+    partial_hits_->Increment();
+  } else {
+    wait_us_->Record(0.0);
+    hits_->Increment();
+  }
+  entries_.erase(it);
+  UpdateDepth();
+  return true;
+}
+
+std::optional<object::MultimediaObject> PrefetchQueue::TakeObject(
+    uint64_t object_id) {
+  PrefetchKey key{PrefetchKind::kObject, object_id, 0};
+  auto it = entries_.find(key);
+  std::optional<object::MultimediaObject> payload;
+  if (it != entries_.end() && it->second.ready) {
+    payload = std::move(it->second.object);
+  }
+  if (!TakePage(key)) return std::nullopt;
+  return payload;
+}
+
+std::optional<MiniatureCard> PrefetchQueue::TakeMiniature(int position) {
+  PrefetchKey key{PrefetchKind::kMiniature, 0, position};
+  auto it = entries_.find(key);
+  std::optional<MiniatureCard> payload;
+  if (it != entries_.end() && it->second.ready) {
+    payload = std::move(it->second.card);
+  }
+  if (!TakePage(key)) return std::nullopt;
+  return payload;
+}
+
+int PrefetchQueue::KeepRadius(PrefetchKind kind) const {
+  if (kind == PrefetchKind::kMiniature) return options_.miniature_radius;
+  return std::max(options_.pages_ahead, options_.pages_behind);
+}
+
+void PrefetchQueue::OnJump(PrefetchKind kind, uint64_t object_id,
+                           int new_cursor) {
+  const int radius = KeepRadius(kind);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool stale = it->first.kind == kind &&
+                       it->first.object_id == object_id &&
+                       std::abs(it->first.index - new_cursor) > radius;
+    if (!stale) {
+      ++it;
+      continue;
+    }
+    if (it->second.ready) {
+      wasted_->Increment();
+    } else {
+      cancelled_->Increment();
+    }
+    it = entries_.erase(it);
+  }
+  UpdateDepth();
+}
+
+void PrefetchQueue::CancelAll() {
+  for (const auto& [key, entry] : entries_) {
+    if (entry.ready) {
+      wasted_->Increment();
+    } else {
+      cancelled_->Increment();
+    }
+  }
+  entries_.clear();
+  UpdateDepth();
+}
+
+BackoffSleeper PrefetchQueue::MakeBackoffSleeper() {
+  return [this](Micros delay) {
+    // Spend the backoff window starting background transfers, then let
+    // the foreground wait out its delay as before. The pumped work books
+    // onto the background channel, so the window is not double-charged.
+    Pump();
+    clock_->Advance(delay);
+  };
+}
+
+size_t PrefetchQueue::queued_count() const {
+  size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.ready) ++n;
+  }
+  return n;
+}
+
+size_t PrefetchQueue::ready_count() const {
+  size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.ready) ++n;
+  }
+  return n;
+}
+
+}  // namespace minos::server

@@ -1,0 +1,212 @@
+#ifndef MINOS_SERVER_PREFETCH_H_
+#define MINOS_SERVER_PREFETCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "minos/obs/metrics.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/server/fault.h"
+#include "minos/server/link.h"
+#include "minos/server/object_server.h"
+#include "minos/util/clock.h"
+#include "minos/util/statusor.h"
+
+namespace minos::server {
+
+/// What one speculative fetch targets.
+enum class PrefetchKind : uint8_t {
+  kMiniature = 0,   ///< A browsing card adjacent to the miniature cursor.
+  kObject = 1,      ///< A whole object (skeleton) about to be opened.
+  kVisualPage = 2,  ///< Deferred bytes of one visual page.
+  kAudioPage = 3,   ///< Voice samples of one upcoming audio segment.
+};
+
+/// Identity of one prefetchable unit: pages and audio segments index
+/// within their object; miniatures index by cursor position in the
+/// result strip (object_id 0 — the strip, not any one object, is the
+/// cursor's home); whole objects use index 0.
+struct PrefetchKey {
+  PrefetchKind kind = PrefetchKind::kVisualPage;
+  uint64_t object_id = 0;
+  int index = 0;
+
+  friend auto operator<=>(const PrefetchKey&, const PrefetchKey&) = default;
+};
+
+/// Tuning knobs for the pipeline. The defaults model a page-turn reader:
+/// a couple of pages ahead, one behind (back-turns are common), and the
+/// miniatures flanking the cursor.
+struct PrefetchOptions {
+  int pages_ahead = 2;
+  int pages_behind = 1;
+  int miniature_radius = 2;
+  /// Background transfers issued per Pump call; bounds how much
+  /// speculative work one idle window can start.
+  int max_inflight_per_pump = 2;
+  /// Completed-but-unconsumed entries kept before the oldest is evicted
+  /// (evictions count as wasted prefetch).
+  size_t ready_capacity = 32;
+  /// Longest residual background time a page or miniature consumer will
+  /// wait on a partial hit. Beyond it the entry is dropped (wasted) and
+  /// the caller does the cheap foreground transfer instead — speculation
+  /// must never block the foreground behind a backed-up channel. Whole
+  /// objects are exempt: their foreground refetch costs at least the
+  /// residual, so waiting is always the better deal.
+  Micros max_page_wait_us = 30'000;
+  /// Statistics registry (the process default when null).
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// The asynchronous prefetch pipeline (tentpole of the continuous-browsing
+/// story): the browsing cursor announces where it is, the queue
+/// speculatively runs the transfers the user is about to need, and the
+/// foreground path consumes them as cache hits. §6 of the paper overlaps
+/// "the time that it takes for a user to browse through a page" with
+/// fetching the next one; this class is that overlap, made measurable.
+///
+/// ## Time model
+///
+/// Everything runs on one SimClock, so a background transfer would
+/// normally stall the foreground. Instead the queue runs each speculative
+/// work item inline, measures its cost, rewinds the clock to the start,
+/// and books the cost on a serialized background channel: entry i is
+/// ready at `max(issue_time, channel_free_time) + cost`. A consumer that
+/// arrives after `ready_at` gets a free hit; one that arrives early waits
+/// only the residual (a partial hit). The foreground clock only ever
+/// advances by time the user would genuinely have waited.
+///
+/// ## Fault posture
+///
+/// Work runs under Link::BackgroundScope, so speculative failures never
+/// trip the circuit breaker for the foreground path; an open breaker
+/// still fast-fails prefetches (no point prefetching over a dead link).
+/// Failed entries are dropped — the foreground retry machinery, not the
+/// prefetcher, owns recovery.
+///
+/// Statistics live under "prefetch.*": enqueued, issued, hits,
+/// partial_hits, misses, wasted, cancelled, errors counters; wait_us and
+/// issue_cost_us histograms; queue_depth gauge.
+class PrefetchQueue {
+ public:
+  using PageWork = std::function<Status()>;
+  using ObjectWork = std::function<StatusOr<object::MultimediaObject>()>;
+  using CardWork = std::function<StatusOr<MiniatureCard>()>;
+
+  /// `clock` borrowed, required. `link` borrowed, may be null (work then
+  /// runs without a background scope).
+  PrefetchQueue(SimClock* clock, Link* link, PrefetchOptions options = {});
+
+  /// Unconsumed ready entries die wasted.
+  ~PrefetchQueue();
+
+  PrefetchQueue(const PrefetchQueue&) = delete;
+  PrefetchQueue& operator=(const PrefetchQueue&) = delete;
+
+  /// Enqueue -------------------------------------------------------------
+
+  /// Requests a page-granular staging transfer. `distance` is how many
+  /// cursor steps away the target is (nearer issues first). Duplicate
+  /// keys (already queued or ready) are ignored.
+  void WantPage(const PrefetchKey& key, int distance, PageWork work);
+
+  /// Requests a whole-object fetch (e.g. the object under the miniature
+  /// cursor, about to be opened).
+  void WantObject(uint64_t object_id, int distance, ObjectWork work);
+
+  /// Requests the miniature card at strip position `position`.
+  void WantMiniature(int position, int distance, CardWork work);
+
+  /// Consume -------------------------------------------------------------
+
+  /// Claims a prefetched page. True on a hit (the staging transfer
+  /// already ran; an early consumer waits only the residual background
+  /// time, up to max_page_wait_us). False on a miss — the caller must do
+  /// the foreground transfer. A queued-but-unissued entry is dropped and
+  /// counts as a miss (the foreground fetch supersedes it); a ready entry
+  /// whose residual exceeds the wait cap is dropped as wasted.
+  bool TakePage(const PrefetchKey& key);
+
+  /// Claims a prefetched object / miniature card; nullopt on miss.
+  std::optional<object::MultimediaObject> TakeObject(uint64_t object_id);
+  std::optional<MiniatureCard> TakeMiniature(int position);
+
+  /// Steer ---------------------------------------------------------------
+
+  /// The cursor jumped (goto-page / random seek) to `new_cursor` within
+  /// `object_id`. Stale entries of `kind` for that object outside the
+  /// prefetch radius are dropped: queued ones count cancelled, ready
+  /// ones count wasted. A stale ready page can therefore never be
+  /// delivered after a jump — it no longer exists.
+  void OnJump(PrefetchKind kind, uint64_t object_id, int new_cursor);
+
+  /// Drops every entry (queued → cancelled, ready → wasted). Used when
+  /// the presentation frame closes.
+  void CancelAll();
+
+  /// Issues up to max_inflight_per_pump queued entries, nearest cursor
+  /// distance first. Reentrant calls (a pumped transfer's retry sleeper
+  /// pumping again) are no-ops.
+  void Pump();
+
+  /// A BackoffSleeper that spends retry backoff windows pumping this
+  /// queue before advancing the clock — the ROADMAP's
+  /// "scheduler-integrated retries": a foreground retry wait becomes
+  /// background prefetch progress.
+  BackoffSleeper MakeBackoffSleeper();
+
+  /// Introspection --------------------------------------------------------
+
+  size_t queued_count() const;
+  size_t ready_count() const;
+  /// Simulated time at which the background channel frees up.
+  Micros background_free_at() const { return bg_free_at_; }
+
+ private:
+  struct Entry {
+    int distance = 0;
+    uint64_t seq = 0;
+    bool ready = false;
+    Micros ready_at = 0;
+    PageWork run;  ///< Null once ready.
+    std::optional<object::MultimediaObject> object;
+    std::optional<MiniatureCard> card;
+  };
+
+  /// Radius inside which entries of `kind` survive a jump.
+  int KeepRadius(PrefetchKind kind) const;
+
+  /// Runs one entry's work on the background channel; true when the
+  /// entry became ready.
+  bool Issue(Entry& entry);
+
+  void EvictOverCapacity();
+  void UpdateDepth();
+
+  SimClock* clock_;
+  Link* link_;
+  PrefetchOptions options_;
+  std::map<PrefetchKey, Entry> entries_;
+  uint64_t next_seq_ = 0;
+  Micros bg_free_at_ = 0;  ///< Background channel horizon.
+  bool pumping_ = false;   ///< Reentrancy guard.
+
+  obs::Counter* enqueued_;  // Owned by the registry.
+  obs::Counter* issued_;
+  obs::Counter* hits_;
+  obs::Counter* partial_hits_;
+  obs::Counter* misses_;
+  obs::Counter* wasted_;
+  obs::Counter* cancelled_;
+  obs::Counter* errors_;
+  obs::Histogram* wait_us_;
+  obs::Histogram* issue_cost_us_;
+  obs::Gauge* queue_depth_;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_PREFETCH_H_

@@ -1,62 +1,337 @@
 #include "minos/server/workstation.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace minos::server {
 
-StatusOr<const MiniatureCard*> MiniatureBrowser::Current() const {
-  if (cards_.empty()) return Status::NotFound("no qualifying objects");
-  return &cards_[cursor_];
+MiniatureBrowser::MiniatureBrowser(std::vector<MiniatureCard> cards) {
+  slots_.reserve(cards.size());
+  for (MiniatureCard& card : cards) {
+    Slot slot;
+    slot.id = card.id;
+    slot.card = std::move(card);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+MiniatureBrowser::MiniatureBrowser(std::vector<storage::ObjectId> ids,
+                                   CardFetcher fetcher)
+    : fetcher_(std::move(fetcher)) {
+  slots_.reserve(ids.size());
+  for (storage::ObjectId id : ids) {
+    Slot slot;
+    slot.id = id;
+    slots_.push_back(std::move(slot));
+  }
+}
+
+StatusOr<const MiniatureCard*> MiniatureBrowser::Ensure(size_t slot) {
+  Slot& s = slots_[slot];
+  if (!s.card.has_value()) {
+    if (!fetcher_) {
+      return Status::FailedPrecondition("lazy miniature without a fetcher");
+    }
+    MINOS_ASSIGN_OR_RETURN(MiniatureCard card,
+                           fetcher_(s.id, static_cast<int>(slot)));
+    s.card = std::move(card);
+  }
+  return &*s.card;
+}
+
+StatusOr<const MiniatureCard*> MiniatureBrowser::Current() {
+  if (slots_.empty()) return Status::NotFound("no qualifying objects");
+  return Ensure(cursor_);
 }
 
 void MiniatureBrowser::PlayPreviewIfAudio() {
-  if (player_ == nullptr || cursor_ >= cards_.size()) return;
-  const MiniatureCard& card = cards_[cursor_];
-  if (!card.audio_mode || card.preview_transcript.empty()) return;
-  player_->Play(card.preview_transcript, log_,
+  if (player_ == nullptr || cursor_ >= slots_.size()) return;
+  StatusOr<const MiniatureCard*> card = Ensure(cursor_);
+  if (!card.ok()) return;  // An unfetchable card stays silent.
+  if (!(*card)->audio_mode || (*card)->preview_transcript.empty()) return;
+  player_->Play((*card)->preview_transcript, log_,
                 core::EventKind::kVoicePlayed,
-                static_cast<int64_t>(card.id));
+                static_cast<int64_t>((*card)->id));
+}
+
+Status MiniatureBrowser::MoveTo(size_t target) {
+  cursor_ = target;
+  if (cursor_listener_) {
+    cursor_listener_(static_cast<int>(cursor_),
+                     static_cast<int>(slots_.size()), /*jump=*/false);
+  }
+  PlayPreviewIfAudio();
+  return Status::OK();
 }
 
 Status MiniatureBrowser::Next() {
-  if (cursor_ + 1 >= cards_.size()) {
+  if (cursor_ + 1 >= slots_.size()) {
     return Status::OutOfRange("already at the last miniature");
   }
-  ++cursor_;
-  PlayPreviewIfAudio();
-  return Status::OK();
+  return MoveTo(cursor_ + 1);
 }
 
 Status MiniatureBrowser::Previous() {
   if (cursor_ == 0) {
     return Status::OutOfRange("already at the first miniature");
   }
-  --cursor_;
-  PlayPreviewIfAudio();
-  return Status::OK();
+  return MoveTo(cursor_ - 1);
 }
 
 StatusOr<storage::ObjectId> MiniatureBrowser::Select() const {
-  MINOS_ASSIGN_OR_RETURN(const MiniatureCard* card, Current());
-  return card->id;
+  if (slots_.empty()) return Status::NotFound("no qualifying objects");
+  return slots_[cursor_].id;
 }
 
 Workstation::Workstation(ObjectServer* server, render::Screen* screen,
                          SimClock* clock)
-    : server_(server), presentation_(screen, clock) {
+    : server_(server), clock_(clock), presentation_(screen, clock) {
   presentation_.SetResolver(
-      [this](storage::ObjectId id) { return server_->Fetch(id); });
+      [this](storage::ObjectId id) { return Resolve(id); });
+}
+
+void Workstation::EnablePrefetch(PrefetchOptions options) {
+  prefetch_options_ = options;
+  prefetch_ =
+      std::make_unique<PrefetchQueue>(clock_, server_->link(), options);
+  server_->SetBackoffSleeper(prefetch_->MakeBackoffSleeper());
+  presentation_.SetBrowseListener(
+      [this](const core::PresentationManager::BrowseEvent& event) {
+        OnBrowse(event);
+      });
+}
+
+StatusOr<object::MultimediaObject> Workstation::Resolve(
+    storage::ObjectId id) {
+  if (prefetch_ == nullptr) return server_->Fetch(id);
+  // Prefetching mode: a staged skeleton is a free open; otherwise fetch
+  // the skeleton in the foreground and let pages transfer on demand.
+  if (std::optional<object::MultimediaObject> staged =
+          prefetch_->TakeObject(id)) {
+    BuildPlan(id, staged->descriptor());
+    return *std::move(staged);
+  }
+  MINOS_ASSIGN_OR_RETURN(
+      object::MultimediaObject obj,
+      server_->Fetch(id, ObjectServer::FetchGranularity::kSkeleton));
+  BuildPlan(id, obj.descriptor());
+  return obj;
+}
+
+void Workstation::BuildPlan(storage::ObjectId id,
+                            const object::ObjectDescriptor& desc) {
+  ObjectPlan plan;
+  plan.audio_mode = desc.driving_mode == object::DrivingMode::kAudio;
+  plan.page_text.reserve(desc.pages.size());
+  plan.page_images.reserve(desc.pages.size());
+  auto part_length = [&](const std::string& name) -> uint64_t {
+    StatusOr<uint64_t> len = server_->PartLength(id, name);
+    return len.ok() ? *len : 0;
+  };
+  for (const object::VisualPageSpec& page : desc.pages) {
+    plan.page_text.push_back(page.text_page);
+    plan.text_pages = std::max(plan.text_pages, page.text_page);
+    std::vector<std::pair<std::string, uint64_t>> images;
+    for (const object::PlacedImage& placed : page.images) {
+      std::string part = "image:" + std::to_string(placed.image_index);
+      uint64_t length = part_length(part);
+      images.emplace_back(std::move(part), length);
+    }
+    plan.page_images.push_back(std::move(images));
+  }
+  if (plan.text_pages > 0) plan.text_len = part_length("text");
+  if (plan.audio_mode) plan.voice_len = part_length("voice");
+  // Re-resolving (a fresh Open of the same object) restarts delivery:
+  // the skeleton fetch deferred the page bytes again.
+  plans_[id] = std::move(plan);
+}
+
+std::vector<Workstation::PageRange> Workstation::UndeliveredRanges(
+    const ObjectPlan& plan, PrefetchKind kind, int page,
+    int page_count) const {
+  std::vector<PageRange> out;
+  auto want = [&](std::string part, uint64_t offset, uint64_t length) {
+    if (length == 0) return;
+    if (plan.delivered.count(part + ":" + std::to_string(offset)) > 0) {
+      return;
+    }
+    out.push_back(PageRange{std::move(part), offset, length});
+  };
+  if (kind == PrefetchKind::kAudioPage) {
+    // The voice stream apportioned over the audio pages the pager built.
+    if (plan.voice_len == 0 || page_count <= 0) return out;
+    const uint64_t chunk =
+        plan.voice_len / static_cast<uint64_t>(page_count);
+    if (chunk == 0) return out;
+    const uint64_t offset = static_cast<uint64_t>(page - 1) * chunk;
+    const uint64_t length =
+        page == page_count ? plan.voice_len - offset : chunk;
+    want("voice", offset, length);
+    return out;
+  }
+  const size_t index = static_cast<size_t>(page - 1);
+  if (index >= plan.page_text.size()) return out;
+  const uint32_t text_page = plan.page_text[index];
+  if (text_page > 0 && plan.text_pages > 0 && plan.text_len > 0) {
+    // The text stream apportioned over its formatted pages.
+    const uint64_t chunk = plan.text_len / plan.text_pages;
+    const uint64_t offset = static_cast<uint64_t>(text_page - 1) * chunk;
+    const uint64_t length =
+        text_page == plan.text_pages ? plan.text_len - offset : chunk;
+    want("text", offset, length);
+  }
+  for (const auto& [part, length] : plan.page_images[index]) {
+    want(part, 0, length);
+  }
+  return out;
+}
+
+Status Workstation::StageAndTransfer(storage::ObjectId id,
+                                     const std::vector<PageRange>& ranges,
+                                     bool with_retries) {
+  uint64_t bytes = 0;
+  for (const PageRange& range : ranges) {
+    MINOS_RETURN_IF_ERROR(
+        server_->StagePartRange(id, range.part, range.offset, range.length));
+    bytes += range.length;
+  }
+  if (bytes == 0 || server_->link() == nullptr) return Status::OK();
+  if (!with_retries) return server_->link()->Transfer(bytes).status();
+  return RetryWithBackoff<Micros>(
+             server_->retry_policy(), clock_, &page_rng_,
+             prefetch_ != nullptr ? prefetch_->MakeBackoffSleeper()
+                                  : BackoffSleeper(),
+             [&] { return server_->link()->Transfer(bytes); })
+      .status();
+}
+
+void Workstation::MarkDelivered(ObjectPlan& plan,
+                                const std::vector<PageRange>& ranges) {
+  for (const PageRange& range : ranges) {
+    plan.delivered.insert(range.part + ":" + std::to_string(range.offset));
+  }
+}
+
+void Workstation::OnBrowse(
+    const core::PresentationManager::BrowseEvent& event) {
+  if (prefetch_ == nullptr) return;
+  auto plan_it = plans_.find(event.object_id);
+  if (plan_it == plans_.end()) return;  // Opened before prefetch enabled.
+  ObjectPlan& plan = plan_it->second;
+  const PrefetchKind kind = event.mode == object::DrivingMode::kAudio
+                                ? PrefetchKind::kAudioPage
+                                : PrefetchKind::kVisualPage;
+  const uint64_t id = event.object_id;
+  if (event.jump) {
+    // Random seek: entries around the old cursor are stale.
+    prefetch_->OnJump(kind, id, event.page);
+  }
+
+  // Deliver the page under the cursor: claim the staged transfer, or do
+  // it in the foreground (this runs inside the browser's page-turn
+  // measurement, so the stall is charged to this turn).
+  std::vector<PageRange> ranges =
+      UndeliveredRanges(plan, kind, event.page, event.page_count);
+  if (!ranges.empty()) {
+    PrefetchKey key{kind, id, event.page};
+    bool have = prefetch_->TakePage(key);
+    if (!have) {
+      Status fetched =
+          StageAndTransfer(id, ranges, /*with_retries=*/true);
+      have = fetched.ok();
+      if (!have) {
+        presentation_.NoteDegraded(
+            id, "page:" + std::to_string(event.page),
+            "page content not delivered (" + fetched.message() +
+                "); presenting skeleton");
+      }
+    }
+    if (have) MarkDelivered(plan, ranges);
+  }
+
+  // Speculate around the new cursor: next pages first, then previous.
+  for (int step = 1; step <= prefetch_options_.pages_ahead; ++step) {
+    ScheduleWantPage(kind, id, event.page + step, event.page_count, step);
+  }
+  for (int step = 1; step <= prefetch_options_.pages_behind; ++step) {
+    ScheduleWantPage(kind, id, event.page - step, event.page_count, step);
+  }
+  prefetch_->Pump();
+}
+
+void Workstation::ScheduleWantPage(PrefetchKind kind, storage::ObjectId id,
+                                   int page, int page_count, int distance) {
+  if (page < 1 || page > page_count) return;
+  PrefetchKey key{kind, id, page};
+  prefetch_->WantPage(key, distance, [this, kind, id, page, page_count] {
+    // Resolved at issue time: ranges another page already delivered
+    // (e.g. a shared image) are skipped, not re-transferred.
+    auto plan_it = plans_.find(id);
+    if (plan_it == plans_.end()) {
+      return Status::FailedPrecondition("object closed before prefetch");
+    }
+    return StageAndTransfer(
+        id, UndeliveredRanges(plan_it->second, kind, page, page_count),
+        /*with_retries=*/false);
+  });
 }
 
 StatusOr<MiniatureBrowser> Workstation::Query(
     const std::vector<std::string>& words) {
   const std::vector<storage::ObjectId> ids = server_->QueryAll(words);
-  std::vector<MiniatureCard> cards;
-  cards.reserve(ids.size());
-  for (storage::ObjectId id : ids) {
-    MINOS_ASSIGN_OR_RETURN(MiniatureCard card, server_->FetchMiniature(id));
-    thumb_cache_[id] = card.thumb;
-    cards.push_back(std::move(card));
+  if (prefetch_ == nullptr) {
+    std::vector<MiniatureCard> cards;
+    cards.reserve(ids.size());
+    for (storage::ObjectId id : ids) {
+      MINOS_ASSIGN_OR_RETURN(MiniatureCard card,
+                             server_->FetchMiniature(id));
+      thumb_cache_[id] = card.thumb;
+      cards.push_back(std::move(card));
+    }
+    return MiniatureBrowser(std::move(cards));
   }
-  return MiniatureBrowser(std::move(cards));
+  // Lazy strip: cards materialize under the cursor (claiming staged ones
+  // first), and the cursor steers the pipeline at the flanks.
+  MiniatureBrowser browser(
+      ids, [this](storage::ObjectId id, int position) {
+        if (std::optional<MiniatureCard> staged =
+                prefetch_->TakeMiniature(position)) {
+          thumb_cache_[id] = staged->thumb;
+          return StatusOr<MiniatureCard>(*std::move(staged));
+        }
+        StatusOr<MiniatureCard> card = server_->FetchMiniature(id);
+        if (card.ok()) thumb_cache_[id] = card->thumb;
+        return card;
+      });
+  browser.SetCursorListener([this, ids](int position, int count, bool jump) {
+    (void)count;
+    OnMiniatureCursor(ids, position, jump);
+  });
+  OnMiniatureCursor(ids, 0, /*jump=*/false);
+  return browser;
+}
+
+void Workstation::OnMiniatureCursor(
+    const std::vector<storage::ObjectId>& ids, int position, bool jump) {
+  if (prefetch_ == nullptr || ids.empty()) return;
+  if (jump) prefetch_->OnJump(PrefetchKind::kMiniature, 0, position);
+  const int count = static_cast<int>(ids.size());
+  for (int step = 1; step <= prefetch_options_.miniature_radius; ++step) {
+    for (int sign : {+1, -1}) {
+      const int neighbour = position + sign * step;
+      if (neighbour < 0 || neighbour >= count) continue;
+      const storage::ObjectId id = ids[static_cast<size_t>(neighbour)];
+      prefetch_->WantMiniature(neighbour, step, [this, id] {
+        return server_->FetchMiniature(id);
+      });
+    }
+  }
+  // The object under the cursor is the one about to be opened.
+  const storage::ObjectId under = ids[static_cast<size_t>(position)];
+  prefetch_->WantObject(under, 0, [this, under] {
+    return server_->Fetch(under, ObjectServer::FetchGranularity::kSkeleton);
+  });
+  prefetch_->Pump();
 }
 
 Status Workstation::Present(storage::ObjectId id) {

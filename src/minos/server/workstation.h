@@ -1,26 +1,52 @@
 #ifndef MINOS_SERVER_WORKSTATION_H_
 #define MINOS_SERVER_WORKSTATION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "minos/core/presentation_manager.h"
 #include "minos/server/object_server.h"
+#include "minos/server/prefetch.h"
+#include "minos/util/random.h"
 #include "minos/util/statusor.h"
 
 namespace minos::server {
 
 /// Sequential miniature-browsing interface (§5): the user pages through
 /// the miniature cards of qualifying objects and selects one to open.
+///
+/// Two construction modes: eager (a ready vector of cards — the classic
+/// form) and lazy (object ids plus a card fetcher; cards materialize as
+/// the cursor reaches them, which is what lets the prefetch pipeline
+/// fetch the flanking cards in the background instead of the whole strip
+/// up front).
 class MiniatureBrowser {
  public:
-  explicit MiniatureBrowser(std::vector<MiniatureCard> cards)
-      : cards_(std::move(cards)) {}
+  /// Fetches the card of `id` at strip position `position` (consulted
+  /// on first need of each card in lazy mode).
+  using CardFetcher =
+      std::function<StatusOr<MiniatureCard>(storage::ObjectId id,
+                                            int position)>;
 
-  bool empty() const { return cards_.empty(); }
-  size_t size() const { return cards_.size(); }
+  /// Cursor listener: fired after each Next/Previous lands (position is
+  /// 0-based; jump is always false for single-step movement).
+  using CursorListener =
+      std::function<void(int position, int count, bool jump)>;
+
+  /// Eager mode over ready cards.
+  explicit MiniatureBrowser(std::vector<MiniatureCard> cards);
+
+  /// Lazy mode over ids; `fetcher` must be callable for every id.
+  MiniatureBrowser(std::vector<storage::ObjectId> ids, CardFetcher fetcher);
+
+  bool empty() const { return slots_.empty(); }
+  size_t size() const { return slots_.size(); }
+  int position() const { return static_cast<int>(cursor_); }
 
   /// Attaches a message player: audio-mode cards then play their voice
   /// preview as they pass under the cursor ("some voice segments which
@@ -31,8 +57,12 @@ class MiniatureBrowser {
     log_ = log;
   }
 
-  /// The card under the cursor.
-  StatusOr<const MiniatureCard*> Current() const;
+  void SetCursorListener(CursorListener listener) {
+    cursor_listener_ = std::move(listener);
+  }
+
+  /// The card under the cursor (fetched on first need in lazy mode).
+  StatusOr<const MiniatureCard*> Current();
 
   /// Sequential movement; clamped at the ends (OutOfRange when already
   /// at the boundary). With a player attached, arriving on an audio-mode
@@ -40,13 +70,25 @@ class MiniatureBrowser {
   Status Next();
   Status Previous();
 
-  /// Selecting the current miniature yields its object id.
+  /// Selecting the current miniature yields its object id (known without
+  /// fetching the card).
   StatusOr<storage::ObjectId> Select() const;
 
  private:
+  struct Slot {
+    storage::ObjectId id = 0;
+    std::optional<MiniatureCard> card;
+  };
+
+  /// Materializes the card in `slot` (no-op in eager mode / when cached).
+  StatusOr<const MiniatureCard*> Ensure(size_t slot);
+
+  Status MoveTo(size_t target);
   void PlayPreviewIfAudio();
 
-  std::vector<MiniatureCard> cards_;
+  std::vector<Slot> slots_;
+  CardFetcher fetcher_;
+  CursorListener cursor_listener_;
   size_t cursor_ = 0;
   core::MessagePlayer* player_ = nullptr;
   core::EventLog* log_ = nullptr;
@@ -59,10 +101,26 @@ class MiniatureBrowser {
 /// responsibility to present the information of the selected object",
 /// §5). The user may interrupt presentation and return to the query or
 /// sequential-browsing interfaces at any time.
+///
+/// With EnablePrefetch the workstation becomes the driver of the
+/// asynchronous prefetch pipeline: objects fetch at skeleton granularity,
+/// page content transfers on demand as the browsing cursor lands on each
+/// page, and the PrefetchQueue keeps the next/previous pages, upcoming
+/// audio segments, miniature neighbours and the object under the
+/// miniature cursor staged in the background.
 class Workstation {
  public:
   /// `server`, `screen` and `clock` are borrowed.
   Workstation(ObjectServer* server, render::Screen* screen, SimClock* clock);
+
+  /// Turns on the prefetch pipeline (idempotent; the last options win).
+  /// Installs the queue's backoff sleeper into the server, switches
+  /// object resolution to skeleton granularity with demand paging, makes
+  /// Query lazy, and subscribes to browsing-cursor events.
+  void EnablePrefetch(PrefetchOptions options = {});
+
+  /// The pipeline (null until EnablePrefetch).
+  PrefetchQueue* prefetch() { return prefetch_.get(); }
 
   /// Evaluates a conjunctive content query at the server and returns the
   /// miniature browser over the qualifying objects.
@@ -84,8 +142,60 @@ class Workstation {
   core::PresentationManager& presentation() { return presentation_; }
 
  private:
+  /// One contiguous byte range of a part, staged/transferred per page.
+  struct PageRange {
+    std::string part;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
+  /// Per-object paging info captured when the resolver delivers a
+  /// skeleton: what each page needs, what has been delivered.
+  struct ObjectPlan {
+    bool audio_mode = false;
+    uint64_t text_len = 0;
+    uint32_t text_pages = 0;  ///< Highest formatted text page used.
+    uint64_t voice_len = 0;
+    /// Per visual page: formatted text page shown (0 = none).
+    std::vector<uint32_t> page_text;
+    /// Per visual page: (image part name, byte length) placed on it.
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> page_images;
+    /// Range keys ("part:offset") already transferred.
+    std::set<std::string> delivered;
+  };
+
+  StatusOr<object::MultimediaObject> Resolve(storage::ObjectId id);
+  void BuildPlan(storage::ObjectId id,
+                 const object::ObjectDescriptor& desc);
+
+  /// Byte ranges page `page` (1-based) still needs.
+  std::vector<PageRange> UndeliveredRanges(const ObjectPlan& plan,
+                                           PrefetchKind kind, int page,
+                                           int page_count) const;
+
+  /// Stages the ranges and charges the link once for their total size.
+  Status StageAndTransfer(storage::ObjectId id,
+                          const std::vector<PageRange>& ranges,
+                          bool with_retries);
+
+  /// Queues a speculative staging transfer for `page` of `id`.
+  void ScheduleWantPage(PrefetchKind kind, storage::ObjectId id, int page,
+                        int page_count, int distance);
+
+  void MarkDelivered(ObjectPlan& plan, const std::vector<PageRange>& ranges);
+
+  /// Cursor-event handlers (prefetch enabled only).
+  void OnBrowse(const core::PresentationManager::BrowseEvent& event);
+  void OnMiniatureCursor(const std::vector<storage::ObjectId>& ids,
+                         int position, bool jump);
+
   ObjectServer* server_;
+  SimClock* clock_;
   core::PresentationManager presentation_;
+  std::unique_ptr<PrefetchQueue> prefetch_;
+  PrefetchOptions prefetch_options_;
+  std::map<storage::ObjectId, ObjectPlan> plans_;
+  Random page_rng_{0x9A6EBEEF};  ///< Jitter for demand-page retries.
   /// Miniature thumbs by object id, kept from the last Query: the
   /// degraded fallback for failed region fetches.
   std::map<storage::ObjectId, image::Bitmap> thumb_cache_;

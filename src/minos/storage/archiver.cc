@@ -14,9 +14,11 @@ StatusOr<ArchiveAddress> Archiver::Append(std::string_view bytes) {
   size_ += bytes.size();
   // Write out every full block accumulated in the tail.
   while (tail_.size() >= bs) {
-    MINOS_RETURN_IF_ERROR(
-        device_->Write(flushed_blocks_, std::string_view(tail_).substr(0, bs)));
-    if (cache_ != nullptr) cache_->Insert(flushed_blocks_, tail_.substr(0, bs));
+    MINOS_RETURN_IF_ERROR(device_->Write(
+        flushed_blocks_, std::string_view(tail_).substr(0, bs)));
+    if (cache_ != nullptr) {
+      cache_->Insert(flushed_blocks_, tail_.substr(0, bs));
+    }
     tail_.erase(0, bs);
     ++flushed_blocks_;
   }

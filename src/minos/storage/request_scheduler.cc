@@ -47,6 +47,36 @@ RequestScheduler::RequestScheduler(BlockDevice* device,
 size_t RequestScheduler::PickNext(const std::vector<IoRequest>& pending,
                                   uint64_t head, bool sweep_up) const {
   assert(!pending.empty());
+  // Foreground requests pre-empt background ones: when any foreground
+  // request has arrived, the policy chooses among those only, and
+  // background (prefetch) requests absorb the queueing delay.
+  bool any_foreground = false;
+  for (const IoRequest& r : pending) {
+    if (r.priority == IoPriority::kForeground) {
+      any_foreground = true;
+      break;
+    }
+  }
+  if (any_foreground) {
+    bool any_background = false;
+    for (const IoRequest& r : pending) {
+      if (r.priority == IoPriority::kBackground) {
+        any_background = true;
+        break;
+      }
+    }
+    if (any_background) {
+      std::vector<IoRequest> foreground;
+      std::vector<size_t> original_index;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].priority == IoPriority::kForeground) {
+          foreground.push_back(pending[i]);
+          original_index.push_back(i);
+        }
+      }
+      return original_index[PickNext(foreground, head, sweep_up)];
+    }
+  }
   switch (policy_) {
     case SchedulingPolicy::kFcfs: {
       size_t best = 0;

@@ -20,12 +20,19 @@ enum class SchedulingPolicy {
 /// Returns "FCFS" / "SSTF" / "SCAN".
 const char* SchedulingPolicyName(SchedulingPolicy policy);
 
+/// Urgency class of one I/O request. Foreground requests (the page the
+/// user is looking at) are always served before background ones (the
+/// prefetch pipeline's speculative fetches), regardless of arm position:
+/// a cheap seek never justifies stalling the user behind speculation.
+enum class IoPriority : uint8_t { kForeground = 0, kBackground = 1 };
+
 /// One queued I/O request.
 struct IoRequest {
   uint64_t id = 0;           ///< Caller-chosen identifier.
   uint64_t block = 0;        ///< First block of the access.
   uint64_t count = 1;        ///< Number of consecutive blocks.
   Micros arrival_time = 0;   ///< When the request entered the queue.
+  IoPriority priority = IoPriority::kForeground;
 };
 
 /// Outcome of one request after simulation.

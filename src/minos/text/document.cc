@@ -91,7 +91,8 @@ void Document::DeriveFineStructure() {
       const bool terminator = (c == '.' || c == '!' || c == '?');
       const bool at_end = i + 1 >= para.span.end;
       const bool followed_by_space =
-          !at_end && std::isspace(static_cast<unsigned char>(contents_[i + 1]));
+          !at_end &&
+          std::isspace(static_cast<unsigned char>(contents_[i + 1]));
       if (terminator && (at_end || followed_by_space)) {
         LogicalComponent s;
         s.unit = LogicalUnit::kSentence;

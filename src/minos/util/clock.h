@@ -61,6 +61,15 @@ class SimClock final : public Clock {
     if (t > now_) now_ = t;
   }
 
+  /// Returns to an earlier absolute time (no-op when `t` is not in the
+  /// past). Only the prefetch pipeline uses this: it runs speculative
+  /// background work inline on the shared clock, measures its cost, and
+  /// rewinds so the foreground never observes the stall — the work is
+  /// modeled as overlapping presentation time on a background channel.
+  void RewindTo(Micros t) {
+    if (t >= 0 && t < now_) now_ = t;
+  }
+
  private:
   Micros now_;
 };

@@ -49,7 +49,9 @@ std::string_view TrimWhitespace(std::string_view input) {
 
 std::string AsciiToLower(std::string_view input) {
   std::string out(input);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 

@@ -25,7 +25,8 @@ enum class PauseKind { kShort, kLong };
 /// Parameters of the energy-based silence detector.
 struct PauseDetectorParams {
   double frame_ms = 10.0;          ///< Analysis frame length.
-  double energy_threshold = 0.05;  ///< RMS below this (vs full scale) = silent.
+  /// RMS below this (vs full scale) = silent.
+  double energy_threshold = 0.05;
   double min_pause_ms = 25.0;      ///< Shorter silences are ignored.
 };
 

@@ -119,7 +119,8 @@ TEST_F(CompositorTest, TransparencyLaysOverPreviousPage) {
 TEST_F(CompositorTest, OverwriteReplacesOnlyInkedPixels) {
   const Rect region = screen_.PageArea();
   ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 1, region).ok());
-  const uint8_t before = screen_.framebuffer().At(region.x + 35, region.y + 35);
+  const uint8_t before =
+      screen_.framebuffer().At(region.x + 35, region.y + 35);
   ASSERT_TRUE(compositor_.ComposePage(obj_, formatted_, 3, region).ok());
   // Overwrite image covers (0,0)-(29,29): replaces there...
   EXPECT_EQ(screen_.framebuffer().At(region.x + 5, region.y + 5), 200);

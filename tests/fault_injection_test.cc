@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "minos/core/presentation_manager.h"
 #include "minos/object/part_codec.h"
 #include "minos/server/object_server.h"
@@ -375,7 +377,8 @@ TEST_F(FaultedServerTest, WireCorruptionIsHealedByRetry) {
   EXPECT_GT(injector.faults_injected(), 0u);
 }
 
-TEST_F(FaultedServerTest, FlakyProfileBrowsingCompletesWithoutUserVisibleFailures) {
+TEST_F(FaultedServerTest,
+       FlakyProfileBrowsingCompletesWithoutUserVisibleFailures) {
   // The acceptance gate: 10% drops + 1% corruption, symmetric browsing
   // (text and audio objects) completes with zero user-visible failures.
   ASSERT_TRUE(
@@ -393,6 +396,79 @@ TEST_F(FaultedServerTest, FlakyProfileBrowsingCompletesWithoutUserVisibleFailure
   ASSERT_TRUE(workstation.Present(2).ok());
   EXPECT_GT(injector.faults_injected(), 0u);
   EXPECT_TRUE(workstation.presentation().degraded_parts().empty());
+}
+
+// --- Device-level read faults (BlockDevice::SetReadFaultHook) ---------
+
+/// A server over a cache-less archiver, so every Fetch really reads the
+/// device and the read fault hook sees the traffic.
+class DeviceFaultTest : public FaultedServerTest {
+ protected:
+  DeviceFaultTest() : uncached_(&device_, nullptr) {
+    uncached_server_.emplace(&uncached_, &versions_, &clock_, &link_);
+  }
+
+  storage::Archiver uncached_;
+  std::optional<ObjectServer> uncached_server_;
+};
+
+TEST_F(DeviceFaultTest, TransientMediaErrorsAreRetriedTransparently) {
+  ASSERT_TRUE(uncached_server_->Store(TextObject(1, "media body")).ok());
+  FaultProfile profile;
+  profile.fail_first_n = 2;
+  FaultInjector injector(profile, 3, &clock_);
+  device_.SetReadFaultHook(
+      [&](uint64_t, uint64_t, std::string*) {
+        return injector.OnOperation("device read");
+      });
+
+  // The first two device reads fail as media errors; the retry loop
+  // re-reads and the caller never sees the fault.
+  auto fetched = uncached_server_->Fetch(1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_NE(fetched->text_part().contents().find("media"),
+            std::string::npos);
+  EXPECT_EQ(injector.faults_injected(), 2u);
+  device_.SetReadFaultHook(nullptr);
+}
+
+TEST_F(DeviceFaultTest, MediaCorruptionIsCaughtByChecksumsAndHealed) {
+  ASSERT_TRUE(uncached_server_->Store(TextObject(1, "healed media")).ok());
+  // Corrupt roughly half the device reads in place: structurally
+  // invisible, only the part checksums can catch it. Seeded, so the
+  // healing retries are deterministic.
+  FaultProfile profile;
+  profile.corrupt_rate = 0.5;
+  FaultInjector injector(profile, 21, &clock_);
+  device_.SetReadFaultHook(
+      [&](uint64_t, uint64_t, std::string* out) {
+        injector.MaybeCorrupt(out);
+        return Status::OK();
+      });
+
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = uncached_server_->Fetch(1);
+    ASSERT_TRUE(fetched.ok()) << "fetch " << i;
+    EXPECT_NE(fetched->text_part().contents().find("healed"),
+              std::string::npos);
+  }
+  EXPECT_GT(injector.faults_injected(), 0u);
+  device_.SetReadFaultHook(nullptr);
+}
+
+TEST_F(DeviceFaultTest, ClearedHookStopsInjecting) {
+  ASSERT_TRUE(uncached_server_->Store(TextObject(1, "quiet body")).ok());
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector always_fail(profile, 7, &clock_);
+  device_.SetReadFaultHook(
+      [&](uint64_t, uint64_t, std::string*) {
+        return always_fail.OnOperation("device read");
+      });
+  EXPECT_FALSE(uncached_server_->Fetch(1).ok());
+
+  device_.SetReadFaultHook(nullptr);
+  EXPECT_TRUE(uncached_server_->Fetch(1).ok());
 }
 
 // --- Graceful degradation ---------------------------------------------

@@ -131,7 +131,9 @@ TEST_F(SynthesizerTest, ParagraphSilencesLongerThanWordSilences) {
   ASSERT_TRUE(track.ok());
   size_t word_silence = 0, para_silence = 0;
   for (const SilenceTruth& s : track->silences) {
-    if (s.level == 0) word_silence = std::max(word_silence, s.samples.length());
+    if (s.level == 0) {
+      word_silence = std::max(word_silence, s.samples.length());
+    }
     if (s.level == 2) para_silence = s.samples.length();
   }
   EXPECT_GT(para_silence, word_silence * 3);

@@ -1,0 +1,498 @@
+// The asynchronous prefetch pipeline: background-channel time model
+// (free hits, residual waits, foreground fallback), jump cancellation,
+// fault posture (speculative failures never trip the foreground
+// breaker), backoff windows spent pumping, and the end-to-end demand
+// paging path through the workstation.
+
+#include "minos/server/prefetch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "minos/core/visual_browser.h"
+#include "minos/server/object_server.h"
+#include "minos/server/workstation.h"
+#include "minos/text/formatter.h"
+#include "minos/text/markup.h"
+
+namespace minos::server {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+
+/// A queue over a local registry so counters start from zero.
+struct QueueHarness {
+  SimClock clock;
+  obs::MetricsRegistry registry;
+  PrefetchQueue queue;
+
+  explicit QueueHarness(PrefetchOptions options = {})
+      : queue(&clock, nullptr, WithRegistry(options, &registry)) {}
+
+  static PrefetchOptions WithRegistry(PrefetchOptions options,
+                                      obs::MetricsRegistry* registry) {
+    options.registry = registry;
+    return options;
+  }
+
+  /// Work that models a transfer of `cost` simulated time.
+  PrefetchQueue::PageWork Costing(Micros cost) {
+    return [this, cost] {
+      clock.Advance(cost);
+      return Status::OK();
+    };
+  }
+
+  int64_t Count(const std::string& name) {
+    return static_cast<int64_t>(registry.counter("prefetch." + name)->value());
+  }
+};
+
+constexpr PrefetchKey Page(uint64_t object_id, int index) {
+  return PrefetchKey{PrefetchKind::kVisualPage, object_id, index};
+}
+
+// --- Background-channel time model ------------------------------------
+
+TEST(PrefetchQueueTest, HitAfterFullOverlapIsFree) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(10)));
+  h.queue.Pump();
+  // The foreground clock never saw the speculative work.
+  EXPECT_EQ(h.clock.Now(), 0);
+
+  h.clock.Advance(MillisToMicros(50));  // The user reads the page.
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 2)));
+  EXPECT_EQ(h.clock.Now(), MillisToMicros(50));  // No extra wait.
+  EXPECT_EQ(h.Count("hits"), 1);
+  EXPECT_EQ(h.Count("issued"), 1);
+}
+
+TEST(PrefetchQueueTest, EarlyConsumerWaitsOnlyTheResidual) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(10)));
+  h.queue.Pump();
+  h.clock.Advance(MillisToMicros(4));  // Turn the page early.
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 2)));
+  // Waited out the remaining 6 ms of background transfer, not all 10.
+  EXPECT_EQ(h.clock.Now(), MillisToMicros(10));
+  EXPECT_EQ(h.Count("partial_hits"), 1);
+}
+
+TEST(PrefetchQueueTest, BackgroundChannelIsSerialized) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(10)));
+  h.queue.WantPage(Page(1, 3), 2, h.Costing(MillisToMicros(10)));
+  h.queue.Pump();
+  // One channel: the second transfer queues behind the first, so its
+  // completion is at 20 ms, not 10.
+  EXPECT_EQ(h.queue.background_free_at(), MillisToMicros(20));
+  h.clock.Advance(MillisToMicros(19));
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 3)));
+  EXPECT_EQ(h.clock.Now(), MillisToMicros(20));
+}
+
+TEST(PrefetchQueueTest, BackedUpChannelFallsBackToForeground) {
+  PrefetchOptions options;
+  options.max_page_wait_us = MillisToMicros(5);
+  QueueHarness h(options);
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(50)));
+  h.queue.Pump();
+  // Residual would be 50 ms — more than the cap: the entry is dropped
+  // and the caller is told to do the (cheap) foreground transfer.
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));
+  EXPECT_EQ(h.clock.Now(), 0);  // Never blocked the foreground.
+  EXPECT_EQ(h.Count("misses"), 1);
+  EXPECT_EQ(h.Count("wasted"), 1);
+  // The entry is gone, not retried later.
+  EXPECT_EQ(h.queue.ready_count(), 0u);
+}
+
+TEST(PrefetchQueueTest, QueuedUnissuedEntryIsSupersededByForeground) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(10)));
+  // No Pump: the cursor arrived before any idle window.
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));
+  EXPECT_EQ(h.Count("misses"), 1);
+  EXPECT_EQ(h.queue.queued_count(), 0u);  // Dropped, not left behind.
+}
+
+TEST(PrefetchQueueTest, DuplicateWantsAreIgnored) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(10)));
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(99)));
+  EXPECT_EQ(h.Count("enqueued"), 1);
+  EXPECT_EQ(h.queue.queued_count(), 1u);
+}
+
+TEST(PrefetchQueueTest, PumpIssuesNearestDistanceFirst) {
+  PrefetchOptions options;
+  options.max_inflight_per_pump = 1;
+  QueueHarness h(options);
+  h.queue.WantPage(Page(1, 5), 3, h.Costing(MillisToMicros(10)));
+  h.queue.WantPage(Page(1, 3), 1, h.Costing(MillisToMicros(10)));
+  h.queue.Pump();
+  // The nearer page (distance 1) was issued, the farther one is still
+  // queued.
+  EXPECT_EQ(h.queue.ready_count(), 1u);
+  h.clock.Advance(MillisToMicros(10));
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 3)));
+  EXPECT_EQ(h.Count("hits"), 1);
+}
+
+// --- Jump cancellation -------------------------------------------------
+
+TEST(PrefetchQueueTest, JumpCancelsQueuedAndWastesReadyEntries) {
+  PrefetchOptions options;
+  options.max_inflight_per_pump = 2;
+  options.pages_ahead = 2;
+  options.pages_behind = 1;
+  QueueHarness h(options);
+  for (int page = 2; page <= 5; ++page) {
+    h.queue.WantPage(Page(1, page), page - 1,
+                     h.Costing(MillisToMicros(5)));
+  }
+  h.queue.Pump();  // Issues pages 2 and 3; pages 4 and 5 stay queued.
+  ASSERT_EQ(h.queue.ready_count(), 2u);
+  ASSERT_EQ(h.queue.queued_count(), 2u);
+
+  // The user jumps to page 40: everything around the old cursor is
+  // stale (radius is max(pages_ahead, pages_behind) = 2).
+  h.queue.OnJump(PrefetchKind::kVisualPage, 1, 40);
+  EXPECT_EQ(h.Count("wasted"), 2);     // Ready pages 2, 3: work discarded.
+  EXPECT_EQ(h.Count("cancelled"), 2);  // Queued pages 4, 5: never ran.
+
+  // A stale ready page can never be delivered after the jump.
+  h.clock.Advance(MillisToMicros(100));
+  for (int page = 2; page <= 5; ++page) {
+    EXPECT_FALSE(h.queue.TakePage(Page(1, page))) << "page " << page;
+  }
+}
+
+TEST(PrefetchQueueTest, JumpKeepsEntriesInsideTheNewRadius) {
+  QueueHarness h;  // pages_ahead 2 -> keep radius 2.
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.WantPage(Page(1, 41), 39, h.Costing(MillisToMicros(5)));
+  h.queue.Pump();
+  h.queue.OnJump(PrefetchKind::kVisualPage, 1, 40);
+  // Page 41 is within radius of the new cursor: still ready for a hit.
+  h.clock.Advance(MillisToMicros(100));
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 41)));
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));
+}
+
+TEST(PrefetchQueueTest, JumpOnlyDropsTheMatchingObjectAndKind) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.WantPage(Page(2, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.Pump();
+  h.queue.OnJump(PrefetchKind::kVisualPage, 1, 40);
+  h.clock.Advance(MillisToMicros(100));
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));  // Stale.
+  EXPECT_TRUE(h.queue.TakePage(Page(2, 2)));   // Another object: kept.
+}
+
+TEST(PrefetchQueueTest, CancelAllDropsEverything) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.WantPage(Page(1, 3), 2, h.Costing(MillisToMicros(5)));
+  h.queue.Pump();  // Both issue (default max_inflight_per_pump = 2).
+  h.queue.WantPage(Page(1, 4), 3, h.Costing(MillisToMicros(5)));
+  h.queue.CancelAll();
+  EXPECT_EQ(h.Count("wasted"), 2);
+  EXPECT_EQ(h.Count("cancelled"), 1);
+  EXPECT_EQ(h.queue.queued_count() + h.queue.ready_count(), 0u);
+}
+
+TEST(PrefetchQueueTest, EvictionKeepsTheReadySetBounded) {
+  PrefetchOptions options;
+  options.ready_capacity = 1;
+  options.max_inflight_per_pump = 2;
+  QueueHarness h(options);
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.WantPage(Page(1, 3), 2, h.Costing(MillisToMicros(5)));
+  h.queue.Pump();
+  // Capacity 1: the stalest ready entry was evicted as wasted.
+  EXPECT_EQ(h.queue.ready_count(), 1u);
+  EXPECT_EQ(h.Count("wasted"), 1);
+  h.clock.Advance(MillisToMicros(100));
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));  // The evicted one.
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 3)));
+}
+
+// --- Failures and the backoff sleeper ----------------------------------
+
+TEST(PrefetchQueueTest, FailedWorkIsDroppedButStillOccupiesTheChannel) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, [&h] {
+    h.clock.Advance(MillisToMicros(8));  // Timed out after 8 ms.
+    return Status::Unavailable("link drop");
+  });
+  h.queue.WantPage(Page(1, 3), 2, h.Costing(MillisToMicros(10)));
+  h.queue.Pump();
+  EXPECT_EQ(h.Count("errors"), 1);
+  EXPECT_EQ(h.clock.Now(), 0);  // The foreground never saw the failure.
+  // The failed attempt held the channel for 8 ms before the next
+  // transfer could start.
+  EXPECT_EQ(h.queue.background_free_at(), MillisToMicros(18));
+  h.clock.Advance(MillisToMicros(100));
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));  // Dropped, not retried.
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 3)));
+}
+
+TEST(PrefetchQueueTest, BackoffSleeperPumpsTheQueueThenWaits) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(3)));
+  BackoffSleeper sleeper = h.queue.MakeBackoffSleeper();
+  // A foreground retry waits out its backoff window; the window is
+  // spent starting the queued background transfer.
+  sleeper(MillisToMicros(20));
+  EXPECT_EQ(h.clock.Now(), MillisToMicros(20));  // The wait happened...
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 2)));     // ...and so did the work.
+  EXPECT_EQ(h.clock.Now(), MillisToMicros(20));  // Free hit: no recharge.
+  EXPECT_EQ(h.Count("hits"), 1);
+}
+
+TEST(PrefetchQueueTest, ObjectAndMiniaturePayloadsRoundTrip) {
+  QueueHarness h;
+  h.queue.WantObject(7, 0, [&h]() -> StatusOr<MultimediaObject> {
+    h.clock.Advance(MillisToMicros(5));
+    return MultimediaObject(7);
+  });
+  h.queue.WantMiniature(3, 1, [&h]() -> StatusOr<MiniatureCard> {
+    h.clock.Advance(MillisToMicros(2));
+    MiniatureCard card;
+    card.id = 9;
+    return card;
+  });
+  h.queue.Pump();
+  h.clock.Advance(MillisToMicros(20));
+  auto object = h.queue.TakeObject(7);
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->id(), 7u);
+  auto card = h.queue.TakeMiniature(3);
+  ASSERT_TRUE(card.has_value());
+  EXPECT_EQ(card->id, 9u);
+  EXPECT_EQ(h.Count("hits"), 2);
+  // Consumed entries do not linger.
+  EXPECT_FALSE(h.queue.TakeObject(7).has_value());
+  EXPECT_FALSE(h.queue.TakeMiniature(3).has_value());
+}
+
+// --- Fault posture: the breaker belongs to the foreground ---------------
+
+TEST(PrefetchBreakerTest, BackgroundFailuresDoNotTripTheForegroundBreaker) {
+  SimClock clock;
+  obs::MetricsRegistry registry;
+  Link link = Link::Ethernet(&clock, &registry);
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  link.ConfigureBreaker(options);
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector(profile, 11, &clock, &registry);
+  link.SetFaultInjector(&injector);
+
+  // A whole burst of failed speculative transfers...
+  for (int i = 0; i < 6; ++i) {
+    Link::BackgroundScope background(&link);
+    EXPECT_FALSE(link.Transfer(4096).ok());
+  }
+  // ...leaves the breaker closed for the foreground path.
+  EXPECT_EQ(link.breaker().state(), CircuitBreaker::State::kClosed);
+
+  // The same failures in the foreground trip it as before.
+  EXPECT_FALSE(link.Transfer(4096).ok());
+  EXPECT_FALSE(link.Transfer(4096).ok());
+  EXPECT_EQ(link.breaker().state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(PrefetchBreakerTest, OpenBreakerStillFastFailsBackgroundTransfers) {
+  SimClock clock;
+  obs::MetricsRegistry registry;
+  Link link = Link::Ethernet(&clock, &registry);
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  link.ConfigureBreaker(options);
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector(profile, 11, &clock, &registry);
+  link.SetFaultInjector(&injector);
+  EXPECT_FALSE(link.Transfer(4096).ok());
+  EXPECT_FALSE(link.Transfer(4096).ok());
+  ASSERT_EQ(link.breaker().state(), CircuitBreaker::State::kOpen);
+
+  // Prefetching over a known-dead link is pointless: fast fail, and the
+  // injector sees no more traffic.
+  const uint64_t faults_before = injector.faults_injected();
+  Link::BackgroundScope background(&link);
+  EXPECT_TRUE(link.Transfer(4096).status().IsUnavailable());
+  EXPECT_EQ(injector.faults_injected(), faults_before);
+}
+
+// --- End to end: demand paging through the workstation ------------------
+
+class PrefetchWorkstationTest : public ::testing::Test {
+ protected:
+  PrefetchWorkstationTest()
+      : device_("optical", 65536, 512,
+                storage::DeviceCostModel::Instant(), true, &clock_),
+        cache_(256),
+        archiver_(&device_, &cache_),
+        link_(Link::Ethernet(&clock_)),
+        server_(&archiver_, &versions_, &clock_, &link_) {}
+
+  /// A multi-page text object (one visual page per formatted text page).
+  MultimediaObject PagedObject(storage::ObjectId id, int paragraphs) {
+    MultimediaObject obj(id);
+    obj.descriptor().layout.width = 48;
+    obj.descriptor().layout.height = 12;
+    std::string markup;
+    for (int i = 0; i < paragraphs; ++i) {
+      markup += ".PP\nhospital admission record paragraph describing the "
+                "fracture treatment and recovery plan in enough words to "
+                "spill across formatted pages\n";
+    }
+    text::MarkupParser parser;
+    auto doc = parser.Parse(markup);
+    EXPECT_TRUE(doc.ok());
+    EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+    text::TextFormatter formatter(obj.descriptor().layout);
+    const size_t pages = formatter.Paginate(obj.text_part()).value().size();
+    EXPECT_GE(pages, 2u);
+    for (size_t i = 0; i < pages; ++i) {
+      VisualPageSpec page;
+      page.text_page = static_cast<uint32_t>(i + 1);
+      obj.descriptor().pages.push_back(page);
+    }
+    EXPECT_TRUE(obj.Archive().ok());
+    return obj;
+  }
+
+  static int64_t Count(const std::string& name) {
+    return static_cast<int64_t>(
+        obs::MetricsRegistry::Default().counter(name)->value());
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BlockCache cache_;
+  storage::Archiver archiver_;
+  storage::VersionStore versions_;
+  Link link_;
+  ObjectServer server_;
+};
+
+TEST_F(PrefetchWorkstationTest, SkeletonFetchTransfersFewerBytesThanWhole) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 10)).ok());
+  const uint64_t before_whole = link_.bytes_transferred();
+  ASSERT_TRUE(server_.Fetch(1, ObjectServer::FetchGranularity::kWhole).ok());
+  const uint64_t whole = link_.bytes_transferred() - before_whole;
+  const uint64_t before_skeleton = link_.bytes_transferred();
+  ASSERT_TRUE(
+      server_.Fetch(1, ObjectServer::FetchGranularity::kSkeleton).ok());
+  const uint64_t skeleton = link_.bytes_transferred() - before_skeleton;
+  // The skeleton defers the pageable text: strictly fewer bytes on the
+  // wire at open time.
+  EXPECT_LT(skeleton, whole);
+  EXPECT_GT(skeleton, 0u);
+}
+
+TEST_F(PrefetchWorkstationTest, PageTurnsAfterPrefetchAreFreeHits) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 10)).ok());
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+  const int64_t hits_before = Count("prefetch.hits");
+
+  ASSERT_TRUE(workstation.Present(1).ok());
+  core::VisualBrowser* browser = workstation.presentation().visual_browser();
+  ASSERT_NE(browser, nullptr);
+  // Read, turn; the background staged the next page during the read.
+  for (int turn = 0; turn < 3; ++turn) {
+    clock_.Advance(MillisToMicros(200));
+    const Micros start = clock_.Now();
+    ASSERT_TRUE(browser->NextPage().ok());
+    EXPECT_LE(clock_.Now() - start, MillisToMicros(1)) << "turn " << turn;
+  }
+  EXPECT_GE(Count("prefetch.hits") - hits_before, 3);
+}
+
+TEST_F(PrefetchWorkstationTest, DemandPagingChargesEachRangeOnce) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 10)).ok());
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+  ASSERT_TRUE(workstation.Present(1).ok());
+  core::VisualBrowser* browser = workstation.presentation().visual_browser();
+  ASSERT_NE(browser, nullptr);
+  while (browser->NextPage().ok()) {
+    clock_.Advance(MillisToMicros(50));
+  }
+  // Every page has been delivered: revisiting transfers nothing new.
+  const uint64_t bytes_after_first_pass = link_.bytes_transferred();
+  ASSERT_TRUE(browser->GotoPage(1).ok());
+  while (browser->NextPage().ok()) {
+  }
+  EXPECT_EQ(link_.bytes_transferred(), bytes_after_first_pass);
+}
+
+// Satellite: a goto-page jump mid-prefetch cancels or demotes the stale
+// entries and never delivers a stale page.
+TEST_F(PrefetchWorkstationTest, GotoPageMidPrefetchDropsStaleEntries) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 28)).ok());
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+  ASSERT_TRUE(workstation.Present(1).ok());
+  core::VisualBrowser* browser = workstation.presentation().visual_browser();
+  ASSERT_NE(browser, nullptr);
+  const int last = browser->page_count();
+  ASSERT_GE(last, 6);
+  // Settle into forward browsing so pages 2.. are staged ahead.
+  clock_.Advance(MillisToMicros(200));
+  ASSERT_TRUE(browser->NextPage().ok());
+  ASSERT_GT(workstation.prefetch()->ready_count() +
+                workstation.prefetch()->queued_count(),
+            0u);
+
+  const int64_t dropped_before =
+      Count("prefetch.wasted") + Count("prefetch.cancelled");
+  ASSERT_TRUE(browser->GotoPage(last).ok());  // Random seek: a jump.
+  // The speculative work around the old cursor was discarded...
+  EXPECT_GT(Count("prefetch.wasted") + Count("prefetch.cancelled"),
+            dropped_before);
+  EXPECT_GT(Count("prefetch.wasted"), 0);
+  // ...and the landing page is the real one, not a stale delivery.
+  EXPECT_EQ(browser->current_page(), last);
+  // Stale entries for the abandoned neighbourhood are gone from the
+  // queue: nothing can deliver them any more.
+  clock_.Advance(MillisToMicros(500));
+  EXPECT_FALSE(workstation.prefetch()->TakePage(
+      PrefetchKey{PrefetchKind::kVisualPage, 1, 2}));
+}
+
+TEST_F(PrefetchWorkstationTest, LazyQueryMaterializesCardsUnderTheCursor) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 4)).ok());
+  ASSERT_TRUE(server_.Store(PagedObject(2, 4)).ok());
+  ASSERT_TRUE(server_.Store(PagedObject(3, 4)).ok());
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+  auto browser = workstation.Query({"hospital"});
+  ASSERT_TRUE(browser.ok());
+  ASSERT_EQ(browser->size(), 3u);
+  auto current = browser->Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ((*current)->id, 1u);
+  ASSERT_TRUE(browser->Next().ok());
+  current = browser->Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ((*current)->id, 2u);
+  EXPECT_EQ(browser->Select().value(), 2u);
+}
+
+}  // namespace
+}  // namespace minos::server

@@ -56,6 +56,33 @@ TEST(RequestSchedulerTest, ScanSweepsUpThenDown) {
   EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{3, 1, 2}));
 }
 
+TEST(RequestSchedulerTest, ForegroundRequestsPreemptBackgroundOnes) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kSstf);
+  // Head starts at 0. The background (prefetch) request at block 10 is
+  // by far the cheapest seek, but the foreground requests at 900 and
+  // 500 must be served first anyway.
+  std::vector<IoRequest> reqs = {
+      {1, 10, 1, 0, IoPriority::kBackground},
+      {2, 900, 1, 0, IoPriority::kForeground},
+      {3, 500, 1, 0, IoPriority::kForeground},
+  };
+  auto done = sched.Run(reqs);
+  EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{3, 2, 1}));
+}
+
+TEST(RequestSchedulerTest, AllBackgroundBatchKeepsThePolicyOrder) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kSstf);
+  std::vector<IoRequest> reqs = ThreeRequestsAtOnce();
+  for (IoRequest& r : reqs) r.priority = IoPriority::kBackground;
+  // With no foreground traffic, background requests schedule normally.
+  auto done = sched.Run(reqs);
+  EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{2, 3, 1}));
+}
+
 TEST(RequestSchedulerTest, SstfBeatsFcfsOnTotalSeek) {
   SimClock c1, c2;
   BlockDevice d1 = MakeDevice(&c1);
