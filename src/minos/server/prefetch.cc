@@ -202,9 +202,20 @@ std::optional<object::MultimediaObject> PrefetchQueue::TakeObject(
   return payload;
 }
 
-std::optional<MiniatureCard> PrefetchQueue::TakeMiniature(int position) {
+std::optional<MiniatureCard> PrefetchQueue::TakeMiniature(
+    int position, uint64_t expected_id) {
   PrefetchKey key{PrefetchKind::kMiniature, 0, position};
   auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.ready &&
+      it->second.card.has_value() && it->second.card->id != expected_id) {
+    // Staged for another query's strip: the same position now names a
+    // different object, and its card must never be delivered here.
+    entries_.erase(it);
+    wasted_->Increment();
+    misses_->Increment();
+    UpdateDepth();
+    return std::nullopt;
+  }
   std::optional<MiniatureCard> payload;
   if (it != entries_.end() && it->second.ready) {
     payload = std::move(it->second.card);
@@ -218,14 +229,10 @@ int PrefetchQueue::KeepRadius(PrefetchKind kind) const {
   return std::max(options_.pages_ahead, options_.pages_behind);
 }
 
-void PrefetchQueue::OnJump(PrefetchKind kind, uint64_t object_id,
-                           int new_cursor) {
-  const int radius = KeepRadius(kind);
+void PrefetchQueue::CancelIf(
+    const std::function<bool(const PrefetchKey&)>& stale) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    const bool stale = it->first.kind == kind &&
-                       it->first.object_id == object_id &&
-                       std::abs(it->first.index - new_cursor) > radius;
-    if (!stale) {
+    if (!stale(it->first)) {
       ++it;
       continue;
     }
@@ -239,16 +246,28 @@ void PrefetchQueue::OnJump(PrefetchKind kind, uint64_t object_id,
   UpdateDepth();
 }
 
+void PrefetchQueue::OnJump(PrefetchKind kind, uint64_t object_id,
+                           int new_cursor) {
+  const int radius = KeepRadius(kind);
+  CancelIf([&](const PrefetchKey& key) {
+    return key.kind == kind && key.object_id == object_id &&
+           std::abs(key.index - new_cursor) > radius;
+  });
+}
+
+void PrefetchQueue::Cancel(PrefetchKind kind) {
+  CancelIf([&](const PrefetchKey& key) { return key.kind == kind; });
+}
+
+void PrefetchQueue::CancelObject(uint64_t object_id) {
+  CancelIf([&](const PrefetchKey& key) {
+    return key.kind != PrefetchKind::kMiniature &&
+           key.object_id == object_id;
+  });
+}
+
 void PrefetchQueue::CancelAll() {
-  for (const auto& [key, entry] : entries_) {
-    if (entry.ready) {
-      wasted_->Increment();
-    } else {
-      cancelled_->Increment();
-    }
-  }
-  entries_.clear();
-  UpdateDepth();
+  CancelIf([](const PrefetchKey&) { return true; });
 }
 
 BackoffSleeper PrefetchQueue::MakeBackoffSleeper() {

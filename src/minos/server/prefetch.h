@@ -132,7 +132,14 @@ class PrefetchQueue {
 
   /// Claims a prefetched object / miniature card; nullopt on miss.
   std::optional<object::MultimediaObject> TakeObject(uint64_t object_id);
-  std::optional<MiniatureCard> TakeMiniature(int position);
+
+  /// Claims the card staged at strip position `position`, but only if it
+  /// is the card of `expected_id`: positions are relative to one query's
+  /// strip, so a card staged for an earlier strip at the same position
+  /// belongs to a different object. A mismatched card is dropped (wasted
+  /// + miss) and the caller fetches in the foreground.
+  std::optional<MiniatureCard> TakeMiniature(int position,
+                                             uint64_t expected_id);
 
   /// Steer ---------------------------------------------------------------
 
@@ -143,8 +150,19 @@ class PrefetchQueue {
   /// delivered after a jump — it no longer exists.
   void OnJump(PrefetchKind kind, uint64_t object_id, int new_cursor);
 
-  /// Drops every entry (queued → cancelled, ready → wasted). Used when
-  /// the presentation frame closes.
+  /// Drops every entry of `kind` (queued → cancelled, ready → wasted).
+  /// A new Query must cancel kMiniature this way: positions in the old
+  /// strip mean nothing in the new one.
+  void Cancel(PrefetchKind kind);
+
+  /// Drops every page/object entry of `object_id` (miniatures, whose
+  /// object_id is always 0, are untouched). Re-opening an object resets
+  /// its delivery plan, so entries staged for the previous open must not
+  /// satisfy ranges the fresh skeleton fetch discounted again.
+  void CancelObject(uint64_t object_id);
+
+  /// Drops every entry (queued → cancelled, ready → wasted). The
+  /// workstation calls this when the session shuts down.
   void CancelAll();
 
   /// Issues up to max_inflight_per_pump queued entries, nearest cursor
@@ -178,6 +196,10 @@ class PrefetchQueue {
 
   /// Radius inside which entries of `kind` survive a jump.
   int KeepRadius(PrefetchKind kind) const;
+
+  /// Drops every entry whose key matches `stale` (queued → cancelled,
+  /// ready → wasted).
+  void CancelIf(const std::function<bool(const PrefetchKey&)>& stale);
 
   /// Runs one entry's work on the background channel; true when the
   /// entry became ready.

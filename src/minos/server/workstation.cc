@@ -5,6 +5,19 @@
 
 namespace minos::server {
 
+std::pair<uint64_t, uint64_t> ApportionStream(uint64_t total_len, int page,
+                                              int page_count) {
+  if (total_len == 0 || page < 1 || page > page_count) return {0, 0};
+  const uint64_t chunk = total_len / static_cast<uint64_t>(page_count);
+  // Fewer bytes than pages: zero-byte chunks would never deliver the
+  // stream, so the whole of it rides with the first page visited.
+  if (chunk == 0) return {0, total_len};
+  const uint64_t offset = static_cast<uint64_t>(page - 1) * chunk;
+  const uint64_t length =
+      page == page_count ? total_len - offset : chunk;
+  return {offset, length};
+}
+
 MiniatureBrowser::MiniatureBrowser(std::vector<MiniatureCard> cards) {
   slots_.reserve(cards.size());
   for (MiniatureCard& card : cards) {
@@ -90,6 +103,15 @@ Workstation::Workstation(ObjectServer* server, render::Screen* screen,
       [this](storage::ObjectId id) { return Resolve(id); });
 }
 
+Workstation::~Workstation() {
+  if (prefetch_ == nullptr) return;
+  // The borrowed server keeps serving other sessions after this one
+  // ends; its sleeper must not pump a destroyed queue.
+  server_->SetBackoffSleeper(BackoffSleeper());
+  presentation_.SetBrowseListener(nullptr);
+  prefetch_->CancelAll();
+}
+
 void Workstation::EnablePrefetch(PrefetchOptions options) {
   prefetch_options_ = options;
   prefetch_ =
@@ -120,6 +142,10 @@ StatusOr<object::MultimediaObject> Workstation::Resolve(
 
 void Workstation::BuildPlan(storage::ObjectId id,
                             const object::ObjectDescriptor& desc) {
+  // A fresh plan restarts delivery accounting, so entries staged for a
+  // previous open of this object must not satisfy ranges the new
+  // skeleton fetch discounted again.
+  if (prefetch_ != nullptr) prefetch_->CancelObject(id);
   ObjectPlan plan;
   plan.audio_mode = desc.driving_mode == object::DrivingMode::kAudio;
   plan.page_text.reserve(desc.pages.size());
@@ -159,25 +185,19 @@ std::vector<Workstation::PageRange> Workstation::UndeliveredRanges(
   };
   if (kind == PrefetchKind::kAudioPage) {
     // The voice stream apportioned over the audio pages the pager built.
-    if (plan.voice_len == 0 || page_count <= 0) return out;
-    const uint64_t chunk =
-        plan.voice_len / static_cast<uint64_t>(page_count);
-    if (chunk == 0) return out;
-    const uint64_t offset = static_cast<uint64_t>(page - 1) * chunk;
-    const uint64_t length =
-        page == page_count ? plan.voice_len - offset : chunk;
+    const auto [offset, length] =
+        ApportionStream(plan.voice_len, page, page_count);
     want("voice", offset, length);
     return out;
   }
   const size_t index = static_cast<size_t>(page - 1);
   if (index >= plan.page_text.size()) return out;
   const uint32_t text_page = plan.page_text[index];
-  if (text_page > 0 && plan.text_pages > 0 && plan.text_len > 0) {
+  if (text_page > 0 && plan.text_pages > 0) {
     // The text stream apportioned over its formatted pages.
-    const uint64_t chunk = plan.text_len / plan.text_pages;
-    const uint64_t offset = static_cast<uint64_t>(text_page - 1) * chunk;
-    const uint64_t length =
-        text_page == plan.text_pages ? plan.text_len - offset : chunk;
+    const auto [offset, length] =
+        ApportionStream(plan.text_len, static_cast<int>(text_page),
+                        static_cast<int>(plan.text_pages));
     want("text", offset, length);
   }
   for (const auto& [part, length] : plan.page_images[index]) {
@@ -290,12 +310,16 @@ StatusOr<MiniatureBrowser> Workstation::Query(
     }
     return MiniatureBrowser(std::move(cards));
   }
+  // A new query builds a new strip: cards staged for the old strip are
+  // keyed by position only and would otherwise be delivered as the
+  // cards of whatever objects now occupy those positions.
+  prefetch_->Cancel(PrefetchKind::kMiniature);
   // Lazy strip: cards materialize under the cursor (claiming staged ones
   // first), and the cursor steers the pipeline at the flanks.
   MiniatureBrowser browser(
       ids, [this](storage::ObjectId id, int position) {
         if (std::optional<MiniatureCard> staged =
-                prefetch_->TakeMiniature(position)) {
+                prefetch_->TakeMiniature(position, id)) {
           thumb_cache_[id] = staged->thumb;
           return StatusOr<MiniatureCard>(*std::move(staged));
         }

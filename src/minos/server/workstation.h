@@ -1,12 +1,14 @@
 #ifndef MINOS_SERVER_WORKSTATION_H_
 #define MINOS_SERVER_WORKSTATION_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "minos/core/presentation_manager.h"
@@ -16,6 +18,16 @@
 #include "minos/util/statusor.h"
 
 namespace minos::server {
+
+/// Splits an even apportionment of `total_len` bytes over `page_count`
+/// pages and returns the {offset, length} slice that page `page`
+/// (1-based) owns. The last page absorbs the rounding remainder; a
+/// stream smaller than the page count rides whole with every page
+/// (offset 0, full length) so that the first page visited delivers it —
+/// delivery bookkeeping keeps later pages from re-transferring it.
+/// {0, 0} when the stream is empty or `page` is out of range.
+std::pair<uint64_t, uint64_t> ApportionStream(uint64_t total_len, int page,
+                                              int page_count);
 
 /// Sequential miniature-browsing interface (§5): the user pages through
 /// the miniature cards of qualifying objects and selects one to open.
@@ -112,6 +124,12 @@ class Workstation {
  public:
   /// `server`, `screen` and `clock` are borrowed.
   Workstation(ObjectServer* server, render::Screen* screen, SimClock* clock);
+
+  /// The server outlives the workstation by contract, so anything this
+  /// session installed into it — the prefetch queue's backoff sleeper in
+  /// particular — is uninstalled here; a retried fetch after this
+  /// session ends must not reach back into the dead queue.
+  ~Workstation();
 
   /// Turns on the prefetch pipeline (idempotent; the last options win).
   /// Installs the queue's backoff sleeper into the server, switches

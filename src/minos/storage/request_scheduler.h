@@ -21,9 +21,14 @@ enum class SchedulingPolicy {
 const char* SchedulingPolicyName(SchedulingPolicy policy);
 
 /// Urgency class of one I/O request. Foreground requests (the page the
-/// user is looking at) are always served before background ones (the
-/// prefetch pipeline's speculative fetches), regardless of arm position:
-/// a cheap seek never justifies stalling the user behind speculation.
+/// user is looking at) are always served before background ones,
+/// regardless of arm position: a cheap seek never justifies stalling
+/// the user behind speculation. NOTE: the single-session prefetch
+/// pipeline does not yet route its staging I/O through this scheduler —
+/// it charges the Link directly — so kBackground is currently exercised
+/// only by tests and benches. Wiring the prefetch path (and contention
+/// across concurrent sessions) into these lanes is the ROADMAP
+/// "Prefetch beyond one session" item.
 enum class IoPriority : uint8_t { kForeground = 0, kBackground = 1 };
 
 /// One queued I/O request.

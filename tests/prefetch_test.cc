@@ -272,13 +272,63 @@ TEST(PrefetchQueueTest, ObjectAndMiniaturePayloadsRoundTrip) {
   auto object = h.queue.TakeObject(7);
   ASSERT_TRUE(object.has_value());
   EXPECT_EQ(object->id(), 7u);
-  auto card = h.queue.TakeMiniature(3);
+  auto card = h.queue.TakeMiniature(3, 9);
   ASSERT_TRUE(card.has_value());
   EXPECT_EQ(card->id, 9u);
   EXPECT_EQ(h.Count("hits"), 2);
   // Consumed entries do not linger.
   EXPECT_FALSE(h.queue.TakeObject(7).has_value());
-  EXPECT_FALSE(h.queue.TakeMiniature(3).has_value());
+  EXPECT_FALSE(h.queue.TakeMiniature(3, 9).has_value());
+}
+
+TEST(PrefetchQueueTest, TakeMiniatureRejectsAnotherObjectsCard) {
+  QueueHarness h;
+  h.queue.WantMiniature(3, 1, [&h]() -> StatusOr<MiniatureCard> {
+    h.clock.Advance(MillisToMicros(2));
+    MiniatureCard card;
+    card.id = 9;
+    return card;
+  });
+  h.queue.Pump();
+  h.clock.Advance(MillisToMicros(20));
+  // Position 3 now names object 5 (a new query strip): the staged card
+  // of object 9 must be dropped, never delivered.
+  EXPECT_FALSE(h.queue.TakeMiniature(3, 5).has_value());
+  EXPECT_EQ(h.Count("wasted"), 1);
+  EXPECT_EQ(h.Count("misses"), 1);
+  EXPECT_EQ(h.Count("hits"), 0);
+  EXPECT_EQ(h.queue.ready_count(), 0u);
+}
+
+TEST(PrefetchQueueTest, CancelKindDropsOnlyThatKind) {
+  QueueHarness h;
+  h.queue.WantMiniature(0, 1, []() -> StatusOr<MiniatureCard> {
+    return MiniatureCard{};
+  });
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.Pump();
+  h.queue.Cancel(PrefetchKind::kMiniature);
+  h.clock.Advance(MillisToMicros(100));
+  EXPECT_FALSE(h.queue.TakeMiniature(0, 0).has_value());
+  EXPECT_TRUE(h.queue.TakePage(Page(1, 2)));  // Pages untouched.
+}
+
+TEST(PrefetchQueueTest, CancelObjectSparesOtherObjectsAndMiniatures) {
+  QueueHarness h;
+  h.queue.WantPage(Page(1, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.WantPage(Page(2, 2), 1, h.Costing(MillisToMicros(5)));
+  h.queue.WantMiniature(0, 1, []() -> StatusOr<MiniatureCard> {
+    MiniatureCard card;
+    card.id = 4;
+    return card;
+  });
+  h.queue.Pump();
+  h.queue.Pump();  // Default max_inflight_per_pump = 2: issue all three.
+  h.queue.CancelObject(1);
+  h.clock.Advance(MillisToMicros(100));
+  EXPECT_FALSE(h.queue.TakePage(Page(1, 2)));  // Re-opened: invalidated.
+  EXPECT_TRUE(h.queue.TakePage(Page(2, 2)));
+  EXPECT_TRUE(h.queue.TakeMiniature(0, 4).has_value());
 }
 
 // --- Fault posture: the breaker belongs to the foreground ---------------
@@ -345,13 +395,17 @@ class PrefetchWorkstationTest : public ::testing::Test {
         server_(&archiver_, &versions_, &clock_, &link_) {}
 
   /// A multi-page text object (one visual page per formatted text page).
-  MultimediaObject PagedObject(storage::ObjectId id, int paragraphs) {
+  /// `keyword` makes the object findable by a query no other object
+  /// matches.
+  MultimediaObject PagedObject(storage::ObjectId id, int paragraphs,
+                               const std::string& keyword = "") {
     MultimediaObject obj(id);
     obj.descriptor().layout.width = 48;
     obj.descriptor().layout.height = 12;
     std::string markup;
     for (int i = 0; i < paragraphs; ++i) {
-      markup += ".PP\nhospital admission record paragraph describing the "
+      markup += ".PP\n" + (keyword.empty() ? "" : keyword + " ") +
+                "hospital admission record paragraph describing the "
                 "fracture treatment and recovery plan in enough words to "
                 "spill across formatted pages\n";
     }
@@ -492,6 +546,106 @@ TEST_F(PrefetchWorkstationTest, LazyQueryMaterializesCardsUnderTheCursor) {
   ASSERT_TRUE(current.ok());
   EXPECT_EQ((*current)->id, 2u);
   EXPECT_EQ(browser->Select().value(), 2u);
+}
+
+// A card staged for one query's strip must never be delivered as the
+// card of whatever object occupies the same position in the next
+// query's strip (nor poison the thumb cache with the wrong thumbnail).
+TEST_F(PrefetchWorkstationTest, FreshQueryNeverDeliversStaleMiniatures) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 4, "alpha")).ok());
+  ASSERT_TRUE(server_.Store(PagedObject(2, 4, "beta")).ok());
+  ASSERT_TRUE(server_.Store(PagedObject(3, 4, "gamma")).ok());
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+
+  auto first = workstation.Query({"hospital"});
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 3u);
+  // Walking the strip stages the flanking cards — including object 1's
+  // card at position 0.
+  ASSERT_TRUE(first->Next().ok());
+  clock_.Advance(MillisToMicros(200));
+
+  // The new strip has object 2 at position 0.
+  auto second = workstation.Query({"beta"});
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), 1u);
+  auto card = second->Current();
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ((*card)->id, 2u);
+}
+
+// Re-opening an object restarts its delivery plan: the fresh skeleton
+// fetch discounts the page bytes again, so entries staged during the
+// previous open must not satisfy them as free hits — the second
+// read-through must charge the link exactly what the first did.
+TEST_F(PrefetchWorkstationTest, ReopeningAnObjectChargesItsPagesAgain) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 10)).ok());
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+
+  const uint64_t before_first = link_.bytes_transferred();
+  ASSERT_TRUE(workstation.Present(1).ok());
+  core::VisualBrowser* browser = workstation.presentation().visual_browser();
+  ASSERT_NE(browser, nullptr);
+  while (browser->NextPage().ok()) {
+    clock_.Advance(MillisToMicros(50));
+  }
+  const uint64_t first_open = link_.bytes_transferred() - before_first;
+
+  const uint64_t before_second = link_.bytes_transferred();
+  ASSERT_TRUE(workstation.Present(1).ok());
+  browser = workstation.presentation().visual_browser();
+  ASSERT_NE(browser, nullptr);
+  while (browser->NextPage().ok()) {
+    clock_.Advance(MillisToMicros(50));
+  }
+  EXPECT_EQ(link_.bytes_transferred() - before_second, first_open);
+}
+
+// The server outlives the workstation by contract; a retried fetch
+// after the session ends must not invoke the dead queue's backoff
+// sleeper (caught by ASan as a use-after-free before the fix).
+TEST_F(PrefetchWorkstationTest, ServerRetriesSafelyAfterWorkstationDies) {
+  ASSERT_TRUE(server_.Store(PagedObject(1, 4)).ok());
+  {
+    render::Screen screen;
+    Workstation workstation(&server_, &screen, &clock_);
+    workstation.EnablePrefetch();
+    ASSERT_TRUE(workstation.Present(1).ok());
+  }
+  obs::MetricsRegistry registry;
+  FaultProfile profile;
+  profile.drop_rate = 0.5;
+  FaultInjector injector(profile, 7, &clock_, &registry);
+  link_.SetFaultInjector(&injector);
+  for (int i = 0; i < 10; ++i) {
+    (void)server_.Fetch(1);  // Drops force retries and backoff sleeps.
+  }
+  link_.SetFaultInjector(nullptr);
+}
+
+TEST(ApportionStreamTest, SplitsEvenlyWithRemainderOnTheLastPage) {
+  EXPECT_EQ(ApportionStream(100, 1, 4),
+            (std::pair<uint64_t, uint64_t>{0, 25}));
+  EXPECT_EQ(ApportionStream(10, 3, 3),
+            (std::pair<uint64_t, uint64_t>{6, 4}));
+  EXPECT_EQ(ApportionStream(0, 1, 4), (std::pair<uint64_t, uint64_t>{0, 0}));
+  EXPECT_EQ(ApportionStream(100, 5, 4),
+            (std::pair<uint64_t, uint64_t>{0, 0}));
+}
+
+// A stream smaller than its page count must still be delivered — the
+// whole of it rides with every page (the delivered-set makes the first
+// visitor the one that transfers it), not vanish into zero-byte chunks.
+TEST(ApportionStreamTest, TinyStreamRidesWholeWithEveryPage) {
+  for (int page = 1; page <= 9; ++page) {
+    EXPECT_EQ(ApportionStream(5, page, 9),
+              (std::pair<uint64_t, uint64_t>{0, 5}))
+        << "page " << page;
+  }
 }
 
 }  // namespace
