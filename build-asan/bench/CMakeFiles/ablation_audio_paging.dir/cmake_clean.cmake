@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_audio_paging.dir/ablation_audio_paging.cc.o"
+  "CMakeFiles/ablation_audio_paging.dir/ablation_audio_paging.cc.o.d"
+  "ablation_audio_paging"
+  "ablation_audio_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_audio_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

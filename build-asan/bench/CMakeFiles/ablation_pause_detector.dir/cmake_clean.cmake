@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pause_detector.dir/ablation_pause_detector.cc.o"
+  "CMakeFiles/ablation_pause_detector.dir/ablation_pause_detector.cc.o.d"
+  "ablation_pause_detector"
+  "ablation_pause_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pause_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seek_model.dir/ablation_seek_model.cc.o"
+  "CMakeFiles/ablation_seek_model.dir/ablation_seek_model.cc.o.d"
+  "ablation_seek_model"
+  "ablation_seek_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seek_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

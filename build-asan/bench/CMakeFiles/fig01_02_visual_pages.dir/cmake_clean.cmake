@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_visual_pages.dir/fig01_02_visual_pages.cc.o"
+  "CMakeFiles/fig01_02_visual_pages.dir/fig01_02_visual_pages.cc.o.d"
+  "fig01_02_visual_pages"
+  "fig01_02_visual_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_visual_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_04_visual_logical_message.dir/fig03_04_visual_logical_message.cc.o"
+  "CMakeFiles/fig03_04_visual_logical_message.dir/fig03_04_visual_logical_message.cc.o.d"
+  "fig03_04_visual_logical_message"
+  "fig03_04_visual_logical_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_04_visual_logical_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_04_visual_logical_message.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_transparencies.dir/fig05_06_transparencies.cc.o"
+  "CMakeFiles/fig05_06_transparencies.dir/fig05_06_transparencies.cc.o.d"
+  "fig05_06_transparencies"
+  "fig05_06_transparencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_transparencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

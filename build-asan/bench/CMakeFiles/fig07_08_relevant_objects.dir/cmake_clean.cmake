@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_relevant_objects.dir/fig07_08_relevant_objects.cc.o"
+  "CMakeFiles/fig07_08_relevant_objects.dir/fig07_08_relevant_objects.cc.o.d"
+  "fig07_08_relevant_objects"
+  "fig07_08_relevant_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_relevant_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_process_simulation.dir/fig09_10_process_simulation.cc.o"
+  "CMakeFiles/fig09_10_process_simulation.dir/fig09_10_process_simulation.cc.o.d"
+  "fig09_10_process_simulation"
+  "fig09_10_process_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_process_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

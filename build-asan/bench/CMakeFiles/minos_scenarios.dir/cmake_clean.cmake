@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_scenarios.dir/scenario_lib.cc.o"
+  "CMakeFiles/minos_scenarios.dir/scenario_lib.cc.o.d"
+  "libminos_scenarios.a"
+  "libminos_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_formation.dir/object_formation.cc.o"
+  "CMakeFiles/object_formation.dir/object_formation.cc.o.d"
+  "object_formation"
+  "object_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

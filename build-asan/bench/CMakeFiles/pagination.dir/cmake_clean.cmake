@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagination.dir/pagination.cc.o"
+  "CMakeFiles/pagination.dir/pagination.cc.o.d"
+  "pagination"
+  "pagination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pause_detection.dir/pause_detection.cc.o"
+  "CMakeFiles/pause_detection.dir/pause_detection.cc.o.d"
+  "pause_detection"
+  "pause_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pause_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

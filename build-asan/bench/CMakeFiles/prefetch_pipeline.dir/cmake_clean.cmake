@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_pipeline.dir/prefetch_pipeline.cc.o"
+  "CMakeFiles/prefetch_pipeline.dir/prefetch_pipeline.cc.o.d"
+  "prefetch_pipeline"
+  "prefetch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_queueing.dir/server_queueing.cc.o"
+  "CMakeFiles/server_queueing.dir/server_queueing.cc.o.d"
+  "server_queueing"
+  "server_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_session_mix.dir/server_session_mix.cc.o"
+  "CMakeFiles/server_session_mix.dir/server_session_mix.cc.o.d"
+  "server_session_mix"
+  "server_session_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_session_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_text_voice_browsing.dir/sym_text_voice_browsing.cc.o"
+  "CMakeFiles/sym_text_voice_browsing.dir/sym_text_voice_browsing.cc.o.d"
+  "sym_text_voice_browsing"
+  "sym_text_voice_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_text_voice_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

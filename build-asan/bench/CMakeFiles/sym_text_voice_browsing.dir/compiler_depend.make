@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sym_text_voice_browsing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tour_playback.dir/tour_playback.cc.o"
+  "CMakeFiles/tour_playback.dir/tour_playback.cc.o.d"
+  "tour_playback"
+  "tour_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tour_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

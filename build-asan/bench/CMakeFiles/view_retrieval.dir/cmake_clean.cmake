@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_retrieval.dir/view_retrieval.cc.o"
+  "CMakeFiles/view_retrieval.dir/view_retrieval.cc.o.d"
+  "view_retrieval"
+  "view_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_recognition_index.dir/voice_recognition_index.cc.o"
+  "CMakeFiles/voice_recognition_index.dir/voice_recognition_index.cc.o.d"
+  "voice_recognition_index"
+  "voice_recognition_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_recognition_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

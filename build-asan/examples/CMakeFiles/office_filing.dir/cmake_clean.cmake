@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_filing.dir/office_filing.cpp.o"
+  "CMakeFiles/office_filing.dir/office_filing.cpp.o.d"
+  "office_filing"
+  "office_filing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_filing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("minos/util")
+subdirs("minos/obs")
+subdirs("minos/storage")
+subdirs("minos/text")
+subdirs("minos/voice")
+subdirs("minos/image")
+subdirs("minos/render")
+subdirs("minos/audio")
+subdirs("minos/object")
+subdirs("minos/format")
+subdirs("minos/core")
+subdirs("minos/server")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_audio.dir/audio_device.cc.o"
+  "CMakeFiles/minos_audio.dir/audio_device.cc.o.d"
+  "libminos_audio.a"
+  "libminos_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_core.dir/audio_browser.cc.o"
+  "CMakeFiles/minos_core.dir/audio_browser.cc.o.d"
+  "CMakeFiles/minos_core.dir/editing_preview.cc.o"
+  "CMakeFiles/minos_core.dir/editing_preview.cc.o.d"
+  "CMakeFiles/minos_core.dir/events.cc.o"
+  "CMakeFiles/minos_core.dir/events.cc.o.d"
+  "CMakeFiles/minos_core.dir/message_player.cc.o"
+  "CMakeFiles/minos_core.dir/message_player.cc.o.d"
+  "CMakeFiles/minos_core.dir/page_compositor.cc.o"
+  "CMakeFiles/minos_core.dir/page_compositor.cc.o.d"
+  "CMakeFiles/minos_core.dir/presentation_manager.cc.o"
+  "CMakeFiles/minos_core.dir/presentation_manager.cc.o.d"
+  "CMakeFiles/minos_core.dir/visual_browser.cc.o"
+  "CMakeFiles/minos_core.dir/visual_browser.cc.o.d"
+  "libminos_core.a"
+  "libminos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/format/archive_mailer.cc" "src/minos/format/CMakeFiles/minos_format.dir/archive_mailer.cc.o" "gcc" "src/minos/format/CMakeFiles/minos_format.dir/archive_mailer.cc.o.d"
+  "/root/repo/src/minos/format/object_formatter.cc" "src/minos/format/CMakeFiles/minos_format.dir/object_formatter.cc.o" "gcc" "src/minos/format/CMakeFiles/minos_format.dir/object_formatter.cc.o.d"
+  "/root/repo/src/minos/format/synthesis.cc" "src/minos/format/CMakeFiles/minos_format.dir/synthesis.cc.o" "gcc" "src/minos/format/CMakeFiles/minos_format.dir/synthesis.cc.o.d"
+  "/root/repo/src/minos/format/workspace.cc" "src/minos/format/CMakeFiles/minos_format.dir/workspace.cc.o" "gcc" "src/minos/format/CMakeFiles/minos_format.dir/workspace.cc.o.d"
+  "/root/repo/src/minos/format/workspace_store.cc" "src/minos/format/CMakeFiles/minos_format.dir/workspace_store.cc.o" "gcc" "src/minos/format/CMakeFiles/minos_format.dir/workspace_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/object/CMakeFiles/minos_object.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/storage/CMakeFiles/minos_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/voice/CMakeFiles/minos_voice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/text/CMakeFiles/minos_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/image/CMakeFiles/minos_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_format.dir/archive_mailer.cc.o"
+  "CMakeFiles/minos_format.dir/archive_mailer.cc.o.d"
+  "CMakeFiles/minos_format.dir/object_formatter.cc.o"
+  "CMakeFiles/minos_format.dir/object_formatter.cc.o.d"
+  "CMakeFiles/minos_format.dir/synthesis.cc.o"
+  "CMakeFiles/minos_format.dir/synthesis.cc.o.d"
+  "CMakeFiles/minos_format.dir/workspace.cc.o"
+  "CMakeFiles/minos_format.dir/workspace.cc.o.d"
+  "CMakeFiles/minos_format.dir/workspace_store.cc.o"
+  "CMakeFiles/minos_format.dir/workspace_store.cc.o.d"
+  "libminos_format.a"
+  "libminos_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/image/bitmap.cc" "src/minos/image/CMakeFiles/minos_image.dir/bitmap.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/bitmap.cc.o.d"
+  "/root/repo/src/minos/image/graphics.cc" "src/minos/image/CMakeFiles/minos_image.dir/graphics.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/graphics.cc.o.d"
+  "/root/repo/src/minos/image/image.cc" "src/minos/image/CMakeFiles/minos_image.dir/image.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/image.cc.o.d"
+  "/root/repo/src/minos/image/miniature.cc" "src/minos/image/CMakeFiles/minos_image.dir/miniature.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/miniature.cc.o.d"
+  "/root/repo/src/minos/image/raster.cc" "src/minos/image/CMakeFiles/minos_image.dir/raster.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/raster.cc.o.d"
+  "/root/repo/src/minos/image/tour.cc" "src/minos/image/CMakeFiles/minos_image.dir/tour.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/tour.cc.o.d"
+  "/root/repo/src/minos/image/view.cc" "src/minos/image/CMakeFiles/minos_image.dir/view.cc.o" "gcc" "src/minos/image/CMakeFiles/minos_image.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

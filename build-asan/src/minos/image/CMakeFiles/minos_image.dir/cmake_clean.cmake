@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_image.dir/bitmap.cc.o"
+  "CMakeFiles/minos_image.dir/bitmap.cc.o.d"
+  "CMakeFiles/minos_image.dir/graphics.cc.o"
+  "CMakeFiles/minos_image.dir/graphics.cc.o.d"
+  "CMakeFiles/minos_image.dir/image.cc.o"
+  "CMakeFiles/minos_image.dir/image.cc.o.d"
+  "CMakeFiles/minos_image.dir/miniature.cc.o"
+  "CMakeFiles/minos_image.dir/miniature.cc.o.d"
+  "CMakeFiles/minos_image.dir/raster.cc.o"
+  "CMakeFiles/minos_image.dir/raster.cc.o.d"
+  "CMakeFiles/minos_image.dir/tour.cc.o"
+  "CMakeFiles/minos_image.dir/tour.cc.o.d"
+  "CMakeFiles/minos_image.dir/view.cc.o"
+  "CMakeFiles/minos_image.dir/view.cc.o.d"
+  "libminos_image.a"
+  "libminos_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

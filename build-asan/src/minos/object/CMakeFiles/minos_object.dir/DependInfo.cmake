@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/object/descriptor.cc" "src/minos/object/CMakeFiles/minos_object.dir/descriptor.cc.o" "gcc" "src/minos/object/CMakeFiles/minos_object.dir/descriptor.cc.o.d"
+  "/root/repo/src/minos/object/multimedia_object.cc" "src/minos/object/CMakeFiles/minos_object.dir/multimedia_object.cc.o" "gcc" "src/minos/object/CMakeFiles/minos_object.dir/multimedia_object.cc.o.d"
+  "/root/repo/src/minos/object/part_codec.cc" "src/minos/object/CMakeFiles/minos_object.dir/part_codec.cc.o" "gcc" "src/minos/object/CMakeFiles/minos_object.dir/part_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/storage/CMakeFiles/minos_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/text/CMakeFiles/minos_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/voice/CMakeFiles/minos_voice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/image/CMakeFiles/minos_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

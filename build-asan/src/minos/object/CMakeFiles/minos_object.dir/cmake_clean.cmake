@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_object.dir/descriptor.cc.o"
+  "CMakeFiles/minos_object.dir/descriptor.cc.o.d"
+  "CMakeFiles/minos_object.dir/multimedia_object.cc.o"
+  "CMakeFiles/minos_object.dir/multimedia_object.cc.o.d"
+  "CMakeFiles/minos_object.dir/part_codec.cc.o"
+  "CMakeFiles/minos_object.dir/part_codec.cc.o.d"
+  "libminos_object.a"
+  "libminos_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/obs/export.cc" "src/minos/obs/CMakeFiles/minos_obs.dir/export.cc.o" "gcc" "src/minos/obs/CMakeFiles/minos_obs.dir/export.cc.o.d"
+  "/root/repo/src/minos/obs/json.cc" "src/minos/obs/CMakeFiles/minos_obs.dir/json.cc.o" "gcc" "src/minos/obs/CMakeFiles/minos_obs.dir/json.cc.o.d"
+  "/root/repo/src/minos/obs/metrics.cc" "src/minos/obs/CMakeFiles/minos_obs.dir/metrics.cc.o" "gcc" "src/minos/obs/CMakeFiles/minos_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/minos/obs/trace.cc" "src/minos/obs/CMakeFiles/minos_obs.dir/trace.cc.o" "gcc" "src/minos/obs/CMakeFiles/minos_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_obs.dir/export.cc.o"
+  "CMakeFiles/minos_obs.dir/export.cc.o.d"
+  "CMakeFiles/minos_obs.dir/json.cc.o"
+  "CMakeFiles/minos_obs.dir/json.cc.o.d"
+  "CMakeFiles/minos_obs.dir/metrics.cc.o"
+  "CMakeFiles/minos_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/minos_obs.dir/trace.cc.o"
+  "CMakeFiles/minos_obs.dir/trace.cc.o.d"
+  "libminos_obs.a"
+  "libminos_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

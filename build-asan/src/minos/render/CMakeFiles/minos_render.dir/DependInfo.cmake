@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/render/export.cc" "src/minos/render/CMakeFiles/minos_render.dir/export.cc.o" "gcc" "src/minos/render/CMakeFiles/minos_render.dir/export.cc.o.d"
+  "/root/repo/src/minos/render/font5x7.cc" "src/minos/render/CMakeFiles/minos_render.dir/font5x7.cc.o" "gcc" "src/minos/render/CMakeFiles/minos_render.dir/font5x7.cc.o.d"
+  "/root/repo/src/minos/render/screen.cc" "src/minos/render/CMakeFiles/minos_render.dir/screen.cc.o" "gcc" "src/minos/render/CMakeFiles/minos_render.dir/screen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/image/CMakeFiles/minos_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/text/CMakeFiles/minos_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

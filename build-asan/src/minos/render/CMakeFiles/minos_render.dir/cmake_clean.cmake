@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_render.dir/export.cc.o"
+  "CMakeFiles/minos_render.dir/export.cc.o.d"
+  "CMakeFiles/minos_render.dir/font5x7.cc.o"
+  "CMakeFiles/minos_render.dir/font5x7.cc.o.d"
+  "CMakeFiles/minos_render.dir/screen.cc.o"
+  "CMakeFiles/minos_render.dir/screen.cc.o.d"
+  "libminos_render.a"
+  "libminos_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

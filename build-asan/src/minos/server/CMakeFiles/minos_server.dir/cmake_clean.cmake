@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_server.dir/fault.cc.o"
+  "CMakeFiles/minos_server.dir/fault.cc.o.d"
+  "CMakeFiles/minos_server.dir/link.cc.o"
+  "CMakeFiles/minos_server.dir/link.cc.o.d"
+  "CMakeFiles/minos_server.dir/object_server.cc.o"
+  "CMakeFiles/minos_server.dir/object_server.cc.o.d"
+  "CMakeFiles/minos_server.dir/prefetch.cc.o"
+  "CMakeFiles/minos_server.dir/prefetch.cc.o.d"
+  "CMakeFiles/minos_server.dir/workstation.cc.o"
+  "CMakeFiles/minos_server.dir/workstation.cc.o.d"
+  "libminos_server.a"
+  "libminos_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/storage/archiver.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/archiver.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/archiver.cc.o.d"
+  "/root/repo/src/minos/storage/block_cache.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/block_cache.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/block_cache.cc.o.d"
+  "/root/repo/src/minos/storage/block_device.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/block_device.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/minos/storage/composition_file.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/composition_file.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/composition_file.cc.o.d"
+  "/root/repo/src/minos/storage/data_directory.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/data_directory.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/data_directory.cc.o.d"
+  "/root/repo/src/minos/storage/file_store.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/file_store.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/file_store.cc.o.d"
+  "/root/repo/src/minos/storage/request_scheduler.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/request_scheduler.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/request_scheduler.cc.o.d"
+  "/root/repo/src/minos/storage/version_store.cc" "src/minos/storage/CMakeFiles/minos_storage.dir/version_store.cc.o" "gcc" "src/minos/storage/CMakeFiles/minos_storage.dir/version_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_storage.dir/archiver.cc.o"
+  "CMakeFiles/minos_storage.dir/archiver.cc.o.d"
+  "CMakeFiles/minos_storage.dir/block_cache.cc.o"
+  "CMakeFiles/minos_storage.dir/block_cache.cc.o.d"
+  "CMakeFiles/minos_storage.dir/block_device.cc.o"
+  "CMakeFiles/minos_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/minos_storage.dir/composition_file.cc.o"
+  "CMakeFiles/minos_storage.dir/composition_file.cc.o.d"
+  "CMakeFiles/minos_storage.dir/data_directory.cc.o"
+  "CMakeFiles/minos_storage.dir/data_directory.cc.o.d"
+  "CMakeFiles/minos_storage.dir/file_store.cc.o"
+  "CMakeFiles/minos_storage.dir/file_store.cc.o.d"
+  "CMakeFiles/minos_storage.dir/request_scheduler.cc.o"
+  "CMakeFiles/minos_storage.dir/request_scheduler.cc.o.d"
+  "CMakeFiles/minos_storage.dir/version_store.cc.o"
+  "CMakeFiles/minos_storage.dir/version_store.cc.o.d"
+  "libminos_storage.a"
+  "libminos_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/text/document.cc" "src/minos/text/CMakeFiles/minos_text.dir/document.cc.o" "gcc" "src/minos/text/CMakeFiles/minos_text.dir/document.cc.o.d"
+  "/root/repo/src/minos/text/formatter.cc" "src/minos/text/CMakeFiles/minos_text.dir/formatter.cc.o" "gcc" "src/minos/text/CMakeFiles/minos_text.dir/formatter.cc.o.d"
+  "/root/repo/src/minos/text/markup.cc" "src/minos/text/CMakeFiles/minos_text.dir/markup.cc.o" "gcc" "src/minos/text/CMakeFiles/minos_text.dir/markup.cc.o.d"
+  "/root/repo/src/minos/text/search.cc" "src/minos/text/CMakeFiles/minos_text.dir/search.cc.o" "gcc" "src/minos/text/CMakeFiles/minos_text.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

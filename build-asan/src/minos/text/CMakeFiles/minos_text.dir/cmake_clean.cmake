@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_text.dir/document.cc.o"
+  "CMakeFiles/minos_text.dir/document.cc.o.d"
+  "CMakeFiles/minos_text.dir/formatter.cc.o"
+  "CMakeFiles/minos_text.dir/formatter.cc.o.d"
+  "CMakeFiles/minos_text.dir/markup.cc.o"
+  "CMakeFiles/minos_text.dir/markup.cc.o.d"
+  "CMakeFiles/minos_text.dir/search.cc.o"
+  "CMakeFiles/minos_text.dir/search.cc.o.d"
+  "libminos_text.a"
+  "libminos_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/util/clock.cc" "src/minos/util/CMakeFiles/minos_util.dir/clock.cc.o" "gcc" "src/minos/util/CMakeFiles/minos_util.dir/clock.cc.o.d"
+  "/root/repo/src/minos/util/coding.cc" "src/minos/util/CMakeFiles/minos_util.dir/coding.cc.o" "gcc" "src/minos/util/CMakeFiles/minos_util.dir/coding.cc.o.d"
+  "/root/repo/src/minos/util/logging.cc" "src/minos/util/CMakeFiles/minos_util.dir/logging.cc.o" "gcc" "src/minos/util/CMakeFiles/minos_util.dir/logging.cc.o.d"
+  "/root/repo/src/minos/util/random.cc" "src/minos/util/CMakeFiles/minos_util.dir/random.cc.o" "gcc" "src/minos/util/CMakeFiles/minos_util.dir/random.cc.o.d"
+  "/root/repo/src/minos/util/status.cc" "src/minos/util/CMakeFiles/minos_util.dir/status.cc.o" "gcc" "src/minos/util/CMakeFiles/minos_util.dir/status.cc.o.d"
+  "/root/repo/src/minos/util/string_util.cc" "src/minos/util/CMakeFiles/minos_util.dir/string_util.cc.o" "gcc" "src/minos/util/CMakeFiles/minos_util.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

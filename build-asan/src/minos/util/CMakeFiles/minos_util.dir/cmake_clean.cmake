@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_util.dir/clock.cc.o"
+  "CMakeFiles/minos_util.dir/clock.cc.o.d"
+  "CMakeFiles/minos_util.dir/coding.cc.o"
+  "CMakeFiles/minos_util.dir/coding.cc.o.d"
+  "CMakeFiles/minos_util.dir/logging.cc.o"
+  "CMakeFiles/minos_util.dir/logging.cc.o.d"
+  "CMakeFiles/minos_util.dir/random.cc.o"
+  "CMakeFiles/minos_util.dir/random.cc.o.d"
+  "CMakeFiles/minos_util.dir/status.cc.o"
+  "CMakeFiles/minos_util.dir/status.cc.o.d"
+  "CMakeFiles/minos_util.dir/string_util.cc.o"
+  "CMakeFiles/minos_util.dir/string_util.cc.o.d"
+  "libminos_util.a"
+  "libminos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

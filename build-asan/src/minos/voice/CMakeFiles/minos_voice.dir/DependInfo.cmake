@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minos/voice/audio_pages.cc" "src/minos/voice/CMakeFiles/minos_voice.dir/audio_pages.cc.o" "gcc" "src/minos/voice/CMakeFiles/minos_voice.dir/audio_pages.cc.o.d"
+  "/root/repo/src/minos/voice/pause.cc" "src/minos/voice/CMakeFiles/minos_voice.dir/pause.cc.o" "gcc" "src/minos/voice/CMakeFiles/minos_voice.dir/pause.cc.o.d"
+  "/root/repo/src/minos/voice/pcm.cc" "src/minos/voice/CMakeFiles/minos_voice.dir/pcm.cc.o" "gcc" "src/minos/voice/CMakeFiles/minos_voice.dir/pcm.cc.o.d"
+  "/root/repo/src/minos/voice/recognizer.cc" "src/minos/voice/CMakeFiles/minos_voice.dir/recognizer.cc.o" "gcc" "src/minos/voice/CMakeFiles/minos_voice.dir/recognizer.cc.o.d"
+  "/root/repo/src/minos/voice/synthesizer.cc" "src/minos/voice/CMakeFiles/minos_voice.dir/synthesizer.cc.o" "gcc" "src/minos/voice/CMakeFiles/minos_voice.dir/synthesizer.cc.o.d"
+  "/root/repo/src/minos/voice/voice_document.cc" "src/minos/voice/CMakeFiles/minos_voice.dir/voice_document.cc.o" "gcc" "src/minos/voice/CMakeFiles/minos_voice.dir/voice_document.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/text/CMakeFiles/minos_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

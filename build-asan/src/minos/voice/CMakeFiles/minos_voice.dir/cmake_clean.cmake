@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_voice.dir/audio_pages.cc.o"
+  "CMakeFiles/minos_voice.dir/audio_pages.cc.o.d"
+  "CMakeFiles/minos_voice.dir/pause.cc.o"
+  "CMakeFiles/minos_voice.dir/pause.cc.o.d"
+  "CMakeFiles/minos_voice.dir/pcm.cc.o"
+  "CMakeFiles/minos_voice.dir/pcm.cc.o.d"
+  "CMakeFiles/minos_voice.dir/recognizer.cc.o"
+  "CMakeFiles/minos_voice.dir/recognizer.cc.o.d"
+  "CMakeFiles/minos_voice.dir/synthesizer.cc.o"
+  "CMakeFiles/minos_voice.dir/synthesizer.cc.o.d"
+  "CMakeFiles/minos_voice.dir/voice_document.cc.o"
+  "CMakeFiles/minos_voice.dir/voice_document.cc.o.d"
+  "libminos_voice.a"
+  "libminos_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

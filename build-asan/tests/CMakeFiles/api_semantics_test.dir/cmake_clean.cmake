@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_semantics_test.dir/api_semantics_test.cc.o"
+  "CMakeFiles/api_semantics_test.dir/api_semantics_test.cc.o.d"
+  "api_semantics_test"
+  "api_semantics_test.pdb"
+  "api_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

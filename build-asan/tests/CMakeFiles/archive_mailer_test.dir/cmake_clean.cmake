@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_mailer_test.dir/archive_mailer_test.cc.o"
+  "CMakeFiles/archive_mailer_test.dir/archive_mailer_test.cc.o.d"
+  "archive_mailer_test"
+  "archive_mailer_test.pdb"
+  "archive_mailer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_mailer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

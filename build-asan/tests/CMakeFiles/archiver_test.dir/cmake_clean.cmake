@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archiver_test.dir/archiver_test.cc.o"
+  "CMakeFiles/archiver_test.dir/archiver_test.cc.o.d"
+  "archiver_test"
+  "archiver_test.pdb"
+  "archiver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archiver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_browser_test.dir/audio_browser_test.cc.o"
+  "CMakeFiles/audio_browser_test.dir/audio_browser_test.cc.o.d"
+  "audio_browser_test"
+  "audio_browser_test.pdb"
+  "audio_browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

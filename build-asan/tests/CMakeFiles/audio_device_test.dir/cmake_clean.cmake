@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_device_test.dir/audio_device_test.cc.o"
+  "CMakeFiles/audio_device_test.dir/audio_device_test.cc.o.d"
+  "audio_device_test"
+  "audio_device_test.pdb"
+  "audio_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_pages_test.dir/audio_pages_test.cc.o"
+  "CMakeFiles/audio_pages_test.dir/audio_pages_test.cc.o.d"
+  "audio_pages_test"
+  "audio_pages_test.pdb"
+  "audio_pages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_pages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

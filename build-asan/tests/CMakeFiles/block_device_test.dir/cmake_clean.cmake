@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_device_test.dir/block_device_test.cc.o"
+  "CMakeFiles/block_device_test.dir/block_device_test.cc.o.d"
+  "block_device_test"
+  "block_device_test.pdb"
+  "block_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

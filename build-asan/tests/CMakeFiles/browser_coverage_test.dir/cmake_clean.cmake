@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_coverage_test.dir/browser_coverage_test.cc.o"
+  "CMakeFiles/browser_coverage_test.dir/browser_coverage_test.cc.o.d"
+  "browser_coverage_test"
+  "browser_coverage_test.pdb"
+  "browser_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_random_test.dir/clock_random_test.cc.o"
+  "CMakeFiles/clock_random_test.dir/clock_random_test.cc.o.d"
+  "clock_random_test"
+  "clock_random_test.pdb"
+  "clock_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

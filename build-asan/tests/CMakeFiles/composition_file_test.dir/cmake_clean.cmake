@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_file_test.dir/composition_file_test.cc.o"
+  "CMakeFiles/composition_file_test.dir/composition_file_test.cc.o.d"
+  "composition_file_test"
+  "composition_file_test.pdb"
+  "composition_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compositor_test.dir/compositor_test.cc.o"
+  "CMakeFiles/compositor_test.dir/compositor_test.cc.o.d"
+  "compositor_test"
+  "compositor_test.pdb"
+  "compositor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compositor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_fuzz_test.dir/corruption_fuzz_test.cc.o"
+  "CMakeFiles/corruption_fuzz_test.dir/corruption_fuzz_test.cc.o.d"
+  "corruption_fuzz_test"
+  "corruption_fuzz_test.pdb"
+  "corruption_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_directory_test.dir/data_directory_test.cc.o"
+  "CMakeFiles/data_directory_test.dir/data_directory_test.cc.o.d"
+  "data_directory_test"
+  "data_directory_test.pdb"
+  "data_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

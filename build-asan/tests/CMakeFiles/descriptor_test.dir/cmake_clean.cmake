@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptor_test.dir/descriptor_test.cc.o"
+  "CMakeFiles/descriptor_test.dir/descriptor_test.cc.o.d"
+  "descriptor_test"
+  "descriptor_test.pdb"
+  "descriptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

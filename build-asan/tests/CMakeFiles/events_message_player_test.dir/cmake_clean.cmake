@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/events_message_player_test.dir/events_message_player_test.cc.o"
+  "CMakeFiles/events_message_player_test.dir/events_message_player_test.cc.o.d"
+  "events_message_player_test"
+  "events_message_player_test.pdb"
+  "events_message_player_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/events_message_player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphics_test.dir/graphics_test.cc.o"
+  "CMakeFiles/graphics_test.dir/graphics_test.cc.o.d"
+  "graphics_test"
+  "graphics_test.pdb"
+  "graphics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

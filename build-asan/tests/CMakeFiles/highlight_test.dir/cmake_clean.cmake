@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highlight_test.dir/highlight_test.cc.o"
+  "CMakeFiles/highlight_test.dir/highlight_test.cc.o.d"
+  "highlight_test"
+  "highlight_test.pdb"
+  "highlight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highlight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

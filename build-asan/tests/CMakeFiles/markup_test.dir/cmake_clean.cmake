@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markup_test.dir/markup_test.cc.o"
+  "CMakeFiles/markup_test.dir/markup_test.cc.o.d"
+  "markup_test"
+  "markup_test.pdb"
+  "markup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

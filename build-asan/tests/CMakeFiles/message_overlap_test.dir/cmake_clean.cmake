@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_overlap_test.dir/message_overlap_test.cc.o"
+  "CMakeFiles/message_overlap_test.dir/message_overlap_test.cc.o.d"
+  "message_overlap_test"
+  "message_overlap_test.pdb"
+  "message_overlap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_registry_test.dir/metrics_registry_test.cc.o"
+  "CMakeFiles/metrics_registry_test.dir/metrics_registry_test.cc.o.d"
+  "metrics_registry_test"
+  "metrics_registry_test.pdb"
+  "metrics_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniature_view_tour_test.dir/miniature_view_tour_test.cc.o"
+  "CMakeFiles/miniature_view_tour_test.dir/miniature_view_tour_test.cc.o.d"
+  "miniature_view_tour_test"
+  "miniature_view_tour_test.pdb"
+  "miniature_view_tour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniature_view_tour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

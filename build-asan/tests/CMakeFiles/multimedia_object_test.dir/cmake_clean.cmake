@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_object_test.dir/multimedia_object_test.cc.o"
+  "CMakeFiles/multimedia_object_test.dir/multimedia_object_test.cc.o.d"
+  "multimedia_object_test"
+  "multimedia_object_test.pdb"
+  "multimedia_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

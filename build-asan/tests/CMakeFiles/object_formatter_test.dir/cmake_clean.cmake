@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_formatter_test.dir/object_formatter_test.cc.o"
+  "CMakeFiles/object_formatter_test.dir/object_formatter_test.cc.o.d"
+  "object_formatter_test"
+  "object_formatter_test.pdb"
+  "object_formatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_formatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

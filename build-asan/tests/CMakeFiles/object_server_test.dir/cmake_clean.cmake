@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_server_test.dir/object_server_test.cc.o"
+  "CMakeFiles/object_server_test.dir/object_server_test.cc.o.d"
+  "object_server_test"
+  "object_server_test.pdb"
+  "object_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pause_test.dir/pause_test.cc.o"
+  "CMakeFiles/pause_test.dir/pause_test.cc.o.d"
+  "pause_test"
+  "pause_test.pdb"
+  "pause_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pause_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_synthesizer_test.dir/pcm_synthesizer_test.cc.o"
+  "CMakeFiles/pcm_synthesizer_test.dir/pcm_synthesizer_test.cc.o.d"
+  "pcm_synthesizer_test"
+  "pcm_synthesizer_test.pdb"
+  "pcm_synthesizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_synthesizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

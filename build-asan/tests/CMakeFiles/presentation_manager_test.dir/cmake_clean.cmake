@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presentation_manager_test.dir/presentation_manager_test.cc.o"
+  "CMakeFiles/presentation_manager_test.dir/presentation_manager_test.cc.o.d"
+  "presentation_manager_test"
+  "presentation_manager_test.pdb"
+  "presentation_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presentation_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recognizer_test.dir/recognizer_test.cc.o"
+  "CMakeFiles/recognizer_test.dir/recognizer_test.cc.o.d"
+  "recognizer_test"
+  "recognizer_test.pdb"
+  "recognizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recognizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

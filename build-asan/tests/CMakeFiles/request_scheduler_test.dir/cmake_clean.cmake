@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_scheduler_test.dir/request_scheduler_test.cc.o"
+  "CMakeFiles/request_scheduler_test.dir/request_scheduler_test.cc.o.d"
+  "request_scheduler_test"
+  "request_scheduler_test.pdb"
+  "request_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

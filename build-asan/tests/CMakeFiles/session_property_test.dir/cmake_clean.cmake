@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_property_test.dir/session_property_test.cc.o"
+  "CMakeFiles/session_property_test.dir/session_property_test.cc.o.d"
+  "session_property_test"
+  "session_property_test.pdb"
+  "session_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/status_test.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/status_test.dir/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/minos/server/CMakeFiles/minos_server.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/core/CMakeFiles/minos_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/format/CMakeFiles/minos_format.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/object/CMakeFiles/minos_object.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/render/CMakeFiles/minos_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/audio/CMakeFiles/minos_audio.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/image/CMakeFiles/minos_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/voice/CMakeFiles/minos_voice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/text/CMakeFiles/minos_text.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/storage/CMakeFiles/minos_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/obs/CMakeFiles/minos_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minos/util/CMakeFiles/minos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_logging_test.dir/structured_logging_test.cc.o"
+  "CMakeFiles/structured_logging_test.dir/structured_logging_test.cc.o.d"
+  "structured_logging_test"
+  "structured_logging_test.pdb"
+  "structured_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_integration_test.dir/symmetry_integration_test.cc.o"
+  "CMakeFiles/symmetry_integration_test.dir/symmetry_integration_test.cc.o.d"
+  "symmetry_integration_test"
+  "symmetry_integration_test.pdb"
+  "symmetry_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

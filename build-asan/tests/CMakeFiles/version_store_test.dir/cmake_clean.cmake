@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_store_test.dir/version_store_test.cc.o"
+  "CMakeFiles/version_store_test.dir/version_store_test.cc.o.d"
+  "version_store_test"
+  "version_store_test.pdb"
+  "version_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

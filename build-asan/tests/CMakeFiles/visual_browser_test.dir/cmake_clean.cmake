@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_browser_test.dir/visual_browser_test.cc.o"
+  "CMakeFiles/visual_browser_test.dir/visual_browser_test.cc.o.d"
+  "visual_browser_test"
+  "visual_browser_test.pdb"
+  "visual_browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

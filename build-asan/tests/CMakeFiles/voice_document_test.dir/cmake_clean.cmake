@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_document_test.dir/voice_document_test.cc.o"
+  "CMakeFiles/voice_document_test.dir/voice_document_test.cc.o.d"
+  "voice_document_test"
+  "voice_document_test.pdb"
+  "voice_document_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minos_render_cli.dir/minos_render.cc.o"
+  "CMakeFiles/minos_render_cli.dir/minos_render.cc.o.d"
+  "minos-render"
+  "minos-render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minos_render_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
