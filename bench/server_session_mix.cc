@@ -62,16 +62,19 @@ int Run() {
                                 addr->length / kBlockSize + 1);
   }
 
-  // Op generator: each user issues 12 ops over 2 seconds.
-  auto make_ops = [&](int users, uint64_t seed) {
+  // Op generator: each user issues 12 ops over 2 seconds. With more
+  // than one shard the ops partition by the object's owning shard
+  // (round-robin over the catalog, the router's balanced placement) and
+  // each shard's arm serves only its own share.
+  auto make_ops = [&](int users, int shards, uint64_t seed) {
     Random rng(seed);
-    std::vector<IoRequest> reqs;
+    std::vector<std::vector<IoRequest>> reqs(shards);
     std::map<uint64_t, OpType> op_of;
     uint64_t id = 0;
     for (int u = 0; u < users; ++u) {
       for (int k = 0; k < 12; ++k) {
-        const auto& [obj_block, obj_blocks] =
-            object_extents[rng.Uniform(object_extents.size())];
+        const size_t pick = rng.Uniform(object_extents.size());
+        const auto& [obj_block, obj_blocks] = object_extents[pick];
         const double dice = rng.NextDouble();
         IoRequest req;
         req.id = id;
@@ -90,42 +93,52 @@ int Run() {
           op_of[id] = OpType::kViewRow;
         }
         ++id;
-        reqs.push_back(req);
+        reqs[pick % shards].push_back(req);
       }
     }
     return std::make_pair(reqs, op_of);
   };
 
-  std::printf("%-8s %-8s %-16s %-16s %-16s\n", "users", "policy",
-              "fetch_ms", "miniature_ms", "view_row_ms");
+  std::printf("%-8s %-8s %-8s %-16s %-16s %-16s\n", "users", "shards",
+              "policy", "fetch_ms", "miniature_ms", "view_row_ms");
   for (int users : {4, 16, 48}) {
-    for (SchedulingPolicy policy :
-         {SchedulingPolicy::kFcfs, SchedulingPolicy::kScan}) {
-      SimClock clock;
-      storage::BlockDevice device("optical", 1 << 16, kBlockSize,
-                                  storage::DeviceCostModel::OpticalDisk(),
-                                  false, &clock);
-      RequestScheduler scheduler(&device, policy);
-      auto [reqs, op_of] = make_ops(users, 1234);
-      const auto done = scheduler.Run(reqs);
-      std::map<uint64_t, Micros> arrival;
-      for (const IoRequest& r : reqs) arrival[r.id] = r.arrival_time;
-      double sum[3] = {0, 0, 0};
-      int n[3] = {0, 0, 0};
-      for (const auto& c : done) {
-        const int t = static_cast<int>(op_of[c.id]);
-        sum[t] += static_cast<double>(c.completion_time - arrival[c.id]);
-        ++n[t];
+    for (int shards : {1, 4}) {
+      for (SchedulingPolicy policy :
+           {SchedulingPolicy::kFcfs, SchedulingPolicy::kScan}) {
+        auto [shard_reqs, op_of] = make_ops(users, shards, 1234);
+        double sum[3] = {0, 0, 0};
+        int n[3] = {0, 0, 0};
+        // Each shard's device and arm are independent — the shards run
+        // in parallel in the modeled system, so their replays do not
+        // share a clock and response times never queue across shards.
+        for (int s = 0; s < shards; ++s) {
+          SimClock clock;
+          storage::BlockDevice device("optical", 1 << 16, kBlockSize,
+                                      storage::DeviceCostModel::OpticalDisk(),
+                                      false, &clock);
+          RequestScheduler scheduler(&device, policy);
+          std::map<uint64_t, Micros> arrival;
+          for (const IoRequest& r : shard_reqs[s]) {
+            arrival[r.id] = r.arrival_time;
+          }
+          for (const auto& c : scheduler.Run(shard_reqs[s])) {
+            const int t = static_cast<int>(op_of[c.id]);
+            sum[t] += static_cast<double>(c.completion_time - arrival[c.id]);
+            ++n[t];
+          }
+        }
+        std::printf("%-8d %-8d %-8s %-16.0f %-16.0f %-16.0f\n", users,
+                    shards, SchedulingPolicyName(policy),
+                    n[0] ? sum[0] / n[0] / 1000 : 0,
+                    n[1] ? sum[1] / n[1] / 1000 : 0,
+                    n[2] ? sum[2] / n[2] / 1000 : 0);
       }
-      std::printf("%-8d %-8s %-16.0f %-16.0f %-16.0f\n", users,
-                  SchedulingPolicyName(policy),
-                  n[0] ? sum[0] / n[0] / 1000 : 0,
-                  n[1] ? sum[1] / n[1] / 1000 : 0,
-                  n[2] ? sum[2] / n[2] / 1000 : 0);
     }
   }
   std::printf("observation=small interactive ops (view rows, miniatures) "
-              "queue behind whole-object fetches; SCAN narrows the gap\n");
+              "queue behind whole-object fetches; SCAN narrows the gap and "
+              "sharding the catalog over 4 arms cuts queueing at high "
+              "user counts\n");
   return 0;
 }
 

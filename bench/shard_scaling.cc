@@ -1,0 +1,291 @@
+// SHARD-1: does the sharded archive actually scale, and does it bend
+// instead of breaking? Phase one runs the same content-query workload
+// against 1..4 object-server shards behind the ShardRouter and reports
+// scatter/gather throughput — the gate requires strictly more queries
+// per second at every step up in shard count. Phase two kills one shard
+// of a four-shard fabric mid-run (drop-everything fault injector, so its
+// circuit breaker trips) and requires the surviving shards to keep
+// serving complete query results with bounded latency, the prefetch
+// pipeline to keep staging pages over the failover route, and the dead
+// shard to rejoin after its breaker cooldown.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minos/core/visual_browser.h"
+#include "minos/obs/metrics.h"
+#include "minos/server/shard_router.h"
+#include "minos/server/workstation.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
+#include "minos/text/formatter.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+using storage::ObjectId;
+
+/// One shard's full stack: its own archive device, cache, version store
+/// and link, so per-shard faults and breakers stay independent.
+struct ShardStack {
+  explicit ShardStack(SimClock* clock)
+      : device("shard", 65536, 512, storage::DeviceCostModel::OpticalDisk(),
+               true, clock),
+        // Generous per-shard cache: the bench measures routing and link
+        // behaviour, not cache-thrash seek storms.
+        cache(1024),
+        archiver(&device, &cache),
+        link(server::Link::Ethernet(clock)),
+        server(&archiver, &versions, clock, &link) {}
+
+  storage::BlockDevice device;
+  storage::BlockCache cache;
+  storage::Archiver archiver;
+  storage::VersionStore versions;
+  server::Link link;
+  server::ObjectServer server;
+};
+
+/// Round-robin placement: perfect balance for the dense id range the
+/// bench stores, so per-shard gather shares shrink exactly as 1/n.
+server::ShardPlacement RoundRobin() {
+  return [](ObjectId id, size_t shard_count) -> size_t {
+    return static_cast<size_t>((id - 1) % shard_count);
+  };
+}
+
+/// A report whose pages carry real transfer weight (the prefetch bench's
+/// object shape): formatted text plus a bitmap on every other page.
+object::MultimediaObject PagedObject(ObjectId id, int paragraphs) {
+  object::MultimediaObject obj(id);
+  obj.descriptor().layout.width = 48;
+  obj.descriptor().layout.height = 12;
+  obj.SetTextPart(bench::LongReport(paragraphs)).ok();
+  text::TextFormatter formatter(obj.descriptor().layout);
+  const size_t pages = formatter.Paginate(obj.text_part()).value().size();
+  for (size_t i = 0; i < pages; ++i) {
+    object::VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    obj.descriptor().pages.push_back(page);
+  }
+  for (size_t i = 0; i < pages; i += 2) {
+    const uint32_t index = obj.AddImage(bench::XrayBitmap(96, 72)).value();
+    object::PlacedImage placed;
+    placed.image_index = index;
+    placed.placement = image::Rect{180, 20, 96, 72};
+    obj.descriptor().pages[i].images.push_back(placed);
+  }
+  obj.Archive().ok();
+  return obj;
+}
+
+/// A light text-only object for the throughput sweep.
+object::MultimediaObject TextObject(ObjectId id) {
+  object::MultimediaObject obj(id);
+  obj.SetTextPart(bench::LongReport(2)).ok();
+  object::VisualPageSpec page;
+  page.text_page = 1;
+  obj.descriptor().pages.push_back(page);
+  obj.Archive().ok();
+  return obj;
+}
+
+constexpr int kObjects = 24;
+constexpr int kQueries = 12;
+
+int Run() {
+  bench::PrintHeader("shard_scaling",
+                     "scatter/gather throughput vs shard count");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  Micros total_sim_time = 0;
+
+  // --- Phase 1: throughput sweep over shard counts ----------------------
+  std::printf("%-8s %-12s %-12s %-10s\n", "shards", "query_ms", "qps",
+              "cards");
+  std::vector<double> qps_by_n;
+  for (size_t n = 1; n <= 4; ++n) {
+    SimClock clock;
+    std::vector<std::unique_ptr<ShardStack>> stacks;
+    std::vector<server::ObjectServer*> servers;
+    for (size_t i = 0; i < n; ++i) {
+      stacks.push_back(std::make_unique<ShardStack>(&clock));
+      servers.push_back(&stacks.back()->server);
+    }
+    server::ShardRouter router(servers, &clock, RoundRobin(),
+                               server::ShardRouterOptions{});
+    for (ObjectId id = 1; id <= kObjects; ++id) {
+      if (!router.Store(TextObject(id)).ok()) return 1;
+    }
+
+    const Micros sweep_start = clock.Now();
+    size_t cards = 0;
+    obs::Histogram* query_us = reg.histogram(
+        "shard_scaling.shards_" + std::to_string(n) + ".query_us");
+    for (int q = 0; q < kQueries; ++q) {
+      const Micros start = clock.Now();
+      auto got = router.GatherCards({"report"});
+      if (!got.ok() || got->size() != kObjects) {
+        std::printf("FAIL: %zu-shard query returned %zu cards\n", n,
+                    got.ok() ? got->size() : 0);
+        return 1;
+      }
+      cards = got->size();
+      query_us->Record(static_cast<double>(clock.Now() - start));
+    }
+    const Micros elapsed = clock.Now() - sweep_start;
+    const double qps =
+        kQueries / (static_cast<double>(elapsed) / 1000000.0);
+    reg.gauge("shard_scaling.shards_" + std::to_string(n) + ".qps")
+        ->Set(qps);
+    qps_by_n.push_back(qps);
+    std::printf("%-8zu %-12.1f %-12.2f %-10zu\n", n,
+                static_cast<double>(elapsed) / kQueries / 1000.0, qps,
+                cards);
+    total_sim_time += clock.Now();
+  }
+  for (size_t n = 1; n < qps_by_n.size(); ++n) {
+    if (!(qps_by_n[n] > qps_by_n[n - 1])) {
+      std::printf("FAIL: throughput is not monotonic: %zu shards %.2f qps "
+                  "<= %zu shards %.2f qps\n",
+                  n + 1, qps_by_n[n], n, qps_by_n[n - 1]);
+      return 1;
+    }
+  }
+  std::printf("gate: throughput scales monotonically 1->4 shards\n");
+
+  // --- Phase 2: single-shard loss on a four-shard fabric ----------------
+  // Paged objects give the prefetch pipeline pages to stage while one
+  // shard of the fabric is dark.
+  SimClock clock;
+  std::vector<std::unique_ptr<ShardStack>> stacks;
+  std::vector<server::ObjectServer*> servers;
+  for (size_t i = 0; i < 4; ++i) {
+    stacks.push_back(std::make_unique<ShardStack>(&clock));
+    servers.push_back(&stacks.back()->server);
+  }
+  server::ShardRouter router(servers, &clock, RoundRobin(),
+                             server::ShardRouterOptions{});
+  constexpr int kPagedObjects = 8;
+  for (ObjectId id = 1; id <= kPagedObjects; ++id) {
+    if (!router.Store(PagedObject(id, 10)).ok()) return 1;
+  }
+
+  auto run_queries = [&](int count) -> double {
+    Micros sum = 0;
+    for (int q = 0; q < count; ++q) {
+      const Micros start = clock.Now();
+      auto got = router.GatherCards({"report"});
+      if (!got.ok() || got->size() != kPagedObjects) {
+        return -1.0;
+      }
+      sum += clock.Now() - start;
+    }
+    return static_cast<double>(sum) / count;
+  };
+
+  const double healthy_ms = run_queries(6) / 1000.0;
+  if (healthy_ms < 0) {
+    std::printf("FAIL: healthy 4-shard query lost cards\n");
+    return 1;
+  }
+
+  // Kill shard 0: every transfer drops, so its breaker trips open after
+  // three consecutive failures and stays open for a long cooldown.
+  server::CircuitBreaker::Options breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown_us = SecondsToMicros(30);
+  stacks[0]->link.ConfigureBreaker(breaker);
+  server::FaultProfile dead;
+  dead.drop_rate = 1.0;
+  server::FaultInjector injector(dead, 0x5AD, &clock);
+  stacks[0]->link.SetFaultInjector(&injector);
+
+  const int64_t failovers_before =
+      reg.counter("router.failovers_total")->value();
+  const double tripping_ms = run_queries(1) / 1000.0;  // Trips the breaker.
+  const double loss_ms = run_queries(5) / 1000.0;      // Steady-state loss.
+  if (tripping_ms < 0 || loss_ms < 0) {
+    std::printf("FAIL: query lost cards during single-shard loss\n");
+    return 1;
+  }
+  const int64_t failovers =
+      reg.counter("router.failovers_total")->value() - failovers_before;
+  std::printf("loss: healthy=%.1fms trip=%.1fms steady=%.1fms "
+              "failovers=%lld live=%zu\n",
+              healthy_ms, tripping_ms, loss_ms,
+              static_cast<long long>(failovers), router.live_count());
+  if (router.live_count() != 3 || failovers <= 0) {
+    std::printf("FAIL: shard loss not visible in the routing table "
+                "(live=%zu failovers=%lld)\n",
+                router.live_count(), static_cast<long long>(failovers));
+    return 1;
+  }
+  if (!(loss_ms < 3.0 * healthy_ms)) {
+    std::printf("FAIL: steady-state loss latency %.1fms is not bounded "
+                "(healthy %.1fms)\n",
+                loss_ms, healthy_ms);
+    return 1;
+  }
+  std::printf("gate: one dead shard keeps serving, steady latency "
+              "%.1fms < 3x healthy %.1fms\n",
+              loss_ms, healthy_ms);
+
+  // Browse an object whose primary is the dead shard: the prefetch
+  // pipeline must keep staging pages over the failover route.
+  auto prefetch_lookups = [&reg]() -> int64_t {
+    return reg.counter("prefetch.hits")->value() +
+           reg.counter("prefetch.partial_hits")->value() +
+           reg.counter("prefetch.misses")->value();
+  };
+  const int64_t prefetch_before = prefetch_lookups();
+  render::Screen screen;
+  server::Workstation workstation(&router, &screen, &clock);
+  workstation.EnablePrefetch(server::PrefetchOptions{});
+  if (!workstation.Present(1).ok()) {  // Primary of id 1 is dead shard 0.
+    std::printf("FAIL: presenting a dead-primary object did not fail "
+                "over to its replica\n");
+    return 1;
+  }
+  core::VisualBrowser* vb = workstation.presentation().visual_browser();
+  if (vb == nullptr) return 1;
+  for (int i = 0; i < 4; ++i) {
+    clock.Advance(MillisToMicros(120));  // The user reads the page.
+    if (!vb->NextPage().ok()) break;
+  }
+  const int64_t prefetch_ops = prefetch_lookups() - prefetch_before;
+  if (prefetch_ops <= 0) {
+    std::printf("FAIL: prefetch pipeline idle during shard loss\n");
+    return 1;
+  }
+  std::printf("gate: prefetch stayed live across failover "
+              "(%lld page lookups)\n",
+              static_cast<long long>(prefetch_ops));
+
+  // Heal: faults stop, the cooldown elapses, and the next routed read
+  // probes the half-open breaker back closed.
+  stacks[0]->link.SetFaultInjector(nullptr);
+  clock.Advance(breaker.cooldown_us + MillisToMicros(1));
+  if (run_queries(1) < 0) {
+    std::printf("FAIL: query lost cards during heal probe\n");
+    return 1;
+  }
+  if (!router.IsLive(0) || router.live_count() != 4) {
+    std::printf("FAIL: cooled-down shard did not rejoin (live=%zu)\n",
+                router.live_count());
+    return 1;
+  }
+  std::printf("gate: dead shard healed after cooldown, live=%zu\n",
+              router.live_count());
+
+  total_sim_time += clock.Now();
+  bench::NoteSimTime(total_sim_time);
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

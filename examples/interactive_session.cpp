@@ -11,26 +11,57 @@
 //   enter 0
 //   return
 //   quit" | ./build/examples/interactive_session
+//
+// The archive behind the session is sharded: two ObjectServer stacks
+// (each with its own optical platter, cache and link) sit behind a
+// ShardRouter, so `chaos` can darken one shard while the session keeps
+// browsing off the replica, and `topology` shows the routing table.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "minos/format/object_formatter.h"
 #include "minos/obs/export.h"
 #include "minos/obs/metrics.h"
 #include "minos/render/export.h"
 #include "minos/util/string_util.h"
-#include "minos/server/object_server.h"
+#include "minos/server/shard_router.h"
 #include "minos/server/workstation.h"
 
 using namespace minos;  // Example code only.
 
 namespace {
 
+/// One shard of the session's archive fabric: its own platter, cache,
+/// version store, link and fault injector, so chaos and breaker state
+/// stay per-shard.
+struct Shard {
+  Shard(SimClock* clock, uint64_t seed)
+      : device("optical", 1 << 14, 512,
+               storage::DeviceCostModel::OpticalDisk(), true, clock),
+        cache(256),
+        archiver(&device, &cache),
+        link(server::Link::Ethernet(clock)),
+        server(&archiver, &versions, clock, &link),
+        injector(server::FaultProfile::None(), seed, clock) {
+    link.SetFaultInjector(&injector);
+  }
+
+  storage::BlockDevice device;
+  storage::BlockCache cache;
+  storage::Archiver archiver;
+  storage::VersionStore versions;
+  server::Link link;
+  server::ObjectServer server;
+  server::FaultInjector injector;
+};
+
 /// Populates the archive with a few objects worth browsing.
-void Populate(server::ObjectServer* server) {
+void Populate(server::ShardRouter* router) {
   format::ObjectFormatter formatter;
   {
     format::ObjectWorkspace ws("radiology-note");
@@ -54,7 +85,7 @@ A short arm cast for three weeks, then a follow up radiograph.
     link.parent_text_anchor = object::TextAnchor{0, 40};
     obj->descriptor().relevant_objects.push_back(link);
     obj->Archive().ok();
-    server->Store(*obj).ok();
+    router->Store(*obj).ok();
   }
   {
     format::ObjectWorkspace ws("admissions-memo");
@@ -64,31 +95,35 @@ The hospital admitted the patient on Monday evening after the fall.
 )");
     auto obj = formatter.Format(ws, 2);
     obj->Archive().ok();
-    server->Store(*obj).ok();
+    router->Store(*obj).ok();
   }
+}
+
+const char* BreakerName(server::CircuitBreaker::State s) {
+  switch (s) {
+    case server::CircuitBreaker::State::kClosed: return "closed";
+    case server::CircuitBreaker::State::kOpen: return "open";
+    case server::CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
 }
 
 }  // namespace
 
 int main() {
   SimClock clock;
-  storage::BlockDevice optical("optical", 1 << 14, 512,
-                               storage::DeviceCostModel::OpticalDisk(),
-                               true, &clock);
-  storage::BlockCache cache(256);
-  storage::Archiver archiver(&optical, &cache);
-  storage::VersionStore versions;
-  server::Link link = server::Link::Ethernet(&clock);
-  server::ObjectServer server(&archiver, &versions, &clock, &link);
-  // Chaos harness: the injector sits on the link, disabled until the
-  // user toggles a profile with the `chaos` command.
-  server::FaultInjector injector(server::FaultProfile::None(), 0xC4A05,
-                                 &clock);
-  link.SetFaultInjector(&injector);
-  Populate(&server);
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.push_back(std::make_unique<Shard>(&clock, 0xC4A05));
+  shards.push_back(std::make_unique<Shard>(&clock, 0xC4A06));
+  std::vector<server::ObjectServer*> servers;
+  for (auto& shard : shards) servers.push_back(&shard->server);
+  // Replication 2 over 2 shards: every descriptor lives on both
+  // platters, so one dark shard degrades latency, not availability.
+  server::ShardRouter router(servers, &clock);
+  Populate(&router);
 
   render::Screen screen;
-  server::Workstation workstation(&server, &screen, &clock);
+  server::Workstation workstation(&router, &screen, &clock);
   core::PresentationManager& pm = workstation.presentation();
   std::unique_ptr<server::MiniatureBrowser> miniatures;
 
@@ -101,11 +136,11 @@ int main() {
     return b;
   };
 
-  std::printf("MINOS interactive session. Commands: query <word>, next "
-              "miniature, select, open <id>, menu, next, prev, goto <n>, "
-              "chapter, find <pattern>, indicators, enter <i>, return, "
-              "screen, stats [path], trace, chaos [off|flaky|storm], "
-              "quit\n");
+  std::printf("MINOS interactive session (2-shard archive). Commands: "
+              "query <word>, next miniature, select, open <id>, menu, "
+              "next, prev, goto <n>, chapter, find <pattern>, indicators, "
+              "enter <i>, return, screen, stats [path], trace, topology, "
+              "chaos [off|flaky|storm] [shard], quit\n");
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -197,12 +232,23 @@ int main() {
       } else {
         const obs::MetricsSnapshot snap =
             obs::MetricsRegistry::Default().Snapshot();
-        std::printf("cache: %llu hits / %llu misses, link: %llu bytes in "
-                    "%llu transfers\n",
-                    static_cast<unsigned long long>(cache.hits()),
-                    static_cast<unsigned long long>(cache.misses()),
-                    static_cast<unsigned long long>(link.bytes_transferred()),
-                    static_cast<unsigned long long>(link.transfer_count()));
+        for (size_t i = 0; i < shards.size(); ++i) {
+          std::printf("shard %zu: cache %llu hits / %llu misses, link "
+                      "%llu bytes in %llu transfers\n",
+                      i,
+                      static_cast<unsigned long long>(shards[i]->cache.hits()),
+                      static_cast<unsigned long long>(
+                          shards[i]->cache.misses()),
+                      static_cast<unsigned long long>(
+                          shards[i]->link.bytes_transferred()),
+                      static_cast<unsigned long long>(
+                          shards[i]->link.transfer_count()));
+        }
+        std::printf("router: %lld scatter queries, %lld failovers\n",
+                    static_cast<long long>(
+                        snap.CounterValue("router.scatter_queries")),
+                    static_cast<long long>(
+                        snap.CounterValue("router.failovers_total")));
         std::printf("navigation: %lld opens, %lld enters, depth=%.0f\n",
                     static_cast<long long>(
                         snap.CounterValue("presentation.opens")),
@@ -217,27 +263,57 @@ int main() {
       }
     } else if (cmd == "trace") {
       std::printf("%s\n", pm.tracer().ToJson().c_str());
+    } else if (cmd == "topology") {
+      // The routing table as the router sees it right now.
+      for (size_t i = 0; i < shards.size(); ++i) {
+        std::printf("shard %zu: %s (breaker %s, %llu faults injected, "
+                    "%zu objects)\n",
+                    i, router.IsLive(i) ? "live" : "lost",
+                    BreakerName(shards[i]->link.breaker().state()),
+                    static_cast<unsigned long long>(
+                        shards[i]->injector.faults_injected()),
+                    shards[i]->server.object_count());
+      }
+      std::printf("live %zu/%zu\n", router.live_count(),
+                  router.shard_count());
     } else if (cmd == "chaos") {
-      // Toggle fault profiles live; retries and degradation absorb what
-      // the injector throws at the session.
+      // Toggle fault profiles live, per shard or fleet-wide; retries,
+      // failover and degradation absorb what the injectors throw.
       std::string profile;
       in >> profile;
+      server::FaultProfile p;
       if (profile == "off") {
-        injector.set_profile(server::FaultProfile::None());
+        p = server::FaultProfile::None();
       } else if (profile == "flaky") {
-        injector.set_profile(server::FaultProfile::Flaky());
+        p = server::FaultProfile::Flaky();
       } else if (profile == "storm") {
-        injector.set_profile(server::FaultProfile::Storm());
+        p = server::FaultProfile::Storm();
       } else {
-        std::printf("! chaos profiles: off, flaky, storm\n");
+        std::printf("! chaos profiles: off, flaky, storm "
+                    "(optionally followed by a shard index)\n");
         continue;
       }
-      const server::FaultProfile& p = injector.profile();
-      std::printf("chaos %s: drop=%.0f%% timeout=%.0f%% corrupt=%.0f%% "
-                  "latency=%.0f%% (%llu faults injected so far)\n",
-                  profile.c_str(), p.drop_rate * 100, p.timeout_rate * 100,
+      size_t target = shards.size();  // Fleet-wide by default.
+      if (in >> target && target >= shards.size()) {
+        std::printf("! no shard %zu (have %zu)\n", target, shards.size());
+        continue;
+      }
+      uint64_t injected = 0;
+      for (size_t i = 0; i < shards.size(); ++i) {
+        if (target < shards.size() && i != target) continue;
+        shards[i]->injector.set_profile(p);
+        injected += shards[i]->injector.faults_injected();
+      }
+      std::printf("chaos %s on %s: drop=%.0f%% timeout=%.0f%% "
+                  "corrupt=%.0f%% latency=%.0f%% (%llu faults injected "
+                  "so far)\n",
+                  profile.c_str(),
+                  target < shards.size()
+                      ? ("shard " + std::to_string(target)).c_str()
+                      : "all shards",
+                  p.drop_rate * 100, p.timeout_rate * 100,
                   p.corrupt_rate * 100, p.latency_rate * 100,
-                  static_cast<unsigned long long>(injector.faults_injected()));
+                  static_cast<unsigned long long>(injected));
     } else {
       std::printf("! unknown command '%s'\n", cmd.c_str());
     }
@@ -248,9 +324,11 @@ int main() {
                   pm.current_degraded() ? ", degraded" : "");
     }
   }
+  uint64_t total_bytes = 0;
+  for (auto& shard : shards) total_bytes += shard->link.bytes_transferred();
   std::printf("session over: %zu presentation events, %llu bytes over "
-              "the link\n",
+              "%zu shard links\n",
               pm.log().size(),
-              static_cast<unsigned long long>(link.bytes_transferred()));
+              static_cast<unsigned long long>(total_bytes), shards.size());
   return 0;
 }

@@ -189,6 +189,15 @@ class CircuitBreaker {
   int consecutive_failures() const { return consecutive_failures_; }
   const Options& options() const { return options_; }
 
+  /// True when an open breaker has sat out its cooldown, so the next
+  /// Admit() would let a half-open probe through. Routing layers use
+  /// this to tell "dead, skip" from "dead, but due a probe" without
+  /// consuming the probe slot themselves.
+  bool CooldownElapsed() const {
+    return state_ == State::kOpen &&
+           clock_->Now() - opened_at_ >= options_.cooldown_us;
+  }
+
  private:
   void Open();
   void Close();

@@ -99,6 +99,17 @@ std::vector<ObjectId> ObjectServer::QueryAll(
   return result;
 }
 
+StatusOr<std::vector<MiniatureCard>> ObjectServer::GatherCards(
+    const std::vector<std::string>& words, int thumb_width) {
+  std::vector<MiniatureCard> cards;
+  for (ObjectId id : QueryAll(words)) {
+    MINOS_ASSIGN_OR_RETURN(MiniatureCard card,
+                           FetchMiniature(id, thumb_width));
+    cards.push_back(std::move(card));
+  }
+  return cards;
+}
+
 StatusOr<const ObjectServer::CatalogEntry*> ObjectServer::Lookup(
     ObjectId id) const {
   auto it = catalog_.find(id);
@@ -213,8 +224,36 @@ Status ObjectServer::StagePartRange(ObjectId id, std::string_view part_name,
       part.in_archiver
           ? part.offset
           : entry->address.offset + entry->payload_base + part.offset;
+  const uint64_t abs_offset = base + offset;
+  if (scheduler_ == nullptr) {
+    std::string scratch;
+    return archiver_->ReadRange(abs_offset, length, &scratch);
+  }
+  // Scheduler installed: replace the archiver's naive device charge with
+  // a lane-scheduled one. The read runs inline to learn which blocks
+  // actually missed the cache; the clock then rewinds and the miss, if
+  // any, is re-booked as an IoRequest in the lane the live Link scope
+  // implies — kBackground while a prefetch BackgroundScope is active,
+  // kForeground otherwise — so foreground page deliveries preempt
+  // speculative staging at the disk arm.
+  const bool background = link_ != nullptr && link_->in_background();
+  const Micros before = clock_->Now();
+  const uint64_t blocks_before = archiver_->device().stats().blocks_read;
   std::string scratch;
-  return archiver_->ReadRange(base + offset, length, &scratch);
+  MINOS_RETURN_IF_ERROR(archiver_->ReadRange(abs_offset, length, &scratch));
+  const uint64_t fetched =
+      archiver_->device().stats().blocks_read - blocks_before;
+  clock_->RewindTo(before);
+  if (fetched == 0) return Status::OK();  // Pure cache hit: no arm time.
+  storage::IoRequest req;
+  req.id = ++stage_io_seq_;
+  req.block = abs_offset / archiver_->device().block_size();
+  req.count = fetched;
+  req.arrival_time = before;
+  req.priority = background ? storage::IoPriority::kBackground
+                            : storage::IoPriority::kForeground;
+  scheduler_->Run({req});
+  return Status::OK();
 }
 
 StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id,

@@ -11,33 +11,22 @@
 #include "minos/object/multimedia_object.h"
 #include "minos/server/fault.h"
 #include "minos/server/link.h"
+#include "minos/server/object_store.h"
 #include "minos/storage/archiver.h"
+#include "minos/storage/request_scheduler.h"
 #include "minos/storage/version_store.h"
 #include "minos/util/random.h"
 #include "minos/util/statusor.h"
 
 namespace minos::server {
 
-/// A miniature card returned by content queries: "Miniatures of qualifying
-/// objects may be returned to the user using a sequential browsing
-/// interface ... They can for example contain a small bitmap of the first
-/// visual page or an indication that an object is an audio mode object and
-/// some voice segments which are played as the miniature passes through
-/// the screen." (§5)
-struct MiniatureCard {
-  storage::ObjectId id = 0;
-  bool audio_mode = false;
-  image::Bitmap thumb;            ///< Small bitmap of the first visual page.
-  std::string preview_transcript; ///< First spoken words (audio objects).
-  uint64_t byte_size = 0;         ///< Transfer cost of this card.
-};
-
 /// The multimedia object server subsystem (§5): optical-disk based
 /// archived-object store with access methods, caching, version control,
 /// and content queries evaluated server-side. Retrievals go through the
 /// link cost model so workstation-side experiments see realistic transfer
-/// economics.
-class ObjectServer {
+/// economics. One ObjectServer is the classic single-machine topology;
+/// ShardRouter composes several into a sharded archive.
+class ObjectServer : public ObjectStore {
  public:
   /// All pointers borrowed. `link` may be null (no transfer charging).
   ObjectServer(storage::Archiver* archiver, storage::VersionStore* versions,
@@ -54,15 +43,25 @@ class ObjectServer {
   /// default is RetryPolicy::Default(); RetryPolicy::None() restores the
   /// fail-on-first-fault behaviour of the pre-fault-model server.
   void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
-  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  const RetryPolicy& retry_policy() const override { return retry_policy_; }
 
   /// Installs the sleeper every Fetch* retry spends its backoff windows
   /// in (null restores plain clock advances). The prefetch pipeline
   /// installs one that pumps queued background transfers during the
   /// window, so retries yield the link to speculative work instead of
   /// dead-sleeping the session.
-  void SetBackoffSleeper(BackoffSleeper sleeper) {
+  void SetBackoffSleeper(BackoffSleeper sleeper) override {
     backoff_sleeper_ = std::move(sleeper);
+  }
+
+  /// Installs the disk-arm scheduler staging reads are charged through
+  /// (borrowed; null restores plain archiver charging). With a scheduler
+  /// installed, each StagePartRange books its device work as an IoRequest
+  /// in the lane the live Link scope implies — kBackground while a
+  /// prefetch BackgroundScope is active, kForeground otherwise — so
+  /// foreground page deliveries preempt speculative staging at the arm.
+  void SetScheduler(storage::RequestScheduler* scheduler) {
+    scheduler_ = scheduler;
   }
 
   /// Ingest ---------------------------------------------------------------
@@ -70,7 +69,7 @@ class ObjectServer {
   /// Archives an object (must be in archived state) and indexes its
   /// content for queries. Returns the archive address.
   StatusOr<storage::ArchiveAddress> Store(
-      const object::MultimediaObject& obj);
+      const object::MultimediaObject& obj) override;
 
   /// Queries --------------------------------------------------------------
 
@@ -80,33 +79,28 @@ class ObjectServer {
 
   /// Conjunctive query: objects matching all words.
   std::vector<storage::ObjectId> QueryAll(
-      const std::vector<std::string>& words) const;
+      const std::vector<std::string>& words) const override;
 
   /// Builds the miniature card of an object (rendered server-side,
   /// transferred over the link).
   StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
-                                         int thumb_width = 96);
+                                         int thumb_width = 96) override;
+
+  /// Evaluates the query and gathers the cards of every match, serially
+  /// (one machine, one arm: card costs add up).
+  StatusOr<std::vector<MiniatureCard>> GatherCards(
+      const std::vector<std::string>& words, int thumb_width = 96) override;
 
   /// Retrieval ------------------------------------------------------------
 
-  /// How much of an object one Fetch transfers over the link.
-  enum class FetchGranularity : uint8_t {
-    /// Everything: descriptor plus every part payload (the classic
-    /// whole-object fetch).
-    kWhole = 0,
-    /// Descriptor and structure only; the page-content payloads (image
-    /// parts placed on visual pages, the text/voice streams the pages
-    /// present) are deferred to page-granular transfers driven by the
-    /// browsing cursor. The object still materializes fully in memory —
-    /// the granularity governs transfer-cost accounting, which is what
-    /// the simulation measures.
-    kSkeleton = 1,
-  };
+  /// How much of an object one Fetch transfers over the link (the
+  /// namespace-scope enum, re-exported for existing call sites).
+  using FetchGranularity = server::FetchGranularity;
 
   /// Fetches a whole object (descriptor + composition) over the link.
   StatusOr<object::MultimediaObject> Fetch(
       storage::ObjectId id, FetchGranularity granularity =
-                                FetchGranularity::kWhole);
+                                FetchGranularity::kWhole) override;
 
   /// Fetches a specific archived version (§5 version control). The
   /// catalog tracks the latest version; older versions decode from their
@@ -121,7 +115,7 @@ class ObjectServer {
   /// images (those transfer their intersecting objects instead).
   StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
                                            uint32_t image_index,
-                                           const image::Rect& r);
+                                           const image::Rect& r) override;
 
   /// Fetches one whole image part over the link.
   StatusOr<image::Image> FetchImage(storage::ObjectId id,
@@ -135,7 +129,7 @@ class ObjectServer {
   /// transfer accounting (a synchronous stall or a background prefetch).
   /// The range is clamped to the part; a zero-length clamp is a no-op.
   Status StagePartRange(storage::ObjectId id, std::string_view part_name,
-                        uint64_t offset, uint64_t length);
+                        uint64_t offset, uint64_t length) override;
 
   /// Bytes a skeleton fetch of `id` defers to page-granular transfers:
   /// image parts placed on visual pages, plus the text or voice stream
@@ -145,7 +139,7 @@ class ObjectServer {
   /// Byte length of one named part of a cataloged object (the transfer
   /// cost of delivering it in full).
   StatusOr<uint64_t> PartLength(storage::ObjectId id,
-                                std::string_view part_name) const;
+                                std::string_view part_name) const override;
 
   /// Introspection ---------------------------------------------------------
 
@@ -155,6 +149,12 @@ class ObjectServer {
   /// The workstation-facing link (borrowed; null when transfers are not
   /// charged). The prefetch pipeline shares it for background traffic.
   Link* link() const { return link_; }
+
+  /// A single server routes everything over its one link.
+  Link* RouteLink(storage::ObjectId) const override { return link_; }
+  std::vector<Link*> links() const override {
+    return link_ != nullptr ? std::vector<Link*>{link_} : std::vector<Link*>{};
+  }
 
  private:
   /// Per-object catalog entry built at Store time.
@@ -192,6 +192,8 @@ class ObjectServer {
   SimClock* clock_;
   Link* link_;
   FaultInjector* injector_ = nullptr;  // Borrowed; wire corruption only.
+  storage::RequestScheduler* scheduler_ = nullptr;  // Borrowed; see above.
+  uint64_t stage_io_seq_ = 0;  // IoRequest ids for scheduled staging reads.
   RetryPolicy retry_policy_;
   BackoffSleeper backoff_sleeper_;  // Null: backoff advances the clock.
   Random retry_rng_{0x5EED0FCA};  // Seeded backoff jitter: replayable.

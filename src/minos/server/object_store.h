@@ -1,0 +1,119 @@
+#ifndef MINOS_SERVER_OBJECT_STORE_H_
+#define MINOS_SERVER_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minos/image/bitmap.h"
+#include "minos/object/multimedia_object.h"
+#include "minos/server/fault.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/version_store.h"
+#include "minos/util/statusor.h"
+
+namespace minos::server {
+
+class Link;
+
+/// A miniature card returned by content queries: "Miniatures of qualifying
+/// objects may be returned to the user using a sequential browsing
+/// interface ... They can for example contain a small bitmap of the first
+/// visual page or an indication that an object is an audio mode object and
+/// some voice segments which are played as the miniature passes through
+/// the screen." (§5)
+struct MiniatureCard {
+  storage::ObjectId id = 0;
+  bool audio_mode = false;
+  image::Bitmap thumb;            ///< Small bitmap of the first visual page.
+  std::string preview_transcript; ///< First spoken words (audio objects).
+  uint64_t byte_size = 0;         ///< Transfer cost of this card.
+};
+
+/// How much of an object one Fetch transfers over the link.
+enum class FetchGranularity : uint8_t {
+  /// Everything: descriptor plus every part payload (the classic
+  /// whole-object fetch).
+  kWhole = 0,
+  /// Descriptor and structure only; the page-content payloads (image
+  /// parts placed on visual pages, the text/voice streams the pages
+  /// present) are deferred to page-granular transfers driven by the
+  /// browsing cursor. The object still materializes fully in memory —
+  /// the granularity governs transfer-cost accounting, which is what
+  /// the simulation measures.
+  kSkeleton = 1,
+};
+
+/// The archive surface one workstation session talks to. Two
+/// implementations: ObjectServer (one machine owns the whole catalog —
+/// the classic MINOS topology) and ShardRouter (the catalog split across
+/// N servers behind scatter/gather routing with replicated descriptors).
+/// Every session-side driver — the presentation-manager resolver, the
+/// prefetch pipeline, the benches — runs unchanged against either.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Archives an object and indexes its content for queries. Returns the
+  /// archive address (the primary copy's, for replicated stores).
+  virtual StatusOr<storage::ArchiveAddress> Store(
+      const object::MultimediaObject& obj) = 0;
+
+  /// Conjunctive content query: ids of objects matching all words, in
+  /// ascending id order (sharded stores scatter the query and merge).
+  virtual std::vector<storage::ObjectId> QueryAll(
+      const std::vector<std::string>& words) const = 0;
+
+  /// Builds and transfers the miniature card of one object.
+  virtual StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
+                                                 int thumb_width = 96) = 0;
+
+  /// Evaluates the query and gathers the miniature cards of every match,
+  /// ordered by ascending object id. A sharded store scatters the
+  /// per-shard card work and overlaps it (the clock advances by the
+  /// slowest shard, not the sum); a single server does it serially.
+  virtual StatusOr<std::vector<MiniatureCard>> GatherCards(
+      const std::vector<std::string>& words, int thumb_width = 96) = 0;
+
+  /// Fetches an object (descriptor + composition) over the link.
+  virtual StatusOr<object::MultimediaObject> Fetch(
+      storage::ObjectId id,
+      FetchGranularity granularity = FetchGranularity::kWhole) = 0;
+
+  /// Fetches only the covering region of a stored bitmap image part.
+  virtual StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
+                                                   uint32_t image_index,
+                                                   const image::Rect& r) = 0;
+
+  /// Reads `length` bytes at `offset` within part `part_name` through the
+  /// owning archiver without charging the link: the caller owns the
+  /// transfer accounting (a synchronous stall or a background prefetch).
+  virtual Status StagePartRange(storage::ObjectId id,
+                                std::string_view part_name, uint64_t offset,
+                                uint64_t length) = 0;
+
+  /// Byte length of one named part of a cataloged object.
+  virtual StatusOr<uint64_t> PartLength(storage::ObjectId id,
+                                        std::string_view part_name) const = 0;
+
+  /// The retry schedule the store's fetch paths run under.
+  virtual const RetryPolicy& retry_policy() const = 0;
+
+  /// Installs the sleeper every fetch retry spends its backoff windows in
+  /// (null restores plain clock advances).
+  virtual void SetBackoffSleeper(BackoffSleeper sleeper) = 0;
+
+  /// The link a fetch of `id` would travel right now (null when transfers
+  /// are not charged, or no live route serves the object).
+  virtual Link* RouteLink(storage::ObjectId id) const = 0;
+
+  /// Every link this store may use. The prefetch pipeline spans its
+  /// background scopes over all of them, so speculative failures on any
+  /// shard stay off that shard's foreground breaker accounting.
+  virtual std::vector<Link*> links() const = 0;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_OBJECT_STORE_H_

@@ -10,7 +10,14 @@ namespace minos::server {
 
 PrefetchQueue::PrefetchQueue(SimClock* clock, Link* link,
                              PrefetchOptions options)
-    : clock_(clock), link_(link), options_(options) {
+    : PrefetchQueue(clock,
+                    link != nullptr ? std::vector<Link*>{link}
+                                    : std::vector<Link*>{},
+                    options) {}
+
+PrefetchQueue::PrefetchQueue(SimClock* clock, std::vector<Link*> links,
+                             PrefetchOptions options)
+    : clock_(clock), links_(std::move(links)), options_(options) {
   obs::MetricsRegistry& reg = options_.registry != nullptr
                                   ? *options_.registry
                                   : obs::MetricsRegistry::Default();
@@ -82,7 +89,13 @@ bool PrefetchQueue::Issue(Entry& entry) {
   const Micros start = clock_->Now();
   Status verdict = Status::OK();
   {
-    Link::BackgroundScope background(link_);
+    // One scope per link: a sharded fetch may fail over mid-work, and
+    // every link it touches must see the access as speculative.
+    std::vector<std::unique_ptr<Link::BackgroundScope>> background;
+    background.reserve(links_.size());
+    for (Link* link : links_) {
+      background.push_back(std::make_unique<Link::BackgroundScope>(link));
+    }
     verdict = entry.run();
   }
   const Micros cost = clock_->Now() - start;

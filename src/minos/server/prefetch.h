@@ -6,12 +6,13 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "minos/obs/metrics.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/server/fault.h"
 #include "minos/server/link.h"
-#include "minos/server/object_server.h"
+#include "minos/server/object_store.h"
 #include "minos/util/clock.h"
 #include "minos/util/statusor.h"
 
@@ -99,6 +100,12 @@ class PrefetchQueue {
   /// `clock` borrowed, required. `link` borrowed, may be null (work then
   /// runs without a background scope).
   PrefetchQueue(SimClock* clock, Link* link, PrefetchOptions options = {});
+
+  /// Multi-link form for sharded stores: speculative work enters a
+  /// background scope on every link it might travel, so a prefetch that
+  /// fails over between shards never trips a foreground breaker.
+  PrefetchQueue(SimClock* clock, std::vector<Link*> links,
+                PrefetchOptions options = {});
 
   /// Unconsumed ready entries die wasted.
   ~PrefetchQueue();
@@ -209,7 +216,7 @@ class PrefetchQueue {
   void UpdateDepth();
 
   SimClock* clock_;
-  Link* link_;
+  std::vector<Link*> links_;  ///< Borrowed; background scopes span all.
   PrefetchOptions options_;
   std::map<PrefetchKey, Entry> entries_;
   uint64_t next_seq_ = 0;

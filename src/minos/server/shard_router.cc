@@ -1,0 +1,295 @@
+#include "minos/server/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "minos/server/link.h"
+
+namespace minos::server {
+
+using object::MultimediaObject;
+using storage::ArchiveAddress;
+using storage::ObjectId;
+
+ShardPlacement HashPlacement() {
+  return [](ObjectId id, size_t shard_count) -> size_t {
+    // Fibonacci multiplicative hash: golden-ratio constant scrambles
+    // consecutive ids before the mod, so dense id ranges still spread.
+    const uint64_t mixed = (id * 0x9E3779B97F4A7C15ull) >> 17;
+    return static_cast<size_t>(mixed % shard_count);
+  };
+}
+
+ShardPlacement RangePlacement(uint64_t ids_per_shard) {
+  return [ids_per_shard](ObjectId id, size_t shard_count) -> size_t {
+    const uint64_t slot = ids_per_shard > 0 ? id / ids_per_shard : 0;
+    return static_cast<size_t>(
+        std::min<uint64_t>(slot, shard_count - 1));
+  };
+}
+
+ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
+                         ShardPlacement placement, ShardRouterOptions options)
+    : shards_(std::move(shards)),
+      clock_(clock),
+      placement_(std::move(placement)),
+      options_(options),
+      live_(shards_.size(), true) {
+  assert(!shards_.empty());
+  options_.replication =
+      std::clamp<int>(options_.replication, 1,
+                      static_cast<int>(shards_.size()));
+  obs::MetricsRegistry& reg = options_.registry != nullptr
+                                  ? *options_.registry
+                                  : obs::MetricsRegistry::Default();
+  scatter_queries_ = reg.counter("router.scatter_queries");
+  failovers_ = reg.counter("router.failovers_total");
+  shards_lost_ = reg.counter("router.shards_lost_total");
+  shards_healed_ = reg.counter("router.shards_healed_total");
+  rebalances_ = reg.counter("router.rebalances_total");
+  dropped_results_ = reg.counter("router.dropped_results_total");
+  replica_store_errors_ = reg.counter("router.replica_store_errors_total");
+  live_shards_ = reg.gauge("router.live_shards");
+  gather_us_ = reg.histogram("router.gather_us");
+  live_shards_->Set(static_cast<double>(shards_.size()));
+}
+
+void ShardRouter::RefreshLiveness() const {
+  size_t live = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Link* link = shards_[i]->link();
+    // No link means no breaker signal: the shard is local and always
+    // reachable. An open breaker is shard loss — except once its
+    // cooldown has elapsed, when the shard is routable again so the
+    // next read performs the half-open probe that can heal it.
+    const bool eligible =
+        link == nullptr ||
+        link->breaker().state() != CircuitBreaker::State::kOpen ||
+        link->breaker().CooldownElapsed();
+    if (eligible && !live_[i]) {
+      shards_healed_->Increment();
+      rebalances_->Increment();
+    } else if (!eligible && live_[i]) {
+      shards_lost_->Increment();
+      rebalances_->Increment();
+    }
+    live_[i] = eligible;
+    if (eligible) ++live;
+  }
+  live_shards_->Set(static_cast<double>(live));
+}
+
+bool ShardRouter::IsLive(size_t shard) const {
+  RefreshLiveness();
+  return shard < live_.size() && live_[shard];
+}
+
+size_t ShardRouter::live_count() const {
+  RefreshLiveness();
+  size_t n = 0;
+  for (bool b : live_) {
+    if (b) ++n;
+  }
+  return n;
+}
+
+std::vector<size_t> ShardRouter::ReplicaChain(ObjectId id) const {
+  std::vector<size_t> chain;
+  const size_t primary = placement_(id, shards_.size());
+  for (int r = 0; r < options_.replication; ++r) {
+    chain.push_back((primary + static_cast<size_t>(r)) % shards_.size());
+  }
+  return chain;
+}
+
+template <typename T>
+StatusOr<T> ShardRouter::RouteRead(
+    ObjectId id, const std::function<StatusOr<T>(ObjectServer*)>& op) const {
+  RefreshLiveness();
+  Status last = Status::Unavailable(
+      "no live replica serves object " + std::to_string(id));
+  const std::vector<size_t> chain = ReplicaChain(id);
+  for (size_t shard : chain) {
+    if (!live_[shard]) continue;
+    // Any routing away from the primary — whether the primary was
+    // skipped dead or just failed the attempt — is a failover.
+    if (shard != chain.front()) failovers_->Increment();
+    StatusOr<T> got = op(shards_[shard]);
+    if (got.ok()) return got;
+    if (!IsRetryable(got.status())) return got;
+    // Retryable exhaustion: the shard (or its link) is sick. Take it
+    // out of this routing decision and try the next replica; the
+    // breaker-driven refresh decides whether it stays out.
+    live_[shard] = false;
+    last = got.status();
+  }
+  return last;
+}
+
+StatusOr<ArchiveAddress> ShardRouter::Store(const MultimediaObject& obj) {
+  RefreshLiveness();
+  StatusOr<ArchiveAddress> first =
+      Status::Unavailable("no live replica accepted store");
+  for (size_t shard : ReplicaChain(obj.id())) {
+    if (!live_[shard]) {
+      replica_store_errors_->Increment();
+      continue;
+    }
+    StatusOr<ArchiveAddress> got = shards_[shard]->Store(obj);
+    if (got.ok()) {
+      if (!first.ok()) first = got;
+    } else {
+      replica_store_errors_->Increment();
+      if (!first.ok()) first = got;
+    }
+  }
+  return first;
+}
+
+std::vector<ObjectId> ShardRouter::QueryAll(
+    const std::vector<std::string>& words) const {
+  RefreshLiveness();
+  scatter_queries_->Increment();
+  std::vector<ObjectId> merged;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!live_[i]) continue;
+    std::vector<ObjectId> hits = shards_[i]->QueryAll(words);
+    std::vector<ObjectId> out;
+    out.reserve(merged.size() + hits.size());
+    std::merge(merged.begin(), merged.end(), hits.begin(), hits.end(),
+               std::back_inserter(out));
+    merged = std::move(out);
+  }
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+StatusOr<MiniatureCard> ShardRouter::FetchMiniature(ObjectId id,
+                                                    int thumb_width) {
+  return RouteRead<MiniatureCard>(
+      id, [&](ObjectServer* s) { return s->FetchMiniature(id, thumb_width); });
+}
+
+StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCards(
+    const std::vector<std::string>& words, int thumb_width) {
+  const std::vector<ObjectId> matches = QueryAll(words);
+
+  // Partition the matches by their first live replica — the shard whose
+  // card-building work they will ride.
+  std::vector<std::vector<ObjectId>> share(shards_.size());
+  std::vector<ObjectId> unrouted;
+  for (ObjectId id : matches) {
+    bool placed = false;
+    for (size_t shard : ReplicaChain(id)) {
+      if (!live_[shard]) continue;
+      share[shard].push_back(id);
+      placed = true;
+      break;
+    }
+    if (!placed) unrouted.push_back(id);
+  }
+
+  // Scatter: every shard builds its share inline while the clock
+  // rewinds, then the gather barrier advances by the slowest shard —
+  // the fan-out runs in parallel in the modeled system.
+  std::vector<MiniatureCard> cards;
+  std::vector<ObjectId> retry_elsewhere = std::move(unrouted);
+  Micros slowest = 0;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (share[shard].empty()) continue;
+    const Micros start = clock_->Now();
+    for (ObjectId id : share[shard]) {
+      StatusOr<MiniatureCard> got =
+          shards_[shard]->FetchMiniature(id, thumb_width);
+      if (got.ok()) {
+        cards.push_back(*std::move(got));
+      } else {
+        retry_elsewhere.push_back(id);
+      }
+    }
+    const Micros cost = clock_->Now() - start;
+    clock_->RewindTo(start);
+    slowest = std::max(slowest, cost);
+  }
+  clock_->Advance(slowest);
+  gather_us_->Record(static_cast<double>(slowest));
+
+  // Failover pass, serial (the scatter already ended): ids whose shard
+  // failed mid-gather retry through the replica chain; ids no replica
+  // can serve drop out of the strip rather than failing the query.
+  for (ObjectId id : retry_elsewhere) {
+    StatusOr<MiniatureCard> got = FetchMiniature(id, thumb_width);
+    if (got.ok()) {
+      cards.push_back(*std::move(got));
+    } else {
+      dropped_results_->Increment();
+    }
+  }
+
+  std::sort(cards.begin(), cards.end(),
+            [](const MiniatureCard& a, const MiniatureCard& b) {
+              return a.id < b.id;
+            });
+  return cards;
+}
+
+StatusOr<MultimediaObject> ShardRouter::Fetch(ObjectId id,
+                                              FetchGranularity granularity) {
+  return RouteRead<MultimediaObject>(
+      id, [&](ObjectServer* s) { return s->Fetch(id, granularity); });
+}
+
+StatusOr<image::Bitmap> ShardRouter::FetchImageRegion(ObjectId id,
+                                                      uint32_t image_index,
+                                                      const image::Rect& r) {
+  return RouteRead<image::Bitmap>(id, [&](ObjectServer* s) {
+    return s->FetchImageRegion(id, image_index, r);
+  });
+}
+
+Status ShardRouter::StagePartRange(ObjectId id, std::string_view part_name,
+                                   uint64_t offset, uint64_t length) {
+  return RouteRead<bool>(id,
+                         [&](ObjectServer* s) -> StatusOr<bool> {
+                           MINOS_RETURN_IF_ERROR(
+                               s->StagePartRange(id, part_name, offset,
+                                                 length));
+                           return true;
+                         })
+      .status();
+}
+
+StatusOr<uint64_t> ShardRouter::PartLength(ObjectId id,
+                                           std::string_view part_name) const {
+  return RouteRead<uint64_t>(
+      id, [&](ObjectServer* s) { return s->PartLength(id, part_name); });
+}
+
+const RetryPolicy& ShardRouter::retry_policy() const {
+  return shards_.front()->retry_policy();
+}
+
+void ShardRouter::SetBackoffSleeper(BackoffSleeper sleeper) {
+  for (ObjectServer* shard : shards_) {
+    shard->SetBackoffSleeper(sleeper);
+  }
+}
+
+Link* ShardRouter::RouteLink(ObjectId id) const {
+  RefreshLiveness();
+  for (size_t shard : ReplicaChain(id)) {
+    if (live_[shard]) return shards_[shard]->link();
+  }
+  return nullptr;
+}
+
+std::vector<Link*> ShardRouter::links() const {
+  std::vector<Link*> out;
+  for (ObjectServer* shard : shards_) {
+    if (shard->link() != nullptr) out.push_back(shard->link());
+  }
+  return out;
+}
+
+}  // namespace minos::server

@@ -1,0 +1,190 @@
+#ifndef MINOS_SERVER_SHARD_ROUTER_H_
+#define MINOS_SERVER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "minos/obs/metrics.h"
+#include "minos/server/object_server.h"
+#include "minos/server/object_store.h"
+#include "minos/util/clock.h"
+#include "minos/util/statusor.h"
+
+namespace minos::server {
+
+/// Maps an ObjectId to its primary shard among `shard_count` shards.
+/// Must be pure: the router calls it on every route and assumes the
+/// answer never changes for a given (id, count) pair.
+using ShardPlacement =
+    std::function<size_t(storage::ObjectId id, size_t shard_count)>;
+
+/// Default placement: Fibonacci multiplicative hash of the id. Spreads
+/// consecutive ids across shards with no coordination.
+ShardPlacement HashPlacement();
+
+/// Contiguous-range placement: ids [0, ids_per_shard) on shard 0,
+/// [ids_per_shard, 2*ids_per_shard) on shard 1, ... (overflow clamps to
+/// the last shard). The pluggable alternative for workloads whose ids
+/// carry locality (e.g. a filing system numbering folders densely).
+ShardPlacement RangePlacement(uint64_t ids_per_shard);
+
+struct ShardRouterOptions {
+  /// Copies of every object, including the primary (clamped to the shard
+  /// count). With replication 2 each object is stored on its primary
+  /// shard and the next shard in ring order, so single-shard loss never
+  /// loses descriptors.
+  int replication = 2;
+  /// Statistics registry (the process default when null).
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Scatter/gather router over N ObjectServer shards — the sharded-archive
+/// topology. Placement hashes each ObjectId to a primary shard; Store
+/// replicates onto the next `replication - 1` shards in ring order.
+///
+/// ## Routing table and failover
+///
+/// Each shard's health is read off its Link's CircuitBreaker: an open
+/// breaker is shard loss, a closed (or half-open, or open-but-cooled-down)
+/// breaker is a routable shard. The table refreshes lazily before every
+/// routing decision, so a breaker tripped by foreground traffic takes the
+/// shard out of scatter sets immediately, and a cooled-down breaker gets
+/// routed one probe (its Admit() half-open slot) to earn its way back.
+/// Reads walk the replica ring: primary first, then successors, skipping
+/// dead shards and failing over past retryable errors. When every replica
+/// of an object is unreachable the read fails Unavailable and the
+/// presentation layer degrades (thumbnail fallback, NoteDegraded) exactly
+/// as for corrupt parts.
+///
+/// ## Scatter/gather time model
+///
+/// Shards answer queries in parallel in the modeled system, but all work
+/// runs on one SimClock. GatherCards therefore runs each live shard's
+/// share inline, measures its cost, rewinds, and finally advances the
+/// clock by the slowest shard's cost — the gather barrier. QueryAll
+/// merges the per-shard id lists into one ascending, deduplicated result
+/// (replicas report the same id).
+///
+/// Statistics live under "router.*": scatter_queries, failovers_total,
+/// shards_lost_total, shards_healed_total, rebalances_total,
+/// dropped_results_total, replica_store_errors_total counters; live_shards
+/// gauge; gather_us histogram.
+class ShardRouter : public ObjectStore {
+ public:
+  /// All shard pointers borrowed, non-null, non-empty. Shards should be
+  /// constructed with distinct Links (a shared Link would share one
+  /// breaker, collapsing per-shard health into one signal).
+  ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
+              ShardPlacement placement = HashPlacement(),
+              ShardRouterOptions options = {});
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// ObjectStore ----------------------------------------------------------
+
+  /// Stores onto every live shard of the id's replica chain. Succeeds
+  /// when at least one copy lands (under-replication is counted, not
+  /// fatal); returns the first successful copy's address.
+  StatusOr<storage::ArchiveAddress> Store(
+      const object::MultimediaObject& obj) override;
+
+  /// Scatters to every live shard, gathers, merges ascending, dedups.
+  std::vector<storage::ObjectId> QueryAll(
+      const std::vector<std::string>& words) const override;
+
+  StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
+                                         int thumb_width = 96) override;
+
+  /// Scatter/gather card fetch: each live shard builds the cards of the
+  /// matches it is the first live replica for, the clock advances by the
+  /// slowest shard. Cards whose every replica is unreachable are dropped
+  /// from the strip (counted dropped_results_total) — a degraded but
+  /// non-empty answer beats no answer.
+  StatusOr<std::vector<MiniatureCard>> GatherCards(
+      const std::vector<std::string>& words, int thumb_width = 96) override;
+
+  StatusOr<object::MultimediaObject> Fetch(
+      storage::ObjectId id,
+      FetchGranularity granularity = FetchGranularity::kWhole) override;
+
+  StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
+                                           uint32_t image_index,
+                                           const image::Rect& r) override;
+
+  Status StagePartRange(storage::ObjectId id, std::string_view part_name,
+                        uint64_t offset, uint64_t length) override;
+
+  StatusOr<uint64_t> PartLength(storage::ObjectId id,
+                                std::string_view part_name) const override;
+
+  const RetryPolicy& retry_policy() const override;
+
+  /// Forwards to every shard: a retry on any shard's fetch path spends
+  /// its backoff in the same sleeper.
+  void SetBackoffSleeper(BackoffSleeper sleeper) override;
+
+  /// The first live replica's link; null when the whole chain is down.
+  Link* RouteLink(storage::ObjectId id) const override;
+
+  /// Every shard's link, in shard order (null links omitted).
+  std::vector<Link*> links() const override;
+
+  /// Introspection --------------------------------------------------------
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Primary shard of an id under the current placement.
+  size_t PrimaryOf(storage::ObjectId id) const {
+    return placement_(id, shards_.size());
+  }
+
+  /// Refreshes the routing table and reports shard liveness.
+  bool IsLive(size_t shard) const;
+
+  /// Live-shard count after a refresh.
+  size_t live_count() const;
+
+ private:
+  /// Replica ring of an id: primary, then successors mod shard count,
+  /// `replication` entries total.
+  std::vector<size_t> ReplicaChain(storage::ObjectId id) const;
+
+  /// Re-derives liveness from breaker state; counts losses, heals and
+  /// rebalances as edges are crossed.
+  void RefreshLiveness() const;
+
+  /// Walks the id's replica chain calling `op(shard)` on each live
+  /// shard until one answers; retryable failures mark the shard lost
+  /// and fail over to the next replica. Unavailable when the chain is
+  /// exhausted; non-retryable errors (NotFound, Corruption the server
+  /// could not salvage, ...) return as-is — another replica would only
+  /// repeat them.
+  template <typename T>
+  StatusOr<T> RouteRead(
+      storage::ObjectId id,
+      const std::function<StatusOr<T>(ObjectServer*)>& op) const;
+
+  std::vector<ObjectServer*> shards_;
+  SimClock* clock_;
+  ShardPlacement placement_;
+  ShardRouterOptions options_;
+  /// Routing table, re-derived lazily from breaker state (mutable: reads
+  /// refresh it).
+  mutable std::vector<bool> live_;
+
+  obs::Counter* scatter_queries_;   // Owned by the registry.
+  obs::Counter* failovers_;
+  obs::Counter* shards_lost_;
+  obs::Counter* shards_healed_;
+  obs::Counter* rebalances_;
+  obs::Counter* dropped_results_;
+  obs::Counter* replica_store_errors_;
+  obs::Gauge* live_shards_;
+  obs::Histogram* gather_us_;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_SHARD_ROUTER_H_

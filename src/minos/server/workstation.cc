@@ -96,7 +96,7 @@ StatusOr<storage::ObjectId> MiniatureBrowser::Select() const {
   return slots_[cursor_].id;
 }
 
-Workstation::Workstation(ObjectServer* server, render::Screen* screen,
+Workstation::Workstation(ObjectStore* server, render::Screen* screen,
                          SimClock* clock)
     : server_(server), clock_(clock), presentation_(screen, clock) {
   presentation_.SetResolver(
@@ -115,7 +115,7 @@ Workstation::~Workstation() {
 void Workstation::EnablePrefetch(PrefetchOptions options) {
   prefetch_options_ = options;
   prefetch_ =
-      std::make_unique<PrefetchQueue>(clock_, server_->link(), options);
+      std::make_unique<PrefetchQueue>(clock_, server_->links(), options);
   server_->SetBackoffSleeper(prefetch_->MakeBackoffSleeper());
   presentation_.SetBrowseListener(
       [this](const core::PresentationManager::BrowseEvent& event) {
@@ -135,7 +135,7 @@ StatusOr<object::MultimediaObject> Workstation::Resolve(
   }
   MINOS_ASSIGN_OR_RETURN(
       object::MultimediaObject obj,
-      server_->Fetch(id, ObjectServer::FetchGranularity::kSkeleton));
+      server_->Fetch(id, FetchGranularity::kSkeleton));
   BuildPlan(id, obj.descriptor());
   return obj;
 }
@@ -215,13 +215,22 @@ Status Workstation::StageAndTransfer(storage::ObjectId id,
         server_->StagePartRange(id, range.part, range.offset, range.length));
     bytes += range.length;
   }
-  if (bytes == 0 || server_->link() == nullptr) return Status::OK();
-  if (!with_retries) return server_->link()->Transfer(bytes).status();
+  // The link the object travels is a routing decision (a sharded store
+  // may fail over between attempts), so it is re-asked per transfer.
+  Link* link = server_->RouteLink(id);
+  if (bytes == 0 || link == nullptr) return Status::OK();
+  if (!with_retries) return link->Transfer(bytes).status();
   return RetryWithBackoff<Micros>(
              server_->retry_policy(), clock_, &page_rng_,
              prefetch_ != nullptr ? prefetch_->MakeBackoffSleeper()
                                   : BackoffSleeper(),
-             [&] { return server_->link()->Transfer(bytes); })
+             [&]() -> StatusOr<Micros> {
+               Link* routed = server_->RouteLink(id);
+               if (routed == nullptr) {
+                 return Status::Unavailable("no live route for transfer");
+               }
+               return routed->Transfer(bytes);
+             })
       .status();
 }
 
@@ -298,18 +307,17 @@ void Workstation::ScheduleWantPage(PrefetchKind kind, storage::ObjectId id,
 
 StatusOr<MiniatureBrowser> Workstation::Query(
     const std::vector<std::string>& words) {
-  const std::vector<storage::ObjectId> ids = server_->QueryAll(words);
   if (prefetch_ == nullptr) {
-    std::vector<MiniatureCard> cards;
-    cards.reserve(ids.size());
-    for (storage::ObjectId id : ids) {
-      MINOS_ASSIGN_OR_RETURN(MiniatureCard card,
-                             server_->FetchMiniature(id));
-      thumb_cache_[id] = card.thumb;
-      cards.push_back(std::move(card));
+    // The store owns the gather: a single server builds cards serially,
+    // a sharded one scatters the work and overlaps the shards.
+    MINOS_ASSIGN_OR_RETURN(std::vector<MiniatureCard> cards,
+                           server_->GatherCards(words));
+    for (const MiniatureCard& card : cards) {
+      thumb_cache_[card.id] = card.thumb;
     }
     return MiniatureBrowser(std::move(cards));
   }
+  const std::vector<storage::ObjectId> ids = server_->QueryAll(words);
   // A new query builds a new strip: cards staged for the old strip are
   // keyed by position only and would otherwise be delivered as the
   // cards of whatever objects now occupy those positions.
@@ -353,7 +361,7 @@ void Workstation::OnMiniatureCursor(
   // The object under the cursor is the one about to be opened.
   const storage::ObjectId under = ids[static_cast<size_t>(position)];
   prefetch_->WantObject(under, 0, [this, under] {
-    return server_->Fetch(under, ObjectServer::FetchGranularity::kSkeleton);
+    return server_->Fetch(under, FetchGranularity::kSkeleton);
   });
   prefetch_->Pump();
 }

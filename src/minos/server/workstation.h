@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "minos/core/presentation_manager.h"
-#include "minos/server/object_server.h"
+#include "minos/server/object_store.h"
 #include "minos/server/prefetch.h"
 #include "minos/util/random.h"
 #include "minos/util/statusor.h"
@@ -122,8 +122,10 @@ class MiniatureBrowser {
 /// miniature cursor staged in the background.
 class Workstation {
  public:
-  /// `server`, `screen` and `clock` are borrowed.
-  Workstation(ObjectServer* server, render::Screen* screen, SimClock* clock);
+  /// `server`, `screen` and `clock` are borrowed. `server` is any
+  /// ObjectStore: one ObjectServer or a ShardRouter over several — the
+  /// session logic is identical either way.
+  Workstation(ObjectStore* server, render::Screen* screen, SimClock* clock);
 
   /// The server outlives the workstation by contract, so anything this
   /// session installed into it — the prefetch queue's backoff sleeper in
@@ -207,7 +209,7 @@ class Workstation {
   void OnMiniatureCursor(const std::vector<storage::ObjectId>& ids,
                          int position, bool jump);
 
-  ObjectServer* server_;
+  ObjectStore* server_;
   SimClock* clock_;
   core::PresentationManager presentation_;
   std::unique_ptr<PrefetchQueue> prefetch_;

@@ -109,6 +109,16 @@ Status BlockDevice::Write(uint64_t block, std::string_view data) {
       }
     }
   }
+  std::string faulted;
+  if (write_fault_) {
+    faulted.assign(data);
+    MINOS_RETURN_IF_ERROR(write_fault_(block, &faulted));
+    if (faulted.size() != data.size()) {
+      return Status::InvalidArgument(
+          "write fault hook changed the payload size");
+    }
+    data = faulted;
+  }
   ChargeAccess(block, count);
   ++stats_.writes;
   stats_.blocks_written += count;

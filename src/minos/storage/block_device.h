@@ -98,6 +98,19 @@ class BlockDevice {
   /// Installs (or clears, with nullptr) the read fault hook.
   void SetReadFaultHook(ReadFaultHook hook) { read_fault_ = std::move(hook); }
 
+  /// Fault hook consulted before every Write lands: it may tear the
+  /// payload in place (a partial/garbled write that still commits — the
+  /// checksums must catch it at read time) or return a non-OK status (a
+  /// media error; nothing is written). `block` is the first block of the
+  /// write.
+  using WriteFaultHook =
+      std::function<Status(uint64_t block, std::string* data)>;
+
+  /// Installs (or clears, with nullptr) the write fault hook.
+  void SetWriteFaultHook(WriteFaultHook hook) {
+    write_fault_ = std::move(hook);
+  }
+
   /// Writes `data` (must be a whole number of blocks) starting at `block`.
   /// On a WORM device rewriting a written block fails with
   /// FailedPrecondition.
@@ -132,6 +145,7 @@ class BlockDevice {
   std::vector<std::string> blocks_;   // Lazily sized; empty = never written.
   std::vector<bool> written_;
   ReadFaultHook read_fault_;          // Null when fault-free.
+  WriteFaultHook write_fault_;        // Null when fault-free.
   uint64_t blocks_used_ = 0;
   uint64_t head_ = 0;
   DeviceStats stats_;

@@ -42,6 +42,7 @@ RequestScheduler::RequestScheduler(BlockDevice* device,
   queueing_delay_us_ = reg.histogram(prefix + ".queueing_delay_us");
   service_time_us_ = reg.histogram(prefix + ".service_time_us");
   requests_ = reg.counter(prefix + ".requests");
+  background_requests_ = reg.counter(prefix + ".background_requests");
 }
 
 size_t RequestScheduler::PickNext(const std::vector<IoRequest>& pending,
@@ -172,6 +173,9 @@ std::vector<IoCompletion> RequestScheduler::Run(
     c.queueing_delay = now - req.arrival_time;
     now = c.completion_time;
     requests_->Increment();
+    if (req.priority == IoPriority::kBackground) {
+      background_requests_->Increment();
+    }
     queueing_delay_us_->Record(static_cast<double>(c.queueing_delay));
     service_time_us_->Record(static_cast<double>(c.service_time));
     done.push_back(c);

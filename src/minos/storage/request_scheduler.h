@@ -23,12 +23,12 @@ const char* SchedulingPolicyName(SchedulingPolicy policy);
 /// Urgency class of one I/O request. Foreground requests (the page the
 /// user is looking at) are always served before background ones,
 /// regardless of arm position: a cheap seek never justifies stalling
-/// the user behind speculation. NOTE: the single-session prefetch
-/// pipeline does not yet route its staging I/O through this scheduler —
-/// it charges the Link directly — so kBackground is currently exercised
-/// only by tests and benches. Wiring the prefetch path (and contention
-/// across concurrent sessions) into these lanes is the ROADMAP
-/// "Prefetch beyond one session" item.
+/// the user behind speculation. The live prefetch path exercises both
+/// lanes: ObjectServer::SetScheduler routes every StagePartRange cache
+/// miss through here, tagging it kBackground whenever a prefetch
+/// BackgroundScope is active on the server's Link and kForeground for
+/// synchronous page stalls. Contention across concurrent sessions
+/// remains the ROADMAP "Prefetch beyond one session" item.
 enum class IoPriority : uint8_t { kForeground = 0, kBackground = 1 };
 
 /// One queued I/O request.
@@ -69,8 +69,9 @@ struct QueueingStats {
 /// completion. The device's clock is advanced to the makespan.
 /// Every completion is also recorded into registry-backed per-policy
 /// summaries — histograms "scheduler.<policy>.queueing_delay_us" and
-/// "scheduler.<policy>.service_time_us" plus the request counter
-/// "scheduler.<policy>.requests" — so queueing-delay percentiles
+/// "scheduler.<policy>.service_time_us" plus the request counters
+/// "scheduler.<policy>.requests" and
+/// "scheduler.<policy>.background_requests" — so queueing-delay percentiles
 /// accumulate across batches and export with every metrics snapshot.
 /// The one-off Summarize() aggregation remains for per-batch views.
 class RequestScheduler {
@@ -97,6 +98,7 @@ class RequestScheduler {
   obs::Histogram* queueing_delay_us_;  // Owned by the registry.
   obs::Histogram* service_time_us_;    // Owned by the registry.
   obs::Counter* requests_;             // Owned by the registry.
+  obs::Counter* background_requests_;  // Owned by the registry.
 };
 
 }  // namespace minos::storage

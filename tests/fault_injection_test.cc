@@ -471,6 +471,90 @@ TEST_F(DeviceFaultTest, ClearedHookStopsInjecting) {
   EXPECT_TRUE(uncached_server_->Fetch(1).ok());
 }
 
+// --- Device-level write faults (Store/Append path) --------------------
+
+TEST_F(DeviceFaultTest, FailedAppendLeavesNoVersionRecordBehind) {
+  // A media error mid-append must not diverge the version store from the
+  // archive: Store fails, and neither the catalog nor the version store
+  // believes the object exists.
+  FaultProfile profile;
+  profile.fail_first_n = 1;
+  FaultInjector injector(profile, 11, &clock_);
+  device_.SetWriteFaultHook([&](uint64_t, std::string*) {
+    return injector.OnOperation("device write");
+  });
+
+  EXPECT_FALSE(uncached_server_->Store(TextObject(1, "lost body")).ok());
+  EXPECT_TRUE(versions_.Current(1).status().IsNotFound());
+  EXPECT_TRUE(uncached_server_->Fetch(1).status().IsNotFound());
+  EXPECT_EQ(uncached_server_->object_count(), 0u);
+
+  // The device healed (fail_first_n consumed): the same object stores
+  // and fetches cleanly, at a fresh archive offset past the failed one.
+  auto addr = uncached_server_->Store(TextObject(1, "landed body"));
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(versions_.Current(1).ok());
+  auto fetched = uncached_server_->Fetch(1);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_NE(fetched->text_part().contents().find("landed"),
+            std::string::npos);
+  device_.SetWriteFaultHook(nullptr);
+}
+
+TEST_F(DeviceFaultTest, TornWriteIsCaughtByChecksumsAndSalvaged) {
+  // A torn append: the write commits, but one byte in the middle of the
+  // voice part lands garbled. Structurally the object decodes; only the
+  // voice checksum can catch the tear, and the salvage path must drop
+  // exactly that part.
+  MultimediaObject obj = AudioObject(3, "torn write voice body");
+
+  // Serialization math mirroring Store: the torn byte's absolute archive
+  // offset is append base + payload base + voice offset + half length.
+  std::string bytes = obj.SerializeArchived().value();
+  Decoder dec(bytes);
+  std::string desc_bytes;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&desc_bytes).ok());
+  auto desc = object::ObjectDescriptor::Deserialize(desc_bytes);
+  ASSERT_TRUE(desc.ok());
+  uint64_t data_len = 0;
+  for (const object::PartPointer& p : desc->parts) {
+    if (!p.in_archiver) data_len += p.length;
+  }
+  const uint64_t payload_base = bytes.size() - data_len;
+  auto voice = desc->FindPart("voice");
+  ASSERT_TRUE(voice.ok());
+  const uint64_t torn_abs = uncached_.size() + payload_base +
+                            voice->offset + voice->length / 2;
+
+  device_.SetWriteFaultHook([&](uint64_t block, std::string* data) {
+    const uint64_t lo = block * device_.block_size();
+    if (torn_abs >= lo && torn_abs < lo + data->size()) {
+      (*data)[torn_abs - lo] ^= 0x01;
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(uncached_server_->Store(obj).ok());
+  device_.SetWriteFaultHook(nullptr);
+
+  // The strict decode fails persistently (the tear is on the media, not
+  // the wire), so the fetch salvages: text survives, voice drops.
+  auto fetched = uncached_server_->Fetch(3);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_TRUE(fetched->has_text());
+  EXPECT_FALSE(fetched->has_voice());
+  EXPECT_NE(fetched->text_part().contents().find("torn"),
+            std::string::npos);
+}
+
+TEST_F(DeviceFaultTest, WriteFaultHookMayNotResizeThePayload) {
+  device_.SetWriteFaultHook([&](uint64_t, std::string* data) {
+    data->push_back('x');
+    return Status::OK();
+  });
+  EXPECT_FALSE(uncached_server_->Store(TextObject(9, "resized")).ok());
+  device_.SetWriteFaultHook(nullptr);
+}
+
 // --- Graceful degradation ---------------------------------------------
 
 /// Serializes `obj` and flips one byte in the middle of its voice part,
