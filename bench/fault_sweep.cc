@@ -177,6 +177,83 @@ int Run() {
     last_sim_time += clock.Now();
   }
 
+  // MTTR sweep: mean time to recovery, measured as the span from the
+  // breaker opening to the first successful fetch once the link heals,
+  // across breaker configurations. The cooldown dominates the figure:
+  // a short cooldown probes (and recovers) sooner, a long one keeps
+  // failing fast on a link that is already healthy again.
+  {
+    struct BreakerConfig {
+      int threshold;
+      Micros cooldown;
+    };
+    const std::vector<BreakerConfig> configs = {
+        {2, MillisToMicros(50)},
+        {4, MillisToMicros(250)},
+        {6, MillisToMicros(1000)},
+    };
+    obs::Histogram* mttr_us = reg.histogram("fault_sweep.mttr_us");
+    std::printf("%-10s %-12s %-10s\n", "threshold", "cooldown_ms",
+                "mttr_ms");
+    for (const BreakerConfig& config : configs) {
+      SimClock clock;
+      storage::BlockDevice device("optical", 65536, 512,
+                                  storage::DeviceCostModel::Instant(),
+                                  true, &clock);
+      storage::BlockCache cache(256);
+      storage::Archiver archiver(&device, &cache);
+      storage::VersionStore versions;
+      server::Link link = server::Link::Ethernet(&clock);
+      server::ObjectServer server(&archiver, &versions, &clock, &link);
+      server::FaultProfile dead;
+      dead.drop_rate = 1.0;
+      server::FaultInjector injector(dead, 0xD1E, &clock);
+      link.SetFaultInjector(&injector);
+      server::CircuitBreaker::Options options;
+      options.failure_threshold = config.threshold;
+      options.cooldown_us = config.cooldown;
+      link.ConfigureBreaker(options);
+      if (!server.Store(TextObject(1, *report)).ok()) return 1;
+
+      // Drive fetches into the dead link until the breaker opens.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        if (link.breaker().state() ==
+            server::CircuitBreaker::State::kOpen) {
+          break;
+        }
+        server.Fetch(1).ok();
+      }
+      if (link.breaker().state() != server::CircuitBreaker::State::kOpen) {
+        std::printf("FAIL: breaker never opened at threshold %d\n",
+                    config.threshold);
+        return 1;
+      }
+      const Micros opened_at = clock.Now();
+      injector.set_profile(server::FaultProfile::None());  // Heals now.
+      // Poll like a session would: failed-fast attempts cost nothing,
+      // so recovery lands on the first probe past the cooldown.
+      Micros recovered_at = 0;
+      for (int poll = 0; poll < 4096; ++poll) {
+        if (server.Fetch(1).ok()) {
+          recovered_at = clock.Now();
+          break;
+        }
+        clock.Advance(MillisToMicros(5));
+      }
+      if (recovered_at == 0) {
+        std::printf("FAIL: no recovery after heal (cooldown %lld us)\n",
+                    static_cast<long long>(config.cooldown));
+        return 1;
+      }
+      const Micros mttr = recovered_at - opened_at;
+      mttr_us->Record(static_cast<double>(mttr));
+      std::printf("%-10d %-12.0f %-10.1f\n", config.threshold,
+                  static_cast<double>(config.cooldown) / 1000.0,
+                  static_cast<double>(mttr) / 1000.0);
+      last_sim_time += clock.Now();
+    }
+  }
+
   std::printf(
       "faults_injected_total=%lld retries_total=%lld retry_exhausted=%lld\n",
       static_cast<long long>(reg.counter("faults.injected_total")->value()),

@@ -1,0 +1,230 @@
+// RANK-1: is ranked retrieval worth its scoring cost, and is the
+// scatter merge exact? The corpus spreads the genuinely relevant
+// documents (heavy term frequency) across the id space while many
+// low-relevance documents mention the query term once near the front of
+// the id range — the shape where the unranked id-order strip shows the
+// user mostly noise. Three gates:
+//
+//   1. Quality: precision@10 of the ranked strip strictly beats the
+//      id-order strip against the planted ground truth.
+//   2. Cost: the ranked 4-shard top-10 gather (scoring + scatter card
+//      fetch) stays within 1.5x the unranked id-order path fetching the
+//      same ten cards.
+//   3. Symmetry: a 1-shard and a 4-shard archive of the same corpus
+//      return identical ids and identical scores.
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minos/obs/metrics.h"
+#include "minos/server/shard_router.h"
+#include "minos/text/markup.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+using storage::ObjectId;
+
+struct ShardStack {
+  explicit ShardStack(SimClock* clock)
+      : device("shard", 65536, 512,
+               storage::DeviceCostModel::OpticalDisk(), true, clock),
+        cache(1024),
+        archiver(&device, &cache),
+        link(server::Link::Ethernet(clock)),
+        server(&archiver, &versions, clock, &link) {}
+
+  storage::BlockDevice device;
+  storage::BlockCache cache;
+  storage::Archiver archiver;
+  storage::VersionStore versions;
+  server::Link link;
+  server::ObjectServer server;
+};
+
+/// Round-robin placement: perfect balance for the dense id range the
+/// bench stores.
+server::ShardPlacement RoundRobin() {
+  return [](ObjectId id, size_t shard_count) -> size_t {
+    return static_cast<size_t>((id - 1) % shard_count);
+  };
+}
+
+constexpr int kObjects = 40;
+constexpr size_t kTopK = 10;
+
+bool Relevant(ObjectId id) { return id % 4 == 0; }  // 4, 8, ..., 40.
+
+object::MultimediaObject CorpusObject(ObjectId id) {
+  object::MultimediaObject obj(id);
+  std::string body;
+  if (Relevant(id)) {
+    // The documents actually about fractures: heavy term mass.
+    body = "fracture fracture fracture fracture fracture treatment "
+           "protocol for the orthopedic ward";
+  } else {
+    // Passing mentions drowned in filler — early ids crowd the
+    // id-order strip without deserving it.
+    body = "administrative memo which notes a fracture case among many "
+           "unrelated scheduling budget staffing and inventory matters "
+           "for the quarter";
+  }
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\n" + body + "\n");
+  if (!doc.ok()) std::abort();
+  if (!obj.SetTextPart(std::move(doc).value()).ok()) std::abort();
+  object::VisualPageSpec page;
+  page.text_page = 1;
+  obj.descriptor().pages.push_back(page);
+  if (!obj.Archive().ok()) std::abort();
+  return obj;
+}
+
+struct Topology {
+  SimClock clock;
+  std::vector<std::unique_ptr<ShardStack>> stacks;
+  std::unique_ptr<server::ShardRouter> router;
+};
+
+std::unique_ptr<Topology> BuildTopology(size_t shards) {
+  auto topo = std::make_unique<Topology>();
+  std::vector<server::ObjectServer*> servers;
+  for (size_t i = 0; i < shards; ++i) {
+    topo->stacks.push_back(std::make_unique<ShardStack>(&topo->clock));
+    servers.push_back(&topo->stacks.back()->server);
+  }
+  server::ShardRouterOptions options;
+  options.replication = 2;
+  topo->router = std::make_unique<server::ShardRouter>(
+      servers, &topo->clock, RoundRobin(), options);
+  for (ObjectId id = 1; id <= kObjects; ++id) {
+    if (!topo->router->Store(CorpusObject(id)).ok()) std::abort();
+  }
+  return topo;
+}
+
+double Precision(const std::vector<ObjectId>& ids) {
+  size_t hits = 0;
+  for (ObjectId id : ids) {
+    if (Relevant(id)) ++hits;
+  }
+  return ids.empty() ? 0.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(ids.size());
+}
+
+int Run() {
+  bench::PrintHeader("ranked_query",
+                     "ranked top-k scatter/gather vs id-order browsing");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const std::vector<std::string> query{"fracture"};
+
+  std::unique_ptr<Topology> four = BuildTopology(4);
+  server::ShardRouter& router = *four->router;
+  SimClock& clock = four->clock;
+
+  // --- Gate 1: precision@10, ranked vs id order ------------------------
+  const std::vector<query::ScoredHit> ranked =
+      router.QueryRanked(query, kTopK);
+  std::vector<ObjectId> ranked_ids;
+  for (const query::ScoredHit& hit : ranked) ranked_ids.push_back(hit.id);
+  std::vector<ObjectId> id_order = router.QueryAll(query);
+  if (id_order.size() > kTopK) id_order.resize(kTopK);
+
+  const double p_ranked = Precision(ranked_ids);
+  const double p_id = Precision(id_order);
+  reg.gauge("ranked_query.precision_ranked")->Set(p_ranked);
+  reg.gauge("ranked_query.precision_id_order")->Set(p_id);
+  std::printf("precision@%zu: ranked=%.2f id_order=%.2f\n", kTopK,
+              p_ranked, p_id);
+  if (!(p_ranked > p_id)) {
+    std::printf("FAIL: ranked precision %.2f does not beat id order "
+                "%.2f\n",
+                p_ranked, p_id);
+    return 1;
+  }
+  std::printf("gate: ranked strip is more relevant than the id-order "
+              "strip\n");
+
+  // --- Gate 2: top-10 card latency, ranked vs id order -----------------
+  // Both paths deliver exactly kTopK miniature cards; the ranked one
+  // pays scoring and the scatter merge on top.
+  constexpr int kRounds = 8;
+  Micros unranked_total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const Micros start = clock.Now();
+    const std::vector<ObjectId> matches = router.QueryAll(query);
+    size_t fetched = 0;
+    for (ObjectId id : matches) {
+      if (fetched == kTopK) break;
+      if (!router.FetchMiniature(id).ok()) return 1;
+      ++fetched;
+    }
+    if (fetched != kTopK) return 1;
+    unranked_total += clock.Now() - start;
+  }
+  Micros ranked_total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const Micros start = clock.Now();
+    auto cards = router.GatherCardsRanked(query, kTopK);
+    if (!cards.ok() || cards->size() != kTopK) {
+      std::printf("FAIL: ranked gather returned %zu cards\n",
+                  cards.ok() ? cards->size() : 0);
+      return 1;
+    }
+    ranked_total += clock.Now() - start;
+  }
+  const double unranked_ms =
+      static_cast<double>(unranked_total) / kRounds / 1000.0;
+  const double ranked_ms =
+      static_cast<double>(ranked_total) / kRounds / 1000.0;
+  const double ratio = ranked_ms / unranked_ms;
+  reg.gauge("ranked_query.unranked_ms")->Set(unranked_ms);
+  reg.gauge("ranked_query.ranked_ms")->Set(ranked_ms);
+  reg.gauge("ranked_query.latency_ratio")->Set(ratio);
+  std::printf("top-%zu cards: id_order=%.2fms ranked=%.2fms "
+              "ratio=%.2f\n",
+              kTopK, unranked_ms, ranked_ms, ratio);
+  if (!(ratio <= 1.5)) {
+    std::printf("FAIL: ranked latency ratio %.2f exceeds 1.5x\n", ratio);
+    return 1;
+  }
+  std::printf("gate: ranked top-%zu stays within 1.5x of id-order\n",
+              kTopK);
+
+  // --- Gate 3: 1-shard vs 4-shard identity -----------------------------
+  std::unique_ptr<Topology> one = BuildTopology(1);
+  const std::vector<query::ScoredHit> single =
+      one->router->QueryRanked(query, kTopK);
+  if (single.size() != ranked.size()) {
+    std::printf("FAIL: 1-shard returned %zu hits, 4-shard %zu\n",
+                single.size(), ranked.size());
+    return 1;
+  }
+  for (size_t i = 0; i < single.size(); ++i) {
+    if (single[i].id != ranked[i].id ||
+        single[i].score != ranked[i].score) {
+      std::printf("FAIL: rank %zu diverges: 1-shard (%llu, %.6f) vs "
+                  "4-shard (%llu, %.6f)\n",
+                  i, static_cast<unsigned long long>(single[i].id),
+                  single[i].score,
+                  static_cast<unsigned long long>(ranked[i].id),
+                  ranked[i].score);
+      return 1;
+    }
+  }
+  std::printf("gate: 1-shard and 4-shard ranked results are "
+              "identical\n");
+
+  bench::NoteSimTime(four->clock.Now() + one->clock.Now());
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main() { return minos::Run(); }

@@ -1,0 +1,80 @@
+#ifndef MINOS_QUERY_QUERY_ENGINE_H_
+#define MINOS_QUERY_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minos/query/scored_index.h"
+#include "minos/util/clock.h"
+
+namespace minos::query {
+
+/// How query words combine: conjunctive requires every word (the
+/// QueryAll semantics, now ranked); disjunctive scores any match.
+enum class QueryMode : uint8_t { kConjunctive = 0, kDisjunctive = 1 };
+
+/// One ranked result: an object and its relevance score.
+struct ScoredHit {
+  storage::ObjectId id = 0;
+  double score = 0;
+};
+
+/// True when `a` outranks `b`: higher score first, ties broken by
+/// ascending object id — the deterministic order every merge (per-shard
+/// and cross-shard) agrees on.
+inline bool Outranks(const ScoredHit& a, const ScoredHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// BM25 shape parameters (classic defaults).
+struct Bm25Params {
+  double k1 = 1.2;  ///< Term-frequency saturation.
+  double b = 0.75;  ///< Document-length normalization strength.
+};
+
+/// One evaluated ranked query, plus the work figures the caller charges
+/// to the simulation clock and the `query.*` metrics family.
+struct RankedQuery {
+  std::vector<ScoredHit> hits;  ///< Outranks order, at most k entries.
+  size_t terms_scored = 0;
+  size_t postings_scanned = 0;
+  size_t heap_evictions = 0;
+};
+
+/// Simulated CPU cost of evaluating a ranked query: a per-term index
+/// probe plus a per-posting score-and-push. What an ObjectServer charges
+/// its SimClock; a scatter charges the slowest shard's figure only.
+Micros ScoringCost(size_t terms_scored, size_t postings_scanned);
+
+/// BM25-style scorer over a ScoredIndex with a bounded top-k heap.
+///
+/// Scores read postings (term frequencies, document lengths) from
+/// `postings` but corpus statistics (document count, average length,
+/// document frequencies) from `stats` — the same index for a single
+/// server, the router's catalog-wide stats-only index for a shard. With
+/// shared stats, every replica of an object produces bit-identical
+/// scores, which is what makes cross-shard merge-and-dedup exact and
+/// 1-shard and N-shard topologies return identical results.
+class QueryEngine {
+ public:
+  explicit QueryEngine(Bm25Params params = {}) : params_(params) {}
+
+  /// Top `k` objects matching `words` under `mode`, best first. Query
+  /// words are folded with the same routine the index builds with.
+  /// `global` supplies document frequencies and corpus stats (pass
+  /// `postings` itself for a single store). Increments
+  /// query.scored_terms / query.postings_scanned / query.heap_evictions
+  /// on the default registry.
+  RankedQuery TopK(const ScoredIndex& postings, const ScoredIndex& global,
+                   const std::vector<std::string>& words, size_t k,
+                   QueryMode mode) const;
+
+ private:
+  Bm25Params params_;
+};
+
+}  // namespace minos::query
+
+#endif  // MINOS_QUERY_QUERY_ENGINE_H_

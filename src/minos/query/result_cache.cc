@@ -1,0 +1,95 @@
+#include "minos/query/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "minos/obs/metrics.h"
+#include "minos/util/string_util.h"
+
+namespace minos::query {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* invalidations;
+  obs::Counter* evictions;
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics* m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return new CacheMetrics{
+        reg.counter("query.cache_hits"),
+        reg.counter("query.cache_misses"),
+        reg.counter("query.cache_invalidations"),
+        reg.counter("query.cache_evictions"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
+
+QueryResultCache::QueryResultCache(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+std::string QueryResultCache::Key(const std::vector<std::string>& words,
+                                  size_t k, QueryMode mode) {
+  std::vector<std::string> folded;
+  for (const std::string& word : words) {
+    std::string f = FoldWord(word);
+    if (!f.empty()) folded.push_back(std::move(f));
+  }
+  std::sort(folded.begin(), folded.end());
+  folded.erase(std::unique(folded.begin(), folded.end()), folded.end());
+  std::string key;
+  for (const std::string& f : folded) {
+    key += f;
+    key += '\x1f';
+  }
+  key += mode == QueryMode::kConjunctive ? "&" : "|";
+  key += std::to_string(k);
+  return key;
+}
+
+std::optional<std::vector<ScoredHit>> QueryResultCache::Lookup(
+    const std::string& key, uint64_t catalog_version) {
+  CacheMetrics& metrics = Metrics();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    metrics.misses->Increment();
+    return std::nullopt;
+  }
+  if (it->second.version != catalog_version) {
+    // The catalog changed since this strip was ranked: the entry is
+    // stale (a new object could outrank every cached hit).
+    entries_.erase(it);
+    metrics.invalidations->Increment();
+    metrics.misses->Increment();
+    return std::nullopt;
+  }
+  it->second.last_used = ++tick_;
+  metrics.hits->Increment();
+  return it->second.hits;
+}
+
+void QueryResultCache::Insert(const std::string& key,
+                              uint64_t catalog_version,
+                              std::vector<ScoredHit> hits) {
+  if (entries_.count(key) == 0 && entries_.size() >= capacity_) {
+    auto lru = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    entries_.erase(lru);
+    Metrics().evictions->Increment();
+  }
+  Entry& entry = entries_[key];
+  entry.version = catalog_version;
+  entry.last_used = ++tick_;
+  entry.hits = std::move(hits);
+}
+
+}  // namespace minos::query

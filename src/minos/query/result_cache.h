@@ -1,0 +1,57 @@
+#ifndef MINOS_QUERY_RESULT_CACHE_H_
+#define MINOS_QUERY_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minos/query/query_engine.h"
+
+namespace minos::query {
+
+/// Workstation-side cache of ranked query results. Entries are stamped
+/// with the store's catalog version at evaluation time; a Store bumps
+/// the version, so every cached strip from before the insertion reads
+/// as stale on its next lookup and is dropped (the archive may now hold
+/// a better match). Bounded, least-recently-used eviction.
+///
+/// Statistics live under "query.cache_*": hits, misses, invalidations
+/// (version-stale drops) and evictions (capacity drops).
+class QueryResultCache {
+ public:
+  explicit QueryResultCache(size_t capacity = 32);
+
+  /// Canonical cache key: folded, sorted, deduplicated words plus mode
+  /// and k — "Chapter map" and "map chapter" share an entry.
+  static std::string Key(const std::vector<std::string>& words, size_t k,
+                         QueryMode mode);
+
+  /// The cached hits when present and stamped with `catalog_version`;
+  /// nullopt (and the stale entry dropped) otherwise.
+  std::optional<std::vector<ScoredHit>> Lookup(const std::string& key,
+                                               uint64_t catalog_version);
+
+  /// Caches `hits` under `key`, evicting the least recently used entry
+  /// when full.
+  void Insert(const std::string& key, uint64_t catalog_version,
+              std::vector<ScoredHit> hits);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    uint64_t last_used = 0;
+    std::vector<ScoredHit> hits;
+  };
+
+  size_t capacity_;
+  uint64_t tick_ = 0;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace minos::query
+
+#endif  // MINOS_QUERY_RESULT_CACHE_H_

@@ -1,0 +1,95 @@
+#include "minos/query/scored_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "minos/util/string_util.h"
+
+namespace minos::query {
+
+double VoiceConfidence(const voice::RecognizerParams& profile) {
+  const double confidence =
+      profile.hit_rate * (1.0 - profile.false_alarm_rate);
+  return std::clamp(confidence, 0.0, 1.0);
+}
+
+void ScoredIndex::AddTerm(storage::ObjectId id, const std::string& term,
+                          double text_weight, double voice_weight) {
+  if (term.empty()) return;
+  if (!stats_only_) {
+    TermPosting& posting = postings_[term][id];
+    posting.text_tf += text_weight;
+    posting.voice_tf += voice_weight;
+  }
+  std::vector<std::string>& terms = doc_terms_[id];
+  if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+    terms.push_back(term);
+    ++doc_freq_[term];
+  }
+  lengths_[id] += text_weight + voice_weight;
+  stats_.total_length += text_weight + voice_weight;
+}
+
+void ScoredIndex::Add(const object::MultimediaObject& obj,
+                      double voice_confidence) {
+  const storage::ObjectId id = obj.id();
+  Remove(id);
+  ++stats_.doc_count;
+  lengths_[id] = 0;
+  doc_terms_[id] = {};
+  if (obj.has_text()) {
+    for (const std::string& w : SplitWords(obj.text_part().contents())) {
+      AddTerm(id, FoldWord(w), 1.0, 0.0);
+    }
+  }
+  for (const auto& [name, value] : obj.attributes()) {
+    for (const std::string& w : SplitWords(value)) {
+      AddTerm(id, FoldWord(w), 1.0, 0.0);
+    }
+  }
+  if (obj.has_voice()) {
+    for (const voice::WordAlignment& w : obj.voice_part().track().words) {
+      AddTerm(id, FoldWord(w.word), 0.0, voice_confidence);
+    }
+  }
+}
+
+void ScoredIndex::Remove(storage::ObjectId id) {
+  auto terms_it = doc_terms_.find(id);
+  if (terms_it == doc_terms_.end()) return;
+  for (const std::string& term : terms_it->second) {
+    auto df = doc_freq_.find(term);
+    if (df != doc_freq_.end() && --df->second == 0) doc_freq_.erase(df);
+    auto posting = postings_.find(term);
+    if (posting != postings_.end()) {
+      posting->second.erase(id);
+      if (posting->second.empty()) postings_.erase(posting);
+    }
+  }
+  auto length = lengths_.find(id);
+  if (length != lengths_.end()) {
+    stats_.total_length -= length->second;
+    lengths_.erase(length);
+  }
+  doc_terms_.erase(terms_it);
+  --stats_.doc_count;
+}
+
+const ScoredIndex::PostingMap& ScoredIndex::Postings(
+    std::string_view term) const {
+  static const PostingMap* empty = new PostingMap();
+  auto it = postings_.find(term);
+  return it == postings_.end() ? *empty : it->second;
+}
+
+uint64_t ScoredIndex::DocFreq(std::string_view term) const {
+  auto it = doc_freq_.find(term);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double ScoredIndex::DocLength(storage::ObjectId id) const {
+  auto it = lengths_.find(id);
+  return it == lengths_.end() ? 0.0 : it->second;
+}
+
+}  // namespace minos::query

@@ -1,0 +1,100 @@
+#ifndef MINOS_QUERY_SCORED_INDEX_H_
+#define MINOS_QUERY_SCORED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minos/object/multimedia_object.h"
+#include "minos/storage/version_store.h"
+#include "minos/voice/recognizer.h"
+
+namespace minos::query {
+
+/// One object's accumulated weight for one term, split by medium so the
+/// scorer (and the tests) can see where a hit came from. Text and
+/// attribute occurrences count 1.0 each; recognized-voice occurrences
+/// count the recognizer confidence each, so a false-alarm-prone spotter
+/// cannot outrank clean text evidence.
+struct TermPosting {
+  double text_tf = 0;   ///< Raw text + attribute occurrences.
+  double voice_tf = 0;  ///< Confidence-weighted voice occurrences.
+  double tf() const { return text_tf + voice_tf; }
+};
+
+/// Corpus-level statistics the BM25 scorer needs. For a single server
+/// these are the local index's own; for a sharded store the router keeps
+/// the catalog-wide figures (each object counted once, not once per
+/// replica) and hands them to every shard so per-shard scores agree.
+struct CorpusStats {
+  uint64_t doc_count = 0;
+  double total_length = 0;  ///< Sum of weighted object lengths.
+  double AvgLength() const {
+    return doc_count > 0 ? total_length / static_cast<double>(doc_count)
+                         : 0.0;
+  }
+};
+
+/// The weight one recognized-voice posting carries under `profile`: the
+/// spotter's hit rate discounted by its false-alarm rate. A perfect
+/// recognizer weighs voice words like text words (1.0); the default
+/// profile (85% hits, 1% false alarms) weighs them ~0.84.
+double VoiceConfidence(const voice::RecognizerParams& profile);
+
+/// The scored content index built at insertion time (§2: recognition and
+/// indexing happen when an object is stored, never at browsing time).
+/// It unifies the same two sources text::WordIndex already unifies —
+/// text-document words and recognized voice utterances — but keeps term
+/// frequencies and media provenance instead of bare positions, which is
+/// what turns boolean content queries into ranked ones.
+///
+/// A stats-only index (the ShardRouter's) keeps document frequencies and
+/// lengths but no postings: enough to serve global BM25 statistics
+/// without duplicating every shard's posting lists.
+class ScoredIndex {
+ public:
+  using PostingMap = std::map<storage::ObjectId, TermPosting>;
+
+  explicit ScoredIndex(bool stats_only = false)
+      : stats_only_(stats_only) {}
+
+  /// Indexes the object's text part, attribute values, and voice-track
+  /// words (each weighted by `voice_confidence`). Re-adding an id first
+  /// removes its previous contribution, so a re-stored version replaces
+  /// rather than double-counts.
+  void Add(const object::MultimediaObject& obj, double voice_confidence);
+
+  /// Removes every contribution of `id` (no-op when absent).
+  void Remove(storage::ObjectId id);
+
+  /// Postings of a folded term; empty map when absent or stats-only.
+  const PostingMap& Postings(std::string_view term) const;
+
+  /// Number of objects whose content contains the folded term.
+  uint64_t DocFreq(std::string_view term) const;
+
+  /// Weighted content length of `id` (0 when unknown).
+  double DocLength(storage::ObjectId id) const;
+
+  const CorpusStats& stats() const { return stats_; }
+  size_t vocabulary_size() const { return doc_freq_.size(); }
+  bool stats_only() const { return stats_only_; }
+
+ private:
+  void AddTerm(storage::ObjectId id, const std::string& term,
+               double text_weight, double voice_weight);
+
+  bool stats_only_;
+  CorpusStats stats_;
+  std::map<std::string, PostingMap, std::less<>> postings_;
+  std::map<std::string, uint64_t, std::less<>> doc_freq_;
+  std::map<storage::ObjectId, double> lengths_;
+  /// Distinct terms per object — what Remove must unwind.
+  std::map<storage::ObjectId, std::vector<std::string>> doc_terms_;
+};
+
+}  // namespace minos::query
+
+#endif  // MINOS_QUERY_SCORED_INDEX_H_

@@ -1,10 +1,11 @@
 #include "minos/server/object_server.h"
 
 #include <algorithm>
-#include <cctype>
+#include <utility>
 
 #include "minos/format/archive_mailer.h"
 #include "minos/obs/metrics.h"
+#include "minos/query/query_engine.h"
 #include "minos/render/screen.h"
 #include "minos/util/coding.h"
 #include "minos/util/string_util.h"
@@ -22,12 +23,10 @@ ObjectServer::ObjectServer(storage::Archiver* archiver,
     : archiver_(archiver), versions_(versions), clock_(clock), link_(link) {}
 
 void ObjectServer::IndexWords(ObjectId id, std::string_view text) {
-  for (std::string& w : SplitWords(text)) {
-    while (!w.empty() && !std::isalnum(static_cast<unsigned char>(w.back()))) {
-      w.pop_back();
-    }
-    if (w.empty()) continue;
-    index_[AsciiToLower(w)].insert(id);
+  for (const std::string& w : SplitWords(text)) {
+    std::string folded = FoldWord(w);
+    if (folded.empty()) continue;
+    index_[std::move(folded)].insert(id);
   }
 }
 
@@ -67,13 +66,22 @@ StatusOr<ArchiveAddress> ObjectServer::Store(const MultimediaObject& obj) {
       IndexWords(obj.id(), w.word);
     }
   }
+
+  // Scored index: the same two sources, but with term frequencies and
+  // media provenance kept, voice postings weighted by the recognizer
+  // profile's confidence. Built here — at insertion time — so ranked
+  // browsing never pays recognition or indexing cost.
+  scored_index_.Add(obj, query::VoiceConfidence(recognizer_profile_));
+  ++catalog_version_;
   return addr;
 }
 
 std::vector<ObjectId> ObjectServer::Query(std::string_view word) const {
   obs::MetricsRegistry::Default().counter("server.queries")->Increment();
   std::vector<ObjectId> out;
-  auto it = index_.find(AsciiToLower(word));
+  // Fold with the routine the index was built with, so "Chapter" and
+  // "chapter," hit the "chapter" posting list alike.
+  auto it = index_.find(FoldWord(word));
   if (it == index_.end()) return out;
   out.assign(it->second.begin(), it->second.end());
   return out;
@@ -99,13 +107,59 @@ std::vector<ObjectId> ObjectServer::QueryAll(
   return result;
 }
 
+std::vector<query::ScoredHit> ObjectServer::QueryRankedWith(
+    const std::vector<std::string>& words, size_t k, query::QueryMode mode,
+    const query::ScoredIndex& global) const {
+  obs::MetricsRegistry::Default()
+      .counter("query.ranked_queries")
+      ->Increment();
+  query::QueryEngine engine;
+  query::RankedQuery ranked =
+      engine.TopK(scored_index_, global, words, k, mode);
+  // Scoring is server-side CPU work; unlike card gathers it never rides
+  // the link, so the clock charge is the whole latency story here.
+  clock_->Advance(
+      query::ScoringCost(ranked.terms_scored, ranked.postings_scanned));
+  return std::move(ranked.hits);
+}
+
+std::vector<query::ScoredHit> ObjectServer::QueryRanked(
+    const std::vector<std::string>& words, size_t k,
+    query::QueryMode mode) const {
+  return QueryRankedWith(words, k, mode, scored_index_);
+}
+
 StatusOr<std::vector<MiniatureCard>> ObjectServer::GatherCards(
     const std::vector<std::string>& words, int thumb_width) {
   std::vector<MiniatureCard> cards;
   for (ObjectId id : QueryAll(words)) {
-    MINOS_ASSIGN_OR_RETURN(MiniatureCard card,
-                           FetchMiniature(id, thumb_width));
-    cards.push_back(std::move(card));
+    StatusOr<MiniatureCard> card = FetchMiniature(id, thumb_width);
+    if (!card.ok()) {
+      // One unbuildable card must not sink the strip: drop it and let
+      // the caller present the partial strip degraded.
+      obs::MetricsRegistry::Default()
+          .counter("server.cards_dropped")
+          ->Increment();
+      continue;
+    }
+    cards.push_back(*std::move(card));
+  }
+  return cards;
+}
+
+StatusOr<std::vector<MiniatureCard>> ObjectServer::GatherCardsRanked(
+    const std::vector<std::string>& words, size_t k, int thumb_width) {
+  std::vector<MiniatureCard> cards;
+  for (const query::ScoredHit& hit : QueryRanked(words, k)) {
+    StatusOr<MiniatureCard> card = FetchMiniature(hit.id, thumb_width);
+    if (!card.ok()) {
+      obs::MetricsRegistry::Default()
+          .counter("server.cards_dropped")
+          ->Increment();
+      continue;
+    }
+    card->score = hit.score;
+    cards.push_back(*std::move(card));
   }
   return cards;
 }

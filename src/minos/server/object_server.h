@@ -9,6 +9,7 @@
 #include "minos/core/page_compositor.h"
 #include "minos/image/miniature.h"
 #include "minos/object/multimedia_object.h"
+#include "minos/query/scored_index.h"
 #include "minos/server/fault.h"
 #include "minos/server/link.h"
 #include "minos/server/object_store.h"
@@ -67,9 +68,21 @@ class ObjectServer : public ObjectStore {
   /// Ingest ---------------------------------------------------------------
 
   /// Archives an object (must be in archived state) and indexes its
-  /// content for queries. Returns the archive address.
+  /// content for queries — both the boolean word index and the scored
+  /// index ranked retrieval reads. Returns the archive address.
   StatusOr<storage::ArchiveAddress> Store(
       const object::MultimediaObject& obj) override;
+
+  /// The recognizer accuracy profile voice postings are confidence-
+  /// weighted with at Store time (§2: recognition happens at insertion).
+  /// Every shard of one archive must share one profile, or replica
+  /// scores diverge. Takes effect for subsequent Stores.
+  void SetRecognizerProfile(const voice::RecognizerParams& profile) {
+    recognizer_profile_ = profile;
+  }
+  const voice::RecognizerParams& recognizer_profile() const {
+    return recognizer_profile_;
+  }
 
   /// Queries --------------------------------------------------------------
 
@@ -77,9 +90,28 @@ class ObjectServer : public ObjectStore {
   /// words contain `word` (case-insensitive whole-word match).
   std::vector<storage::ObjectId> Query(std::string_view word) const;
 
-  /// Conjunctive query: objects matching all words.
+  /// Conjunctive query: objects matching all words (unranked, id order).
   std::vector<storage::ObjectId> QueryAll(
       const std::vector<std::string>& words) const override;
+
+  /// Ranked query over the local scored index, best first. Charges the
+  /// SimClock for the scoring work (index probes + postings scanned).
+  std::vector<query::ScoredHit> QueryRanked(
+      const std::vector<std::string>& words, size_t k,
+      query::QueryMode mode =
+          query::QueryMode::kConjunctive) const override;
+
+  /// Ranked query scored against externally supplied corpus statistics
+  /// — the scatter path: the ShardRouter passes its catalog-wide stats
+  /// index so every shard (and every replica) scores identically.
+  std::vector<query::ScoredHit> QueryRankedWith(
+      const std::vector<std::string>& words, size_t k,
+      query::QueryMode mode, const query::ScoredIndex& global) const;
+
+  uint64_t catalog_version() const override { return catalog_version_; }
+
+  /// The local scored index (introspection / stats for tests).
+  const query::ScoredIndex& scored_index() const { return scored_index_; }
 
   /// Builds the miniature card of an object (rendered server-side,
   /// transferred over the link).
@@ -87,9 +119,17 @@ class ObjectServer : public ObjectStore {
                                          int thumb_width = 96) override;
 
   /// Evaluates the query and gathers the cards of every match, serially
-  /// (one machine, one arm: card costs add up).
+  /// (one machine, one arm: card costs add up). Cards that cannot be
+  /// built — a storm that outlasts the retry budget — are dropped from
+  /// the strip (counted in "server.cards_dropped") instead of failing
+  /// the whole query; the caller presents the partial strip degraded.
   StatusOr<std::vector<MiniatureCard>> GatherCards(
       const std::vector<std::string>& words, int thumb_width = 96) override;
+
+  /// Ranked gather, serially: top-k query, then cards best-first.
+  StatusOr<std::vector<MiniatureCard>> GatherCardsRanked(
+      const std::vector<std::string>& words, size_t k,
+      int thumb_width = 96) override;
 
   /// Retrieval ------------------------------------------------------------
 
@@ -199,6 +239,9 @@ class ObjectServer : public ObjectStore {
   Random retry_rng_{0x5EED0FCA};  // Seeded backoff jitter: replayable.
   std::map<storage::ObjectId, CatalogEntry> catalog_;
   std::map<std::string, std::set<storage::ObjectId>, std::less<>> index_;
+  query::ScoredIndex scored_index_;      // Ranked-retrieval postings.
+  voice::RecognizerParams recognizer_profile_;
+  uint64_t catalog_version_ = 0;  // Bumped per successful Store.
 };
 
 }  // namespace minos::server

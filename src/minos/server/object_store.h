@@ -8,6 +8,7 @@
 
 #include "minos/image/bitmap.h"
 #include "minos/object/multimedia_object.h"
+#include "minos/query/query_engine.h"
 #include "minos/server/fault.h"
 #include "minos/storage/archiver.h"
 #include "minos/storage/version_store.h"
@@ -29,6 +30,7 @@ struct MiniatureCard {
   image::Bitmap thumb;            ///< Small bitmap of the first visual page.
   std::string preview_transcript; ///< First spoken words (audio objects).
   uint64_t byte_size = 0;         ///< Transfer cost of this card.
+  double score = 0;               ///< Relevance (ranked gathers only).
 };
 
 /// How much of an object one Fetch transfers over the link.
@@ -62,8 +64,23 @@ class ObjectStore {
 
   /// Conjunctive content query: ids of objects matching all words, in
   /// ascending id order (sharded stores scatter the query and merge).
+  /// The unranked path — QueryRanked is the relevance-ordered one.
   virtual std::vector<storage::ObjectId> QueryAll(
       const std::vector<std::string>& words) const = 0;
+
+  /// Ranked content query: the top `k` objects matching `words` with
+  /// their BM25-style relevance scores, best first (ties break by
+  /// ascending id). A sharded store scatters per-shard top-k requests,
+  /// merges by score with replica dedup, and advances the clock by the
+  /// slowest shard.
+  virtual std::vector<query::ScoredHit> QueryRanked(
+      const std::vector<std::string>& words, size_t k,
+      query::QueryMode mode = query::QueryMode::kConjunctive) const = 0;
+
+  /// Monotonic catalog version: bumped by every successful Store. The
+  /// workstation's query-result cache stamps entries with it, so an
+  /// insertion invalidates every strip ranked before it.
+  virtual uint64_t catalog_version() const = 0;
 
   /// Builds and transfers the miniature card of one object.
   virtual StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
@@ -75,6 +92,15 @@ class ObjectStore {
   /// slowest shard, not the sum); a single server does it serially.
   virtual StatusOr<std::vector<MiniatureCard>> GatherCards(
       const std::vector<std::string>& words, int thumb_width = 96) = 0;
+
+  /// Ranked gather: evaluates QueryRanked and returns the miniature
+  /// cards of the top `k` matches in relevance order (each card carries
+  /// its score), so the presentation layer browses best-first. Cards
+  /// that cannot be built are dropped from the strip — a partial,
+  /// degraded answer beats no answer.
+  virtual StatusOr<std::vector<MiniatureCard>> GatherCardsRanked(
+      const std::vector<std::string>& words, size_t k,
+      int thumb_width = 96) = 0;
 
   /// Fetches an object (descriptor + composition) over the link.
   virtual StatusOr<object::MultimediaObject> Fetch(

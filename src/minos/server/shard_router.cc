@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <utility>
 
 #include "minos/server/link.h"
@@ -44,6 +45,8 @@ ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
                                   ? *options_.registry
                                   : obs::MetricsRegistry::Default();
   scatter_queries_ = reg.counter("router.scatter_queries");
+  ranked_scatters_ = reg.counter("query.ranked_scatters");
+  merge_depth_ = reg.histogram("query.merge_depth");
   failovers_ = reg.counter("router.failovers_total");
   shards_lost_ = reg.counter("router.shards_lost_total");
   shards_healed_ = reg.counter("router.shards_healed_total");
@@ -144,7 +147,60 @@ StatusOr<ArchiveAddress> ShardRouter::Store(const MultimediaObject& obj) {
       if (!first.ok()) first = got;
     }
   }
+  if (first.ok()) {
+    // Catalog-wide statistics count the object once, however many
+    // replicas hold it; weight voice postings with the shard profile.
+    corpus_stats_.Add(obj, query::VoiceConfidence(
+                               shards_.front()->recognizer_profile()));
+    ++catalog_version_;
+  }
   return first;
+}
+
+std::vector<query::ScoredHit> ShardRouter::QueryRanked(
+    const std::vector<std::string>& words, size_t k,
+    query::QueryMode mode) const {
+  RefreshLiveness();
+  ranked_scatters_->Increment();
+
+  // Scatter: each live shard evaluates its local top-k against the
+  // catalog-wide statistics. All shards run on the one SimClock, so
+  // each share is measured inline, rewound, and the gather barrier
+  // advances by the slowest — exactly the GatherCards time model.
+  std::vector<std::vector<query::ScoredHit>> per_shard;
+  Micros slowest = 0;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (!live_[shard]) continue;
+    const Micros start = clock_->Now();
+    std::vector<query::ScoredHit> hits =
+        shards_[shard]->QueryRankedWith(words, k, mode, corpus_stats_);
+    const Micros cost = clock_->Now() - start;
+    clock_->RewindTo(start);
+    slowest = std::max(slowest, cost);
+    merge_depth_->Record(static_cast<double>(hits.size()));
+    per_shard.push_back(std::move(hits));
+  }
+  clock_->Advance(slowest);
+
+  // Gather: k-way merge by score. Replicas of one object scored against
+  // the same global statistics produce identical scores; dedup keeps
+  // the max-score copy anyway, so a replica pair diverging under a
+  // mid-query re-store still resolves deterministically.
+  std::map<ObjectId, double> best;
+  for (const std::vector<query::ScoredHit>& hits : per_shard) {
+    for (const query::ScoredHit& hit : hits) {
+      auto [it, inserted] = best.emplace(hit.id, hit.score);
+      if (!inserted && hit.score > it->second) it->second = hit.score;
+    }
+  }
+  std::vector<query::ScoredHit> merged;
+  merged.reserve(best.size());
+  for (const auto& [id, score] : best) {
+    merged.push_back(query::ScoredHit{id, score});
+  }
+  std::sort(merged.begin(), merged.end(), query::Outranks);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
 }
 
 std::vector<ObjectId> ShardRouter::QueryAll(
@@ -171,10 +227,9 @@ StatusOr<MiniatureCard> ShardRouter::FetchMiniature(ObjectId id,
       id, [&](ObjectServer* s) { return s->FetchMiniature(id, thumb_width); });
 }
 
-StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCards(
-    const std::vector<std::string>& words, int thumb_width) {
-  const std::vector<ObjectId> matches = QueryAll(words);
-
+std::vector<MiniatureCard> ShardRouter::ScatterCards(
+    const std::vector<ObjectId>& matches, int thumb_width) {
+  RefreshLiveness();
   // Partition the matches by their first live replica — the shard whose
   // card-building work they will ride.
   std::vector<std::vector<ObjectId>> share(shards_.size());
@@ -227,11 +282,44 @@ StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCards(
     }
   }
 
+  return cards;
+}
+
+StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCards(
+    const std::vector<std::string>& words, int thumb_width) {
+  const std::vector<ObjectId> matches = QueryAll(words);
+  std::vector<MiniatureCard> cards = ScatterCards(matches, thumb_width);
   std::sort(cards.begin(), cards.end(),
             [](const MiniatureCard& a, const MiniatureCard& b) {
               return a.id < b.id;
             });
   return cards;
+}
+
+StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCardsRanked(
+    const std::vector<std::string>& words, size_t k, int thumb_width) {
+  const std::vector<query::ScoredHit> hits = QueryRanked(words, k);
+  std::vector<ObjectId> ids;
+  ids.reserve(hits.size());
+  for (const query::ScoredHit& hit : hits) ids.push_back(hit.id);
+
+  std::vector<MiniatureCard> cards = ScatterCards(ids, thumb_width);
+  std::map<ObjectId, MiniatureCard> by_id;
+  for (MiniatureCard& card : cards) {
+    by_id.emplace(card.id, std::move(card));
+  }
+
+  // Reassemble in relevance order; hits whose card got dropped leave a
+  // gap the presentation layer reports as a degraded strip.
+  std::vector<MiniatureCard> strip;
+  strip.reserve(hits.size());
+  for (const query::ScoredHit& hit : hits) {
+    auto it = by_id.find(hit.id);
+    if (it == by_id.end()) continue;
+    it->second.score = hit.score;
+    strip.push_back(std::move(it->second));
+  }
+  return strip;
 }
 
 StatusOr<MultimediaObject> ShardRouter::Fetch(ObjectId id,

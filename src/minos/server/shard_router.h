@@ -69,7 +69,9 @@ struct ShardRouterOptions {
 /// Statistics live under "router.*": scatter_queries, failovers_total,
 /// shards_lost_total, shards_healed_total, rebalances_total,
 /// dropped_results_total, replica_store_errors_total counters; live_shards
-/// gauge; gather_us histogram.
+/// gauge; gather_us histogram. Ranked scatters add
+/// "query.ranked_scatters" and the per-shard "query.merge_depth"
+/// histogram.
 class ShardRouter : public ObjectStore {
  public:
   /// All shard pointers borrowed, non-null, non-empty. Shards should be
@@ -94,6 +96,19 @@ class ShardRouter : public ObjectStore {
   std::vector<storage::ObjectId> QueryAll(
       const std::vector<std::string>& words) const override;
 
+  /// Ranked scatter/gather: every live shard evaluates the top-k over
+  /// its own postings against the router's catalog-wide statistics (so
+  /// replicas score identically), the clock advances by the slowest
+  /// shard, and the per-shard lists k-way merge by score — replica
+  /// duplicates keep the max-score copy, ties break by ascending id.
+  /// Identical to a single server's QueryRanked when all shards live.
+  std::vector<query::ScoredHit> QueryRanked(
+      const std::vector<std::string>& words, size_t k,
+      query::QueryMode mode =
+          query::QueryMode::kConjunctive) const override;
+
+  uint64_t catalog_version() const override { return catalog_version_; }
+
   StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
                                          int thumb_width = 96) override;
 
@@ -104,6 +119,15 @@ class ShardRouter : public ObjectStore {
   /// non-empty answer beats no answer.
   StatusOr<std::vector<MiniatureCard>> GatherCards(
       const std::vector<std::string>& words, int thumb_width = 96) override;
+
+  /// Ranked scatter/gather card fetch: QueryRanked picks the top-k,
+  /// each live shard builds the cards of the hits it is the first live
+  /// replica for (clock advances by the slowest shard), and the strip
+  /// comes back in relevance order with scores attached. Hits whose
+  /// every replica is unreachable are dropped (dropped_results_total).
+  StatusOr<std::vector<MiniatureCard>> GatherCardsRanked(
+      const std::vector<std::string>& words, size_t k,
+      int thumb_width = 96) override;
 
   StatusOr<object::MultimediaObject> Fetch(
       storage::ObjectId id,
@@ -147,6 +171,14 @@ class ShardRouter : public ObjectStore {
   size_t live_count() const;
 
  private:
+  /// Shared scatter engine of both gathers: partitions `matches` by
+  /// first live replica, builds each shard's share inline (clock
+  /// rewound, gather barrier = slowest shard), serially fails over ids
+  /// whose shard died mid-gather, and drops unreachable ids
+  /// (dropped_results_total). Returns cards in arbitrary order.
+  std::vector<MiniatureCard> ScatterCards(
+      const std::vector<storage::ObjectId>& matches, int thumb_width);
+
   /// Replica ring of an id: primary, then successors mod shard count,
   /// `replication` entries total.
   std::vector<size_t> ReplicaChain(storage::ObjectId id) const;
@@ -170,11 +202,17 @@ class ShardRouter : public ObjectStore {
   SimClock* clock_;
   ShardPlacement placement_;
   ShardRouterOptions options_;
+  /// Catalog-wide BM25 statistics (each object counted once, not per
+  /// replica), handed to every shard so scatter scores agree globally.
+  query::ScoredIndex corpus_stats_{/*stats_only=*/true};
+  uint64_t catalog_version_ = 0;
   /// Routing table, re-derived lazily from breaker state (mutable: reads
   /// refresh it).
   mutable std::vector<bool> live_;
 
   obs::Counter* scatter_queries_;   // Owned by the registry.
+  obs::Counter* ranked_scatters_;
+  obs::Histogram* merge_depth_;     // Hits merged per live shard.
   obs::Counter* failovers_;
   obs::Counter* shards_lost_;
   obs::Counter* shards_healed_;

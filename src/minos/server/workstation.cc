@@ -310,10 +310,21 @@ StatusOr<MiniatureBrowser> Workstation::Query(
   if (prefetch_ == nullptr) {
     // The store owns the gather: a single server builds cards serially,
     // a sharded one scatters the work and overlaps the shards.
+    const std::vector<storage::ObjectId> matches = server_->QueryAll(words);
     MINOS_ASSIGN_OR_RETURN(std::vector<MiniatureCard> cards,
                            server_->GatherCards(words));
+    std::set<storage::ObjectId> built;
     for (const MiniatureCard& card : cards) {
       thumb_cache_[card.id] = card.thumb;
+      built.insert(card.id);
+    }
+    // The store drops unbuildable cards rather than failing the strip;
+    // surface each gap so the session knows the answer is partial.
+    for (storage::ObjectId id : matches) {
+      if (built.count(id) == 0) {
+        presentation_.NoteDegraded(id, "miniature",
+                                   "card not delivered; dropped from strip");
+      }
     }
     return MiniatureBrowser(std::move(cards));
   }
@@ -333,6 +344,75 @@ StatusOr<MiniatureBrowser> Workstation::Query(
         }
         StatusOr<MiniatureCard> card = server_->FetchMiniature(id);
         if (card.ok()) thumb_cache_[id] = card->thumb;
+        return card;
+      });
+  browser.SetCursorListener([this, ids](int position, int count, bool jump) {
+    (void)count;
+    OnMiniatureCursor(ids, position, jump);
+  });
+  OnMiniatureCursor(ids, 0, /*jump=*/false);
+  return browser;
+}
+
+StatusOr<MiniatureBrowser> Workstation::QueryRanked(
+    const std::vector<std::string>& words, size_t k) {
+  const query::QueryMode mode = query::QueryMode::kConjunctive;
+  const std::string key = query::QueryResultCache::Key(words, k, mode);
+  std::vector<query::ScoredHit> hits;
+  if (std::optional<std::vector<query::ScoredHit>> cached =
+          ranked_cache_.Lookup(key, server_->catalog_version())) {
+    hits = *std::move(cached);
+  } else {
+    hits = server_->QueryRanked(words, k, mode);
+    ranked_cache_.Insert(key, server_->catalog_version(), hits);
+  }
+
+  if (prefetch_ == nullptr) {
+    // Eager: cards best-first, each carrying its score. An unfetchable
+    // hit leaves the strip (noted degraded) rather than failing it.
+    std::vector<MiniatureCard> cards;
+    cards.reserve(hits.size());
+    for (const query::ScoredHit& hit : hits) {
+      StatusOr<MiniatureCard> card = server_->FetchMiniature(hit.id);
+      if (!card.ok()) {
+        presentation_.NoteDegraded(hit.id, "miniature",
+                                   "ranked card not delivered (" +
+                                       card.status().message() +
+                                       "); dropped from strip");
+        continue;
+      }
+      card->score = hit.score;
+      thumb_cache_[hit.id] = card->thumb;
+      cards.push_back(*std::move(card));
+    }
+    return MiniatureBrowser(std::move(cards));
+  }
+
+  // Prefetching: lazy strip over the ranked ids, best first. Cards claim
+  // staged fetches like the unranked path and pick their score up here.
+  std::vector<storage::ObjectId> ids;
+  std::map<storage::ObjectId, double> scores;
+  ids.reserve(hits.size());
+  for (const query::ScoredHit& hit : hits) {
+    ids.push_back(hit.id);
+    scores.emplace(hit.id, hit.score);
+  }
+  prefetch_->Cancel(PrefetchKind::kMiniature);
+  MiniatureBrowser browser(
+      ids, [this, scores](storage::ObjectId id, int position) {
+        auto scored = scores.find(id);
+        const double score = scored != scores.end() ? scored->second : 0;
+        if (std::optional<MiniatureCard> staged =
+                prefetch_->TakeMiniature(position, id)) {
+          staged->score = score;
+          thumb_cache_[id] = staged->thumb;
+          return StatusOr<MiniatureCard>(*std::move(staged));
+        }
+        StatusOr<MiniatureCard> card = server_->FetchMiniature(id);
+        if (card.ok()) {
+          card->score = score;
+          thumb_cache_[id] = card->thumb;
+        }
         return card;
       });
   browser.SetCursorListener([this, ids](int position, int count, bool jump) {

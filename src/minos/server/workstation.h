@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "minos/core/presentation_manager.h"
+#include "minos/query/result_cache.h"
 #include "minos/server/object_store.h"
 #include "minos/server/prefetch.h"
 #include "minos/util/random.h"
@@ -143,8 +144,24 @@ class Workstation {
   PrefetchQueue* prefetch() { return prefetch_.get(); }
 
   /// Evaluates a conjunctive content query at the server and returns the
-  /// miniature browser over the qualifying objects.
+  /// miniature browser over the qualifying objects (unranked, id order).
+  /// Matches whose card the store could not build are dropped from the
+  /// strip and noted degraded with the presentation manager.
   StatusOr<MiniatureBrowser> Query(const std::vector<std::string>& words);
+
+  /// Ranked query: the miniature browser over the top `k` matches in
+  /// relevance order, each card carrying its score. The ranked hit list
+  /// is served from a workstation-side cache when the archive has not
+  /// changed since it was computed (entries are stamped with the store's
+  /// catalog version, so any Store invalidates them); the scatter/merge
+  /// only re-runs on a miss. Unfetchable cards degrade the strip.
+  StatusOr<MiniatureBrowser> QueryRanked(
+      const std::vector<std::string>& words, size_t k);
+
+  /// The ranked-result cache (introspection for tests).
+  const query::QueryResultCache& ranked_cache() const {
+    return ranked_cache_;
+  }
 
   /// Opens the selected object in the presentation manager.
   Status Present(storage::ObjectId id);
@@ -219,6 +236,8 @@ class Workstation {
   /// Miniature thumbs by object id, kept from the last Query: the
   /// degraded fallback for failed region fetches.
   std::map<storage::ObjectId, image::Bitmap> thumb_cache_;
+  /// Ranked hit lists by canonical query key, catalog-version stamped.
+  query::QueryResultCache ranked_cache_;
 };
 
 }  // namespace minos::server

@@ -98,13 +98,10 @@ StatusOr<size_t> FindPrevious(std::string_view text,
 
 void WordIndex::Build(const Document& doc) {
   for (const LogicalComponent& w : doc.Components(LogicalUnit::kWord)) {
-    std::string word =
-        doc.contents().substr(w.span.begin, w.span.length());
-    // Strip trailing punctuation so "map," indexes as "map".
-    while (!word.empty() &&
-           !std::isalnum(static_cast<unsigned char>(word.back()))) {
-      word.pop_back();
-    }
+    // FoldWord strips trailing punctuation so "map," indexes as "map".
+    const std::string word = FoldWord(std::string_view(doc.contents())
+                                          .substr(w.span.begin,
+                                                  w.span.length()));
     if (word.empty()) continue;
     AddPosting(word, w.span.begin);
   }

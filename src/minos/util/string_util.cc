@@ -55,6 +55,14 @@ std::string AsciiToLower(std::string_view input) {
   return out;
 }
 
+std::string FoldWord(std::string_view word) {
+  while (!word.empty() &&
+         !std::isalnum(static_cast<unsigned char>(word.back()))) {
+    word.remove_suffix(1);
+  }
+  return AsciiToLower(word);
+}
+
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;

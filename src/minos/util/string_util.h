@@ -20,6 +20,13 @@ std::string_view TrimWhitespace(std::string_view input);
 /// ASCII lowercase copy.
 std::string AsciiToLower(std::string_view input);
 
+/// Canonical content-word folding, shared by every index build and every
+/// query path (text::WordIndex::Build, the object server's content index,
+/// the ranked query engine): trailing non-alphanumerics stripped, then
+/// ASCII-lowercased. "Chapter," and "chapter" fold to the same key, so a
+/// query folds exactly like the index it probes.
+std::string FoldWord(std::string_view word);
+
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 

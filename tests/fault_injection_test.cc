@@ -12,6 +12,7 @@
 #include "minos/core/presentation_manager.h"
 #include "minos/object/part_codec.h"
 #include "minos/server/object_server.h"
+#include "minos/server/shard_router.h"
 #include "minos/server/workstation.h"
 #include "minos/text/markup.h"
 #include "minos/util/coding.h"
@@ -640,6 +641,153 @@ TEST(DegradationTest, AudioObjectWithoutVoicePresentsItsTextPart) {
   EXPECT_EQ(pm.degraded_parts()[0].object_id, 6u);
   // The substitution is on the event timeline.
   EXPECT_EQ(pm.log().OfKind(core::EventKind::kDegraded).size(), 1u);
+}
+
+// --- Storms over the miniature and ranked-query paths -----------------
+
+TEST_F(FaultedServerTest, StormDuringGatherYieldsPartialDegradedStrip) {
+  for (storage::ObjectId id : {1u, 2u, 3u}) {
+    ASSERT_TRUE(
+        server_.Store(TextObject(id, "stormy strip body")).ok());
+  }
+  // One transfer fails and retries are off, so exactly one card drops
+  // out of the strip — deterministically.
+  FaultProfile profile;
+  profile.fail_first_n = 1;
+  FaultInjector injector(profile, 11, &clock_);
+  link_.SetFaultInjector(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  server_.SetRetryPolicy(policy);
+
+  const double dropped_before =
+      obs::MetricsRegistry::Default().counter("server.cards_dropped")
+          ->value();
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  auto browser = workstation.Query({"stormy"});
+  ASSERT_TRUE(browser.ok());  // Degraded, never an error.
+  EXPECT_EQ(browser->size(), 2u);
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .counter("server.cards_dropped")
+                ->value(),
+            dropped_before + 1);
+  // The gap is on the record: a degraded miniature note and an event.
+  ASSERT_EQ(workstation.presentation().degraded_parts().size(), 1u);
+  EXPECT_EQ(workstation.presentation().degraded_parts()[0].object_id, 1u);
+  EXPECT_EQ(workstation.presentation().degraded_parts()[0].part,
+            "miniature");
+  EXPECT_FALSE(workstation.presentation()
+                   .log()
+                   .OfKind(core::EventKind::kDegraded)
+                   .empty());
+}
+
+TEST_F(FaultedServerTest, StormDuringRankedGatherDegradesNotCrashes) {
+  for (storage::ObjectId id : {1u, 2u, 3u, 4u}) {
+    ASSERT_TRUE(
+        server_.Store(TextObject(id, "ranked storm body")).ok());
+  }
+  // A full storm: drops, timeouts, corruption and latency spikes, with
+  // retries on. Scoring never rides the link, so ranked hit lists stay
+  // complete; card gathers may thin out but must never error.
+  FaultInjector injector(FaultProfile::Storm(), 0xBAD, &clock_);
+  link_.SetFaultInjector(&injector);
+
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<query::ScoredHit> hits =
+        server_.QueryRanked({"ranked"}, 10);
+    EXPECT_EQ(hits.size(), 4u);
+    auto cards = server_.GatherCardsRanked({"ranked"}, 10);
+    ASSERT_TRUE(cards.ok()) << cards.status().ToString();
+    EXPECT_LE(cards->size(), hits.size());
+    // Whatever survived is still in relevance order.
+    for (size_t i = 1; i < cards->size(); ++i) {
+      EXPECT_GE((*cards)[i - 1].score, (*cards)[i].score);
+    }
+  }
+  EXPECT_GT(injector.faults_injected(), 0u);
+}
+
+TEST_F(FaultedServerTest, StormedRankedWorkstationNotesDroppedCards) {
+  for (storage::ObjectId id : {1u, 2u, 3u}) {
+    ASSERT_TRUE(server_.Store(TextObject(id, "noted storm body")).ok());
+  }
+  FaultProfile profile;
+  profile.fail_first_n = 2;
+  FaultInjector injector(profile, 23, &clock_);
+  link_.SetFaultInjector(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  server_.SetRetryPolicy(policy);
+
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  auto browser = workstation.QueryRanked({"noted"}, 10);
+  ASSERT_TRUE(browser.ok());
+  EXPECT_EQ(browser->size(), 1u);  // Two of three cards dropped.
+  EXPECT_EQ(workstation.presentation().degraded_parts().size(), 2u);
+  for (const auto& note : workstation.presentation().degraded_parts()) {
+    EXPECT_EQ(note.part, "miniature");
+  }
+}
+
+TEST(StormShardTest, StormedShardDegradesScatterGathersNotCrashes) {
+  SimClock clock;
+  struct Stack {
+    explicit Stack(SimClock* clock)
+        : device("shard", 65536, 512,
+                 storage::DeviceCostModel::Instant(), true, clock),
+          cache(256),
+          archiver(&device, &cache),
+          link(Link::Ethernet(clock)),
+          server(&archiver, &versions, clock, &link) {}
+    storage::BlockDevice device;
+    storage::BlockCache cache;
+    storage::Archiver archiver;
+    storage::VersionStore versions;
+    Link link;
+    ObjectServer server;
+  };
+  Stack a(&clock), b(&clock);
+  ShardRouter router({&a.server, &b.server}, &clock, HashPlacement(),
+                     ShardRouterOptions{});  // Replication 2: full copies.
+  text::MarkupParser parser;
+  for (storage::ObjectId id = 1; id <= 6; ++id) {
+    MultimediaObject obj(id);
+    auto doc = parser.Parse(".PP\nsharded storm body\n");
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+    VisualPageSpec page;
+    page.text_page = 1;
+    obj.descriptor().pages.push_back(page);
+    ASSERT_TRUE(obj.Archive().ok());
+    ASSERT_TRUE(router.Store(obj).ok());
+  }
+
+  // Shard a's link storms hard enough to trip its breaker; shard b has
+  // every replica, so gathers stay complete across the failover.
+  CircuitBreaker::Options breaker;
+  breaker.failure_threshold = 3;
+  a.link.ConfigureBreaker(breaker);
+  FaultProfile dead;
+  dead.drop_rate = 1.0;
+  FaultInjector injector(dead, 0x57A, &clock);
+  a.link.SetFaultInjector(&injector);
+
+  for (int round = 0; round < 4; ++round) {
+    auto cards = router.GatherCards({"sharded"});
+    ASSERT_TRUE(cards.ok()) << cards.status().ToString();
+    EXPECT_EQ(cards->size(), 6u);
+    auto ranked = router.GatherCardsRanked({"sharded"}, 4);
+    ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+    EXPECT_EQ(ranked->size(), 4u);
+  }
+  EXPECT_EQ(a.link.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(router.live_count(), 1u);
+  // The storm tripped the shard out of the scatter set; the ranked
+  // query keeps answering from the surviving replica set.
+  EXPECT_EQ(router.QueryRanked({"sharded"}, 10).size(), 6u);
 }
 
 }  // namespace

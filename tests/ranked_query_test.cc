@@ -1,0 +1,481 @@
+// The ranked content-retrieval engine: BM25-style scoring over the
+// insertion-time scored index, confidence-weighted voice postings,
+// top-k scatter/gather merge across shards (identical to one server),
+// replica dedup, tied-score determinism, the workstation's version-
+// stamped result cache, and degraded-not-crashed behaviour under fault
+// storms.
+
+#include "minos/query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minos/query/result_cache.h"
+#include "minos/query/scored_index.h"
+#include "minos/server/shard_router.h"
+#include "minos/server/workstation.h"
+#include "minos/text/markup.h"
+#include "minos/voice/synthesizer.h"
+
+namespace minos::server {
+namespace {
+
+using object::MultimediaObject;
+using object::VisualPageSpec;
+using query::QueryMode;
+using query::ScoredHit;
+using storage::ObjectId;
+
+MultimediaObject TextObject(ObjectId id, const std::string& body) {
+  MultimediaObject obj(id);
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\n" + body + "\n");
+  EXPECT_TRUE(doc.ok());
+  EXPECT_TRUE(obj.SetTextPart(std::move(doc).value()).ok());
+  VisualPageSpec page;
+  page.text_page = 1;
+  obj.descriptor().pages.push_back(page);
+  EXPECT_TRUE(obj.Archive().ok());
+  return obj;
+}
+
+MultimediaObject AudioObject(ObjectId id, const std::string& body) {
+  MultimediaObject obj(id);
+  text::MarkupParser parser;
+  auto doc = parser.Parse(".PP\n" + body + "\n");
+  EXPECT_TRUE(doc.ok());
+  voice::SpeechSynthesizer synth{voice::SpeakerParams{}};
+  auto track = synth.Synthesize(*doc);
+  EXPECT_TRUE(track.ok());
+  EXPECT_TRUE(
+      obj.SetVoicePart(voice::VoiceDocument(std::move(track).value())).ok());
+  obj.descriptor().driving_mode = object::DrivingMode::kAudio;
+  EXPECT_TRUE(obj.Archive().ok());
+  return obj;
+}
+
+int64_t Count(const std::string& name) {
+  return static_cast<int64_t>(
+      obs::MetricsRegistry::Default().counter(name)->value());
+}
+
+// --- Single server ------------------------------------------------------
+
+class RankedQueryTest : public ::testing::Test {
+ protected:
+  RankedQueryTest()
+      : device_("optical", 65536, 512,
+                storage::DeviceCostModel::Instant(), true, &clock_),
+        cache_(256),
+        archiver_(&device_, &cache_),
+        link_(Link::Ethernet(&clock_)),
+        server_(&archiver_, &versions_, &clock_, &link_) {}
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BlockCache cache_;
+  storage::Archiver archiver_;
+  storage::VersionStore versions_;
+  Link link_;
+  ObjectServer server_;
+};
+
+TEST_F(RankedQueryTest, TermFrequencyDrivesTheRanking) {
+  ASSERT_TRUE(
+      server_.Store(TextObject(1, "fracture mentioned once here")).ok());
+  ASSERT_TRUE(server_.Store(
+                         TextObject(2, "fracture fracture fracture report"))
+                  .ok());
+  ASSERT_TRUE(server_.Store(TextObject(3, "unrelated subway notes")).ok());
+
+  const std::vector<ScoredHit> hits = server_.QueryRanked({"fracture"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 2u);  // Three occurrences outrank one.
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST_F(RankedQueryTest, RankedQueryChargesScoringTimeToTheClock) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "costed fracture body")).ok());
+  const Micros before = clock_.Now();
+  ASSERT_EQ(server_.QueryRanked({"fracture"}, 4).size(), 1u);
+  EXPECT_GT(clock_.Now(), before);
+}
+
+TEST_F(RankedQueryTest, TiedScoresBreakByAscendingId) {
+  // Identical bodies, stored out of id order: identical scores, so the
+  // tie must break deterministically by ascending id.
+  for (ObjectId id : {7u, 3u, 9u, 5u}) {
+    ASSERT_TRUE(server_.Store(TextObject(id, "identical tied body")).ok());
+  }
+  const std::vector<ScoredHit> hits = server_.QueryRanked({"tied"}, 10);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].id, 3u);
+  EXPECT_EQ(hits[1].id, 5u);
+  EXPECT_EQ(hits[2].id, 7u);
+  EXPECT_EQ(hits[3].id, 9u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hits[i].score, hits[0].score);
+  }
+}
+
+TEST_F(RankedQueryTest, KLargerThanMatchCountReturnsEveryMatch) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "sparse term alpha")).ok());
+  ASSERT_TRUE(server_.Store(TextObject(2, "sparse term beta")).ok());
+  EXPECT_EQ(server_.QueryRanked({"sparse"}, 100).size(), 2u);
+  EXPECT_EQ(server_.QueryRanked({"sparse"}, 1).size(), 1u);
+  EXPECT_TRUE(server_.QueryRanked({"absent"}, 5).empty());
+  EXPECT_TRUE(server_.QueryRanked({"sparse"}, 0).empty());
+}
+
+TEST_F(RankedQueryTest, ConjunctiveNeedsAllWordsDisjunctiveAnyWord) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "red apples and pears")).ok());
+  ASSERT_TRUE(server_.Store(TextObject(2, "red bricks and mortar")).ok());
+
+  const std::vector<ScoredHit> both =
+      server_.QueryRanked({"red", "apples"}, 10);
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0].id, 1u);
+
+  const std::vector<ScoredHit> any = server_.QueryRanked(
+      {"red", "apples"}, 10, QueryMode::kDisjunctive);
+  ASSERT_EQ(any.size(), 2u);
+  // The two-term match outranks the one-term match.
+  EXPECT_EQ(any[0].id, 1u);
+  EXPECT_GT(any[0].score, any[1].score);
+}
+
+TEST_F(RankedQueryTest, QueryWordsFoldLikeTheIndexDoes) {
+  // The regression the fold unification fixes: the index folds
+  // "Chapter," (trailing punctuation in running text) to "chapter", so
+  // every query spelling of the word must fold the same way.
+  ASSERT_TRUE(
+      server_.Store(TextObject(1, "the restoration Chapter, begins")).ok());
+  const std::vector<ObjectId> expected{1};
+  EXPECT_EQ(server_.Query("chapter"), expected);
+  EXPECT_EQ(server_.Query("Chapter"), expected);
+  EXPECT_EQ(server_.Query("CHAPTER,"), expected);
+  EXPECT_EQ(server_.QueryAll({"chapter."}), expected);
+  ASSERT_EQ(server_.QueryRanked({"Chapter,"}, 5).size(), 1u);
+  EXPECT_DOUBLE_EQ(server_.QueryRanked({"Chapter,"}, 5)[0].score,
+                   server_.QueryRanked({"chapter"}, 5)[0].score);
+}
+
+TEST_F(RankedQueryTest, VoicePostingsAreConfidenceWeighted) {
+  // The same words spoken and written: the recognizer profile discounts
+  // the spoken evidence, so the text object outranks the audio one.
+  ASSERT_TRUE(
+      server_.Store(AudioObject(4, "dictated fracture findings")).ok());
+  ASSERT_TRUE(
+      server_.Store(TextObject(2, "dictated fracture findings")).ok());
+
+  const auto& postings = server_.scored_index().Postings("fracture");
+  ASSERT_EQ(postings.size(), 2u);
+  const query::TermPosting& voiced = postings.at(4);
+  const query::TermPosting& written = postings.at(2);
+  EXPECT_EQ(voiced.text_tf, 0.0);
+  EXPECT_GT(voiced.voice_tf, 0.0);
+  EXPECT_LT(voiced.voice_tf, written.text_tf);
+  EXPECT_DOUBLE_EQ(
+      voiced.voice_tf,
+      query::VoiceConfidence(server_.recognizer_profile()));
+
+  const std::vector<ScoredHit> hits = server_.QueryRanked({"fracture"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 2u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+
+  // A perfect recognizer erases the discount.
+  EXPECT_DOUBLE_EQ(
+      query::VoiceConfidence(voice::RecognizerParams{1.0, 0.0}), 1.0);
+}
+
+TEST_F(RankedQueryTest, GatherCardsRankedReturnsScoredCardsBestFirst) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "ranked once here")).ok());
+  ASSERT_TRUE(server_.Store(TextObject(2, "ranked ranked ranked")).ok());
+
+  auto cards = server_.GatherCardsRanked({"ranked"}, 10);
+  ASSERT_TRUE(cards.ok());
+  ASSERT_EQ(cards->size(), 2u);
+  EXPECT_EQ((*cards)[0].id, 2u);
+  EXPECT_EQ((*cards)[1].id, 1u);
+  EXPECT_GT((*cards)[0].score, (*cards)[1].score);
+}
+
+// --- Result cache -------------------------------------------------------
+
+TEST(QueryResultCacheTest, KeyCanonicalizesWordOrderCaseAndDuplicates) {
+  const std::string key = query::QueryResultCache::Key(
+      {"Map", "chapter,"}, 5, QueryMode::kConjunctive);
+  EXPECT_EQ(key, query::QueryResultCache::Key(
+                     {"chapter", "map", "MAP"}, 5,
+                     QueryMode::kConjunctive));
+  EXPECT_NE(key, query::QueryResultCache::Key(
+                     {"chapter", "map"}, 6, QueryMode::kConjunctive));
+  EXPECT_NE(key, query::QueryResultCache::Key(
+                     {"chapter", "map"}, 5, QueryMode::kDisjunctive));
+}
+
+TEST(QueryResultCacheTest, StaleVersionDropsTheEntry) {
+  query::QueryResultCache cache(4);
+  cache.Insert("q", /*catalog_version=*/3, {ScoredHit{1, 0.5}});
+  auto hit = cache.Lookup("q", 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].id, 1u);
+  // A Store bumped the version: the entry is stale and gone.
+  EXPECT_FALSE(cache.Lookup("q", 4).has_value());
+  EXPECT_FALSE(cache.Lookup("q", 3).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryResultCacheTest, CapacityEvictsTheLeastRecentlyUsed) {
+  query::QueryResultCache cache(2);
+  cache.Insert("a", 1, {ScoredHit{1, 1.0}});
+  cache.Insert("b", 1, {ScoredHit{2, 1.0}});
+  ASSERT_TRUE(cache.Lookup("a", 1).has_value());  // "b" is now LRU.
+  cache.Insert("c", 1, {ScoredHit{3, 1.0}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a", 1).has_value());
+  EXPECT_FALSE(cache.Lookup("b", 1).has_value());
+  EXPECT_TRUE(cache.Lookup("c", 1).has_value());
+}
+
+// --- Sharded topologies -------------------------------------------------
+
+struct ShardStack {
+  explicit ShardStack(SimClock* clock)
+      : device("shard", 65536, 512, storage::DeviceCostModel::Instant(),
+               true, clock),
+        cache(256),
+        archiver(&device, &cache),
+        link(Link::Ethernet(clock)),
+        server(&archiver, &versions, clock, &link) {}
+
+  storage::BlockDevice device;
+  storage::BlockCache cache;
+  storage::Archiver archiver;
+  storage::VersionStore versions;
+  Link link;
+  ObjectServer server;
+};
+
+class RankedShardTest : public ::testing::Test {
+ protected:
+  void BuildShards(size_t n, int replication = 2) {
+    stacks_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      stacks_.push_back(std::make_unique<ShardStack>(&clock_));
+    }
+    std::vector<ObjectServer*> servers;
+    for (auto& stack : stacks_) servers.push_back(&stack->server);
+    ShardRouterOptions options;
+    options.replication = replication;
+    router_.emplace(servers, &clock_, HashPlacement(), options);
+  }
+
+  /// The corpus every topology test stores: graded relevance for
+  /// "fracture", one distractor.
+  void StoreCorpus(ObjectStore& store) {
+    ASSERT_TRUE(
+        store.Store(TextObject(1, "fracture fracture fracture ward")).ok());
+    ASSERT_TRUE(store.Store(TextObject(2, "fracture fracture clinic")).ok());
+    ASSERT_TRUE(store.Store(TextObject(3, "fracture mention only")).ok());
+    ASSERT_TRUE(store.Store(TextObject(4, "subway line drawings")).ok());
+    ASSERT_TRUE(
+        store.Store(TextObject(5, "fracture fracture fracture notes")).ok());
+  }
+
+  void TripBreaker(size_t i, int threshold = 3) {
+    CircuitBreaker::Options options;
+    options.failure_threshold = threshold;
+    stacks_[i]->link.ConfigureBreaker(options);
+    for (int f = 0; f < threshold; ++f) {
+      stacks_[i]->link.breaker().RecordFailure();
+    }
+    ASSERT_EQ(stacks_[i]->link.breaker().state(),
+              CircuitBreaker::State::kOpen);
+  }
+
+  SimClock clock_;
+  std::vector<std::unique_ptr<ShardStack>> stacks_;
+  std::optional<ShardRouter> router_;
+};
+
+TEST_F(RankedShardTest, FourShardMergeMatchesOneServerExactly) {
+  // The whole point of scoring against the router's catalog-wide
+  // statistics: a 1-shard and a 4-shard archive of the same corpus must
+  // return identical ids AND identical scores.
+  BuildShards(1, 1);
+  StoreCorpus(*router_);
+  const std::vector<ScoredHit> one = router_->QueryRanked({"fracture"}, 3);
+
+  BuildShards(4, 2);
+  StoreCorpus(*router_);
+  const std::vector<ScoredHit> four = router_->QueryRanked({"fracture"}, 3);
+
+  ASSERT_EQ(one.size(), 3u);
+  ASSERT_EQ(four.size(), 3u);
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(four[i].id, one[i].id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(four[i].score, one[i].score) << "rank " << i;
+  }
+}
+
+TEST_F(RankedShardTest, FullReplicationDedupsToOneHitPerObject) {
+  // Replication == shard count: every shard holds (and reports) every
+  // object, the worst duplicate pressure a merge can see.
+  BuildShards(3, 3);
+  StoreCorpus(*router_);
+  const std::vector<ScoredHit> hits = router_->QueryRanked({"fracture"}, 10);
+  ASSERT_EQ(hits.size(), 4u);
+  std::set<ObjectId> ids;
+  for (const ScoredHit& hit : hits) ids.insert(hit.id);
+  EXPECT_EQ(ids.size(), hits.size());
+  // Best-first with the id tiebreak: 1 and 5 tie, then 2, then 3.
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 5u);
+  EXPECT_DOUBLE_EQ(hits[0].score, hits[1].score);
+  EXPECT_EQ(hits[2].id, 2u);
+  EXPECT_EQ(hits[3].id, 3u);
+}
+
+TEST_F(RankedShardTest, ShardsWithoutMatchesContributeNothing) {
+  BuildShards(4, 1);
+  // Two objects only: at least two shards are empty for every query.
+  ASSERT_TRUE(router_->Store(TextObject(1, "lonely fracture story")).ok());
+  ASSERT_TRUE(router_->Store(TextObject(2, "subway drawings")).ok());
+  const std::vector<ScoredHit> hits = router_->QueryRanked({"fracture"}, 8);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_TRUE(router_->QueryRanked({"absent"}, 8).empty());
+}
+
+TEST_F(RankedShardTest, RankedScatterAdvancesByTheSlowestShardNotTheSum) {
+  BuildShards(4, 4);  // Every shard scores the whole corpus.
+  StoreCorpus(*router_);
+  const Micros start = clock_.Now();
+  ASSERT_EQ(stacks_[0]->server.QueryRanked({"fracture"}, 3).size(), 3u);
+  const Micros one_shard = clock_.Now() - start;
+  clock_.RewindTo(start);
+  ASSERT_EQ(router_->QueryRanked({"fracture"}, 3).size(), 3u);
+  const Micros scattered = clock_.Now() - start;
+  EXPECT_GT(scattered, 0);
+  // Four equal shards overlapped: the scatter costs one shard's work,
+  // not four (well under twice one shard's).
+  EXPECT_LT(scattered, 2 * one_shard);
+}
+
+TEST_F(RankedShardTest, GatherCardsRankedIsRelevanceOrderedWithScores) {
+  BuildShards(3, 2);
+  StoreCorpus(*router_);
+  const std::vector<ScoredHit> hits = router_->QueryRanked({"fracture"}, 3);
+  auto cards = router_->GatherCardsRanked({"fracture"}, 3);
+  ASSERT_TRUE(cards.ok());
+  ASSERT_EQ(cards->size(), hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ((*cards)[i].id, hits[i].id) << "rank " << i;
+    EXPECT_DOUBLE_EQ((*cards)[i].score, hits[i].score) << "rank " << i;
+  }
+}
+
+TEST_F(RankedShardTest, DeadShardDegradesRankedResultsWithoutCrashing) {
+  BuildShards(2, 1);  // No replicas: a dead shard's objects are gone.
+  StoreCorpus(*router_);
+  const size_t healthy = router_->QueryRanked({"fracture"}, 10).size();
+  ASSERT_EQ(healthy, 4u);
+
+  TripBreaker(0);
+  const std::vector<ScoredHit> degraded =
+      router_->QueryRanked({"fracture"}, 10);
+  EXPECT_LT(degraded.size(), healthy);  // Partial, not an error.
+  auto cards = router_->GatherCardsRanked({"fracture"}, 10);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_EQ(cards->size(), degraded.size());
+
+  TripBreaker(1);
+  EXPECT_TRUE(router_->QueryRanked({"fracture"}, 10).empty());
+  auto none = router_->GatherCardsRanked({"fracture"}, 10);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+// --- Workstation cache + ranked browsing --------------------------------
+
+TEST_F(RankedQueryTest, WorkstationServesRepeatRankedQueriesFromCache) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "cached fracture story")).ok());
+  ASSERT_TRUE(
+      server_.Store(TextObject(2, "fracture fracture follow-up")).ok());
+
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  const int64_t misses_before = Count("query.cache_misses");
+  const int64_t ranked_before = Count("query.ranked_queries");
+
+  auto first = workstation.QueryRanked({"fracture"}, 5);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 2u);
+  auto card = first->Current();
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ((*card)->id, 2u);  // Best first.
+  EXPECT_GT((*card)->score, 0.0);
+  EXPECT_EQ(Count("query.cache_misses"), misses_before + 1);
+  EXPECT_EQ(Count("query.ranked_queries"), ranked_before + 1);
+
+  // Same query, unchanged archive: the hit list comes from the cache,
+  // the server never scores again.
+  const int64_t hits_before = Count("query.cache_hits");
+  auto second = workstation.QueryRanked({"FRACTURE"}, 5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), 2u);
+  EXPECT_EQ(Count("query.cache_hits"), hits_before + 1);
+  EXPECT_EQ(Count("query.ranked_queries"), ranked_before + 1);
+
+  // A Store bumps the catalog version: the cached strip is stale, the
+  // re-query sees the new object.
+  ASSERT_TRUE(
+      server_.Store(TextObject(3, "fracture fracture fracture new")).ok());
+  const int64_t invalidations_before = Count("query.cache_invalidations");
+  auto third = workstation.QueryRanked({"fracture"}, 5);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->size(), 3u);
+  auto best = third->Current();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ((*best)->id, 3u);
+  EXPECT_EQ(Count("query.cache_invalidations"), invalidations_before + 1);
+  EXPECT_EQ(Count("query.ranked_queries"), ranked_before + 2);
+}
+
+TEST_F(RankedQueryTest, PrefetchingWorkstationBrowsesRankedStripLazily) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "lazy fracture once")).ok());
+  ASSERT_TRUE(
+      server_.Store(TextObject(2, "lazy fracture fracture twice")).ok());
+  ASSERT_TRUE(
+      server_.Store(TextObject(3, "fracture fracture fracture lazy")).ok());
+
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  workstation.EnablePrefetch();
+  auto browser = workstation.QueryRanked({"fracture"}, 3);
+  ASSERT_TRUE(browser.ok());
+  ASSERT_EQ(browser->size(), 3u);
+  std::vector<ObjectId> order;
+  std::vector<double> scores;
+  for (;;) {
+    auto card = browser->Current();
+    ASSERT_TRUE(card.ok());
+    order.push_back((*card)->id);
+    scores.push_back((*card)->score);
+    if (!browser->Next().ok()) break;
+  }
+  EXPECT_EQ(order, (std::vector<ObjectId>{3, 2, 1}));
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+}  // namespace
+}  // namespace minos::server
