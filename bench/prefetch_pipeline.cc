@@ -15,6 +15,7 @@
 #include "minos/core/presentation_manager.h"
 #include "minos/core/visual_browser.h"
 #include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
 #include "minos/server/object_server.h"
 #include "minos/server/prefetch.h"
 #include "minos/server/workstation.h"
@@ -96,6 +97,16 @@ int Run() {
   for (const Profile& profile : profiles) {
     for (const Config& config : configs) {
       SimClock clock;
+      // The flaky-link prefetch cell runs traced — the "slow query"
+      // walkthrough cell, where retry backoff and background lanes
+      // show up in the attribution. Bench-level ambient roots bracket
+      // exactly the measured clock reads; the workstation's own ws.*
+      // spans nest underneath them, so the trace's root durations sum
+      // to the measured total and the snapshot gate reconciles.
+      const bool traced = std::string(profile.name) == "flaky" &&
+                          std::string(config.name) == "prefetch";
+      obs::Tracer tracer(&clock);
+      Micros traced_us = 0;
       storage::BlockDevice device("optical", 65536, 512,
                                   storage::DeviceCostModel::OpticalDisk(),
                                   true, &clock);
@@ -122,6 +133,7 @@ int Run() {
         }
         workstation.EnablePrefetch(options);
       }
+      if (traced) workstation.SetTracer(&tracer);
 
       const std::string scope = std::string("prefetch_pipeline.") +
                                 profile.name + "." + config.name;
@@ -134,6 +146,9 @@ int Run() {
       // The user browses the miniature strip, pausing on each card. The
       // cursor steers the pipeline: adjacent miniatures and the skeleton
       // of the object under the cursor transfer while the user looks.
+      std::optional<obs::TraceSpan> card_root;
+      if (traced) card_root = tracer.StartSpan("bench.card_browse");
+      const Micros browse_start = clock.Now();
       auto browser = workstation.Query({"report"});
       if (browser.ok() && !browser->empty()) {
         clock.Advance(kCardViewTime);
@@ -142,23 +157,48 @@ int Run() {
         browser->Previous().ok();
         clock.Advance(kCardViewTime);
       }
+      if (card_root.has_value()) {
+        traced_us += clock.Now() - browse_start;
+        card_root->End();
+      }
       for (storage::ObjectId id = 1; id <= 3; ++id) {
+        std::optional<obs::TraceSpan> open_root;
+        if (traced) open_root = tracer.StartSpan("bench.page_open");
         const Micros open_start = clock.Now();
-        if (!workstation.Present(id).ok()) continue;
+        const bool opened = workstation.Present(id).ok();
+        if (open_root.has_value()) {
+          traced_us += clock.Now() - open_start;
+          open_root->End();
+        }
+        if (!opened) continue;
         open_us->Record(static_cast<double>(clock.Now() - open_start));
         core::VisualBrowser* vb =
             workstation.presentation().visual_browser();
         if (vb == nullptr) continue;
         for (;;) {
           clock.Advance(kViewTime);  // The user reads the page.
+          std::optional<obs::TraceSpan> turn_root;
+          if (traced) turn_root = tracer.StartSpan("bench.page_turn");
           const Micros turn_start = clock.Now();
-          if (!vb->NextPage().ok()) break;
+          const bool turned = vb->NextPage().ok();
+          if (turn_root.has_value()) {
+            traced_us += clock.Now() - turn_start;
+            turn_root->End();
+          }
+          if (!turned) break;
           turn_us->Record(static_cast<double>(clock.Now() - turn_start));
         }
         // A random seek back to the start: stale entries around the old
         // cursor are cancelled or wasted, never delivered.
         clock.Advance(kViewTime);
+        std::optional<obs::TraceSpan> seek_root;
+        if (traced) seek_root = tracer.StartSpan("bench.page_seek");
+        const Micros seek_start = clock.Now();
         vb->GotoPage(1).ok();
+        if (seek_root.has_value()) {
+          traced_us += clock.Now() - seek_start;
+          seek_root->End();
+        }
       }
 
       const obs::MetricsSnapshot snap = reg.Snapshot();
@@ -178,6 +218,16 @@ int Run() {
               reg.counter("prefetch.partial_hits")->value() - partial0),
           static_cast<long long>(reg.counter("prefetch.misses")->value() -
                                  miss0));
+      if (traced) {
+        workstation.SetTracer(nullptr);
+        Status trace_gate = bench::EmitTraceSnapshot("prefetch_pipeline",
+                                                     tracer, traced_us);
+        if (!trace_gate.ok()) {
+          std::printf("FAIL: trace snapshot: %s\n",
+                      trace_gate.ToString().c_str());
+          return 1;
+        }
+      }
       total_sim_time += clock.Now();
     }
   }

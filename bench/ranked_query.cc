@@ -167,16 +167,31 @@ int Run() {
     if (fetched != kTopK) return 1;
     unranked_total += clock.Now() - start;
   }
+  // The ranked rounds run traced: each round roots one span that
+  // brackets exactly the measured clock reads, and the router threads
+  // its context through the scatter, so the TRACE json reconciles with
+  // ranked_total by construction.
+  obs::Tracer tracer(&clock);
+  router.SetTracer(&tracer);
   Micros ranked_total = 0;
   for (int round = 0; round < kRounds; ++round) {
+    obs::TraceSpan root = tracer.StartSpan("bench.ranked_gather");
     const Micros start = clock.Now();
-    auto cards = router.GatherCardsRanked(query, kTopK);
+    auto cards = router.GatherCardsRanked(query, kTopK, 96, root.context());
     if (!cards.ok() || cards->size() != kTopK) {
       std::printf("FAIL: ranked gather returned %zu cards\n",
                   cards.ok() ? cards->size() : 0);
       return 1;
     }
     ranked_total += clock.Now() - start;
+    root.End();
+  }
+  router.SetTracer(nullptr);
+  Status trace_gate =
+      bench::EmitTraceSnapshot("ranked_query", tracer, ranked_total);
+  if (!trace_gate.ok()) {
+    std::printf("FAIL: %s\n", trace_gate.ToString().c_str());
+    return 1;
   }
   const double unranked_ms =
       static_cast<double>(unranked_total) / kRounds / 1000.0;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "minos/image/raster.h"
 #include "minos/obs/export.h"
@@ -453,6 +454,44 @@ Status EmitMetricsSnapshot(const std::string& bench_name,
   State().emitted_explicitly = true;
   obs::SnapshotMeta meta{bench_name, sim_time_us};
   return obs::WriteSnapshotJson(obs::MetricsRegistry::Default(), path, meta);
+}
+
+Status EmitTraceSnapshot(const std::string& experiment,
+                         const obs::Tracer& tracer, Micros measured_us) {
+  const std::string base =
+      "TRACE_" + SanitizeBenchName(experiment) + ".json";
+  const char* dir = std::getenv("MINOS_STATS_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/" + base
+                               : base;
+  obs::Tracer::TraceMeta meta;
+  meta.bench = experiment;
+  meta.measured_us = measured_us;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + path);
+    out << tracer.ToJson(meta) << "\n";
+    if (!out.good()) return Status::Internal("write failed: " + path);
+  }
+  // Reconcile: every measured microsecond must be owned by exactly one
+  // root span, so the roots must sum to the bench's own clock reading.
+  Micros roots = 0;
+  for (const obs::SpanRecord& span : tracer.OrderedSpans()) {
+    if (span.parent_span_id == 0) roots += span.duration_us();
+  }
+  const Micros tolerance = measured_us / 100;
+  const Micros delta = roots > measured_us ? roots - measured_us
+                                           : measured_us - roots;
+  if (delta > tolerance) {
+    return Status::FailedPrecondition(
+        "trace does not reconcile: root spans sum to " +
+        std::to_string(roots) + "us, bench measured " +
+        std::to_string(measured_us) + "us (wrote " + path + ")");
+  }
+  std::printf("trace: %s (%lld root-us vs %lld measured-us)\n",
+              path.c_str(), static_cast<long long>(roots),
+              static_cast<long long>(measured_us));
+  return Status::OK();
 }
 
 }  // namespace minos::bench

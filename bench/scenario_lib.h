@@ -8,6 +8,7 @@
 #include <string>
 
 #include "minos/image/image.h"
+#include "minos/obs/trace.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/text/document.h"
 #include "minos/util/status.h"
@@ -80,6 +81,17 @@ void NoteSimTime(Micros sim_time_us);
 /// right now, instead of (not in addition to) the exit-time export.
 Status EmitMetricsSnapshot(const std::string& bench_name,
                            const std::string& path, Micros sim_time_us = 0);
+
+/// Writes `tracer`'s spans as a minos.trace.v1 document to
+/// `TRACE_<experiment>.json` next to the metrics snapshot (same
+/// $MINOS_STATS_DIR rule, same name sanitization), then verifies that
+/// the sum of the trace's root-span durations reconciles with the
+/// bench's externally measured sim time within 1% — the bench-side half
+/// of the tools/trace_report.py critical-path check. The file is
+/// written even when reconciliation fails (FailedPrecondition), so the
+/// mismatch can be inspected.
+Status EmitTraceSnapshot(const std::string& experiment,
+                         const obs::Tracer& tracer, Micros measured_us);
 
 }  // namespace minos::bench
 

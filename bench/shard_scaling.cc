@@ -16,6 +16,7 @@
 
 #include "minos/core/visual_browser.h"
 #include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
 #include "minos/server/shard_router.h"
 #include "minos/server/workstation.h"
 #include "minos/storage/archiver.h"
@@ -173,16 +174,26 @@ int Run() {
     if (!router.Store(PagedObject(id, 10)).ok()) return 1;
   }
 
+  // Every measured loss-phase query runs traced: a root span brackets
+  // exactly the measured clock reads, so the trace's root durations sum
+  // to the measured total and the TRACE snapshot gate reconciles.
+  obs::Tracer tracer(&clock);
+  router.SetTracer(&tracer);
+  Micros traced_us = 0;
+
   auto run_queries = [&](int count) -> double {
     Micros sum = 0;
     for (int q = 0; q < count; ++q) {
+      obs::TraceSpan root = tracer.StartSpan("bench.scatter_query");
       const Micros start = clock.Now();
-      auto got = router.GatherCards({"report"});
+      auto got = router.GatherCards({"report"}, 96, root.context());
       if (!got.ok() || got->size() != kPagedObjects) {
         return -1.0;
       }
       sum += clock.Now() - start;
+      root.End();
     }
+    traced_us += sum;
     return static_cast<double>(sum) / count;
   };
 
@@ -279,6 +290,15 @@ int Run() {
   }
   std::printf("gate: dead shard healed after cooldown, live=%zu\n",
               router.live_count());
+
+  router.SetTracer(nullptr);
+  Status trace_gate =
+      bench::EmitTraceSnapshot("shard_scaling", tracer, traced_us);
+  if (!trace_gate.ok()) {
+    std::printf("FAIL: trace snapshot: %s\n",
+                trace_gate.ToString().c_str());
+    return 1;
+  }
 
   total_sim_time += clock.Now();
   bench::NoteSimTime(total_sim_time);

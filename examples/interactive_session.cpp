@@ -17,7 +17,9 @@
 // ShardRouter, so `chaos` can darken one shard while the session keeps
 // browsing off the replica, and `topology` shows the routing table.
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -27,6 +29,7 @@
 #include "minos/format/object_formatter.h"
 #include "minos/obs/export.h"
 #include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
 #include "minos/render/export.h"
 #include "minos/util/string_util.h"
 #include "minos/server/shard_router.h"
@@ -99,6 +102,52 @@ The hospital admitted the patient on Monday evening after the fall.
   }
 }
 
+/// Prints the span tree of the most recent trace the tracer holds,
+/// children indented under parents, each line carrying the span's
+/// share of its root's duration — the "where did that request's time
+/// go" view, inline in the session.
+void PrintLastTrace(const obs::Tracer& tracer) {
+  const std::vector<obs::SpanRecord> spans = tracer.OrderedSpans();
+  uint64_t last_trace = 0;
+  for (const obs::SpanRecord& s : spans) {
+    last_trace = std::max(last_trace, s.trace_id);
+  }
+  if (last_trace == 0) {
+    std::printf("! no traced requests yet (trace on, then browse)\n");
+    return;
+  }
+  std::vector<const obs::SpanRecord*> members;
+  Micros root_us = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.trace_id != last_trace) continue;
+    members.push_back(&s);
+    if (s.parent_span_id == 0) root_us += s.duration_us();
+  }
+  std::function<void(uint64_t, int)> print_subtree =
+      [&](uint64_t parent, int indent) {
+        for (const obs::SpanRecord* s : members) {
+          if (s->parent_span_id != parent) continue;
+          const double share =
+              root_us > 0
+                  ? 100.0 * static_cast<double>(s->duration_us()) /
+                        static_cast<double>(root_us)
+                  : 0.0;
+          std::printf("%*s%s %lld us (%.1f%%)", indent * 2, "",
+                      s->name.c_str(),
+                      static_cast<long long>(s->duration_us()), share);
+          for (const auto& [key, value] : s->tags) {
+            std::printf(" %s=%s", key.c_str(), value.c_str());
+          }
+          std::printf("\n");
+          print_subtree(s->span_id, indent + 1);
+        }
+      };
+  std::printf("trace %llu (%zu spans, %lld us):\n",
+              static_cast<unsigned long long>(last_trace), members.size(),
+              static_cast<long long>(root_us));
+  print_subtree(0, 1);
+}
+
 const char* BreakerName(server::CircuitBreaker::State s) {
   switch (s) {
     case server::CircuitBreaker::State::kClosed: return "closed";
@@ -123,6 +172,11 @@ int main() {
   Populate(&router);
 
   render::Screen screen;
+  // Session request tracer: `trace on` installs it across the fabric
+  // (workstation, router, shards, links), `trace dump` prints the last
+  // request's span tree. Declared before the workstation so it outlives
+  // the prefetch drain in the workstation destructor.
+  obs::Tracer session_tracer(&clock);
   server::Workstation workstation(&router, &screen, &clock);
   core::PresentationManager& pm = workstation.presentation();
   std::unique_ptr<server::MiniatureBrowser> miniatures;
@@ -139,7 +193,8 @@ int main() {
   std::printf("MINOS interactive session (2-shard archive). Commands: "
               "query <word>, next miniature, select, open <id>, menu, "
               "next, prev, goto <n>, chapter, find <pattern>, indicators, "
-              "enter <i>, return, screen, stats [path], trace, topology, "
+              "enter <i>, return, screen, stats [path], "
+              "trace [on|off|dump|json], topology, "
               "chaos [off|flaky|storm] [shard], quit\n");
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -262,7 +317,29 @@ int main() {
         }
       }
     } else if (cmd == "trace") {
-      std::printf("%s\n", pm.tracer().ToJson().c_str());
+      // Request tracing controls. `on` threads the session tracer
+      // through the whole fabric, so every subsequent browse action
+      // records a span tree; `dump` prints the newest tree with each
+      // span's share of the request; `json` emits the raw snapshot
+      // (the presentation manager's own tracer when tracing is off).
+      std::string sub;
+      in >> sub;
+      if (sub == "on") {
+        workstation.SetTracer(&session_tracer);
+        std::printf("tracing on (%zu spans held)\n",
+                    session_tracer.OrderedSpans().size());
+      } else if (sub == "off") {
+        workstation.SetTracer(nullptr);
+        std::printf("tracing off\n");
+      } else if (sub == "dump" || sub.empty()) {
+        PrintLastTrace(session_tracer);
+      } else if (sub == "json") {
+        std::printf("%s\n", session_tracer.OrderedSpans().empty()
+                                ? pm.tracer().ToJson().c_str()
+                                : session_tracer.ToJson().c_str());
+      } else {
+        std::printf("! trace subcommands: on, off, dump, json\n");
+      }
     } else if (cmd == "topology") {
       // The routing table as the router sees it right now.
       for (size_t i = 0; i < shards.size(); ++i) {

@@ -32,7 +32,7 @@ Status PresentationManager::Open(storage::ObjectId id) {
   stack_.clear();
   depth_->Set(0);
   opens_->Increment();
-  obs::TraceSpan span = tracer_.StartSpan("open#" + std::to_string(id));
+  obs::TraceSpan span = tracer().StartSpan("open#" + std::to_string(id));
   const Micros opened_at = clock_->Now();
   Status status = OpenFrame(id, nullptr);
   open_us_->Record(static_cast<double>(clock_->Now() - opened_at));
@@ -169,7 +169,7 @@ Status PresentationManager::EnterRelevantObject(size_t indicator_index) {
            static_cast<int64_t>(link->target), link->indicator_label);
   enters_->Increment();
   obs::TraceSpan span =
-      tracer_.StartSpan("enter#" + std::to_string(link->target));
+      tracer().StartSpan("enter#" + std::to_string(link->target));
   return OpenFrame(link->target, link);
 }
 
@@ -299,7 +299,7 @@ StatusOr<size_t> PresentationManager::PlayTour(size_t tour_index,
   }
   const object::ObjectDescriptor::TourSpec& tour = tours[tour_index];
   obs::TraceSpan tour_span =
-      tracer_.StartSpan("tour#" + std::to_string(tour_index));
+      tracer().StartSpan("tour#" + std::to_string(tour_index));
   MINOS_ASSIGN_OR_RETURN(const image::Image* img, ImageOf(tour.image_index));
   if (first_stop >= tour.positions.size()) {
     return Status::OutOfRange("tour starting stop past end");

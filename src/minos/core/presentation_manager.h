@@ -193,8 +193,17 @@ class PresentationManager {
 
   /// Sim-clock-driven trace of this session: one span per open /
   /// relevant-object excursion / tour, nested like the navigation stack.
-  /// Deterministic and replayable (virtual time, not wall time).
-  obs::Tracer& tracer() { return tracer_; }
+  /// Deterministic and replayable (virtual time, not wall time). The
+  /// built-in tracer by default; the session-wide one once the
+  /// workstation installs it with SetTracer, so navigation spans join
+  /// the same trace as the fabric spans below them.
+  obs::Tracer& tracer() {
+    return active_tracer_ != nullptr ? *active_tracer_ : tracer_;
+  }
+
+  /// Redirects span recording to a session-wide tracer (borrowed; null
+  /// restores the built-in one).
+  void SetTracer(obs::Tracer* tracer) { active_tracer_ = tracer; }
 
  private:
   struct Frame {
@@ -226,6 +235,7 @@ class PresentationManager {
   std::vector<Frame> stack_;
   std::vector<DegradedPart> degraded_parts_;
   obs::Tracer tracer_;
+  obs::Tracer* active_tracer_ = nullptr;  ///< Borrowed; may be null.
   /// Registry-owned navigation statistics ("presentation.*").
   obs::Counter* opens_ = nullptr;
   obs::Counter* enters_ = nullptr;

@@ -1,62 +1,292 @@
 #include "minos/obs/trace.h"
 
 #include <algorithm>
+#include <cctype>
+#include <map>
 
 #include "minos/obs/json.h"
 #include "minos/util/logging.h"
 
 namespace minos::obs {
 
-TraceSpan Tracer::StartSpan(std::string name) {
-  SpanRecord record;
-  record.name = name;
-  record.start_us = NowUs();
-  record.end_us = record.start_us;
-  record.depth = static_cast<int>(open_.size());
-  record.parent = open_.empty() ? -1 : open_.back();
-  const int64_t index = static_cast<int64_t>(spans_.size());
-  spans_.push_back(std::move(record));
-  open_.push_back(index);
-  return TraceSpan(this, std::move(name), index);
+const std::string* SpanRecord::FindTag(std::string_view key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
 }
 
-void Tracer::Finish(int64_t index) {
-  if (index < 0 || index >= static_cast<int64_t>(spans_.size())) return;
-  SpanRecord& record = spans_[static_cast<size_t>(index)];
-  record.end_us = std::max(record.start_us, NowUs());
-  open_.erase(std::remove(open_.begin(), open_.end(), index), open_.end());
+std::string SanitizeSpanName(std::string_view name, std::string* ids) {
+  std::string out;
+  out.reserve(name.size());
+  size_t i = 0;
+  while (i < name.size()) {
+    if (std::isdigit(static_cast<unsigned char>(name[i]))) {
+      size_t j = i;
+      while (j < name.size() &&
+             std::isdigit(static_cast<unsigned char>(name[j]))) {
+        ++j;
+      }
+      out += "%id";
+      if (ids != nullptr) {
+        if (!ids->empty()) *ids += ",";
+        ids->append(name.substr(i, j - i));
+      }
+      i = j;
+    } else {
+      out += name[i++];
+    }
+  }
+  return out;
+}
+
+SpanRecord* Tracer::Live(uint64_t seq, uint64_t span_id) {
+  if (seq >= started_) return nullptr;
+  const size_t slot = SlotFor(seq);
+  if (slot >= spans_.size()) return nullptr;
+  SpanRecord& rec = spans_[slot];
+  return rec.span_id == span_id ? &rec : nullptr;
+}
+
+const SpanRecord* Tracer::Live(uint64_t seq, uint64_t span_id) const {
+  return const_cast<Tracer*>(this)->Live(seq, span_id);
+}
+
+void Tracer::set_capacity(size_t max_spans) {
+  Clear();
+  capacity_ = max_spans;
+}
+
+void Tracer::set_exemplar_capacity(size_t k) {
+  exemplar_capacity_ = k;
+  if (exemplars_.size() > k) exemplars_.resize(k);
+}
+
+TraceSpan Tracer::StartSpan(std::string name) {
+  // The innermost still-live ambient span is the parent; entries whose
+  // records the ring buffer has reclaimed are pruned on the way down.
+  while (!open_.empty() &&
+         Live(open_.back().seq, open_.back().span_id) == nullptr) {
+    open_.pop_back();
+  }
+  if (open_.empty()) {
+    return StartSpanInternal(std::move(name), next_trace_id_++, 0, 0, -1,
+                             /*ambient=*/true);
+  }
+  const SpanRecord* p = Live(open_.back().seq, open_.back().span_id);
+  return StartSpanInternal(std::move(name), p->trace_id, p->span_id,
+                           p->depth + 1,
+                           static_cast<int64_t>(open_.back().seq),
+                           /*ambient=*/true);
+}
+
+TraceSpan Tracer::StartSpan(std::string name, const TraceContext& parent) {
+  if (!parent.valid()) {
+    return StartSpanInternal(std::move(name), next_trace_id_++, 0, 0, -1,
+                             /*ambient=*/false);
+  }
+  return StartSpanInternal(std::move(name), parent.trace_id, parent.span_id,
+                           parent.depth + 1, -1, /*ambient=*/false);
+}
+
+TraceSpan Tracer::StartSpanInternal(std::string name, uint64_t trace_id,
+                                    uint64_t parent_span_id, int depth,
+                                    int64_t parent_ordinal, bool ambient) {
+  SpanRecord record;
+  record.name = name;
+  record.trace_id = trace_id;
+  record.span_id = next_span_id_++;
+  record.parent_span_id = parent_span_id;
+  record.start_us = NowUs();
+  record.end_us = record.start_us;
+  record.depth = depth;
+  record.parent = parent_ordinal;
+  const uint64_t seq = started_++;
+  const size_t slot = SlotFor(seq);
+  TraceContext ctx;
+  ctx.trace_id = trace_id;
+  ctx.span_id = record.span_id;
+  ctx.parent_span_id = parent_span_id;
+  ctx.depth = depth;
+  if (slot < spans_.size()) {
+    // Ring wrapped: evict the slot's tenant. If that span is still
+    // open its handle's End() becomes a no-op (span_id mismatch).
+    const uint64_t evicted = seq - static_cast<uint64_t>(capacity_);
+    open_.erase(std::remove_if(
+                    open_.begin(), open_.end(),
+                    [&](const OpenEntry& e) { return e.seq == evicted; }),
+                open_.end());
+    ++dropped_spans_;
+    if (registry_ != nullptr) {
+      registry_->counter("trace.dropped_spans")->Increment();
+    }
+    spans_[slot] = std::move(record);
+  } else {
+    spans_.push_back(std::move(record));
+  }
+  if (ambient) open_.push_back(OpenEntry{seq, ctx.span_id});
+  return TraceSpan(this, std::move(name), seq, ctx);
+}
+
+TraceContext Tracer::current_context() const {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    const SpanRecord* rec = Live(it->seq, it->span_id);
+    if (rec != nullptr) {
+      TraceContext ctx;
+      ctx.trace_id = rec->trace_id;
+      ctx.span_id = rec->span_id;
+      ctx.parent_span_id = rec->parent_span_id;
+      ctx.depth = rec->depth;
+      return ctx;
+    }
+  }
+  return TraceContext{};
+}
+
+void Tracer::Finish(uint64_t seq, uint64_t span_id) {
+  SpanRecord* rec = Live(seq, span_id);
+  if (rec == nullptr) return;  // Cleared, or reclaimed by the ring.
+  rec->end_us = std::max(rec->start_us, NowUs());
+  open_.erase(std::remove_if(
+                  open_.begin(), open_.end(),
+                  [&](const OpenEntry& e) { return e.seq == seq; }),
+              open_.end());
+  std::string ids;
+  const std::string sanitized = SanitizeSpanName(rec->name, &ids);
+  if (!ids.empty() && rec->FindTag("%id") == nullptr) {
+    rec->tags.emplace_back("%id", ids);
+  }
   if (registry_ != nullptr) {
-    registry_->histogram("span." + record.name + "_us")
-        ->Record(static_cast<double>(record.duration_us()));
+    registry_->histogram("span." + sanitized + "_us")
+        ->Record(static_cast<double>(rec->duration_us()));
   }
   if (log_spans_) {
     Logger::Get().Log(
         LogLevel::kDebug, "obs/trace.cc", 0, "span",
-        {{"name", record.name},
-         {"start_us", std::to_string(record.start_us)},
-         {"dur_us", std::to_string(record.duration_us())},
-         {"depth", std::to_string(record.depth)}});
+        {{"name", rec->name},
+         {"start_us", std::to_string(rec->start_us)},
+         {"dur_us", std::to_string(rec->duration_us())},
+         {"depth", std::to_string(rec->depth)},
+         {"trace_id", std::to_string(rec->trace_id)},
+         {"span_id", std::to_string(rec->span_id)},
+         {"parent_span_id", std::to_string(rec->parent_span_id)}});
   }
+  if (rec->parent_span_id == 0 && exemplar_capacity_ > 0) {
+    CaptureExemplar(*rec);
+  }
+}
+
+void Tracer::Tag(uint64_t seq, uint64_t span_id, std::string_view key,
+                 std::string value) {
+  SpanRecord* rec = Live(seq, span_id);
+  if (rec == nullptr) return;
+  rec->tags.emplace_back(std::string(key), std::move(value));
+}
+
+void Tracer::CaptureExemplar(const SpanRecord& root) {
+  if (exemplars_.size() >= exemplar_capacity_ &&
+      root.duration_us() <= exemplars_.back().duration_us) {
+    return;
+  }
+  TraceExemplar ex;
+  ex.trace_id = root.trace_id;
+  ex.root_name = root.name;
+  ex.duration_us = root.duration_us();
+  for (SpanRecord& rec : OrderedSpans()) {
+    if (rec.trace_id == root.trace_id) ex.spans.push_back(std::move(rec));
+  }
+  auto pos = std::upper_bound(exemplars_.begin(), exemplars_.end(),
+                              ex.duration_us,
+                              [](Micros d, const TraceExemplar& e) {
+                                return d > e.duration_us;
+                              });
+  exemplars_.insert(pos, std::move(ex));
+  if (exemplars_.size() > exemplar_capacity_) exemplars_.pop_back();
+}
+
+std::vector<SpanRecord> Tracer::OrderedSpans() const {
+  if (capacity_ == 0 || started_ <= capacity_) return spans_;
+  std::vector<SpanRecord> out;
+  out.reserve(spans_.size());
+  for (uint64_t seq = started_ - capacity_; seq < started_; ++seq) {
+    out.push_back(spans_[SlotFor(seq)]);
+  }
+  return out;
 }
 
 void Tracer::Clear() {
   // Open spans would dangle; detach them first (their End() becomes a
-  // no-op via the bounds check in Finish).
+  // no-op via the liveness check in Finish). Span/trace id counters are
+  // deliberately not reset so stale handles can never alias new records.
   open_.clear();
   spans_.clear();
+  exemplars_.clear();
+  started_ = 0;
+  dropped_spans_ = 0;
 }
 
-std::string Tracer::ToJson() const {
-  std::string out = "{\"schema\":\"minos.trace.v1\",\"spans\":[";
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    const SpanRecord& s = spans_[i];
-    if (i > 0) out += ",";
+std::string Tracer::ToJson(const TraceMeta& meta) const {
+  std::string out = "{\"schema\":\"minos.trace.v1\"";
+  if (!meta.bench.empty()) {
+    out += ",\"bench\":\"" + JsonEscape(meta.bench) + "\"";
+  }
+  if (meta.measured_us >= 0) {
+    out += ",\"measured_us\":" + std::to_string(meta.measured_us);
+  }
+  out += ",\"dropped_spans\":" + std::to_string(dropped_spans_);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& s : OrderedSpans()) {
+    if (!first) out += ",";
+    first = false;
     out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"trace_id\":" + std::to_string(s.trace_id);
+    out += ",\"span_id\":" + std::to_string(s.span_id);
+    out += ",\"parent_span_id\":" + std::to_string(s.parent_span_id);
     out += ",\"start_us\":" + std::to_string(s.start_us);
     out += ",\"end_us\":" + std::to_string(s.end_us);
     out += ",\"depth\":" + std::to_string(s.depth);
     out += ",\"parent\":" + std::to_string(s.parent);
+    if (!s.tags.empty()) {
+      out += ",\"tags\":{";
+      for (size_t i = 0; i < s.tags.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(s.tags[i].first) + "\":\"" +
+               JsonEscape(s.tags[i].second) + "\"";
+      }
+      out += "}";
+    }
     out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::ToChromeTrace() const {
+  // Chrome trace-event format: one "X" (complete) event per span, one
+  // tid track per trace so overlapping scatter/prefetch work renders
+  // side by side in chrome://tracing / Perfetto.
+  std::map<uint64_t, int> tids;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : OrderedSpans()) {
+    auto [it, inserted] =
+        tids.emplace(s.trace_id, static_cast<int>(tids.size()) + 1);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"cat\":\"minos\",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(s.start_us);
+    out += ",\"dur\":" + std::to_string(s.duration_us());
+    out += ",\"pid\":1,\"tid\":" + std::to_string(it->second);
+    out += ",\"args\":{\"trace_id\":\"" + std::to_string(s.trace_id);
+    out += "\",\"span_id\":\"" + std::to_string(s.span_id);
+    out += "\",\"parent_span_id\":\"" + std::to_string(s.parent_span_id);
+    out += "\"";
+    for (const auto& [k, v] : s.tags) {
+      out += ",\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+    }
+    out += "}}";
   }
   out += "]}";
   return out;
@@ -64,20 +294,52 @@ std::string Tracer::ToJson() const {
 
 StatusOr<std::vector<SpanRecord>> Tracer::FromJson(std::string_view json) {
   MINOS_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
-  if (!root.is_object() || !root.Get("spans").is_array()) {
+  if (!root.is_object()) {
     return Status::InvalidArgument("not a minos.trace document");
+  }
+  if (!root.Get("schema").is_string() ||
+      root.Get("schema").string() != "minos.trace.v1") {
+    return Status::InvalidArgument("schema tag is not minos.trace.v1");
+  }
+  if (!root.Get("spans").is_array()) {
+    return Status::InvalidArgument("missing spans array");
   }
   std::vector<SpanRecord> out;
   for (const JsonValue& v : root.Get("spans").array()) {
     if (!v.is_object()) {
       return Status::InvalidArgument("span entry is not an object");
     }
+    if (!v.Get("name").is_string()) {
+      return Status::InvalidArgument("span name is not a string");
+    }
+    for (const char* key : {"trace_id", "span_id", "parent_span_id",
+                            "start_us", "end_us", "depth", "parent"}) {
+      if (v.Has(key) && !v.Get(key).is_number()) {
+        return Status::InvalidArgument(std::string("span field '") + key +
+                                       "' is not a number");
+      }
+    }
     SpanRecord s;
     s.name = v.Get("name").string();
+    s.trace_id = static_cast<uint64_t>(v.Get("trace_id").number());
+    s.span_id = static_cast<uint64_t>(v.Get("span_id").number());
+    s.parent_span_id =
+        static_cast<uint64_t>(v.Get("parent_span_id").number());
     s.start_us = static_cast<Micros>(v.Get("start_us").number());
     s.end_us = static_cast<Micros>(v.Get("end_us").number());
     s.depth = static_cast<int>(v.Get("depth").number());
     s.parent = static_cast<int64_t>(v.Get("parent").number());
+    if (v.Has("tags")) {
+      if (!v.Get("tags").is_object()) {
+        return Status::InvalidArgument("span tags is not an object");
+      }
+      for (const auto& [k, tv] : v.Get("tags").object()) {
+        if (!tv.is_string()) {
+          return Status::InvalidArgument("span tag value is not a string");
+        }
+        s.tags.emplace_back(k, tv.string());
+      }
+    }
     out.push_back(std::move(s));
   }
   return out;
@@ -85,7 +347,7 @@ StatusOr<std::vector<SpanRecord>> Tracer::FromJson(std::string_view json) {
 
 TraceSpan::TraceSpan(TraceSpan&& other) noexcept
     : tracer_(other.tracer_), name_(std::move(other.name_)),
-      index_(other.index_) {
+      seq_(other.seq_), context_(other.context_) {
   other.tracer_ = nullptr;
 }
 
@@ -94,7 +356,8 @@ TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
     End();
     tracer_ = other.tracer_;
     name_ = std::move(other.name_);
-    index_ = other.index_;
+    seq_ = other.seq_;
+    context_ = other.context_;
     other.tracer_ = nullptr;
   }
   return *this;
@@ -104,8 +367,27 @@ TraceSpan::~TraceSpan() { End(); }
 
 void TraceSpan::End() {
   if (tracer_ == nullptr) return;
-  tracer_->Finish(index_);
+  tracer_->Finish(seq_, context_.span_id);
   tracer_ = nullptr;
+}
+
+void TraceSpan::AddTag(std::string_view key, std::string value) {
+  if (tracer_ == nullptr) return;
+  tracer_->Tag(seq_, context_.span_id, key, std::move(value));
+}
+
+void TraceSpan::AddTag(std::string_view key, int64_t value) {
+  AddTag(key, std::to_string(value));
+}
+
+std::optional<TraceSpan> MaybeStartSpan(Tracer* tracer, std::string name,
+                                        const TraceContext& parent) {
+  if (tracer == nullptr || !parent.valid()) return std::nullopt;
+  return tracer->StartSpan(std::move(name), parent);
+}
+
+TraceContext ContextOf(const std::optional<TraceSpan>& span) {
+  return span.has_value() ? span->context() : TraceContext{};
 }
 
 }  // namespace minos::obs

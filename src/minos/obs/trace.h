@@ -2,8 +2,10 @@
 #define MINOS_OBS_TRACE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "minos/obs/metrics.h"
@@ -12,27 +14,91 @@
 
 namespace minos::obs {
 
-/// One finished span. Times come from the tracer's (simulated) clock, so
-/// a trace of a presentation session is deterministic and replayable:
-/// re-running the same scenario yields byte-identical trace output.
+/// Propagated identity of a request: which trace a unit of work belongs
+/// to and which span is its parent. Threaded explicitly through the
+/// shard fabric (Workstation -> ShardRouter -> ObjectServer -> Link /
+/// scheduler / retry loop) so that scatter/gather rewinds and background
+/// prefetch lanes still attach to the request that caused them — the
+/// ambient open-span stack misattributes parents as soon as SimClock
+/// RewindTo makes sibling work overlap in time.
+///
+/// A default-constructed context is invalid (trace_id == 0): components
+/// receiving it record no spans, so untraced call paths cost nothing and
+/// never produce orphan roots.
+struct TraceContext {
+  uint64_t trace_id = 0;        ///< 0 = not part of any trace.
+  uint64_t span_id = 0;         ///< The span this context represents.
+  uint64_t parent_span_id = 0;  ///< That span's own parent (0 = root).
+  int depth = 0;                ///< Tree depth of span_id's span.
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One span. Times come from the tracer's (simulated) clock, so a trace
+/// of a presentation session is deterministic and replayable: re-running
+/// the same scenario yields byte-identical trace output.
+///
+/// Linkage is explicit: `span_id` / `parent_span_id` define the tree
+/// (parent_span_id == 0 means root). The legacy `depth` / `parent`
+/// fields describe the ambient nesting view (`parent` is the start
+/// ordinal of the enclosing ambient span, -1 when the span was started
+/// with an explicit TraceContext or as a root).
 struct SpanRecord {
   std::string name;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   Micros start_us = 0;
   Micros end_us = 0;
   int depth = 0;        ///< 0 = root span.
-  int64_t parent = -1;  ///< Index of the enclosing span record, -1 if root.
+  int64_t parent = -1;  ///< Start ordinal of enclosing ambient span.
+  /// Typed attribution tags (queue wait, link transfer, retry backoff,
+  /// shard id, cache hit/miss, degraded, ...), in insertion order.
+  std::vector<std::pair<std::string, std::string>> tags;
 
   Micros duration_us() const { return end_us - start_us; }
+
+  /// First value recorded under `key`, or null when absent.
+  const std::string* FindTag(std::string_view key) const;
 };
+
+/// One slow-request exemplar: a root span plus the full trace it headed,
+/// snapshotted when the root finished. The exemplar log keeps the
+/// slowest K roots so the p99 tail stays explainable even after the
+/// span ring buffer has wrapped past the original records.
+struct TraceExemplar {
+  uint64_t trace_id = 0;
+  std::string root_name;
+  Micros duration_us = 0;
+  std::vector<SpanRecord> spans;  ///< Oldest first; includes the root.
+};
+
+/// Strips per-object identifiers (maximal decimal digit runs) from a
+/// span name, replacing each with "%id" — "open#42" becomes "open#%id".
+/// Used for the `span.<name>_us` histogram mirror so metric cardinality
+/// stays bounded no matter how many distinct objects a session touches.
+/// When `ids` is non-null the stripped runs are appended to it,
+/// comma-separated.
+std::string SanitizeSpanName(std::string_view name,
+                             std::string* ids = nullptr);
 
 class TraceSpan;
 
 /// Collects scoped spans against an injected Clock (normally the session
-/// SimClock). Spans nest: a span started while another is open records
-/// the open span as its parent. Finished spans optionally feed a
-/// `span.<name>_us` histogram in a MetricsRegistry and/or the structured
-/// log stream, so traces, metrics and log records line up on one
-/// timeline.
+/// SimClock). Two parenting modes:
+///
+///  - StartSpan(name): ambient — the innermost open ambient span is the
+///    parent. Correct for straight-line call stacks.
+///  - StartSpan(name, ctx): explicit — the parent is whatever span the
+///    propagated TraceContext names; the ambient stack is not consulted
+///    and the new span does not join it. Required wherever SimClock
+///    rewinds make concurrent work overlap (scatter/gather, prefetch).
+///
+/// Finished spans optionally feed a `span.<sanitized name>_us`
+/// histogram in a MetricsRegistry and/or the structured log stream, so
+/// traces, metrics and log records line up on one timeline. Storage is
+/// an optional ring buffer (set_capacity) with a `trace.dropped_spans`
+/// counter, plus a keep-slowest exemplar log of finished root traces.
 class Tracer {
  public:
   /// `clock` is borrowed and may be null (all times read as 0 until a
@@ -45,7 +111,8 @@ class Tracer {
   void set_clock(const Clock* clock) { clock_ = clock; }
 
   /// Mirrors every finished span's duration into
-  /// `registry->histogram("span." + name + "_us")`. Null disables.
+  /// `registry->histogram("span." + SanitizeSpanName(name) + "_us")`.
+  /// Null disables.
   void set_metrics_registry(MetricsRegistry* registry) {
     registry_ = registry;
   }
@@ -54,37 +121,109 @@ class Tracer {
   /// finished span, so spans and log records share one event stream.
   void set_log_spans(bool log_spans) { log_spans_ = log_spans; }
 
-  /// Opens a span; it finishes when the returned object is destroyed or
-  /// End() is called. The tracer must outlive the span.
+  /// Caps span storage at `max_spans` (0 = unbounded, the default).
+  /// Once full, each new span overwrites the oldest record and bumps
+  /// the `trace.dropped_spans` counter. Existing records are discarded
+  /// (equivalent to Clear()) so the ring geometry is well defined.
+  void set_capacity(size_t max_spans);
+
+  /// Keeps the `k` slowest finished root traces as exemplars
+  /// (default 4; 0 disables exemplar capture).
+  void set_exemplar_capacity(size_t k);
+
+  /// Opens an ambient span; it finishes when the returned object is
+  /// destroyed or End() is called. The tracer must outlive the span.
   TraceSpan StartSpan(std::string name);
 
-  /// Span records in start order. A still-open span's end_us equals its
-  /// start_us until it finishes.
+  /// Opens a span whose parent is the span named by `parent`. When
+  /// `parent` is invalid the span roots a new trace. Never consults or
+  /// joins the ambient open stack.
+  TraceSpan StartSpan(std::string name, const TraceContext& parent);
+
+  /// Context of the innermost open ambient span (invalid when none is
+  /// open) — the bridge from ambient session-level spans into the
+  /// explicitly-propagated fabric below.
+  TraceContext current_context() const;
+
+  /// Span records in storage order. With no capacity set this is start
+  /// order; once a ring buffer has wrapped, use OrderedSpans(). A
+  /// still-open span's end_us equals its start_us until it finishes.
   const std::vector<SpanRecord>& spans() const { return spans_; }
 
-  /// Depth of the currently open span chain (0 = none open).
+  /// Copies the records oldest-first regardless of ring wrap.
+  std::vector<SpanRecord> OrderedSpans() const;
+
+  /// Spans overwritten by the ring buffer since the last Clear().
+  uint64_t dropped_spans() const { return dropped_spans_; }
+
+  /// Slow-request exemplars, slowest first.
+  const std::vector<TraceExemplar>& exemplars() const { return exemplars_; }
+
+  /// Depth of the currently open ambient span chain (0 = none open).
   int open_depth() const { return static_cast<int>(open_.size()); }
 
   void Clear();
 
-  /// Serializes finished spans as {"schema":"minos.trace.v1","spans":[...]}.
-  std::string ToJson() const;
+  /// Optional header fields for ToJson.
+  struct TraceMeta {
+    std::string bench;       ///< Emitted as "bench" when non-empty.
+    Micros measured_us = -1; ///< Emitted as "measured_us" when >= 0.
+  };
+
+  /// Serializes spans (oldest first) as
+  /// {"schema":"minos.trace.v1","spans":[...]}. The overload adds the
+  /// bench name and externally measured wall (sim) time that
+  /// tools/trace_report.py reconciles the critical path against.
+  std::string ToJson() const { return ToJson(TraceMeta{}); }
+  std::string ToJson(const TraceMeta& meta) const;
+
+  /// Serializes spans in the Chrome trace-event format ("ph":"X"
+  /// complete events), loadable in chrome://tracing and Perfetto. Each
+  /// trace renders as its own track (tid), args carry span ids + tags.
+  std::string ToChromeTrace() const;
 
   /// Parses ToJson() output back into records (round-trip support for
-  /// replay tooling and tests).
+  /// replay tooling and tests). Rejects documents whose schema tag is
+  /// not "minos.trace.v1" and any structurally malformed span entry;
+  /// never crashes on truncated or corrupt input.
   static StatusOr<std::vector<SpanRecord>> FromJson(std::string_view json);
 
  private:
   friend class TraceSpan;
 
+  struct OpenEntry {
+    uint64_t seq;
+    uint64_t span_id;
+  };
+
   Micros NowUs() const { return clock_ == nullptr ? 0 : clock_->Now(); }
-  void Finish(int64_t index);
+  size_t SlotFor(uint64_t seq) const {
+    return capacity_ == 0 ? static_cast<size_t>(seq)
+                          : static_cast<size_t>(seq % capacity_);
+  }
+  /// Record for `seq` if it has not been overwritten, else null.
+  SpanRecord* Live(uint64_t seq, uint64_t span_id);
+  const SpanRecord* Live(uint64_t seq, uint64_t span_id) const;
+  TraceSpan StartSpanInternal(std::string name, uint64_t trace_id,
+                              uint64_t parent_span_id, int depth,
+                              int64_t parent_ordinal, bool ambient);
+  void Finish(uint64_t seq, uint64_t span_id);
+  void Tag(uint64_t seq, uint64_t span_id, std::string_view key,
+           std::string value);
+  void CaptureExemplar(const SpanRecord& root);
 
   const Clock* clock_;
   MetricsRegistry* registry_ = nullptr;
   bool log_spans_ = false;
-  std::vector<int64_t> open_;  // Indexes into spans_, innermost last.
+  size_t capacity_ = 0;           ///< 0 = unbounded.
+  size_t exemplar_capacity_ = 4;  ///< Slowest roots kept.
+  uint64_t started_ = 0;          ///< Spans started since Clear().
+  uint64_t dropped_spans_ = 0;
+  uint64_t next_span_id_ = 1;   ///< Never reset: stale handles can't alias.
+  uint64_t next_trace_id_ = 1;  ///< Never reset.
+  std::vector<OpenEntry> open_;  ///< Ambient stack, innermost last.
   std::vector<SpanRecord> spans_;
+  std::vector<TraceExemplar> exemplars_;  ///< Slowest first.
 };
 
 /// RAII handle for one span. Movable, not copyable; finishes at
@@ -100,17 +239,39 @@ class TraceSpan {
   /// Finishes the span now; later calls (and destruction) are no-ops.
   void End();
 
+  /// Attaches an attribution tag. No-op once finished or after the
+  /// ring buffer has reclaimed the record.
+  void AddTag(std::string_view key, std::string value);
+  void AddTag(std::string_view key, int64_t value);
+
+  /// Context to hand to child work: children created from it become
+  /// children of this span. Remains usable after End().
+  TraceContext context() const { return context_; }
+
   const std::string& name() const { return name_; }
 
  private:
   friend class Tracer;
-  TraceSpan(Tracer* tracer, std::string name, int64_t index)
-      : tracer_(tracer), name_(std::move(name)), index_(index) {}
+  TraceSpan(Tracer* tracer, std::string name, uint64_t seq,
+            TraceContext context)
+      : tracer_(tracer), name_(std::move(name)), seq_(seq),
+        context_(context) {}
 
   Tracer* tracer_ = nullptr;  ///< Null once finished/moved-from.
   std::string name_;
-  int64_t index_ = -1;  ///< Record index in the tracer.
+  uint64_t seq_ = 0;  ///< Start ordinal in the tracer.
+  TraceContext context_;
 };
+
+/// Starts `name` as a child of `parent` when `tracer` is non-null and
+/// the caller is itself traced; nullopt otherwise. The fabric-layer
+/// idiom: an untraced call path (invalid context) records nothing, so
+/// it can never produce orphan roots.
+std::optional<TraceSpan> MaybeStartSpan(Tracer* tracer, std::string name,
+                                        const TraceContext& parent);
+
+/// Context of an optional span (invalid when absent).
+TraceContext ContextOf(const std::optional<TraceSpan>& span);
 
 }  // namespace minos::obs
 

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
 #include "minos/util/clock.h"
 #include "minos/util/random.h"
 #include "minos/util/statusor.h"
@@ -221,18 +222,29 @@ class CircuitBreaker {
 /// its backoff instead of dead-sleeping the whole session.
 using BackoffSleeper = std::function<void(Micros delay)>;
 
+/// Trace hookup for RetryWithBackoff. When `tracer` is set and `parent`
+/// is a valid propagated context, every backoff window records a
+/// "retry.backoff" span under `parent`, tagged with the attempt number
+/// it follows and the delay spent — so a trace shows exactly how much
+/// of a slow request was retry backoff rather than useful work.
+struct RetryTrace {
+  obs::Tracer* tracer = nullptr;  ///< Borrowed; null disables.
+  obs::TraceContext parent;
+};
+
 /// Runs `attempt` until it succeeds, fails permanently, exhausts
 /// `policy.max_attempts`, or would overrun the deadline budget. Backoff
 /// delays advance `clock` — through `sleeper` when one is installed —
 /// and record under "retry.*" ("retry.attempts_total",
-/// "retry.retries_total", "retry.exhausted_total", "retry.delay_us").
+/// "retry.retries_total", "retry.exhausted_total", "retry.delay_us"),
+/// plus a "retry.backoff" span per window when `trace` is wired.
 /// On exhaustion the last underlying error is returned unchanged so
 /// callers can still classify it (e.g. salvage a Corruption); when the
 /// budget forbids another try, DeadlineExceeded.
 template <typename T, typename Fn>
 StatusOr<T> RetryWithBackoff(const RetryPolicy& policy, SimClock* clock,
                              Random* rng, const BackoffSleeper& sleeper,
-                             Fn&& attempt) {
+                             Fn&& attempt, const RetryTrace& trace = {}) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   obs::Counter* attempts_total = reg.counter("retry.attempts_total");
   obs::Counter* retries_total = reg.counter("retry.retries_total");
@@ -260,6 +272,12 @@ StatusOr<T> RetryWithBackoff(const RetryPolicy& policy, SimClock* clock,
     }
     delay_us->Record(static_cast<double>(delay));
     retries_total->Increment();
+    std::optional<obs::TraceSpan> backoff_span =
+        obs::MaybeStartSpan(trace.tracer, "retry.backoff", trace.parent);
+    if (backoff_span.has_value()) {
+      backoff_span->AddTag("attempt", static_cast<int64_t>(attempt_no));
+      backoff_span->AddTag("backoff_us", delay);
+    }
     if (sleeper) {
       sleeper(delay);
     } else {

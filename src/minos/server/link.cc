@@ -21,14 +21,27 @@ void Link::ConfigureBreaker(CircuitBreaker::Options options) {
                                               registry_);
 }
 
-StatusOr<Micros> Link::Transfer(uint64_t bytes) {
-  MINOS_RETURN_IF_ERROR(breaker_->Admit());
+StatusOr<Micros> Link::Transfer(uint64_t bytes,
+                                const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "link.transfer", ctx);
+  if (span.has_value()) {
+    span->AddTag("bytes", static_cast<int64_t>(bytes));
+    if (background_) span->AddTag("lane", "background");
+  }
+  Status admitted = breaker_->Admit();
+  if (!admitted.ok()) {
+    // Fast fail: the breaker is open, no time is charged.
+    if (span.has_value()) span->AddTag("outcome", "breaker_open");
+    return admitted;
+  }
   if (injector_ != nullptr) {
     Status verdict = injector_->OnOperation("link transfer");
     if (!verdict.ok()) {
       // Speculative (prefetch) failures carry no breaker weight: a
       // prefetch storm must not open the circuit for the foreground.
       if (!background_) breaker_->RecordFailure();
+      if (span.has_value()) span->AddTag("outcome", "fault");
       return verdict;
     }
   }
@@ -41,6 +54,7 @@ StatusOr<Micros> Link::Transfer(uint64_t bytes) {
   busy_time_->Increment(elapsed);
   transfer_us_->Record(static_cast<double>(elapsed));
   breaker_->RecordSuccess();
+  if (span.has_value()) span->AddTag("outcome", "ok");
   return elapsed;
 }
 

@@ -42,11 +42,18 @@ class Link {
   /// Transfers `bytes`; advances the clock and returns the elapsed time.
   /// Unavailable / DeadlineExceeded when the injector or the open
   /// breaker fails the transfer (failed transfers still advance the
-  /// clock by whatever time the fault consumed).
-  StatusOr<Micros> Transfer(uint64_t bytes);
+  /// clock by whatever time the fault consumed). With a tracer attached
+  /// and a valid propagated `ctx`, the transfer records a
+  /// "link.transfer" span under the caller's span, tagged with the byte
+  /// count, lane, and outcome (ok / fault / breaker_open).
+  StatusOr<Micros> Transfer(uint64_t bytes,
+                            const obs::TraceContext& ctx = {});
 
   /// Attaches a fault source (borrowed; null detaches).
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Attaches the request tracer (borrowed; null detaches).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// While a BackgroundScope is live, transfers model speculative
   /// (prefetch) traffic: failures are not recorded against the circuit
@@ -96,6 +103,7 @@ class Link {
   Micros latency_;
   SimClock* clock_;
   FaultInjector* injector_ = nullptr;  // Borrowed; may be null.
+  obs::Tracer* tracer_ = nullptr;      // Borrowed; may be null.
   bool background_ = false;            // A BackgroundScope is live.
   std::string scope_;
   obs::MetricsRegistry* registry_;

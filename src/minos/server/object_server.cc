@@ -109,7 +109,9 @@ std::vector<ObjectId> ObjectServer::QueryAll(
 
 std::vector<query::ScoredHit> ObjectServer::QueryRankedWith(
     const std::vector<std::string>& words, size_t k, query::QueryMode mode,
-    const query::ScoredIndex& global) const {
+    const query::ScoredIndex& global, const obs::TraceContext& ctx) const {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.score", ctx);
   obs::MetricsRegistry::Default()
       .counter("query.ranked_queries")
       ->Increment();
@@ -120,20 +122,28 @@ std::vector<query::ScoredHit> ObjectServer::QueryRankedWith(
   // the link, so the clock charge is the whole latency story here.
   clock_->Advance(
       query::ScoringCost(ranked.terms_scored, ranked.postings_scanned));
+  if (span.has_value()) {
+    span->AddTag("terms", static_cast<int64_t>(ranked.terms_scored));
+    span->AddTag("postings", static_cast<int64_t>(ranked.postings_scanned));
+  }
   return std::move(ranked.hits);
 }
 
 std::vector<query::ScoredHit> ObjectServer::QueryRanked(
-    const std::vector<std::string>& words, size_t k,
-    query::QueryMode mode) const {
-  return QueryRankedWith(words, k, mode, scored_index_);
+    const std::vector<std::string>& words, size_t k, query::QueryMode mode,
+    const obs::TraceContext& ctx) const {
+  return QueryRankedWith(words, k, mode, scored_index_, ctx);
 }
 
 StatusOr<std::vector<MiniatureCard>> ObjectServer::GatherCards(
-    const std::vector<std::string>& words, int thumb_width) {
+    const std::vector<std::string>& words, int thumb_width,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.gather_cards", ctx);
   std::vector<MiniatureCard> cards;
   for (ObjectId id : QueryAll(words)) {
-    StatusOr<MiniatureCard> card = FetchMiniature(id, thumb_width);
+    StatusOr<MiniatureCard> card =
+        FetchMiniature(id, thumb_width, obs::ContextOf(span));
     if (!card.ok()) {
       // One unbuildable card must not sink the strip: drop it and let
       // the caller present the partial strip degraded.
@@ -148,10 +158,16 @@ StatusOr<std::vector<MiniatureCard>> ObjectServer::GatherCards(
 }
 
 StatusOr<std::vector<MiniatureCard>> ObjectServer::GatherCardsRanked(
-    const std::vector<std::string>& words, size_t k, int thumb_width) {
+    const std::vector<std::string>& words, size_t k, int thumb_width,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.gather_ranked", ctx);
   std::vector<MiniatureCard> cards;
-  for (const query::ScoredHit& hit : QueryRanked(words, k)) {
-    StatusOr<MiniatureCard> card = FetchMiniature(hit.id, thumb_width);
+  for (const query::ScoredHit& hit :
+       QueryRanked(words, k, query::QueryMode::kConjunctive,
+                   obs::ContextOf(span))) {
+    StatusOr<MiniatureCard> card =
+        FetchMiniature(hit.id, thumb_width, obs::ContextOf(span));
     if (!card.ok()) {
       obs::MetricsRegistry::Default()
           .counter("server.cards_dropped")
@@ -176,7 +192,7 @@ StatusOr<const ObjectServer::CatalogEntry*> ObjectServer::Lookup(
 
 StatusOr<std::string> ObjectServer::ReadAndDeliver(
     const storage::ArchiveAddress& address, bool over_link,
-    uint64_t transfer_discount) {
+    uint64_t transfer_discount, const obs::TraceContext& ctx) {
   std::string bytes;
   MINOS_RETURN_IF_ERROR(archiver_->Read(address, &bytes));
   format::ArchiveMailer mailer(archiver_, versions_, clock_);
@@ -185,7 +201,7 @@ StatusOr<std::string> ObjectServer::ReadAndDeliver(
   if (over_link && link_ != nullptr) {
     uint64_t charge = resolved.size();
     charge -= std::min<uint64_t>(transfer_discount, charge);
-    MINOS_RETURN_IF_ERROR(link_->Transfer(charge).status());
+    MINOS_RETURN_IF_ERROR(link_->Transfer(charge, ctx).status());
     if (injector_ != nullptr) injector_->MaybeCorrupt(&resolved);
   }
   return resolved;
@@ -193,14 +209,16 @@ StatusOr<std::string> ObjectServer::ReadAndDeliver(
 
 StatusOr<MultimediaObject> ObjectServer::FetchAt(
     ObjectId id, const storage::ArchiveAddress& address, bool over_link,
-    uint64_t transfer_discount) {
+    uint64_t transfer_discount, obs::TraceSpan* span) {
+  const obs::TraceContext ctx =
+      span != nullptr ? span->context() : obs::TraceContext{};
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   StatusOr<MultimediaObject> got = RetryWithBackoff<MultimediaObject>(
       retry_policy_, clock_, &retry_rng_, backoff_sleeper_,
       [&]() -> StatusOr<MultimediaObject> {
         MINOS_ASSIGN_OR_RETURN(
             std::string resolved,
-            ReadAndDeliver(address, over_link, transfer_discount));
+            ReadAndDeliver(address, over_link, transfer_discount, ctx));
         MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
                                MultimediaObject::DeserializeArchived(
                                    id, resolved));
@@ -208,13 +226,14 @@ StatusOr<MultimediaObject> ObjectServer::FetchAt(
         reg.histogram("server.fetch_bytes")
             ->Record(static_cast<double>(resolved.size()));
         return obj;
-      });
+      },
+      RetryTrace{tracer_, ctx});
   if (got.ok() || !got.status().IsCorruption()) return got;
   // Persistent corruption survived every retry (bad media or a poisoned
   // cache block, not a wire glitch). Salvage the parts whose checksums
   // still verify; the presentation manager degrades the rest.
   StatusOr<std::string> resolved =
-      ReadAndDeliver(address, over_link, transfer_discount);
+      ReadAndDeliver(address, over_link, transfer_discount, ctx);
   if (!resolved.ok()) return got;
   object::MultimediaObject::PartSalvageReport report;
   StatusOr<MultimediaObject> salvaged =
@@ -224,6 +243,7 @@ StatusOr<MultimediaObject> ObjectServer::FetchAt(
   reg.counter("server.fetch_salvages")->Increment();
   reg.histogram("server.fetch_bytes")
       ->Record(static_cast<double>(resolved->size()));
+  if (span != nullptr) span->AddTag("degraded", "salvage");
   return salvaged;
 }
 
@@ -267,7 +287,11 @@ StatusOr<uint64_t> ObjectServer::PartLength(
 }
 
 Status ObjectServer::StagePartRange(ObjectId id, std::string_view part_name,
-                                    uint64_t offset, uint64_t length) {
+                                    uint64_t offset, uint64_t length,
+                                    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.stage", ctx);
+  if (span.has_value()) span->AddTag("part", std::string(part_name));
   MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
   MINOS_ASSIGN_OR_RETURN(object::PartPointer part,
                          entry->descriptor.FindPart(part_name));
@@ -291,6 +315,9 @@ Status ObjectServer::StagePartRange(ObjectId id, std::string_view part_name,
   // kForeground otherwise — so foreground page deliveries preempt
   // speculative staging at the disk arm.
   const bool background = link_ != nullptr && link_->in_background();
+  if (span.has_value()) {
+    span->AddTag("lane", background ? "background" : "foreground");
+  }
   const Micros before = clock_->Now();
   const uint64_t blocks_before = archiver_->device().stats().blocks_read;
   std::string scratch;
@@ -306,18 +333,31 @@ Status ObjectServer::StagePartRange(ObjectId id, std::string_view part_name,
   req.arrival_time = before;
   req.priority = background ? storage::IoPriority::kBackground
                             : storage::IoPriority::kForeground;
-  scheduler_->Run({req});
+  std::vector<storage::IoCompletion> done = scheduler_->Run({req});
+  if (span.has_value() && !done.empty()) {
+    span->AddTag("queue_wait_us", done.front().queueing_delay);
+  }
   return Status::OK();
 }
 
-StatusOr<MultimediaObject> ObjectServer::Fetch(ObjectId id,
-                                               FetchGranularity granularity) {
+StatusOr<MultimediaObject> ObjectServer::Fetch(
+    ObjectId id, FetchGranularity granularity,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.fetch", ctx);
+  if (span.has_value()) {
+    span->AddTag("object", static_cast<int64_t>(id));
+    span->AddTag("granularity",
+                 granularity == FetchGranularity::kSkeleton ? "skeleton"
+                                                            : "whole");
+  }
   MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
   uint64_t discount = 0;
   if (granularity == FetchGranularity::kSkeleton) {
     discount = DeferredBytesOf(entry->descriptor);
   }
-  return FetchAt(id, entry->address, /*over_link=*/true, discount);
+  return FetchAt(id, entry->address, /*over_link=*/true, discount,
+                 span.has_value() ? &*span : nullptr);
 }
 
 StatusOr<MultimediaObject> ObjectServer::FetchVersion(ObjectId id,
@@ -327,13 +367,17 @@ StatusOr<MultimediaObject> ObjectServer::FetchVersion(ObjectId id,
   return FetchAt(id, v.address, /*over_link=*/true);
 }
 
-StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
-                                                     int thumb_width) {
+StatusOr<MiniatureCard> ObjectServer::FetchMiniature(
+    ObjectId id, int thumb_width, const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.miniature", ctx);
+  if (span.has_value()) span->AddTag("object", static_cast<int64_t>(id));
   MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
   // The server renders the miniature locally (no link charge for the
   // object itself), then ships the small card.
   MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
-                         FetchAt(id, entry->address, /*over_link=*/false));
+                         FetchAt(id, entry->address, /*over_link=*/false, 0,
+                                 span.has_value() ? &*span : nullptr));
 
   MiniatureCard card;
   card.id = id;
@@ -376,11 +420,15 @@ StatusOr<MiniatureCard> ObjectServer::FetchMiniature(ObjectId id,
   }
   card.byte_size = card.thumb.ByteSize() + card.preview_transcript.size();
   if (link_ != nullptr) {
+    const obs::TraceContext sctx = obs::ContextOf(span);
     MINOS_RETURN_IF_ERROR(
         RetryWithBackoff<Micros>(retry_policy_, clock_, &retry_rng_,
-                                 backoff_sleeper_, [&] {
-                                   return link_->Transfer(card.byte_size);
-                                 }).status());
+                                 backoff_sleeper_,
+                                 [&] {
+                                   return link_->Transfer(card.byte_size,
+                                                          sctx);
+                                 },
+                                 RetryTrace{tracer_, sctx}).status());
   }
   return card;
 }
@@ -411,7 +459,11 @@ StatusOr<image::Image> ObjectServer::FetchImage(ObjectId id,
 }
 
 StatusOr<image::Bitmap> ObjectServer::FetchImageRegion(
-    ObjectId id, uint32_t image_index, const image::Rect& r) {
+    ObjectId id, uint32_t image_index, const image::Rect& r,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "server.region", ctx);
+  if (span.has_value()) span->AddTag("object", static_cast<int64_t>(id));
   MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
   MINOS_ASSIGN_OR_RETURN(
       object::PartPointer part,
@@ -452,13 +504,16 @@ StatusOr<image::Bitmap> ObjectServer::FetchImageRegion(
     }
   }
   if (link_ != nullptr) {
+    const obs::TraceContext sctx = obs::ContextOf(span);
     MINOS_RETURN_IF_ERROR(RetryWithBackoff<Micros>(
                               retry_policy_, clock_, &retry_rng_,
                               backoff_sleeper_,
                               [&] {
                                 return link_->Transfer(
-                                    static_cast<uint64_t>(clipped.area()));
-                              })
+                                    static_cast<uint64_t>(clipped.area()),
+                                    sctx);
+                              },
+                              RetryTrace{tracer_, sctx})
                               .status());
   }
   return out;

@@ -65,6 +65,13 @@ class ObjectServer : public ObjectStore {
     scheduler_ = scheduler;
   }
 
+  /// Attaches the request tracer (borrowed; null detaches), forwarding
+  /// it to the link so transfers record under this server's spans.
+  void SetTracer(obs::Tracer* tracer) override {
+    tracer_ = tracer;
+    if (link_ != nullptr) link_->SetTracer(tracer);
+  }
+
   /// Ingest ---------------------------------------------------------------
 
   /// Archives an object (must be in archived state) and indexes its
@@ -98,15 +105,16 @@ class ObjectServer : public ObjectStore {
   /// SimClock for the scoring work (index probes + postings scanned).
   std::vector<query::ScoredHit> QueryRanked(
       const std::vector<std::string>& words, size_t k,
-      query::QueryMode mode =
-          query::QueryMode::kConjunctive) const override;
+      query::QueryMode mode = query::QueryMode::kConjunctive,
+      const obs::TraceContext& ctx = {}) const override;
 
   /// Ranked query scored against externally supplied corpus statistics
   /// — the scatter path: the ShardRouter passes its catalog-wide stats
   /// index so every shard (and every replica) scores identically.
   std::vector<query::ScoredHit> QueryRankedWith(
       const std::vector<std::string>& words, size_t k,
-      query::QueryMode mode, const query::ScoredIndex& global) const;
+      query::QueryMode mode, const query::ScoredIndex& global,
+      const obs::TraceContext& ctx = {}) const;
 
   uint64_t catalog_version() const override { return catalog_version_; }
 
@@ -115,8 +123,9 @@ class ObjectServer : public ObjectStore {
 
   /// Builds the miniature card of an object (rendered server-side,
   /// transferred over the link).
-  StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
-                                         int thumb_width = 96) override;
+  StatusOr<MiniatureCard> FetchMiniature(
+      storage::ObjectId id, int thumb_width = 96,
+      const obs::TraceContext& ctx = {}) override;
 
   /// Evaluates the query and gathers the cards of every match, serially
   /// (one machine, one arm: card costs add up). Cards that cannot be
@@ -124,12 +133,13 @@ class ObjectServer : public ObjectStore {
   /// the strip (counted in "server.cards_dropped") instead of failing
   /// the whole query; the caller presents the partial strip degraded.
   StatusOr<std::vector<MiniatureCard>> GatherCards(
-      const std::vector<std::string>& words, int thumb_width = 96) override;
+      const std::vector<std::string>& words, int thumb_width = 96,
+      const obs::TraceContext& ctx = {}) override;
 
   /// Ranked gather, serially: top-k query, then cards best-first.
   StatusOr<std::vector<MiniatureCard>> GatherCardsRanked(
       const std::vector<std::string>& words, size_t k,
-      int thumb_width = 96) override;
+      int thumb_width = 96, const obs::TraceContext& ctx = {}) override;
 
   /// Retrieval ------------------------------------------------------------
 
@@ -139,8 +149,9 @@ class ObjectServer : public ObjectStore {
 
   /// Fetches a whole object (descriptor + composition) over the link.
   StatusOr<object::MultimediaObject> Fetch(
-      storage::ObjectId id, FetchGranularity granularity =
-                                FetchGranularity::kWhole) override;
+      storage::ObjectId id,
+      FetchGranularity granularity = FetchGranularity::kWhole,
+      const obs::TraceContext& ctx = {}) override;
 
   /// Fetches a specific archived version (§5 version control). The
   /// catalog tracks the latest version; older versions decode from their
@@ -153,9 +164,9 @@ class ObjectServer : public ObjectStore {
   /// archive blocks and transfers only the region bytes ("The system will
   /// only retrieve the relevant data", §2). Unsupported for graphics
   /// images (those transfer their intersecting objects instead).
-  StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
-                                           uint32_t image_index,
-                                           const image::Rect& r) override;
+  StatusOr<image::Bitmap> FetchImageRegion(
+      storage::ObjectId id, uint32_t image_index, const image::Rect& r,
+      const obs::TraceContext& ctx = {}) override;
 
   /// Fetches one whole image part over the link.
   StatusOr<image::Image> FetchImage(storage::ObjectId id,
@@ -169,7 +180,8 @@ class ObjectServer : public ObjectStore {
   /// transfer accounting (a synchronous stall or a background prefetch).
   /// The range is clamped to the part; a zero-length clamp is a no-op.
   Status StagePartRange(storage::ObjectId id, std::string_view part_name,
-                        uint64_t offset, uint64_t length) override;
+                        uint64_t offset, uint64_t length,
+                        const obs::TraceContext& ctx = {}) override;
 
   /// Bytes a skeleton fetch of `id` defers to page-granular transfers:
   /// image parts placed on visual pages, plus the text or voice stream
@@ -215,14 +227,19 @@ class ObjectServer : public ObjectStore {
   /// the link charge.
   StatusOr<std::string> ReadAndDeliver(const storage::ArchiveAddress& address,
                                        bool over_link,
-                                       uint64_t transfer_discount = 0);
+                                       uint64_t transfer_discount = 0,
+                                       const obs::TraceContext& ctx = {});
 
   /// Full object materialization with retry/backoff; on persistent
   /// corruption falls back to a lenient decode that drops unreadable
   /// voice/attribute parts (the degraded-presentation path).
+  /// `span` (may be null) is the caller's span: its context parents the
+  /// retry/backoff and transfer children, and a salvage fallback tags it
+  /// degraded=salvage.
   StatusOr<object::MultimediaObject> FetchAt(
       storage::ObjectId id, const storage::ArchiveAddress& address,
-      bool over_link, uint64_t transfer_discount = 0);
+      bool over_link, uint64_t transfer_discount = 0,
+      obs::TraceSpan* span = nullptr);
 
   /// Deferred-byte math over a catalog entry's descriptor.
   static uint64_t DeferredBytesOf(const object::ObjectDescriptor& desc);
@@ -232,6 +249,7 @@ class ObjectServer : public ObjectStore {
   SimClock* clock_;
   Link* link_;
   FaultInjector* injector_ = nullptr;  // Borrowed; wire corruption only.
+  obs::Tracer* tracer_ = nullptr;      // Borrowed; may be null.
   storage::RequestScheduler* scheduler_ = nullptr;  // Borrowed; see above.
   uint64_t stage_io_seq_ = 0;  // IoRequest ids for scheduled staging reads.
   RetryPolicy retry_policy_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "minos/image/bitmap.h"
+#include "minos/obs/trace.h"
 #include "minos/object/multimedia_object.h"
 #include "minos/query/query_engine.h"
 #include "minos/server/fault.h"
@@ -68,6 +69,15 @@ class ObjectStore {
   virtual std::vector<storage::ObjectId> QueryAll(
       const std::vector<std::string>& words) const = 0;
 
+  /// Attaches the request tracer (borrowed; null detaches). Sharded
+  /// stores forward it to every shard and its link, so one tracer sees
+  /// the whole fabric. The trailing TraceContext parameter each
+  /// retrieval method takes below is the propagated parent span:
+  /// call sites that pass a valid context get their work recorded as
+  /// children of their own span; the default (invalid) context records
+  /// nothing.
+  virtual void SetTracer(obs::Tracer* tracer) = 0;
+
   /// Ranked content query: the top `k` objects matching `words` with
   /// their BM25-style relevance scores, best first (ties break by
   /// ascending id). A sharded store scatters per-shard top-k requests,
@@ -75,7 +85,8 @@ class ObjectStore {
   /// slowest shard.
   virtual std::vector<query::ScoredHit> QueryRanked(
       const std::vector<std::string>& words, size_t k,
-      query::QueryMode mode = query::QueryMode::kConjunctive) const = 0;
+      query::QueryMode mode = query::QueryMode::kConjunctive,
+      const obs::TraceContext& ctx = {}) const = 0;
 
   /// Monotonic catalog version: bumped by every successful Store. The
   /// workstation's query-result cache stamps entries with it, so an
@@ -83,15 +94,17 @@ class ObjectStore {
   virtual uint64_t catalog_version() const = 0;
 
   /// Builds and transfers the miniature card of one object.
-  virtual StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
-                                                 int thumb_width = 96) = 0;
+  virtual StatusOr<MiniatureCard> FetchMiniature(
+      storage::ObjectId id, int thumb_width = 96,
+      const obs::TraceContext& ctx = {}) = 0;
 
   /// Evaluates the query and gathers the miniature cards of every match,
   /// ordered by ascending object id. A sharded store scatters the
   /// per-shard card work and overlaps it (the clock advances by the
   /// slowest shard, not the sum); a single server does it serially.
   virtual StatusOr<std::vector<MiniatureCard>> GatherCards(
-      const std::vector<std::string>& words, int thumb_width = 96) = 0;
+      const std::vector<std::string>& words, int thumb_width = 96,
+      const obs::TraceContext& ctx = {}) = 0;
 
   /// Ranked gather: evaluates QueryRanked and returns the miniature
   /// cards of the top `k` matches in relevance order (each card carries
@@ -100,24 +113,26 @@ class ObjectStore {
   /// degraded answer beats no answer.
   virtual StatusOr<std::vector<MiniatureCard>> GatherCardsRanked(
       const std::vector<std::string>& words, size_t k,
-      int thumb_width = 96) = 0;
+      int thumb_width = 96, const obs::TraceContext& ctx = {}) = 0;
 
   /// Fetches an object (descriptor + composition) over the link.
   virtual StatusOr<object::MultimediaObject> Fetch(
       storage::ObjectId id,
-      FetchGranularity granularity = FetchGranularity::kWhole) = 0;
+      FetchGranularity granularity = FetchGranularity::kWhole,
+      const obs::TraceContext& ctx = {}) = 0;
 
   /// Fetches only the covering region of a stored bitmap image part.
-  virtual StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
-                                                   uint32_t image_index,
-                                                   const image::Rect& r) = 0;
+  virtual StatusOr<image::Bitmap> FetchImageRegion(
+      storage::ObjectId id, uint32_t image_index, const image::Rect& r,
+      const obs::TraceContext& ctx = {}) = 0;
 
   /// Reads `length` bytes at `offset` within part `part_name` through the
   /// owning archiver without charging the link: the caller owns the
   /// transfer accounting (a synchronous stall or a background prefetch).
   virtual Status StagePartRange(storage::ObjectId id,
                                 std::string_view part_name, uint64_t offset,
-                                uint64_t length) = 0;
+                                uint64_t length,
+                                const obs::TraceContext& ctx = {}) = 0;
 
   /// Byte length of one named part of a cataloged object.
   virtual StatusOr<uint64_t> PartLength(storage::ObjectId id,

@@ -56,6 +56,20 @@ ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
   live_shards_ = reg.gauge("router.live_shards");
   gather_us_ = reg.histogram("router.gather_us");
   live_shards_->Set(static_cast<double>(shards_.size()));
+  red_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string scope = "router.shard" + std::to_string(i);
+    red_.push_back(ShardRed{reg.counter(scope + ".requests_total"),
+                            reg.counter(scope + ".errors_total"),
+                            reg.histogram(scope + ".duration_us")});
+  }
+}
+
+void ShardRouter::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (ObjectServer* shard : shards_) {
+    shard->SetTracer(tracer);
+  }
 }
 
 void ShardRouter::RefreshLiveness() const {
@@ -108,7 +122,10 @@ std::vector<size_t> ShardRouter::ReplicaChain(ObjectId id) const {
 
 template <typename T>
 StatusOr<T> ShardRouter::RouteRead(
-    ObjectId id, const std::function<StatusOr<T>(ObjectServer*)>& op) const {
+    ObjectId id,
+    const std::function<StatusOr<T>(ObjectServer*,
+                                    const obs::TraceContext&)>& op,
+    const obs::TraceContext& ctx) const {
   RefreshLiveness();
   Status last = Status::Unavailable(
       "no live replica serves object " + std::to_string(id));
@@ -118,12 +135,27 @@ StatusOr<T> ShardRouter::RouteRead(
     // Any routing away from the primary — whether the primary was
     // skipped dead or just failed the attempt — is a failover.
     if (shard != chain.front()) failovers_->Increment();
-    StatusOr<T> got = op(shards_[shard]);
-    if (got.ok()) return got;
-    if (!IsRetryable(got.status())) return got;
+    std::optional<obs::TraceSpan> span =
+        obs::MaybeStartSpan(tracer_, "router.attempt", ctx);
+    if (span.has_value()) span->AddTag("shard", static_cast<int64_t>(shard));
+    const Micros start = clock_->Now();
+    StatusOr<T> got = op(shards_[shard], obs::ContextOf(span));
+    red_[shard].requests->Increment();
+    red_[shard].duration_us->Record(
+        static_cast<double>(clock_->Now() - start));
+    if (got.ok()) {
+      if (span.has_value()) span->AddTag("outcome", "ok");
+      return got;
+    }
+    red_[shard].errors->Increment();
+    if (!IsRetryable(got.status())) {
+      if (span.has_value()) span->AddTag("outcome", "error");
+      return got;
+    }
     // Retryable exhaustion: the shard (or its link) is sick. Take it
     // out of this routing decision and try the next replica; the
     // breaker-driven refresh decides whether it stays out.
+    if (span.has_value()) span->AddTag("outcome", "failover");
     live_[shard] = false;
     last = got.status();
   }
@@ -158,8 +190,10 @@ StatusOr<ArchiveAddress> ShardRouter::Store(const MultimediaObject& obj) {
 }
 
 std::vector<query::ScoredHit> ShardRouter::QueryRanked(
-    const std::vector<std::string>& words, size_t k,
-    query::QueryMode mode) const {
+    const std::vector<std::string>& words, size_t k, query::QueryMode mode,
+    const obs::TraceContext& ctx) const {
+  std::optional<obs::TraceSpan> scatter =
+      obs::MaybeStartSpan(tracer_, "router.ranked_scatter", ctx);
   RefreshLiveness();
   ranked_scatters_->Increment();
 
@@ -167,14 +201,30 @@ std::vector<query::ScoredHit> ShardRouter::QueryRanked(
   // catalog-wide statistics. All shards run on the one SimClock, so
   // each share is measured inline, rewound, and the gather barrier
   // advances by the slowest — exactly the GatherCards time model.
+  // Every share records its own "shard.query" span, ended before the
+  // rewind so the trace keeps the true per-shard interval: in the
+  // finished trace the shares overlap, exactly as the modeled parallel
+  // shards do.
   std::vector<std::vector<query::ScoredHit>> per_shard;
   Micros slowest = 0;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     if (!live_[shard]) continue;
+    std::optional<obs::TraceSpan> shard_span =
+        obs::MaybeStartSpan(tracer_, "shard.query", obs::ContextOf(scatter));
+    if (shard_span.has_value()) {
+      shard_span->AddTag("shard", static_cast<int64_t>(shard));
+    }
     const Micros start = clock_->Now();
     std::vector<query::ScoredHit> hits =
-        shards_[shard]->QueryRankedWith(words, k, mode, corpus_stats_);
+        shards_[shard]->QueryRankedWith(words, k, mode, corpus_stats_,
+                                        obs::ContextOf(shard_span));
     const Micros cost = clock_->Now() - start;
+    if (shard_span.has_value()) {
+      shard_span->AddTag("hits", static_cast<int64_t>(hits.size()));
+      shard_span->End();
+    }
+    red_[shard].requests->Increment();
+    red_[shard].duration_us->Record(static_cast<double>(cost));
     clock_->RewindTo(start);
     slowest = std::max(slowest, cost);
     merge_depth_->Record(static_cast<double>(hits.size()));
@@ -221,14 +271,23 @@ std::vector<ObjectId> ShardRouter::QueryAll(
   return merged;
 }
 
-StatusOr<MiniatureCard> ShardRouter::FetchMiniature(ObjectId id,
-                                                    int thumb_width) {
+StatusOr<MiniatureCard> ShardRouter::FetchMiniature(
+    ObjectId id, int thumb_width, const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "router.miniature", ctx);
   return RouteRead<MiniatureCard>(
-      id, [&](ObjectServer* s) { return s->FetchMiniature(id, thumb_width); });
+      id,
+      [&](ObjectServer* s, const obs::TraceContext& c) {
+        return s->FetchMiniature(id, thumb_width, c);
+      },
+      obs::ContextOf(span));
 }
 
 std::vector<MiniatureCard> ShardRouter::ScatterCards(
-    const std::vector<ObjectId>& matches, int thumb_width) {
+    const std::vector<ObjectId>& matches, int thumb_width,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> scatter =
+      obs::MaybeStartSpan(tracer_, "router.scatter_cards", ctx);
   RefreshLiveness();
   // Partition the matches by their first live replica — the shard whose
   // card-building work they will ride.
@@ -253,17 +312,28 @@ std::vector<MiniatureCard> ShardRouter::ScatterCards(
   Micros slowest = 0;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     if (share[shard].empty()) continue;
+    std::optional<obs::TraceSpan> shard_span =
+        obs::MaybeStartSpan(tracer_, "shard.cards", obs::ContextOf(scatter));
+    if (shard_span.has_value()) {
+      shard_span->AddTag("shard", static_cast<int64_t>(shard));
+      shard_span->AddTag("cards",
+                         static_cast<int64_t>(share[shard].size()));
+    }
     const Micros start = clock_->Now();
     for (ObjectId id : share[shard]) {
-      StatusOr<MiniatureCard> got =
-          shards_[shard]->FetchMiniature(id, thumb_width);
+      StatusOr<MiniatureCard> got = shards_[shard]->FetchMiniature(
+          id, thumb_width, obs::ContextOf(shard_span));
       if (got.ok()) {
         cards.push_back(*std::move(got));
       } else {
+        red_[shard].errors->Increment();
         retry_elsewhere.push_back(id);
       }
     }
     const Micros cost = clock_->Now() - start;
+    if (shard_span.has_value()) shard_span->End();
+    red_[shard].requests->Increment();
+    red_[shard].duration_us->Record(static_cast<double>(cost));
     clock_->RewindTo(start);
     slowest = std::max(slowest, cost);
   }
@@ -273,22 +343,32 @@ std::vector<MiniatureCard> ShardRouter::ScatterCards(
   // Failover pass, serial (the scatter already ended): ids whose shard
   // failed mid-gather retry through the replica chain; ids no replica
   // can serve drop out of the strip rather than failing the query.
+  uint64_t dropped = 0;
   for (ObjectId id : retry_elsewhere) {
-    StatusOr<MiniatureCard> got = FetchMiniature(id, thumb_width);
+    StatusOr<MiniatureCard> got =
+        FetchMiniature(id, thumb_width, obs::ContextOf(scatter));
     if (got.ok()) {
       cards.push_back(*std::move(got));
     } else {
       dropped_results_->Increment();
+      ++dropped;
     }
+  }
+  if (scatter.has_value() && dropped > 0) {
+    scatter->AddTag("dropped", static_cast<int64_t>(dropped));
   }
 
   return cards;
 }
 
 StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCards(
-    const std::vector<std::string>& words, int thumb_width) {
+    const std::vector<std::string>& words, int thumb_width,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "router.gather_cards", ctx);
   const std::vector<ObjectId> matches = QueryAll(words);
-  std::vector<MiniatureCard> cards = ScatterCards(matches, thumb_width);
+  std::vector<MiniatureCard> cards =
+      ScatterCards(matches, thumb_width, obs::ContextOf(span));
   std::sort(cards.begin(), cards.end(),
             [](const MiniatureCard& a, const MiniatureCard& b) {
               return a.id < b.id;
@@ -297,13 +377,18 @@ StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCards(
 }
 
 StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCardsRanked(
-    const std::vector<std::string>& words, size_t k, int thumb_width) {
-  const std::vector<query::ScoredHit> hits = QueryRanked(words, k);
+    const std::vector<std::string>& words, size_t k, int thumb_width,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "router.gather_ranked", ctx);
+  const std::vector<query::ScoredHit> hits = QueryRanked(
+      words, k, query::QueryMode::kConjunctive, obs::ContextOf(span));
   std::vector<ObjectId> ids;
   ids.reserve(hits.size());
   for (const query::ScoredHit& hit : hits) ids.push_back(hit.id);
 
-  std::vector<MiniatureCard> cards = ScatterCards(ids, thumb_width);
+  std::vector<MiniatureCard> cards =
+      ScatterCards(ids, thumb_width, obs::ContextOf(span));
   std::map<ObjectId, MiniatureCard> by_id;
   for (MiniatureCard& card : cards) {
     by_id.emplace(card.id, std::move(card));
@@ -322,36 +407,55 @@ StatusOr<std::vector<MiniatureCard>> ShardRouter::GatherCardsRanked(
   return strip;
 }
 
-StatusOr<MultimediaObject> ShardRouter::Fetch(ObjectId id,
-                                              FetchGranularity granularity) {
+StatusOr<MultimediaObject> ShardRouter::Fetch(
+    ObjectId id, FetchGranularity granularity,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "router.fetch", ctx);
   return RouteRead<MultimediaObject>(
-      id, [&](ObjectServer* s) { return s->Fetch(id, granularity); });
+      id,
+      [&](ObjectServer* s, const obs::TraceContext& c) {
+        return s->Fetch(id, granularity, c);
+      },
+      obs::ContextOf(span));
 }
 
-StatusOr<image::Bitmap> ShardRouter::FetchImageRegion(ObjectId id,
-                                                      uint32_t image_index,
-                                                      const image::Rect& r) {
-  return RouteRead<image::Bitmap>(id, [&](ObjectServer* s) {
-    return s->FetchImageRegion(id, image_index, r);
-  });
+StatusOr<image::Bitmap> ShardRouter::FetchImageRegion(
+    ObjectId id, uint32_t image_index, const image::Rect& r,
+    const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "router.region", ctx);
+  return RouteRead<image::Bitmap>(
+      id,
+      [&](ObjectServer* s, const obs::TraceContext& c) {
+        return s->FetchImageRegion(id, image_index, r, c);
+      },
+      obs::ContextOf(span));
 }
 
 Status ShardRouter::StagePartRange(ObjectId id, std::string_view part_name,
-                                   uint64_t offset, uint64_t length) {
-  return RouteRead<bool>(id,
-                         [&](ObjectServer* s) -> StatusOr<bool> {
-                           MINOS_RETURN_IF_ERROR(
-                               s->StagePartRange(id, part_name, offset,
-                                                 length));
-                           return true;
-                         })
+                                   uint64_t offset, uint64_t length,
+                                   const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "router.stage", ctx);
+  return RouteRead<bool>(
+             id,
+             [&](ObjectServer* s,
+                 const obs::TraceContext& c) -> StatusOr<bool> {
+               MINOS_RETURN_IF_ERROR(
+                   s->StagePartRange(id, part_name, offset, length, c));
+               return true;
+             },
+             obs::ContextOf(span))
       .status();
 }
 
 StatusOr<uint64_t> ShardRouter::PartLength(ObjectId id,
                                            std::string_view part_name) const {
   return RouteRead<uint64_t>(
-      id, [&](ObjectServer* s) { return s->PartLength(id, part_name); });
+      id, [&](ObjectServer* s, const obs::TraceContext&) {
+        return s->PartLength(id, part_name);
+      });
 }
 
 const RetryPolicy& ShardRouter::retry_policy() const {

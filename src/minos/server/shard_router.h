@@ -71,7 +71,11 @@ struct ShardRouterOptions {
 /// dropped_results_total, replica_store_errors_total counters; live_shards
 /// gauge; gather_us histogram. Ranked scatters add
 /// "query.ranked_scatters" and the per-shard "query.merge_depth"
-/// histogram.
+/// histogram. Each shard additionally keeps RED metrics —
+/// "router.shard<k>.requests_total", ".errors_total" and the
+/// ".duration_us" histogram — fed by every routed read and scatter
+/// share, so per-shard rate / errors / duration read straight off the
+/// registry.
 class ShardRouter : public ObjectStore {
  public:
   /// All shard pointers borrowed, non-null, non-empty. Shards should be
@@ -104,13 +108,14 @@ class ShardRouter : public ObjectStore {
   /// Identical to a single server's QueryRanked when all shards live.
   std::vector<query::ScoredHit> QueryRanked(
       const std::vector<std::string>& words, size_t k,
-      query::QueryMode mode =
-          query::QueryMode::kConjunctive) const override;
+      query::QueryMode mode = query::QueryMode::kConjunctive,
+      const obs::TraceContext& ctx = {}) const override;
 
   uint64_t catalog_version() const override { return catalog_version_; }
 
-  StatusOr<MiniatureCard> FetchMiniature(storage::ObjectId id,
-                                         int thumb_width = 96) override;
+  StatusOr<MiniatureCard> FetchMiniature(
+      storage::ObjectId id, int thumb_width = 96,
+      const obs::TraceContext& ctx = {}) override;
 
   /// Scatter/gather card fetch: each live shard builds the cards of the
   /// matches it is the first live replica for, the clock advances by the
@@ -118,7 +123,8 @@ class ShardRouter : public ObjectStore {
   /// from the strip (counted dropped_results_total) — a degraded but
   /// non-empty answer beats no answer.
   StatusOr<std::vector<MiniatureCard>> GatherCards(
-      const std::vector<std::string>& words, int thumb_width = 96) override;
+      const std::vector<std::string>& words, int thumb_width = 96,
+      const obs::TraceContext& ctx = {}) override;
 
   /// Ranked scatter/gather card fetch: QueryRanked picks the top-k,
   /// each live shard builds the cards of the hits it is the first live
@@ -127,18 +133,20 @@ class ShardRouter : public ObjectStore {
   /// every replica is unreachable are dropped (dropped_results_total).
   StatusOr<std::vector<MiniatureCard>> GatherCardsRanked(
       const std::vector<std::string>& words, size_t k,
-      int thumb_width = 96) override;
+      int thumb_width = 96, const obs::TraceContext& ctx = {}) override;
 
   StatusOr<object::MultimediaObject> Fetch(
       storage::ObjectId id,
-      FetchGranularity granularity = FetchGranularity::kWhole) override;
+      FetchGranularity granularity = FetchGranularity::kWhole,
+      const obs::TraceContext& ctx = {}) override;
 
-  StatusOr<image::Bitmap> FetchImageRegion(storage::ObjectId id,
-                                           uint32_t image_index,
-                                           const image::Rect& r) override;
+  StatusOr<image::Bitmap> FetchImageRegion(
+      storage::ObjectId id, uint32_t image_index, const image::Rect& r,
+      const obs::TraceContext& ctx = {}) override;
 
   Status StagePartRange(storage::ObjectId id, std::string_view part_name,
-                        uint64_t offset, uint64_t length) override;
+                        uint64_t offset, uint64_t length,
+                        const obs::TraceContext& ctx = {}) override;
 
   StatusOr<uint64_t> PartLength(storage::ObjectId id,
                                 std::string_view part_name) const override;
@@ -148,6 +156,10 @@ class ShardRouter : public ObjectStore {
   /// Forwards to every shard: a retry on any shard's fetch path spends
   /// its backoff in the same sleeper.
   void SetBackoffSleeper(BackoffSleeper sleeper) override;
+
+  /// Attaches the request tracer to the router and every shard (and,
+  /// through each shard, its link), so one tracer sees the whole fabric.
+  void SetTracer(obs::Tracer* tracer) override;
 
   /// The first live replica's link; null when the whole chain is down.
   Link* RouteLink(storage::ObjectId id) const override;
@@ -177,7 +189,8 @@ class ShardRouter : public ObjectStore {
   /// whose shard died mid-gather, and drops unreachable ids
   /// (dropped_results_total). Returns cards in arbitrary order.
   std::vector<MiniatureCard> ScatterCards(
-      const std::vector<storage::ObjectId>& matches, int thumb_width);
+      const std::vector<storage::ObjectId>& matches, int thumb_width,
+      const obs::TraceContext& ctx = {});
 
   /// Replica ring of an id: primary, then successors mod shard count,
   /// `replication` entries total.
@@ -193,10 +206,16 @@ class ShardRouter : public ObjectStore {
   /// exhausted; non-retryable errors (NotFound, Corruption the server
   /// could not salvage, ...) return as-is — another replica would only
   /// repeat them.
+  /// `op` receives the per-attempt trace context (the "router.attempt"
+  /// span when tracing is live), so the shard's own spans nest under the
+  /// attempt that invoked them. Every attempt feeds the attempted
+  /// shard's RED metrics.
   template <typename T>
   StatusOr<T> RouteRead(
       storage::ObjectId id,
-      const std::function<StatusOr<T>(ObjectServer*)>& op) const;
+      const std::function<StatusOr<T>(ObjectServer*,
+                                      const obs::TraceContext&)>& op,
+      const obs::TraceContext& ctx = {}) const;
 
   std::vector<ObjectServer*> shards_;
   SimClock* clock_;
@@ -209,6 +228,16 @@ class ShardRouter : public ObjectStore {
   /// Routing table, re-derived lazily from breaker state (mutable: reads
   /// refresh it).
   mutable std::vector<bool> live_;
+
+  obs::Tracer* tracer_ = nullptr;  // Borrowed; may be null.
+
+  /// Per-shard RED metrics (rate / errors / duration), registry-owned.
+  struct ShardRed {
+    obs::Counter* requests;
+    obs::Counter* errors;
+    obs::Histogram* duration_us;
+  };
+  std::vector<ShardRed> red_;
 
   obs::Counter* scatter_queries_;   // Owned by the registry.
   obs::Counter* ranked_scatters_;

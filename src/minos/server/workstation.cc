@@ -104,12 +104,21 @@ Workstation::Workstation(ObjectStore* server, render::Screen* screen,
 }
 
 Workstation::~Workstation() {
-  if (prefetch_ == nullptr) return;
   // The borrowed server keeps serving other sessions after this one
-  // ends; its sleeper must not pump a destroyed queue.
+  // ends; anything the session installed into it comes back out here:
+  // the tracer must not outlive its owner, and the sleeper must not
+  // pump a destroyed queue.
+  if (tracer_ != nullptr) server_->SetTracer(nullptr);
+  if (prefetch_ == nullptr) return;
   server_->SetBackoffSleeper(BackoffSleeper());
   presentation_.SetBrowseListener(nullptr);
   prefetch_->CancelAll();
+}
+
+void Workstation::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  server_->SetTracer(tracer);
+  presentation_.SetTracer(tracer);
 }
 
 void Workstation::EnablePrefetch(PrefetchOptions options) {
@@ -125,7 +134,11 @@ void Workstation::EnablePrefetch(PrefetchOptions options) {
 
 StatusOr<object::MultimediaObject> Workstation::Resolve(
     storage::ObjectId id) {
-  if (prefetch_ == nullptr) return server_->Fetch(id);
+  // The resolver runs inside the presentation manager's ambient
+  // "open#<id>" span; CurCtx() bridges it into the fabric.
+  if (prefetch_ == nullptr) {
+    return server_->Fetch(id, FetchGranularity::kWhole, CurCtx());
+  }
   // Prefetching mode: a staged skeleton is a free open; otherwise fetch
   // the skeleton in the foreground and let pages transfer on demand.
   if (std::optional<object::MultimediaObject> staged =
@@ -135,7 +148,7 @@ StatusOr<object::MultimediaObject> Workstation::Resolve(
   }
   MINOS_ASSIGN_OR_RETURN(
       object::MultimediaObject obj,
-      server_->Fetch(id, FetchGranularity::kSkeleton));
+      server_->Fetch(id, FetchGranularity::kSkeleton, CurCtx()));
   BuildPlan(id, obj.descriptor());
   return obj;
 }
@@ -208,18 +221,26 @@ std::vector<Workstation::PageRange> Workstation::UndeliveredRanges(
 
 Status Workstation::StageAndTransfer(storage::ObjectId id,
                                      const std::vector<PageRange>& ranges,
-                                     bool with_retries) {
+                                     bool with_retries,
+                                     const obs::TraceContext& ctx) {
+  std::optional<obs::TraceSpan> span =
+      obs::MaybeStartSpan(tracer_, "ws.transfer", ctx);
+  const obs::TraceContext sctx = obs::ContextOf(span);
   uint64_t bytes = 0;
   for (const PageRange& range : ranges) {
-    MINOS_RETURN_IF_ERROR(
-        server_->StagePartRange(id, range.part, range.offset, range.length));
+    MINOS_RETURN_IF_ERROR(server_->StagePartRange(
+        id, range.part, range.offset, range.length, sctx));
     bytes += range.length;
   }
   // The link the object travels is a routing decision (a sharded store
   // may fail over between attempts), so it is re-asked per transfer.
   Link* link = server_->RouteLink(id);
   if (bytes == 0 || link == nullptr) return Status::OK();
-  if (!with_retries) return link->Transfer(bytes).status();
+  if (span.has_value()) {
+    span->AddTag("bytes", static_cast<int64_t>(bytes));
+    if (link->in_background()) span->AddTag("lane", "background");
+  }
+  if (!with_retries) return link->Transfer(bytes, sctx).status();
   return RetryWithBackoff<Micros>(
              server_->retry_policy(), clock_, &page_rng_,
              prefetch_ != nullptr ? prefetch_->MakeBackoffSleeper()
@@ -229,8 +250,9 @@ Status Workstation::StageAndTransfer(storage::ObjectId id,
                if (routed == nullptr) {
                  return Status::Unavailable("no live route for transfer");
                }
-               return routed->Transfer(bytes);
-             })
+               return routed->Transfer(bytes, sctx);
+             },
+             RetryTrace{tracer_, sctx})
       .status();
 }
 
@@ -246,6 +268,15 @@ void Workstation::OnBrowse(
   if (prefetch_ == nullptr) return;
   auto plan_it = plans_.find(event.object_id);
   if (plan_it == plans_.end()) return;  // Opened before prefetch enabled.
+  // Each page turn roots its own trace: the delivery stall, the
+  // speculative staging it schedules, and any retries all attribute to
+  // this one user action.
+  std::optional<obs::TraceSpan> span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan("ws.page_turn");
+  if (span.has_value()) {
+    span->AddTag("object", static_cast<int64_t>(event.object_id));
+    span->AddTag("page", static_cast<int64_t>(event.page));
+  }
   ObjectPlan& plan = plan_it->second;
   const PrefetchKind kind = event.mode == object::DrivingMode::kAudio
                                 ? PrefetchKind::kAudioPage
@@ -264,11 +295,13 @@ void Workstation::OnBrowse(
   if (!ranges.empty()) {
     PrefetchKey key{kind, id, event.page};
     bool have = prefetch_->TakePage(key);
+    if (span.has_value()) span->AddTag("prefetch", have ? "hit" : "miss");
     if (!have) {
-      Status fetched =
-          StageAndTransfer(id, ranges, /*with_retries=*/true);
+      Status fetched = StageAndTransfer(id, ranges, /*with_retries=*/true,
+                                        obs::ContextOf(span));
       have = fetched.ok();
       if (!have) {
+        if (span.has_value()) span->AddTag("degraded", "skeleton");
         presentation_.NoteDegraded(
             id, "page:" + std::to_string(event.page),
             "page content not delivered (" + fetched.message() +
@@ -280,39 +313,49 @@ void Workstation::OnBrowse(
 
   // Speculate around the new cursor: next pages first, then previous.
   for (int step = 1; step <= prefetch_options_.pages_ahead; ++step) {
-    ScheduleWantPage(kind, id, event.page + step, event.page_count, step);
+    ScheduleWantPage(kind, id, event.page + step, event.page_count, step,
+                     obs::ContextOf(span));
   }
   for (int step = 1; step <= prefetch_options_.pages_behind; ++step) {
-    ScheduleWantPage(kind, id, event.page - step, event.page_count, step);
+    ScheduleWantPage(kind, id, event.page - step, event.page_count, step,
+                     obs::ContextOf(span));
   }
   prefetch_->Pump();
 }
 
 void Workstation::ScheduleWantPage(PrefetchKind kind, storage::ObjectId id,
-                                   int page, int page_count, int distance) {
+                                   int page, int page_count, int distance,
+                                   const obs::TraceContext& ctx) {
   if (page < 1 || page > page_count) return;
   PrefetchKey key{kind, id, page};
-  prefetch_->WantPage(key, distance, [this, kind, id, page, page_count] {
+  prefetch_->WantPage(key, distance,
+                      [this, kind, id, page, page_count, ctx] {
     // Resolved at issue time: ranges another page already delivered
-    // (e.g. a shared image) are skipped, not re-transferred.
+    // (e.g. a shared image) are skipped, not re-transferred. The
+    // captured context keeps the eventual background transfer
+    // attributed to the page turn that scheduled the speculation,
+    // however much later the pipeline issues it.
     auto plan_it = plans_.find(id);
     if (plan_it == plans_.end()) {
       return Status::FailedPrecondition("object closed before prefetch");
     }
     return StageAndTransfer(
         id, UndeliveredRanges(plan_it->second, kind, page, page_count),
-        /*with_retries=*/false);
+        /*with_retries=*/false, ctx);
   });
 }
 
 StatusOr<MiniatureBrowser> Workstation::Query(
     const std::vector<std::string>& words) {
+  std::optional<obs::TraceSpan> span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan("ws.query");
   if (prefetch_ == nullptr) {
     // The store owns the gather: a single server builds cards serially,
     // a sharded one scatters the work and overlaps the shards.
     const std::vector<storage::ObjectId> matches = server_->QueryAll(words);
-    MINOS_ASSIGN_OR_RETURN(std::vector<MiniatureCard> cards,
-                           server_->GatherCards(words));
+    MINOS_ASSIGN_OR_RETURN(
+        std::vector<MiniatureCard> cards,
+        server_->GatherCards(words, 96, obs::ContextOf(span)));
     std::set<storage::ObjectId> built;
     for (const MiniatureCard& card : cards) {
       thumb_cache_[card.id] = card.thumb;
@@ -342,7 +385,8 @@ StatusOr<MiniatureBrowser> Workstation::Query(
           thumb_cache_[id] = staged->thumb;
           return StatusOr<MiniatureCard>(*std::move(staged));
         }
-        StatusOr<MiniatureCard> card = server_->FetchMiniature(id);
+        StatusOr<MiniatureCard> card =
+            server_->FetchMiniature(id, 96, CurCtx());
         if (card.ok()) thumb_cache_[id] = card->thumb;
         return card;
       });
@@ -356,14 +400,19 @@ StatusOr<MiniatureBrowser> Workstation::Query(
 
 StatusOr<MiniatureBrowser> Workstation::QueryRanked(
     const std::vector<std::string>& words, size_t k) {
+  std::optional<obs::TraceSpan> span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan("ws.query_ranked");
+  if (span.has_value()) span->AddTag("k", static_cast<int64_t>(k));
   const query::QueryMode mode = query::QueryMode::kConjunctive;
   const std::string key = query::QueryResultCache::Key(words, k, mode);
   std::vector<query::ScoredHit> hits;
   if (std::optional<std::vector<query::ScoredHit>> cached =
           ranked_cache_.Lookup(key, server_->catalog_version())) {
+    if (span.has_value()) span->AddTag("cache", "hit");
     hits = *std::move(cached);
   } else {
-    hits = server_->QueryRanked(words, k, mode);
+    if (span.has_value()) span->AddTag("cache", "miss");
+    hits = server_->QueryRanked(words, k, mode, obs::ContextOf(span));
     ranked_cache_.Insert(key, server_->catalog_version(), hits);
   }
 
@@ -373,7 +422,8 @@ StatusOr<MiniatureBrowser> Workstation::QueryRanked(
     std::vector<MiniatureCard> cards;
     cards.reserve(hits.size());
     for (const query::ScoredHit& hit : hits) {
-      StatusOr<MiniatureCard> card = server_->FetchMiniature(hit.id);
+      StatusOr<MiniatureCard> card =
+          server_->FetchMiniature(hit.id, 96, obs::ContextOf(span));
       if (!card.ok()) {
         presentation_.NoteDegraded(hit.id, "miniature",
                                    "ranked card not delivered (" +
@@ -408,7 +458,8 @@ StatusOr<MiniatureBrowser> Workstation::QueryRanked(
           thumb_cache_[id] = staged->thumb;
           return StatusOr<MiniatureCard>(*std::move(staged));
         }
-        StatusOr<MiniatureCard> card = server_->FetchMiniature(id);
+        StatusOr<MiniatureCard> card =
+            server_->FetchMiniature(id, 96, CurCtx());
         if (card.ok()) {
           card->score = score;
           thumb_cache_[id] = card->thumb;
@@ -447,17 +498,24 @@ void Workstation::OnMiniatureCursor(
 }
 
 Status Workstation::Present(storage::ObjectId id) {
+  // The manager's ambient "open#<id>" span nests under this root, and
+  // the resolver's fabric spans hang off it through CurCtx().
+  std::optional<obs::TraceSpan> span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan("ws.present");
   return presentation_.Open(id);
 }
 
 StatusOr<image::Bitmap> Workstation::FetchImageRegion(storage::ObjectId id,
                                                       uint32_t image_index,
                                                       const image::Rect& r) {
+  std::optional<obs::TraceSpan> span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan("ws.region");
   StatusOr<image::Bitmap> region =
-      server_->FetchImageRegion(id, image_index, r);
+      server_->FetchImageRegion(id, image_index, r, obs::ContextOf(span));
   if (region.ok()) return region;
   auto cached = thumb_cache_.find(id);
   if (cached == thumb_cache_.end()) return region;
+  if (span.has_value()) span->AddTag("degraded", "thumbnail");
   presentation_.NoteDegraded(id, "image:" + std::to_string(image_index),
                              "region fetch failed (" +
                                  region.status().message() +

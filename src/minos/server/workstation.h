@@ -178,6 +178,13 @@ class Workstation {
   /// The presentation manager of this workstation.
   core::PresentationManager& presentation() { return presentation_; }
 
+  /// Attaches the session-wide request tracer: installed into the store
+  /// (and through it every shard and its link) and the presentation
+  /// manager, so one browse action or query yields one connected span
+  /// tree across the whole fabric. Borrowed; null detaches. The
+  /// destructor detaches from the borrowed server automatically.
+  void SetTracer(obs::Tracer* tracer);
+
  private:
   /// One contiguous byte range of a part, staged/transferred per page.
   struct PageRange {
@@ -211,13 +218,25 @@ class Workstation {
                                            int page_count) const;
 
   /// Stages the ranges and charges the link once for their total size.
+  /// With a valid `ctx` the work records a "ws.transfer" span under it.
   Status StageAndTransfer(storage::ObjectId id,
                           const std::vector<PageRange>& ranges,
-                          bool with_retries);
+                          bool with_retries,
+                          const obs::TraceContext& ctx = {});
 
-  /// Queues a speculative staging transfer for `page` of `id`.
+  /// Queues a speculative staging transfer for `page` of `id`. The
+  /// transfer, whenever the pipeline issues it, attributes to `ctx` —
+  /// the page turn that scheduled the speculation.
   void ScheduleWantPage(PrefetchKind kind, storage::ObjectId id, int page,
-                        int page_count, int distance);
+                        int page_count, int distance,
+                        const obs::TraceContext& ctx = {});
+
+  /// Ambient context of the innermost open session span (invalid when
+  /// untraced) — the bridge into the explicitly-propagated fabric.
+  obs::TraceContext CurCtx() const {
+    return tracer_ != nullptr ? tracer_->current_context()
+                              : obs::TraceContext{};
+  }
 
   void MarkDelivered(ObjectPlan& plan, const std::vector<PageRange>& ranges);
 
@@ -228,6 +247,7 @@ class Workstation {
 
   ObjectStore* server_;
   SimClock* clock_;
+  obs::Tracer* tracer_ = nullptr;  ///< Borrowed; may be null.
   core::PresentationManager presentation_;
   std::unique_ptr<PrefetchQueue> prefetch_;
   PrefetchOptions prefetch_options_;

@@ -141,5 +141,233 @@ TEST(TraceSpanTest, NullClockReadsZero) {
   EXPECT_EQ(tracer.spans()[0].end_us, 0);
 }
 
+TEST(TraceSpanTest, ExplicitParentIgnoresAmbientStack) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceSpan root = tracer.StartSpan("root");
+  const TraceContext root_ctx = root.context();
+  TraceSpan ambient = tracer.StartSpan("ambient");
+  // Started against root's context while "ambient" is the innermost
+  // open ambient span: the explicit parent wins.
+  TraceSpan child = tracer.StartSpan("child", root_ctx);
+  EXPECT_EQ(child.context().trace_id, root_ctx.trace_id);
+  EXPECT_EQ(child.context().parent_span_id, root_ctx.span_id);
+  EXPECT_EQ(child.context().depth, root_ctx.depth + 1);
+  // ...and the explicit span never joins the ambient stack.
+  EXPECT_EQ(tracer.current_context().span_id, ambient.context().span_id);
+  child.End();
+  ambient.End();
+  root.End();
+
+  // An invalid parent context roots a fresh trace.
+  TraceSpan fresh = tracer.StartSpan("fresh", TraceContext{});
+  EXPECT_NE(fresh.context().trace_id, root_ctx.trace_id);
+  EXPECT_EQ(fresh.context().parent_span_id, 0u);
+}
+
+TEST(TraceSpanTest, MaybeStartSpanRequiresTracerAndValidContext) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceSpan root = tracer.StartSpan("root");
+  EXPECT_FALSE(MaybeStartSpan(nullptr, "x", root.context()).has_value());
+  EXPECT_FALSE(MaybeStartSpan(&tracer, "x", TraceContext{}).has_value());
+  EXPECT_FALSE(ContextOf(std::nullopt).valid());
+  std::optional<TraceSpan> child =
+      MaybeStartSpan(&tracer, "x", root.context());
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->context().parent_span_id, root.context().span_id);
+  EXPECT_TRUE(ContextOf(child).valid());
+}
+
+TEST(TraceSpanTest, RingBufferEvictsOldestAndCountsDrops) {
+  SimClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock);
+  tracer.set_metrics_registry(&registry);
+  tracer.set_capacity(4);
+  for (int i = 0; i < 7; ++i) {
+    TraceSpan span = tracer.StartSpan("s" + std::to_string(i));
+    clock.Advance(1);
+  }
+  EXPECT_EQ(tracer.spans().size(), 4u);
+  EXPECT_EQ(tracer.dropped_spans(), 3u);
+  EXPECT_EQ(registry.counter("trace.dropped_spans")->value(), 3);
+  // OrderedSpans unwinds the ring: oldest surviving record first.
+  const std::vector<SpanRecord> ordered = tracer.OrderedSpans();
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(ordered.front().name, "s3");
+  EXPECT_EQ(ordered.back().name, "s6");
+  // ToJson serializes the wrapped buffer in the same order, and the
+  // round trip through FromJson preserves it.
+  auto parsed = Tracer::FromJson(tracer.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 4u);
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    EXPECT_EQ((*parsed)[i].name, ordered[i].name);
+    EXPECT_EQ((*parsed)[i].span_id, ordered[i].span_id);
+    EXPECT_EQ((*parsed)[i].start_us, ordered[i].start_us);
+  }
+}
+
+TEST(TraceSpanTest, RingEvictionMakesStaleHandlesInert) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_capacity(2);
+  TraceSpan old_span = tracer.StartSpan("old");
+  {
+    TraceSpan a = tracer.StartSpan("a");
+    TraceSpan b = tracer.StartSpan("b");  // Evicts "old".
+    clock.Advance(5);
+  }
+  clock.Advance(100);
+  old_span.End();     // Record reclaimed: must be a no-op, not a crash.
+  old_span.AddTag("late", "1");
+  const std::vector<SpanRecord> ordered = tracer.OrderedSpans();
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered[0].name, "a");
+  EXPECT_EQ(ordered[1].name, "b");
+}
+
+TEST(SanitizeSpanNameTest, StripsDigitRunsIntoIdTag) {
+  std::string ids;
+  EXPECT_EQ(SanitizeSpanName("open#42", &ids), "open#%id");
+  EXPECT_EQ(ids, "42");
+  ids.clear();
+  EXPECT_EQ(SanitizeSpanName("tour#7.page12", &ids), "tour#%id.page%id");
+  EXPECT_EQ(ids, "7,12");
+  EXPECT_EQ(SanitizeSpanName("no_digits"), "no_digits");
+  EXPECT_EQ(SanitizeSpanName("123"), "%id");
+}
+
+TEST(TraceSpanTest, MetricCardinalityBoundedAcrossObjectIds) {
+  SimClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock);
+  tracer.set_metrics_registry(&registry);
+  for (int id = 1; id <= 40; ++id) {
+    TraceSpan span = tracer.StartSpan("open#" + std::to_string(id));
+    clock.Advance(2);
+  }
+  // Forty distinct object ids collapse into one histogram; the ids
+  // survive as a %id tag on each record instead.
+  const MetricsSnapshot snap = registry.Snapshot();
+  size_t span_histograms = 0;
+  for (const HistogramSummary& h : snap.histograms) {
+    if (h.name.rfind("span.", 0) == 0) ++span_histograms;
+  }
+  EXPECT_EQ(span_histograms, 1u);
+  const HistogramSummary* h = snap.FindHistogram("span.open#%id_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 40);
+  const std::string* tag = tracer.spans().front().FindTag("%id");
+  ASSERT_NE(tag, nullptr);
+  EXPECT_EQ(*tag, "1");
+}
+
+TEST(TraceSpanTest, KeepsSlowestRootTracesAsExemplars) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.set_exemplar_capacity(2);
+  for (Micros d : {10, 50, 30, 40}) {
+    TraceSpan root = tracer.StartSpan("req");
+    TraceSpan child = tracer.StartSpan("work");
+    clock.Advance(d);
+    child.End();
+    root.End();
+  }
+  ASSERT_EQ(tracer.exemplars().size(), 2u);
+  EXPECT_EQ(tracer.exemplars()[0].duration_us, 50);
+  EXPECT_EQ(tracer.exemplars()[1].duration_us, 40);
+  // An exemplar snapshots the whole trace, not just the root.
+  EXPECT_EQ(tracer.exemplars()[0].spans.size(), 2u);
+  EXPECT_EQ(tracer.exemplars()[0].root_name, "req");
+}
+
+TEST(TraceSpanTest, ChromeTraceEmitsCompleteEvents) {
+  SimClock clock(50);
+  Tracer tracer(&clock);
+  {
+    TraceSpan span = tracer.StartSpan("fetch");
+    span.AddTag("shard", static_cast<int64_t>(3));
+    clock.Advance(25);
+  }
+  const std::string chrome = tracer.ToChromeTrace();
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"fetch\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\":50"), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(chrome.find("\"shard\":\"3\""), std::string::npos);
+}
+
+TEST(TraceSpanTest, ToJsonCarriesMetaHeader) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  {
+    TraceSpan span = tracer.StartSpan("work");
+    clock.Advance(9);
+  }
+  Tracer::TraceMeta meta;
+  meta.bench = "unit \"bench\"";
+  meta.measured_us = 9;
+  const std::string json = tracer.ToJson(meta);
+  EXPECT_NE(json.find("\"schema\":\"minos.trace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit \\\"bench\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"measured_us\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+TEST(TraceSpanTest, FromJsonRejectsMalformedDocuments) {
+  // None of these may crash; all must return a Status.
+  EXPECT_FALSE(Tracer::FromJson("").ok());
+  EXPECT_FALSE(Tracer::FromJson("{").ok());
+  EXPECT_FALSE(Tracer::FromJson("[]").ok());
+  EXPECT_FALSE(Tracer::FromJson("42").ok());
+  // Wrong or missing schema tag.
+  EXPECT_FALSE(
+      Tracer::FromJson("{\"schema\":\"minos.metrics.v1\",\"spans\":[]}")
+          .ok());
+  EXPECT_FALSE(Tracer::FromJson("{\"spans\":[]}").ok());
+  // Missing or malformed spans.
+  EXPECT_FALSE(Tracer::FromJson("{\"schema\":\"minos.trace.v1\"}").ok());
+  EXPECT_FALSE(
+      Tracer::FromJson("{\"schema\":\"minos.trace.v1\",\"spans\":[7]}")
+          .ok());
+  EXPECT_FALSE(Tracer::FromJson("{\"schema\":\"minos.trace.v1\","
+                                "\"spans\":[{\"name\":7}]}")
+                   .ok());
+  EXPECT_FALSE(Tracer::FromJson("{\"schema\":\"minos.trace.v1\","
+                                "\"spans\":[{\"name\":\"a\","
+                                "\"start_us\":\"late\"}]}")
+                   .ok());
+  EXPECT_FALSE(Tracer::FromJson("{\"schema\":\"minos.trace.v1\","
+                                "\"spans\":[{\"name\":\"a\","
+                                "\"tags\":[1,2]}]}")
+                   .ok());
+  EXPECT_FALSE(Tracer::FromJson("{\"schema\":\"minos.trace.v1\","
+                                "\"spans\":[{\"name\":\"a\","
+                                "\"tags\":{\"k\":7}}]}")
+                   .ok());
+}
+
+TEST(TraceSpanTest, FromJsonRoundTripsTagsAndEscapes) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  {
+    TraceSpan span = tracer.StartSpan("fetch \"q\" \\ path");
+    span.AddTag("outcome", "ok \"quoted\"");
+    span.AddTag("shard", static_cast<int64_t>(2));
+    clock.Advance(4);
+  }
+  auto parsed = Tracer::FromJson(tracer.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, "fetch \"q\" \\ path");
+  ASSERT_EQ((*parsed)[0].tags.size(), 2u);
+  const std::string* outcome = (*parsed)[0].FindTag("outcome");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(*outcome, "ok \"quoted\"");
+}
+
 }  // namespace
 }  // namespace minos::obs

@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Validates exported MINOS metrics snapshots (minos.metrics.v1).
+"""Validates exported MINOS stats documents (metrics and traces).
 
 Usage:
-    check_stats_schema.py SNAPSHOT.json [SNAPSHOT.json ...]
+    check_stats_schema.py SNAPSHOT.json [TRACE.json ...]
     check_stats_schema.py --require-pipeline BENCH_SYM_1.json
     check_stats_schema.py --require-faults BENCH_fault_sweep.json
 
-Checks the schema contract that `minos::obs::ValidateSnapshotJson`
-enforces in C++: schema tag, bench string, numeric sim_time_us, the
-three metric sections, numeric values throughout, and the full
-count/sum/min/max/mean/p50/p90/p99 field set on every histogram.
+Dispatches on the document's "schema" tag. For minos.metrics.v1
+(BENCH_*.json) it checks the contract that
+`minos::obs::ValidateSnapshotJson` enforces in C++: schema tag, bench
+string, numeric sim_time_us, the three metric sections, numeric values
+throughout, and the full count/sum/min/max/mean/p50/p90/p99 field set
+on every histogram. For minos.trace.v1 (TRACE_*.json, emitted by
+`minos::obs::Tracer::ToJson`) it checks the span-list contract: string
+names, integer ids and times, end >= start, string-to-string tags, and
+every nonzero parent_span_id resolving inside its own trace.
 
 With --require-pipeline, additionally requires the metric families a
 full presentation-pipeline run produces (block cache, link, scheduler,
@@ -31,7 +36,10 @@ import json
 import sys
 
 SCHEMA = "minos.metrics.v1"
+TRACE_SCHEMA = "minos.trace.v1"
 HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+SPAN_INT_FIELDS = ("trace_id", "span_id", "parent_span_id", "start_us",
+                   "end_us")
 
 # Metric families a full pipeline run must have touched. Instance scopes
 # are numbered (block_cache0, link1, ...), so these are name prefixes /
@@ -71,6 +79,67 @@ FAULT_HISTOGRAM_PATTERNS = (("", ".page_open_us"),)
 
 def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_trace(doc):
+    """Returns a list of problem strings for a minos.trace.v1 document."""
+    problems = []
+    if not isinstance(doc.get("bench"), str):
+        problems.append("missing string field 'bench'")
+    if "measured_us" in doc and not _is_number(doc["measured_us"]):
+        problems.append("field 'measured_us' is not numeric")
+    if not _is_int(doc.get("dropped_spans", 0)):
+        problems.append("field 'dropped_spans' is not an integer")
+    if not isinstance(doc.get("spans"), list):
+        problems.append("missing list field 'spans'")
+        return problems
+
+    by_trace = {}
+    for i, span in enumerate(doc["spans"]):
+        if not isinstance(span, dict):
+            problems.append(f"span[{i}] is not an object")
+            continue
+        name = span.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"span[{i}] has no string name")
+            continue
+        bad = False
+        for field in SPAN_INT_FIELDS:
+            if not _is_int(span.get(field)):
+                problems.append(
+                    f"span '{name}' field '{field}' is not an integer"
+                )
+                bad = True
+        if bad:
+            continue
+        if span["end_us"] < span["start_us"]:
+            problems.append(f"span '{name}' ends before it starts")
+        tags = span.get("tags", {})
+        if not isinstance(tags, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in tags.items()
+        ):
+            problems.append(f"span '{name}' tags are not string->string")
+        by_trace.setdefault(span["trace_id"], set()).add(span["span_id"])
+    for span in doc["spans"]:
+        if not isinstance(span, dict):
+            continue
+        parent = span.get("parent_span_id")
+        trace_id = span.get("trace_id")
+        if (
+            _is_int(parent)
+            and parent != 0
+            and parent not in by_trace.get(trace_id, set())
+        ):
+            problems.append(
+                f"orphan span '{span.get('name')}': parent {parent} "
+                f"not in trace {trace_id}"
+            )
+    return problems
 
 
 def validate(doc, require_pipeline=False, require_faults=False):
@@ -171,16 +240,29 @@ def main(argv):
             print(f"{path}: FAIL: {err}")
             failed = True
             continue
-        problems = validate(
-            doc,
-            require_pipeline=args.require_pipeline,
-            require_faults=args.require_faults,
+        is_trace = (
+            isinstance(doc, dict) and doc.get("schema") == TRACE_SCHEMA
         )
+        if is_trace:
+            problems = validate_trace(doc)
+        else:
+            problems = validate(
+                doc,
+                require_pipeline=args.require_pipeline,
+                require_faults=args.require_faults,
+            )
         if problems:
             failed = True
             print(f"{path}: FAIL")
             for problem in problems:
                 print(f"  - {problem}")
+        elif is_trace:
+            spans = doc["spans"]
+            traces = len({s["trace_id"] for s in spans})
+            print(
+                f"{path}: OK (bench={doc['bench']!r}, {len(spans)} spans, "
+                f"{traces} traces)"
+            )
         else:
             counters = len(doc["counters"])
             gauges = len(doc["gauges"])
