@@ -7,16 +7,20 @@
 // cycle so the exported snapshot carries every fault metric family.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "minos/core/presentation_manager.h"
 #include "minos/obs/metrics.h"
 #include "minos/server/object_server.h"
+#include "minos/server/repair.h"
+#include "minos/server/shard_router.h"
 #include "minos/server/workstation.h"
 #include "minos/storage/archiver.h"
 #include "minos/storage/block_cache.h"
 #include "minos/text/markup.h"
+#include "minos/util/coding.h"
 #include "minos/voice/synthesizer.h"
 #include "scenario_lib.h"
 
@@ -58,6 +62,132 @@ struct SweepPoint {
   const char* label;
   server::FaultProfile profile;
 };
+
+/// One shard's full server stack for the self-healing phases: its own
+/// device, cache, archiver, versions and link, so breakers and faults
+/// stay per shard.
+struct ShardStack {
+  explicit ShardStack(SimClock* clock)
+      : device("shard", 65536, 512, storage::DeviceCostModel::Instant(),
+               true, clock),
+        cache(256),
+        archiver(&device, &cache),
+        link(server::Link::Ethernet(clock)),
+        server(&archiver, &versions, clock, &link) {}
+
+  storage::BlockDevice device;
+  storage::BlockCache cache;
+  storage::Archiver archiver;
+  storage::VersionStore versions;
+  server::Link link;
+  server::ObjectServer server;
+};
+
+struct RepairTopology {
+  SimClock clock;
+  std::vector<std::unique_ptr<ShardStack>> stacks;
+  std::unique_ptr<server::ShardRouter> router;
+  std::unique_ptr<server::RepairManager> repair;
+};
+
+std::unique_ptr<RepairTopology> BuildRepairTopology(size_t shards,
+                                                    uint64_t seed) {
+  auto topo = std::make_unique<RepairTopology>();
+  std::vector<server::ObjectServer*> servers;
+  for (size_t i = 0; i < shards; ++i) {
+    topo->stacks.push_back(std::make_unique<ShardStack>(&topo->clock));
+    servers.push_back(&topo->stacks.back()->server);
+  }
+  server::ShardRouterOptions options;
+  options.replication = 2;
+  topo->router = std::make_unique<server::ShardRouter>(
+      servers, &topo->clock, server::RangePlacement(10), options);
+  server::RepairOptions repair_options;
+  repair_options.seed = seed;
+  topo->repair = std::make_unique<server::RepairManager>(
+      topo->router.get(), &topo->clock, repair_options);
+  return topo;
+}
+
+/// Drives fetches of `id` into the (dead) link until `shard`'s breaker
+/// opens. Returns false if it never does.
+bool DriveBreakerOpen(RepairTopology* topo, size_t shard,
+                      storage::ObjectId id) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (topo->stacks[shard]->link.breaker().state() ==
+        server::CircuitBreaker::State::kOpen) {
+      return true;
+    }
+    topo->router->Fetch(id).ok();
+  }
+  return topo->stacks[shard]->link.breaker().state() ==
+         server::CircuitBreaker::State::kOpen;
+}
+
+struct CycleOutcome {
+  server::RepairReport report;
+  Micros mttr_us = 0;
+  Micros clock_us = 0;
+  uint64_t degraded_stores = 0;
+  uint32_t digest_crc = 0;  ///< Folded over every digest wire doc.
+  bool ok = false;
+};
+
+/// The measured degrade → repair cycle: a 4-shard archive loses one
+/// shard to a dead link mid-run, keeps accepting stores (durably, but
+/// under-replicated), heals, and anti-entropy restores full redundancy.
+/// MTTR is the span from the heal edge to the sync that converges.
+CycleOutcome RunDegradeRepairCycle(uint64_t seed,
+                                   const text::Document& doc) {
+  CycleOutcome out;
+  std::unique_ptr<RepairTopology> topo = BuildRepairTopology(4, seed);
+  std::string digest_accum;
+  topo->repair->SetDigestTap(
+      [&digest_accum](size_t, std::string* wire) { digest_accum += *wire; });
+
+  // Fully replicated base corpus, one object per shard's range.
+  for (storage::ObjectId id : {5, 15, 25, 35}) {
+    if (!topo->router->Store(TextObject(id, doc)).ok()) return out;
+  }
+
+  // Kill shard 2's link; foreground fetches open its breaker.
+  server::FaultProfile dead;
+  dead.drop_rate = 1.0;
+  server::FaultInjector chaos(dead, seed ^ 0xD00DULL, &topo->clock);
+  topo->stacks[2]->link.SetFaultInjector(&chaos);
+  server::CircuitBreaker::Options bo;
+  bo.failure_threshold = 4;
+  topo->stacks[2]->link.ConfigureBreaker(bo);
+  if (!DriveBreakerOpen(topo.get(), 2, 25)) return out;
+
+  // The dark window: ids whose chains touch shard 2 land degraded.
+  const int64_t degraded_before =
+      obs::MetricsRegistry::Default()
+          .counter("router.degraded_stores_total")
+          ->value();
+  for (storage::ObjectId id : {16, 17, 20, 21, 22, 23}) {
+    if (!topo->router->Store(TextObject(id, doc)).ok()) return out;
+  }
+  out.degraded_stores =
+      static_cast<uint64_t>(obs::MetricsRegistry::Default()
+                                .counter("router.degraded_stores_total")
+                                ->value() -
+                            degraded_before);
+
+  // Heal: the link recovers, the cooldown passes, repair converges.
+  topo->stacks[2]->link.SetFaultInjector(nullptr);
+  topo->clock.Advance(topo->stacks[2]->link.breaker().options().cooldown_us +
+                      1);
+  const Micros heal_at = topo->clock.Now();
+  std::optional<server::RepairReport> report = topo->repair->SyncIfPending();
+  if (!report.has_value()) return out;
+  out.report = *report;
+  out.mttr_us = topo->clock.Now() - heal_at;
+  out.clock_us = topo->clock.Now();
+  out.digest_crc = Crc32(digest_accum);
+  out.ok = true;
+  return out;
+}
 
 int Run() {
   bench::PrintHeader("fault_sweep", "page latency under injected faults");
@@ -251,6 +381,147 @@ int Run() {
                   static_cast<double>(config.cooldown) / 1000.0,
                   static_cast<double>(mttr) / 1000.0);
       last_sim_time += clock.Now();
+    }
+  }
+
+  // --- Self-healing storage tier: degrade → repair, measured -----------
+  // A 4-shard archive loses a shard, keeps serving (degraded), heals,
+  // and anti-entropy restores full redundancy. Gates: the cycle must
+  // converge (under_replicated == 0), must actually ship repairs, and
+  // must be deterministic — the same seed twice yields the identical
+  // repair schedule down to the digest bytes and the clock.
+  {
+    obs::Histogram* mttr_us = reg.histogram("fault_sweep.mttr_us");
+    obs::Histogram* partial_mttr_us =
+        reg.histogram("fault_sweep.partial_mttr_us");
+    std::printf("%-12s %-9s %-9s %-9s %-8s\n", "repair", "mttr_ms",
+                "repaired", "bytes", "under");
+
+    const CycleOutcome cycle = RunDegradeRepairCycle(0x5EEDF00D, *report);
+    if (!cycle.ok) {
+      std::printf("FAIL: degrade-repair cycle did not complete\n");
+      return 1;
+    }
+    mttr_us->Record(static_cast<double>(cycle.mttr_us));
+    std::printf("%-12s %-9.1f %-9llu %-9llu %-8llu\n", "cycle4",
+                static_cast<double>(cycle.mttr_us) / 1000.0,
+                static_cast<unsigned long long>(
+                    cycle.report.replicas_repaired),
+                static_cast<unsigned long long>(cycle.report.bytes_shipped),
+                static_cast<unsigned long long>(
+                    cycle.report.under_replicated));
+    if (cycle.report.under_replicated != 0 ||
+        cycle.report.replicas_repaired == 0 ||
+        cycle.report.bytes_shipped == 0 || cycle.degraded_stores == 0) {
+      std::printf("FAIL: cycle did not converge to full redundancy\n");
+      return 1;
+    }
+    last_sim_time += cycle.clock_us;
+
+    // Partial heal: two shards dark, one heals early. Repair restores
+    // what it can reach and carries the rest as visible debt until the
+    // second heal.
+    {
+      std::unique_ptr<RepairTopology> topo =
+          BuildRepairTopology(4, 0x5EEDF00D);
+      for (storage::ObjectId id : {5, 15, 25, 35}) {
+        if (!topo->router->Store(TextObject(id, *report)).ok()) return 1;
+      }
+      server::FaultProfile dead;
+      dead.drop_rate = 1.0;
+      server::FaultInjector chaos1(dead, 0xA11, &topo->clock);
+      server::FaultInjector chaos2(dead, 0xB22, &topo->clock);
+      topo->stacks[1]->link.SetFaultInjector(&chaos1);
+      topo->stacks[2]->link.SetFaultInjector(&chaos2);
+      server::CircuitBreaker::Options fast;
+      fast.failure_threshold = 4;
+      server::CircuitBreaker::Options slow = fast;
+      slow.cooldown_us = MillisToMicros(5000);  // Heals much later.
+      topo->stacks[1]->link.ConfigureBreaker(fast);
+      topo->stacks[2]->link.ConfigureBreaker(slow);
+      if (!DriveBreakerOpen(topo.get(), 1, 15) ||
+          !DriveBreakerOpen(topo.get(), 2, 25)) {
+        std::printf("FAIL: partial-heal breakers never opened\n");
+        return 1;
+      }
+      // Stores with one live chain member each: durable, degraded.
+      for (storage::ObjectId id : {6, 7, 8, 9}) {  // Chains (0,1).
+        if (!topo->router->Store(TextObject(id, *report)).ok()) return 1;
+      }
+      for (storage::ObjectId id : {20, 21, 22, 23}) {  // Chains (2,3).
+        if (!topo->router->Store(TextObject(id, *report)).ok()) return 1;
+      }
+      topo->stacks[1]->link.SetFaultInjector(nullptr);
+      topo->stacks[2]->link.SetFaultInjector(nullptr);
+      topo->clock.Advance(fast.cooldown_us + 1);  // Shard 1 heals alone.
+      const Micros heal1_at = topo->clock.Now();
+      std::optional<server::RepairReport> partial =
+          topo->repair->SyncIfPending();
+      if (!partial.has_value()) {
+        std::printf("FAIL: partial heal triggered no sync\n");
+        return 1;
+      }
+      const Micros partial_mttr = topo->clock.Now() - heal1_at;
+      partial_mttr_us->Record(static_cast<double>(partial_mttr));
+      std::printf("%-12s %-9.1f %-9llu %-9llu %-8llu\n", "partial",
+                  static_cast<double>(partial_mttr) / 1000.0,
+                  static_cast<unsigned long long>(
+                      partial->replicas_repaired),
+                  static_cast<unsigned long long>(partial->bytes_shipped),
+                  static_cast<unsigned long long>(
+                      partial->under_replicated));
+      // Shard 1's debt is repaired; shard 2's is visible but not
+      // pending — its heal, not another sync, is what it waits for.
+      if (partial->replicas_repaired == 0 ||
+          partial->under_replicated == 0 || partial->pending != 0) {
+        std::printf("FAIL: partial heal did not behave as partial\n");
+        return 1;
+      }
+      topo->clock.Advance(slow.cooldown_us + 1);  // Shard 2 heals.
+      std::optional<server::RepairReport> full =
+          topo->repair->SyncIfPending();
+      if (!full.has_value() || full->under_replicated != 0 ||
+          full->replicas_repaired == 0) {
+        std::printf("FAIL: second heal did not converge\n");
+        return 1;
+      }
+      last_sim_time += topo->clock.Now();
+    }
+
+    // Determinism: the same seed replays the identical repair schedule.
+    const CycleOutcome replay = RunDegradeRepairCycle(0x5EEDF00D, *report);
+    const bool deterministic =
+        replay.ok && replay.report.digests_exchanged ==
+                         cycle.report.digests_exchanged &&
+        replay.report.replicas_repaired == cycle.report.replicas_repaired &&
+        replay.report.bytes_shipped == cycle.report.bytes_shipped &&
+        replay.report.objects_checked == cycle.report.objects_checked &&
+        replay.mttr_us == cycle.mttr_us &&
+        replay.clock_us == cycle.clock_us &&
+        replay.digest_crc == cycle.digest_crc;
+    std::printf("repair determinism (same seed, 4 shards): %s\n",
+                deterministic ? "identical" : "DIVERGED");
+    if (!deterministic) return 1;
+    last_sim_time += replay.clock_us;
+
+    // Single shard: the cycle degenerates to a clean no-op — nothing
+    // to repair, nothing under-replicated, still deterministic.
+    {
+      std::unique_ptr<RepairTopology> solo = BuildRepairTopology(1, 0x1);
+      for (storage::ObjectId id : {1, 2, 3, 4}) {
+        if (!solo->router->Store(TextObject(id, *report)).ok()) return 1;
+      }
+      const server::RepairReport noop = solo->repair->Sync();
+      std::printf("%-12s %-9.1f %-9llu %-9llu %-8llu\n", "noop1", 0.0,
+                  static_cast<unsigned long long>(noop.replicas_repaired),
+                  static_cast<unsigned long long>(noop.bytes_shipped),
+                  static_cast<unsigned long long>(noop.under_replicated));
+      if (noop.replicas_repaired != 0 || noop.under_replicated != 0 ||
+          noop.objects_checked != 4) {
+        std::printf("FAIL: single-shard sync was not a no-op\n");
+        return 1;
+      }
+      last_sim_time += solo->clock.Now();
     }
   }
 

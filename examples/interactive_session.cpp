@@ -22,6 +22,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "minos/obs/trace.h"
 #include "minos/render/export.h"
 #include "minos/util/string_util.h"
+#include "minos/server/repair.h"
 #include "minos/server/shard_router.h"
 #include "minos/server/workstation.h"
 
@@ -169,6 +171,11 @@ int main() {
   // Replication 2 over 2 shards: every descriptor lives on both
   // platters, so one dark shard degrades latency, not availability.
   server::ShardRouter router(servers, &clock);
+  // Anti-entropy repair over the same fabric: `chaos storm 1` can
+  // darken a shard mid-session, `repair status` shows the replica debt
+  // once it heals, `repair run` converges it.
+  server::RepairManager repair_manager(&router, &clock,
+                                       server::RepairOptions{});
   Populate(&router);
 
   render::Screen screen;
@@ -195,7 +202,8 @@ int main() {
               "next, prev, goto <n>, chapter, find <pattern>, indicators, "
               "enter <i>, return, screen, stats [path], "
               "trace [on|off|dump|json], topology, "
-              "chaos [off|flaky|storm] [shard], quit\n");
+              "chaos [off|flaky|storm] [shard], "
+              "repair [status|run], quit\n");
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -391,6 +399,45 @@ int main() {
                   p.drop_rate * 100, p.timeout_rate * 100,
                   p.corrupt_rate * 100, p.latency_rate * 100,
                   static_cast<unsigned long long>(injected));
+    } else if (cmd == "repair") {
+      // Anti-entropy controls: `status` shows the replica debt and
+      // whether a sync is pending (a healed breaker or a degraded
+      // store arms one), `run` exchanges catalog digests and
+      // re-replicates whatever the live shards are missing.
+      std::string sub;
+      in >> sub;
+      if (sub == "status" || sub.empty()) {
+        const std::set<storage::ObjectId>& under =
+            router.under_replicated();
+        std::printf("repair: %s, %zu object(s) under-replicated",
+                    repair_manager.sync_pending() ? "sync pending"
+                                                  : "idle",
+                    under.size());
+        if (!under.empty()) {
+          std::printf(" (ids:");
+          for (storage::ObjectId id : under) {
+            std::printf(" %llu", static_cast<unsigned long long>(id));
+          }
+          std::printf(")");
+        }
+        std::printf("\n");
+      } else if (sub == "run") {
+        const server::RepairReport r = repair_manager.Sync();
+        std::printf("repair sync: %llu digest(s) exchanged (%llu "
+                    "rejected), %llu object(s) checked, %llu replica(s) "
+                    "repaired, %llu byte(s) shipped, %llu failure(s); "
+                    "%llu still under-replicated, %llu pending\n",
+                    static_cast<unsigned long long>(r.digests_exchanged),
+                    static_cast<unsigned long long>(r.digests_rejected),
+                    static_cast<unsigned long long>(r.objects_checked),
+                    static_cast<unsigned long long>(r.replicas_repaired),
+                    static_cast<unsigned long long>(r.bytes_shipped),
+                    static_cast<unsigned long long>(r.repair_failures),
+                    static_cast<unsigned long long>(r.under_replicated),
+                    static_cast<unsigned long long>(r.pending));
+      } else {
+        std::printf("! repair subcommands: status, run\n");
+      }
     } else {
       std::printf("! unknown command '%s'\n", cmd.c_str());
     }

@@ -19,6 +19,13 @@ FaultInjector::FaultInjector(FaultProfile profile, uint64_t seed,
 }
 
 Status FaultInjector::OnOperation(std::string_view op) {
+  if (!profile_.op_filter.empty() &&
+      op.find(profile_.op_filter) == std::string_view::npos) {
+    // Out of scope for this injector: pass through without consuming
+    // randomness or the bring-up countdown, so filtered runs replay the
+    // unfiltered fault sequence on the operations that do match.
+    return Status::OK();
+  }
   const int op_index = ops_seen_++;
   if (op_index < profile_.fail_first_n) {
     injected_->Increment();

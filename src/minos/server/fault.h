@@ -45,6 +45,15 @@ struct FaultProfile {
   /// The first `fail_first_n` operations fail unconditionally, then the
   /// probabilistic model takes over (fail-N-then-succeed bring-up fault).
   int fail_first_n = 0;
+  /// When non-empty, only operations whose name contains this substring
+  /// are eligible for injection; every other operation passes unharmed
+  /// and consumes neither randomness nor the fail-first-N countdown, so
+  /// the matching operations see the exact fault sequence an unfiltered
+  /// profile would deal them. Lets chaos target one traffic class — the
+  /// Link names its background-lane transfers "link transfer
+  /// background", so `op_filter = "background"` faults only repair and
+  /// prefetch traffic while the foreground path stays clean.
+  std::string op_filter;
 
   /// No faults at all (the default-constructed profile).
   static FaultProfile None() { return FaultProfile{}; }

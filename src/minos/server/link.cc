@@ -36,7 +36,10 @@ StatusOr<Micros> Link::Transfer(uint64_t bytes,
     return admitted;
   }
   if (injector_ != nullptr) {
-    Status verdict = injector_->OnOperation("link transfer");
+    // Lane-qualified operation name, so a FaultProfile::op_filter can
+    // target only background (repair / prefetch) traffic or leave it be.
+    Status verdict = injector_->OnOperation(
+        background_ ? "link transfer background" : "link transfer");
     if (!verdict.ok()) {
       // Speculative (prefetch) failures carry no breaker weight: a
       // prefetch storm must not open the circuit for the foreground.

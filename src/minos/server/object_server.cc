@@ -34,8 +34,16 @@ StatusOr<ArchiveAddress> ObjectServer::Store(const MultimediaObject& obj) {
   MINOS_ASSIGN_OR_RETURN(std::string bytes, obj.SerializeArchived());
   MINOS_ASSIGN_OR_RETURN(ArchiveAddress addr, archiver_->Append(bytes));
   MINOS_RETURN_IF_ERROR(archiver_->Flush());
-  versions_->Record(obj.id(), addr, clock_->Now());
+  const uint32_t version = versions_->Record(obj.id(), addr, clock_->Now());
+  MINOS_RETURN_IF_ERROR(CatalogObject(obj, bytes, addr, version,
+                                      Crc32(bytes), /*reindex=*/true));
+  return addr;
+}
 
+Status ObjectServer::CatalogObject(const MultimediaObject& obj,
+                                   const std::string& bytes,
+                                   ArchiveAddress addr, uint32_t version,
+                                   uint32_t content_crc, bool reindex) {
   // Catalog: the serialized descriptor (its parts carry composition
   // offsets) plus the payload base within the object bytes.
   Decoder dec(bytes);
@@ -51,29 +59,138 @@ StatusOr<ArchiveAddress> ObjectServer::Store(const MultimediaObject& obj) {
   entry.address = addr;
   entry.descriptor = std::move(desc);
   entry.payload_base = bytes.size() - data_len;
+  entry.version = version;
+  entry.content_crc = content_crc;
   catalog_[obj.id()] = std::move(entry);
 
-  // Content index: text words, attribute values, and the words the voice
-  // recognizer produced at insertion time (we index the spoken-word
-  // ground truth; a limited-vocabulary deployment would index the
-  // Recognizer's output instead).
-  if (obj.has_text()) IndexWords(obj.id(), obj.text_part().contents());
-  for (const auto& [k, v] : obj.attributes()) {
-    IndexWords(obj.id(), v);
+  if (reindex) {
+    // Content index: text words, attribute values, and the words the
+    // voice recognizer produced at insertion time (we index the
+    // spoken-word ground truth; a limited-vocabulary deployment would
+    // index the Recognizer's output instead).
+    if (obj.has_text()) IndexWords(obj.id(), obj.text_part().contents());
+    for (const auto& [k, v] : obj.attributes()) {
+      IndexWords(obj.id(), v);
+    }
+    if (obj.has_voice()) {
+      for (const voice::WordAlignment& w :
+           obj.voice_part().track().words) {
+        IndexWords(obj.id(), w.word);
+      }
+    }
+
+    // Scored index: the same two sources, but with term frequencies and
+    // media provenance kept, voice postings weighted by the recognizer
+    // profile's confidence. Built here — at insertion time — so ranked
+    // browsing never pays recognition or indexing cost.
+    scored_index_.Add(obj, query::VoiceConfidence(recognizer_profile_));
   }
-  if (obj.has_voice()) {
-    for (const voice::WordAlignment& w : obj.voice_part().track().words) {
-      IndexWords(obj.id(), w.word);
+  ++catalog_version_;
+  return Status::OK();
+}
+
+CatalogDigest ObjectServer::BuildCatalogDigest(bool scrub) const {
+  CatalogDigest digest;
+  digest.entries.reserve(catalog_.size());
+  for (const auto& [id, entry] : catalog_) {
+    DigestEntry e;
+    e.id = id;
+    e.version = entry.version;
+    e.content_crc = entry.content_crc;
+    if (scrub) {
+      // Re-read the archived image off the platter — past the block
+      // cache, which still remembers the bytes as written — and
+      // recompute the checksum, so a replica whose media rotted
+      // advertises the divergent bytes it actually holds. An unreadable
+      // image advertises the complement of its cataloged checksum —
+      // guaranteed divergent.
+      std::string bytes;
+      if (archiver_->ReadUncached(entry.address, &bytes).ok()) {
+        e.content_crc = Crc32(bytes);
+      } else {
+        e.content_crc = ~entry.content_crc;
+      }
+    }
+    digest.entries.push_back(e);
+  }
+  // Digest assembly is server-side catalog work, charged like scoring.
+  clock_->Advance(static_cast<Micros>(2 + catalog_.size() / 8));
+  return digest;
+}
+
+StatusOr<bool> ObjectServer::AcceptReplica(ObjectId id, uint32_t version,
+                                           std::string_view bytes) {
+  if (version == 0) {
+    return Status::InvalidArgument("replica versions are 1-based");
+  }
+  // Strict validation before any mutation: every part checksum must
+  // verify. A corrupt or truncated replica is rejected, never archived
+  // — repair must not propagate damage.
+  MINOS_ASSIGN_OR_RETURN(MultimediaObject obj,
+                         MultimediaObject::DeserializeArchived(id, bytes));
+  const uint32_t crc = Crc32(bytes);
+  bool reindex = true;
+  auto it = catalog_.find(id);
+  if (it != catalog_.end()) {
+    if (version < it->second.version) return false;  // Never regress.
+    if (version == it->second.version) {
+      if (crc == it->second.content_crc) {
+        // The catalog claims this exact image — but the claim is a
+        // cache stamped at ingest. Verify the archived bytes — off the
+        // platter, not the cache — before declaring the replica
+        // redundant: rot under an unchanged catalog entry (what scrub
+        // digests surface) must fall through to the re-archive below,
+        // not be skipped.
+        std::string current;
+        if (archiver_->ReadUncached(it->second.address, &current).ok() &&
+            Crc32(current) == crc) {
+          return false;  // Already held, image verified.
+        }
+      }
+      // Same version, divergent bytes: the local image failed its
+      // checksum somewhere (media rot). Replace the image, keep the
+      // indexes — the logical content is unchanged.
+      reindex = false;
     }
   }
+  std::string owned(bytes);
+  MINOS_ASSIGN_OR_RETURN(ArchiveAddress addr, archiver_->Append(owned));
+  MINOS_RETURN_IF_ERROR(archiver_->Flush());
+  if (!reindex) {
+    MINOS_RETURN_IF_ERROR(
+        versions_->Repoint(id, version, addr, clock_->Now()));
+  } else if (versions_->Get(id, version).ok()) {
+    // The lineage already knows this version (e.g. the catalog lagged a
+    // crash); move it to the fresh image.
+    MINOS_RETURN_IF_ERROR(
+        versions_->Repoint(id, version, addr, clock_->Now()));
+  } else {
+    MINOS_RETURN_IF_ERROR(
+        versions_->RecordAs(id, version, addr, clock_->Now()));
+  }
+  MINOS_RETURN_IF_ERROR(
+      CatalogObject(obj, owned, addr, version, crc, reindex));
+  obs::MetricsRegistry::Default()
+      .counter("server.replicas_accepted")
+      ->Increment();
+  return true;
+}
 
-  // Scored index: the same two sources, but with term frequencies and
-  // media provenance kept, voice postings weighted by the recognizer
-  // profile's confidence. Built here — at insertion time — so ranked
-  // browsing never pays recognition or indexing cost.
-  scored_index_.Add(obj, query::VoiceConfidence(recognizer_profile_));
-  ++catalog_version_;
-  return addr;
+StatusOr<std::string> ObjectServer::ReadObjectBytes(ObjectId id) const {
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  // Repair sources self-verify: the raw image comes off the platter
+  // (the cache may remember a clean write the media has since lost) and
+  // must match the checksum stamped at ingest. Part checksums alone
+  // cannot cover descriptor-region rot, so a whole-image mismatch here
+  // is the only guard that keeps a lying platter from seeding replicas.
+  std::string bytes;
+  MINOS_RETURN_IF_ERROR(archiver_->ReadUncached(entry->address, &bytes));
+  if (Crc32(bytes) != entry->content_crc) {
+    return Status::Corruption("archived image fails its checksum; refusing "
+                              "to serve it as a repair source");
+  }
+  format::ArchiveMailer mailer(archiver_, versions_, clock_);
+  return mailer.ResolvePointers(bytes);
 }
 
 std::vector<ObjectId> ObjectServer::Query(std::string_view word) const {
@@ -333,6 +450,10 @@ Status ObjectServer::StagePartRange(ObjectId id, std::string_view part_name,
   req.arrival_time = before;
   req.priority = background ? storage::IoPriority::kBackground
                             : storage::IoPriority::kForeground;
+  // The scheduler records a "scheduler.queue_wait" child span under this
+  // context whenever the request actually waits behind other accesses.
+  req.trace = obs::ContextOf(span);
+  scheduler_->SetTracer(tracer_);
   std::vector<storage::IoCompletion> done = scheduler_->Run({req});
   if (span.has_value() && !done.empty()) {
     span->AddTag("queue_wait_us", done.front().queueing_delay);

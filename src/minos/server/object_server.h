@@ -13,6 +13,7 @@
 #include "minos/server/fault.h"
 #include "minos/server/link.h"
 #include "minos/server/object_store.h"
+#include "minos/server/repair.h"
 #include "minos/storage/archiver.h"
 #include "minos/storage/request_scheduler.h"
 #include "minos/storage/version_store.h"
@@ -90,6 +91,37 @@ class ObjectServer : public ObjectStore {
   const voice::RecognizerParams& recognizer_profile() const {
     return recognizer_profile_;
   }
+
+  /// Anti-entropy ----------------------------------------------------------
+
+  /// Summarizes the catalog for the repair protocol: one (id, version,
+  /// content checksum) entry per object, ascending by id. The checksum
+  /// is the CRC-32 cached at ingest over the serialized object bytes,
+  /// so replicas of one version agree byte-for-byte. With `scrub`, the
+  /// bytes are re-read from the archive (device time charged) and the
+  /// checksum recomputed: silent media rot then shows up as replica
+  /// divergence instead of waiting for a fetch to trip on it.
+  CatalogDigest BuildCatalogDigest(bool scrub = false) const;
+
+  /// Replica ingest — the receiving half of a repair transfer. `bytes`
+  /// is validated strictly first (every part checksum must verify; a
+  /// malformed replica is rejected with Corruption, never archived),
+  /// then archived, cataloged under `version` and content-indexed
+  /// exactly like Store. Returns false without mutating anything when
+  /// the catalog already holds `version` with the same checksum, and
+  /// never regresses a newer local copy. The caller owns transfer
+  /// accounting: repair charges the link itself, in the background
+  /// lane.
+  StatusOr<bool> AcceptReplica(storage::ObjectId id, uint32_t version,
+                               std::string_view bytes);
+
+  /// The self-contained serialized bytes of a cataloged object (pointer
+  /// parts resolved) — what repair ships to a peer. The raw image is
+  /// read off the platter (not the cache) and verified against the
+  /// cataloged checksum first: a rotten local copy returns Corruption
+  /// rather than seeding replicas with damage. Charges device read
+  /// time; the link charge belongs to the shipping side.
+  StatusOr<std::string> ReadObjectBytes(storage::ObjectId id) const;
 
   /// Queries --------------------------------------------------------------
 
@@ -215,10 +247,20 @@ class ObjectServer : public ObjectStore {
     object::ObjectDescriptor descriptor;
     /// Byte offset of the composition payload within the object bytes.
     uint64_t payload_base = 0;
+    uint32_t version = 0;      ///< Cataloged version (1-based).
+    uint32_t content_crc = 0;  ///< CRC-32 of the serialized bytes.
   };
 
   StatusOr<const CatalogEntry*> Lookup(storage::ObjectId id) const;
   void IndexWords(storage::ObjectId id, std::string_view text);
+
+  /// Shared Store / AcceptReplica tail: parses the descriptor out of
+  /// the serialized bytes, installs the catalog entry and (when
+  /// `reindex` is set) feeds the word and scored indexes.
+  Status CatalogObject(const object::MultimediaObject& obj,
+                       const std::string& bytes,
+                       storage::ArchiveAddress addr, uint32_t version,
+                       uint32_t content_crc, bool reindex);
 
   /// One delivery attempt: archive read, pointer resolution, link
   /// transfer (skipped when `over_link` is false — server-side reads),

@@ -59,7 +59,11 @@ class ObjectStore {
   virtual ~ObjectStore() = default;
 
   /// Archives an object and indexes its content for queries. Returns the
-  /// archive address (the primary copy's, for replicated stores).
+  /// archive address (the primary copy's, for replicated stores). A
+  /// replicated store that lands fewer copies than its replication
+  /// target still succeeds, but surfaces the deficit — the router's
+  /// under-replicated set and "router.under_replicated" gauge — for
+  /// anti-entropy repair (RepairManager) to converge later.
   virtual StatusOr<storage::ArchiveAddress> Store(
       const object::MultimediaObject& obj) = 0;
 

@@ -1,0 +1,364 @@
+#include "minos/server/repair.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minos/server/link.h"
+#include "minos/server/object_server.h"
+#include "minos/server/shard_router.h"
+#include "minos/util/coding.h"
+
+namespace minos::server {
+
+using storage::ObjectId;
+
+namespace {
+
+/// Digest document magic: "MDG1", little-endian.
+constexpr uint32_t kDigestMagic = 0x3147444Du;
+
+}  // namespace
+
+std::string CatalogDigest::Serialize() const {
+  std::string out;
+  PutFixed32(&out, kDigestMagic);
+  PutVarint32(&out, static_cast<uint32_t>(entries.size()));
+  for (const DigestEntry& e : entries) {
+    PutVarint64(&out, e.id);
+    PutVarint32(&out, e.version);
+    PutFixed32(&out, e.content_crc);
+  }
+  PutFixed32(&out, Crc32(out));
+  return out;
+}
+
+StatusOr<CatalogDigest> CatalogDigest::Deserialize(std::string_view bytes) {
+  // The trailing CRC-32 guards the whole document; verify it before
+  // believing a single field.
+  // Minimum wire size: 4-byte magic, 1-byte varint count of zero, and
+  // the 4-byte trailing checksum — the empty catalog's digest.
+  if (bytes.size() < 9) {
+    return Status::Corruption("catalog digest truncated");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  Decoder trailer(bytes.substr(bytes.size() - 4));
+  uint32_t claimed = 0;
+  MINOS_RETURN_IF_ERROR(trailer.GetFixed32(&claimed));
+  if (claimed != Crc32(body)) {
+    return Status::Corruption("catalog digest checksum mismatch");
+  }
+  Decoder dec(body);
+  uint32_t magic = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetFixed32(&magic));
+  if (magic != kDigestMagic) {
+    return Status::Corruption("catalog digest bad magic");
+  }
+  uint32_t count = 0;
+  MINOS_RETURN_IF_ERROR(dec.GetVarint32(&count));
+  CatalogDigest digest;
+  uint64_t prev_id = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    DigestEntry e;
+    uint64_t id = 0;
+    MINOS_RETURN_IF_ERROR(dec.GetVarint64(&id));
+    MINOS_RETURN_IF_ERROR(dec.GetVarint32(&e.version));
+    MINOS_RETURN_IF_ERROR(dec.GetFixed32(&e.content_crc));
+    if (i > 0 && id <= prev_id) {
+      return Status::Corruption("catalog digest ids out of order");
+    }
+    if (e.version == 0) {
+      return Status::Corruption("catalog digest entry with version 0");
+    }
+    prev_id = id;
+    e.id = id;
+    digest.entries.push_back(e);
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("catalog digest trailing garbage");
+  }
+  return digest;
+}
+
+RepairManager::RepairManager(ShardRouter* router, SimClock* clock,
+                             RepairOptions options)
+    : router_(router),
+      clock_(clock),
+      options_(options),
+      rng_(options.seed) {
+  assert(router_ != nullptr && clock_ != nullptr);
+  obs::MetricsRegistry& reg = options_.registry != nullptr
+                                  ? *options_.registry
+                                  : obs::MetricsRegistry::Default();
+  syncs_ = reg.counter("repair.syncs_total");
+  digest_exchanges_ = reg.counter("repair.digest_exchanges_total");
+  digest_rejects_ = reg.counter("repair.digest_rejects_total");
+  repaired_ = reg.counter("repair.replicas_repaired_total");
+  requests_ = reg.counter("repair.requests_total");
+  errors_ = reg.counter("repair.errors_total");
+  bytes_ = reg.counter("repair.bytes_total");
+  failures_ = reg.counter("repair.failures_total");
+  migrations_ = reg.counter("repair.migrations_total");
+  pending_ = reg.gauge("repair.pending");
+  duration_us_ = reg.histogram("repair.duration_us");
+  router_->SetHealListener([this](size_t) { heal_pending_ = true; });
+}
+
+bool RepairManager::sync_pending() const {
+  return heal_pending_ || !router_->under_replicated().empty();
+}
+
+RepairReport RepairManager::Sync(const obs::TraceContext& ctx) {
+  std::set<ObjectId> under;
+  RepairReport report = SyncUnder(router_->active_count_, &under, ctx);
+  router_->ReplaceUnderReplicated(std::move(under));
+  return report;
+}
+
+std::optional<RepairReport> RepairManager::SyncIfPending(
+    const obs::TraceContext& ctx) {
+  if (!sync_pending()) return std::nullopt;
+  return Sync(ctx);
+}
+
+RepairReport RepairManager::SyncUnder(size_t placement_count,
+                                      std::set<ObjectId>* out_under,
+                                      const obs::TraceContext& ctx) {
+  RepairReport report;
+  syncs_->Increment();
+  const Micros start = clock_->Now();
+  // Unlike fabric-layer spans, a sync roots its own trace when the
+  // caller is untraced: repair rounds are top-level work, not a detail
+  // of some request.
+  std::optional<obs::TraceSpan> sync_span;
+  if (router_->tracer_ != nullptr) {
+    sync_span.emplace(router_->tracer_->StartSpan("repair.sync", ctx));
+  }
+  const obs::TraceContext sync_ctx = obs::ContextOf(sync_span);
+
+  router_->RefreshLiveness();
+  heal_pending_ = false;
+
+  // Phase 1 — digest exchange. Every live shard (staged ones included:
+  // their copies are legitimate sources) summarizes its catalog; the
+  // wire document ships over the shard's link in the background lane —
+  // after a heal this transfer doubles as the half-open probe — and is
+  // verified strictly on receipt. A shard whose digest cannot be
+  // fetched or verified contributes nothing this round.
+  const size_t shard_count = router_->shards_.size();
+  std::vector<std::optional<CatalogDigest>> digests(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    if (!router_->live_[i]) continue;
+    std::string wire =
+        router_->shards_[i]->BuildCatalogDigest(options_.scrub).Serialize();
+    if (digest_tap_) digest_tap_(i, &wire);
+    Link* link = router_->shards_[i]->link();
+    if (link != nullptr) {
+      Link::BackgroundScope bg(link);
+      StatusOr<Micros> sent = RetryWithBackoff<Micros>(
+          options_.retry, clock_, &rng_,
+          [&] { return link->Transfer(wire.size(), sync_ctx); });
+      if (!sent.ok()) continue;
+    }
+    bytes_->Increment(static_cast<int64_t>(wire.size()));
+    report.bytes_shipped += wire.size();
+    StatusOr<CatalogDigest> parsed = CatalogDigest::Deserialize(wire);
+    if (!parsed.ok()) {
+      digest_rejects_->Increment();
+      ++report.digests_rejected;
+      continue;
+    }
+    digest_exchanges_->Increment();
+    ++report.digests_exchanged;
+    digests[i] = *std::move(parsed);
+  }
+
+  // Union the digests: latest version per id, then the truth checksum
+  // among that version's holders — majority wins, ties break toward the
+  // checksum whose quorum completed on the lowest shard indexes.
+  std::vector<std::map<ObjectId, DigestEntry>> holds(shard_count);
+  std::map<ObjectId, uint32_t> latest;
+  for (size_t i = 0; i < shard_count; ++i) {
+    if (!digests[i].has_value()) continue;
+    for (const DigestEntry& e : digests[i]->entries) {
+      holds[i].emplace(e.id, e);
+      uint32_t& v = latest[e.id];
+      v = std::max(v, e.version);
+    }
+  }
+  std::map<ObjectId, uint32_t> truth;
+  for (const auto& [id, version] : latest) {
+    std::map<uint32_t, int> votes;
+    uint32_t best_crc = 0;
+    int best_votes = 0;
+    for (size_t i = 0; i < shard_count; ++i) {
+      auto it = holds[i].find(id);
+      if (it == holds[i].end() || it->second.version != version) continue;
+      const int n = ++votes[it->second.content_crc];
+      if (n > best_votes) {
+        best_votes = n;
+        best_crc = it->second.content_crc;
+      }
+    }
+    truth[id] = best_crc;
+  }
+
+  const auto up_to_date = [&](size_t shard, ObjectId id) {
+    if (!digests[shard].has_value()) return false;
+    const auto it = holds[shard].find(id);
+    return it != holds[shard].end() &&
+           it->second.version == latest[id] &&
+           it->second.content_crc == truth[id];
+  };
+
+  // Phase 2 — re-replication, ascending id order, chain order per
+  // object. Only live shards with verified digests are repair targets;
+  // a dark shard's deficit waits for its heal.
+  for (const auto& [id, version] : latest) {
+    ++report.objects_checked;
+    const std::vector<size_t> chain =
+        router_->ReplicaChainUnder(id, placement_count);
+    std::vector<size_t> holders;
+    for (size_t i = 0; i < shard_count; ++i) {
+      if (up_to_date(i, id)) holders.push_back(i);
+    }
+    for (size_t target : chain) {
+      if (!router_->live_[target]) continue;
+      if (!digests[target].has_value()) continue;
+      if (up_to_date(target, id)) continue;
+      bool repaired = false;
+      for (size_t src : holders) {
+        StatusOr<std::string> payload =
+            router_->shards_[src]->ReadObjectBytes(id);
+        if (!payload.ok()) continue;  // Unreadable source: next holder.
+        requests_->Increment();
+        std::optional<obs::TraceSpan> t_span = obs::MaybeStartSpan(
+            router_->tracer_, "repair.transfer", sync_ctx);
+        if (t_span.has_value()) {
+          t_span->AddTag("object", static_cast<int64_t>(id));
+          t_span->AddTag("src", static_cast<int64_t>(src));
+          t_span->AddTag("dst", static_cast<int64_t>(target));
+          t_span->AddTag("bytes", static_cast<int64_t>(payload->size()));
+        }
+        Link* link = router_->shards_[target]->link();
+        if (link != nullptr) {
+          Link::BackgroundScope bg(link);
+          StatusOr<Micros> sent = RetryWithBackoff<Micros>(
+              options_.retry, clock_, &rng_, [&] {
+                return link->Transfer(payload->size(),
+                                      obs::ContextOf(t_span));
+              });
+          if (!sent.ok()) {
+            errors_->Increment();
+            if (t_span.has_value()) {
+              t_span->AddTag("outcome", "transfer_failed");
+            }
+            // Every holder would ride this same dead link: give up on
+            // the target for this round.
+            break;
+          }
+        }
+        StatusOr<bool> accepted = router_->shards_[target]->AcceptReplica(
+            id, latest[id], *payload);
+        if (!accepted.ok()) {
+          errors_->Increment();
+          if (t_span.has_value()) t_span->AddTag("outcome", "rejected");
+          continue;  // Rotten source copy: try the next holder.
+        }
+        bytes_->Increment(static_cast<int64_t>(payload->size()));
+        report.bytes_shipped += payload->size();
+        repaired_->Increment();
+        ++report.replicas_repaired;
+        if (t_span.has_value()) t_span->AddTag("outcome", "ok");
+        holds[target][id] = DigestEntry{id, latest[id], truth[id]};
+        repaired = true;
+        break;
+      }
+      if (!repaired) {
+        failures_->Increment();
+        ++report.repair_failures;
+      }
+    }
+  }
+
+  // Phase 3 — recount against the post-repair picture. An id is
+  // under-replicated while any chain slot lacks a live up-to-date copy;
+  // the live slots among those are `pending` (retried next sync), the
+  // dark ones wait for their shard's heal.
+  for (const auto& [id, version] : latest) {
+    const std::vector<size_t> chain =
+        router_->ReplicaChainUnder(id, placement_count);
+    int good = 0;
+    uint64_t live_missing = 0;
+    for (size_t target : chain) {
+      if (up_to_date(target, id)) {
+        ++good;
+      } else if (router_->live_[target] && digests[target].has_value()) {
+        ++live_missing;
+      }
+    }
+    if (good < static_cast<int>(chain.size())) {
+      out_under->insert(id);
+      ++report.under_replicated;
+      report.pending += live_missing;
+    }
+  }
+  // Ids the router knew were under-replicated but no digest named:
+  // every holder is dark this round. Keep them flagged for the heal.
+  for (ObjectId id : router_->under_replicated_) {
+    if (latest.find(id) != latest.end()) continue;
+    out_under->insert(id);
+    ++report.under_replicated;
+  }
+
+  pending_->Set(static_cast<double>(report.pending));
+  duration_us_->Record(static_cast<double>(clock_->Now() - start));
+  if (sync_span.has_value()) {
+    sync_span->AddTag("objects",
+                      static_cast<int64_t>(report.objects_checked));
+    sync_span->AddTag("repaired",
+                      static_cast<int64_t>(report.replicas_repaired));
+    sync_span->AddTag("under_replicated",
+                      static_cast<int64_t>(report.under_replicated));
+    sync_span->AddTag("pending", static_cast<int64_t>(report.pending));
+  }
+  return report;
+}
+
+StatusOr<RepairReport> RepairManager::ExpandShards(
+    ObjectServer* shard, const obs::TraceContext& ctx) {
+  if (shard == nullptr) {
+    return Status::InvalidArgument("ExpandShards: null shard");
+  }
+  router_->RefreshLiveness();
+  for (size_t i = 0; i < router_->active_count_; ++i) {
+    if (!router_->live_[i]) {
+      return Status::Unavailable(
+          "shard expansion requires every active shard live; shard " +
+          std::to_string(i) + " is dark");
+    }
+  }
+  router_->AddShard(shard);
+  // Migrate under the expanded placement while routing still uses the
+  // old one: the staged shard fills up invisibly, and every live chain
+  // member of the new layout gets its copy too.
+  std::set<ObjectId> under;
+  RepairReport report = SyncUnder(router_->shards_.size(), &under, ctx);
+  if (report.digests_rejected > 0 || report.under_replicated > 0) {
+    // Fail closed: the staged shard stays staged and no routing
+    // decision changes. Retrying after the fabric heals resumes the
+    // migration — copies already shipped verify up to date and are
+    // skipped.
+    return Status::Unavailable(
+        "shard migration incomplete; routing table unchanged");
+  }
+  router_->CommitExpansion();
+  router_->ReplaceUnderReplicated(std::move(under));
+  migrations_->Increment();
+  return report;
+}
+
+}  // namespace minos::server

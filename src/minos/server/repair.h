@@ -1,0 +1,186 @@
+#ifndef MINOS_SERVER_REPAIR_H_
+#define MINOS_SERVER_REPAIR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
+#include "minos/server/fault.h"
+#include "minos/storage/version_store.h"
+#include "minos/util/clock.h"
+#include "minos/util/random.h"
+#include "minos/util/statusor.h"
+
+namespace minos::server {
+
+class ObjectServer;
+class ShardRouter;
+
+/// Anti-entropy repair for the sharded archive. The shard fabric (PR 5)
+/// routes *around* dead replicas; this module makes the store converge
+/// back to full redundancy once they return. Shards summarize their
+/// catalogs as CatalogDigests; the RepairManager exchanges digests after
+/// every breaker heal, computes which replicas are missing or stale, and
+/// re-replicates them over background-lane link transfers — repair
+/// traffic never trips a breaker and never preempts foreground pages at
+/// the disk arm. The same machinery streams a new shard's placement
+/// range over before a shard-count change flips the routing table.
+/// Everything runs on the SimClock under seeded randomness: the same
+/// seed yields the same repair schedule and identical digests.
+
+/// One catalog line of the anti-entropy digest: what a shard claims to
+/// hold for one object.
+struct DigestEntry {
+  storage::ObjectId id = 0;
+  uint32_t version = 0;      ///< Latest cataloged version (1-based).
+  uint32_t content_crc = 0;  ///< CRC-32 of the serialized object bytes.
+
+  bool operator==(const DigestEntry&) const = default;
+};
+
+/// A shard's catalog summary: (id, version, content checksum) per
+/// object, ascending by id. Digests travel between shards as bytes;
+/// Deserialize is strict — a trailing CRC-32 guards the whole document,
+/// and any malformation (bad magic, checksum mismatch, truncation,
+/// ids out of order, trailing garbage) is Corruption. A damaged digest
+/// is rejected and its shard skipped for the round; repair never acts
+/// on bytes it cannot fully verify.
+struct CatalogDigest {
+  std::vector<DigestEntry> entries;  ///< Ascending by id.
+
+  /// Wire format: fixed32 magic, varint entry count, per entry
+  /// (varint64 id, varint32 version, fixed32 crc), fixed32 CRC-32 of
+  /// everything before it.
+  std::string Serialize() const;
+  static StatusOr<CatalogDigest> Deserialize(std::string_view bytes);
+
+  bool operator==(const CatalogDigest&) const = default;
+};
+
+/// Knobs of one RepairManager.
+struct RepairOptions {
+  /// Retry schedule for repair transfers (background lane).
+  RetryPolicy retry = RetryPolicy::Default();
+  /// Seed of the repair retry jitter stream.
+  uint64_t seed = 0x5EEDF1C5;
+  /// When set, digests re-read every object's bytes from the archive
+  /// (device time charged) and recompute the checksum, so silent media
+  /// rot surfaces as replica divergence instead of waiting for a fetch.
+  bool scrub = false;
+  /// Statistics registry (the process default when null).
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Outcome of one anti-entropy round.
+struct RepairReport {
+  uint64_t digests_exchanged = 0;  ///< Live shards that produced digests.
+  uint64_t digests_rejected = 0;   ///< Digests that failed verification.
+  uint64_t objects_checked = 0;    ///< Distinct ids in the digest union.
+  uint64_t replicas_repaired = 0;  ///< Copies shipped and ingested.
+  uint64_t repair_failures = 0;    ///< Planned repairs that failed.
+  uint64_t bytes_shipped = 0;      ///< Digest + object bytes moved.
+  /// Objects with fewer than `replication` live up-to-date copies after
+  /// the round (dark replicas keep objects here until their shard
+  /// heals). Mirrored into the router's under-replicated set and the
+  /// "router.under_replicated" gauge.
+  uint64_t under_replicated = 0;
+  /// Deficits on *live* shards the round could not fix (transfer or
+  /// ingest failures) — work the next sync retries. Zero after a clean
+  /// round even while dark shards keep under_replicated nonzero.
+  uint64_t pending = 0;
+};
+
+/// Drives anti-entropy over one ShardRouter. Construction hooks the
+/// router's heal events: a breaker heal (half-open readmission) marks a
+/// sync pending, and the owner runs it at its next quiet point via
+/// SyncIfPending() — repair never runs inline with a read. Store-time
+/// under-replication (the degraded-store event) also leaves
+/// sync_pending() true until a round drains the router's set.
+///
+/// Statistics live under "repair.*": syncs_total,
+/// digest_exchanges_total, digest_rejects_total,
+/// replicas_repaired_total, requests_total / errors_total (transfer
+/// RED), bytes_total, failures_total and migrations_total counters; the
+/// pending gauge; and the duration_us histogram (per-sync wall time on
+/// the SimClock). "repair.sync" / "repair.transfer" spans record under
+/// an attached tracer.
+class RepairManager {
+ public:
+  /// `router` and `clock` borrowed, non-null; the manager installs
+  /// itself as the router's heal listener.
+  RepairManager(ShardRouter* router, SimClock* clock,
+                RepairOptions options = {});
+
+  RepairManager(const RepairManager&) = delete;
+  RepairManager& operator=(const RepairManager&) = delete;
+
+  /// One full anti-entropy round: exchange digests across live shards,
+  /// union them, re-replicate every missing or stale copy onto the live
+  /// chain shards that lack one, and install the router's
+  /// under-replicated set. Deterministic: objects repair in ascending
+  /// id order, chain order per object.
+  RepairReport Sync(const obs::TraceContext& ctx = {});
+
+  /// Runs Sync() only when repair has a reason to: a heal edge was
+  /// observed or the router knows degraded stores. Returns the report,
+  /// or nullopt when nothing was pending.
+  std::optional<RepairReport> SyncIfPending(
+      const obs::TraceContext& ctx = {});
+
+  /// True when the next SyncIfPending() would run a round.
+  bool sync_pending() const;
+
+  /// Live shard-count change: stages `shard` on the router, streams the
+  /// expanded placement's ranges onto it (and every other live chain
+  /// member) under the *new* shard count, then flips the routing table
+  /// atomically. Fails closed — Unavailable, routing unchanged — when
+  /// any active shard is dark or any migration transfer fails; the call
+  /// is retryable once the fabric heals. Idempotent for a shard already
+  /// staged.
+  StatusOr<RepairReport> ExpandShards(ObjectServer* shard,
+                                      const obs::TraceContext& ctx = {});
+
+  /// Test hook: mutates serialized digests in transit (simulated wire
+  /// damage), keyed by source shard index. Null uninstalls.
+  void SetDigestTap(
+      std::function<void(size_t shard, std::string* wire)> tap) {
+    digest_tap_ = std::move(tap);
+  }
+
+ private:
+  /// The shared round: digests, union, repairs and the recount, all
+  /// under a `placement_count`-shard placement. Fills `out_under` with
+  /// the ids still lacking live up-to-date copies.
+  RepairReport SyncUnder(size_t placement_count,
+                         std::set<storage::ObjectId>* out_under,
+                         const obs::TraceContext& ctx);
+
+  ShardRouter* router_;
+  SimClock* clock_;
+  RepairOptions options_;
+  Random rng_;
+  bool heal_pending_ = false;
+  std::function<void(size_t, std::string*)> digest_tap_;
+
+  obs::Counter* syncs_;             // Owned by the registry.
+  obs::Counter* digest_exchanges_;
+  obs::Counter* digest_rejects_;
+  obs::Counter* repaired_;
+  obs::Counter* requests_;
+  obs::Counter* errors_;
+  obs::Counter* bytes_;
+  obs::Counter* failures_;
+  obs::Counter* migrations_;
+  obs::Gauge* pending_;
+  obs::Histogram* duration_us_;
+};
+
+}  // namespace minos::server
+
+#endif  // MINOS_SERVER_REPAIR_H_

@@ -36,14 +36,15 @@ ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
       clock_(clock),
       placement_(std::move(placement)),
       options_(options),
+      active_count_(shards_.size()),
       live_(shards_.size(), true) {
   assert(!shards_.empty());
   options_.replication =
       std::clamp<int>(options_.replication, 1,
                       static_cast<int>(shards_.size()));
-  obs::MetricsRegistry& reg = options_.registry != nullptr
-                                  ? *options_.registry
-                                  : obs::MetricsRegistry::Default();
+  reg_ = options_.registry != nullptr ? options_.registry
+                                      : &obs::MetricsRegistry::Default();
+  obs::MetricsRegistry& reg = *reg_;
   scatter_queries_ = reg.counter("router.scatter_queries");
   ranked_scatters_ = reg.counter("query.ranked_scatters");
   merge_depth_ = reg.histogram("query.merge_depth");
@@ -53,9 +54,13 @@ ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
   rebalances_ = reg.counter("router.rebalances_total");
   dropped_results_ = reg.counter("router.dropped_results_total");
   replica_store_errors_ = reg.counter("router.replica_store_errors_total");
+  degraded_stores_ = reg.counter("router.degraded_stores_total");
   live_shards_ = reg.gauge("router.live_shards");
+  under_replicated_g_ = reg.gauge("router.under_replicated");
+  epoch_g_ = reg.gauge("router.routing_epoch");
   gather_us_ = reg.histogram("router.gather_us");
   live_shards_->Set(static_cast<double>(shards_.size()));
+  epoch_g_->Set(static_cast<double>(routing_epoch_));
   red_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     const std::string scope = "router.shard" + std::to_string(i);
@@ -74,6 +79,7 @@ void ShardRouter::SetTracer(obs::Tracer* tracer) {
 
 void ShardRouter::RefreshLiveness() const {
   size_t live = 0;
+  std::vector<size_t> healed;
   for (size_t i = 0; i < shards_.size(); ++i) {
     Link* link = shards_[i]->link();
     // No link means no breaker signal: the shard is local and always
@@ -87,14 +93,24 @@ void ShardRouter::RefreshLiveness() const {
     if (eligible && !live_[i]) {
       shards_healed_->Increment();
       rebalances_->Increment();
+      ++routing_epoch_;
+      healed.push_back(i);
     } else if (!eligible && live_[i]) {
       shards_lost_->Increment();
       rebalances_->Increment();
+      ++routing_epoch_;
     }
     live_[i] = eligible;
-    if (eligible) ++live;
+    if (eligible && i < active_count_) ++live;
   }
   live_shards_->Set(static_cast<double>(live));
+  epoch_g_->Set(static_cast<double>(routing_epoch_));
+  // Heal events fire after the whole liveness vector settles, so a
+  // listener that inspects the router sees the post-heal picture. The
+  // listener contract forbids repairing inline; it only flags work.
+  if (heal_listener_) {
+    for (size_t shard : healed) heal_listener_(shard);
+  }
 }
 
 bool ShardRouter::IsLive(size_t shard) const {
@@ -112,10 +128,17 @@ size_t ShardRouter::live_count() const {
 }
 
 std::vector<size_t> ShardRouter::ReplicaChain(ObjectId id) const {
+  return ReplicaChainUnder(id, active_count_);
+}
+
+std::vector<size_t> ShardRouter::ReplicaChainUnder(
+    ObjectId id, size_t shard_count) const {
   std::vector<size_t> chain;
-  const size_t primary = placement_(id, shards_.size());
-  for (int r = 0; r < options_.replication; ++r) {
-    chain.push_back((primary + static_cast<size_t>(r)) % shards_.size());
+  const size_t primary = placement_(id, shard_count);
+  const int replicas =
+      std::min(options_.replication, static_cast<int>(shard_count));
+  for (int r = 0; r < replicas; ++r) {
+    chain.push_back((primary + static_cast<size_t>(r)) % shard_count);
   }
   return chain;
 }
@@ -166,13 +189,16 @@ StatusOr<ArchiveAddress> ShardRouter::Store(const MultimediaObject& obj) {
   RefreshLiveness();
   StatusOr<ArchiveAddress> first =
       Status::Unavailable("no live replica accepted store");
-  for (size_t shard : ReplicaChain(obj.id())) {
+  const std::vector<size_t> chain = ReplicaChain(obj.id());
+  int copies = 0;
+  for (size_t shard : chain) {
     if (!live_[shard]) {
       replica_store_errors_->Increment();
       continue;
     }
     StatusOr<ArchiveAddress> got = shards_[shard]->Store(obj);
     if (got.ok()) {
+      ++copies;
       if (!first.ok()) first = got;
     } else {
       replica_store_errors_->Increment();
@@ -185,6 +211,11 @@ StatusOr<ArchiveAddress> ShardRouter::Store(const MultimediaObject& obj) {
     corpus_stats_.Add(obj, query::VoiceConfidence(
                                shards_.front()->recognizer_profile()));
     ++catalog_version_;
+    if (copies < static_cast<int>(chain.size())) {
+      // The store succeeded somewhere but not everywhere: the object is
+      // durable yet under-replicated until anti-entropy repairs it.
+      NoteUnderReplicated(obj.id(), copies);
+    }
   }
   return first;
 }
@@ -207,7 +238,7 @@ std::vector<query::ScoredHit> ShardRouter::QueryRanked(
   // shards do.
   std::vector<std::vector<query::ScoredHit>> per_shard;
   Micros slowest = 0;
-  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+  for (size_t shard = 0; shard < active_count_; ++shard) {
     if (!live_[shard]) continue;
     std::optional<obs::TraceSpan> shard_span =
         obs::MaybeStartSpan(tracer_, "shard.query", obs::ContextOf(scatter));
@@ -258,7 +289,7 @@ std::vector<ObjectId> ShardRouter::QueryAll(
   RefreshLiveness();
   scatter_queries_->Increment();
   std::vector<ObjectId> merged;
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  for (size_t i = 0; i < active_count_; ++i) {
     if (!live_[i]) continue;
     std::vector<ObjectId> hits = shards_[i]->QueryAll(words);
     std::vector<ObjectId> out;
@@ -482,6 +513,46 @@ std::vector<Link*> ShardRouter::links() const {
     if (shard->link() != nullptr) out.push_back(shard->link());
   }
   return out;
+}
+
+size_t ShardRouter::AddShard(ObjectServer* shard) {
+  assert(shard != nullptr);
+  // Idempotent: re-staging the same server (a retried expansion) keeps
+  // its existing slot instead of growing the fleet again.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i] == shard) return i;
+  }
+  const size_t index = shards_.size();
+  shards_.push_back(shard);
+  live_.push_back(true);
+  const std::string scope = "router.shard" + std::to_string(index);
+  red_.push_back(ShardRed{reg_->counter(scope + ".requests_total"),
+                          reg_->counter(scope + ".errors_total"),
+                          reg_->histogram(scope + ".duration_us")});
+  if (tracer_ != nullptr) shard->SetTracer(tracer_);
+  // active_count_ is untouched: the staged shard takes no traffic until
+  // CommitExpansion flips the placement modulus.
+  return index;
+}
+
+void ShardRouter::CommitExpansion() {
+  if (active_count_ == shards_.size()) return;
+  active_count_ = shards_.size();
+  ++routing_epoch_;
+  rebalances_->Increment();
+  RefreshLiveness();
+}
+
+void ShardRouter::NoteUnderReplicated(ObjectId id, int live_copies) {
+  degraded_stores_->Increment();
+  under_replicated_.insert(id);
+  under_replicated_g_->Set(static_cast<double>(under_replicated_.size()));
+  if (degraded_store_listener_) degraded_store_listener_(id, live_copies);
+}
+
+void ShardRouter::ReplaceUnderReplicated(std::set<ObjectId> ids) {
+  under_replicated_ = std::move(ids);
+  under_replicated_g_->Set(static_cast<double>(under_replicated_.size()));
 }
 
 }  // namespace minos::server

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "minos/obs/metrics.h"
 #include "minos/server/object_server.h"
 #include "minos/server/object_store.h"
+#include "minos/server/repair.h"
 #include "minos/util/clock.h"
 #include "minos/util/statusor.h"
 
@@ -68,8 +70,9 @@ struct ShardRouterOptions {
 ///
 /// Statistics live under "router.*": scatter_queries, failovers_total,
 /// shards_lost_total, shards_healed_total, rebalances_total,
-/// dropped_results_total, replica_store_errors_total counters; live_shards
-/// gauge; gather_us histogram. Ranked scatters add
+/// dropped_results_total, replica_store_errors_total and
+/// degraded_stores_total counters; live_shards, under_replicated and
+/// routing_epoch gauges; gather_us histogram. Ranked scatters add
 /// "query.ranked_scatters" and the per-shard "query.merge_depth"
 /// histogram. Each shard additionally keeps RED metrics —
 /// "router.shard<k>.requests_total", ".errors_total" and the
@@ -91,8 +94,13 @@ class ShardRouter : public ObjectStore {
   /// ObjectStore ----------------------------------------------------------
 
   /// Stores onto every live shard of the id's replica chain. Succeeds
-  /// when at least one copy lands (under-replication is counted, not
-  /// fatal); returns the first successful copy's address.
+  /// when at least one copy lands (under-replication is not fatal);
+  /// returns the first successful copy's address. A store that lands
+  /// fewer copies than the replication target is *surfaced*, not
+  /// silent: the id enters the under-replicated set (the
+  /// "router.under_replicated" gauge), "router.degraded_stores_total"
+  /// counts the event, and the degraded-store listener fires — so
+  /// anti-entropy repair (and tests) can see the redundancy debt.
   StatusOr<storage::ArchiveAddress> Store(
       const object::MultimediaObject& obj) override;
 
@@ -167,22 +175,78 @@ class ShardRouter : public ObjectStore {
   /// Every shard's link, in shard order (null links omitted).
   std::vector<Link*> links() const override;
 
+  /// Self-healing ----------------------------------------------------------
+
+  /// Degraded-store event: a Store landed only `live_copies` of its
+  /// replication target. Fired from Store, after the id entered the
+  /// under-replicated set.
+  using DegradedStoreListener =
+      std::function<void(storage::ObjectId id, int live_copies)>;
+  void SetDegradedStoreListener(DegradedStoreListener listener) {
+    degraded_store_listener_ = std::move(listener);
+  }
+
+  /// Heal event: a shard's breaker heal (cooldown elapsed — the
+  /// half-open readmission) put it back in the routing table. Fired
+  /// from the lazy liveness refresh, so the listener MUST only flag
+  /// work (the RepairManager marks a sync pending), never repair
+  /// inline with the read that triggered the refresh.
+  void SetHealListener(std::function<void(size_t shard)> listener) {
+    heal_listener_ = std::move(listener);
+  }
+
+  /// Objects the router knows hold fewer than `replication` live
+  /// up-to-date copies, mirrored by the "router.under_replicated"
+  /// gauge. Stores add ids; each anti-entropy round replaces the set
+  /// with what the digest exchange actually proved.
+  const std::set<storage::ObjectId>& under_replicated() const {
+    return under_replicated_;
+  }
+
+  /// Monotonic routing-table epoch: bumps whenever liveness crosses an
+  /// edge or a shard-count change commits. Equal epochs observed at two
+  /// points mean every routing decision between them used one table.
+  uint64_t routing_epoch() const { return routing_epoch_; }
+
+  /// Stages `shard` for a shard-count change. The placement modulus —
+  /// and with it every replica chain, scatter set and routing decision
+  /// — is unchanged until CommitExpansion(): the staged shard takes no
+  /// traffic while the RepairManager streams its placement range over.
+  /// Idempotent for an already-staged pointer. Returns the shard index.
+  size_t AddShard(ObjectServer* shard);
+
+  /// True while staged shards await CommitExpansion().
+  bool expansion_staged() const { return active_count_ < shards_.size(); }
+
+  /// Atomically flips the routing table to the expanded shard set: the
+  /// placement modulus becomes the full shard count in one step (no
+  /// reads ever see a half-migrated table) and the epoch bumps.
+  /// Normally called through RepairManager::ExpandShards, which streams
+  /// the data over first and fails closed on any gap.
+  void CommitExpansion();
+
   /// Introspection --------------------------------------------------------
 
+  /// Shards attached, including any staged for expansion.
   size_t shard_count() const { return shards_.size(); }
+
+  /// Shards routing decisions currently consider (the placement
+  /// modulus; excludes staged shards).
+  size_t active_count() const { return active_count_; }
 
   /// Primary shard of an id under the current placement.
   size_t PrimaryOf(storage::ObjectId id) const {
-    return placement_(id, shards_.size());
+    return placement_(id, active_count_);
   }
 
   /// Refreshes the routing table and reports shard liveness.
   bool IsLive(size_t shard) const;
 
-  /// Live-shard count after a refresh.
+  /// Live-shard count after a refresh (active shards only).
   size_t live_count() const;
 
  private:
+  friend class RepairManager;
   /// Shared scatter engine of both gathers: partitions `matches` by
   /// first live replica, builds each shard's share inline (clock
   /// rewound, gather barrier = slowest shard), serially fails over ids
@@ -193,8 +257,19 @@ class ShardRouter : public ObjectStore {
       const obs::TraceContext& ctx = {});
 
   /// Replica ring of an id: primary, then successors mod shard count,
-  /// `replication` entries total.
+  /// `replication` entries total (clamped to the shard count). The
+  /// `Under` variant evaluates the ring as it would look with
+  /// `shard_count` shards — the RepairManager uses it to plan a staged
+  /// expansion's placement before the table flips.
   std::vector<size_t> ReplicaChain(storage::ObjectId id) const;
+  std::vector<size_t> ReplicaChainUnder(storage::ObjectId id,
+                                        size_t shard_count) const;
+
+  /// Store-time under-replication bookkeeping + event fan-out.
+  void NoteUnderReplicated(storage::ObjectId id, int live_copies);
+
+  /// Installs the set anti-entropy proved (RepairManager, post-sync).
+  void ReplaceUnderReplicated(std::set<storage::ObjectId> remaining);
 
   /// Re-derives liveness from breaker state; counts losses, heals and
   /// rebalances as edges are crossed.
@@ -221,6 +296,16 @@ class ShardRouter : public ObjectStore {
   SimClock* clock_;
   ShardPlacement placement_;
   ShardRouterOptions options_;
+  obs::MetricsRegistry* reg_;  // Resolved in the ctor; never null.
+  /// Placement modulus: shards_[active_count_..) are staged, invisible
+  /// to routing until CommitExpansion().
+  size_t active_count_;
+  /// Bumped on liveness edges and expansion commits (mutable: the lazy
+  /// liveness refresh crosses edges during reads).
+  mutable uint64_t routing_epoch_ = 1;
+  std::set<storage::ObjectId> under_replicated_;
+  DegradedStoreListener degraded_store_listener_;
+  std::function<void(size_t shard)> heal_listener_;
   /// Catalog-wide BM25 statistics (each object counted once, not per
   /// replica), handed to every shard so scatter scores agree globally.
   query::ScoredIndex corpus_stats_{/*stats_only=*/true};
@@ -248,7 +333,10 @@ class ShardRouter : public ObjectStore {
   obs::Counter* rebalances_;
   obs::Counter* dropped_results_;
   obs::Counter* replica_store_errors_;
+  obs::Counter* degraded_stores_;
   obs::Gauge* live_shards_;
+  obs::Gauge* under_replicated_g_;
+  obs::Gauge* epoch_g_;
   obs::Histogram* gather_us_;
 };
 

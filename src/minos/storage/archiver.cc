@@ -41,7 +41,14 @@ Status Archiver::Flush() {
 }
 
 Status Archiver::ReadBlock(uint64_t block, std::string* out) const {
-  if (cache_ != nullptr && cache_->Lookup(block, out)) return Status::OK();
+  return ReadBlockFromDevice(block, out, /*use_cache=*/true);
+}
+
+Status Archiver::ReadBlockFromDevice(uint64_t block, std::string* out,
+                                     bool use_cache) const {
+  if (use_cache && cache_ != nullptr && cache_->Lookup(block, out)) {
+    return Status::OK();
+  }
   if (block >= flushed_blocks_) {
     // Block only exists in the volatile tail.
     const uint32_t bs = device_->block_size();
@@ -55,7 +62,7 @@ Status Archiver::ReadBlock(uint64_t block, std::string* out) const {
     return Status::OK();
   }
   MINOS_RETURN_IF_ERROR(device_->Read(block, 1, out));
-  if (cache_ != nullptr) cache_->Insert(block, *out);
+  if (use_cache && cache_ != nullptr) cache_->Insert(block, *out);
   return Status::OK();
 }
 
@@ -63,8 +70,19 @@ Status Archiver::Read(const ArchiveAddress& address, std::string* out) const {
   return ReadRange(address.offset, address.length, out);
 }
 
+Status Archiver::ReadUncached(const ArchiveAddress& address,
+                              std::string* out) const {
+  return ReadRangeImpl(address.offset, address.length, out,
+                       /*use_cache=*/false);
+}
+
 Status Archiver::ReadRange(uint64_t offset, uint64_t length,
                            std::string* out) const {
+  return ReadRangeImpl(offset, length, out, /*use_cache=*/true);
+}
+
+Status Archiver::ReadRangeImpl(uint64_t offset, uint64_t length,
+                               std::string* out, bool use_cache) const {
   out->clear();
   if (length == 0) return Status::OK();
   if (offset + length > size_) {
@@ -75,7 +93,7 @@ Status Archiver::ReadRange(uint64_t offset, uint64_t length,
   const uint64_t last = (offset + length - 1) / bs;
   std::string block;
   for (uint64_t b = first; b <= last; ++b) {
-    MINOS_RETURN_IF_ERROR(ReadBlock(b, &block));
+    MINOS_RETURN_IF_ERROR(ReadBlockFromDevice(b, &block, use_cache));
     uint64_t lo = (b == first) ? offset - first * bs : 0;
     uint64_t hi = (b == last) ? offset + length - last * bs : bs;
     out->append(block, lo, hi - lo);

@@ -53,6 +53,13 @@ class Archiver {
   /// Reads an arbitrary sub-range [offset, offset+length).
   Status ReadRange(uint64_t offset, uint64_t length, std::string* out) const;
 
+  /// Cache-bypassing read of `address`: every flushed covering block
+  /// comes off the device itself (the volatile tail is served from
+  /// memory as usual), and nothing is inserted into the cache.
+  /// Integrity scrubs use this to audit the medium rather than the
+  /// cache's memory of it — a cached read cannot see media rot.
+  Status ReadUncached(const ArchiveAddress& address, std::string* out) const;
+
   /// Total bytes appended so far (the archiver write head).
   uint64_t size() const { return size_; }
 
@@ -61,6 +68,10 @@ class Archiver {
 
  private:
   Status ReadBlock(uint64_t block, std::string* out) const;
+  Status ReadBlockFromDevice(uint64_t block, std::string* out,
+                             bool use_cache) const;
+  Status ReadRangeImpl(uint64_t offset, uint64_t length, std::string* out,
+                       bool use_cache) const;
 
   BlockDevice* device_;
   BlockCache* cache_;

@@ -126,6 +126,9 @@ class BlockDevice {
   /// Current head position (block index after the last access).
   uint64_t head_position() const { return head_; }
 
+  /// The shared simulated clock every access advances.
+  SimClock* clock() const { return clock_; }
+
   /// Cumulative statistics.
   const DeviceStats& stats() const { return stats_; }
 

@@ -159,6 +159,30 @@ std::vector<IoCompletion> RequestScheduler::Run(
       sweep_up = req.block >= head;
     }
 
+    const Micros wait = now - req.arrival_time;
+    if (wait > 0 && tracer_ != nullptr) {
+      // The wait just elapsed: this request sat queued behind the
+      // accesses already serviced. Rewind the shared clock over the
+      // wait and record it as its own span under the request's
+      // propagated context, so trace attribution separates queueing
+      // (repair-vs-foreground contention at the arm) from service.
+      SimClock* clock = device_->clock();
+      if (clock != nullptr && clock->Now() >= wait) {
+        const Micros at = clock->Now();
+        clock->RewindTo(at - wait);
+        {
+          std::optional<obs::TraceSpan> span = obs::MaybeStartSpan(
+              tracer_, "scheduler.queue_wait", req.trace);
+          if (span.has_value()) {
+            span->AddTag("lane",
+                         req.priority == IoPriority::kBackground
+                             ? "background"
+                             : "foreground");
+          }
+          clock->Advance(wait);
+        }
+      }
+    }
     const Micros service = device_->EstimateServiceTime(req.block, req.count);
     std::string scratch;
     // Perform the access so head position and stats advance. The device

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
 #include "minos/storage/block_device.h"
 #include "minos/util/clock.h"
 
@@ -38,6 +39,13 @@ struct IoRequest {
   uint64_t count = 1;        ///< Number of consecutive blocks.
   Micros arrival_time = 0;   ///< When the request entered the queue.
   IoPriority priority = IoPriority::kForeground;
+  /// Propagated trace context of the operation that booked the request.
+  /// With a tracer attached to the scheduler, a request that waits in
+  /// the queue records a "scheduler.queue_wait" span under this parent
+  /// (tagged with its lane), so attribution separates time spent behind
+  /// other requests — background repair or prefetch staging vs the
+  /// foreground page — from device service time.
+  obs::TraceContext trace;
 };
 
 /// Outcome of one request after simulation.
@@ -81,6 +89,11 @@ class RequestScheduler {
   RequestScheduler(BlockDevice* device, SchedulingPolicy policy,
                    obs::MetricsRegistry* registry = nullptr);
 
+  /// Attaches the request tracer (borrowed; null detaches). Queue waits
+  /// then record "scheduler.queue_wait" spans under each waiting
+  /// request's propagated context.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Runs all `requests` to completion and returns per-request outcomes
   /// ordered by completion time. Requests must fit the device.
   std::vector<IoCompletion> Run(std::vector<IoRequest> requests);
@@ -95,6 +108,7 @@ class RequestScheduler {
 
   BlockDevice* device_;
   SchedulingPolicy policy_;
+  obs::Tracer* tracer_ = nullptr;      // Borrowed; may be null.
   obs::Histogram* queueing_delay_us_;  // Owned by the registry.
   obs::Histogram* service_time_us_;    // Owned by the registry.
   obs::Counter* requests_;             // Owned by the registry.

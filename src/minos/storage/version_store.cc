@@ -6,11 +6,46 @@ uint32_t VersionStore::Record(ObjectId id, ArchiveAddress address,
                               Micros archived_at) {
   std::vector<ObjectVersion>& lineage = versions_[id];
   ObjectVersion v;
-  v.version = static_cast<uint32_t>(lineage.size()) + 1;
+  v.version = lineage.empty() ? 1 : lineage.back().version + 1;
   v.address = address;
   v.archived_at = archived_at;
   lineage.push_back(v);
   return v.version;
+}
+
+Status VersionStore::RecordAs(ObjectId id, uint32_t version,
+                              ArchiveAddress address, Micros archived_at) {
+  if (version == 0) {
+    return Status::InvalidArgument("versions are 1-based");
+  }
+  std::vector<ObjectVersion>& lineage = versions_[id];
+  if (!lineage.empty() && version <= lineage.back().version) {
+    return Status::InvalidArgument(
+        "version " + std::to_string(version) +
+        " does not advance the lineage (latest is " +
+        std::to_string(lineage.back().version) + ")");
+  }
+  ObjectVersion v;
+  v.version = version;
+  v.address = address;
+  v.archived_at = archived_at;
+  lineage.push_back(v);
+  return Status::OK();
+}
+
+Status VersionStore::Repoint(ObjectId id, uint32_t version,
+                             ArchiveAddress address, Micros archived_at) {
+  auto it = versions_.find(id);
+  if (it != versions_.end()) {
+    for (ObjectVersion& v : it->second) {
+      if (v.version == version) {
+        v.address = address;
+        v.archived_at = archived_at;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("no such version to re-point");
 }
 
 StatusOr<ObjectVersion> VersionStore::Current(ObjectId id) const {
@@ -27,10 +62,10 @@ StatusOr<ObjectVersion> VersionStore::Get(ObjectId id,
   if (it == versions_.end()) {
     return Status::NotFound("object has no archived versions");
   }
-  if (version == 0 || version > it->second.size()) {
-    return Status::NotFound("no such version");
+  for (const ObjectVersion& v : it->second) {
+    if (v.version == version) return v;
   }
-  return it->second[version - 1];
+  return Status::NotFound("no such version");
 }
 
 StatusOr<std::vector<ObjectVersion>> VersionStore::History(

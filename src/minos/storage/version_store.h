@@ -32,13 +32,32 @@ class VersionStore {
  public:
   VersionStore() = default;
 
-  /// Records a new version; returns the assigned version number.
+  /// Records a new version; returns the assigned version number (one
+  /// past the latest recorded version).
   uint32_t Record(ObjectId id, ArchiveAddress address, Micros archived_at);
+
+  /// Records a version under an explicit number — the replica-ingest
+  /// path, where the version was assigned by the object's origin and a
+  /// replica that missed intermediate versions catches up directly to
+  /// the latest. `version` must be greater than the latest recorded
+  /// one (lineages stay ascending; a repaired replica's lineage may be
+  /// sparse where it was dark). InvalidArgument otherwise.
+  Status RecordAs(ObjectId id, uint32_t version, ArchiveAddress address,
+                  Micros archived_at);
+
+  /// Re-points an existing version at a new archive address — the
+  /// same-version repair path, where a replica's copy failed its
+  /// content checksum and a freshly shipped image replaces it (the
+  /// write-once archive appends; the lineage entry moves to the clean
+  /// image). NotFound when the version was never recorded.
+  Status Repoint(ObjectId id, uint32_t version, ArchiveAddress address,
+                 Micros archived_at);
 
   /// Latest version of an object.
   StatusOr<ObjectVersion> Current(ObjectId id) const;
 
-  /// A specific version.
+  /// A specific version (looked up by its recorded number, which on a
+  /// repaired replica need not equal its lineage position).
   StatusOr<ObjectVersion> Get(ObjectId id, uint32_t version) const;
 
   /// Full lineage (oldest first); NotFound if the object was never seen.

@@ -9,7 +9,10 @@
 #include "minos/object/part_codec.h"
 #include "minos/obs/trace.h"
 #include "minos/server/fault.h"
+#include "minos/server/object_server.h"
+#include "minos/server/repair.h"
 #include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
 #include "minos/text/markup.h"
 #include "minos/util/random.h"
 #include "minos/voice/synthesizer.h"
@@ -178,6 +181,106 @@ TEST(CorruptionFuzzTest, TraceJsonTruncationsAndFlipsNeverCrash) {
       }
     }
   }
+}
+
+server::CatalogDigest ReferenceDigest() {
+  server::CatalogDigest digest;
+  for (storage::ObjectId id = 2; id <= 40; id += 2) {
+    server::DigestEntry e;
+    e.id = id;
+    e.version = static_cast<uint32_t>(1 + id % 5);
+    e.content_crc = static_cast<uint32_t>(0xC0DE0000u + id);
+    digest.entries.push_back(e);
+  }
+  return digest;
+}
+
+TEST(CorruptionFuzzTest, CatalogDigestTruncationSweepFailsCleanly) {
+  // Repair digests travel shard-to-shard like archive bytes travel to
+  // the workstation: every strict prefix must be rejected — the
+  // trailing document checksum cannot survive a cut.
+  const std::string wire = ReferenceDigest().Serialize();
+  ASSERT_TRUE(server::CatalogDigest::Deserialize(wire).ok());
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto parsed = server::CatalogDigest::Deserialize(
+        std::string_view(wire).substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << cut << " parsed";
+  }
+}
+
+TEST(CorruptionFuzzTest, CatalogDigestMutationsNeverPassQuietly) {
+  // Random multi-byte damage anywhere in the wire document — header,
+  // entries, trailer — must be rejected, never crash, and never yield
+  // a digest that quietly drives repair decisions.
+  const std::string wire = ReferenceDigest().Serialize();
+  Random rng(0xD16E57);
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string mutated = wire;
+    const int edits = 1 + static_cast<int>(rng.Uniform(3));
+    bool changed = false;
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      const char value = static_cast<char>(rng.Next64());
+      changed = changed || mutated[pos] != value;
+      mutated[pos] = value;
+    }
+    if (!changed) continue;
+    EXPECT_FALSE(server::CatalogDigest::Deserialize(mutated).ok());
+  }
+  // Arbitrary garbage is rejected too, whatever its length.
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage(rng.Uniform(64), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Next64());
+    auto parsed = server::CatalogDigest::Deserialize(garbage);
+    if (parsed.ok()) {
+      // Only the genuine empty document may parse by chance.
+      EXPECT_TRUE(parsed->entries.empty());
+    }
+  }
+}
+
+TEST(CorruptionFuzzTest, FuzzedReplicaIngestIsAtomicAndNeverDestructive) {
+  // AcceptReplica is the door damage would walk through: for every
+  // mutated payload it must either reject without cataloging anything,
+  // or ingest a replica the server can actually serve — never a
+  // half-ingested or unservable state.
+  SimClock clock;
+  storage::BlockDevice device("fuzz", 65536, 512,
+                              storage::DeviceCostModel::Instant(), true,
+                              &clock);
+  storage::BlockCache cache(256);
+  storage::Archiver archiver(&device, &cache);
+  storage::VersionStore versions;
+  server::Link link = server::Link::Ethernet(&clock);
+  server::ObjectServer server(&archiver, &versions, &clock, &link);
+
+  const object::MultimediaObject obj = ReferenceObject();
+  const std::string bytes = obj.SerializeArchived().value();
+  Random rng(0xFEED);
+  size_t held = server.object_count();
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(rng.Next64());
+    auto accepted = server.AcceptReplica(77, 1, mutated);
+    if (!accepted.ok()) {
+      // Rejected: the catalog must be exactly as before.
+      EXPECT_EQ(server.object_count(), held);
+      continue;
+    }
+    if (*accepted) {
+      // Survived strict validation and was (re)ingested: the server
+      // must serve it back whole.
+      held = server.object_count();
+      EXPECT_EQ(held, 1u);
+      EXPECT_TRUE(server.ReadObjectBytes(77).ok());
+    }
+  }
+  // The pristine replica always lands, whatever the fuzz left behind.
+  auto accepted = server.AcceptReplica(77, 2, bytes);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_TRUE(*accepted);
+  EXPECT_TRUE(server.Fetch(77).ok());
 }
 
 TEST(ArchiverPropertyTest, RandomAppendsReadBackExactly) {

@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minos/obs/trace.h"
 
 namespace minos::storage {
 namespace {
@@ -16,9 +22,20 @@ BlockDevice MakeDevice(SimClock* clock) {
   return BlockDevice("d", 1000, 16, cost, false, clock);
 }
 
+IoRequest Req(uint64_t id, uint64_t block, Micros arrival,
+              IoPriority priority = IoPriority::kForeground) {
+  IoRequest r;
+  r.id = id;
+  r.block = block;
+  r.count = 1;
+  r.arrival_time = arrival;
+  r.priority = priority;
+  return r;
+}
+
 std::vector<IoRequest> ThreeRequestsAtOnce() {
   // All arrive at t=0; blocks 900, 50, 500.
-  return {{1, 900, 1, 0}, {2, 50, 1, 0}, {3, 500, 1, 0}};
+  return {Req(1, 900, 0), Req(2, 50, 0), Req(3, 500, 0)};
 }
 
 std::vector<uint64_t> CompletionOrder(const std::vector<IoCompletion>& cs) {
@@ -64,9 +81,9 @@ TEST(RequestSchedulerTest, ForegroundRequestsPreemptBackgroundOnes) {
   // by far the cheapest seek, but the foreground requests at 900 and
   // 500 must be served first anyway.
   std::vector<IoRequest> reqs = {
-      {1, 10, 1, 0, IoPriority::kBackground},
-      {2, 900, 1, 0, IoPriority::kForeground},
-      {3, 500, 1, 0, IoPriority::kForeground},
+      Req(1, 10, 0, IoPriority::kBackground),
+      Req(2, 900, 0, IoPriority::kForeground),
+      Req(3, 500, 0, IoPriority::kForeground),
   };
   auto done = sched.Run(reqs);
   EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{3, 2, 1}));
@@ -90,7 +107,7 @@ TEST(RequestSchedulerTest, SstfBeatsFcfsOnTotalSeek) {
   // A seek-heavy pattern: alternating far ends.
   std::vector<IoRequest> reqs;
   for (uint64_t i = 0; i < 20; ++i) {
-    reqs.push_back({i, (i % 2 == 0) ? i * 10 : 900 - i * 10, 1, 0});
+    reqs.push_back(Req(i, (i % 2 == 0) ? i * 10 : 900 - i * 10, 0));
   }
   RequestScheduler fcfs(&d1, SchedulingPolicy::kFcfs);
   RequestScheduler sstf(&d2, SchedulingPolicy::kSstf);
@@ -106,7 +123,7 @@ TEST(RequestSchedulerTest, RespectsArrivalTimes) {
   BlockDevice dev = MakeDevice(&clock);
   RequestScheduler sched(&dev, SchedulingPolicy::kSstf);
   // Request 2 is nearest but arrives much later; request 1 must go first.
-  std::vector<IoRequest> reqs = {{1, 800, 1, 0}, {2, 10, 1, 5000000}};
+  std::vector<IoRequest> reqs = {Req(1, 800, 0), Req(2, 10, 5000000)};
   auto done = sched.Run(reqs);
   EXPECT_EQ(CompletionOrder(done), (std::vector<uint64_t>{1, 2}));
   // The second service cannot start before its arrival.
@@ -120,8 +137,8 @@ TEST(RequestSchedulerTest, QueueingDelayGrowsWithLoad) {
     RequestScheduler sched(&dev, SchedulingPolicy::kFcfs);
     std::vector<IoRequest> reqs;
     for (int i = 0; i < n; ++i) {
-      reqs.push_back({static_cast<uint64_t>(i),
-                      static_cast<uint64_t>((i * 37) % 1000), 1, 0});
+      reqs.push_back(Req(static_cast<uint64_t>(i),
+                         static_cast<uint64_t>((i * 37) % 1000), 0));
     }
     auto done = sched.Run(reqs);
     return RequestScheduler::Summarize(reqs, done).mean_queueing_delay_us;
@@ -155,6 +172,75 @@ TEST(RequestSchedulerTest, SummaryStatisticsConsistent) {
     EXPECT_EQ(c.completion_time, c.start_time + c.service_time);
     last = c.completion_time;
   }
+}
+
+TEST(RequestSchedulerTest, QueueWaitSpansAttributeContentionByLane) {
+  SimClock clock;
+  BlockDevice dev = MakeDevice(&clock);
+  RequestScheduler sched(&dev, SchedulingPolicy::kFcfs);
+  obs::Tracer tracer(&clock);
+  sched.SetTracer(&tracer);
+
+  // All three arrive together: the first into service waits nothing,
+  // the other two queue behind it — one per lane, since the background
+  // request is deferred until both foreground ones have been served.
+  obs::TraceSpan root = tracer.StartSpan("batch");
+  std::vector<IoRequest> reqs = {
+      Req(1, 900, 0, IoPriority::kForeground),
+      Req(2, 50, 0, IoPriority::kForeground),
+      Req(3, 500, 0, IoPriority::kBackground),
+  };
+  for (IoRequest& r : reqs) r.trace = root.context();
+  auto done = sched.Run(reqs);
+  root.End();
+  sched.SetTracer(nullptr);
+
+  ASSERT_EQ(done.size(), 3u);
+  std::map<uint64_t, Micros> waits;
+  for (const IoCompletion& c : done) waits[c.id] = c.queueing_delay;
+  EXPECT_EQ(waits[1], 0);
+  EXPECT_GT(waits[2], 0);
+  EXPECT_GT(waits[3], waits[2]);
+
+  // One queue-wait span per request that waited, parented to the batch
+  // root, lane-tagged, and exactly as long as the recorded delay.
+  std::vector<const obs::SpanRecord*> qw;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name == "scheduler.queue_wait") qw.push_back(&s);
+  }
+  ASSERT_EQ(qw.size(), 2u);
+  std::multiset<Micros> span_waits;
+  const std::multiset<Micros> completion_waits{waits[2], waits[3]};
+  int background_lanes = 0;
+  for (const obs::SpanRecord* s : qw) {
+    EXPECT_EQ(s->trace_id, root.context().trace_id);
+    EXPECT_EQ(s->parent_span_id, root.context().span_id);
+    const std::string* lane = s->FindTag("lane");
+    ASSERT_NE(lane, nullptr);
+    if (*lane == "background") ++background_lanes;
+    span_waits.insert(s->duration_us());
+  }
+  EXPECT_EQ(background_lanes, 1);
+  EXPECT_EQ(span_waits, completion_waits);
+}
+
+TEST(RequestSchedulerTest, TracingQueueWaitsLeavesTheClockUntouched) {
+  // Recording a wait rewinds the clock over the window it covers and
+  // advances it back — attaching a tracer must not move simulated time
+  // or change the schedule, or tracing would break determinism.
+  auto final_time = [](bool traced) {
+    SimClock clock;
+    BlockDevice dev = MakeDevice(&clock);
+    RequestScheduler sched(&dev, SchedulingPolicy::kSstf);
+    obs::Tracer tracer(&clock);
+    if (traced) sched.SetTracer(&tracer);
+    obs::TraceSpan root = tracer.StartSpan("batch");
+    std::vector<IoRequest> reqs = ThreeRequestsAtOnce();
+    for (IoRequest& r : reqs) r.trace = root.context();
+    sched.Run(reqs);
+    return clock.Now();
+  };
+  EXPECT_EQ(final_time(true), final_time(false));
 }
 
 TEST(RequestSchedulerTest, PolicyNames) {

@@ -28,6 +28,12 @@ histograms) — the acceptance gate for BENCH_fault_sweep.json. Faults
 must have been injected and retries taken: zero-valued evidence
 counters fail the check.
 
+With --require-repair, additionally requires the anti-entropy repair
+families: repair syncs, digest exchanges, replicas actually repaired
+and bytes actually shipped (all > 0), the repair MTTR histograms, and —
+the convergence gate — the 'router.under_replicated' gauge present AND
+zero: a snapshot whose final state still owes replicas fails.
+
 Exit status: 0 when every file validates, 1 otherwise.
 """
 
@@ -75,6 +81,33 @@ FAULT_HISTOGRAM_NAMES = ("retry.delay_us",)
 # prefetch_pipeline.sync.page_open_us, ...); one such histogram must be
 # present rather than one hard-coded name.
 FAULT_HISTOGRAM_PATTERNS = (("", ".page_open_us"),)
+
+# Anti-entropy repair families a degrade-then-repair run must have
+# produced. The > 0 counters prove repairs actually shipped; the
+# == 0 gauges prove the run ended converged (no replica debt, no
+# pending repair work).
+REPAIR_POSITIVE_COUNTERS = (
+    "repair.syncs_total",
+    "repair.digest_exchanges_total",
+    "repair.replicas_repaired_total",
+    "repair.bytes_total",
+    "repair.requests_total",
+)
+REPAIR_COUNTER_NAMES = (
+    "repair.digest_rejects_total",
+    "repair.errors_total",
+    "repair.failures_total",
+    "router.degraded_stores_total",
+)
+REPAIR_ZERO_GAUGES = (
+    "router.under_replicated",
+    "repair.pending",
+)
+REPAIR_HISTOGRAM_NAMES = (
+    "repair.duration_us",
+    "fault_sweep.mttr_us",
+    "fault_sweep.partial_mttr_us",
+)
 
 
 def _is_number(value):
@@ -142,7 +175,8 @@ def validate_trace(doc):
     return problems
 
 
-def validate(doc, require_pipeline=False, require_faults=False):
+def validate(doc, require_pipeline=False, require_faults=False,
+             require_repair=False):
     """Returns a list of problem strings (empty when valid)."""
     problems = []
     if not isinstance(doc, dict):
@@ -212,6 +246,27 @@ def validate(doc, require_pipeline=False, require_faults=False):
                 for n in doc["histograms"]
             ):
                 problems.append(f"no fault histogram {prefix}*{suffix}")
+
+    if require_repair:
+        for name in REPAIR_POSITIVE_COUNTERS:
+            if not doc["counters"].get(name, 0) > 0:
+                problems.append(f"repair counter '{name}' is not > 0")
+        for name in REPAIR_COUNTER_NAMES:
+            if name not in doc["counters"]:
+                problems.append(f"no repair counter '{name}'")
+        for name in REPAIR_ZERO_GAUGES:
+            if name not in doc["gauges"]:
+                problems.append(f"no repair gauge '{name}'")
+            elif doc["gauges"][name] != 0:
+                problems.append(
+                    f"gauge '{name}' is {doc['gauges'][name]}, "
+                    "expected 0 (run did not converge)"
+                )
+        for name in REPAIR_HISTOGRAM_NAMES:
+            if name not in doc["histograms"]:
+                problems.append(f"no repair histogram '{name}'")
+            elif not doc["histograms"][name].get("count", 0) > 0:
+                problems.append(f"repair histogram '{name}' is empty")
     return problems
 
 
@@ -228,6 +283,12 @@ def main(argv):
         action="store_true",
         help="also require fault-injection/retry/breaker families with "
         "nonzero fault and retry counts",
+    )
+    parser.add_argument(
+        "--require-repair",
+        action="store_true",
+        help="also require anti-entropy repair families with nonzero "
+        "repair evidence and a zero under-replicated gauge",
     )
     args = parser.parse_args(argv)
 
@@ -250,6 +311,7 @@ def main(argv):
                 doc,
                 require_pipeline=args.require_pipeline,
                 require_faults=args.require_faults,
+                require_repair=args.require_repair,
             )
         if problems:
             failed = True

@@ -13,7 +13,14 @@ reports where the simulated time of each request actually went:
 
   - an attribution table of exclusive (self) time per sanitized span
     name — per-object ids collapse into "%id", so "open#17" and
-    "open#23" aggregate into one row;
+    "open#23" aggregate into one row; "scheduler.queue_wait" spans
+    split by their "lane" tag instead, so time a request spent queued
+    behind background work (repair transfers, prefetch staging) lands
+    in a different row than time spent behind other foreground pages;
+  - a queue-wait contention summary whenever the trace carries
+    "scheduler.queue_wait" spans: total wait per lane and the share of
+    all waiting charged to each, the direct read on whether repair or
+    prefetch traffic is starving foreground fetches at the arm;
   - the critical path of the slowest root span: at every level the
     earliest-started child claims the time it covers, later overlapping
     children claim only the remainder (SimClock rewinds make sibling
@@ -23,8 +30,9 @@ reports where the simulated time of each request actually went:
 
 With --check the report runs as a gate: every parent link must resolve
 inside its own trace (no orphans), spans must be well-formed (end >=
-start), and when the snapshot carries a "measured_us" header the root
-durations must reconcile with it within --tolerance (default 1%).
+start), every "scheduler.queue_wait" span must carry a "lane" tag, and
+when the snapshot carries a "measured_us" header the root durations
+must reconcile with it within --tolerance (default 1%).
 
 Exit status: 0 when every file passes, 1 otherwise.
 """
@@ -36,12 +44,36 @@ import sys
 
 SCHEMA = "minos.trace.v1"
 
+# The scheduler emits one of these per request that sat queued behind
+# earlier accesses; the "lane" tag says whose fault the wait was.
+QUEUE_WAIT = "scheduler.queue_wait"
+
 _ID_RUN = re.compile(r"[0-9]+")
 
 
 def sanitize(name):
     """Collapses per-object id runs, mirroring obs::SanitizeSpanName."""
     return _ID_RUN.sub("%id", name)
+
+
+def span_lane(span):
+    """The "lane" tag of a span, or None when absent/non-string."""
+    tags = span.get("tags")
+    lane = tags.get("lane") if isinstance(tags, dict) else None
+    return lane if isinstance(lane, str) and lane else None
+
+
+def attribution_key(span):
+    """Row name for the attribution table. Queue-wait spans keep their
+    lane visible so contention from background repair/prefetch traffic
+    never aggregates into the same row as foreground-on-foreground
+    queueing."""
+    key = sanitize(span["name"])
+    if span["name"] == QUEUE_WAIT:
+        lane = span_lane(span)
+        if lane is not None:
+            key = f"{key}[{lane}]"
+    return key
 
 
 def load(path):
@@ -83,6 +115,11 @@ def check_spans(spans):
             continue
         if span["end_us"] < span["start_us"]:
             problems.append(f"span '{name}' ends before it starts")
+        if name == QUEUE_WAIT and span_lane(span) is None:
+            problems.append(
+                f"span '{name}' (span_id {span['span_id']}) has no "
+                f"'lane' tag; contention cannot be attributed"
+            )
         by_trace.setdefault(span["trace_id"], {})[span["span_id"]] = span
     if problems:
         return problems
@@ -125,9 +162,27 @@ def attribute(span, lo, hi, children, exclusive, credited):
         attribute(child, start, end, children, exclusive, credited)
         cursor = end
     self_us += hi - cursor
-    key = sanitize(span["name"])
+    key = attribution_key(span)
     exclusive[key] = exclusive.get(key, 0) + self_us
     credited[span["span_id"]] = hi - lo
+
+
+def queue_wait_by_lane(spans):
+    """lane -> (span count, total wall duration us) of queue-wait spans.
+
+    Uses raw span durations rather than attributed exclusive time: a
+    queue-wait span is a leaf, so both agree, and the per-lane totals
+    answer the contention question directly — how long did requests sit
+    behind the arm, and on behalf of which lane.
+    """
+    lanes = {}
+    for span in spans:
+        if span["name"] != QUEUE_WAIT:
+            continue
+        lane = span_lane(span) or "(untagged)"
+        count, us = lanes.get(lane, (0, 0))
+        lanes[lane] = (count + 1, us + span["end_us"] - span["start_us"])
+    return lanes
 
 
 def critical_path(root, children, credited):
@@ -181,6 +236,19 @@ def report(doc, path, top, check, tolerance):
         rest = sum(us for _, us in rows[top:])
         share = 100.0 * rest / total if total else 0.0
         print(f"    {'(other)':<{width}}  {rest:>12} us  {share:5.1f}%")
+
+    lanes = queue_wait_by_lane(spans)
+    if lanes:
+        waited = sum(us for _, us in lanes.values())
+        print(f"  queue-wait contention ({waited} us total):")
+        for lane, (count, us) in sorted(
+            lanes.items(), key=lambda kv: -kv[1][1]
+        ):
+            share = 100.0 * us / waited if waited else 0.0
+            print(
+                f"    {lane:<12} {count:>6} waits  {us:>12} us  "
+                f"{share:5.1f}%"
+            )
 
     slowest = max(roots, key=lambda r: r["end_us"] - r["start_us"])
     slow_us = slowest["end_us"] - slowest["start_us"]
