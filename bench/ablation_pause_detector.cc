@@ -92,4 +92,7 @@ int Run() {
 }  // namespace
 }  // namespace minos
 
-int main() { return minos::Run(); }
+int main(int argc, char** argv) {
+  minos::bench::ParseWorkers(argc, argv);
+  return minos::Run();
+}

@@ -16,6 +16,7 @@
 #include "minos/core/visual_browser.h"
 #include "minos/obs/metrics.h"
 #include "minos/obs/trace.h"
+#include "minos/runtime/task_pool.h"
 #include "minos/server/object_server.h"
 #include "minos/server/prefetch.h"
 #include "minos/server/workstation.h"
@@ -107,6 +108,7 @@ int Run() {
                           std::string(config.name) == "prefetch";
       obs::Tracer tracer(&clock);
       Micros traced_us = 0;
+      runtime::TaskPool pool(&clock, bench::Workers());
       storage::BlockDevice device("optical", 65536, 512,
                                   storage::DeviceCostModel::OpticalDisk(),
                                   true, &clock);
@@ -134,6 +136,7 @@ int Run() {
         workstation.EnablePrefetch(options);
       }
       if (traced) workstation.SetTracer(&tracer);
+      workstation.SetTaskPool(&pool);
 
       const std::string scope = std::string("prefetch_pipeline.") +
                                 profile.name + "." + config.name;
@@ -261,4 +264,7 @@ int Run() {
 }  // namespace
 }  // namespace minos
 
-int main() { return minos::Run(); }
+int main(int argc, char** argv) {
+  minos::bench::ParseWorkers(argc, argv);
+  return minos::Run();
+}

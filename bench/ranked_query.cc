@@ -13,13 +13,18 @@
 //   3. Symmetry: a 1-shard and a 4-shard archive of the same corpus
 //      return identical ids and identical scores.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "minos/obs/metrics.h"
+#include "minos/runtime/task_pool.h"
 #include "minos/server/shard_router.h"
 #include "minos/text/markup.h"
 #include "scenario_lib.h"
@@ -88,9 +93,10 @@ struct Topology {
   SimClock clock;
   std::vector<std::unique_ptr<ShardStack>> stacks;
   std::unique_ptr<server::ShardRouter> router;
+  std::unique_ptr<runtime::TaskPool> pool;
 };
 
-std::unique_ptr<Topology> BuildTopology(size_t shards) {
+std::unique_ptr<Topology> BuildTopology(size_t shards, int workers) {
   auto topo = std::make_unique<Topology>();
   std::vector<server::ObjectServer*> servers;
   for (size_t i = 0; i < shards; ++i) {
@@ -101,6 +107,8 @@ std::unique_ptr<Topology> BuildTopology(size_t shards) {
   options.replication = 2;
   topo->router = std::make_unique<server::ShardRouter>(
       servers, &topo->clock, RoundRobin(), options);
+  topo->pool = std::make_unique<runtime::TaskPool>(&topo->clock, workers);
+  topo->router->SetTaskPool(topo->pool.get());
   for (ObjectId id = 1; id <= kObjects; ++id) {
     if (!topo->router->Store(CorpusObject(id)).ok()) std::abort();
   }
@@ -123,7 +131,7 @@ int Run() {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   const std::vector<std::string> query{"fracture"};
 
-  std::unique_ptr<Topology> four = BuildTopology(4);
+  std::unique_ptr<Topology> four = BuildTopology(4, bench::Workers());
   server::ShardRouter& router = *four->router;
   SimClock& clock = four->clock;
 
@@ -212,7 +220,7 @@ int Run() {
               kTopK);
 
   // --- Gate 3: 1-shard vs 4-shard identity -----------------------------
-  std::unique_ptr<Topology> one = BuildTopology(1);
+  std::unique_ptr<Topology> one = BuildTopology(1, bench::Workers());
   const std::vector<query::ScoredHit> single =
       one->router->QueryRanked(query, kTopK);
   if (single.size() != ranked.size()) {
@@ -234,12 +242,149 @@ int Run() {
   }
   std::printf("gate: 1-shard and 4-shard ranked results are "
               "identical\n");
+  Micros total_sim_time = four->clock.Now() + one->clock.Now();
 
-  bench::NoteSimTime(four->clock.Now() + one->clock.Now());
+  // --- Gate 4: worker-count determinism --------------------------------
+  // Fresh 4-shard topologies driven by pools of 1, 2 and 4 workers must
+  // return bit-identical ranked ids and scores, burn identical virtual
+  // time, and move every registry counter by the same delta. This is
+  // the in-process half of the CI determinism-matrix gate.
+  {
+    // Instance-normalized counter values: component metrics carry a
+    // per-instance suffix ("link14.transfers") and each matrix run
+    // builds fresh instances, so digits are stripped and same-family
+    // instances summed before comparing.
+    auto counter_values = [&reg]() {
+      std::map<std::string, int64_t> values;
+      for (const auto& [name, value] : reg.Snapshot().counters) {
+        std::string normalized;
+        for (const char c : name) {
+          if (c < '0' || c > '9') normalized += c;
+        }
+        values[normalized] += value;
+      }
+      return values;
+    };
+    struct MatrixRun {
+      Micros elapsed = 0;
+      std::vector<query::ScoredHit> hits;
+      std::map<std::string, int64_t> counter_deltas;
+    };
+    auto run_matrix = [&](int workers) -> MatrixRun {
+      MatrixRun out;
+      const std::map<std::string, int64_t> before = counter_values();
+      std::unique_ptr<Topology> topo = BuildTopology(4, workers);
+      for (int round = 0; round < 4; ++round) {
+        out.hits = topo->router->QueryRanked(query, kTopK);
+        auto cards = topo->router->GatherCardsRanked(query, kTopK);
+        if (!cards.ok() || cards->size() != kTopK) std::abort();
+      }
+      out.elapsed = topo->clock.Now();
+      for (const auto& [name, value] : counter_values()) {
+        const auto it = before.find(name);
+        const int64_t delta =
+            value - (it != before.end() ? it->second : 0);
+        if (delta != 0) out.counter_deltas[name] = delta;
+      }
+      return out;
+    };
+    const MatrixRun base = run_matrix(1);
+    total_sim_time += base.elapsed;
+    for (int workers : {2, 4}) {
+      const MatrixRun run = run_matrix(workers);
+      total_sim_time += run.elapsed;
+      bool hits_equal = run.hits.size() == base.hits.size();
+      for (size_t i = 0; hits_equal && i < run.hits.size(); ++i) {
+        hits_equal = run.hits[i].id == base.hits[i].id &&
+                     run.hits[i].score == base.hits[i].score;
+      }
+      if (!hits_equal || run.elapsed != base.elapsed ||
+          run.counter_deltas != base.counter_deltas) {
+        std::printf("FAIL: %d-worker run diverges from 1-worker run "
+                    "(hits_equal=%d elapsed %lld vs %lld, %zu vs %zu "
+                    "counter deltas)\n",
+                    workers, hits_equal ? 1 : 0,
+                    static_cast<long long>(run.elapsed),
+                    static_cast<long long>(base.elapsed),
+                    run.counter_deltas.size(),
+                    base.counter_deltas.size());
+        return 1;
+      }
+    }
+    std::printf("gate: workers {1,2,4} return identical top-%zu "
+                "ids/scores and counter deltas\n", kTopK);
+  }
+
+  // --- Gate 5: wall-clock speedup curve --------------------------------
+  // Wall time is schedule-dependent, so the curve stays on stdout and
+  // the >=1.8x gate only arms with four or more hardware cores.
+  {
+    auto time_ranked_wall = [&](int workers, Micros* virt) -> double {
+      std::unique_ptr<Topology> topo = BuildTopology(4, workers);
+      topo->router->GatherCardsRanked(query, kTopK).ok();  // Warm caches.
+      const Micros virtual_start = topo->clock.Now();
+      const auto wall_start = std::chrono::steady_clock::now();
+      constexpr int kSpeedupRounds = 24;
+      for (int round = 0; round < kSpeedupRounds; ++round) {
+        auto cards = topo->router->GatherCardsRanked(query, kTopK);
+        if (!cards.ok() || cards->size() != kTopK) std::abort();
+      }
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - wall_start;
+      *virt = topo->clock.Now() - virtual_start;
+      return wall.count();
+    };
+    double wall[3] = {0, 0, 0};
+    Micros virtual_us[3] = {0, 0, 0};
+    const int counts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      double best = -1.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Micros virt = 0;
+        const double seconds = time_ranked_wall(counts[i], &virt);
+        if (best < 0 || seconds < best) best = seconds;
+        virtual_us[i] = virt;
+      }
+      wall[i] = best;
+      total_sim_time += virtual_us[i];
+    }
+    const double speedup2 = wall[0] / wall[1];
+    const double speedup4 = wall[0] / wall[2];
+    std::printf("speedup: workers 1=%.1fms 2=%.1fms (%.2fx) 4=%.1fms "
+                "(%.2fx)\n",
+                wall[0] * 1000.0, wall[1] * 1000.0, speedup2,
+                wall[2] * 1000.0, speedup4);
+    if (virtual_us[1] != virtual_us[0] || virtual_us[2] != virtual_us[0]) {
+      std::printf("FAIL: virtual elapsed time varies with worker count "
+                  "(%lld/%lld/%lld us)\n",
+                  static_cast<long long>(virtual_us[0]),
+                  static_cast<long long>(virtual_us[1]),
+                  static_cast<long long>(virtual_us[2]));
+      return 1;
+    }
+    if (std::thread::hardware_concurrency() >= 4) {
+      if (!(speedup4 >= 1.8) || !(speedup2 >= 1.0)) {
+        std::printf("FAIL: speedup curve not monotonic >=1.8x at 4 "
+                    "workers (2w %.2fx, 4w %.2fx)\n",
+                    speedup2, speedup4);
+        return 1;
+      }
+      std::printf("gate: 4-worker ranked gather is %.2fx the 1-worker "
+                  "wall time\n", speedup4);
+    } else {
+      std::printf("gate: speedup advisory only (%u hardware threads "
+                  "< 4)\n", std::thread::hardware_concurrency());
+    }
+  }
+
+  bench::NoteSimTime(total_sim_time);
   return 0;
 }
 
 }  // namespace
 }  // namespace minos
 
-int main() { return minos::Run(); }
+int main(int argc, char** argv) {
+  minos::bench::ParseWorkers(argc, argv);
+  return minos::Run();
+}

@@ -1,5 +1,6 @@
 #include "scenario_lib.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -401,6 +402,7 @@ namespace {
 struct SnapshotState {
   std::string bench;
   Micros sim_time = 0;
+  int workers = 1;
   bool emitted_explicitly = false;
 };
 
@@ -427,7 +429,7 @@ std::string SnapshotPath(const std::string& bench) {
 void EmitSnapshotAtExit() {
   SnapshotState& state = State();
   if (state.emitted_explicitly || state.bench.empty()) return;
-  obs::SnapshotMeta meta{state.bench, state.sim_time};
+  obs::SnapshotMeta meta{state.bench, state.sim_time, state.workers};
   Status status = obs::WriteSnapshotJson(obs::MetricsRegistry::Default(),
                                          SnapshotPath(state.bench), meta);
   if (!status.ok()) {
@@ -449,10 +451,31 @@ void PrintHeader(const std::string& experiment, const std::string& title) {
 
 void NoteSimTime(Micros sim_time_us) { State().sim_time = sim_time_us; }
 
+int ParseWorkers(int argc, char** argv) {
+  int workers = 1;
+  if (const char* env = std::getenv("MINOS_WORKERS");
+      env != nullptr && *env != '\0') {
+    workers = std::max(1, std::atoi(env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      workers = std::max(1, std::atoi(argv[i + 1]));
+      ++i;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::max(1, std::atoi(arg.c_str() + 10));
+    }
+  }
+  State().workers = workers;
+  return workers;
+}
+
+int Workers() { return State().workers; }
+
 Status EmitMetricsSnapshot(const std::string& bench_name,
                            const std::string& path, Micros sim_time_us) {
   State().emitted_explicitly = true;
-  obs::SnapshotMeta meta{bench_name, sim_time_us};
+  obs::SnapshotMeta meta{bench_name, sim_time_us, State().workers};
   return obs::WriteSnapshotJson(obs::MetricsRegistry::Default(), path, meta);
 }
 

@@ -65,6 +65,17 @@ RelevantObjectsScenario BuildRelevantObjectsScenario(storage::ObjectId id);
 object::MultimediaObject BuildProcessSimulationObject(storage::ObjectId id,
                                                       int steps);
 
+/// Parses `--workers N` (or `--workers=N`) from the command line and
+/// returns the value (default 1; the MINOS_WORKERS environment variable
+/// supplies the default when the flag is absent). Call once at the top
+/// of main: the value is remembered, read back via Workers(), and
+/// stamped into every metrics snapshot's `workers` header field — the
+/// one field the determinism matrix allows to differ across runs.
+int ParseWorkers(int argc, char** argv);
+
+/// The worker count this run was invoked with (1 until ParseWorkers).
+int Workers();
+
 /// Prints a standard bench header line and arms the end-of-run metrics
 /// snapshot: at process exit the default registry is exported as
 /// `BENCH_<experiment>.json` (non-alphanumerics in the experiment name

@@ -9,14 +9,19 @@
 // pipeline to keep staging pages over the failover route, and the dead
 // shard to rejoin after its breaker cooldown.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "minos/core/visual_browser.h"
 #include "minos/obs/metrics.h"
 #include "minos/obs/trace.h"
+#include "minos/runtime/task_pool.h"
 #include "minos/server/shard_router.h"
 #include "minos/server/workstation.h"
 #include "minos/storage/archiver.h"
@@ -97,6 +102,122 @@ object::MultimediaObject TextObject(ObjectId id) {
 constexpr int kObjects = 24;
 constexpr int kQueries = 12;
 
+/// FNV-1a fold of one 64-bit value into a running digest.
+uint64_t Mix(uint64_t digest, uint64_t value) {
+  return (digest ^ value) * 0x100000001b3ULL;
+}
+
+uint64_t BitsOf(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// One determinism-matrix run: a fresh four-shard fabric driven by a
+/// pool of `workers` threads, running a fixed scatter + ranked workload.
+/// Every field must be bit-identical across worker counts.
+struct MatrixRun {
+  Micros elapsed = 0;     ///< Virtual time the workload consumed.
+  size_t cards = 0;       ///< Total cards gathered.
+  uint64_t digest = 0;    ///< FNV fold of every id/byte_size/score.
+  std::map<std::string, int64_t> counter_deltas;  ///< Registry deltas.
+};
+
+/// Counter values keyed by instance-normalized name: component metrics
+/// carry a per-instance suffix ("link14.transfers"), and each matrix run
+/// builds fresh instances, so digits are stripped ("link.transfers") and
+/// same-family instances summed. The CI matrix diffs raw names — whole
+/// runs allocate identical instance sequences — this normalization is
+/// only for comparing topologies built back-to-back in one process.
+std::map<std::string, int64_t> CounterValues() {
+  std::map<std::string, int64_t> values;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Default().Snapshot().counters) {
+    std::string normalized;
+    for (const char c : name) {
+      if (c < '0' || c > '9') normalized += c;
+    }
+    values[normalized] += value;
+  }
+  return values;
+}
+
+MatrixRun RunMatrixWorkload(int workers) {
+  MatrixRun out;
+  const std::map<std::string, int64_t> before = CounterValues();
+  SimClock clock;
+  std::vector<std::unique_ptr<ShardStack>> stacks;
+  std::vector<server::ObjectServer*> servers;
+  for (size_t i = 0; i < 4; ++i) {
+    stacks.push_back(std::make_unique<ShardStack>(&clock));
+    servers.push_back(&stacks.back()->server);
+  }
+  server::ShardRouter router(servers, &clock, RoundRobin(),
+                             server::ShardRouterOptions{});
+  runtime::TaskPool pool(&clock, workers);
+  router.SetTaskPool(&pool);
+  for (ObjectId id = 1; id <= kObjects; ++id) {
+    if (!router.Store(TextObject(id)).ok()) std::abort();
+  }
+  for (int q = 0; q < 4; ++q) {
+    auto got = router.GatherCards({"report"});
+    if (!got.ok()) std::abort();
+    out.cards += got->size();
+    for (const server::MiniatureCard& card : *got) {
+      out.digest = Mix(out.digest, card.id);
+      out.digest = Mix(out.digest, card.byte_size);
+      out.digest = Mix(out.digest, BitsOf(card.score));
+    }
+    const std::vector<query::ScoredHit> hits =
+        router.QueryRanked({"report"}, 8);
+    for (const query::ScoredHit& hit : hits) {
+      out.digest = Mix(out.digest, hit.id);
+      out.digest = Mix(out.digest, BitsOf(hit.score));
+    }
+  }
+  out.elapsed = clock.Now();
+  for (const auto& [name, value] : CounterValues()) {
+    const auto it = before.find(name);
+    const int64_t delta = value - (it != before.end() ? it->second : 0);
+    if (delta != 0) out.counter_deltas[name] = delta;
+  }
+  return out;
+}
+
+/// Wall-clock seconds one scatter workload takes with `workers` threads:
+/// a fresh fabric of paged (image-bearing) objects, so each per-shard
+/// card task carries real decode/render CPU. Virtual elapsed time is
+/// returned too — it must not vary with the worker count.
+double TimeScatterWall(int workers, Micros* virtual_elapsed) {
+  SimClock clock;
+  std::vector<std::unique_ptr<ShardStack>> stacks;
+  std::vector<server::ObjectServer*> servers;
+  for (size_t i = 0; i < 4; ++i) {
+    stacks.push_back(std::make_unique<ShardStack>(&clock));
+    servers.push_back(&stacks.back()->server);
+  }
+  server::ShardRouter router(servers, &clock, RoundRobin(),
+                             server::ShardRouterOptions{});
+  runtime::TaskPool pool(&clock, workers);
+  router.SetTaskPool(&pool);
+  constexpr int kHeavyObjects = 16;
+  for (ObjectId id = 1; id <= kHeavyObjects; ++id) {
+    if (!router.Store(PagedObject(id, 8)).ok()) std::abort();
+  }
+  router.GatherCards({"report"}).ok();  // Warm the block caches.
+  const Micros virtual_start = clock.Now();
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr int kRounds = 12;
+  for (int q = 0; q < kRounds; ++q) {
+    auto got = router.GatherCards({"report"});
+    if (!got.ok() || got->size() != kHeavyObjects) std::abort();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  *virtual_elapsed = clock.Now() - virtual_start;
+  return wall.count();
+}
+
 int Run() {
   bench::PrintHeader("shard_scaling",
                      "scatter/gather throughput vs shard count");
@@ -117,6 +238,8 @@ int Run() {
     }
     server::ShardRouter router(servers, &clock, RoundRobin(),
                                server::ShardRouterOptions{});
+    runtime::TaskPool pool(&clock, bench::Workers());
+    router.SetTaskPool(&pool);
     for (ObjectId id = 1; id <= kObjects; ++id) {
       if (!router.Store(TextObject(id)).ok()) return 1;
     }
@@ -169,6 +292,8 @@ int Run() {
   }
   server::ShardRouter router(servers, &clock, RoundRobin(),
                              server::ShardRouterOptions{});
+  runtime::TaskPool pool(&clock, bench::Workers());
+  router.SetTaskPool(&pool);
   constexpr int kPagedObjects = 8;
   for (ObjectId id = 1; id <= kPagedObjects; ++id) {
     if (!router.Store(PagedObject(id, 10)).ok()) return 1;
@@ -255,6 +380,7 @@ int Run() {
   render::Screen screen;
   server::Workstation workstation(&router, &screen, &clock);
   workstation.EnablePrefetch(server::PrefetchOptions{});
+  workstation.SetTaskPool(&pool);
   if (!workstation.Present(1).ok()) {  // Primary of id 1 is dead shard 0.
     std::printf("FAIL: presenting a dead-primary object did not fail "
                 "over to its replica\n");
@@ -301,6 +427,108 @@ int Run() {
   }
 
   total_sim_time += clock.Now();
+
+  // --- Phase 3: worker-count determinism matrix -------------------------
+  // The same seed and workload on pools of 1, 2 and 4 workers must
+  // produce bit-identical results: virtual elapsed time, gathered card
+  // digests, ranked ids/scores, and every registry counter delta. This
+  // is the in-process half of the CI determinism-matrix gate (the other
+  // half diffs whole BENCH_*.json files across --workers runs).
+  {
+    const MatrixRun base = RunMatrixWorkload(1);
+    total_sim_time += base.elapsed;
+    for (int workers : {2, 4}) {
+      const MatrixRun run = RunMatrixWorkload(workers);
+      total_sim_time += run.elapsed;
+      if (run.elapsed != base.elapsed || run.cards != base.cards ||
+          run.digest != base.digest ||
+          run.counter_deltas != base.counter_deltas) {
+        std::printf("FAIL: %d-worker run diverges from 1-worker run "
+                    "(elapsed %lld vs %lld, cards %zu vs %zu, digest "
+                    "%016llx vs %016llx, %zu vs %zu counter deltas)\n",
+                    workers, static_cast<long long>(run.elapsed),
+                    static_cast<long long>(base.elapsed), run.cards,
+                    base.cards,
+                    static_cast<unsigned long long>(run.digest),
+                    static_cast<unsigned long long>(base.digest),
+                    run.counter_deltas.size(),
+                    base.counter_deltas.size());
+        for (const auto& [name, delta] : base.counter_deltas) {
+          const auto it = run.counter_deltas.find(name);
+          const int64_t other =
+              it != run.counter_deltas.end() ? it->second : 0;
+          if (other != delta) {
+            std::printf("  %s: 1-worker %lld vs %d-worker %lld\n",
+                        name.c_str(), static_cast<long long>(delta),
+                        workers, static_cast<long long>(other));
+          }
+        }
+        for (const auto& [name, delta] : run.counter_deltas) {
+          if (base.counter_deltas.find(name) ==
+              base.counter_deltas.end()) {
+            std::printf("  %s: 1-worker 0 vs %d-worker %lld\n",
+                        name.c_str(), workers,
+                        static_cast<long long>(delta));
+          }
+        }
+        return 1;
+      }
+    }
+    std::printf("gate: workers {1,2,4} produce bit-identical results "
+                "(digest %016llx, %zu counter deltas)\n",
+                static_cast<unsigned long long>(base.digest),
+                base.counter_deltas.size());
+  }
+
+  // --- Phase 4: wall-clock speedup curve --------------------------------
+  // Real threads must buy real throughput. Wall time is inherently
+  // schedule-dependent, so it stays on stdout (never in the registry),
+  // and the >=1.8x gate only arms on machines with at least four
+  // hardware cores — elsewhere the curve is reported but advisory.
+  {
+    double wall[3] = {0, 0, 0};
+    Micros virtual_us[3] = {0, 0, 0};
+    const int counts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      double best = -1.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Micros virt = 0;
+        const double seconds = TimeScatterWall(counts[i], &virt);
+        if (best < 0 || seconds < best) best = seconds;
+        virtual_us[i] = virt;
+      }
+      wall[i] = best;
+      total_sim_time += virtual_us[i];
+    }
+    const double speedup2 = wall[0] / wall[1];
+    const double speedup4 = wall[0] / wall[2];
+    std::printf("speedup: workers 1=%.1fms 2=%.1fms (%.2fx) 4=%.1fms "
+                "(%.2fx)\n",
+                wall[0] * 1000.0, wall[1] * 1000.0, speedup2,
+                wall[2] * 1000.0, speedup4);
+    if (virtual_us[1] != virtual_us[0] || virtual_us[2] != virtual_us[0]) {
+      std::printf("FAIL: virtual elapsed time varies with worker count "
+                  "(%lld/%lld/%lld us)\n",
+                  static_cast<long long>(virtual_us[0]),
+                  static_cast<long long>(virtual_us[1]),
+                  static_cast<long long>(virtual_us[2]));
+      return 1;
+    }
+    if (std::thread::hardware_concurrency() >= 4) {
+      if (!(speedup4 >= 1.8) || !(speedup2 >= 1.0)) {
+        std::printf("FAIL: speedup curve not monotonic >=1.8x at 4 "
+                    "workers (2w %.2fx, 4w %.2fx)\n",
+                    speedup2, speedup4);
+        return 1;
+      }
+      std::printf("gate: 4-worker scatter is %.2fx the 1-worker wall "
+                  "time\n", speedup4);
+    } else {
+      std::printf("gate: speedup advisory only (%u hardware threads "
+                  "< 4)\n", std::thread::hardware_concurrency());
+    }
+  }
+
   bench::NoteSimTime(total_sim_time);
   return 0;
 }
@@ -308,4 +536,7 @@ int Run() {
 }  // namespace
 }  // namespace minos
 
-int main() { return minos::Run(); }
+int main(int argc, char** argv) {
+  minos::bench::ParseWorkers(argc, argv);
+  return minos::Run();
+}

@@ -37,6 +37,7 @@ std::string SnapshotToJson(const MetricsSnapshot& snapshot,
   out += kMetricsSchema;
   out += "\",\"bench\":\"" + JsonEscape(meta.bench) + "\"";
   out += ",\"sim_time_us\":" + std::to_string(meta.sim_time_us);
+  out += ",\"workers\":" + std::to_string(meta.workers);
   out += ",\"counters\":{";
   for (size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i > 0) out += ",";
@@ -104,6 +105,11 @@ Status ValidateSnapshotJson(const std::string& json) {
   }
   if (!root.Get("sim_time_us").is_number()) {
     return Status::InvalidArgument("missing numeric field 'sim_time_us'");
+  }
+  // `workers` entered the header after v1 shipped; absent means a
+  // serial writer (tolerated), present means it must be numeric.
+  if (!root.Get("workers").is_null() && !root.Get("workers").is_number()) {
+    return Status::InvalidArgument("field 'workers' is not numeric");
   }
   for (const char* section : {"counters", "gauges", "histograms"}) {
     if (!root.Get(section).is_object()) {

@@ -14,6 +14,11 @@ namespace minos::obs {
 struct SnapshotMeta {
   std::string bench;        ///< Experiment / scenario identifier.
   Micros sim_time_us = 0;   ///< SimClock reading at export time.
+  /// Worker threads the run's task pool used (1 = serial). A header
+  /// dimension, deliberately not a gauge: the determinism matrix diffs
+  /// the metric sections byte-for-byte across worker counts, and the
+  /// one field allowed to differ must live outside them.
+  int workers = 1;
 };
 
 /// Schema identifier written into (and required of) every snapshot.
@@ -21,7 +26,7 @@ inline constexpr char kMetricsSchema[] = "minos.metrics.v1";
 
 /// Serializes a snapshot as one JSON document:
 ///   {"schema":"minos.metrics.v1","bench":...,"sim_time_us":...,
-///    "counters":{name:value,...},"gauges":{...},
+///    "workers":...,"counters":{name:value,...},"gauges":{...},
 ///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
 ///                        "mean":..,"p50":..,"p90":..,"p99":..},...}}
 std::string SnapshotToJson(const MetricsSnapshot& snapshot,

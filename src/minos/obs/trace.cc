@@ -53,16 +53,25 @@ const SpanRecord* Tracer::Live(uint64_t seq, uint64_t span_id) const {
 }
 
 void Tracer::set_capacity(size_t max_spans) {
-  Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
   capacity_ = max_spans;
 }
 
 void Tracer::set_exemplar_capacity(size_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
   exemplar_capacity_ = k;
   if (exemplars_.size() > k) exemplars_.resize(k);
 }
 
 TraceSpan Tracer::StartSpan(std::string name) {
+  if (TaskSink* sink = CurrentSink()) {
+    // Inside a task the shared ambient stack is off limits (it belongs
+    // to whatever the submitting thread had open); the span roots a
+    // fresh trace with a task-local trace id instead.
+    return SinkStartSpan(*sink, std::move(name), TraceContext{});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   // The innermost still-live ambient span is the parent; entries whose
   // records the ring buffer has reclaimed are pruned on the way down.
   while (!open_.empty() &&
@@ -81,12 +90,45 @@ TraceSpan Tracer::StartSpan(std::string name) {
 }
 
 TraceSpan Tracer::StartSpan(std::string name, const TraceContext& parent) {
+  if (TaskSink* sink = CurrentSink()) {
+    return SinkStartSpan(*sink, std::move(name), parent);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   if (!parent.valid()) {
     return StartSpanInternal(std::move(name), next_trace_id_++, 0, 0, -1,
                              /*ambient=*/false);
   }
   return StartSpanInternal(std::move(name), parent.trace_id, parent.span_id,
                            parent.depth + 1, -1, /*ambient=*/false);
+}
+
+TraceSpan Tracer::SinkStartSpan(TaskSink& sink, std::string name,
+                                const TraceContext& parent) {
+  SpanRecord record;
+  record.name = name;
+  const uint64_t local = sink.next_local_++;
+  record.span_id = kTaskLocalBit | local;
+  if (parent.valid()) {
+    record.trace_id = parent.trace_id;
+    record.parent_span_id = parent.span_id;
+    record.depth = parent.depth + 1;
+  } else {
+    record.trace_id = kTaskLocalBit | local;
+    record.parent_span_id = 0;
+    record.depth = 0;
+  }
+  record.start_us = NowUs();
+  record.end_us = record.start_us;
+  record.parent = -1;
+  TraceContext ctx;
+  ctx.trace_id = record.trace_id;
+  ctx.span_id = record.span_id;
+  ctx.parent_span_id = record.parent_span_id;
+  ctx.depth = record.depth;
+  const uint64_t seq =
+      kTaskLocalBit | static_cast<uint64_t>(sink.records_.size());
+  sink.records_.push_back(std::move(record));
+  return TraceSpan(this, std::move(name), seq, ctx);
 }
 
 TraceSpan Tracer::StartSpanInternal(std::string name, uint64_t trace_id,
@@ -101,13 +143,19 @@ TraceSpan Tracer::StartSpanInternal(std::string name, uint64_t trace_id,
   record.end_us = record.start_us;
   record.depth = depth;
   record.parent = parent_ordinal;
-  const uint64_t seq = started_++;
-  const size_t slot = SlotFor(seq);
   TraceContext ctx;
   ctx.trace_id = trace_id;
   ctx.span_id = record.span_id;
   ctx.parent_span_id = parent_span_id;
   ctx.depth = depth;
+  const uint64_t seq = PlaceRecordLocked(std::move(record));
+  if (ambient) open_.push_back(OpenEntry{seq, ctx.span_id});
+  return TraceSpan(this, std::move(name), seq, ctx);
+}
+
+uint64_t Tracer::PlaceRecordLocked(SpanRecord record) {
+  const uint64_t seq = started_++;
+  const size_t slot = SlotFor(seq);
   if (slot < spans_.size()) {
     // Ring wrapped: evict the slot's tenant. If that span is still
     // open its handle's End() becomes a no-op (span_id mismatch).
@@ -124,11 +172,11 @@ TraceSpan Tracer::StartSpanInternal(std::string name, uint64_t trace_id,
   } else {
     spans_.push_back(std::move(record));
   }
-  if (ambient) open_.push_back(OpenEntry{seq, ctx.span_id});
-  return TraceSpan(this, std::move(name), seq, ctx);
+  return seq;
 }
 
 TraceContext Tracer::current_context() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
     const SpanRecord* rec = Live(it->seq, it->span_id);
     if (rec != nullptr) {
@@ -144,6 +192,21 @@ TraceContext Tracer::current_context() const {
 }
 
 void Tracer::Finish(uint64_t seq, uint64_t span_id) {
+  if ((seq & kTaskLocalBit) != 0) {
+    // A sink span finishes inside its own task: stamp the end time now
+    // (the task's clock frame is still installed); the %id/mirror/log/
+    // exemplar effects run at commit, in deterministic task order. A
+    // handle that outlived its task finds no sink and is dropped.
+    TaskSink* sink = CurrentSink();
+    if (sink == nullptr) return;
+    const size_t idx = static_cast<size_t>(seq & ~kTaskLocalBit);
+    if (idx >= sink->records_.size()) return;
+    SpanRecord& rec = sink->records_[idx];
+    if (rec.span_id != span_id) return;
+    rec.end_us = std::max(rec.start_us, NowUs());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   SpanRecord* rec = Live(seq, span_id);
   if (rec == nullptr) return;  // Cleared, or reclaimed by the ring.
   rec->end_us = std::max(rec->start_us, NowUs());
@@ -151,36 +214,81 @@ void Tracer::Finish(uint64_t seq, uint64_t span_id) {
                   open_.begin(), open_.end(),
                   [&](const OpenEntry& e) { return e.seq == seq; }),
               open_.end());
+  FinishEffectsLocked(*rec);
+}
+
+void Tracer::FinishEffectsLocked(SpanRecord& rec) {
   std::string ids;
-  const std::string sanitized = SanitizeSpanName(rec->name, &ids);
-  if (!ids.empty() && rec->FindTag("%id") == nullptr) {
-    rec->tags.emplace_back("%id", ids);
+  const std::string sanitized = SanitizeSpanName(rec.name, &ids);
+  if (!ids.empty() && rec.FindTag("%id") == nullptr) {
+    rec.tags.emplace_back("%id", ids);
   }
   if (registry_ != nullptr) {
     registry_->histogram("span." + sanitized + "_us")
-        ->Record(static_cast<double>(rec->duration_us()));
+        ->Record(static_cast<double>(rec.duration_us()));
   }
   if (log_spans_) {
     Logger::Get().Log(
         LogLevel::kDebug, "obs/trace.cc", 0, "span",
-        {{"name", rec->name},
-         {"start_us", std::to_string(rec->start_us)},
-         {"dur_us", std::to_string(rec->duration_us())},
-         {"depth", std::to_string(rec->depth)},
-         {"trace_id", std::to_string(rec->trace_id)},
-         {"span_id", std::to_string(rec->span_id)},
-         {"parent_span_id", std::to_string(rec->parent_span_id)}});
+        {{"name", rec.name},
+         {"start_us", std::to_string(rec.start_us)},
+         {"dur_us", std::to_string(rec.duration_us())},
+         {"depth", std::to_string(rec.depth)},
+         {"trace_id", std::to_string(rec.trace_id)},
+         {"span_id", std::to_string(rec.span_id)},
+         {"parent_span_id", std::to_string(rec.parent_span_id)}});
   }
-  if (rec->parent_span_id == 0 && exemplar_capacity_ > 0) {
-    CaptureExemplar(*rec);
+  if (rec.parent_span_id == 0 && exemplar_capacity_ > 0) {
+    CaptureExemplar(rec);
   }
 }
 
 void Tracer::Tag(uint64_t seq, uint64_t span_id, std::string_view key,
                  std::string value) {
+  if ((seq & kTaskLocalBit) != 0) {
+    TaskSink* sink = CurrentSink();
+    if (sink == nullptr) return;
+    const size_t idx = static_cast<size_t>(seq & ~kTaskLocalBit);
+    if (idx >= sink->records_.size()) return;
+    SpanRecord& rec = sink->records_[idx];
+    if (rec.span_id != span_id) return;
+    rec.tags.emplace_back(std::string(key), std::move(value));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   SpanRecord* rec = Live(seq, span_id);
   if (rec == nullptr) return;
   rec->tags.emplace_back(std::string(key), std::move(value));
+}
+
+void Tracer::CommitTaskSink(TaskSink& sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Task-local ids map to freshly allocated shared ids in buffer (start)
+  // order — exactly the ids a serial execution of the tasks in commit
+  // order would have drawn. Parents precede children in the buffer, so
+  // one forward pass resolves every intra-sink link.
+  std::map<uint64_t, uint64_t> span_ids;
+  std::map<uint64_t, uint64_t> trace_ids;
+  for (SpanRecord& rec : sink.records_) {
+    if ((rec.span_id & kTaskLocalBit) != 0) {
+      const uint64_t global = next_span_id_++;
+      span_ids[rec.span_id] = global;
+      rec.span_id = global;
+    }
+    if ((rec.trace_id & kTaskLocalBit) != 0) {
+      auto [it, fresh] = trace_ids.try_emplace(rec.trace_id, 0);
+      if (fresh) it->second = next_trace_id_++;
+      rec.trace_id = it->second;
+    }
+    if ((rec.parent_span_id & kTaskLocalBit) != 0) {
+      auto it = span_ids.find(rec.parent_span_id);
+      rec.parent_span_id = it != span_ids.end() ? it->second : 0;
+    }
+    const uint64_t seq = PlaceRecordLocked(std::move(rec));
+    FinishEffectsLocked(spans_[SlotFor(seq)]);
+  }
+  sink.records_.clear();
+  sink.next_local_ = 1;
 }
 
 void Tracer::CaptureExemplar(const SpanRecord& root) {
@@ -192,7 +300,7 @@ void Tracer::CaptureExemplar(const SpanRecord& root) {
   ex.trace_id = root.trace_id;
   ex.root_name = root.name;
   ex.duration_us = root.duration_us();
-  for (SpanRecord& rec : OrderedSpans()) {
+  for (SpanRecord& rec : OrderedSpansLocked()) {
     if (rec.trace_id == root.trace_id) ex.spans.push_back(std::move(rec));
   }
   auto pos = std::upper_bound(exemplars_.begin(), exemplars_.end(),
@@ -205,6 +313,11 @@ void Tracer::CaptureExemplar(const SpanRecord& root) {
 }
 
 std::vector<SpanRecord> Tracer::OrderedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OrderedSpansLocked();
+}
+
+std::vector<SpanRecord> Tracer::OrderedSpansLocked() const {
   if (capacity_ == 0 || started_ <= capacity_) return spans_;
   std::vector<SpanRecord> out;
   out.reserve(spans_.size());
@@ -215,6 +328,11 @@ std::vector<SpanRecord> Tracer::OrderedSpans() const {
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
+}
+
+void Tracer::ClearLocked() {
   // Open spans would dangle; detach them first (their End() becomes a
   // no-op via the liveness check in Finish). Span/trace id counters are
   // deliberately not reset so stale handles can never alias new records.
@@ -226,6 +344,7 @@ void Tracer::Clear() {
 }
 
 std::string Tracer::ToJson(const TraceMeta& meta) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"schema\":\"minos.trace.v1\"";
   if (!meta.bench.empty()) {
     out += ",\"bench\":\"" + JsonEscape(meta.bench) + "\"";
@@ -236,7 +355,7 @@ std::string Tracer::ToJson(const TraceMeta& meta) const {
   out += ",\"dropped_spans\":" + std::to_string(dropped_spans_);
   out += ",\"spans\":[";
   bool first = true;
-  for (const SpanRecord& s : OrderedSpans()) {
+  for (const SpanRecord& s : OrderedSpansLocked()) {
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
@@ -266,10 +385,11 @@ std::string Tracer::ToChromeTrace() const {
   // Chrome trace-event format: one "X" (complete) event per span, one
   // tid track per trace so overlapping scatter/prefetch work renders
   // side by side in chrome://tracing / Perfetto.
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<uint64_t, int> tids;
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const SpanRecord& s : OrderedSpans()) {
+  for (const SpanRecord& s : OrderedSpansLocked()) {
     auto [it, inserted] =
         tids.emplace(s.trace_id, static_cast<int>(tids.size()) + 1);
     if (!first) out += ",";

@@ -2,6 +2,8 @@
 #define MINOS_OBS_TRACE_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -99,6 +101,24 @@ class TraceSpan;
 /// traces, metrics and log records line up on one timeline. Storage is
 /// an optional ring buffer (set_capacity) with a `trace.dropped_spans`
 /// counter, plus a keep-slowest exemplar log of finished root traces.
+///
+/// ## Thread safety
+///
+/// Shared state (the span ring, the ambient stack, the id counters) is
+/// mutex-guarded, so concurrent StartSpan/Finish/Tag calls are safe —
+/// but a shared id counter would still make span ids depend on thread
+/// interleaving. Task-pool work therefore records through a TaskSink:
+/// while a TaskSinkScope is installed on a thread, that thread's spans
+/// buffer lock-free into its task's private sink with task-local ids,
+/// and the pool commits the sinks at the epoch barrier in task order.
+/// Committed records then receive their final ids from the shared
+/// counters — so the stored trace (ids, order, histogram mirror, ring
+/// eviction) is byte-identical no matter how many workers ran the epoch,
+/// and identical to a serial execution of the same tasks. Inside a sink,
+/// spans must use explicit-parent StartSpan(name, ctx); an ambient
+/// StartSpan(name) roots a fresh trace instead of consulting the shared
+/// open stack. The borrowed `spans()` reference and span handles of sink
+/// spans are only meaningful on the thread/epoch that produced them.
 class Tracer {
  public:
   /// `clock` is borrowed and may be null (all times read as 0 until a
@@ -188,6 +208,53 @@ class Tracer {
   /// never crashes on truncated or corrupt input.
   static StatusOr<std::vector<SpanRecord>> FromJson(std::string_view json);
 
+  /// Marks task-local span/trace ids inside a TaskSink; commit replaces
+  /// them with ids from the shared counters. Real ids never reach this
+  /// bit (they would need 2^63 spans).
+  static constexpr uint64_t kTaskLocalBit = 1ull << 63;
+
+  /// Private per-task span buffer. The task pool creates one per task on
+  /// the submitting thread, the executing worker installs it with a
+  /// TaskSinkScope, and the submitting thread commits it at the barrier
+  /// with CommitTaskSink — in task order, so storage is deterministic.
+  class TaskSink {
+   public:
+    explicit TaskSink(Tracer* tracer) : tracer_(tracer) {}
+    TaskSink(const TaskSink&) = delete;
+    TaskSink& operator=(const TaskSink&) = delete;
+
+    /// Spans buffered so far (start order, task-local ids).
+    size_t size() const { return records_.size(); }
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_;
+    std::vector<SpanRecord> records_;  ///< Start order, local ids.
+    uint64_t next_local_ = 1;
+  };
+
+  /// RAII: while alive, the installing thread's spans on the sink's
+  /// tracer buffer into the sink (nests; restores the previous sink).
+  class TaskSinkScope {
+   public:
+    explicit TaskSinkScope(TaskSink* sink) : prev_(t_sink_) {
+      t_sink_ = sink;
+    }
+    ~TaskSinkScope() { t_sink_ = prev_; }
+    TaskSinkScope(const TaskSinkScope&) = delete;
+    TaskSinkScope& operator=(const TaskSinkScope&) = delete;
+
+   private:
+    TaskSink* prev_;
+  };
+
+  /// Moves a task's buffered spans into shared storage, assigning final
+  /// span/trace ids from the shared counters and running the deferred
+  /// finish effects (%id tag, histogram mirror, log record, ring
+  /// eviction, exemplar capture) in buffer order. Call from the epoch
+  /// barrier, in task order; the sink resets for reuse.
+  void CommitTaskSink(TaskSink& sink);
+
  private:
   friend class TraceSpan;
 
@@ -201,17 +268,35 @@ class Tracer {
     return capacity_ == 0 ? static_cast<size_t>(seq)
                           : static_cast<size_t>(seq % capacity_);
   }
+  /// The installing thread's sink, when it belongs to this tracer.
+  TaskSink* CurrentSink() const {
+    return t_sink_ != nullptr && t_sink_->tracer_ == this ? t_sink_
+                                                          : nullptr;
+  }
   /// Record for `seq` if it has not been overwritten, else null.
   SpanRecord* Live(uint64_t seq, uint64_t span_id);
   const SpanRecord* Live(uint64_t seq, uint64_t span_id) const;
   TraceSpan StartSpanInternal(std::string name, uint64_t trace_id,
                               uint64_t parent_span_id, int depth,
                               int64_t parent_ordinal, bool ambient);
+  TraceSpan SinkStartSpan(TaskSink& sink, std::string name,
+                          const TraceContext& parent);
+  /// Places a record in the ring (evicting the slot's tenant once
+  /// wrapped) and returns its seq. Caller holds mu_.
+  uint64_t PlaceRecordLocked(SpanRecord record);
+  /// The deferred half of Finish: %id tag, histogram mirror, log
+  /// record, root exemplar. Caller holds mu_.
+  void FinishEffectsLocked(SpanRecord& rec);
+  void ClearLocked();
   void Finish(uint64_t seq, uint64_t span_id);
   void Tag(uint64_t seq, uint64_t span_id, std::string_view key,
            std::string value);
   void CaptureExemplar(const SpanRecord& root);
+  std::vector<SpanRecord> OrderedSpansLocked() const;
 
+  /// Guards every shared member below. Sink-routed operations do not
+  /// take it — a sink is owned by exactly one running task.
+  mutable std::mutex mu_;
   const Clock* clock_;
   MetricsRegistry* registry_ = nullptr;
   bool log_spans_ = false;
@@ -224,6 +309,9 @@ class Tracer {
   std::vector<OpenEntry> open_;  ///< Ambient stack, innermost last.
   std::vector<SpanRecord> spans_;
   std::vector<TraceExemplar> exemplars_;  ///< Slowest first.
+
+  /// Sink installed on the calling thread (TaskSinkScope), any tracer.
+  inline static thread_local TaskSink* t_sink_ = nullptr;
 };
 
 /// RAII handle for one span. Movable, not copyable; finishes at

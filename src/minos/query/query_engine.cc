@@ -46,10 +46,61 @@ Micros ScoringCost(size_t terms_scored, size_t postings_scanned) {
   return static_cast<Micros>(5 * terms_scored + postings_scanned);
 }
 
+namespace {
+
+/// Per-candidate BM25 accumulator. The ordered map keeps accumulation
+/// deterministic regardless of posting-list order.
+struct Candidate {
+  double score = 0;
+  size_t terms_matched = 0;
+};
+
+/// One query term that survived the probe pass, with its precomputed
+/// idf and posting list.
+struct ScoredTerm {
+  const ScoredIndex::PostingMap* list;
+  double idf;
+};
+
+/// Accumulates every scored term's postings with ids in [lo, hi) into
+/// `candidates`. Each candidate receives its contributions in term
+/// order — the same floating-point addition order as a full serial
+/// pass — so partitioned accumulation is bit-identical to unpartitioned.
+void AccumulateRange(const std::vector<ScoredTerm>& scored,
+                     const ScoredIndex& postings, const Bm25Params& params,
+                     double avg_len, storage::ObjectId lo,
+                     storage::ObjectId hi, bool bounded_hi,
+                     std::map<storage::ObjectId, Candidate>* candidates) {
+  for (const ScoredTerm& term : scored) {
+    auto it = term.list->lower_bound(lo);
+    const auto end =
+        bounded_hi ? term.list->lower_bound(hi) : term.list->end();
+    for (; it != end; ++it) {
+      const auto& [id, posting] = *it;
+      const double tf = posting.tf();
+      const double len = postings.DocLength(id);
+      const double norm =
+          params.k1 * (1.0 - params.b +
+                       (avg_len > 0 ? params.b * len / avg_len : 0.0));
+      Candidate& c = (*candidates)[id];
+      c.score += term.idf * (tf * (params.k1 + 1.0)) / (tf + norm);
+      ++c.terms_matched;
+    }
+  }
+}
+
+/// Fixed partition fan-out for pooled scoring. Deliberately a constant,
+/// not the worker count: the decomposition (and thus every rounding-
+/// irrelevant detail of the work) must not depend on pool size.
+constexpr size_t kScorePartitions = 4;
+
+}  // namespace
+
 RankedQuery QueryEngine::TopK(const ScoredIndex& postings,
                               const ScoredIndex& global,
                               const std::vector<std::string>& words,
-                              size_t k, QueryMode mode) const {
+                              size_t k, QueryMode mode,
+                              runtime::TaskPool* pool) const {
   RankedQuery result;
   if (k == 0) return result;
 
@@ -65,13 +116,13 @@ RankedQuery QueryEngine::TopK(const ScoredIndex& postings,
   }
   if (terms.empty()) return result;
 
-  // Accumulate BM25 contributions per candidate. The ordered map keeps
-  // accumulation deterministic regardless of posting-list order.
-  struct Candidate {
-    double score = 0;
-    size_t terms_matched = 0;
-  };
-  std::map<storage::ObjectId, Candidate> candidates;
+  // Probe pass (serial): resolve each term's posting list and idf, and
+  // tally the work counters, in term order — a conjunctive query with a
+  // missing term stops probing there, charging only the terms scored
+  // before the abort, exactly like the original single pass.
+  std::vector<ScoredTerm> scored;
+  scored.reserve(terms.size());
+  bool aborted = false;
   const CorpusStats& stats = global.stats();
   const double n = static_cast<double>(stats.doc_count);
   const double avg_len = stats.AvgLength();
@@ -80,24 +131,48 @@ RankedQuery QueryEngine::TopK(const ScoredIndex& postings,
     const ScoredIndex::PostingMap& list = postings.Postings(term);
     if (df == 0 || list.empty()) {
       if (mode == QueryMode::kConjunctive) {
-        candidates.clear();
+        aborted = true;
         break;
       }
       continue;
     }
     ++result.terms_scored;
+    result.postings_scanned += list.size();
     const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
-    for (const auto& [id, posting] : list) {
-      ++result.postings_scanned;
-      const double tf = posting.tf();
-      const double len = postings.DocLength(id);
-      const double norm =
-          params_.k1 *
-          (1.0 - params_.b +
-           (avg_len > 0 ? params_.b * len / avg_len : 0.0));
-      Candidate& c = candidates[id];
-      c.score += idf * (tf * (params_.k1 + 1.0)) / (tf + norm);
-      ++c.terms_matched;
+    scored.push_back(ScoredTerm{&list, idf});
+  }
+
+  // Accumulation: serial over the whole id space, or fanned out over
+  // disjoint id ranges whose per-range maps concatenate back into one
+  // ascending candidate sequence.
+  std::map<storage::ObjectId, Candidate> candidates;
+  if (aborted) {
+    // Conjunctive query with a missing term matches nothing.
+  } else if (pool == nullptr || scored.empty()) {
+    AccumulateRange(scored, postings, params_, avg_len, 0, 0,
+                    /*bounded_hi=*/false, &candidates);
+  } else {
+    const std::vector<storage::ObjectId> points =
+        postings.PartitionPoints(kScorePartitions);
+    std::vector<std::map<storage::ObjectId, Candidate>> parts(
+        kScorePartitions);
+    std::vector<runtime::TaskPool::Task> tasks;
+    tasks.reserve(kScorePartitions);
+    for (size_t p = 0; p < kScorePartitions; ++p) {
+      const storage::ObjectId lo = p == 0 ? 0 : points[p - 1];
+      const bool bounded = p + 1 < kScorePartitions;
+      const storage::ObjectId hi = bounded ? points[p] : 0;
+      tasks.push_back([&, p, lo, hi, bounded] {
+        AccumulateRange(scored, postings, params_, avg_len, lo, hi,
+                        bounded, &parts[p]);
+      });
+    }
+    // Index arithmetic charges no virtual time of its own (callers
+    // charge ScoringCost centrally), so the epoch advances the clock
+    // by zero; the fan-out only buys wall-clock parallelism.
+    pool->RunEpoch(std::move(tasks));
+    for (std::map<storage::ObjectId, Candidate>& part : parts) {
+      candidates.insert(part.begin(), part.end());
     }
   }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "minos/query/scored_index.h"
+#include "minos/runtime/task_pool.h"
 #include "minos/util/clock.h"
 
 namespace minos::query {
@@ -67,9 +68,20 @@ class QueryEngine {
   /// `postings` itself for a single store). Increments
   /// query.scored_terms / query.postings_scanned / query.heap_evictions
   /// on the default registry.
+  ///
+  /// With a `pool`, candidate accumulation fans out over a fixed number
+  /// of disjoint object-id partitions (fixed — never the worker count —
+  /// so the decomposition is identical on any pool size), then merges
+  /// and ranks serially. Scores, hit order, and all three work counters
+  /// are bit-identical to the serial path: each candidate accumulates
+  /// its term contributions in the same term order either way, and the
+  /// bounded top-k heap always runs as one serial pass. Parallel
+  /// scoring charges no virtual time itself; callers charge
+  /// ScoringCost centrally exactly as before.
   RankedQuery TopK(const ScoredIndex& postings, const ScoredIndex& global,
                    const std::vector<std::string>& words, size_t k,
-                   QueryMode mode) const;
+                   QueryMode mode,
+                   runtime::TaskPool* pool = nullptr) const;
 
  private:
   Bm25Params params_;

@@ -1,6 +1,7 @@
 #include "minos/query/scored_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "minos/util/string_util.h"
@@ -34,6 +35,7 @@ void ScoredIndex::Add(const object::MultimediaObject& obj,
                       double voice_confidence) {
   const storage::ObjectId id = obj.id();
   Remove(id);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   ++stats_.doc_count;
   lengths_[id] = 0;
   doc_terms_[id] = {};
@@ -57,6 +59,7 @@ void ScoredIndex::Add(const object::MultimediaObject& obj,
 void ScoredIndex::Remove(storage::ObjectId id) {
   auto terms_it = doc_terms_.find(id);
   if (terms_it == doc_terms_.end()) return;
+  version_.fetch_add(1, std::memory_order_acq_rel);
   for (const std::string& term : terms_it->second) {
     auto df = doc_freq_.find(term);
     if (df != doc_freq_.end() && --df->second == 0) doc_freq_.erase(df);
@@ -90,6 +93,31 @@ uint64_t ScoredIndex::DocFreq(std::string_view term) const {
 double ScoredIndex::DocLength(storage::ObjectId id) const {
   auto it = lengths_.find(id);
   return it == lengths_.end() ? 0.0 : it->second;
+}
+
+std::vector<storage::ObjectId> ScoredIndex::PartitionPoints(
+    size_t parts) const {
+  std::vector<storage::ObjectId> points;
+  if (parts <= 1) return points;
+  points.reserve(parts - 1);
+  // lengths_ is ordered by id, so the k-th quantile key starts range k.
+  const size_t n = lengths_.size();
+  size_t next = 1;
+  size_t i = 0;
+  for (const auto& [id, length] : lengths_) {
+    while (next < parts && i >= next * n / parts) {
+      points.push_back(id);
+      ++next;
+    }
+    if (next >= parts) break;
+    ++i;
+  }
+  // Fewer documents than partitions: pad with past-the-end sentinels so
+  // callers always get parts - 1 boundaries (empty tail ranges).
+  while (points.size() < parts - 1) {
+    points.push_back(std::numeric_limits<storage::ObjectId>::max());
+  }
+  return points;
 }
 
 }  // namespace minos::query

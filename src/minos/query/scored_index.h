@@ -1,6 +1,7 @@
 #ifndef MINOS_QUERY_SCORED_INDEX_H_
 #define MINOS_QUERY_SCORED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -82,11 +83,28 @@ class ScoredIndex {
   size_t vocabulary_size() const { return doc_freq_.size(); }
   bool stats_only() const { return stats_only_; }
 
+  /// Monotonic mutation counter, bumped by every Add/Remove that changes
+  /// the index. Concurrent pool tasks read the index lock-free; this
+  /// lets callers assert (in debug/tests) that nobody mutated it while
+  /// a parallel scoring epoch was in flight.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Splits the indexed object-id space into `parts` contiguous ranges
+  /// of roughly equal document count and returns the `parts - 1` first
+  /// ids of ranges 1..parts-1. Partition k covers ids in
+  /// [points[k-1], points[k]) (with points[-1] = 0 and points[parts-1] =
+  /// +inf). A pure function of index content — never of thread count —
+  /// so partitioned scoring decomposes work identically on any pool.
+  std::vector<storage::ObjectId> PartitionPoints(size_t parts) const;
+
  private:
   void AddTerm(storage::ObjectId id, const std::string& term,
                double text_weight, double voice_weight);
 
   bool stats_only_;
+  std::atomic<uint64_t> version_{0};
   CorpusStats stats_;
   std::map<std::string, PostingMap, std::less<>> postings_;
   std::map<std::string, uint64_t, std::less<>> doc_freq_;

@@ -234,7 +234,7 @@ std::vector<query::ScoredHit> ObjectServer::QueryRankedWith(
       ->Increment();
   query::QueryEngine engine;
   query::RankedQuery ranked =
-      engine.TopK(scored_index_, global, words, k, mode);
+      engine.TopK(scored_index_, global, words, k, mode, pool_);
   // Scoring is server-side CPU work; unlike card gathers it never rides
   // the link, so the clock charge is the whole latency story here.
   clock_->Advance(

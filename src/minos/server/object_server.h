@@ -73,6 +73,11 @@ class ObjectServer : public ObjectStore {
     if (link_ != nullptr) link_->SetTracer(tracer);
   }
 
+  /// Attaches a task pool (borrowed; null detaches) used to partition
+  /// BM25 candidate accumulation across cores. Results and query.*
+  /// counters are bit-identical to serial scoring.
+  void SetTaskPool(runtime::TaskPool* pool) override { pool_ = pool; }
+
   /// Ingest ---------------------------------------------------------------
 
   /// Archives an object (must be in archived state) and indexes its
@@ -292,6 +297,7 @@ class ObjectServer : public ObjectStore {
   Link* link_;
   FaultInjector* injector_ = nullptr;  // Borrowed; wire corruption only.
   obs::Tracer* tracer_ = nullptr;      // Borrowed; may be null.
+  runtime::TaskPool* pool_ = nullptr;  // Borrowed; null scores serially.
   storage::RequestScheduler* scheduler_ = nullptr;  // Borrowed; see above.
   uint64_t stage_io_seq_ = 0;  // IoRequest ids for scheduled staging reads.
   RetryPolicy retry_policy_;

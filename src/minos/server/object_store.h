@@ -82,6 +82,23 @@ class ObjectStore {
   /// nothing.
   virtual void SetTracer(obs::Tracer* tracer) = 0;
 
+  /// Attaches a task pool (borrowed; null detaches) that parallel-
+  /// capable stores use for their hot fan-outs — shard scatters,
+  /// partitioned scoring. The default is a no-op: a store without
+  /// parallel paths simply keeps running serially, with identical
+  /// results.
+  virtual void SetTaskPool(runtime::TaskPool* pool) { (void)pool; }
+
+  /// Stable grouping key for prefetch staging of `id`: entries with the
+  /// same non-zero affinity contend for the same backing resource (for
+  /// a sharded store, the shard that would serve the object) and must
+  /// stage serially; different affinities may stage concurrently.
+  /// 0 means unknown — the prefetcher then serializes conservatively.
+  virtual uint64_t PrefetchAffinity(storage::ObjectId id) const {
+    (void)id;
+    return 0;
+  }
+
   /// Ranked content query: the top `k` objects matching `words` with
   /// their BM25-style relevance scores, best first (ties break by
   /// ascending id). A sharded store scatters per-shard top-k requests,

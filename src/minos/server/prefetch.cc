@@ -44,16 +44,28 @@ void PrefetchQueue::UpdateDepth() {
   queue_depth_->Set(static_cast<double>(entries_.size()));
 }
 
-void PrefetchQueue::WantPage(const PrefetchKey& key, int distance,
-                             PageWork work) {
+void PrefetchQueue::SetTaskPool(runtime::TaskPool* pool,
+                                AffinityFn affinity) {
+  pool_ = pool;
+  affinity_ = std::move(affinity);
+}
+
+void PrefetchQueue::Enqueue(const PrefetchKey& key, int distance,
+                            PageWork work, uint64_t affinity_object) {
   if (!work || entries_.count(key) > 0) return;
   Entry entry;
   entry.distance = std::abs(distance);
   entry.seq = next_seq_++;
+  entry.affinity_object = affinity_object;
   entry.run = std::move(work);
   entries_.emplace(key, std::move(entry));
   enqueued_->Increment();
   UpdateDepth();
+}
+
+void PrefetchQueue::WantPage(const PrefetchKey& key, int distance,
+                             PageWork work) {
+  Enqueue(key, distance, std::move(work), key.object_id);
 }
 
 void PrefetchQueue::WantObject(uint64_t object_id, int distance,
@@ -71,18 +83,19 @@ void PrefetchQueue::WantObject(uint64_t object_id, int distance,
            });
 }
 
-void PrefetchQueue::WantMiniature(int position, int distance,
-                                  CardWork work) {
+void PrefetchQueue::WantMiniature(int position, int distance, CardWork work,
+                                  uint64_t affinity_object) {
   if (!work) return;
   PrefetchKey key{PrefetchKind::kMiniature, 0, position};
   auto shared = std::make_shared<CardWork>(std::move(work));
-  WantPage(key, distance,
-           [this, key, shared]() -> Status {
-             StatusOr<MiniatureCard> got = (*shared)();
-             if (!got.ok()) return got.status();
-             entries_[key].card = *std::move(got);
-             return Status::OK();
-           });
+  Enqueue(key, distance,
+          [this, key, shared]() -> Status {
+            StatusOr<MiniatureCard> got = (*shared)();
+            if (!got.ok()) return got.status();
+            entries_[key].card = *std::move(got);
+            return Status::OK();
+          },
+          affinity_object);
 }
 
 bool PrefetchQueue::Issue(Entry& entry) {
@@ -120,11 +133,19 @@ bool PrefetchQueue::Issue(Entry& entry) {
 void PrefetchQueue::Pump() {
   if (pumping_) return;  // A pumped transfer's retry is pumping us.
   pumping_ = true;
+  // Pick phase: nearest cursor distance first, FIFO among equals, at
+  // most max_inflight_per_pump entries. Issue outcomes never affect
+  // candidacy (issued entries turn ready, failed ones are erased —
+  // both leave the pick pool), so picking everything up front is the
+  // same sequence the issue-as-you-go loop produced.
+  std::vector<PrefetchKey> picked;
   for (int slot = 0; slot < options_.max_inflight_per_pump; ++slot) {
-    // Nearest cursor distance first; FIFO among equals.
     const PrefetchKey* pick = nullptr;
     for (const auto& [key, entry] : entries_) {
       if (entry.ready) continue;
+      if (std::find(picked.begin(), picked.end(), key) != picked.end()) {
+        continue;
+      }
       if (pick == nullptr) {
         pick = &key;
         continue;
@@ -136,12 +157,93 @@ void PrefetchQueue::Pump() {
       }
     }
     if (pick == nullptr) break;
-    const PrefetchKey key = *pick;
-    if (!Issue(entries_.at(key))) entries_.erase(key);
+    picked.push_back(*pick);
+  }
+  if (pool_ != nullptr && picked.size() > 1) {
+    IssuePooled(picked);
+  } else {
+    for (const PrefetchKey& key : picked) {
+      if (!Issue(entries_.at(key))) entries_.erase(key);
+    }
   }
   EvictOverCapacity();
   UpdateDepth();
   pumping_ = false;
+}
+
+void PrefetchQueue::IssuePooled(const std::vector<PrefetchKey>& picked) {
+  // Group the picks by staging affinity: entries bound for different
+  // shards ride different arms and may stage concurrently; entries of
+  // one group — and every pick when no affinity oracle is installed —
+  // run sequentially inside one task. Group membership is a pure
+  // function of pick order and affinity, never of worker count.
+  std::vector<uint64_t> group_ids;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < picked.size(); ++i) {
+    const uint64_t affinity =
+        affinity_ ? affinity_(entries_.at(picked[i]).affinity_object) : 0;
+    size_t g = 0;
+    for (; g < group_ids.size(); ++g) {
+      if (group_ids[g] == affinity) break;
+    }
+    if (g == group_ids.size()) {
+      group_ids.push_back(affinity);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+
+  struct IssueOutcome {
+    Micros cost = 0;
+    Status verdict = Status::OK();
+  };
+  std::vector<IssueOutcome> outcomes(picked.size());
+  {
+    // The background scopes span the whole epoch from this thread: the
+    // per-link flag is a plain bool, so it must be set before any task
+    // runs and cleared after the barrier, never toggled mid-epoch.
+    std::vector<std::unique_ptr<Link::BackgroundScope>> background;
+    background.reserve(links_.size());
+    for (Link* link : links_) {
+      background.push_back(std::make_unique<Link::BackgroundScope>(link));
+    }
+    std::vector<runtime::TaskPool::Task> tasks;
+    tasks.reserve(groups.size());
+    for (const std::vector<size_t>& group : groups) {
+      tasks.push_back([this, &picked, &outcomes, &group] {
+        for (size_t i : group) {
+          Entry& entry = entries_.at(picked[i]);
+          const Micros start = clock_->Now();
+          outcomes[i].verdict = entry.run();
+          outcomes[i].cost = clock_->Now() - start;
+          // The frame never advances: staging time is booked on the
+          // background channel below, exactly like the serial pump.
+          clock_->RewindTo(start);
+        }
+      });
+    }
+    pool_->RunEpoch(std::move(tasks));
+  }
+
+  // Booking pass, in pick order: identical channel math and metric
+  // order to issuing serially (every serial issue started at this same
+  // virtual instant — each Issue rewinds before the next one runs).
+  const Micros start = clock_->Now();
+  for (size_t i = 0; i < picked.size(); ++i) {
+    issued_->Increment();
+    issue_cost_us_->Record(static_cast<double>(outcomes[i].cost));
+    if (!outcomes[i].verdict.ok()) {
+      errors_->Increment();
+      bg_free_at_ = std::max(bg_free_at_, start) + outcomes[i].cost;
+      entries_.erase(picked[i]);
+      continue;
+    }
+    Entry& entry = entries_.at(picked[i]);
+    entry.ready = true;
+    entry.ready_at = std::max(bg_free_at_, start) + outcomes[i].cost;
+    bg_free_at_ = entry.ready_at;
+    entry.run = nullptr;
+  }
 }
 
 void PrefetchQueue::EvictOverCapacity() {

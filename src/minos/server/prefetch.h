@@ -10,6 +10,7 @@
 
 #include "minos/obs/metrics.h"
 #include "minos/object/multimedia_object.h"
+#include "minos/runtime/task_pool.h"
 #include "minos/server/fault.h"
 #include "minos/server/link.h"
 #include "minos/server/object_store.h"
@@ -125,7 +126,11 @@ class PrefetchQueue {
   void WantObject(uint64_t object_id, int distance, ObjectWork work);
 
   /// Requests the miniature card at strip position `position`.
-  void WantMiniature(int position, int distance, CardWork work);
+  /// `affinity_object` optionally names the object the card belongs to,
+  /// so a pooled pump can group the work by the shard that will serve
+  /// it (the key's object_id is always 0 — the strip owns the cursor).
+  void WantMiniature(int position, int distance, CardWork work,
+                     uint64_t affinity_object = 0);
 
   /// Consume -------------------------------------------------------------
 
@@ -177,6 +182,19 @@ class PrefetchQueue {
   /// pumping again) are no-ops.
   void Pump();
 
+  /// Maps an affinity-object id to the staging group it contends with
+  /// (for a sharded store, 1 + the serving shard; 0 = unknown).
+  using AffinityFn = std::function<uint64_t(uint64_t object_id)>;
+
+  /// Attaches a task pool (borrowed; null restores serial pumping).
+  /// Pump then stages this pump's picks as one epoch: entries of
+  /// different affinity groups run concurrently on real cores, entries
+  /// of one group (one shard's arm) — and every entry when `affinity`
+  /// is null or answers 0 — stay sequential. Pick order, virtual-time
+  /// booking on the background channel, and every prefetch.* metric
+  /// are identical to the serial pump.
+  void SetTaskPool(runtime::TaskPool* pool, AffinityFn affinity = nullptr);
+
   /// A BackoffSleeper that spends retry backoff windows pumping this
   /// queue before advancing the clock — the ROADMAP's
   /// "scheduler-integrated retries": a foreground retry wait becomes
@@ -196,6 +214,7 @@ class PrefetchQueue {
     uint64_t seq = 0;
     bool ready = false;
     Micros ready_at = 0;
+    uint64_t affinity_object = 0;  ///< Grouping hint for pooled pumps.
     PageWork run;  ///< Null once ready.
     std::optional<object::MultimediaObject> object;
     std::optional<MiniatureCard> card;
@@ -208,9 +227,18 @@ class PrefetchQueue {
   /// ready → wasted).
   void CancelIf(const std::function<bool(const PrefetchKey&)>& stale);
 
+  /// Shared enqueue path: `affinity_object` is the grouping hint a
+  /// pooled pump reads (pages use their own object id).
+  void Enqueue(const PrefetchKey& key, int distance, PageWork work,
+               uint64_t affinity_object);
+
   /// Runs one entry's work on the background channel; true when the
   /// entry became ready.
   bool Issue(Entry& entry);
+
+  /// Stages `picked` (in pick order) as one pool epoch grouped by
+  /// affinity, then books costs and outcomes serially in pick order.
+  void IssuePooled(const std::vector<PrefetchKey>& picked);
 
   void EvictOverCapacity();
   void UpdateDepth();
@@ -222,6 +250,8 @@ class PrefetchQueue {
   uint64_t next_seq_ = 0;
   Micros bg_free_at_ = 0;  ///< Background channel horizon.
   bool pumping_ = false;   ///< Reentrancy guard.
+  runtime::TaskPool* pool_ = nullptr;  ///< Borrowed; null pumps serially.
+  AffinityFn affinity_;                ///< Null: serialize pooled picks.
 
   obs::Counter* enqueued_;  // Owned by the registry.
   obs::Counter* issued_;

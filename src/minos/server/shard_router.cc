@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "minos/runtime/task_pool.h"
 #include "minos/server/link.h"
 
 namespace minos::server {
@@ -72,12 +73,28 @@ ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
 
 void ShardRouter::SetTracer(obs::Tracer* tracer) {
   tracer_ = tracer;
+  if (pool_ != nullptr) pool_->SetTracer(tracer);
   for (ObjectServer* shard : shards_) {
     shard->SetTracer(tracer);
   }
 }
 
+void ShardRouter::SetTaskPool(runtime::TaskPool* pool) {
+  pool_ = pool;
+  // The pool buffers every span a scatter share records, so it needs
+  // the same tracer the fabric reports to.
+  if (pool_ != nullptr && tracer_ != nullptr) pool_->SetTracer(tracer_);
+  for (ObjectServer* shard : shards_) {
+    shard->SetTaskPool(pool);
+  }
+}
+
 void ShardRouter::RefreshLiveness() const {
+  // A pool task never mutates the routing table: the submitting thread
+  // refreshed it before the epoch, and every share of one scatter must
+  // route against that single pinned table (also, live_ is a
+  // vector<bool> — concurrent writes would race).
+  if (runtime::TaskPool::InTask()) return;
   size_t live = 0;
   std::vector<size_t> healed;
   for (size_t i = 0; i < shards_.size(); ++i) {
@@ -177,9 +194,12 @@ StatusOr<T> ShardRouter::RouteRead(
     }
     // Retryable exhaustion: the shard (or its link) is sick. Take it
     // out of this routing decision and try the next replica; the
-    // breaker-driven refresh decides whether it stays out.
+    // breaker-driven refresh decides whether it stays out. Inside a
+    // pool task the demotion is skipped — the table is pinned for the
+    // epoch (the failover within this read still walks the chain) and
+    // the breaker state drives the next refresh anyway.
     if (span.has_value()) span->AddTag("outcome", "failover");
-    live_[shard] = false;
+    if (!runtime::TaskPool::InTask()) live_[shard] = false;
     last = got.status();
   }
   return last;
@@ -236,32 +256,72 @@ std::vector<query::ScoredHit> ShardRouter::QueryRanked(
   // rewind so the trace keeps the true per-shard interval: in the
   // finished trace the shares overlap, exactly as the modeled parallel
   // shards do.
-  std::vector<std::vector<query::ScoredHit>> per_shard;
-  Micros slowest = 0;
+  std::vector<size_t> targets;
   for (size_t shard = 0; shard < active_count_; ++shard) {
-    if (!live_[shard]) continue;
-    std::optional<obs::TraceSpan> shard_span =
-        obs::MaybeStartSpan(tracer_, "shard.query", obs::ContextOf(scatter));
-    if (shard_span.has_value()) {
-      shard_span->AddTag("shard", static_cast<int64_t>(shard));
-    }
-    const Micros start = clock_->Now();
-    std::vector<query::ScoredHit> hits =
-        shards_[shard]->QueryRankedWith(words, k, mode, corpus_stats_,
-                                        obs::ContextOf(shard_span));
-    const Micros cost = clock_->Now() - start;
-    if (shard_span.has_value()) {
-      shard_span->AddTag("hits", static_cast<int64_t>(hits.size()));
-      shard_span->End();
-    }
-    red_[shard].requests->Increment();
-    red_[shard].duration_us->Record(static_cast<double>(cost));
-    clock_->RewindTo(start);
-    slowest = std::max(slowest, cost);
-    merge_depth_->Record(static_cast<double>(hits.size()));
-    per_shard.push_back(std::move(hits));
+    if (live_[shard]) targets.push_back(shard);
   }
-  clock_->Advance(slowest);
+  std::vector<std::vector<query::ScoredHit>> per_shard(targets.size());
+  if (pool_ != nullptr) {
+    // Pooled scatter: one task per live shard, each share scoring in
+    // its own virtual-time frame on a real core. The epoch barrier
+    // advances the clock by the slowest frame — the same charge the
+    // rewind loop below computes — and commits every share's spans in
+    // shard order. Registry bookkeeping stays on this thread, post-
+    // barrier, in shard order, so metrics are schedule-independent.
+    std::vector<runtime::TaskPool::Task> tasks;
+    tasks.reserve(targets.size());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      tasks.push_back([&, t, shard] {
+        std::optional<obs::TraceSpan> shard_span = obs::MaybeStartSpan(
+            tracer_, "shard.query", obs::ContextOf(scatter));
+        if (shard_span.has_value()) {
+          shard_span->AddTag("shard", static_cast<int64_t>(shard));
+        }
+        std::vector<query::ScoredHit> hits =
+            shards_[shard]->QueryRankedWith(words, k, mode, corpus_stats_,
+                                            obs::ContextOf(shard_span));
+        if (shard_span.has_value()) {
+          shard_span->AddTag("hits", static_cast<int64_t>(hits.size()));
+          shard_span->End();
+        }
+        per_shard[t] = std::move(hits);
+      });
+    }
+    const std::vector<Micros> costs = pool_->RunEpoch(std::move(tasks));
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      red_[shard].requests->Increment();
+      red_[shard].duration_us->Record(static_cast<double>(costs[t]));
+      merge_depth_->Record(static_cast<double>(per_shard[t].size()));
+    }
+  } else {
+    Micros slowest = 0;
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      std::optional<obs::TraceSpan> shard_span = obs::MaybeStartSpan(
+          tracer_, "shard.query", obs::ContextOf(scatter));
+      if (shard_span.has_value()) {
+        shard_span->AddTag("shard", static_cast<int64_t>(shard));
+      }
+      const Micros start = clock_->Now();
+      std::vector<query::ScoredHit> hits =
+          shards_[shard]->QueryRankedWith(words, k, mode, corpus_stats_,
+                                          obs::ContextOf(shard_span));
+      const Micros cost = clock_->Now() - start;
+      if (shard_span.has_value()) {
+        shard_span->AddTag("hits", static_cast<int64_t>(hits.size()));
+        shard_span->End();
+      }
+      red_[shard].requests->Increment();
+      red_[shard].duration_us->Record(static_cast<double>(cost));
+      clock_->RewindTo(start);
+      slowest = std::max(slowest, cost);
+      merge_depth_->Record(static_cast<double>(hits.size()));
+      per_shard[t] = std::move(hits);
+    }
+    clock_->Advance(slowest);
+  }
 
   // Gather: k-way merge by score. Replicas of one object scored against
   // the same global statistics produce identical scores; dedup keeps
@@ -288,10 +348,31 @@ std::vector<ObjectId> ShardRouter::QueryAll(
     const std::vector<std::string>& words) const {
   RefreshLiveness();
   scatter_queries_->Increment();
-  std::vector<ObjectId> merged;
+  std::vector<size_t> targets;
   for (size_t i = 0; i < active_count_; ++i) {
-    if (!live_[i]) continue;
-    std::vector<ObjectId> hits = shards_[i]->QueryAll(words);
+    if (live_[i]) targets.push_back(i);
+  }
+  std::vector<std::vector<ObjectId>> per_shard(targets.size());
+  if (pool_ != nullptr && targets.size() > 1) {
+    // Pooled scatter: the boolean evaluation is pure index CPU (no
+    // clock charges), so the epoch advances the clock by zero and the
+    // fan-out buys only wall-clock parallelism.
+    std::vector<runtime::TaskPool::Task> tasks;
+    tasks.reserve(targets.size());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      tasks.push_back(
+          [&, t, shard] { per_shard[t] = shards_[shard]->QueryAll(words); });
+    }
+    pool_->RunEpoch(std::move(tasks));
+  } else {
+    for (size_t t = 0; t < targets.size(); ++t) {
+      per_shard[t] = shards_[targets[t]]->QueryAll(words);
+    }
+  }
+  // Gather: fold in shard order into one ascending, deduplicated list.
+  std::vector<ObjectId> merged;
+  for (std::vector<ObjectId>& hits : per_shard) {
     std::vector<ObjectId> out;
     out.reserve(merged.size() + hits.size());
     std::merge(merged.begin(), merged.end(), hits.begin(), hits.end(),
@@ -335,40 +416,98 @@ std::vector<MiniatureCard> ShardRouter::ScatterCards(
     if (!placed) unrouted.push_back(id);
   }
 
-  // Scatter: every shard builds its share inline while the clock
-  // rewinds, then the gather barrier advances by the slowest shard —
-  // the fan-out runs in parallel in the modeled system.
+  // Scatter: every shard builds its share in its own virtual-time frame
+  // (pooled: on a real core; serial: inline while the clock rewinds),
+  // then the gather barrier advances by the slowest shard — the fan-out
+  // runs in parallel in the modeled system.
   std::vector<MiniatureCard> cards;
   std::vector<ObjectId> retry_elsewhere = std::move(unrouted);
-  Micros slowest = 0;
+  std::vector<size_t> targets;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
-    if (share[shard].empty()) continue;
-    std::optional<obs::TraceSpan> shard_span =
-        obs::MaybeStartSpan(tracer_, "shard.cards", obs::ContextOf(scatter));
-    if (shard_span.has_value()) {
-      shard_span->AddTag("shard", static_cast<int64_t>(shard));
-      shard_span->AddTag("cards",
-                         static_cast<int64_t>(share[shard].size()));
-    }
-    const Micros start = clock_->Now();
-    for (ObjectId id : share[shard]) {
-      StatusOr<MiniatureCard> got = shards_[shard]->FetchMiniature(
-          id, thumb_width, obs::ContextOf(shard_span));
-      if (got.ok()) {
-        cards.push_back(*std::move(got));
-      } else {
-        red_[shard].errors->Increment();
-        retry_elsewhere.push_back(id);
-      }
-    }
-    const Micros cost = clock_->Now() - start;
-    if (shard_span.has_value()) shard_span->End();
-    red_[shard].requests->Increment();
-    red_[shard].duration_us->Record(static_cast<double>(cost));
-    clock_->RewindTo(start);
-    slowest = std::max(slowest, cost);
+    if (!share[shard].empty()) targets.push_back(shard);
   }
-  clock_->Advance(slowest);
+  Micros slowest = 0;
+  if (pool_ != nullptr) {
+    // Each share collects its cards, failed ids and error count into
+    // its own slot; the post-barrier pass folds them — and the RED
+    // bookkeeping — in shard order, so results and metrics match the
+    // serial pass exactly.
+    struct ShareResult {
+      std::vector<MiniatureCard> cards;
+      std::vector<ObjectId> retry;
+      int64_t errors = 0;
+    };
+    std::vector<ShareResult> results(targets.size());
+    std::vector<runtime::TaskPool::Task> tasks;
+    tasks.reserve(targets.size());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      tasks.push_back([&, t, shard] {
+        std::optional<obs::TraceSpan> shard_span = obs::MaybeStartSpan(
+            tracer_, "shard.cards", obs::ContextOf(scatter));
+        if (shard_span.has_value()) {
+          shard_span->AddTag("shard", static_cast<int64_t>(shard));
+          shard_span->AddTag("cards",
+                             static_cast<int64_t>(share[shard].size()));
+        }
+        ShareResult& result = results[t];
+        for (ObjectId id : share[shard]) {
+          StatusOr<MiniatureCard> got = shards_[shard]->FetchMiniature(
+              id, thumb_width, obs::ContextOf(shard_span));
+          if (got.ok()) {
+            result.cards.push_back(*std::move(got));
+          } else {
+            ++result.errors;
+            result.retry.push_back(id);
+          }
+        }
+        if (shard_span.has_value()) shard_span->End();
+      });
+    }
+    const std::vector<Micros> costs = pool_->RunEpoch(std::move(tasks));
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      ShareResult& result = results[t];
+      if (result.errors > 0) red_[shard].errors->Increment(result.errors);
+      red_[shard].requests->Increment();
+      red_[shard].duration_us->Record(static_cast<double>(costs[t]));
+      slowest = std::max(slowest, costs[t]);
+      for (MiniatureCard& card : result.cards) {
+        cards.push_back(std::move(card));
+      }
+      retry_elsewhere.insert(retry_elsewhere.end(), result.retry.begin(),
+                             result.retry.end());
+    }
+  } else {
+    for (size_t t = 0; t < targets.size(); ++t) {
+      const size_t shard = targets[t];
+      std::optional<obs::TraceSpan> shard_span = obs::MaybeStartSpan(
+          tracer_, "shard.cards", obs::ContextOf(scatter));
+      if (shard_span.has_value()) {
+        shard_span->AddTag("shard", static_cast<int64_t>(shard));
+        shard_span->AddTag("cards",
+                           static_cast<int64_t>(share[shard].size()));
+      }
+      const Micros start = clock_->Now();
+      for (ObjectId id : share[shard]) {
+        StatusOr<MiniatureCard> got = shards_[shard]->FetchMiniature(
+            id, thumb_width, obs::ContextOf(shard_span));
+        if (got.ok()) {
+          cards.push_back(*std::move(got));
+        } else {
+          red_[shard].errors->Increment();
+          retry_elsewhere.push_back(id);
+        }
+      }
+      const Micros cost = clock_->Now() - start;
+      if (shard_span.has_value()) shard_span->End();
+      red_[shard].requests->Increment();
+      red_[shard].duration_us->Record(static_cast<double>(cost));
+      clock_->RewindTo(start);
+      slowest = std::max(slowest, cost);
+    }
+    clock_->Advance(slowest);
+  }
   gather_us_->Record(static_cast<double>(slowest));
 
   // Failover pass, serial (the scatter already ended): ids whose shard
@@ -505,6 +644,14 @@ Link* ShardRouter::RouteLink(ObjectId id) const {
     if (live_[shard]) return shards_[shard]->link();
   }
   return nullptr;
+}
+
+uint64_t ShardRouter::PrefetchAffinity(ObjectId id) const {
+  RefreshLiveness();
+  for (size_t shard : ReplicaChain(id)) {
+    if (live_[shard]) return 1 + static_cast<uint64_t>(shard);
+  }
+  return 0;
 }
 
 std::vector<Link*> ShardRouter::links() const {

@@ -169,6 +169,25 @@ class ShardRouter : public ObjectStore {
   /// through each shard, its link), so one tracer sees the whole fabric.
   void SetTracer(obs::Tracer* tracer) override;
 
+  /// Attaches a task pool (borrowed; null restores serial scatters).
+  /// QueryRanked / QueryAll / ScatterCards then issue one task per live
+  /// shard instead of sequential measure-and-rewind passes: each share
+  /// runs in its own virtual-time frame and the gather barrier advances
+  /// the clock by the slowest share — the identical time model, now on
+  /// real cores. The pool is forwarded to every shard (partitioned
+  /// scoring) and, while a router task runs, the routing table is
+  /// pinned: liveness refreshes and failover demotions are deferred to
+  /// the submitting thread, so every share of one scatter routes
+  /// against one table.
+  void SetTaskPool(runtime::TaskPool* pool) override;
+
+  /// Prefetch staging affinity: 1 + the first live replica shard of
+  /// `id`, or 0 when no live replica serves it (the prefetcher then
+  /// serializes conservatively). Shares of distinct shards may stage
+  /// concurrently; entries behind one shard contend for one arm and
+  /// must not.
+  uint64_t PrefetchAffinity(storage::ObjectId id) const override;
+
   /// The first live replica's link; null when the whole chain is down.
   Link* RouteLink(storage::ObjectId id) const override;
 
@@ -315,6 +334,7 @@ class ShardRouter : public ObjectStore {
   mutable std::vector<bool> live_;
 
   obs::Tracer* tracer_ = nullptr;  // Borrowed; may be null.
+  runtime::TaskPool* pool_ = nullptr;  // Borrowed; null scatters serially.
 
   /// Per-shard RED metrics (rate / errors / duration), registry-owned.
   struct ShardRed {

@@ -108,7 +108,10 @@ Workstation::~Workstation() {
   // ends; anything the session installed into it comes back out here:
   // the tracer must not outlive its owner, and the sleeper must not
   // pump a destroyed queue.
-  if (tracer_ != nullptr) server_->SetTracer(nullptr);
+  if (tracer_ != nullptr) {
+    server_->SetTracer(nullptr);
+    if (pool_ != nullptr) pool_->SetTracer(nullptr);
+  }
   if (prefetch_ == nullptr) return;
   server_->SetBackoffSleeper(BackoffSleeper());
   presentation_.SetBrowseListener(nullptr);
@@ -119,12 +122,28 @@ void Workstation::SetTracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   server_->SetTracer(tracer);
   presentation_.SetTracer(tracer);
+  if (pool_ != nullptr) pool_->SetTracer(tracer);
+}
+
+void Workstation::SetTaskPool(runtime::TaskPool* pool) {
+  pool_ = pool;
+  if (pool != nullptr && tracer_ != nullptr) pool->SetTracer(tracer_);
+  server_->SetTaskPool(pool);
+  if (prefetch_ != nullptr) {
+    prefetch_->SetTaskPool(
+        pool, [this](uint64_t id) { return server_->PrefetchAffinity(id); });
+  }
 }
 
 void Workstation::EnablePrefetch(PrefetchOptions options) {
   prefetch_options_ = options;
   prefetch_ =
       std::make_unique<PrefetchQueue>(clock_, server_->links(), options);
+  if (pool_ != nullptr) {
+    prefetch_->SetTaskPool(
+        pool_,
+        [this](uint64_t id) { return server_->PrefetchAffinity(id); });
+  }
   server_->SetBackoffSleeper(prefetch_->MakeBackoffSleeper());
   presentation_.SetBrowseListener(
       [this](const core::PresentationManager::BrowseEvent& event) {
@@ -484,9 +503,9 @@ void Workstation::OnMiniatureCursor(
       const int neighbour = position + sign * step;
       if (neighbour < 0 || neighbour >= count) continue;
       const storage::ObjectId id = ids[static_cast<size_t>(neighbour)];
-      prefetch_->WantMiniature(neighbour, step, [this, id] {
-        return server_->FetchMiniature(id);
-      });
+      prefetch_->WantMiniature(
+          neighbour, step, [this, id] { return server_->FetchMiniature(id); },
+          /*affinity_object=*/id);
     }
   }
   // The object under the cursor is the one about to be opened.

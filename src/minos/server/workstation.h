@@ -185,6 +185,12 @@ class Workstation {
   /// destructor detaches from the borrowed server automatically.
   void SetTracer(obs::Tracer* tracer);
 
+  /// Attaches a task pool (borrowed; null detaches): installed into the
+  /// store (shard scatters, partitioned scoring) and the prefetch queue
+  /// (affinity-grouped background staging keyed by the store's
+  /// PrefetchAffinity). Survives EnablePrefetch in either order.
+  void SetTaskPool(runtime::TaskPool* pool);
+
  private:
   /// One contiguous byte range of a part, staged/transferred per page.
   struct PageRange {
@@ -248,6 +254,7 @@ class Workstation {
   ObjectStore* server_;
   SimClock* clock_;
   obs::Tracer* tracer_ = nullptr;  ///< Borrowed; may be null.
+  runtime::TaskPool* pool_ = nullptr;  ///< Borrowed; may be null.
   core::PresentationManager presentation_;
   std::unique_ptr<PrefetchQueue> prefetch_;
   PrefetchOptions prefetch_options_;

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "minos/obs/metrics.h"
 
@@ -15,16 +17,27 @@ namespace minos::storage {
 /// provides access methods, scheduling, cashing, version control", §5).
 /// Keys are (device-local) block numbers; values are block payloads.
 ///
+/// The cache is thread-safe: concurrent pool tasks (shard scatters,
+/// prefetch staging) may hit one cache at once. Internally it is split
+/// into `stripes` independently locked LRU shards keyed by block
+/// number. The default single stripe preserves the exact global LRU
+/// recency order of the original cache; more stripes trade that for
+/// less lock contention. Block-to-stripe placement is a pure function
+/// of the block number, so hit/miss/eviction totals are deterministic
+/// for a given stripe count regardless of thread interleaving.
+///
 /// Hit/miss/eviction counters live in a MetricsRegistry under a unique
 /// instance scope ("block_cache0.hits", ...); the accessors below are
 /// thin views over those registry counters.
 class BlockCache {
  public:
-  /// Creates a cache holding at most `capacity_blocks` blocks.
+  /// Creates a cache holding at most `capacity_blocks` blocks, divided
+  /// evenly over `stripes` (>= 1) independently locked LRU shards.
   /// Capacity 0 disables caching (every lookup misses).
   /// Statistics register in `registry` (the process default when null).
   explicit BlockCache(size_t capacity_blocks,
-                      obs::MetricsRegistry* registry = nullptr);
+                      obs::MetricsRegistry* registry = nullptr,
+                      size_t stripes = 1);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -43,8 +56,9 @@ class BlockCache {
   /// Drops everything.
   void Clear();
 
-  size_t size() const { return map_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_; }
+  size_t stripes() const { return shards_.size(); }
 
   /// Hit/miss/eviction counters for the caching experiments (views over
   /// the registry-backed counters).
@@ -65,9 +79,20 @@ class BlockCache {
     std::string payload;
   };
 
+  /// One independently locked LRU shard.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(uint64_t block) {
+    return shards_[block % shards_.size()];
+  }
+
   size_t capacity_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  std::vector<Shard> shards_;
   obs::Counter* hits_;       // Owned by the registry.
   obs::Counter* misses_;     // Owned by the registry.
   obs::Counter* evictions_;  // Owned by the registry.

@@ -9,9 +9,11 @@ Usage:
 Dispatches on the document's "schema" tag. For minos.metrics.v1
 (BENCH_*.json) it checks the contract that
 `minos::obs::ValidateSnapshotJson` enforces in C++: schema tag, bench
-string, numeric sim_time_us, the three metric sections, numeric values
-throughout, and the full count/sum/min/max/mean/p50/p90/p99 field set
-on every histogram. For minos.trace.v1 (TRACE_*.json, emitted by
+string, numeric sim_time_us, a numeric workers dimension >= 1 (every
+bench stamps the worker count of its task pool; a snapshot without it
+predates the multi-core runtime and fails), the three metric sections,
+numeric values throughout, and the full
+count/sum/min/max/mean/p50/p90/p99 field set on every histogram. For minos.trace.v1 (TRACE_*.json, emitted by
 `minos::obs::Tracer::ToJson`) it checks the span-list contract: string
 names, integer ids and times, end >= start, string-to-string tags, and
 every nonzero parent_span_id resolving inside its own trace.
@@ -187,6 +189,10 @@ def validate(doc, require_pipeline=False, require_faults=False,
         problems.append("missing string field 'bench'")
     if not _is_number(doc.get("sim_time_us")):
         problems.append("missing numeric field 'sim_time_us'")
+    if not _is_number(doc.get("workers")):
+        problems.append("missing numeric field 'workers'")
+    elif doc["workers"] < 1:
+        problems.append(f"field 'workers' is {doc['workers']}, expected >= 1")
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(doc.get(section), dict):
             problems.append(f"missing object section '{section}'")
@@ -330,7 +336,8 @@ def main(argv):
             gauges = len(doc["gauges"])
             histograms = len(doc["histograms"])
             print(
-                f"{path}: OK (bench={doc['bench']!r}, {counters} counters, "
+                f"{path}: OK (bench={doc['bench']!r}, "
+                f"workers={doc['workers']}, {counters} counters, "
                 f"{gauges} gauges, {histograms} histograms)"
             )
     return 1 if failed else 0

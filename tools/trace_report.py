@@ -34,15 +34,28 @@ start), every "scheduler.queue_wait" span must carry a "lane" tag, and
 when the snapshot carries a "measured_us" header the root durations
 must reconcile with it within --tolerance (default 1%).
 
+With --baseline DIR the attribution table is additionally diffed
+against the committed baseline DIR/TRACE_<bench>.baseline.json
+(schema minos.trace.baseline.v1): any attribution row whose exclusive
+time regresses more than --regression (default 25%) over its baseline
+value — with an absolute floor of --regression-floor-us (default 1000)
+so micro-rows cannot flake the gate — fails, as does the same
+regression of the root total. A missing baseline file fails too: every
+traced bench must commit one. --write-baseline DIR distills the current
+run into that file instead of gating (regenerate whenever a cost-model
+change moves attribution on purpose).
+
 Exit status: 0 when every file passes, 1 otherwise.
 """
 
 import argparse
 import json
+import os
 import re
 import sys
 
 SCHEMA = "minos.trace.v1"
+BASELINE_SCHEMA = "minos.trace.baseline.v1"
 
 # The scheduler emits one of these per request that sat queued behind
 # earlier accesses; the "lane" tag says whose fault the wait was.
@@ -200,7 +213,75 @@ def critical_path(root, children, credited):
     return path
 
 
-def report(doc, path, top, check, tolerance):
+def baseline_path(directory, bench):
+    """Path of the committed baseline for `bench` inside `directory`."""
+    safe = "".join(c if c.isalnum() else "_" for c in bench)
+    return os.path.join(directory, f"TRACE_{safe}.baseline.json")
+
+
+def distill(bench, exclusive, root_total_us):
+    """The committed-baseline document for one trace report."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "bench": bench,
+        "root_total_us": root_total_us,
+        "attribution": {k: exclusive[k] for k in sorted(exclusive)},
+    }
+
+
+def diff_baseline(path, bench, exclusive, total, regression, floor_us):
+    """Problems from comparing this run's attribution to its baseline.
+
+    A row fails when it grows by more than `regression` (fractional) AND
+    by more than `floor_us` absolute — virtual time is deterministic, so
+    anything past the floor is a real cost change, and the percentage
+    keeps intentional small cost-model tweaks from tripping the gate.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            base = json.load(f)
+    except OSError:
+        return [f"no committed baseline at {path} (run --write-baseline)"]
+    except json.JSONDecodeError as err:
+        return [f"unreadable baseline {path}: {err}"]
+    if not isinstance(base, dict) or base.get("schema") != BASELINE_SCHEMA:
+        return [f"baseline {path} schema tag is not '{BASELINE_SCHEMA}'"]
+    if base.get("bench") != bench:
+        return [
+            f"baseline {path} is for bench {base.get('bench')!r}, "
+            f"not {bench!r}"
+        ]
+    problems = []
+
+    def regressed(now, was):
+        return now > was * (1.0 + regression) and now - was > floor_us
+
+    base_total = base.get("root_total_us", 0)
+    if regressed(total, base_total):
+        problems.append(
+            f"root total regressed: {total} us vs baseline "
+            f"{base_total} us (>{regression * 100:.0f}%)"
+        )
+    attribution = base.get("attribution", {})
+    for name, us in sorted(exclusive.items()):
+        was = attribution.get(name)
+        if was is None:
+            if us > floor_us:
+                problems.append(
+                    f"attribution row '{name}' ({us} us) absent from "
+                    f"baseline (regenerate with --write-baseline)"
+                )
+            continue
+        if regressed(us, was):
+            problems.append(
+                f"attribution row '{name}' regressed: {us} us vs "
+                f"baseline {was} us (>{regression * 100:.0f}%)"
+            )
+    return problems
+
+
+def report(doc, path, top, check, tolerance, baseline_dir=None,
+           write_baseline_dir=None, regression=0.25, floor_us=1000):
     """Prints the report; returns problems (gate failures) when checking."""
     spans = doc["spans"]
     problems = check_spans(spans)
@@ -263,6 +344,7 @@ def report(doc, path, top, check, tolerance):
             suffix = f"  [{pairs}]"
         print(f"    {span['name']:<24} {us:>12} us  {share:5.1f}%{suffix}")
 
+    problems = []
     measured = doc.get("measured_us")
     if isinstance(measured, int) and measured >= 0:
         drift = abs(total - measured)
@@ -273,14 +355,30 @@ def report(doc, path, top, check, tolerance):
             f"(drift {drift} us, budget {budget} us) {verdict}"
         )
         if check and drift > budget:
-            return [
+            problems.append(
                 f"root durations ({total} us) do not reconcile with "
                 f"measured_us ({measured} us) within "
                 f"{tolerance * 100:.1f}%"
-            ]
+            )
     elif check:
         print("  reconciliation: no measured_us header, skipped")
-    return []
+
+    if write_baseline_dir is not None:
+        out = baseline_path(write_baseline_dir, bench)
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(distill(bench, exclusive, total), f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+        print(f"  baseline written: {out}")
+    elif baseline_dir is not None:
+        base_file = baseline_path(baseline_dir, bench)
+        base_problems = diff_baseline(
+            base_file, bench, exclusive, total, regression, floor_us
+        )
+        verdict = "FAIL" if base_problems else "ok"
+        print(f"  baseline diff vs {base_file}: {verdict}")
+        problems.extend(base_problems)
+    return problems
 
 
 def chrome_events(doc):
@@ -328,7 +426,35 @@ def main(argv):
         default=12,
         help="attribution rows to print before folding into (other)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="diff attribution against DIR/TRACE_<bench>.baseline.json "
+        "and fail on regression beyond --regression",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="DIR",
+        help="write (overwrite) DIR/TRACE_<bench>.baseline.json from "
+        "this run instead of gating against it",
+    )
+    parser.add_argument(
+        "--regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional growth of any attribution row or the "
+        "root total over its baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--regression-floor-us",
+        type=int,
+        default=1000,
+        help="absolute growth (us) a row must also exceed to fail the "
+        "baseline gate (default 1000)",
+    )
     args = parser.parse_args(argv)
+    if args.baseline and args.write_baseline:
+        parser.error("--baseline and --write-baseline are exclusive")
     if args.chrome and len(args.files) != 1:
         parser.error("--chrome takes exactly one input file")
 
@@ -337,7 +463,11 @@ def main(argv):
         doc, problems = load(path)
         if doc is not None:
             problems = report(doc, path, args.top, args.check,
-                              args.tolerance)
+                              args.tolerance,
+                              baseline_dir=args.baseline,
+                              write_baseline_dir=args.write_baseline,
+                              regression=args.regression,
+                              floor_us=args.regression_floor_us)
             if not problems and args.chrome:
                 with open(args.chrome, "w", encoding="utf-8") as f:
                     json.dump(chrome_events(doc), f)
