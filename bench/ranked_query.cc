@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "minos/obs/metrics.h"
+#include "minos/query/scored_index.h"
 #include "minos/runtime/task_pool.h"
 #include "minos/server/shard_router.h"
 #include "minos/text/markup.h"
+#include "minos/util/random.h"
 #include "scenario_lib.h"
 
 namespace minos {
@@ -375,6 +377,158 @@ int Run() {
       std::printf("gate: speedup advisory only (%u hardware threads "
                   "< 4)\n", std::thread::hardware_concurrency());
     }
+  }
+
+  // --- Gate 6: catalog scale — pruned top-k is sublinear ---------------
+  // 10k- and 100k-object catalogs built through the incremental Append
+  // path (the same seed stream, so the small catalog is a prefix of the
+  // large one). Two gates: the pruned scorer visits under half the
+  // postings exhaustive scoring charges at 100k, and its per-query
+  // scoring cost grows sublinearly in catalog size.
+  {
+    auto build_catalog = [](size_t docs, query::ScoredIndex* index) {
+      Random rng(1986);
+      constexpr size_t kVocab = 800;
+      for (ObjectId id = 1; id <= docs; ++id) {
+        query::AppendedContent content;
+        const size_t words = 6 + rng.Uniform(18);
+        for (size_t w = 0; w < words; ++w) {
+          // Squared-uniform skew: low word indexes are ubiquitous, the
+          // tail is rare — the shape that gives idf and the max-score
+          // bounds their spread.
+          const size_t pick =
+              (rng.Uniform(kVocab) * rng.Uniform(kVocab)) / kVocab;
+          content.text += "w" + std::to_string(pick) + " ";
+        }
+        index->Append(id, content, 0.0);
+      }
+    };
+    const query::QueryEngine pruned_engine(
+        {}, query::ScoringStrategy::kMaxScore);
+    const query::QueryEngine exhaustive_engine(
+        {}, query::ScoringStrategy::kExhaustive);
+    // A common head term plus two selective tail terms: the selective
+    // evidence saturates the heap and the head list stops generating.
+    const std::vector<std::string> scale_query{"w2", "w431", "w797"};
+    struct ScalePoint {
+      size_t docs;
+      Micros cost = 0;
+      size_t scanned = 0;
+      size_t exhaustive_scanned = 0;
+    };
+    ScalePoint points[2] = {{10000}, {100000}};
+    for (ScalePoint& point : points) {
+      query::ScoredIndex index;
+      build_catalog(point.docs, &index);
+      const query::RankedQuery exact = exhaustive_engine.TopK(
+          index, index, scale_query, kTopK, query::QueryMode::kDisjunctive);
+      const query::RankedQuery fast = pruned_engine.TopK(
+          index, index, scale_query, kTopK, query::QueryMode::kDisjunctive);
+      if (fast.hits.size() != exact.hits.size()) {
+        std::printf("FAIL: %zu-doc pruned top-%zu returned %zu hits, "
+                    "exhaustive %zu\n",
+                    point.docs, kTopK, fast.hits.size(),
+                    exact.hits.size());
+        return 1;
+      }
+      for (size_t i = 0; i < fast.hits.size(); ++i) {
+        if (fast.hits[i].id != exact.hits[i].id ||
+            fast.hits[i].score != exact.hits[i].score) {
+          std::printf("FAIL: %zu-doc rank %zu diverges: pruned "
+                      "(%llu, %.9f) vs exhaustive (%llu, %.9f)\n",
+                      point.docs, i,
+                      static_cast<unsigned long long>(fast.hits[i].id),
+                      fast.hits[i].score,
+                      static_cast<unsigned long long>(exact.hits[i].id),
+                      exact.hits[i].score);
+          return 1;
+        }
+      }
+      point.scanned = fast.postings_scanned;
+      point.exhaustive_scanned = exact.postings_scanned;
+      point.cost =
+          query::ScoringCost(fast.terms_scored, fast.postings_scanned);
+      std::printf("scale %6zu docs: scanned=%zu skipped=%zu "
+                  "exhaustive=%zu cost=%lldus\n",
+                  point.docs, fast.postings_scanned,
+                  fast.postings_skipped, exact.postings_scanned,
+                  static_cast<long long>(point.cost));
+    }
+    const double visit_fraction =
+        static_cast<double>(points[1].scanned) /
+        static_cast<double>(points[1].exhaustive_scanned);
+    const double catalog_growth = static_cast<double>(points[1].docs) /
+                                  static_cast<double>(points[0].docs);
+    const double cost_growth = (static_cast<double>(points[1].cost) /
+                                static_cast<double>(points[0].cost)) /
+                               catalog_growth;
+    reg.gauge("ranked_query.scale_scanned_small")
+        ->Set(static_cast<double>(points[0].scanned));
+    reg.gauge("ranked_query.scale_scanned_large")
+        ->Set(static_cast<double>(points[1].scanned));
+    reg.gauge("ranked_query.scale_exhaustive_scanned_large")
+        ->Set(static_cast<double>(points[1].exhaustive_scanned));
+    reg.gauge("ranked_query.scale_pruned_visit_fraction")
+        ->Set(visit_fraction);
+    reg.gauge("ranked_query.scale_cost_growth")->Set(cost_growth);
+    std::printf("catalog_scale: visit_fraction=%.3f cost_growth=%.3f "
+                "(1.0 = linear in catalog size)\n",
+                visit_fraction, cost_growth);
+    if (!(visit_fraction < 0.5)) {
+      std::printf("FAIL: pruned scan visits %.0f%% of exhaustive at "
+                  "100k docs (need < 50%%)\n", visit_fraction * 100.0);
+      return 1;
+    }
+    if (!(cost_growth < 1.0)) {
+      std::printf("FAIL: per-query scoring cost grew %.2fx relative to "
+                  "catalog size (need sublinear)\n", cost_growth);
+      return 1;
+    }
+    std::printf("gate: 100k-object top-%zu visits %.0f%% of exhaustive "
+                "postings and scales sublinearly\n",
+                kTopK, visit_fraction * 100.0);
+  }
+
+  // --- Gate 7: Append reaches ranked results via the delta path --------
+  // An append on the live 4-shard topology must surface in ranked
+  // results through the router's stats *delta* sync: the full-re-add
+  // counter (the Store-time rebuild path) stays flat.
+  {
+    const int64_t full_before =
+        reg.counter("router.stats_full_adds_total")->value();
+    const int64_t delta_before =
+        reg.counter("router.stats_delta_applies_total")->value();
+    server::ObjectServer::AppendParts parts;
+    parts.text = "avulsion avulsion avulsion consult";
+    if (!router.Append(4, parts).ok()) {
+      std::printf("FAIL: router Append refused\n");
+      return 1;
+    }
+    const std::vector<query::ScoredHit> appended = router.QueryRanked(
+        {"avulsion"}, kTopK, query::QueryMode::kDisjunctive);
+    const int64_t full_adds =
+        reg.counter("router.stats_full_adds_total")->value() - full_before;
+    const int64_t delta_applies =
+        reg.counter("router.stats_delta_applies_total")->value() -
+        delta_before;
+    reg.gauge("ranked_query.append_stats_full_adds")
+        ->Set(static_cast<double>(full_adds));
+    reg.gauge("ranked_query.append_stats_delta_applies")
+        ->Set(static_cast<double>(delta_applies));
+    if (appended.size() != 1 || appended[0].id != 4) {
+      std::printf("FAIL: appended term did not surface in ranked "
+                  "results (%zu hits)\n", appended.size());
+      return 1;
+    }
+    if (full_adds != 0 || delta_applies != 1) {
+      std::printf("FAIL: append took the rebuild path (full_adds=%lld, "
+                  "delta_applies=%lld; want 0 and 1)\n",
+                  static_cast<long long>(full_adds),
+                  static_cast<long long>(delta_applies));
+      return 1;
+    }
+    std::printf("gate: Append surfaces in ranked results via one stats "
+                "delta, zero rebuilds\n");
   }
 
   bench::NoteSimTime(total_sim_time);

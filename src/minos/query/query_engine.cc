@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "minos/obs/metrics.h"
@@ -15,6 +16,7 @@ namespace {
 struct EngineMetrics {
   obs::Counter* scored_terms;
   obs::Counter* postings_scanned;
+  obs::Counter* postings_skipped;
   obs::Counter* heap_evictions;
 };
 
@@ -24,6 +26,7 @@ EngineMetrics& Metrics() {
     return new EngineMetrics{
         reg.counter("query.scored_terms"),
         reg.counter("query.postings_scanned"),
+        reg.counter("query.postings_skipped"),
         reg.counter("query.heap_evictions"),
     };
   }();
@@ -56,10 +59,15 @@ struct Candidate {
 };
 
 /// One query term that survived the probe pass, with its precomputed
-/// idf and posting list.
+/// idf, posting list and max-score ceiling.
 struct ScoredTerm {
   const ScoredIndex::PostingMap* list;
   double idf;
+  /// Upper bound on this term's BM25 contribution to ANY document:
+  /// idf * f(max_tf) with f evaluated at the length norm of the term's
+  /// shortest holder (MinDocLen). f is increasing in tf and decreasing
+  /// in the norm, so no posting of the term can score above this.
+  double upper_bound = 0;
 };
 
 /// Accumulates every scored term's postings with ids in [lo, hi) into
@@ -93,6 +101,137 @@ void AccumulateRange(const std::vector<ScoredTerm>& scored,
 /// not the worker count: the decomposition (and thus every rounding-
 /// irrelevant detail of the work) must not depend on pool size.
 constexpr size_t kScorePartitions = 4;
+
+/// One partition's share of a max-score pruned disjunctive top-k.
+struct MaxScoreShare {
+  std::vector<ScoredHit> heap;  ///< HeapOrder heap, at most k entries.
+  size_t visited = 0;           ///< Postings actually examined.
+  size_t evictions = 0;
+};
+
+/// Max-score (WAND-family) disjunctive top-k over ids in [lo, hi):
+/// terms are split into an *essential* set (candidate generators) and a
+/// *non-essential* set whose summed upper bounds sit strictly below the
+/// current k-th score — a document appearing only in non-essential
+/// lists cannot enter the heap, so those postings are never visited.
+/// The split tightens as the heap threshold rises.
+///
+/// Exactness: every candidate that survives its bound check is scored
+/// over ALL terms in the original probe order — the identical
+/// floating-point addition order the exhaustive pass uses — so ids and
+/// scores are bit-identical to exhaustive evaluation. Skipping at
+/// bound <= threshold is tie-safe here because candidates arrive in
+/// ascending id order: every heap entry carries a lower id than the
+/// frontier, Outranks breaks score ties toward the lower id, and the
+/// threshold never decreases — so a later candidate that at best TIES
+/// the k-th score loses that tie and can never enter the final top-k.
+MaxScoreShare MaxScoreRange(const std::vector<ScoredTerm>& scored,
+                            const ScoredIndex& postings,
+                            const Bm25Params& params, double avg_len,
+                            storage::ObjectId lo, storage::ObjectId hi,
+                            bool bounded_hi, size_t k) {
+  MaxScoreShare share;
+  const size_t m = scored.size();
+  // Term indices ordered by ascending upper bound (ties by probe order
+  // — a pure function of the query, never of thread count). The first
+  // `non_essential` entries are the skippable generators.
+  std::vector<size_t> by_ub(m);
+  for (size_t i = 0; i < m; ++i) by_ub[i] = i;
+  std::stable_sort(by_ub.begin(), by_ub.end(), [&](size_t a, size_t b) {
+    return scored[a].upper_bound < scored[b].upper_bound;
+  });
+  // prefix_ub[j]: summed ceiling of the j smallest-bound terms.
+  std::vector<double> prefix_ub(m + 1, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    prefix_ub[j + 1] = prefix_ub[j] + scored[by_ub[j]].upper_bound;
+  }
+  struct Cursor {
+    ScoredIndex::PostingMap::const_iterator it;
+    ScoredIndex::PostingMap::const_iterator end;
+  };
+  std::vector<Cursor> cursors(m);
+  for (size_t t = 0; t < m; ++t) {
+    cursors[t].it = scored[t].list->lower_bound(lo);
+    cursors[t].end =
+        bounded_hi ? scored[t].list->lower_bound(hi) : scored[t].list->end();
+  }
+  size_t non_essential = 0;
+  auto raise_boundary = [&] {
+    if (share.heap.size() < k) return;
+    const double threshold = share.heap.front().score;
+    while (non_essential < m &&
+           prefix_ub[non_essential + 1] <= threshold) {
+      ++non_essential;
+    }
+  };
+  while (true) {
+    // The next candidate: smallest id under any essential cursor.
+    storage::ObjectId next =
+        std::numeric_limits<storage::ObjectId>::max();
+    bool any = false;
+    for (size_t j = non_essential; j < m; ++j) {
+      const Cursor& c = cursors[by_ub[j]];
+      if (c.it != c.end) {
+        any = true;
+        next = std::min(next, c.it->first);
+      }
+    }
+    if (!any) break;
+    // Second-level bound: the essential postings at `next` (already
+    // in hand) plus every non-essential ceiling. At or below the
+    // threshold means even a perfect non-essential match cannot beat
+    // (or, arriving later in id order, tie into) the current top-k.
+    double bound = prefix_ub[non_essential];
+    size_t essential_here = 0;
+    for (size_t j = non_essential; j < m; ++j) {
+      const Cursor& c = cursors[by_ub[j]];
+      if (c.it != c.end && c.it->first == next) {
+        bound += scored[by_ub[j]].upper_bound;
+        ++essential_here;
+      }
+    }
+    const bool prune_doc =
+        share.heap.size() >= k && bound <= share.heap.front().score;
+    if (prune_doc) {
+      // The generator postings were examined to compute the bound; the
+      // non-essential probes are what pruning saves.
+      share.visited += essential_here;
+    } else {
+      // Full score, all terms, original probe order: bit-identical
+      // accumulation to the exhaustive pass.
+      double score = 0;
+      for (size_t t = 0; t < m; ++t) {
+        const auto found = scored[t].list->find(next);
+        if (found == scored[t].list->end()) continue;
+        ++share.visited;
+        const double tf = found->second.tf();
+        const double len = postings.DocLength(next);
+        const double norm =
+            params.k1 *
+            (1.0 - params.b +
+             (avg_len > 0 ? params.b * len / avg_len : 0.0));
+        score += scored[t].idf * (tf * (params.k1 + 1.0)) / (tf + norm);
+      }
+      const ScoredHit hit{next, score};
+      if (share.heap.size() < k) {
+        share.heap.push_back(hit);
+        std::push_heap(share.heap.begin(), share.heap.end(), HeapOrder);
+        raise_boundary();
+      } else if (Outranks(hit, share.heap.front())) {
+        std::pop_heap(share.heap.begin(), share.heap.end(), HeapOrder);
+        share.heap.back() = hit;
+        std::push_heap(share.heap.begin(), share.heap.end(), HeapOrder);
+        ++share.evictions;
+        raise_boundary();
+      }
+    }
+    for (size_t j = non_essential; j < m; ++j) {
+      Cursor& c = cursors[by_ub[j]];
+      if (c.it != c.end && c.it->first == next) ++c.it;
+    }
+  }
+  return share;
+}
 
 }  // namespace
 
@@ -139,7 +278,78 @@ RankedQuery QueryEngine::TopK(const ScoredIndex& postings,
     ++result.terms_scored;
     result.postings_scanned += list.size();
     const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
-    scored.push_back(ScoredTerm{&list, idf});
+    // Score ceiling for max-score pruning: the BM25 term contribution
+    // is increasing in tf and decreasing in the length norm, so the
+    // largest posting tf at the shortest holder's norm bounds every
+    // posting of the term (a doc can't be shorter than the index's
+    // per-term length floor).
+    const double max_tf = postings.MaxTf(term);
+    const double min_len = postings.MinDocLen(term);
+    const double bound_norm =
+        params_.k1 * (1.0 - params_.b +
+                      (avg_len > 0 ? params_.b * min_len / avg_len : 0.0));
+    const double upper_bound =
+        idf * (max_tf * (params_.k1 + 1.0)) / (max_tf + bound_norm);
+    scored.push_back(ScoredTerm{&list, idf, upper_bound});
+  }
+
+  // Max-score pruned path (disjunctive only — conjunctive filtering
+  // needs every candidate's terms_matched tally). Always decomposed
+  // into the same fixed partitions as pooled exhaustive scoring, run
+  // inline without a pool, so hits, scores, and all work counters are
+  // identical on any worker count.
+  if (strategy_ == ScoringStrategy::kMaxScore &&
+      mode == QueryMode::kDisjunctive && !aborted && !scored.empty()) {
+    const size_t probed_total = result.postings_scanned;
+    const std::vector<storage::ObjectId> points =
+        postings.PartitionPoints(kScorePartitions);
+    std::vector<MaxScoreShare> shares(kScorePartitions);
+    auto run_partition = [&](size_t p) {
+      const storage::ObjectId lo = p == 0 ? 0 : points[p - 1];
+      const bool bounded = p + 1 < kScorePartitions;
+      const storage::ObjectId hi = bounded ? points[p] : 0;
+      shares[p] = MaxScoreRange(scored, postings, params_, avg_len, lo,
+                                hi, bounded, k);
+    };
+    if (pool == nullptr) {
+      for (size_t p = 0; p < kScorePartitions; ++p) run_partition(p);
+    } else {
+      std::vector<runtime::TaskPool::Task> tasks;
+      tasks.reserve(kScorePartitions);
+      for (size_t p = 0; p < kScorePartitions; ++p) {
+        tasks.push_back([&run_partition, p] { run_partition(p); });
+      }
+      pool->RunEpoch(std::move(tasks));
+    }
+    // Each partition's local top-k contains that partition's members of
+    // the global top-k, so sorting the union and truncating is exact.
+    size_t visited = 0;
+    std::vector<ScoredHit> merged;
+    for (MaxScoreShare& share : shares) {
+      visited += share.visited;
+      result.heap_evictions += share.evictions;
+      merged.insert(merged.end(), share.heap.begin(), share.heap.end());
+    }
+    std::sort(merged.begin(), merged.end(), Outranks);
+    if (merged.size() > k) merged.resize(k);
+    result.hits = std::move(merged);
+    // The probe pass charged every posting of every probed term; split
+    // that figure into the postings actually examined and the ones the
+    // bounds proved irrelevant. Callers charge ScoringCost on
+    // postings_scanned, so pruning is what makes top-k sublinear.
+    result.postings_scanned = visited;
+    result.postings_skipped = probed_total - visited;
+
+    EngineMetrics& metrics = Metrics();
+    metrics.scored_terms->Increment(
+        static_cast<int64_t>(result.terms_scored));
+    metrics.postings_scanned->Increment(
+        static_cast<int64_t>(result.postings_scanned));
+    metrics.postings_skipped->Increment(
+        static_cast<int64_t>(result.postings_skipped));
+    metrics.heap_evictions->Increment(
+        static_cast<int64_t>(result.heap_evictions));
+    return result;
   }
 
   // Accumulation: serial over the whole id space, or fanned out over

@@ -35,12 +35,27 @@ struct Bm25Params {
   double b = 0.75;  ///< Document-length normalization strength.
 };
 
+/// How TopK walks the postings. kExhaustive scores every posting of
+/// every probed term — the reference scorer. kMaxScore adds
+/// WAND-style upper-bound pruning for disjunctive queries: terms whose
+/// summed score ceilings cannot displace the current k-th hit stop
+/// generating candidates, so their postings are skipped outright.
+/// The pruned scorer is exact — bit-identical ids AND scores to
+/// kExhaustive — because surviving candidates accumulate their term
+/// contributions in the same order the exhaustive pass uses.
+enum class ScoringStrategy : uint8_t { kExhaustive = 0, kMaxScore = 1 };
+
 /// One evaluated ranked query, plus the work figures the caller charges
 /// to the simulation clock and the `query.*` metrics family.
 struct RankedQuery {
   std::vector<ScoredHit> hits;  ///< Outranks order, at most k entries.
   size_t terms_scored = 0;
+  /// Postings actually examined. Exhaustive scoring examines every
+  /// posting of every probed term; max-score pruning examines fewer.
   size_t postings_scanned = 0;
+  /// Postings whose upper bound proved they could not enter the top-k —
+  /// never examined, never charged. Zero for exhaustive scoring.
+  size_t postings_skipped = 0;
   size_t heap_evictions = 0;
 };
 
@@ -60,7 +75,9 @@ Micros ScoringCost(size_t terms_scored, size_t postings_scanned);
 /// 1-shard and N-shard topologies return identical results.
 class QueryEngine {
  public:
-  explicit QueryEngine(Bm25Params params = {}) : params_(params) {}
+  explicit QueryEngine(Bm25Params params = {},
+                       ScoringStrategy strategy = ScoringStrategy::kMaxScore)
+      : params_(params), strategy_(strategy) {}
 
   /// Top `k` objects matching `words` under `mode`, best first. Query
   /// words are folded with the same routine the index builds with.
@@ -83,8 +100,11 @@ class QueryEngine {
                    QueryMode mode,
                    runtime::TaskPool* pool = nullptr) const;
 
+  ScoringStrategy strategy() const { return strategy_; }
+
  private:
   Bm25Params params_;
+  ScoringStrategy strategy_;
 };
 
 }  // namespace minos::query

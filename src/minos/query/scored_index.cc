@@ -15,20 +15,37 @@ double VoiceConfidence(const voice::RecognizerParams& profile) {
 }
 
 void ScoredIndex::AddTerm(storage::ObjectId id, const std::string& term,
-                          double text_weight, double voice_weight) {
+                          double text_weight, double voice_weight,
+                          std::vector<std::string>* new_terms) {
   if (term.empty()) return;
   if (!stats_only_) {
     TermPosting& posting = postings_[term][id];
     posting.text_tf += text_weight;
     posting.voice_tf += voice_weight;
+    double& max_tf = max_tf_[term];
+    max_tf = std::max(max_tf, posting.tf());
   }
   std::vector<std::string>& terms = doc_terms_[id];
   if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
     terms.push_back(term);
     ++doc_freq_[term];
+    if (new_terms != nullptr) new_terms->push_back(term);
   }
   lengths_[id] += text_weight + voice_weight;
   stats_.total_length += text_weight + voice_weight;
+}
+
+void ScoredIndex::FloorHolderLengths(storage::ObjectId id,
+                                     const std::vector<std::string>& terms) {
+  if (stats_only_) return;
+  // Snapshot the document's length as of the end of this indexing
+  // operation. The document can only grow from here (Append never
+  // shrinks), so the floor stays valid without ever being revisited.
+  const double len = lengths_[id];
+  for (const std::string& term : terms) {
+    auto [it, inserted] = min_len_.try_emplace(term, len);
+    if (!inserted) it->second = std::min(it->second, len);
+  }
 }
 
 void ScoredIndex::Add(const object::MultimediaObject& obj,
@@ -54,6 +71,50 @@ void ScoredIndex::Add(const object::MultimediaObject& obj,
       AddTerm(id, FoldWord(w.word), 0.0, voice_confidence);
     }
   }
+  FloorHolderLengths(id, doc_terms_[id]);
+}
+
+IndexDelta ScoredIndex::Append(storage::ObjectId id,
+                               const AppendedContent& content,
+                               double voice_confidence) {
+  IndexDelta delta;
+  delta.id = id;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  if (lengths_.find(id) == lengths_.end()) {
+    ++stats_.doc_count;
+    lengths_[id] = 0;
+    doc_terms_[id];
+    delta.new_doc = true;
+  }
+  const double length_before = lengths_[id];
+  for (const std::string& w : SplitWords(content.text)) {
+    AddTerm(id, FoldWord(w), 1.0, 0.0, &delta.new_terms);
+  }
+  for (const voice::WordAlignment& w : content.voice_words) {
+    AddTerm(id, FoldWord(w.word), 0.0, voice_confidence, &delta.new_terms);
+  }
+  delta.length_delta = lengths_[id] - length_before;
+  // Only terms this append made the document a NEW holder of can lower
+  // a holder-length floor; for terms it already held, the floors stay
+  // conservative as the document grows.
+  FloorHolderLengths(id, delta.new_terms);
+  return delta;
+}
+
+void ScoredIndex::ApplyDelta(const IndexDelta& delta) {
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  if (lengths_.find(delta.id) == lengths_.end()) {
+    ++stats_.doc_count;
+    lengths_[delta.id] = 0;
+    doc_terms_[delta.id];
+  }
+  std::vector<std::string>& terms = doc_terms_[delta.id];
+  for (const std::string& term : delta.new_terms) {
+    ++doc_freq_[term];
+    terms.push_back(term);
+  }
+  lengths_[delta.id] += delta.length_delta;
+  stats_.total_length += delta.length_delta;
 }
 
 void ScoredIndex::Remove(storage::ObjectId id) {
@@ -66,7 +127,25 @@ void ScoredIndex::Remove(storage::ObjectId id) {
     auto posting = postings_.find(term);
     if (posting != postings_.end()) {
       posting->second.erase(id);
-      if (posting->second.empty()) postings_.erase(posting);
+      if (posting->second.empty()) {
+        postings_.erase(posting);
+        max_tf_.erase(term);
+        min_len_.erase(term);
+      } else {
+        // The departing posting may have carried either bound:
+        // recompute over the survivors (rare path — only re-stores
+        // come here).
+        double max_tf = 0;
+        double min_len = std::numeric_limits<double>::max();
+        for (const auto& [rest_id, rest] : posting->second) {
+          max_tf = std::max(max_tf, rest.tf());
+          auto len = lengths_.find(rest_id);
+          min_len = std::min(
+              min_len, len != lengths_.end() ? len->second : 0.0);
+        }
+        max_tf_[term] = max_tf;
+        min_len_[term] = min_len;
+      }
     }
   }
   auto length = lengths_.find(id);
@@ -88,6 +167,16 @@ const ScoredIndex::PostingMap& ScoredIndex::Postings(
 uint64_t ScoredIndex::DocFreq(std::string_view term) const {
   auto it = doc_freq_.find(term);
   return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double ScoredIndex::MaxTf(std::string_view term) const {
+  auto it = max_tf_.find(term);
+  return it == max_tf_.end() ? 0.0 : it->second;
+}
+
+double ScoredIndex::MinDocLen(std::string_view term) const {
+  auto it = min_len_.find(term);
+  return it == min_len_.end() ? 0.0 : it->second;
 }
 
 double ScoredIndex::DocLength(storage::ObjectId id) const {

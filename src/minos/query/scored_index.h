@@ -44,6 +44,35 @@ struct CorpusStats {
 /// profile (85% hits, 1% false alarms) weighs them ~0.84.
 double VoiceConfidence(const voice::RecognizerParams& profile);
 
+/// Content an Append folds into an already-indexed object: raw text
+/// (indexed at weight 1.0, like the text part) and recognized-voice
+/// words (indexed at the recognizer confidence) — the same two
+/// symmetric sources Add indexes at Store time.
+struct AppendedContent {
+  std::string text;
+  std::vector<voice::WordAlignment> voice_words;
+};
+
+/// The stats-only footprint of one incremental Append: exactly the
+/// document-frequency and length changes a catalog-wide statistics
+/// index needs to stay exact, with no posting payload. The ShardRouter
+/// applies one of these per logical Append instead of re-adding the
+/// whole object — delta sync, not rebuild.
+struct IndexDelta {
+  storage::ObjectId id = 0;
+  /// Terms this object did not contain before the append (df += 1).
+  std::vector<std::string> new_terms;
+  /// Weighted content length added (text words + confidence-weighted
+  /// voice words).
+  double length_delta = 0;
+  /// True when the append created the document (id was unindexed).
+  bool new_doc = false;
+
+  bool empty() const {
+    return new_terms.empty() && length_delta == 0 && !new_doc;
+  }
+};
+
 /// The scored content index built at insertion time (§2: recognition and
 /// indexing happen when an object is stored, never at browsing time).
 /// It unifies the same two sources text::WordIndex already unifies —
@@ -70,11 +99,40 @@ class ScoredIndex {
   /// Removes every contribution of `id` (no-op when absent).
   void Remove(storage::ObjectId id);
 
+  /// Folds appended content into `id` *incrementally*: existing postings
+  /// keep their weight and only the delta's words are walked — never the
+  /// whole object. Creates the document when absent. Returns the
+  /// stats-only delta a catalog-wide index applies via ApplyDelta so
+  /// global statistics stay exact without a rebuild.
+  IndexDelta Append(storage::ObjectId id, const AppendedContent& content,
+                    double voice_confidence);
+
+  /// Applies an Append's document-frequency and length changes to a
+  /// stats-only index (postings are not represented there, so the delta
+  /// is the complete update). Calling this on a postings-bearing index
+  /// would desynchronize df from the posting lists; use Append instead.
+  void ApplyDelta(const IndexDelta& delta);
+
   /// Postings of a folded term; empty map when absent or stats-only.
   const PostingMap& Postings(std::string_view term) const;
 
   /// Number of objects whose content contains the folded term.
   uint64_t DocFreq(std::string_view term) const;
+
+  /// Upper bound on any single posting's tf() for the folded term (0
+  /// when absent or stats-only). Maintained incrementally by
+  /// Add/Append, recomputed on Remove — what the max-score pruned
+  /// scorer turns into a per-term score ceiling.
+  double MaxTf(std::string_view term) const;
+
+  /// Lower bound on the weighted length of any document holding the
+  /// folded term (0 — the most conservative floor — when absent or
+  /// stats-only). Lengths only grow, so the bound snapshots lengths at
+  /// posting time and recomputes on Remove. Together with MaxTf this
+  /// caps the term's BM25 contribution: tf·(k1+1)/(tf+norm) is
+  /// increasing in tf and decreasing in norm, so evaluating it at
+  /// (MaxTf, MinDocLen) bounds every real posting.
+  double MinDocLen(std::string_view term) const;
 
   /// Weighted content length of `id` (0 when unknown).
   double DocLength(storage::ObjectId id) const;
@@ -100,14 +158,28 @@ class ScoredIndex {
   std::vector<storage::ObjectId> PartitionPoints(size_t parts) const;
 
  private:
+  /// Folds one term occurrence into `id`. When `new_terms` is non-null,
+  /// terms the object did not contain before are appended to it (the
+  /// delta an incremental Append reports).
   void AddTerm(storage::ObjectId id, const std::string& term,
-               double text_weight, double voice_weight);
+               double text_weight, double voice_weight,
+               std::vector<std::string>* new_terms = nullptr);
+
+  /// Lowers the holder-length floor of each of `terms` to `id`'s
+  /// current (end-of-operation) length where that is smaller.
+  void FloorHolderLengths(storage::ObjectId id,
+                          const std::vector<std::string>& terms);
 
   bool stats_only_;
   std::atomic<uint64_t> version_{0};
   CorpusStats stats_;
   std::map<std::string, PostingMap, std::less<>> postings_;
   std::map<std::string, uint64_t, std::less<>> doc_freq_;
+  /// Per-term max posting tf() and min holder length — the max-score
+  /// pruning bounds. Empty for stats-only indexes (no postings,
+  /// nothing to bound).
+  std::map<std::string, double, std::less<>> max_tf_;
+  std::map<std::string, double, std::less<>> min_len_;
   std::map<storage::ObjectId, double> lengths_;
   /// Distinct terms per object — what Remove must unwind.
   std::map<storage::ObjectId, std::vector<std::string>> doc_terms_;

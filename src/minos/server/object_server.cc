@@ -89,6 +89,125 @@ Status ObjectServer::CatalogObject(const MultimediaObject& obj,
   return Status::OK();
 }
 
+StatusOr<ObjectServer::AppendResult> ObjectServer::Append(
+    ObjectId id, const AppendParts& parts) {
+  const bool voice_appended =
+      !parts.voice.words.empty() || !parts.voice.pcm.empty();
+  if (parts.text.empty() && !voice_appended) {
+    return Status::InvalidArgument("append carries no content");
+  }
+  MINOS_ASSIGN_OR_RETURN(const CatalogEntry* entry, Lookup(id));
+  // Materialize the current version server-side (no link charge).
+  MINOS_ASSIGN_OR_RETURN(
+      MultimediaObject current,
+      FetchAt(id, entry->address, /*over_link=*/false));
+
+  // Archived objects are immutable (§2): the append builds the
+  // successor version as a fresh editing-state object — every prior
+  // part plus the new content — and archives it whole.
+  MultimediaObject next(id);
+  for (const auto& [name, value] : current.attributes()) {
+    MINOS_RETURN_IF_ERROR(next.SetAttribute(name, value));
+  }
+  const size_t text_base =
+      current.has_text() ? current.text_part().size() : 0;
+  if (current.has_text() || !parts.text.empty()) {
+    text::Document doc;
+    if (current.has_text()) {
+      const text::Document& old = current.text_part();
+      doc.AppendText(old.contents());
+      for (int u = 0; u < 8; ++u) {
+        const auto unit = static_cast<text::LogicalUnit>(u);
+        for (const text::LogicalComponent& c : old.Components(unit)) {
+          doc.AddComponentSpan(c);
+        }
+      }
+      for (const text::EmphasisSpan& e : old.emphasis()) {
+        doc.AddEmphasis(e);
+      }
+    }
+    if (!parts.text.empty()) {
+      const size_t at = doc.AppendText(parts.text);
+      // The appended run reads as one new paragraph so logical browsing
+      // and page formatting can reach it.
+      doc.AddComponentSpan(text::LogicalComponent{
+          text::LogicalUnit::kParagraph, {at, doc.size()}, ""});
+    }
+    MINOS_RETURN_IF_ERROR(next.SetTextPart(std::move(doc)));
+  }
+  if (current.has_voice() || voice_appended) {
+    voice::VoiceTrack track;
+    size_t sample_base = 0;
+    if (current.has_voice()) {
+      track = current.voice_part().track();
+      sample_base = track.pcm.size();
+    } else {
+      track.pcm = voice::PcmBuffer(parts.voice.pcm.sample_rate());
+    }
+    track.pcm.Append(parts.voice.pcm.samples());
+    for (voice::WordAlignment w : parts.voice.words) {
+      w.text_offset += text_base;
+      w.samples.begin += sample_base;
+      w.samples.end += sample_base;
+      track.words.push_back(std::move(w));
+    }
+    for (voice::SilenceTruth s : parts.voice.silences) {
+      s.samples.begin += sample_base;
+      s.samples.end += sample_base;
+      track.silences.push_back(s);
+    }
+    voice::VoiceDocument vdoc(std::move(track));
+    if (current.has_voice()) {
+      const voice::VoiceDocument& old = current.voice_part();
+      for (int u = 0; u < 8; ++u) {
+        const auto unit = static_cast<text::LogicalUnit>(u);
+        for (const voice::VoiceComponent& c : old.Components(unit)) {
+          vdoc.TagComponent(c.unit, c.span, c.title);
+        }
+      }
+    }
+    MINOS_RETURN_IF_ERROR(next.SetVoicePart(std::move(vdoc)));
+  }
+  for (const image::Image& img : current.images()) {
+    MINOS_RETURN_IF_ERROR(next.AddImage(img).status());
+  }
+  // SerializeArchived regenerates part pointers from the parts, so the
+  // prior descriptor carries over verbatim; its anchors stay in bounds
+  // because both media only grew.
+  next.descriptor() = current.descriptor();
+  MINOS_RETURN_IF_ERROR(next.Archive());
+  MINOS_ASSIGN_OR_RETURN(std::string bytes, next.SerializeArchived());
+
+  // Device write FIRST. Nothing — catalog, version lineage, word
+  // index, scored index, catalog_version_ — has been touched yet, so a
+  // write fault rolls the whole Append back by construction: no
+  // phantom df entries, no stale-address catalog entry.
+  MINOS_ASSIGN_OR_RETURN(ArchiveAddress addr, archiver_->Append(bytes));
+  MINOS_RETURN_IF_ERROR(archiver_->Flush());
+
+  const uint32_t version = versions_->Record(id, addr, clock_->Now());
+  MINOS_RETURN_IF_ERROR(CatalogObject(next, bytes, addr, version,
+                                      Crc32(bytes), /*reindex=*/false));
+  // Incremental content indexing: only the appended words are walked —
+  // the existing postings keep their weights untouched. The scored
+  // index hands back the df/length delta the router's catalog-wide
+  // statistics apply in place of a full re-add.
+  IndexWords(id, parts.text);
+  for (const voice::WordAlignment& w : parts.voice.words) {
+    IndexWords(id, w.word);
+  }
+  query::AppendedContent content;
+  content.text = parts.text;
+  content.voice_words = parts.voice.words;
+  AppendResult result;
+  result.address = addr;
+  result.version = version;
+  result.delta = scored_index_.Append(
+      id, content, query::VoiceConfidence(recognizer_profile_));
+  obs::MetricsRegistry::Default().counter("server.appends")->Increment();
+  return result;
+}
+
 CatalogDigest ObjectServer::BuildCatalogDigest(bool scrub) const {
   CatalogDigest digest;
   digest.entries.reserve(catalog_.size());

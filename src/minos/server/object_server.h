@@ -86,6 +86,42 @@ class ObjectServer : public ObjectStore {
   StatusOr<storage::ArchiveAddress> Store(
       const object::MultimediaObject& obj) override;
 
+  /// Content appended to an archived object: characters appended to the
+  /// text part's flat contents and/or audio appended to the voice part
+  /// (samples plus word alignments, with offsets relative to the
+  /// appended content — the rebuild shifts them into place). Either
+  /// medium may be empty; both empty is InvalidArgument.
+  struct AppendParts {
+    std::string text;
+    voice::VoiceTrack voice;
+  };
+
+  /// One successful Append: the new archive image, the version it
+  /// cataloged as, and the stats-only index delta a catalog-wide
+  /// statistics index (the ShardRouter's) applies instead of a rebuild.
+  struct AppendResult {
+    storage::ArchiveAddress address;
+    uint32_t version = 0;
+    query::IndexDelta delta;
+  };
+
+  /// Appends content to an archived object. Archived objects are
+  /// immutable (§2), so the append builds the successor version — the
+  /// prior parts plus the new content — archives it whole, and records
+  /// it in the version lineage; FetchVersion still serves the old one.
+  ///
+  /// Ordering is write-first: the device write happens before any
+  /// catalog, index, or version mutation, so a write fault rolls back
+  /// by construction — a failed Append leaves the word index, the
+  /// scored index (no phantom df entries), the catalog, and
+  /// catalog_version() exactly as they were. After a successful write
+  /// the indexes update *incrementally*: only the appended words are
+  /// walked, never the whole object, and the returned delta carries the
+  /// df/length changes global statistics need. Bumps catalog_version()
+  /// so workstation ranked-result caches invalidate.
+  StatusOr<AppendResult> Append(storage::ObjectId id,
+                                const AppendParts& parts);
+
   /// The recognizer accuracy profile voice postings are confidence-
   /// weighted with at Store time (§2: recognition happens at insertion).
   /// Every shard of one archive must share one profile, or replica

@@ -102,18 +102,34 @@ RepairManager::RepairManager(ShardRouter* router, SimClock* clock,
   bytes_ = reg.counter("repair.bytes_total");
   failures_ = reg.counter("repair.failures_total");
   migrations_ = reg.counter("repair.migrations_total");
+  scrubs_ = reg.counter("repair.scrubs_total");
   pending_ = reg.gauge("repair.pending");
   duration_us_ = reg.histogram("repair.duration_us");
   router_->SetHealListener([this](size_t) { heal_pending_ = true; });
 }
 
 bool RepairManager::sync_pending() const {
-  return heal_pending_ || !router_->under_replicated().empty();
+  return heal_pending_ || scrub_due() ||
+         !router_->under_replicated().empty();
+}
+
+bool RepairManager::scrub_due() const {
+  return options_.scrub_interval > 0 &&
+         clock_->Now() - last_scrub_ >= options_.scrub_interval;
 }
 
 RepairReport RepairManager::Sync(const obs::TraceContext& ctx) {
+  // A due patrol cycle upgrades this round to scrub digests: every
+  // image re-read off the platter, checksummed against the catalog.
+  bool scrub = options_.scrub;
+  if (scrub_due()) {
+    scrub = true;
+    last_scrub_ = clock_->Now();
+    scrubs_->Increment();
+  }
   std::set<ObjectId> under;
-  RepairReport report = SyncUnder(router_->active_count_, &under, ctx);
+  RepairReport report =
+      SyncUnder(router_->active_count_, &under, scrub, ctx);
   router_->ReplaceUnderReplicated(std::move(under));
   return report;
 }
@@ -126,6 +142,7 @@ std::optional<RepairReport> RepairManager::SyncIfPending(
 
 RepairReport RepairManager::SyncUnder(size_t placement_count,
                                       std::set<ObjectId>* out_under,
+                                      bool scrub,
                                       const obs::TraceContext& ctx) {
   RepairReport report;
   syncs_->Increment();
@@ -153,7 +170,7 @@ RepairReport RepairManager::SyncUnder(size_t placement_count,
   for (size_t i = 0; i < shard_count; ++i) {
     if (!router_->live_[i]) continue;
     std::string wire =
-        router_->shards_[i]->BuildCatalogDigest(options_.scrub).Serialize();
+        router_->shards_[i]->BuildCatalogDigest(scrub).Serialize();
     if (digest_tap_) digest_tap_(i, &wire);
     Link* link = router_->shards_[i]->link();
     if (link != nullptr) {
@@ -346,7 +363,8 @@ StatusOr<RepairReport> RepairManager::ExpandShards(
   // old one: the staged shard fills up invisibly, and every live chain
   // member of the new layout gets its copy too.
   std::set<ObjectId> under;
-  RepairReport report = SyncUnder(router_->shards_.size(), &under, ctx);
+  RepairReport report =
+      SyncUnder(router_->shards_.size(), &under, options_.scrub, ctx);
   if (report.digests_rejected > 0 || report.under_replicated > 0) {
     // Fail closed: the staged shard stays staged and no routing
     // decision changes. Retrying after the fabric heals resumes the

@@ -73,6 +73,14 @@ struct RepairOptions {
   /// (device time charged) and recompute the checksum, so silent media
   /// rot surfaces as replica divergence instead of waiting for a fetch.
   bool scrub = false;
+  /// Sim-time period of the scheduled scrub cycle (0 disables). While
+  /// set, a scrub becomes due every `scrub_interval` of SimClock time:
+  /// sync_pending() turns true and the next SyncIfPending() runs its
+  /// round with scrub digests — a periodic patrol read of every
+  /// archived image, in the background lane like all repair traffic —
+  /// even when `scrub` is false for heal-driven rounds. Counted in
+  /// "repair.scrubs_total".
+  Micros scrub_interval = 0;
   /// Statistics registry (the process default when null).
   obs::MetricsRegistry* registry = nullptr;
 };
@@ -136,6 +144,14 @@ class RepairManager {
   /// True when the next SyncIfPending() would run a round.
   bool sync_pending() const;
 
+  /// True when the scheduled scrub cycle has a patrol read due: a scrub
+  /// interval is configured and at least that much sim time has passed
+  /// since the last scrub round (time 0 for a fresh manager).
+  bool scrub_due() const;
+
+  /// SimClock time of the last scheduled scrub round (0 before any).
+  Micros last_scrub() const { return last_scrub_; }
+
   /// Live shard-count change: stages `shard` on the router, streams the
   /// expanded placement's ranges onto it (and every other live chain
   /// member) under the *new* shard count, then flips the routing table
@@ -156,9 +172,10 @@ class RepairManager {
  private:
   /// The shared round: digests, union, repairs and the recount, all
   /// under a `placement_count`-shard placement. Fills `out_under` with
-  /// the ids still lacking live up-to-date copies.
+  /// the ids still lacking live up-to-date copies. With `scrub`,
+  /// digests re-read every image off the platter.
   RepairReport SyncUnder(size_t placement_count,
-                         std::set<storage::ObjectId>* out_under,
+                         std::set<storage::ObjectId>* out_under, bool scrub,
                          const obs::TraceContext& ctx);
 
   ShardRouter* router_;
@@ -166,6 +183,7 @@ class RepairManager {
   RepairOptions options_;
   Random rng_;
   bool heal_pending_ = false;
+  Micros last_scrub_ = 0;  ///< SimClock time of the last scrub round.
   std::function<void(size_t, std::string*)> digest_tap_;
 
   obs::Counter* syncs_;             // Owned by the registry.
@@ -177,6 +195,7 @@ class RepairManager {
   obs::Counter* bytes_;
   obs::Counter* failures_;
   obs::Counter* migrations_;
+  obs::Counter* scrubs_;  ///< Scheduled scrub rounds run.
   obs::Gauge* pending_;
   obs::Histogram* duration_us_;
 };

@@ -56,6 +56,8 @@ ShardRouter::ShardRouter(std::vector<ObjectServer*> shards, SimClock* clock,
   dropped_results_ = reg.counter("router.dropped_results_total");
   replica_store_errors_ = reg.counter("router.replica_store_errors_total");
   degraded_stores_ = reg.counter("router.degraded_stores_total");
+  stats_full_adds_ = reg.counter("router.stats_full_adds_total");
+  stats_delta_applies_ = reg.counter("router.stats_delta_applies_total");
   live_shards_ = reg.gauge("router.live_shards");
   under_replicated_g_ = reg.gauge("router.under_replicated");
   epoch_g_ = reg.gauge("router.routing_epoch");
@@ -230,11 +232,61 @@ StatusOr<ArchiveAddress> ShardRouter::Store(const MultimediaObject& obj) {
     // replicas hold it; weight voice postings with the shard profile.
     corpus_stats_.Add(obj, query::VoiceConfidence(
                                shards_.front()->recognizer_profile()));
+    stats_full_adds_->Increment();
     ++catalog_version_;
     if (copies < static_cast<int>(chain.size())) {
       // The store succeeded somewhere but not everywhere: the object is
       // durable yet under-replicated until anti-entropy repairs it.
       NoteUnderReplicated(obj.id(), copies);
+    }
+  }
+  return first;
+}
+
+StatusOr<uint32_t> ShardRouter::Append(ObjectId id,
+                                       const ObjectServer::AppendParts& parts) {
+  RefreshLiveness();
+  StatusOr<uint32_t> first =
+      Status::Unavailable("no live replica accepted append");
+  const std::vector<size_t> chain = ReplicaChain(id);
+  query::IndexDelta delta;
+  bool have_delta = false;
+  int copies = 0;
+  for (size_t shard : chain) {
+    if (!live_[shard]) {
+      replica_store_errors_->Increment();
+      continue;
+    }
+    StatusOr<ObjectServer::AppendResult> got =
+        shards_[shard]->Append(id, parts);
+    if (got.ok()) {
+      ++copies;
+      if (!have_delta) {
+        // Every replica folds the identical content, so every replica
+        // reports the identical stats delta: keep the first.
+        delta = std::move(got->delta);
+        have_delta = true;
+        first = got->version;
+      }
+    } else {
+      replica_store_errors_->Increment();
+      if (!first.ok()) first = got.status();
+    }
+  }
+  if (have_delta) {
+    // Delta sync, not rebuild: the catalog-wide statistics index takes
+    // exactly the df/length changes of the appended words — counted
+    // once per logical object, never per replica, never a re-walk of
+    // the whole object. stats_delta_applies_total vs
+    // stats_full_adds_total is the observable proof the cheap path ran.
+    corpus_stats_.ApplyDelta(delta);
+    stats_delta_applies_->Increment();
+    ++catalog_version_;
+    if (copies < static_cast<int>(chain.size())) {
+      // Replicas that missed the append now lag a version: surfaced as
+      // redundancy debt for anti-entropy to repair, like a degraded
+      // Store.
+      NoteUnderReplicated(id, copies);
     }
   }
   return first;

@@ -104,6 +104,18 @@ class ShardRouter : public ObjectStore {
   StatusOr<storage::ArchiveAddress> Store(
       const object::MultimediaObject& obj) override;
 
+  /// Appends content onto every live replica of `id` (see
+  /// ObjectServer::Append). Succeeds when at least one replica takes
+  /// the append, returning its new version; replicas that miss it lag
+  /// a version and enter the under-replicated set for anti-entropy to
+  /// catch up. The catalog-wide statistics index absorbs the append as
+  /// a *delta* — the df/length changes of the new words, applied once
+  /// per logical object ("router.stats_delta_applies_total") — never a
+  /// full re-add ("router.stats_full_adds_total" stays flat), and
+  /// catalog_version() bumps so ranked-result caches invalidate.
+  StatusOr<uint32_t> Append(storage::ObjectId id,
+                            const ObjectServer::AppendParts& parts);
+
   /// Scatters to every live shard, gathers, merges ascending, dedups.
   std::vector<storage::ObjectId> QueryAll(
       const std::vector<std::string>& words) const override;
@@ -120,6 +132,10 @@ class ShardRouter : public ObjectStore {
       const obs::TraceContext& ctx = {}) const override;
 
   uint64_t catalog_version() const override { return catalog_version_; }
+
+  /// The catalog-wide stats-only index every shard scores against
+  /// (exposed read-only so tests can assert delta-sync exactness).
+  const query::ScoredIndex& corpus_stats() const { return corpus_stats_; }
 
   StatusOr<MiniatureCard> FetchMiniature(
       storage::ObjectId id, int thumb_width = 96,
@@ -354,6 +370,8 @@ class ShardRouter : public ObjectStore {
   obs::Counter* dropped_results_;
   obs::Counter* replica_store_errors_;
   obs::Counter* degraded_stores_;
+  obs::Counter* stats_full_adds_;      // corpus_stats_ full re-adds (Store).
+  obs::Counter* stats_delta_applies_;  // corpus_stats_ delta syncs (Append).
   obs::Gauge* live_shards_;
   obs::Gauge* under_replicated_g_;
   obs::Gauge* epoch_g_;

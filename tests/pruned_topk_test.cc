@@ -1,0 +1,191 @@
+// Property test for the max-score pruned top-k scorer: across seeded
+// random catalogs, query shapes, conjunctive and disjunctive modes, and
+// worker counts 1/2/4, the pruned scorer must return bit-identical ids
+// AND bit-identical scores to the exhaustive reference scorer — pruning
+// is an optimization, never an approximation — while actually skipping
+// postings on selective disjunctive queries.
+
+#include "minos/query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "minos/query/scored_index.h"
+#include "minos/runtime/task_pool.h"
+#include "minos/util/random.h"
+
+namespace minos::query {
+namespace {
+
+using storage::ObjectId;
+
+/// A seeded random catalog: `docs` documents over a `vocab`-word
+/// vocabulary with a skewed word distribution (low word indexes are
+/// common, high ones rare — what gives idf and max-score bounds their
+/// spread), built through the incremental Append path.
+void BuildCatalog(uint64_t seed, size_t docs, size_t vocab,
+                  ScoredIndex* index) {
+  Random rng(seed);
+  for (ObjectId id = 1; id <= docs; ++id) {
+    const size_t words = 4 + rng.Uniform(24);
+    AppendedContent content;
+    for (size_t w = 0; w < words; ++w) {
+      // Squared-uniform skew: word 0 is everywhere, the tail is rare.
+      const size_t pick = (rng.Uniform(vocab) * rng.Uniform(vocab)) / vocab;
+      content.text += "w" + std::to_string(pick) + " ";
+    }
+    index->Append(id, content, 0.0);
+  }
+}
+
+std::vector<std::string> RandomQuery(Random* rng, size_t vocab) {
+  const size_t terms = 1 + rng->Uniform(4);
+  std::vector<std::string> words;
+  for (size_t t = 0; t < terms; ++t) {
+    words.push_back("w" + std::to_string(rng->Uniform(vocab)));
+  }
+  return words;
+}
+
+void ExpectBitIdentical(const RankedQuery& pruned,
+                        const RankedQuery& exact,
+                        const std::string& label) {
+  ASSERT_EQ(pruned.hits.size(), exact.hits.size()) << label;
+  for (size_t i = 0; i < exact.hits.size(); ++i) {
+    EXPECT_EQ(pruned.hits[i].id, exact.hits[i].id)
+        << label << " rank " << i;
+    // EXPECT_EQ on doubles is exact: bit-identical, not within-epsilon.
+    EXPECT_EQ(pruned.hits[i].score, exact.hits[i].score)
+        << label << " rank " << i;
+  }
+}
+
+TEST(PrunedTopKProperty, BitIdenticalToExhaustiveAcrossRandomCatalogs) {
+  const QueryEngine exhaustive({}, ScoringStrategy::kExhaustive);
+  const QueryEngine pruned({}, ScoringStrategy::kMaxScore);
+  for (const uint64_t seed : {11u, 42u, 1986u}) {
+    const size_t vocab = 40;
+    ScoredIndex index;
+    BuildCatalog(seed, 300, vocab, &index);
+    Random rng(seed ^ 0xABCDEF);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::vector<std::string> words = RandomQuery(&rng, vocab);
+      const size_t k = 1 + rng.Uniform(12);
+      for (const QueryMode mode :
+           {QueryMode::kConjunctive, QueryMode::kDisjunctive}) {
+        const RankedQuery exact =
+            exhaustive.TopK(index, index, words, k, mode);
+        const RankedQuery fast = pruned.TopK(index, index, words, k, mode);
+        const std::string label =
+            "seed=" + std::to_string(seed) + " trial=" +
+            std::to_string(trial) + " k=" + std::to_string(k) +
+            (mode == QueryMode::kConjunctive ? " conj" : " disj");
+        ExpectBitIdentical(fast, exact, label);
+        // Work accounting is conserved: the pruned scorer charges
+        // exactly the postings it did not skip.
+        EXPECT_EQ(fast.postings_scanned + fast.postings_skipped,
+                  exact.postings_scanned)
+            << label;
+        EXPECT_EQ(exact.postings_skipped, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(PrunedTopKProperty, WorkerCountNeverChangesResultsOrCounters) {
+  // The fixed-partition decomposition promises: hits, scores, and every
+  // work counter are a function of the catalog and the query, never of
+  // the pool size (or its absence).
+  const QueryEngine engine;  // Default strategy: kMaxScore.
+  const size_t vocab = 32;
+  ScoredIndex index;
+  BuildCatalog(7, 250, vocab, &index);
+  Random rng(99);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::vector<std::string> words = RandomQuery(&rng, vocab);
+    const size_t k = 1 + rng.Uniform(8);
+    for (const QueryMode mode :
+         {QueryMode::kConjunctive, QueryMode::kDisjunctive}) {
+      const RankedQuery serial =
+          engine.TopK(index, index, words, k, mode, nullptr);
+      for (const int workers : {1, 2, 4}) {
+        SimClock clock;
+        runtime::TaskPool pool(&clock, workers);
+        const RankedQuery pooled =
+            engine.TopK(index, index, words, k, mode, &pool);
+        const std::string label =
+            "trial=" + std::to_string(trial) + " workers=" +
+            std::to_string(workers) +
+            (mode == QueryMode::kConjunctive ? " conj" : " disj");
+        ExpectBitIdentical(pooled, serial, label);
+        EXPECT_EQ(pooled.terms_scored, serial.terms_scored) << label;
+        EXPECT_EQ(pooled.postings_scanned, serial.postings_scanned)
+            << label;
+        EXPECT_EQ(pooled.postings_skipped, serial.postings_skipped)
+            << label;
+        EXPECT_EQ(pooled.heap_evictions, serial.heap_evictions) << label;
+      }
+    }
+  }
+}
+
+TEST(PrunedTopKProperty, SelectiveDisjunctionsActuallySkipPostings) {
+  // On a catalog where one query term is everywhere and another is
+  // rare, a small k lets the rare term's scores saturate the heap and
+  // the common list stop generating candidates: skipped must be a
+  // substantial share, not a rounding error.
+  ScoredIndex index;
+  for (ObjectId id = 1; id <= 400; ++id) {
+    AppendedContent content;
+    content.text = "common ";
+    if (id % 40 == 0) content.text += "rare rare rare ";
+    index.Append(id, content, 0.0);
+  }
+  const QueryEngine engine;
+  const RankedQuery got = engine.TopK(index, index, {"rare", "common"}, 5,
+                                      QueryMode::kDisjunctive);
+  ASSERT_EQ(got.hits.size(), 5u);
+  EXPECT_GT(got.postings_skipped, 0u);
+  // The pruned scan visits under half of what exhaustive scoring would.
+  EXPECT_LT(got.postings_scanned * 2,
+            got.postings_scanned + got.postings_skipped);
+}
+
+TEST(PrunedTopKProperty, AppendBuiltIndexMatchesAddBuiltStatistics) {
+  // The incremental Append path and a delta-applied stats mirror must
+  // agree with each other: a stats-only index fed only ApplyDelta
+  // yields the same df / doc count / lengths the postings index holds,
+  // so scoring against either gives identical results.
+  ScoredIndex postings;
+  ScoredIndex stats(/*stats_only=*/true);
+  Random rng(5);
+  for (ObjectId id = 1; id <= 120; ++id) {
+    AppendedContent content;
+    const size_t words = 3 + rng.Uniform(9);
+    for (size_t w = 0; w < words; ++w) {
+      content.text += "w" + std::to_string(rng.Uniform(20)) + " ";
+    }
+    const IndexDelta delta = postings.Append(id, content, 0.0);
+    stats.ApplyDelta(delta);
+  }
+  EXPECT_EQ(stats.stats().doc_count, postings.stats().doc_count);
+  EXPECT_DOUBLE_EQ(stats.stats().total_length,
+                   postings.stats().total_length);
+  for (size_t w = 0; w < 20; ++w) {
+    const std::string term = "w" + std::to_string(w);
+    EXPECT_EQ(stats.DocFreq(term), postings.DocFreq(term)) << term;
+  }
+  const QueryEngine engine;
+  const RankedQuery local =
+      engine.TopK(postings, postings, {"w3", "w15"}, 8,
+                  QueryMode::kDisjunctive);
+  const RankedQuery global =
+      engine.TopK(postings, stats, {"w3", "w15"}, 8,
+                  QueryMode::kDisjunctive);
+  ExpectBitIdentical(global, local, "stats-mirror");
+}
+
+}  // namespace
+}  // namespace minos::query

@@ -477,5 +477,210 @@ TEST_F(RankedQueryTest, PrefetchingWorkstationBrowsesRankedStripLazily) {
   EXPECT_GT(scores[1], scores[2]);
 }
 
+// --- Incremental Append --------------------------------------------------
+
+TEST_F(RankedQueryTest, AppendSurfacesNewTermsInRankedResults) {
+  ASSERT_TRUE(server_.Store(TextObject(1, "fracture ward report")).ok());
+  ASSERT_TRUE(server_.Store(TextObject(2, "fracture clinic notes")).ok());
+  EXPECT_TRUE(server_.QueryRanked({"avalanche"}, 5).empty());
+  const uint64_t version_before = server_.catalog_version();
+
+  ObjectServer::AppendParts parts;
+  parts.text = "avalanche avalanche rescue";
+  auto appended = server_.Append(1, parts);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->version, 2u);
+  EXPECT_FALSE(appended->delta.empty());
+  EXPECT_GT(server_.catalog_version(), version_before);
+
+  // The appended words are queryable immediately, weighted by tf.
+  const std::vector<ScoredHit> hits = server_.QueryRanked({"avalanche"}, 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(server_.scored_index().DocFreq("avalanche"), 1u);
+  // Pre-append evidence is retained, not replaced: the object still
+  // ranks for its original words.
+  ASSERT_EQ(server_.QueryRanked({"ward"}, 5).size(), 1u);
+  // The grown object re-archives as a new version; both the original
+  // and the appended image stay fetchable (§5 version control).
+  auto original = server_.FetchVersion(1, 1);
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(original->text_part().contents().find("avalanche"),
+            std::string::npos);
+  auto grown = server_.FetchVersion(1, 2);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_NE(grown->text_part().contents().find("avalanche"),
+            std::string::npos);
+}
+
+TEST_F(RankedQueryTest, AppendInvalidatesWorkstationRankedCache) {
+  // Satellite regression: an Append must bump the catalog version the
+  // workstation's result cache is stamped with — a stale ranked strip
+  // that omits appended content would violate read-your-writes.
+  ASSERT_TRUE(server_.Store(TextObject(1, "fracture mention here")).ok());
+  ASSERT_TRUE(
+      server_.Store(TextObject(2, "fracture fracture follow-up")).ok());
+
+  render::Screen screen;
+  Workstation workstation(&server_, &screen, &clock_);
+  auto first = workstation.QueryRanked({"fracture"}, 5);
+  ASSERT_TRUE(first.ok());
+  auto best = first->Current();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ((*best)->id, 2u);
+
+  // Repeat while the catalog is unchanged: served from cache.
+  const int64_t hits_before = Count("query.cache_hits");
+  ASSERT_TRUE(workstation.QueryRanked({"fracture"}, 5).ok());
+  EXPECT_EQ(Count("query.cache_hits"), hits_before + 1);
+
+  // Append enough evidence to flip the ranking. The cached strip is
+  // stale the moment the append lands.
+  ObjectServer::AppendParts parts;
+  parts.text = "fracture fracture fracture fracture update";
+  ASSERT_TRUE(server_.Append(1, parts).ok());
+  const int64_t invalidations_before = Count("query.cache_invalidations");
+  auto third = workstation.QueryRanked({"fracture"}, 5);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(Count("query.cache_invalidations"), invalidations_before + 1);
+  auto refreshed = third->Current();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ((*refreshed)->id, 1u);  // The appended copy now leads.
+}
+
+TEST_F(RankedQueryTest, FailedAppendLeavesRankedIndexUntouched) {
+  // Satellite fault matrix: whether the device rejects the write (media
+  // error) or tears it (payload corrupted in place), the Append must not
+  // leave phantom statistics behind — df, lengths, and the catalog
+  // version stay exactly as they were, because the index only folds the
+  // delta after the device write lands.
+  ASSERT_TRUE(server_.Store(TextObject(1, "fracture baseline body")).ok());
+  const uint64_t version_before = server_.catalog_version();
+  const double length_before = server_.scored_index().DocLength(1);
+  const uint64_t docs_before = server_.scored_index().stats().doc_count;
+
+  ObjectServer::AppendParts parts;
+  parts.text = "phantom phantom phantom";
+
+  // Row 1: the device rejects the write outright.
+  device_.SetWriteFaultHook(
+      [](uint64_t, std::string*) { return Status::Unavailable("media"); });
+  EXPECT_FALSE(server_.Append(1, parts).ok());
+  device_.SetWriteFaultHook(nullptr);
+  EXPECT_EQ(server_.scored_index().DocFreq("phantom"), 0u);
+  EXPECT_EQ(server_.scored_index().DocLength(1), length_before);
+  EXPECT_EQ(server_.scored_index().stats().doc_count, docs_before);
+  EXPECT_EQ(server_.catalog_version(), version_before);
+  EXPECT_TRUE(server_.QueryRanked({"phantom"}, 5).empty());
+
+  // Row 2: the fault cleared — the same append now goes through whole.
+  auto retried = server_.Append(1, parts);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(server_.scored_index().DocFreq("phantom"), 1u);
+  ASSERT_EQ(server_.QueryRanked({"phantom"}, 5).size(), 1u);
+
+  // Row 3: a torn write commits garbled bytes. The device accepts it
+  // (detection and salvage are the fetch path's job — see the torn-
+  // write coverage in fault_injection_test), so whatever the append
+  // reports, the statistics must stay consistent: the delta folds at
+  // most once, never twice and never for a write that failed.
+  device_.SetWriteFaultHook([](uint64_t, std::string* data) {
+    if (!data->empty()) (*data)[data->size() / 2] ^= 0x5A;
+    return Status::OK();
+  });
+  auto torn = server_.Append(1, parts);
+  device_.SetWriteFaultHook(nullptr);
+  EXPECT_EQ(server_.scored_index().DocFreq("phantom"), 1u);
+  EXPECT_EQ(server_.scored_index().stats().doc_count, docs_before);
+  if (torn.ok()) {
+    EXPECT_EQ(server_.scored_index().DocLength(1),
+              length_before + 6);  // Two clean-append word triples.
+  }
+}
+
+TEST_F(RankedShardTest, RouterAppendAppliesDeltaWithoutStatsRebuild) {
+  // The tentpole acceptance gate: an Append reaches ranked results
+  // through the router's *delta* path — the stats-only catalog index
+  // absorbs the df/length changes once, and the full-re-add counter
+  // (the rebuild path Stores take) stays flat.
+  BuildShards(3, 2);
+  StoreCorpus(*router_);
+  const int64_t full_adds_before = Count("router.stats_full_adds_total");
+  const int64_t deltas_before = Count("router.stats_delta_applies_total");
+  const uint64_t version_before = router_->catalog_version();
+  EXPECT_TRUE(router_->QueryRanked({"avalanche"}, 5,
+                                   QueryMode::kDisjunctive).empty());
+
+  ObjectServer::AppendParts parts;
+  parts.text = "avalanche avalanche rescue";
+  auto version = router_->Append(3, parts);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 2u);
+
+  EXPECT_EQ(Count("router.stats_full_adds_total"), full_adds_before);
+  EXPECT_EQ(Count("router.stats_delta_applies_total"), deltas_before + 1);
+  EXPECT_GT(router_->catalog_version(), version_before);
+  EXPECT_EQ(router_->corpus_stats().DocFreq("avalanche"), 1u);
+
+  const std::vector<ScoredHit> hits =
+      router_->QueryRanked({"avalanche"}, 5, QueryMode::kDisjunctive);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 3u);
+}
+
+TEST_F(RankedShardTest, AppendKeepsOneAndFourShardScoresIdentical) {
+  // Post-append symmetry: the same corpus + the same appends must score
+  // identically on a 1-shard and a 4-shard archive — the delta-synced
+  // global statistics are what make the decomposition invisible.
+  ObjectServer::AppendParts parts;
+  parts.text = "fracture avalanche drill";
+
+  BuildShards(1, 1);
+  StoreCorpus(*router_);
+  ASSERT_TRUE(router_->Append(2, parts).ok());
+  const std::vector<ScoredHit> one =
+      router_->QueryRanked({"fracture", "avalanche"}, 5,
+                           QueryMode::kDisjunctive);
+
+  BuildShards(4, 2);
+  StoreCorpus(*router_);
+  ASSERT_TRUE(router_->Append(2, parts).ok());
+  const std::vector<ScoredHit> four =
+      router_->QueryRanked({"fracture", "avalanche"}, 5,
+                           QueryMode::kDisjunctive);
+
+  ASSERT_EQ(one.size(), 4u);  // The distractor matches neither term.
+  ASSERT_EQ(four.size(), 4u);
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(four[i].id, one[i].id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(four[i].score, one[i].score) << "rank " << i;
+  }
+}
+
+TEST_F(RankedShardTest, ShardFaultDuringAppendLeavesGlobalStatsExact) {
+  // One replica's device faults mid-append: the logical append still
+  // succeeds on the surviving replica, the global stats absorb the
+  // delta exactly once, and the lagging replica is flagged for repair
+  // rather than silently diverging.
+  BuildShards(2, 2);
+  StoreCorpus(*router_);
+  const uint64_t df_before = router_->corpus_stats().DocFreq("avalanche");
+  ASSERT_EQ(df_before, 0u);
+
+  stacks_[0]->device.SetWriteFaultHook(
+      [](uint64_t, std::string*) { return Status::Unavailable("media"); });
+  ObjectServer::AppendParts parts;
+  parts.text = "avalanche avalanche";
+  auto version = router_->Append(3, parts);
+  stacks_[0]->device.SetWriteFaultHook(nullptr);
+
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(router_->corpus_stats().DocFreq("avalanche"), 1u);
+  const std::vector<ScoredHit> hits =
+      router_->QueryRanked({"avalanche"}, 5, QueryMode::kDisjunctive);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 3u);
+}
+
 }  // namespace
 }  // namespace minos::server

@@ -450,6 +450,50 @@ TEST_F(RepairTest, ScrubDetectsMediaRotAndRepairsTheRottenReplica) {
   EXPECT_EQ(again.under_replicated, 0u);
 }
 
+TEST_F(RepairTest, ScheduledScrubCycleDetectsRotOnItsInterval) {
+  // Satellite: a scrub *cycle*. options.scrub stays false (ordinary
+  // syncs use cached checksums); the interval alone promotes a round to
+  // a platter-reading scrub once enough simulated time has passed.
+  RepairOptions options;
+  options.scrub_interval = MillisToMicros(500);
+  BuildShards(2, 10, options);
+  // Rot lands on shard 1's platter mid-store, invisible to cached
+  // checksums — only a scrub's platter read can see it.
+  stacks_[1]->device.SetWriteFaultHook([](uint64_t, std::string* data) {
+    if (data->size() > 8) (*data)[8] = static_cast<char>((*data)[8] ^ 0x40);
+    return Status::OK();
+  });
+  ASSERT_TRUE(router_->Store(TextObject(15, "cycle body")).ok());
+  stacks_[1]->device.SetWriteFaultHook(nullptr);
+
+  // No debt and the interval has not elapsed: nothing runs, the rot
+  // sits undetected.
+  const int64_t scrubs_before = Count("repair.scrubs_total");
+  EXPECT_FALSE(repair_->sync_pending());
+  EXPECT_FALSE(repair_->SyncIfPending().has_value());
+
+  // The interval elapses: the next pending check fires a scrub round in
+  // the background lane, and the platter read finds the divergence.
+  clock_.Advance(options.scrub_interval + 1);
+  ASSERT_TRUE(repair_->sync_pending());
+  const Micros due_at = clock_.Now();
+  std::optional<RepairReport> report = repair_->SyncIfPending();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->replicas_repaired, 1u);
+  EXPECT_EQ(Count("repair.scrubs_total"), scrubs_before + 1);
+  EXPECT_EQ(repair_->last_scrub(), due_at);
+  EXPECT_TRUE(stacks_[1]->server.Fetch(15).ok());
+
+  // The cycle re-arms: quiet until the next interval, then a clean
+  // scheduled scrub finds converged media.
+  EXPECT_FALSE(repair_->sync_pending());
+  clock_.Advance(options.scrub_interval + 1);
+  report = repair_->SyncIfPending();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->replicas_repaired, 0u);
+  EXPECT_EQ(Count("repair.scrubs_total"), scrubs_before + 2);
+}
+
 TEST_F(RepairTest, TamperedDigestIsRejectedAndItsShardSkipped) {
   BuildShards(2, 10);
   ASSERT_TRUE(router_->Store(TextObject(15, "tap body")).ok());

@@ -36,6 +36,13 @@ and bytes actually shipped (all > 0), the repair MTTR histograms, and —
 the convergence gate — the 'router.under_replicated' gauge present AND
 zero: a snapshot whose final state still owes replicas fails.
 
+With --require-ranked-scale, additionally requires the catalog-scale
+evidence the ranked_query bench records: postings actually skipped
+(query.postings_skipped > 0), the scale gauges present, a pruned visit
+fraction under 0.5 at the large catalog, a sublinear per-query scoring
+cost growth (< 1.0 relative to catalog size), and the Append delta-path
+proof (exactly one stats delta applied, zero full re-adds).
+
 Exit status: 0 when every file validates, 1 otherwise.
 """
 
@@ -111,6 +118,26 @@ REPAIR_HISTOGRAM_NAMES = (
     "fault_sweep.partial_mttr_us",
 )
 
+# Ranked catalog-scale evidence: the max-score pruned scorer must have
+# skipped real work, visited under half the exhaustive postings on the
+# large catalog, grown sublinearly in catalog size, and folded appends
+# through the stats-delta path rather than a rebuild.
+RANKED_SCALE_POSITIVE_COUNTERS = ("query.postings_skipped",)
+RANKED_SCALE_GAUGES = (
+    "ranked_query.scale_scanned_small",
+    "ranked_query.scale_scanned_large",
+    "ranked_query.scale_exhaustive_scanned_large",
+)
+RANKED_SCALE_BOUNDED_GAUGES = (
+    # (name, exclusive upper bound)
+    ("ranked_query.scale_pruned_visit_fraction", 0.5),
+    ("ranked_query.scale_cost_growth", 1.0),
+)
+RANKED_SCALE_EXACT_GAUGES = (
+    ("ranked_query.append_stats_full_adds", 0),
+    ("ranked_query.append_stats_delta_applies", 1),
+)
+
 
 def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
@@ -178,7 +205,7 @@ def validate_trace(doc):
 
 
 def validate(doc, require_pipeline=False, require_faults=False,
-             require_repair=False):
+             require_repair=False, require_ranked_scale=False):
     """Returns a list of problem strings (empty when valid)."""
     problems = []
     if not isinstance(doc, dict):
@@ -273,6 +300,31 @@ def validate(doc, require_pipeline=False, require_faults=False,
                 problems.append(f"no repair histogram '{name}'")
             elif not doc["histograms"][name].get("count", 0) > 0:
                 problems.append(f"repair histogram '{name}' is empty")
+
+    if require_ranked_scale:
+        for name in RANKED_SCALE_POSITIVE_COUNTERS:
+            if not doc["counters"].get(name, 0) > 0:
+                problems.append(f"counter '{name}' is not > 0")
+        for name in RANKED_SCALE_GAUGES:
+            if name not in doc["gauges"]:
+                problems.append(f"no ranked-scale gauge '{name}'")
+        for name, bound in RANKED_SCALE_BOUNDED_GAUGES:
+            value = doc["gauges"].get(name)
+            if not _is_number(value):
+                problems.append(f"no ranked-scale gauge '{name}'")
+            elif not 0 < value < bound:
+                problems.append(
+                    f"gauge '{name}' is {value}, expected in (0, {bound})"
+                )
+        for name, expected in RANKED_SCALE_EXACT_GAUGES:
+            value = doc["gauges"].get(name)
+            if not _is_number(value):
+                problems.append(f"no ranked-scale gauge '{name}'")
+            elif value != expected:
+                problems.append(
+                    f"gauge '{name}' is {value}, expected {expected} "
+                    "(append took the rebuild path)"
+                )
     return problems
 
 
@@ -296,6 +348,13 @@ def main(argv):
         help="also require anti-entropy repair families with nonzero "
         "repair evidence and a zero under-replicated gauge",
     )
+    parser.add_argument(
+        "--require-ranked-scale",
+        action="store_true",
+        help="also require the ranked catalog-scale evidence: postings "
+        "skipped, a < 0.5 pruned visit fraction, sublinear cost growth, "
+        "and the Append stats-delta proof",
+    )
     args = parser.parse_args(argv)
 
     failed = False
@@ -318,6 +377,7 @@ def main(argv):
                 require_pipeline=args.require_pipeline,
                 require_faults=args.require_faults,
                 require_repair=args.require_repair,
+                require_ranked_scale=args.require_ranked_scale,
             )
         if problems:
             failed = True
