@@ -1,0 +1,630 @@
+// SESS-1: can the event-driven SessionManager multiplex thousands of
+// concurrent browse/search sessions over a four-shard fabric without
+// letting any class starve? Phase one measures a no-storm baseline:
+// 400 paced readers turning pages alone on the fabric. Phase two opens
+// 2400 mixed sessions (skimmers, readers, searchers, writers, idlers)
+// against a 2000-slot admission cap — the overflow queues FIFO and is
+// admitted as idle sessions are reaped and finished skimmers close —
+// and requires the reader-class steady-state p99 page turn to stay
+// within 2x the baseline (plus a 1 ms floor), per-class fairness to
+// stay bounded, and the reap/queue machinery to have actually fired.
+// The storm runs traced at a 1/64 head-sampling rate and the TRACE
+// snapshot must reconcile against the manager's own sampled-session
+// lifetime. Phase three replays a miniature storm on task pools of 1,
+// 2 and 4 workers and requires bit-identical results.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minos/obs/metrics.h"
+#include "minos/obs/trace.h"
+#include "minos/runtime/task_pool.h"
+#include "minos/server/shard_router.h"
+#include "minos/session/session_manager.h"
+#include "minos/storage/archiver.h"
+#include "minos/storage/block_cache.h"
+#include "minos/text/formatter.h"
+#include "scenario_lib.h"
+
+namespace minos {
+namespace {
+
+using storage::ObjectId;
+
+/// One shard's full stack: its own archive device, cache, version store
+/// and link. The device runs the zero-cost model — this bench grades
+/// session multiplexing and link scheduling, and a 2000-open warmup on
+/// optical-seek costs would be a device benchmark, not a session one.
+struct ShardStack {
+  explicit ShardStack(SimClock* clock)
+      : device("shard", 65536, 512, storage::DeviceCostModel::Instant(),
+               true, clock),
+        cache(1024),
+        archiver(&device, &cache),
+        link(server::Link::Ethernet(clock)),
+        server(&archiver, &versions, clock, &link) {}
+
+  storage::BlockDevice device;
+  storage::BlockCache cache;
+  storage::Archiver archiver;
+  storage::VersionStore versions;
+  server::Link link;
+  server::ObjectServer server;
+};
+
+server::ShardPlacement RoundRobin() {
+  return [](ObjectId id, size_t shard_count) -> size_t {
+    return static_cast<size_t>((id - 1) % shard_count);
+  };
+}
+
+/// A report whose pages carry real transfer weight: formatted text plus
+/// a bitmap on every fourth page, so speculative staging moves both
+/// light and heavy pages over the links.
+object::MultimediaObject PagedObject(ObjectId id, int paragraphs) {
+  object::MultimediaObject obj(id);
+  obj.descriptor().layout.width = 48;
+  obj.descriptor().layout.height = 12;
+  obj.SetTextPart(bench::LongReport(paragraphs)).ok();
+  text::TextFormatter formatter(obj.descriptor().layout);
+  const size_t pages = formatter.Paginate(obj.text_part()).value().size();
+  for (size_t i = 0; i < pages; ++i) {
+    object::VisualPageSpec page;
+    page.text_page = static_cast<uint32_t>(i + 1);
+    obj.descriptor().pages.push_back(page);
+  }
+  for (size_t i = 0; i < pages; i += 4) {
+    const uint32_t index = obj.AddImage(bench::XrayBitmap(96, 72)).value();
+    object::PlacedImage placed;
+    placed.image_index = index;
+    placed.placement = image::Rect{180, 20, 96, 72};
+    obj.descriptor().pages[i].images.push_back(placed);
+  }
+  obj.Archive().ok();
+  return obj;
+}
+
+/// FNV-1a fold of one 64-bit value into a running digest.
+uint64_t Mix(uint64_t digest, uint64_t value) {
+  return (digest ^ value) * 0x100000001b3ULL;
+}
+
+/// Counter values keyed by instance-normalized name (digits stripped),
+/// for comparing fresh fabrics built back-to-back in one process.
+std::map<std::string, int64_t> CounterValues() {
+  std::map<std::string, int64_t> values;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Default().Snapshot().counters) {
+    std::string normalized;
+    for (const char c : name) {
+      if (c < '0' || c > '9') normalized += c;
+    }
+    values[normalized] += value;
+  }
+  return values;
+}
+
+/// Session classes of the storm mix. Every class acts on a fixed cadence
+/// (one action every kCadence epochs, phased by session index), so the
+/// fabric sees a steady interleave instead of a thundering herd.
+enum class Profile : uint8_t {
+  kSkimmer,   ///< Turns kSkimStride pages at a time; closes at the end.
+  kReader,    ///< Turns one page at a time; closes at the end.
+  kSearcher,  ///< Only runs ranked queries; never opens an object.
+  kWriter,    ///< Only appends (to a disjoint object range).
+  kIdler,     ///< Opens once, then goes silent until the reaper fires.
+};
+
+const char* ProfileName(Profile p) {
+  switch (p) {
+    case Profile::kSkimmer:
+      return "skimmer";
+    case Profile::kReader:
+      return "reader";
+    case Profile::kSearcher:
+      return "searcher";
+    case Profile::kWriter:
+      return "writer";
+    case Profile::kIdler:
+      return "idler";
+  }
+  return "unknown";
+}
+
+/// Composition. The initial cohort (admitted straight into slots) mixes
+/// all five classes per 20 sessions: 10 skimmers, 5 readers, 2
+/// searchers, one writer, 2 idlers. The overflow tail — admitted late,
+/// as reaps and closes free slots — is readers and searchers only:
+/// classes whose speculation is right from their first turn, so late
+/// admission exercises the queue without re-running stride warmup
+/// inside the measured steady-state window.
+Profile ProfileOf(int index, int initial_cohort, bool mixed) {
+  if (!mixed) return Profile::kReader;
+  if (index < initial_cohort) {
+    const int r = index % 20;
+    if (r < 10) return Profile::kSkimmer;
+    if (r < 15) return Profile::kReader;
+    if (r < 17) return Profile::kSearcher;
+    if (r < 18) return Profile::kWriter;
+    return Profile::kIdler;
+  }
+  return index % 4 < 3 ? Profile::kReader : Profile::kSearcher;
+}
+
+constexpr int kCadence = 4;     ///< Epochs between one session's actions.
+constexpr int kSkimStride = 3;  ///< Skimmer page-turn delta.
+
+struct StormConfig {
+  SimClock* clock = nullptr;  ///< Required; the tracer must share it.
+  int sessions = 2400;
+  size_t max_concurrent = 2000;
+  int objects = 48;  ///< Last writer_objects ids are append-only targets.
+  int writer_objects = 8;
+  int epochs = 32;
+  int measure_from = 20;  ///< Steady-state window for gated latencies.
+  Micros advance_us = MillisToMicros(1200);
+  /// Above the worst inter-action gap (4 epochs of advance plus the
+  /// open-warmup staging each epoch books), so only true idlers reap.
+  Micros idle_deadline_us = SecondsToMicros(20);
+  bool mixed = true;
+  int workers = 1;
+  obs::Tracer* tracer = nullptr;  ///< Borrowed; sampling set by caller.
+};
+
+struct StormResult {
+  bool ok = false;
+  Micros elapsed = 0;
+  uint64_t digest = 0;
+  std::map<std::string, int64_t> counter_deltas;
+  /// Steady-state (epoch >= measure_from) page-turn waits per class.
+  std::map<std::string, std::vector<Micros>> turn_us;
+  size_t peak_active = 0;
+  size_t peak_queued = 0;
+  Micros traced_active_us = 0;
+  int64_t reaped = 0;
+  int64_t admission_queued = 0;
+  int64_t queue_admitted = 0;
+};
+
+Micros P99(std::vector<Micros> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = values.size() * 99 / 100;
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+/// Drives one full storm on a fresh four-shard fabric. Everything the
+/// workload does is a pure function of the config, so two runs with the
+/// same config and different worker counts must return identical
+/// digests, elapsed times and counter deltas.
+StormResult RunStorm(const StormConfig& cfg) {
+  StormResult out;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const std::map<std::string, int64_t> before = CounterValues();
+  const int64_t reaped0 = reg.counter("session.reaped_total")->value();
+  const int64_t queued0 =
+      reg.counter("session.admission_queued_total")->value();
+  const int64_t qadmit0 =
+      reg.counter("session.queue_admitted_total")->value();
+
+  SimClock& clock = *cfg.clock;
+  std::vector<std::unique_ptr<ShardStack>> stacks;
+  std::vector<server::ObjectServer*> servers;
+  for (size_t i = 0; i < 4; ++i) {
+    stacks.push_back(std::make_unique<ShardStack>(&clock));
+    servers.push_back(&stacks.back()->server);
+  }
+  server::ShardRouter router(servers, &clock, RoundRobin(),
+                             server::ShardRouterOptions{});
+  runtime::TaskPool pool(&clock, cfg.workers);
+  router.SetTaskPool(&pool);
+  // Deep enough that a stride-3 skimmer is still mid-object at the last
+  // epoch: the run must grade steady-state turns, not a synchronized
+  // end-of-object miss wave (the page past the end is never speculated).
+  for (ObjectId id = 1; id <= static_cast<ObjectId>(cfg.objects); ++id) {
+    if (!router.Store(PagedObject(id, 24)).ok()) return out;
+  }
+
+  session::SessionOptions options;
+  options.max_concurrent = cfg.max_concurrent;
+  options.idle_deadline_us = cfg.idle_deadline_us;
+  options.prefetch_budget_bytes = 64 * 1024;
+  // Every reading session holds its shard lease for its whole life, so
+  // the per-shard pool must cover the active population.
+  options.streams_per_shard = 600;
+  // One Pump per epoch must issue the whole epoch's speculation, and
+  // thousands of staged-but-unconsumed pages are normal at this scale.
+  options.prefetch.max_inflight_per_pump = 4096;
+  options.prefetch.ready_capacity = 8192;
+  session::SessionManager manager(&router, &clock, options);
+  manager.SetTaskPool(&pool);
+  if (cfg.tracer != nullptr) manager.SetTracer(cfg.tracer);
+  manager.SetAppendHandler([&router](ObjectId id, const std::string& text) {
+    server::ObjectServer::AppendParts parts;
+    parts.text = text;
+    return router.Append(id, parts).status();
+  });
+
+  const int read_objects = cfg.objects - cfg.writer_objects;
+  const std::vector<std::string> kSearchWords[4] = {
+      {"multimedia"}, {"presentation"}, {"archived", "objects"}, {"report"}};
+
+  struct Drive {
+    session::SessionId id = 0;
+    Profile profile = Profile::kReader;
+    bool opened = false;
+    bool closed = false;
+    int appends = 0;
+  };
+  const int initial_cohort =
+      std::min<int>(cfg.sessions, static_cast<int>(cfg.max_concurrent));
+  std::vector<Drive> drives(cfg.sessions);
+  for (int i = 0; i < cfg.sessions; ++i) {
+    drives[i].profile = ProfileOf(i, initial_cohort, cfg.mixed);
+    drives[i].id = manager.Open(ProfileName(drives[i].profile));
+  }
+
+  const Micros start = clock.Now();
+  auto pump = [&](const std::vector<session::SessionEvent>& events,
+                  int epoch) {
+    const std::vector<session::SessionOutcome> outcomes =
+        manager.PumpEpoch(events);
+    for (size_t j = 0; j < outcomes.size(); ++j) {
+      const session::SessionOutcome& o = outcomes[j];
+      out.digest = Mix(out.digest, static_cast<uint64_t>(o.status.code()));
+      out.digest = Mix(out.digest, static_cast<uint64_t>(o.latency_us));
+      out.digest = Mix(out.digest, o.prefetch_hit ? 1 : 0);
+      out.digest = Mix(out.digest, o.results);
+      const size_t idx = static_cast<size_t>(o.session - drives[0].id);
+      if (idx >= drives.size()) continue;
+      Drive& d = drives[idx];
+      if (o.status.ok() && o.kind == session::SessionEvent::Kind::kOpen) {
+        d.opened = true;
+      }
+      if (o.status.ok() && o.kind == session::SessionEvent::Kind::kClose) {
+        d.closed = true;
+      }
+      if (o.status.ok() &&
+          o.kind == session::SessionEvent::Kind::kPageTurn &&
+          epoch >= cfg.measure_from) {
+        out.turn_us[ProfileName(d.profile)].push_back(o.latency_us);
+      }
+    }
+  };
+
+  for (int e = 0; e < cfg.epochs; ++e) {
+    std::vector<session::SessionEvent> events;
+    for (int i = 0; i < cfg.sessions; ++i) {
+      if ((i + e) % kCadence != 0) continue;
+      Drive& d = drives[i];
+      if (d.closed) continue;
+      session::SessionEvent ev;
+      ev.session = d.id;
+      switch (d.profile) {
+        case Profile::kSkimmer:
+        case Profile::kReader:
+        case Profile::kIdler: {
+          if (manager.state(d.id) == session::SessionState::kClosed) {
+            d.closed = true;  // Reaped by the manager.
+            continue;
+          }
+          if (!d.opened) {
+            ev.kind = session::SessionEvent::Kind::kOpen;
+            ev.object = static_cast<ObjectId>(1 + (i * 7) % read_objects);
+          } else if (d.profile == Profile::kIdler) {
+            continue;  // Opened once; now waiting for the reaper.
+          } else if (manager.page(d.id) >= manager.page_count(d.id)) {
+            ev.kind = session::SessionEvent::Kind::kClose;
+          } else {
+            ev.kind = session::SessionEvent::Kind::kPageTurn;
+            ev.delta = d.profile == Profile::kSkimmer ? kSkimStride : 1;
+          }
+          break;
+        }
+        case Profile::kSearcher:
+          ev.kind = session::SessionEvent::Kind::kSearch;
+          ev.words = kSearchWords[(i + e) % 4];
+          break;
+        case Profile::kWriter:
+          ev.kind = session::SessionEvent::Kind::kAppend;
+          ev.object = static_cast<ObjectId>(read_objects + 1 +
+                                            i % cfg.writer_objects);
+          ev.append_text = "Appended finding " + std::to_string(e) +
+                           " from writer " + std::to_string(i) + ".";
+          ++d.appends;
+          break;
+      }
+      events.push_back(std::move(ev));
+    }
+    const Micros t0 = clock.Now();
+    pump(events, e);
+    if (std::getenv("STORM_DEBUG") != nullptr) {
+      std::printf("debug: epoch=%d t0=%.2fs dt=%.0fms events=%zu "
+                  "active=%zu queued=%zu\n",
+                  e, t0 / 1e6, (clock.Now() - t0) / 1e3, events.size(),
+                  manager.active_count(), manager.queued_count());
+    }
+    out.peak_active = std::max(out.peak_active, manager.active_count());
+    out.peak_queued = std::max(out.peak_queued, manager.queued_count());
+    clock.Advance(cfg.advance_us);
+  }
+
+  // Final epoch: every session still alive (or still queued) closes, so
+  // every sampled root span has an end time and the trace reconciles.
+  std::vector<session::SessionEvent> closes;
+  for (Drive& d : drives) {
+    if (d.closed || manager.state(d.id) == session::SessionState::kClosed) {
+      continue;
+    }
+    session::SessionEvent ev;
+    ev.session = d.id;
+    ev.kind = session::SessionEvent::Kind::kClose;
+    closes.push_back(std::move(ev));
+  }
+  pump(closes, cfg.epochs);
+
+  out.elapsed = clock.Now() - start;
+  out.traced_active_us = manager.traced_active_us();
+  out.reaped = reg.counter("session.reaped_total")->value() - reaped0;
+  out.admission_queued =
+      reg.counter("session.admission_queued_total")->value() - queued0;
+  out.queue_admitted =
+      reg.counter("session.queue_admitted_total")->value() - qadmit0;
+  for (const auto& [name, value] : CounterValues()) {
+    const auto it = before.find(name);
+    const int64_t delta = value - (it != before.end() ? it->second : 0);
+    if (delta != 0) out.counter_deltas[name] = delta;
+  }
+  out.ok = true;
+  return out;
+}
+
+int Run() {
+  bench::PrintHeader("session_storm",
+                     "2400 mixed sessions multiplexed over 4 shards");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  Micros total_sim_time = 0;
+
+  // --- Phase 1: no-storm baseline ---------------------------------------
+  // 400 paced readers alone on the fabric: the reader-class p99 the
+  // storm phase is graded against.
+  SimClock base_clock;
+  StormConfig base_cfg;
+  base_cfg.clock = &base_clock;
+  base_cfg.sessions = 400;
+  base_cfg.max_concurrent = 2000;
+  base_cfg.mixed = false;
+  base_cfg.workers = bench::Workers();
+  const StormResult base = RunStorm(base_cfg);
+  if (!base.ok) {
+    std::printf("FAIL: baseline run did not complete\n");
+    return 1;
+  }
+  total_sim_time += base.elapsed;
+  const auto turns_of = [](const StormResult& r, const char* cls) {
+    const auto it = r.turn_us.find(cls);
+    return it != r.turn_us.end() ? it->second : std::vector<Micros>{};
+  };
+  const Micros base_p99 = P99(turns_of(base, "reader"));
+  std::printf("baseline: 400 readers, reader p99=%lldus (%zu steady "
+              "turns)\n",
+              static_cast<long long>(base_p99),
+              turns_of(base, "reader").size());
+
+  // --- Phase 2: the storm, traced at 1/64 -------------------------------
+  SimClock storm_clock;
+  obs::Tracer tracer(&storm_clock);
+  tracer.SetSampleRate(1.0 / 64.0);
+  StormConfig storm_cfg;
+  storm_cfg.clock = &storm_clock;
+  storm_cfg.workers = bench::Workers();
+  storm_cfg.tracer = &tracer;
+  const StormResult storm = RunStorm(storm_cfg);
+  if (!storm.ok) {
+    std::printf("FAIL: storm run did not complete\n");
+    return 1;
+  }
+  total_sim_time += storm.elapsed;
+
+  std::printf("%-10s %-8s %-12s\n", "class", "turns", "p99_us");
+  std::map<std::string, Micros> class_p99;
+  for (const auto& [cls, waits] : storm.turn_us) {
+    class_p99[cls] = P99(waits);
+    std::printf("%-10s %-8zu %-12lld\n", cls.c_str(), waits.size(),
+                static_cast<long long>(class_p99[cls]));
+  }
+  const Micros storm_p99 = class_p99.count("reader") != 0
+                               ? class_p99["reader"]
+                               : Micros{0};
+  std::printf("storm: peak_active=%zu peak_queued=%zu reaped=%lld "
+              "queued=%lld queue_admitted=%lld\n",
+              storm.peak_active, storm.peak_queued,
+              static_cast<long long>(storm.reaped),
+              static_cast<long long>(storm.admission_queued),
+              static_cast<long long>(storm.queue_admitted));
+
+  reg.gauge("session_storm.peak_active")
+      ->Set(static_cast<double>(storm.peak_active));
+  reg.gauge("session_storm.peak_queued")
+      ->Set(static_cast<double>(storm.peak_queued));
+  reg.gauge("session_storm.reader_p99_base_us")
+      ->Set(static_cast<double>(base_p99));
+  reg.gauge("session_storm.reader_p99_storm_us")
+      ->Set(static_cast<double>(storm_p99));
+
+  // Gate 1: scale. The storm must actually have held >= 2000 concurrent
+  // sessions with a live overflow queue, reaped idle ones, and admitted
+  // from the queue into the freed slots.
+  if (storm.peak_active < 2000 || storm.admission_queued <= 0 ||
+      storm.reaped <= 0 || storm.queue_admitted <= 0) {
+    std::printf("FAIL: storm machinery idle (peak_active=%zu "
+                "admission_queued=%lld reaped=%lld queue_admitted=%lld)\n",
+                storm.peak_active,
+                static_cast<long long>(storm.admission_queued),
+                static_cast<long long>(storm.reaped),
+                static_cast<long long>(storm.queue_admitted));
+    return 1;
+  }
+  std::printf("gate: %zu concurrent sessions, %lld queued, %lld reaped, "
+              "%lld admitted from the queue\n",
+              storm.peak_active,
+              static_cast<long long>(storm.admission_queued),
+              static_cast<long long>(storm.reaped),
+              static_cast<long long>(storm.queue_admitted));
+
+  // Gate 2: the reader class must not degrade. Prefetch hits cost zero,
+  // so both p99s sit near zero when budgets and eviction hold — the
+  // 1 ms floor keeps the 2x ratio meaningful at that scale.
+  const Micros turn_budget = 2 * base_p99 + 1000;
+  if (storm.turn_us.count("reader") == 0 ||
+      storm.turn_us.at("reader").size() < 500) {
+    std::printf("FAIL: too few steady-state reader turns to grade\n");
+    return 1;
+  }
+  if (storm_p99 > turn_budget) {
+    std::printf("FAIL: reader p99 %lldus under storm exceeds 2x no-storm "
+                "p99 %lldus + 1ms\n",
+                static_cast<long long>(storm_p99),
+                static_cast<long long>(base_p99));
+    return 1;
+  }
+  std::printf("gate: reader p99 %lldus under storm within 2x no-storm "
+              "%lldus + 1ms floor\n",
+              static_cast<long long>(storm_p99),
+              static_cast<long long>(base_p99));
+
+  // Gate 3: fairness. No page-turning class may see a steady-state p99
+  // more than 4x another's (measured above a 1 ms floor, since a class
+  // whose turns are all prefetch hits reads exactly zero).
+  Micros fair_min = 0, fair_max = 0;
+  bool first_class = true;
+  for (const auto& [cls, p99] : class_p99) {
+    (void)cls;
+    if (first_class || p99 < fair_min) fair_min = p99;
+    if (first_class || p99 > fair_max) fair_max = p99;
+    first_class = false;
+  }
+  const double fairness =
+      (static_cast<double>(fair_max) + 1000.0) /
+      (static_cast<double>(fair_min) + 1000.0);
+  reg.gauge("session_storm.fairness_ratio")->Set(fairness);
+  if (!(fairness <= 4.0)) {
+    std::printf("FAIL: class fairness ratio %.2f exceeds 4.0 "
+                "(p99 range %lld..%lldus)\n",
+                fairness, static_cast<long long>(fair_min),
+                static_cast<long long>(fair_max));
+    return 1;
+  }
+  std::printf("gate: class fairness ratio %.2f <= 4.0\n", fairness);
+
+  // Gate 4: the trace reconciles. Every sampled session is one root
+  // span; their lifetimes must sum to the manager's own accounting.
+  if (storm.traced_active_us <= 0) {
+    std::printf("FAIL: sampling admitted no sessions\n");
+    return 1;
+  }
+  const Status trace_gate = bench::EmitTraceSnapshot(
+      "session_storm", tracer, storm.traced_active_us);
+  if (!trace_gate.ok()) {
+    std::printf("FAIL: trace snapshot: %s\n",
+                trace_gate.ToString().c_str());
+    return 1;
+  }
+  if (tracer.dropped_spans() != 0) {
+    std::printf("FAIL: trace ring dropped %llu spans\n",
+                static_cast<unsigned long long>(tracer.dropped_spans()));
+    return 1;
+  }
+  std::printf("gate: %llu sampled-out roots recorded nothing, sampled "
+              "sessions reconcile\n",
+              static_cast<unsigned long long>(tracer.sampled_out()));
+
+  // --- Phase 3: worker-count determinism matrix -------------------------
+  // A miniature storm on pools of 1, 2 and 4 workers: virtual elapsed
+  // time, the outcome digest and every (instance-normalized) counter
+  // delta must be bit-identical. The CI matrix diffs whole BENCH/TRACE
+  // files across --workers runs; this is the in-process half.
+  {
+    auto mini = [](int workers, SimClock* clock) {
+      StormConfig cfg;
+      cfg.clock = clock;
+      cfg.sessions = 240;
+      cfg.max_concurrent = 200;
+      cfg.objects = 16;
+      cfg.writer_objects = 4;
+      cfg.epochs = 12;
+      cfg.measure_from = 8;
+      cfg.advance_us = MillisToMicros(150);
+      cfg.idle_deadline_us = SecondsToMicros(2);
+      cfg.workers = workers;
+      return cfg;
+    };
+    SimClock base_mclock;
+    const StormResult mbase = RunStorm(mini(1, &base_mclock));
+    if (!mbase.ok) {
+      std::printf("FAIL: 1-worker matrix run did not complete\n");
+      return 1;
+    }
+    total_sim_time += mbase.elapsed;
+    for (int workers : {2, 4}) {
+      SimClock mclock;
+      const StormResult run = RunStorm(mini(workers, &mclock));
+      if (!run.ok) {
+        std::printf("FAIL: %d-worker matrix run did not complete\n",
+                    workers);
+        return 1;
+      }
+      total_sim_time += run.elapsed;
+      if (run.elapsed != mbase.elapsed || run.digest != mbase.digest ||
+          run.counter_deltas != mbase.counter_deltas) {
+        std::printf("FAIL: %d-worker storm diverges from 1-worker storm "
+                    "(elapsed %lld vs %lld, digest %016llx vs %016llx)\n",
+                    workers, static_cast<long long>(run.elapsed),
+                    static_cast<long long>(mbase.elapsed),
+                    static_cast<unsigned long long>(run.digest),
+                    static_cast<unsigned long long>(mbase.digest));
+        for (const auto& [name, delta] : mbase.counter_deltas) {
+          const auto it = run.counter_deltas.find(name);
+          const int64_t other =
+              it != run.counter_deltas.end() ? it->second : 0;
+          if (other != delta) {
+            std::printf("  %s: 1-worker %lld vs %d-worker %lld\n",
+                        name.c_str(), static_cast<long long>(delta),
+                        workers, static_cast<long long>(other));
+          }
+        }
+        for (const auto& [name, delta] : run.counter_deltas) {
+          if (mbase.counter_deltas.find(name) ==
+              mbase.counter_deltas.end()) {
+            std::printf("  %s: 1-worker 0 vs %d-worker %lld\n",
+                        name.c_str(), workers,
+                        static_cast<long long>(delta));
+          }
+        }
+        return 1;
+      }
+    }
+    std::printf("gate: workers {1,2,4} produce bit-identical storms "
+                "(digest %016llx, %zu counter deltas)\n",
+                static_cast<unsigned long long>(mbase.digest),
+                mbase.counter_deltas.size());
+  }
+
+  bench::NoteSimTime(total_sim_time);
+  return 0;
+}
+
+}  // namespace
+}  // namespace minos
+
+int main(int argc, char** argv) {
+  minos::bench::ParseWorkers(argc, argv);
+  return minos::Run();
+}

@@ -64,6 +64,38 @@ void Tracer::set_exemplar_capacity(size_t k) {
   if (exemplars_.size() > k) exemplars_.resize(k);
 }
 
+void Tracer::SetSampleRate(double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_rate_ = std::min(1.0, std::max(0.0, rate));
+  sample_accum_ = 0.0;
+}
+
+uint64_t Tracer::sampled_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_out_;
+}
+
+bool Tracer::AdmitRootLocked() {
+  if (sample_rate_ >= 1.0) return true;
+  sample_accum_ += sample_rate_;
+  if (sample_accum_ >= 1.0 - 1e-9) {
+    sample_accum_ -= 1.0;
+    return true;
+  }
+  ++sampled_out_;
+  if (registry_ != nullptr) {
+    registry_->counter("trace.sampled_out")->Increment();
+  }
+  return false;
+}
+
+TraceSpan Tracer::SuppressedSpan(std::string name, bool ambient) {
+  if (ambient) open_.push_back(OpenEntry{kSuppressedAmbientSeq, 0});
+  return TraceSpan(this, std::move(name),
+                   ambient ? kSuppressedAmbientSeq : kSuppressedSeq,
+                   TraceContext{});
+}
+
 TraceSpan Tracer::StartSpan(std::string name) {
   if (TaskSink* sink = CurrentSink()) {
     // Inside a task the shared ambient stack is off limits (it belongs
@@ -74,11 +106,20 @@ TraceSpan Tracer::StartSpan(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   // The innermost still-live ambient span is the parent; entries whose
   // records the ring buffer has reclaimed are pruned on the way down.
-  while (!open_.empty() &&
+  // Suppression markers (span_id == 0) are live by definition.
+  while (!open_.empty() && open_.back().span_id != 0 &&
          Live(open_.back().seq, open_.back().span_id) == nullptr) {
     open_.pop_back();
   }
+  if (!open_.empty() && open_.back().span_id == 0) {
+    // Nested under a sampled-out ambient root: suppress the whole
+    // subtree so a dropped trace never contributes partial spans.
+    return SuppressedSpan(std::move(name), /*ambient=*/true);
+  }
   if (open_.empty()) {
+    if (!AdmitRootLocked()) {
+      return SuppressedSpan(std::move(name), /*ambient=*/true);
+    }
     return StartSpanInternal(std::move(name), next_trace_id_++, 0, 0, -1,
                              /*ambient=*/true);
   }
@@ -95,6 +136,9 @@ TraceSpan Tracer::StartSpan(std::string name, const TraceContext& parent) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (!parent.valid()) {
+    if (!AdmitRootLocked()) {
+      return SuppressedSpan(std::move(name), /*ambient=*/false);
+    }
     return StartSpanInternal(std::move(name), next_trace_id_++, 0, 0, -1,
                              /*ambient=*/false);
   }
@@ -177,6 +221,12 @@ uint64_t Tracer::PlaceRecordLocked(SpanRecord record) {
 
 TraceContext Tracer::current_context() const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!open_.empty() && open_.back().span_id == 0) {
+    // Inside a sampled-out ambient subtree: callers bridging into the
+    // explicit fabric get an invalid context, so the fabric below
+    // records nothing either.
+    return TraceContext{};
+  }
   for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
     const SpanRecord* rec = Live(it->seq, it->span_id);
     if (rec != nullptr) {
@@ -192,6 +242,14 @@ TraceContext Tracer::current_context() const {
 }
 
 void Tracer::Finish(uint64_t seq, uint64_t span_id) {
+  if (seq == kSuppressedSeq) return;
+  if (seq == kSuppressedAmbientSeq) {
+    // Markers form a contiguous suffix of the open stack (no real span
+    // can start under one), so popping the innermost is the match.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_.empty() && open_.back().span_id == 0) open_.pop_back();
+    return;
+  }
   if ((seq & kTaskLocalBit) != 0) {
     // A sink span finishes inside its own task: stamp the end time now
     // (the task's clock frame is still installed); the %id/mirror/log/
@@ -245,6 +303,7 @@ void Tracer::FinishEffectsLocked(SpanRecord& rec) {
 
 void Tracer::Tag(uint64_t seq, uint64_t span_id, std::string_view key,
                  std::string value) {
+  if (seq == kSuppressedSeq || seq == kSuppressedAmbientSeq) return;
   if ((seq & kTaskLocalBit) != 0) {
     TaskSink* sink = CurrentSink();
     if (sink == nullptr) return;
@@ -341,6 +400,8 @@ void Tracer::ClearLocked() {
   exemplars_.clear();
   started_ = 0;
   dropped_spans_ = 0;
+  sample_accum_ = 0.0;
+  sampled_out_ = 0;
 }
 
 std::string Tracer::ToJson(const TraceMeta& meta) const {

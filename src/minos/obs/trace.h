@@ -151,6 +151,22 @@ class Tracer {
   /// (default 4; 0 disables exemplar capture).
   void set_exemplar_capacity(size_t k);
 
+  /// Head-based sampling: keeps roughly `rate` of new trace *roots*
+  /// (clamped to [0, 1]; 1 = trace everything, the default). Admission
+  /// is decided deterministically with an error accumulator — every
+  /// 1/rate-th root is kept — so a replayed scenario samples the same
+  /// traces. A sampled-out root returns an inert span with an invalid
+  /// context(): descendants via MaybeStartSpan record nothing, ambient
+  /// children are suppressed through a marker stack, so a dropped trace
+  /// contributes zero spans rather than orphans. Only applies to new
+  /// roots — spans with a valid parent always record (their root was
+  /// already admitted). Task-sink roots are never sampled out (sink
+  /// spans are expected to carry an explicit, already-sampled parent).
+  void SetSampleRate(double rate);
+
+  /// Trace roots suppressed by SetSampleRate since the last Clear().
+  uint64_t sampled_out() const;
+
   /// Opens an ambient span; it finishes when the returned object is
   /// destroyed or End() is called. The tracer must outlive the span.
   TraceSpan StartSpan(std::string name);
@@ -213,6 +229,12 @@ class Tracer {
   /// bit (they would need 2^63 spans).
   static constexpr uint64_t kTaskLocalBit = 1ull << 63;
 
+  /// Sentinel seqs for spans suppressed by sampling. Real seqs and
+  /// task-local seqs can never reach these values; Finish/Tag check
+  /// them before the task-local branch.
+  static constexpr uint64_t kSuppressedSeq = ~0ull;
+  static constexpr uint64_t kSuppressedAmbientSeq = ~0ull - 1;
+
   /// Private per-task span buffer. The task pool creates one per task on
   /// the submitting thread, the executing worker installs it with a
   /// TaskSinkScope, and the submitting thread commits it at the barrier
@@ -258,6 +280,9 @@ class Tracer {
  private:
   friend class TraceSpan;
 
+  /// Ambient-stack entry. span_id == 0 marks a suppressed (sampled-out)
+  /// ambient span: it keeps the nesting depth honest so End() pops
+  /// correctly, but is never a parent and never prunes.
   struct OpenEntry {
     uint64_t seq;
     uint64_t span_id;
@@ -284,6 +309,12 @@ class Tracer {
   /// Places a record in the ring (evicting the slot's tenant once
   /// wrapped) and returns its seq. Caller holds mu_.
   uint64_t PlaceRecordLocked(SpanRecord record);
+  /// Sampling decision for a would-be trace root. Caller holds mu_.
+  bool AdmitRootLocked();
+  /// An inert handle whose End()/AddTag() are no-ops (ambient flavor
+  /// additionally pops its suppression marker). Caller holds mu_ when
+  /// pushing the marker.
+  TraceSpan SuppressedSpan(std::string name, bool ambient);
   /// The deferred half of Finish: %id tag, histogram mirror, log
   /// record, root exemplar. Caller holds mu_.
   void FinishEffectsLocked(SpanRecord& rec);
@@ -304,6 +335,9 @@ class Tracer {
   size_t exemplar_capacity_ = 4;  ///< Slowest roots kept.
   uint64_t started_ = 0;          ///< Spans started since Clear().
   uint64_t dropped_spans_ = 0;
+  double sample_rate_ = 1.0;      ///< Fraction of roots kept.
+  double sample_accum_ = 0.0;     ///< Deterministic sampling residue.
+  uint64_t sampled_out_ = 0;      ///< Roots suppressed since Clear().
   uint64_t next_span_id_ = 1;   ///< Never reset: stale handles can't alias.
   uint64_t next_trace_id_ = 1;  ///< Never reset.
   std::vector<OpenEntry> open_;  ///< Ambient stack, innermost last.

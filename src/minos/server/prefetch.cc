@@ -51,12 +51,14 @@ void PrefetchQueue::SetTaskPool(runtime::TaskPool* pool,
 }
 
 void PrefetchQueue::Enqueue(const PrefetchKey& key, int distance,
-                            PageWork work, uint64_t affinity_object) {
+                            PageWork work, uint64_t affinity_object,
+                            uint64_t bytes) {
   if (!work || entries_.count(key) > 0) return;
   Entry entry;
   entry.distance = std::abs(distance);
   entry.seq = next_seq_++;
   entry.affinity_object = affinity_object;
+  entry.bytes = bytes;
   entry.run = std::move(work);
   entries_.emplace(key, std::move(entry));
   enqueued_->Increment();
@@ -64,8 +66,8 @@ void PrefetchQueue::Enqueue(const PrefetchKey& key, int distance,
 }
 
 void PrefetchQueue::WantPage(const PrefetchKey& key, int distance,
-                             PageWork work) {
-  Enqueue(key, distance, std::move(work), key.object_id);
+                             PageWork work, uint64_t bytes) {
+  Enqueue(key, distance, std::move(work), key.object_id, bytes);
 }
 
 void PrefetchQueue::WantObject(uint64_t object_id, int distance,
@@ -252,10 +254,37 @@ void PrefetchQueue::EvictOverCapacity() {
     if (entry.ready) ++ready;
   }
   while (ready > options_.ready_capacity) {
-    // Evict the stalest ready entry (smallest sequence number).
-    const PrefetchKey* victim = nullptr;
+    // Pick the victim owner first — whoever holds the most ready bytes
+    // pays for the overflow, so a budget-capped session's staged pages
+    // survive a greedy neighbor's flood. Ties (including the all-bytes-
+    // untracked legacy case, where every owner holds 0) fall back to
+    // the owner of the globally stalest ready entry, which with a
+    // single owner degenerates to the original evict-stalest rule.
+    struct OwnerStat {
+      uint64_t bytes = 0;
+      uint64_t stalest_seq = ~0ull;
+    };
+    std::map<uint64_t, OwnerStat> owners;
     for (const auto& [key, entry] : entries_) {
       if (!entry.ready) continue;
+      OwnerStat& stat = owners[key.owner];
+      stat.bytes += entry.bytes;
+      stat.stalest_seq = std::min(stat.stalest_seq, entry.seq);
+    }
+    uint64_t victim_owner = 0;
+    const OwnerStat* best = nullptr;
+    for (const auto& [owner, stat] : owners) {
+      if (best == nullptr || stat.bytes > best->bytes ||
+          (stat.bytes == best->bytes &&
+           stat.stalest_seq < best->stalest_seq)) {
+        victim_owner = owner;
+        best = &stat;
+      }
+    }
+    // Within the victim owner, evict the stalest ready entry.
+    const PrefetchKey* victim = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (!entry.ready || key.owner != victim_owner) continue;
       if (victim == nullptr || entry.seq < entries_.at(*victim).seq) {
         victim = &key;
       }
@@ -385,6 +414,15 @@ void PrefetchQueue::CancelAll() {
   CancelIf([](const PrefetchKey&) { return true; });
 }
 
+void PrefetchQueue::CancelOwner(uint64_t owner) {
+  CancelIf([&](const PrefetchKey& key) { return key.owner == owner; });
+}
+
+void PrefetchQueue::CancelWhere(
+    const std::function<bool(const PrefetchKey&)>& stale) {
+  CancelIf(stale);
+}
+
 BackoffSleeper PrefetchQueue::MakeBackoffSleeper() {
   return [this](Micros delay) {
     // Spend the backoff window starting background transfers, then let
@@ -409,6 +447,14 @@ size_t PrefetchQueue::ready_count() const {
     if (entry.ready) ++n;
   }
   return n;
+}
+
+uint64_t PrefetchQueue::OutstandingBytes(uint64_t owner) const {
+  uint64_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (key.owner == owner) bytes += entry.bytes;
+  }
+  return bytes;
 }
 
 }  // namespace minos::server

@@ -30,11 +30,15 @@ enum class PrefetchKind : uint8_t {
 /// Identity of one prefetchable unit: pages and audio segments index
 /// within their object; miniatures index by cursor position in the
 /// result strip (object_id 0 — the strip, not any one object, is the
-/// cursor's home); whole objects use index 0.
+/// cursor's home); whole objects use index 0. `owner` names the session
+/// (or other budget domain) speculating — 0 for single-session callers —
+/// so two sessions staging the same page hold distinct entries and
+/// per-owner budgets/cancellation have an identity to act on.
 struct PrefetchKey {
   PrefetchKind kind = PrefetchKind::kVisualPage;
   uint64_t object_id = 0;
   int index = 0;
+  uint64_t owner = 0;
 
   friend auto operator<=>(const PrefetchKey&, const PrefetchKey&) = default;
 };
@@ -49,8 +53,12 @@ struct PrefetchOptions {
   /// Background transfers issued per Pump call; bounds how much
   /// speculative work one idle window can start.
   int max_inflight_per_pump = 2;
-  /// Completed-but-unconsumed entries kept before the oldest is evicted
-  /// (evictions count as wasted prefetch).
+  /// Completed-but-unconsumed entries kept before eviction starts
+  /// (evictions count as wasted prefetch). The victim is the stalest
+  /// ready entry of the owner holding the most ready bytes, so one
+  /// greedy session sheds its own pages before touching anyone else's;
+  /// with a single owner (all keys owner 0) this is exactly
+  /// evict-global-stalest.
   size_t ready_capacity = 32;
   /// Longest residual background time a page or miniature consumer will
   /// wait on a partial hit. Beyond it the entry is dropped (wasted) and
@@ -118,8 +126,11 @@ class PrefetchQueue {
 
   /// Requests a page-granular staging transfer. `distance` is how many
   /// cursor steps away the target is (nearer issues first). Duplicate
-  /// keys (already queued or ready) are ignored.
-  void WantPage(const PrefetchKey& key, int distance, PageWork work);
+  /// keys (already queued or ready) are ignored. `bytes` is the
+  /// estimated payload size charged against key.owner's outstanding
+  /// budget (0 = untracked).
+  void WantPage(const PrefetchKey& key, int distance, PageWork work,
+                uint64_t bytes = 0);
 
   /// Requests a whole-object fetch (e.g. the object under the miniature
   /// cursor, about to be opened).
@@ -177,6 +188,17 @@ class PrefetchQueue {
   /// workstation calls this when the session shuts down.
   void CancelAll();
 
+  /// Drops every entry whose key.owner matches (queued → cancelled,
+  /// ready → wasted). A reaped or closed session releases its whole
+  /// speculative footprint this way.
+  void CancelOwner(uint64_t owner);
+
+  /// Drops every entry matching `stale` (queued → cancelled, ready →
+  /// wasted) — the generic steer hook for callers whose staleness rule
+  /// is not one of the canned cancels (e.g. a session jump cancelling
+  /// only its own out-of-radius pages).
+  void CancelWhere(const std::function<bool(const PrefetchKey&)>& stale);
+
   /// Issues up to max_inflight_per_pump queued entries, nearest cursor
   /// distance first. Reentrant calls (a pumped transfer's retry sleeper
   /// pumping again) are no-ops.
@@ -205,6 +227,10 @@ class PrefetchQueue {
 
   size_t queued_count() const;
   size_t ready_count() const;
+  /// Sum of `bytes` over every live (queued or ready) entry whose
+  /// key.owner matches — the budget-enforcement view: a manager refuses
+  /// new speculation for an owner once this crosses its budget.
+  uint64_t OutstandingBytes(uint64_t owner) const;
   /// Simulated time at which the background channel frees up.
   Micros background_free_at() const { return bg_free_at_; }
 
@@ -215,6 +241,7 @@ class PrefetchQueue {
     bool ready = false;
     Micros ready_at = 0;
     uint64_t affinity_object = 0;  ///< Grouping hint for pooled pumps.
+    uint64_t bytes = 0;            ///< Budget charge for key.owner.
     PageWork run;  ///< Null once ready.
     std::optional<object::MultimediaObject> object;
     std::optional<MiniatureCard> card;
@@ -230,7 +257,7 @@ class PrefetchQueue {
   /// Shared enqueue path: `affinity_object` is the grouping hint a
   /// pooled pump reads (pages use their own object id).
   void Enqueue(const PrefetchKey& key, int distance, PageWork work,
-               uint64_t affinity_object);
+               uint64_t affinity_object, uint64_t bytes = 0);
 
   /// Runs one entry's work on the background channel; true when the
   /// entry became ready.
@@ -240,6 +267,9 @@ class PrefetchQueue {
   /// affinity, then books costs and outcomes serially in pick order.
   void IssuePooled(const std::vector<PrefetchKey>& picked);
 
+  /// Sheds ready entries down to ready_capacity: victim owner is the
+  /// one with the most ready bytes (ties broken toward the globally
+  /// stalest entry), victim entry is that owner's stalest.
   void EvictOverCapacity();
   void UpdateDepth();
 

@@ -228,6 +228,105 @@ TEST(TraceSpanTest, RingEvictionMakesStaleHandlesInert) {
   EXPECT_EQ(ordered[1].name, "b");
 }
 
+// --- Head sampling ----------------------------------------------------
+
+TEST(TraceSamplingTest, RateZeroSuppressesEveryRootCompletely) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.SetSampleRate(0.0);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan root = tracer.StartSpan("root");
+    EXPECT_FALSE(root.context().valid());
+    clock.Advance(10);
+    root.AddTag("k", "v");  // Must be inert, not crash.
+    {
+      // Ambient children of a suppressed root are suppressed too.
+      TraceSpan child = tracer.StartSpan("child");
+      EXPECT_FALSE(child.context().valid());
+      EXPECT_FALSE(tracer.current_context().valid());
+    }
+    root.End();
+  }
+  EXPECT_TRUE(tracer.spans().empty());  // Zero spans, zero orphans.
+  EXPECT_EQ(tracer.sampled_out(), 3u);
+  EXPECT_EQ(tracer.open_depth(), 0);  // Marker push/pop balanced.
+}
+
+TEST(TraceSamplingTest, HalfRateKeepsEveryOtherRootDeterministically) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.SetSampleRate(0.5);
+  std::vector<bool> kept;
+  for (int i = 0; i < 6; ++i) {
+    TraceSpan root = tracer.StartSpan("root", TraceContext{});
+    kept.push_back(root.context().valid());
+    root.End();
+  }
+  // The error accumulator admits the 2nd, 4th, 6th root: exact halves,
+  // no randomness, so a replayed scenario samples the same traces.
+  EXPECT_EQ(kept, (std::vector<bool>{false, true, false, true, false,
+                                     true}));
+  EXPECT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.sampled_out(), 3u);
+}
+
+TEST(TraceSamplingTest, ValidParentBypassesSamplingAndRateOneKeepsAll) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceSpan admitted = tracer.StartSpan("root");  // Rate 1: kept.
+  const TraceContext ctx = admitted.context();
+  EXPECT_TRUE(ctx.valid());
+  admitted.End();
+  tracer.SetSampleRate(0.0);
+  // A child of an already-admitted trace always records — its root made
+  // the sampling decision for the whole tree.
+  TraceSpan child = tracer.StartSpan("child", ctx);
+  EXPECT_TRUE(child.context().valid());
+  child.End();
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].parent_span_id, ctx.span_id);
+}
+
+TEST(TraceSamplingTest, SuppressedAmbientNestingStaysBalanced) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.SetSampleRate(0.0);
+  {
+    TraceSpan a = tracer.StartSpan("a");
+    {
+      TraceSpan b = tracer.StartSpan("b");
+      {
+        TraceSpan c = tracer.StartSpan("c");
+        EXPECT_FALSE(tracer.current_context().valid());
+      }
+    }
+  }
+  EXPECT_EQ(tracer.open_depth(), 0);
+  // Suppression markers are not parents: a later admitted root is still
+  // a root.
+  tracer.SetSampleRate(1.0);
+  TraceSpan fresh = tracer.StartSpan("fresh");
+  EXPECT_EQ(fresh.context().parent_span_id, 0u);
+  fresh.End();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].depth, 0);
+}
+
+TEST(TraceSamplingTest, ClearResetsAccumulatorAndCounter) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.SetSampleRate(0.5);
+  tracer.StartSpan("a").End();  // Suppressed (accumulator at 0.5).
+  EXPECT_EQ(tracer.sampled_out(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.sampled_out(), 0u);
+  // The accumulator restarted too: the replay makes the same decisions.
+  tracer.StartSpan("a").End();
+  EXPECT_EQ(tracer.sampled_out(), 1u);
+  tracer.StartSpan("b").End();
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
 TEST(SanitizeSpanNameTest, StripsDigitRunsIntoIdTag) {
   std::string ids;
   EXPECT_EQ(SanitizeSpanName("open#42", &ids), "open#%id");

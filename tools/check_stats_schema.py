@@ -43,6 +43,13 @@ fraction under 0.5 at the large catalog, a sublinear per-query scoring
 cost growth (< 1.0 relative to catalog size), and the Append delta-path
 proof (exactly one stats delta applied, zero full re-adds).
 
+With --require-sessions, additionally requires the SessionManager storm
+evidence: sessions actually opened, admitted, queued at the admission
+cap, admitted back out of the queue, idle-reaped and closed (all > 0),
+the per-event latency histograms non-empty, a peak concurrency of at
+least 2000 sessions, and a class fairness ratio within the bench's own
+bound — the acceptance gate for BENCH_session_storm.json.
+
 Exit status: 0 when every file validates, 1 otherwise.
 """
 
@@ -138,6 +145,51 @@ RANKED_SCALE_EXACT_GAUGES = (
     ("ranked_query.append_stats_delta_applies", 1),
 )
 
+# SessionManager storm evidence: the multiplexing machinery must have
+# actually fired — admission queueing, queue re-admission, idle reaping,
+# explicit closes — not merely linked against the session library.
+SESSION_POSITIVE_COUNTERS = (
+    "session.opened_total",
+    "session.admitted_total",
+    "session.admission_queued_total",
+    "session.queue_admitted_total",
+    "session.reaped_total",
+    "session.closed_total",
+    "session.events_total",
+    "session.page_turns_total",
+    "session.opens_total",
+    "session.searches_total",
+    "session.appends_total",
+    "prefetch.hits",
+)
+SESSION_COUNTER_NAMES = (
+    "session.deferred_events_total",
+    "session.budget_deferred_total",
+    "session.link_waits_total",
+    "session.plan_invalidations_total",
+)
+SESSION_GAUGE_NAMES = (
+    "session.active",
+    "session.queued",
+    "session_storm.reader_p99_base_us",
+    "session_storm.reader_p99_storm_us",
+)
+SESSION_MIN_GAUGES = (
+    # (name, inclusive lower bound)
+    ("session_storm.peak_active", 2000),
+    ("session_storm.peak_queued", 1),
+)
+SESSION_BOUNDED_GAUGES = (
+    # (name, inclusive upper bound)
+    ("session_storm.fairness_ratio", 4.0),
+)
+SESSION_HISTOGRAM_NAMES = (
+    "session.page_turn_us",
+    "session.open_us",
+    "session.search_us",
+    "session.append_us",
+)
+
 
 def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
@@ -205,7 +257,8 @@ def validate_trace(doc):
 
 
 def validate(doc, require_pipeline=False, require_faults=False,
-             require_repair=False, require_ranked_scale=False):
+             require_repair=False, require_ranked_scale=False,
+             require_sessions=False):
     """Returns a list of problem strings (empty when valid)."""
     problems = []
     if not isinstance(doc, dict):
@@ -325,6 +378,38 @@ def validate(doc, require_pipeline=False, require_faults=False,
                     f"gauge '{name}' is {value}, expected {expected} "
                     "(append took the rebuild path)"
                 )
+
+    if require_sessions:
+        for name in SESSION_POSITIVE_COUNTERS:
+            if not doc["counters"].get(name, 0) > 0:
+                problems.append(f"session counter '{name}' is not > 0")
+        for name in SESSION_COUNTER_NAMES:
+            if name not in doc["counters"]:
+                problems.append(f"no session counter '{name}'")
+        for name in SESSION_GAUGE_NAMES:
+            if name not in doc["gauges"]:
+                problems.append(f"no session gauge '{name}'")
+        for name, bound in SESSION_MIN_GAUGES:
+            value = doc["gauges"].get(name)
+            if not _is_number(value):
+                problems.append(f"no session gauge '{name}'")
+            elif value < bound:
+                problems.append(
+                    f"gauge '{name}' is {value}, expected >= {bound}"
+                )
+        for name, bound in SESSION_BOUNDED_GAUGES:
+            value = doc["gauges"].get(name)
+            if not _is_number(value):
+                problems.append(f"no session gauge '{name}'")
+            elif not 0 < value <= bound:
+                problems.append(
+                    f"gauge '{name}' is {value}, expected in (0, {bound}]"
+                )
+        for name in SESSION_HISTOGRAM_NAMES:
+            if name not in doc["histograms"]:
+                problems.append(f"no session histogram '{name}'")
+            elif not doc["histograms"][name].get("count", 0) > 0:
+                problems.append(f"session histogram '{name}' is empty")
     return problems
 
 
@@ -355,6 +440,14 @@ def main(argv):
         "skipped, a < 0.5 pruned visit fraction, sublinear cost growth, "
         "and the Append stats-delta proof",
     )
+    parser.add_argument(
+        "--require-sessions",
+        action="store_true",
+        help="also require the SessionManager storm evidence: nonzero "
+        "admission/queue/reap/close counters, non-empty per-event "
+        "latency histograms, >= 2000 peak concurrent sessions and a "
+        "bounded class fairness ratio",
+    )
     args = parser.parse_args(argv)
 
     failed = False
@@ -378,6 +471,7 @@ def main(argv):
                 require_faults=args.require_faults,
                 require_repair=args.require_repair,
                 require_ranked_scale=args.require_ranked_scale,
+                require_sessions=args.require_sessions,
             )
         if problems:
             failed = True
